@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the paper's rows/series (via ``capsys.disabled()``)
+in addition to timing, so the reproduction artifacts are visible in the
+bench output; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print reproduction artifacts through pytest's capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,29 @@
+"""Fig. 5 reproduction: the cost function around its minimum.
+
+Regenerates the surface f_cost(T1, T2) on the paper's plot window
+(T1 in [15, 20], T2 in [15, 18]) and checks the z-scale (~0.0046) and the
+location of the minimum (~(19, 15.6)).
+"""
+
+import pytest
+
+from repro.elbtunnel import fig5_surface
+from repro.viz import format_surface
+
+
+def test_fig5_cost_surface(benchmark, report):
+    surface = benchmark(fig5_surface, points=21)
+
+    t1, t2, z = surface.minimum()
+    assert t1 == pytest.approx(19.0, abs=0.5)
+    assert t2 == pytest.approx(15.6, abs=0.5)
+    assert z == pytest.approx(0.0046, rel=0.05)
+    flat = [v for row in surface.cost for v in row]
+    # Fig. 5's z axis spans roughly 0.0046..0.0047 on this window.
+    assert min(flat) > 0.0044
+    assert max(flat) < 0.0049
+
+    report(format_surface(
+        surface.t1_values, surface.t2_values, surface.cost,
+        title="Fig. 5 — f_cost(T1 rows, T2 cols); paper minimum "
+              "~0.0046 at (19, 15.6)"))

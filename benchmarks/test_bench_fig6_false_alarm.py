@@ -1,0 +1,72 @@
+"""Fig. 6 reproduction: false alarms per correctly driving OHV.
+
+Regenerates both curves of Fig. 6 ("without_LB4" vs. "with_LB4") over
+T2 in [5, 25] in the increased-OHV-traffic environment, plus the
+LB-at-ODfinal improvement, and checks the four quoted checkpoints:
+> 80 % at the optimized runtime, > 95 % at 30 minutes, ~40 % with LB4,
+~4 % with the light barrier at ODfinal.
+"""
+
+import pytest
+
+from repro.elbtunnel import fig6_study
+from repro.viz import format_series, format_table
+
+
+def test_fig6_curves_and_checkpoints(benchmark, report):
+    study = benchmark(fig6_study)
+
+    cp = study.checkpoints
+    assert cp.without_lb4_at_opt > 0.80
+    assert cp.without_lb4_at_30 > 0.95
+    assert cp.with_lb4_at_opt == pytest.approx(0.40, abs=0.05)
+    assert cp.lb_at_odfinal == pytest.approx(0.04, abs=0.01)
+
+    report(format_series(
+        study.series,
+        title="Fig. 6 — P(false alarm | correct OHV) vs. runtime of "
+              "timer 2"))
+    report(format_table(
+        ["checkpoint", "paper", "measured"],
+        [
+            ["without LB4 @ T2=15.6", "> 80 %",
+             f"{cp.without_lb4_at_opt * 100:.1f} %"],
+            ["without LB4 @ T2=30", "> 95 %",
+             f"{cp.without_lb4_at_30 * 100:.1f} %"],
+            ["with LB4 @ T2=15.6", "~40 %",
+             f"{cp.with_lb4_at_opt * 100:.1f} %"],
+            ["LB at ODfinal", "~4 %",
+             f"{cp.lb_at_odfinal * 100:.1f} %"],
+        ],
+        title="Fig. 6 checkpoints (Sect. IV-C.2)"))
+
+
+def test_fig6_simulation_cross_check(benchmark, report):
+    """The DES traffic simulation reproduces the analytic curve point."""
+    from repro.elbtunnel import (
+        DesignVariant,
+        SimulationConfig,
+        TrafficConfig,
+        correct_ohv_alarm_probability,
+        simulate,
+    )
+
+    traffic = TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
+                            hv_odfinal_rate=0.13)
+    config = SimulationConfig(duration=60.0 * 24 * 180, timer1=30.0,
+                              timer2=15.6,
+                              variant=DesignVariant.WITHOUT_LB4,
+                              traffic=traffic, seed=42)
+    result = benchmark(simulate, config)
+
+    analytic = correct_ohv_alarm_probability(15.6,
+                                             DesignVariant.WITHOUT_LB4)
+    lo, hi = result.correct_ohv_alarm_ci()
+    assert lo - 0.02 <= analytic <= hi + 0.02
+    report(format_table(
+        ["source", "P(alarm | correct OHV)"],
+        [["analytic model", f"{analytic:.4f}"],
+         ["DES (180 days)", f"{result.correct_ohv_alarm_fraction:.4f} "
+          f"[{lo:.4f}, {hi:.4f}]"]],
+        title="Fig. 6 cross-check — analytic vs. discrete-event "
+              "simulation"))

@@ -1,0 +1,46 @@
+"""Ablation A6: modular vs. monolithic exact quantification.
+
+Module detection lets each independent subtree be quantified on its own
+small BDD; this bench measures the speedup on trees of growing width and
+verifies exact agreement with monolithic quantification.
+"""
+
+import pytest
+
+from repro.fta import (
+    FaultTree,
+    find_modules,
+    hazard_probability,
+    modular_probability,
+)
+from repro.fta.dsl import AND, OR, hazard, primary
+
+
+def wide_modular_tree(blocks: int) -> FaultTree:
+    """OR of `blocks` independent 2-of-2 blocks."""
+    parts = [
+        AND(f"block{i}", primary(f"a{i}", 0.01), primary(f"b{i}", 0.02))
+        for i in range(blocks)
+    ]
+    return FaultTree(hazard("H", OR_gate=parts))
+
+
+@pytest.mark.parametrize("blocks", [4, 16, 48])
+def test_monolithic_exact(benchmark, blocks):
+    tree = wide_modular_tree(blocks)
+    value = benchmark(hazard_probability, tree, None, "exact")
+    assert 0.0 < value < 1.0
+
+
+@pytest.mark.parametrize("blocks", [4, 16, 48])
+def test_modular_exact(benchmark, blocks):
+    tree = wide_modular_tree(blocks)
+    value = benchmark(modular_probability, tree, None, "exact")
+    assert value == pytest.approx(
+        hazard_probability(tree, method="exact"), rel=1e-12)
+
+
+def test_module_detection(benchmark):
+    tree = wide_modular_tree(32)
+    modules = benchmark(find_modules, tree)
+    assert len(modules) == 32

@@ -1,0 +1,56 @@
+"""Ablation A1: optimizer comparison on the Elbtunnel cost function.
+
+Which of the paper's optimization options (plot-and-zoom, gradient, and
+the 'more elaborate' alternatives) finds the published optimum, and at
+what evaluation cost?
+"""
+
+import pytest
+
+from repro.core import SafetyOptimizer
+from repro.elbtunnel import build_safety_model
+from repro.viz import format_table
+
+METHODS = ["zoom", "grid", "gradient", "coordinate", "nelder_mead",
+           "annealing", "differential_evolution", "scipy"]
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_optimizer_on_elbtunnel(benchmark, method):
+    model = build_safety_model()
+    optimizer = SafetyOptimizer(model)
+    options = {"seed": 0} if method in ("annealing",
+                                        "differential_evolution") else {}
+    result = benchmark(optimizer.optimize, method, **options)
+    reference = model.cost((19.0, 15.6))
+    # Every method must reach a cost within 1% of the true optimum.
+    assert result.optimal_cost <= reference * 1.01
+
+
+def test_optimizer_accuracy_table(benchmark, report):
+    model = build_safety_model()
+    optimizer = SafetyOptimizer(model)
+    reference = model.cost((19.0, 15.6))
+
+    def run_all():
+        rows = []
+        for method in METHODS:
+            options = {"seed": 0} if method in (
+                "annealing", "differential_evolution") else {}
+            result = optimizer.optimize(method, **options)
+            rows.append([
+                method,
+                f"({result.optimum[0]:.2f}, {result.optimum[1]:.2f})",
+                f"{result.optimal_cost:.6f}",
+                f"{(result.optimal_cost / reference - 1) * 100:.4f} %",
+                result.opt_result.evaluations,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(format_table(
+        ["method", "optimum (T1, T2)", "cost", "excess vs best",
+         "evaluations"],
+        rows,
+        title="A1 — optimizers on the Elbtunnel cost function "
+              "(paper optimum ~(19, 15.6), cost ~0.0046)"))

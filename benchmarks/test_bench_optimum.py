@@ -1,0 +1,39 @@
+"""Sect. IV-C.2 headline results: optimal runtimes and risk changes.
+
+Paper: optimum ~(19, 15.6) minutes vs. the engineers' (30, 30); ~10 %
+false-alarm improvement; collision risk change < 0.1 %.
+"""
+
+import pytest
+
+from repro.elbtunnel import COLLISION, FALSE_ALARM, optimum_study
+from repro.viz import format_table
+
+
+def test_optimum_and_baseline_comparison(benchmark, report):
+    result = benchmark(optimum_study, method="zoom")
+
+    t1, t2 = result.optimum
+    comparisons = result.hazard_comparisons()
+    alarm = comparisons[FALSE_ALARM]
+    collision = comparisons[COLLISION]
+
+    assert t1 == pytest.approx(19.0, abs=0.5)
+    assert t2 == pytest.approx(15.6, abs=0.5)
+    assert alarm.improvement_percent == pytest.approx(10.0, abs=2.0)
+    assert abs(collision.relative_change) < 0.001
+
+    report(format_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["optimal T1 [min]", "~19", f"{t1:.2f}"],
+            ["optimal T2 [min]", "~15.6", f"{t2:.2f}"],
+            ["cost at optimum", "~0.0046", f"{result.optimal_cost:.5f}"],
+            ["false-alarm improvement", "~10 %",
+             f"{alarm.improvement_percent:.2f} %"],
+            ["collision risk change", "< 0.1 %",
+             f"{abs(collision.relative_change) * 100:.3f} %"],
+            ["baseline (engineers)", "(30, 30)",
+             f"({result.baseline[0]:g}, {result.baseline[1]:g})"],
+        ],
+        title="Sect. IV-C.2 — safety optimization of the timer runtimes"))

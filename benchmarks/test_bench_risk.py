@@ -1,0 +1,36 @@
+"""Ablation A7: integrated yearly risk of the three designs.
+
+The paper compares the design variants by the per-OHV false-alarm
+probability (Fig. 6); this bench folds collision and alarm rates into a
+single expected-cost-per-year figure via the event-tree PRA layer —
+the money form of the paper's verdict.
+"""
+
+from repro.elbtunnel import DesignVariant, compare_variants
+from repro.viz import format_table
+
+
+def test_variant_risk_comparison(benchmark, report):
+    results = benchmark(compare_variants)
+
+    without = results[DesignVariant.WITHOUT_LB4]
+    lb_at = results[DesignVariant.LB_AT_ODFINAL]
+    assert without.expected_cost_per_year > \
+        results[DesignVariant.WITH_LB4].expected_cost_per_year > \
+        lb_at.expected_cost_per_year
+
+    rows = []
+    for variant in DesignVariant:
+        assessment = results[variant]
+        rows.append([
+            variant.value,
+            f"{assessment.collisions_per_year:.3e}",
+            f"{assessment.false_alarms_per_year:.1f}",
+            f"{assessment.expected_cost_per_year:.1f}",
+        ])
+    report(format_table(
+        ["design variant", "collisions/yr", "false alarms/yr",
+         "expected cost/yr"],
+        rows,
+        title="A7 — integrated yearly risk at (T1, T2) = (19, 15.6), "
+              "heavy traffic"))

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The complete Elbtunnel case study (paper Sect. IV), end to end.
+
+Reproduces, in order:
+
+1. the qualitative FTA — minimal cut sets of the collision tree (Fig. 2),
+2. the optimization of the timer runtimes (Fig. 5 and the quoted
+   optimum of roughly 19 / 15.6 minutes vs. the engineers' 30 / 30),
+3. the environment-scaling analysis that exposed the design flaw
+   (Fig. 6: over 80 % of correctly driving OHVs trip a false alarm) and
+   the two proposed fixes (extra light barrier LB4, LB at ODfinal),
+4. a discrete-event traffic simulation cross-checking the analytic
+   Fig. 6 numbers.
+
+Run:  python examples/elbtunnel_study.py
+"""
+
+from repro.elbtunnel import (
+    DesignVariant,
+    SimulationConfig,
+    TrafficConfig,
+    compare_variants,
+    correct_ohv_alarm_probability,
+    fig2_fault_tree,
+    full_study,
+    simulate,
+)
+from repro.fta import mocus
+from repro.viz import format_series, format_surface
+
+
+def main() -> None:
+    print("=" * 68)
+    print("1. Qualitative FTA: minimal cut sets of the collision tree")
+    print("=" * 68)
+    cut_sets = mocus(fig2_fault_tree())
+    for cs in cut_sets:
+        print(f"   {cs}")
+    print(f"   -> {len(cut_sets.single_points_of_failure)} single points "
+          "of failure (every cut set has order 1)")
+
+    print()
+    print("=" * 68)
+    print("2. Safety optimization of the timer runtimes")
+    print("=" * 68)
+    study = full_study()
+    print(study.summary())
+
+    print()
+    print("Cost surface around the minimum (Fig. 5):")
+    print(format_surface(study.fig5.t1_values, study.fig5.t2_values,
+                         study.fig5.cost,
+                         title="   z = f_cost(T1 rows, T2 columns)"))
+
+    print()
+    print("=" * 68)
+    print("3. Environment scaling: false alarms per correct OHV (Fig. 6)")
+    print("=" * 68)
+    print(format_series(study.fig6.series,
+                        title="P(false alarm | correct OHV) vs. T2"))
+
+    print()
+    print("=" * 68)
+    print("4. Discrete-event simulation cross-check (one year of traffic)")
+    print("=" * 68)
+    traffic = TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
+                            hv_odfinal_rate=0.13)
+    for variant in DesignVariant:
+        config = SimulationConfig(
+            duration=60.0 * 24 * 365, timer1=30.0, timer2=15.6,
+            variant=variant, traffic=traffic, seed=42)
+        result = simulate(config)
+        analytic = correct_ohv_alarm_probability(15.6, variant)
+        lo, hi = result.correct_ohv_alarm_ci()
+        print(f"   {variant.value:<15s} simulated "
+              f"{result.correct_ohv_alarm_fraction:6.3f} "
+              f"[{lo:.3f}, {hi:.3f}]  analytic {analytic:6.3f}  "
+              f"({result.ohvs_correct} OHVs)")
+
+    print()
+    print("=" * 68)
+    print("5. Integrated yearly risk per design (event-tree PRA)")
+    print("=" * 68)
+    for variant, assessment in compare_variants().items():
+        print(f"   {variant.value:<15s} "
+              f"collisions/yr {assessment.collisions_per_year:.2e}   "
+              f"false alarms/yr {assessment.false_alarms_per_year:7.1f}  "
+              f"cost/yr {assessment.expected_cost_per_year:8.1f}")
+    print("   -> the variants trade only usability; collision risk is "
+          "negligible in all three")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Closing the loop: from field data back to model inputs.
+
+The paper's statistical model needs numbers nobody hands you: driving
+time distributions, HV rule-violation rates, sensor fault probabilities.
+This example plays the full calibration workflow on *simulated* field
+data (the DES stands in for a year of real tunnel operation):
+
+1. run the traffic simulation and collect the "logs" a real deployment
+   would produce (per-OHV transit times, HV crossing counts, alarm
+   counts),
+2. estimate the model inputs from those logs — a normal fit for the
+   driving times (the paper's mu=4, sigma=2 claim, recovered), a
+   Gamma-Poisson posterior for the HV rate, a Beta-Binomial posterior
+   for the per-OHV alarm probability,
+3. rebuild the analytic model from the *estimated* inputs and check the
+   optimization conclusion is unchanged — the estimate-then-optimize
+   loop a real operator would run every year.
+
+Run:  python examples/field_data_calibration.py
+"""
+
+import math
+import random
+
+from repro.core import SafetyOptimizer
+from repro.elbtunnel import (
+    DesignVariant,
+    ElbtunnelConfig,
+    SimulationConfig,
+    TrafficConfig,
+    TrafficGenerator,
+    build_safety_model,
+    simulate,
+)
+from repro.stats import (
+    fit_normal_moments,
+    jeffreys_prior,
+    update_binomial,
+    update_poisson_exposure,
+    wilson_ci,
+)
+
+TRUE_CONFIG = ElbtunnelConfig()
+DAYS = 365.0
+MINUTES = 60.0 * 24 * DAYS
+
+
+def collect_field_data():
+    """One simulated year of operation = the operator's logbook."""
+    traffic = TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
+                            hv_odfinal_rate=TRUE_CONFIG.
+                            hv_odfinal_rate_heavy)
+    generator = TrafficGenerator(traffic, seed=2024)
+    transit_samples = [v.zone1_time
+                       for v in generator.ohvs_until(MINUTES)]
+    result = simulate(SimulationConfig(
+        duration=MINUTES, timer1=30.0, timer2=15.6,
+        variant=DesignVariant.WITHOUT_LB4, traffic=traffic, seed=2024))
+    return transit_samples, result
+
+
+def main() -> None:
+    transit_samples, result = collect_field_data()
+
+    print("1. Driving-time model from logged transit times")
+    fit = fit_normal_moments(transit_samples)
+    print(f"   paper model : Normal(mu=4.00, sigma=2.00), truncated at 0")
+    print(f"   fitted      : Normal(mu={fit.mu:.2f}, "
+          f"sigma={fit.sigma:.2f})  ({len(transit_samples)} OHVs)")
+    print("   (the left truncation at 0 biases the naive moments "
+          "slightly upward/downward — visible and expected)")
+
+    print()
+    print("2. HV rule-violation rate from ODfinal crossing counts")
+    posterior_rate = update_poisson_exposure(
+        0.5, 1e-6, result.hv_crossings, MINUTES)
+    lo, hi = posterior_rate.credible_interval(0.95)
+    print(f"   true rate   : {TRUE_CONFIG.hv_odfinal_rate_heavy:.4f}/min")
+    print(f"   posterior   : {posterior_rate.mean:.4f}/min  "
+          f"95% CI [{lo:.4f}, {hi:.4f}]  "
+          f"({result.hv_crossings} crossings)")
+
+    print()
+    print("3. Per-OHV false-alarm probability from alarm counts")
+    posterior_alarm = update_binomial(
+        jeffreys_prior(), result.correct_ohvs_alarmed,
+        result.ohvs_correct)
+    w_lo, w_hi = wilson_ci(result.correct_ohvs_alarmed,
+                           result.ohvs_correct)
+    print(f"   posterior mean {posterior_alarm.mean:.3f}  "
+          f"(Wilson CI [{w_lo:.3f}, {w_hi:.3f}]; "
+          f"analytic model: 0.868)")
+
+    print()
+    print("4. Re-optimize with the *estimated* inputs")
+    estimated = TRUE_CONFIG.with_rates(
+        transit_mean=fit.mu, transit_std=fit.sigma)
+    true_result = SafetyOptimizer(
+        build_safety_model(TRUE_CONFIG)).optimize("coordinate")
+    estimated_result = SafetyOptimizer(
+        build_safety_model(estimated)).optimize("coordinate")
+    t1_true, t2_true = true_result.optimum
+    t1_est, t2_est = estimated_result.optimum
+    print(f"   optimum (true inputs)      : ({t1_true:.2f}, "
+          f"{t2_true:.2f}) min")
+    print(f"   optimum (estimated inputs) : ({t1_est:.2f}, "
+          f"{t2_est:.2f}) min")
+    drift = math.hypot(t1_true - t1_est, t2_true - t2_est)
+    print(f"   drift: {drift:.2f} min — one year of logs pins the "
+          "optimal configuration to within minutes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: safety optimization in ~40 lines.
+
+Builds a tiny two-hazard system with one free parameter (a sensor
+tolerance), wires it into a :class:`SafetyModel`, and finds the optimal
+tolerance — the paper's air-speed-indicator example (Sect. III) in code:
+a tighter tolerance makes unsafe flight less likely but grounds more safe
+aircraft.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CostModel,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    SafetyOptimizer,
+    exceedance,
+    from_cdf,
+)
+from repro.stats import Normal
+
+# A healthy indicator shows a small benign aberration; a defective one
+# (1 in 1000 aircraft) shows a large dangerous aberration.  The free
+# parameter is the accepted tolerance (in knots).
+HEALTHY_ABERRATION = Normal(mu=0.0, sigma=1.5)
+DEFECT_ABERRATION = Normal(mu=8.0, sigma=3.0)
+DEFECT_RATE = 1e-3
+
+# Hazard 1: an unsafe aircraft passes the check — likelier the *wider*
+# the tolerance is (the defect's aberration stays within tolerance).
+unsafe_flight = (from_cdf(DEFECT_ABERRATION, "tolerance") *
+                 DEFECT_RATE).rename("P(unsafe pass)(tolerance)")
+
+# Hazard 2: a safe aircraft fails the check — likelier the *tighter* the
+# tolerance is (benign aberrations get rejected).
+grounded_safe = exceedance(HEALTHY_ABERRATION, "tolerance",
+                           label="P(safe grounded)(tolerance)")
+
+model = SafetyModel(
+    space=ParameterSpace([
+        Parameter("tolerance", 0.5, 15.0, default=5.0, unit="kn"),
+    ]),
+    hazards={
+        "unsafe_flight": unsafe_flight,
+        "grounded_safe": grounded_safe,
+    },
+    cost_model=CostModel([
+        HazardCost("unsafe_flight", 5_000.0, "crash risk"),
+        HazardCost("grounded_safe", 1.0, "delay or cancellation"),
+    ]),
+    name="pre-flight check")
+
+
+def main() -> None:
+    result = SafetyOptimizer(model).optimize("zoom")
+    print(result.summary())
+    print()
+    tolerance = result.optimum[0]
+    print(f"Optimal tolerance: {tolerance:.2f} kn "
+          f"(baseline guess was 5.00 kn)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Optimizing a watchdog timeout — "accepted time delay between request
+and answers" (paper Sect. I) — with trade-off and scenario analysis.
+
+A controller supervises a replicated service with a watchdog: if a
+heartbeat does not arrive within the timeout, the node is declared dead
+and failed over.
+
+* Hazard "missed_failure": the node really is dead but the timeout is so
+  generous that the failover comes too late for the deadline.
+* Hazard "false_failover": a slow-but-healthy heartbeat (network jitter)
+  trips the watchdog, causing a disruptive spurious failover.
+
+Demonstrates: Pareto front between opposed hazards
+(:func:`repro.core.hazard_front`), the opposition check, cost-ratio
+sensitivity (how far the optimum moves when the assessed cost of a missed
+failure is scaled), and environment scaling (higher network jitter), the
+paper's Fig. 6-style analysis.
+
+Run:  python examples/watchdog_timeout.py
+"""
+
+from repro.core import (
+    CostModel,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    SafetyOptimizer,
+    Scenario,
+    cost_ratio_sensitivity,
+    from_cdf,
+    hazard_front,
+    hazards_opposed,
+    scenario_series,
+    scaled,
+)
+from repro.stats import LogNormal
+
+
+def build_model(jitter_sigma: float = 0.6) -> SafetyModel:
+    """Watchdog model; ``jitter_sigma`` controls heartbeat tail weight."""
+    # Healthy heartbeat latency (ms): log-normal around ~20 ms.
+    heartbeat = LogNormal(mu=3.0, sigma=jitter_sigma)
+
+    # A healthy node trips the watchdog when latency > timeout; scaled by
+    # the fraction of intervals with a node under load.
+    false_failover = scaled(
+        ~from_cdf(heartbeat, "timeout", label="P(latency<=timeout)"),
+        0.4).rename("P(false failover)(timeout)")
+
+    # A dead node is detected only after the full timeout; missing the
+    # recovery deadline becomes likelier the longer we wait.  Deadline
+    # slack is ~150 ms with heavy-tailed recovery time.
+    recovery = LogNormal(mu=4.0, sigma=0.5)   # ~55 ms typical recovery
+
+    def missed(values):
+        slack = 150.0 - values["timeout"]
+        if slack <= 0.0:
+            return 1.0
+        return recovery.sf(slack)
+
+    from repro.core import from_function
+    missed_failure = (from_function(missed, {"timeout"}) *
+                      1e-2).rename("P(missed failure)(timeout)")
+
+    return SafetyModel(
+        space=ParameterSpace([
+            Parameter("timeout", 5.0, 140.0, default=60.0, unit="ms"),
+        ]),
+        hazards={
+            "missed_failure": missed_failure,
+            "false_failover": false_failover,
+        },
+        cost_model=CostModel([
+            HazardCost("missed_failure", 500.0, "deadline violation"),
+            HazardCost("false_failover", 1.0, "spurious failover churn"),
+        ]),
+        name=f"watchdog (jitter sigma={jitter_sigma})")
+
+
+def main() -> None:
+    model = build_model()
+
+    report = hazards_opposed(model, "missed_failure", "false_failover",
+                             points_per_dim=60)
+    print(f"Hazards opposed: {report.opposed} "
+          f"(missed-failure argmin at timeout="
+          f"{report.argmin_a[0]:.1f} ms, false-failover argmin at "
+          f"timeout={report.argmin_b[0]:.1f} ms)")
+
+    result = SafetyOptimizer(model).optimize("zoom")
+    print()
+    print(result.summary())
+
+    print()
+    print("Pareto front (first 8 non-dominated configurations):")
+    for point in hazard_front(model, points_per_dim=40)[:8]:
+        ff, mf = point.objectives
+        print(f"   timeout={point.x[0]:6.1f} ms  "
+              f"P(false_failover)={ff:.4f}  P(missed_failure)={mf:.6f}")
+
+    print()
+    print("Cost-ratio sensitivity (missed-failure cost scaled):")
+    for factor, (optimum, cost) in sorted(cost_ratio_sensitivity(
+            model, "missed_failure", [0.1, 1.0, 10.0]).items()):
+        print(f"   x{factor:<5g} -> optimal timeout {optimum[0]:6.1f} ms "
+              f"(cost {cost:.4f})")
+
+    print()
+    print("Environment scaling (paper Fig. 6 style): false-failover "
+          "probability vs. timeout under rising network jitter")
+    scenarios = [
+        Scenario("jitter_low", lambda: build_model(0.4)),
+        Scenario("jitter_ref", lambda: build_model(0.6)),
+        Scenario("jitter_high", lambda: build_model(0.9)),
+    ]
+    series = scenario_series(scenarios, "timeout",
+                             point=(60.0,), hazard="false_failover",
+                             points=7)
+    for name, curve in sorted(series.items()):
+        rendered = "  ".join(f"{x:.0f}:{y:.3f}" for x, y in curve)
+        print(f"   {name:<12s} {rendered}")
+
+
+if __name__ == "__main__":
+    main()

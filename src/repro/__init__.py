@@ -1,0 +1,32 @@
+"""repro — Safety Optimization (Ortmeier & Reif, DSN 2004).
+
+A complete implementation of *safety optimization*: quantitative fault
+tree analysis extended with constraint probabilities and parameterized
+probabilities, combined with mathematical optimization of a hazard cost
+function, plus the Elbtunnel height-control case study the paper
+evaluates on.
+
+Quickstart::
+
+    from repro.elbtunnel import build_safety_model
+    from repro.core import SafetyOptimizer
+
+    model = build_safety_model()
+    result = SafetyOptimizer(model).optimize("zoom")
+    print(result.summary())
+
+Subpackages
+-----------
+``repro.core``       safety optimization (the paper's contribution)
+``repro.fta``        fault tree analysis substrate
+``repro.bdd``        ROBDD engine for exact quantification
+``repro.stats``      distributions, reliability models, estimation
+``repro.opt``        optimization algorithms over compact boxes
+``repro.sim``        discrete-event simulation and Monte Carlo engines
+``repro.elbtunnel``  the Elbtunnel case study
+``repro.viz``        ASCII tables and plots for benchmark reports
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,34 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+Fault trees are monotone Boolean functions of their primary failures; BDDs
+give a canonical representation from which the *exact* top-event probability
+(no rare-event approximation, no independence-order truncation) and the
+complete set of minimal cut sets can be computed.  The paper's standard
+formula (Eq. 1) "neglects second and higher-order terms"; this engine is the
+reference against which that approximation's error is measured
+(benchmark A2).
+
+The implementation is a classic unique-table/compute-table ROBDD:
+
+* :class:`BDDManager` owns the node store and variable order,
+* boolean operations go through Shannon-expansion ``apply`` with
+  memoization,
+* :func:`~repro.bdd.prob.probability` evaluates the function's satisfaction
+  probability given independent variable probabilities in one
+  bottom-up pass,
+* :func:`~repro.bdd.mcs.minimal_cut_sets` extracts prime implicants of the
+  monotone function via Rauzy's minimal-solutions construction.
+"""
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
+from repro.bdd.mcs import minimal_cut_sets
+from repro.bdd.prob import probability
+
+__all__ = [
+    "BDDManager",
+    "Node",
+    "TRUE",
+    "FALSE",
+    "probability",
+    "minimal_cut_sets",
+]

@@ -1,0 +1,324 @@
+"""ROBDD node store with unique and compute tables.
+
+Nodes are interned: structurally identical nodes are the same object, so
+equality is identity and the diagram is canonical for a fixed variable
+order.  Terminals are the module-level singletons :data:`TRUE` and
+:data:`FALSE`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BDDError
+
+
+class Node:
+    """A BDD node: terminal or ``(var, low, high)`` decision node.
+
+    ``var`` is the variable index in the manager's order (lower index =
+    closer to the root).  ``low`` is the cofactor for ``var = 0``, ``high``
+    for ``var = 1``.  Terminals carry ``var = None`` and a boolean
+    ``value``.
+    """
+
+    __slots__ = ("var", "low", "high", "value")
+
+    def __init__(self, var: Optional[int], low: Optional["Node"],
+                 high: Optional["Node"], value: Optional[bool] = None):
+        self.var = var
+        self.low = low
+        self.high = high
+        self.value = value
+
+    @property
+    def is_terminal(self) -> bool:
+        """True for the TRUE/FALSE leaves."""
+        return self.var is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_terminal:
+            return f"<{'TRUE' if self.value else 'FALSE'}>"
+        return f"<Node var={self.var}>"
+
+
+TRUE = Node(None, None, None, True)
+FALSE = Node(None, None, None, False)
+
+
+class BDDManager:
+    """Owns variable ordering and node interning for one family of BDDs.
+
+    Variables are registered by name with :meth:`add_var` (or implicitly by
+    :meth:`var`); their registration order is the BDD order.  All boolean
+    connectives are provided, each memoized in a per-manager compute table.
+    """
+
+    def __init__(self):
+        self._unique: Dict[Tuple[int, int, int], Node] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], Node] = {}
+        self._not_cache: Dict[int, Node] = {}
+        self._var_names: List[str] = []
+        self._var_index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its order index."""
+        if name in self._var_index:
+            return self._var_index[name]
+        index = len(self._var_names)
+        self._var_names.append(name)
+        self._var_index[name] = index
+        return index
+
+    def var(self, name: str) -> Node:
+        """Return the BDD of the single variable ``name``."""
+        index = self.add_var(name)
+        return self._mk(index, FALSE, TRUE)
+
+    def var_name(self, index: int) -> str:
+        """Return the name of the variable at order position ``index``."""
+        try:
+            return self._var_names[index]
+        except IndexError:
+            raise BDDError(f"no variable with index {index}") from None
+
+    @property
+    def var_count(self) -> int:
+        """Number of registered variables."""
+        return len(self._var_names)
+
+    @property
+    def node_count(self) -> int:
+        """Number of live interned decision nodes (terminals excluded)."""
+        return len(self._unique)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: Node, high: Node) -> Node:
+        if low is high:
+            return low
+        key = (var, id(low), id(high))
+        node = self._unique.get(key)
+        if node is None:
+            node = Node(var, low, high)
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+    def apply_and(self, a: Node, b: Node) -> Node:
+        """Conjunction of two BDDs."""
+        return self._apply("and", a, b)
+
+    def apply_or(self, a: Node, b: Node) -> Node:
+        """Disjunction of two BDDs."""
+        return self._apply("or", a, b)
+
+    def apply_xor(self, a: Node, b: Node) -> Node:
+        """Exclusive or of two BDDs."""
+        return self._apply("xor", a, b)
+
+    def negate(self, a: Node) -> Node:
+        """Negation of a BDD."""
+        if a is TRUE:
+            return FALSE
+        if a is FALSE:
+            return TRUE
+        cached = self._not_cache.get(id(a))
+        if cached is not None:
+            return cached
+        result = self._mk(a.var, self.negate(a.low), self.negate(a.high))
+        self._not_cache[id(a)] = result
+        return result
+
+    def and_all(self, nodes) -> Node:
+        """Conjunction of an iterable of BDDs (TRUE when empty)."""
+        result = TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+        return result
+
+    def or_all(self, nodes) -> Node:
+        """Disjunction of an iterable of BDDs (FALSE when empty)."""
+        result = FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+        return result
+
+    def ite(self, cond: Node, then: Node, otherwise: Node) -> Node:
+        """If-then-else composition ``cond ? then : otherwise``."""
+        return self.apply_or(self.apply_and(cond, then),
+                             self.apply_and(self.negate(cond), otherwise))
+
+    def at_least(self, k: int, nodes: List[Node]) -> Node:
+        """K-of-N combination: true when at least ``k`` inputs are true.
+
+        Implemented by dynamic programming over the inputs, which keeps
+        the intermediate diagram count at ``O(n * k)`` applies.
+        """
+        n = len(nodes)
+        if k <= 0:
+            return TRUE
+        if k > n:
+            return FALSE
+        # state[j] = BDD of "at least j of the inputs seen so far are true"
+        state = [TRUE] + [FALSE] * k
+        for node in nodes:
+            for j in range(k, 0, -1):
+                state[j] = self.apply_or(
+                    state[j], self.apply_and(state[j - 1], node))
+        return state[k]
+
+    def _apply(self, op: str, a: Node, b: Node) -> Node:
+        terminal = self._apply_terminal(op, a, b)
+        if terminal is not None:
+            return terminal
+        key = (op, id(a), id(b))
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        # Shannon expansion on the top-most variable of the two operands.
+        a_var = a.var if not a.is_terminal else None
+        b_var = b.var if not b.is_terminal else None
+        if b_var is None or (a_var is not None and a_var < b_var):
+            var = a_var
+            a_low, a_high = a.low, a.high
+            b_low, b_high = b, b
+        elif a_var is None or b_var < a_var:
+            var = b_var
+            a_low, a_high = a, a
+            b_low, b_high = b.low, b.high
+        else:
+            var = a_var
+            a_low, a_high = a.low, a.high
+            b_low, b_high = b.low, b.high
+        result = self._mk(var,
+                          self._apply(op, a_low, b_low),
+                          self._apply(op, a_high, b_high))
+        self._apply_cache[key] = result
+        return result
+
+    @staticmethod
+    def _apply_terminal(op: str, a: Node, b: Node) -> Optional[Node]:
+        if op == "and":
+            if a is FALSE or b is FALSE:
+                return FALSE
+            if a is TRUE:
+                return b
+            if b is TRUE:
+                return a
+            if a is b:
+                return a
+        elif op == "or":
+            if a is TRUE or b is TRUE:
+                return TRUE
+            if a is FALSE:
+                return b
+            if b is FALSE:
+                return a
+            if a is b:
+                return a
+        elif op == "xor":
+            if a is b:
+                return FALSE
+            if a is FALSE:
+                return b
+            if b is FALSE:
+                return a
+            if a is TRUE and b is TRUE:
+                return FALSE
+        else:
+            raise BDDError(f"unknown boolean operation {op!r}")
+        return None
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def restrict(self, node: Node, var_name: str, value: bool) -> Node:
+        """Cofactor: fix ``var_name`` to ``value`` and simplify."""
+        if var_name not in self._var_index:
+            raise BDDError(f"unknown variable {var_name!r}")
+        index = self._var_index[var_name]
+        cache: Dict[int, Node] = {}
+
+        def walk(n: Node) -> Node:
+            if n.is_terminal or n.var > index:
+                return n
+            hit = cache.get(id(n))
+            if hit is not None:
+                return hit
+            if n.var == index:
+                result = n.high if value else n.low
+            else:
+                result = self._mk(n.var, walk(n.low), walk(n.high))
+            cache[id(n)] = result
+            return result
+
+        return walk(node)
+
+    def support(self, node: Node) -> set:
+        """Return the set of variable names the function depends on."""
+        names = set()
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.is_terminal or id(n) in seen:
+                continue
+            seen.add(id(n))
+            names.add(self._var_names[n.var])
+            stack.append(n.low)
+            stack.append(n.high)
+        return names
+
+    def size(self, node: Node) -> int:
+        """Number of decision nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        count = 0
+        while stack:
+            n = stack.pop()
+            if n.is_terminal or id(n) in seen:
+                continue
+            seen.add(id(n))
+            count += 1
+            stack.append(n.low)
+            stack.append(n.high)
+        return count
+
+    def evaluate(self, node: Node, assignment: Dict[str, bool]) -> bool:
+        """Evaluate the function for a full variable assignment."""
+        current = node
+        while not current.is_terminal:
+            name = self._var_names[current.var]
+            try:
+                bit = assignment[name]
+            except KeyError:
+                raise BDDError(
+                    f"assignment missing variable {name!r}") from None
+            current = current.high if bit else current.low
+        return bool(current.value)
+
+    def sat_count(self, node: Node) -> int:
+        """Number of satisfying assignments over all registered variables."""
+        total_vars = self.var_count
+        cache: Dict[int, int] = {}
+
+        def walk(n: Node, depth: int) -> int:
+            if n is TRUE:
+                return 2 ** (total_vars - depth)
+            if n is FALSE:
+                return 0
+            key = id(n)
+            hit = cache.get(key)
+            if hit is None:
+                hit = walk(n.low, n.var + 1) + walk(n.high, n.var + 1)
+                cache[key] = hit
+            return hit * 2 ** (n.var - depth)
+
+        return walk(node, 0)

@@ -1,0 +1,69 @@
+"""Minimal cut set extraction from a BDD (Rauzy's minimal solutions).
+
+For a *monotone* (coherent) function — which every AND/OR/K-of-N fault tree
+is — the prime implicants are exactly the minimal cut sets.  They are
+obtained from the BDD by the classic ``minsol`` construction: at each node,
+solutions of the high branch that are already solutions of the low branch
+need not assert the node's variable; the remainder do.
+
+The result is canonical: a sorted list of frozensets of variable names.
+:mod:`repro.fta.cutsets` (MOCUS) must agree with this module on every tree —
+that cross-check is both a test and a benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
+
+
+def minimal_cut_sets(manager: BDDManager,
+                     node: Node) -> List[FrozenSet[str]]:
+    """Return the minimal cut sets of a monotone function as frozensets.
+
+    The function must be coherent (built from AND/OR/K-of-N over positive
+    literals); behaviour on non-monotone functions is the minimal
+    *solutions* of the BDD, which may not be prime implicants.
+    """
+    cache: Dict[int, Set[FrozenSet[str]]] = {}
+
+    def walk(n: Node) -> Set[FrozenSet[str]]:
+        if n is TRUE:
+            return {frozenset()}
+        if n is FALSE:
+            return set()
+        hit = cache.get(id(n))
+        if hit is not None:
+            return hit
+        name = manager.var_name(n.var)
+        low_sets = walk(n.low)
+        high_sets = walk(n.high)
+        # Solutions of the low branch are solutions regardless of this
+        # variable.  Solutions of the high branch require the variable
+        # unless some low-branch solution already covers them.
+        result: Set[FrozenSet[str]] = set(low_sets)
+        for cut in high_sets:
+            extended = cut | {name}
+            if not _is_superset_of_any(extended, low_sets):
+                result.add(extended)
+        result = _minimize(result)
+        cache[id(n)] = result
+        return result
+
+    return sorted(walk(node), key=lambda cs: (len(cs), sorted(cs)))
+
+
+def _is_superset_of_any(candidate: FrozenSet[str],
+                        sets: Set[FrozenSet[str]]) -> bool:
+    return any(existing <= candidate for existing in sets)
+
+
+def _minimize(sets: Set[FrozenSet[str]]) -> Set[FrozenSet[str]]:
+    """Remove any set that is a strict superset of another (absorption)."""
+    ordered = sorted(sets, key=len)
+    kept: List[FrozenSet[str]] = []
+    for cut in ordered:
+        if not any(existing < cut or existing == cut for existing in kept):
+            kept.append(cut)
+    return set(kept)

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper names "intuitive tool support" as a key feature for industrial
+application (Sect. V); this CLI exposes the library's main workflows
+without writing Python:
+
+* ``study``     — the full Elbtunnel reproduction summary
+* ``optimize``  — optimize the Elbtunnel timers with a chosen method
+* ``fig5``      — render the Fig. 5 cost surface
+* ``fig6``      — render the Fig. 6 false-alarm curves
+* ``cutsets``   — minimal cut sets of a built-in or JSON fault tree
+* ``report``    — full quantitative FTA report of a JSON fault tree
+* ``simulate``  — run the traffic simulation for a design variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Safety optimization: fault tree analysis combined "
+                    "with mathematical optimization (DSN 2004 "
+                    "reproduction).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("study", help="full Elbtunnel reproduction summary")
+
+    optimize = sub.add_parser("optimize",
+                              help="optimize the Elbtunnel timers")
+    optimize.add_argument("--method", default="zoom",
+                          help="optimization method (default: zoom)")
+
+    fig5 = sub.add_parser("fig5", help="render the Fig. 5 cost surface")
+    fig5.add_argument("--points", type=int, default=13,
+                      help="grid resolution per axis")
+
+    fig6 = sub.add_parser("fig6",
+                          help="render the Fig. 6 false-alarm curves")
+    fig6.add_argument("--points", type=int, default=21,
+                      help="samples per curve")
+
+    cutsets = sub.add_parser("cutsets",
+                             help="minimal cut sets of a fault tree")
+    cutsets.add_argument("--tree",
+                         choices=["fig2", "collision", "false-alarm"],
+                         default="fig2",
+                         help="built-in Elbtunnel tree (default: fig2)")
+    cutsets.add_argument("--file", help="JSON fault tree file instead")
+
+    report = sub.add_parser("report",
+                            help="quantitative FTA report of a JSON tree")
+    report.add_argument("file", help="JSON fault tree file")
+    report.add_argument("--top", type=int, default=10,
+                        help="cut sets / events to show")
+
+    simulate = sub.add_parser("simulate",
+                              help="run the Elbtunnel traffic simulation")
+    simulate.add_argument("--variant",
+                          choices=["without_LB4", "with_LB4",
+                                   "lb_at_odfinal"],
+                          default="without_LB4")
+    simulate.add_argument("--days", type=float, default=90.0,
+                          help="simulated duration in days")
+    simulate.add_argument("--timer2", type=float, default=15.6,
+                          help="runtime of timer 2 in minutes")
+    simulate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        handler = _HANDLERS[args.command]
+        handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_study(args) -> None:
+    from repro.elbtunnel import full_study
+    print(full_study().summary())
+
+
+def _cmd_optimize(args) -> None:
+    from repro.elbtunnel import optimum_study
+    print(optimum_study(method=args.method).summary())
+
+
+def _cmd_fig5(args) -> None:
+    from repro.elbtunnel import fig5_surface
+    from repro.viz import format_surface
+    surface = fig5_surface(points=args.points)
+    print(format_surface(surface.t1_values, surface.t2_values,
+                         surface.cost,
+                         title="Fig. 5 — f_cost(T1 rows, T2 columns)"))
+
+
+def _cmd_fig6(args) -> None:
+    from repro.elbtunnel import fig6_series
+    from repro.viz import format_series, line_chart
+    series = fig6_series(points=args.points)
+    print(line_chart(series, y_min=0.0, y_max=1.0,
+                     title="Fig. 6 — P(false alarm | correct OHV) "
+                           "vs. T2 [min]"))
+    print()
+    print(format_series(series, title="Values"))
+
+
+def _load_tree(args):
+    from repro.elbtunnel import (
+        collision_fault_tree,
+        false_alarm_fault_tree,
+        fig2_fault_tree,
+    )
+    from repro.fta import tree_from_json
+    if getattr(args, "file", None):
+        with open(args.file) as handle:
+            return tree_from_json(handle.read())
+    builders = {"fig2": fig2_fault_tree,
+                "collision": collision_fault_tree,
+                "false-alarm": false_alarm_fault_tree}
+    return builders[args.tree]()
+
+
+def _cmd_cutsets(args) -> None:
+    from repro.fta import mocus
+    from repro.viz import format_table
+    tree = _load_tree(args)
+    cut_sets = mocus(tree)
+    print(format_table(
+        ["minimal cut set", "order"],
+        [[str(cs), cs.order] for cs in cut_sets],
+        title=f"Minimal cut sets of {tree.name!r} "
+              f"({len(cut_sets.single_points_of_failure)} single points "
+              "of failure)"))
+
+
+def _cmd_report(args) -> None:
+    from repro.fta import tree_from_json
+    from repro.fta.reporting import analyze
+    with open(args.file) as handle:
+        tree = tree_from_json(handle.read())
+    print(analyze(tree).to_text(top=args.top))
+
+
+def _cmd_simulate(args) -> None:
+    from repro.elbtunnel import (
+        DesignVariant,
+        SimulationConfig,
+        TrafficConfig,
+        simulate,
+    )
+    config = SimulationConfig(
+        duration=60.0 * 24 * args.days, timer1=30.0, timer2=args.timer2,
+        variant=DesignVariant(args.variant),
+        traffic=TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
+                              hv_odfinal_rate=0.13),
+        seed=args.seed)
+    result = simulate(config)
+    lo, hi = result.correct_ohv_alarm_ci()
+    print(f"variant          : {args.variant}")
+    print(f"simulated        : {args.days:g} days, "
+          f"{result.ohvs_total} OHVs, {result.hv_crossings} HV crossings")
+    print(f"false alarms     : {result.false_alarms}")
+    print(f"collisions       : {result.collisions}")
+    print(f"P(alarm|OHV)     : {result.correct_ohv_alarm_fraction:.4f} "
+          f"[{lo:.4f}, {hi:.4f}]")
+
+
+_HANDLERS = {
+    "study": _cmd_study,
+    "optimize": _cmd_optimize,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "cutsets": _cmd_cutsets,
+    "report": _cmd_report,
+    "simulate": _cmd_simulate,
+}
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

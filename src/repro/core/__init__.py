@@ -1,0 +1,96 @@
+"""Safety optimization — the paper's contribution (Sect. III).
+
+Wire a fault-tree (or closed-form) hazard model with parameterized
+probabilities, a cost model, and a compact parameter space into a
+:class:`SafetyModel`; run :class:`SafetyOptimizer` to find the optimal
+configuration; use the sensitivity, scenario and trade-off tools to probe
+how robust that optimum is.
+"""
+
+from repro.core.cost import CostModel, HazardCost
+from repro.core.model import (
+    FaultTreeHazard,
+    FormulaHazard,
+    HazardModel,
+    SafetyModel,
+)
+from repro.core.optimizer import (
+    HazardComparison,
+    SafetyOptimizationResult,
+    SafetyOptimizer,
+)
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.core.parametric import (
+    ParametricProbability,
+    as_parametric,
+    constant,
+    exceedance,
+    from_cdf,
+    from_function,
+    from_model,
+    from_table,
+    scaled,
+)
+from repro.core.report import markdown_report
+from repro.core.scenarios import Scenario, compare_scenarios, scenario_series
+from repro.core.sensitivity import (
+    TornadoBar,
+    local_sensitivities,
+    parameter_sweep,
+    sweep,
+    tornado,
+)
+from repro.core.tradeoff import (
+    OppositionReport,
+    cost_ratio_sensitivity,
+    hazard_front,
+    hazards_opposed,
+)
+from repro.core.uncertainty import (
+    UncertaintyResult,
+    latin_hypercube,
+    propagate,
+    propagate_many,
+    sobol_first_order,
+)
+
+__all__ = [
+    "Parameter",
+    "ParameterSpace",
+    "ParametricProbability",
+    "as_parametric",
+    "constant",
+    "from_function",
+    "from_cdf",
+    "exceedance",
+    "from_model",
+    "from_table",
+    "scaled",
+    "HazardCost",
+    "CostModel",
+    "HazardModel",
+    "FormulaHazard",
+    "FaultTreeHazard",
+    "SafetyModel",
+    "SafetyOptimizer",
+    "SafetyOptimizationResult",
+    "HazardComparison",
+    "local_sensitivities",
+    "tornado",
+    "TornadoBar",
+    "sweep",
+    "parameter_sweep",
+    "Scenario",
+    "compare_scenarios",
+    "scenario_series",
+    "hazards_opposed",
+    "OppositionReport",
+    "hazard_front",
+    "cost_ratio_sensitivity",
+    "UncertaintyResult",
+    "latin_hypercube",
+    "propagate",
+    "propagate_many",
+    "sobol_first_order",
+    "markdown_report",
+]

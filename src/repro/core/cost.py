@@ -1,0 +1,100 @@
+"""Cost functions over hazards (paper Sect. III-A).
+
+The cost function "describes the total costs that all hazards together
+cause in average to the operator": a weighted sum of hazard probabilities,
+the weights being each hazard's assessed cost (paper Eq. 5/6).  The
+Elbtunnel weighting is ``Cost(collision) = 100000 * Cost(false alarm)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class HazardCost:
+    """The assessed cost of one hazard occurrence.
+
+    ``cost`` is in arbitrary but consistent units (the paper notes the
+    common if uncomfortable practice of using cash); only ratios between
+    hazards matter for the location of the optimum.
+    """
+
+    hazard: str
+    cost: float
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.hazard:
+            raise ModelError("hazard name must be non-empty")
+        if self.cost < 0.0:
+            raise ModelError(
+                f"cost of {self.hazard!r} must be >= 0, got {self.cost}")
+
+
+class CostModel:
+    """A weighted-sum cost model over a set of hazards.
+
+    ``mean_cost`` evaluates paper Eq. 5:
+    ``f_cost = sum_i Cost_Hi * P(Hi)``.
+    """
+
+    def __init__(self, hazard_costs: Iterable[HazardCost]):
+        costs = list(hazard_costs)
+        if not costs:
+            raise ModelError("cost model needs at least one hazard cost")
+        names = [c.hazard for c in costs]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate hazard names in cost model: {names}")
+        self._costs: Dict[str, HazardCost] = {c.hazard: c for c in costs}
+
+    @property
+    def hazards(self) -> List[str]:
+        """Hazard names covered by this cost model."""
+        return list(self._costs)
+
+    def cost_of(self, hazard: str) -> float:
+        """The per-occurrence cost of one hazard."""
+        try:
+            return self._costs[hazard].cost
+        except KeyError:
+            raise ModelError(
+                f"no cost assessed for hazard {hazard!r}") from None
+
+    def mean_cost(self, hazard_probabilities: Dict[str, float]) -> float:
+        """Expected cost for given hazard probabilities (paper Eq. 5).
+
+        Every hazard in the model must be present; extra entries are
+        rejected to catch wiring mistakes early.
+        """
+        missing = set(self._costs) - set(hazard_probabilities)
+        if missing:
+            raise ModelError(
+                f"missing hazard probabilities for {sorted(missing)}")
+        extra = set(hazard_probabilities) - set(self._costs)
+        if extra:
+            raise ModelError(
+                f"no cost assessed for hazards {sorted(extra)}")
+        total = 0.0
+        for name, probability in hazard_probabilities.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ModelError(
+                    f"probability of {name!r} must be in [0, 1], "
+                    f"got {probability}")
+            total += self._costs[name].cost * probability
+        return total
+
+    def contributions(self, hazard_probabilities: Dict[str, float]
+                      ) -> Dict[str, float]:
+        """Per-hazard cost contributions (same validation as mean_cost)."""
+        self.mean_cost(hazard_probabilities)  # validate
+        return {name: self._costs[name].cost * p
+                for name, p in hazard_probabilities.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.hazard}={c.cost:g}"
+                          for c in self._costs.values())
+        return f"CostModel({inner})"

@@ -1,0 +1,140 @@
+"""Free parameters of a system and their compact domains.
+
+"Many real world applications have free parameters, which influence safety
+requirements: the tolerance of a speed indicator, accepted time delay
+between request and answers or the average maintenance interval" (Sect. I).
+A :class:`Parameter` is one such quantity with a compact interval domain
+(the paper's restriction guaranteeing the minimum exists); a
+:class:`ParameterSpace` is the ordered collection of them, convertible to
+an optimization :class:`~repro.opt.problem.Box` and back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.opt.problem import Box, Vector
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named free parameter over a compact interval.
+
+    ``default`` is the configuration in use before optimization (e.g. the
+    engineers' 30-minute timer guess) — the baseline every improvement is
+    reported against.
+    """
+
+    name: str
+    lower: float
+    upper: float
+    default: float = math.nan
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ModelError("parameter name must be non-empty")
+        if not (math.isfinite(self.lower) and math.isfinite(self.upper)):
+            raise ModelError(
+                f"parameter {self.name!r} needs a compact (finite) domain")
+        if not self.lower < self.upper:
+            raise ModelError(
+                f"parameter {self.name!r} needs lower < upper, got "
+                f"[{self.lower}, {self.upper}]")
+        if not math.isnan(self.default) and not \
+                self.lower <= self.default <= self.upper:
+            raise ModelError(
+                f"default of {self.name!r} must lie in "
+                f"[{self.lower}, {self.upper}], got {self.default}")
+
+    @property
+    def has_default(self) -> bool:
+        """True when a baseline configuration value was given."""
+        return not math.isnan(self.default)
+
+    def clamp(self, value: float) -> float:
+        """Clamp ``value`` into the parameter's domain."""
+        return min(max(value, self.lower), self.upper)
+
+
+class ParameterSpace:
+    """An ordered collection of parameters (the optimization domain)."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        if not parameters:
+            raise ModelError("parameter space must not be empty")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate parameter names in {names}")
+        self._parameters: List[Parameter] = list(parameters)
+        self._index: Dict[str, int] = {p.name: i
+                                       for i, p in enumerate(parameters)}
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters)
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._parameters[self._index[name]]
+        except KeyError:
+            raise ModelError(f"unknown parameter {name!r}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Parameter names in declaration order."""
+        return tuple(p.name for p in self._parameters)
+
+    def box(self) -> Box:
+        """The optimization box (product of the parameter intervals)."""
+        return Box([(p.lower, p.upper) for p in self._parameters])
+
+    def defaults(self) -> Vector:
+        """The baseline configuration vector.
+
+        Raises :class:`ModelError` when any parameter lacks a default.
+        """
+        missing = [p.name for p in self._parameters if not p.has_default]
+        if missing:
+            raise ModelError(
+                f"parameters without defaults: {', '.join(missing)}")
+        return tuple(p.default for p in self._parameters)
+
+    def to_dict(self, point: Sequence[float]) -> Dict[str, float]:
+        """Convert a vector into a name->value mapping (validated)."""
+        if len(point) != len(self._parameters):
+            raise ModelError(
+                f"point has {len(point)} components for "
+                f"{len(self._parameters)} parameters")
+        values = {}
+        for parameter, value in zip(self._parameters, point):
+            if not parameter.lower - 1e-9 <= value <= parameter.upper + 1e-9:
+                raise ModelError(
+                    f"value {value} of {parameter.name!r} outside "
+                    f"[{parameter.lower}, {parameter.upper}]")
+            values[parameter.name] = float(value)
+        return values
+
+    def to_vector(self, values: Dict[str, float]) -> Vector:
+        """Convert a name->value mapping into an ordered vector."""
+        unknown = set(values) - set(self._index)
+        if unknown:
+            raise ModelError(f"unknown parameters: {sorted(unknown)}")
+        missing = set(self._index) - set(values)
+        if missing:
+            raise ModelError(f"missing parameters: {sorted(missing)}")
+        return tuple(float(values[name]) for name in self.names)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{p.name}[{p.lower:g}..{p.upper:g}]" for p in self._parameters)
+        return f"ParameterSpace({inner})"

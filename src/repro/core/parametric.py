@@ -1,0 +1,218 @@
+"""Parameterized probabilities (paper Sect. II-D.2) as composable objects.
+
+A :class:`ParametricProbability` is the paper's functional mapping
+``P(PF): Domain(X) -> [0, 1]`` — a probability that depends on named free
+parameters.  Instances compose under the independence algebra:
+
+* ``a & b``   — both occur:      ``P = a * b``
+* ``a | b``   — at least one:    ``P = 1 - (1-a)(1-b)``
+* ``~a``      — complement:      ``P = 1 - a``
+* ``a + b``   — rare-event sum (clipped at 1) — the paper's Eq. 3/4 shape
+* ``a * b``   — plain product (alias of ``&`` for independent events)
+
+Constructors cover the idioms of Sect. IV-C:
+
+* :func:`constant` — a fixed probability (the paper's ``Pconst1/2``),
+* :func:`from_cdf` — ``P(X <= T)`` of a driving-time distribution,
+* :func:`exceedance` — ``P(X > T)``, the overtime probabilities
+  ``P(OT1)(T1) = 1 - P_OHV(Time <= T1)``,
+* :func:`from_model` — any :class:`~repro.stats.reliability.ReliabilityModel`
+  applied to one parameter (exposure windows etc.),
+* :func:`from_function` — escape hatch for arbitrary formulas.
+
+Every instance declares which parameters it reads, so a
+:class:`~repro.core.model.SafetyModel` can check hazard/parameter wiring
+statically (the paper's footnote 2: "not every hazard depends on all free
+parameters, but rather only on a subset").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable
+
+from repro.errors import ModelError
+from repro.stats.distributions import Distribution
+from repro.stats.reliability import ReliabilityModel
+
+Values = Dict[str, float]
+
+
+class ParametricProbability:
+    """A probability as a function of named free parameters."""
+
+    def __init__(self, fn: Callable[[Values], float],
+                 parameters: Iterable[str], label: str = ""):
+        self._fn = fn
+        self.parameters: FrozenSet[str] = frozenset(parameters)
+        self.label = label or "p(" + ", ".join(sorted(self.parameters)) + ")"
+
+    def __call__(self, values: Values) -> float:
+        missing = self.parameters - set(values)
+        if missing:
+            raise ModelError(
+                f"{self.label}: missing parameter values for "
+                f"{sorted(missing)}")
+        p = float(self._fn(values))
+        # Clamp tiny numerical excursions; reject real violations.
+        if -1e-9 <= p < 0.0:
+            return 0.0
+        if 1.0 < p <= 1.0 + 1e-9:
+            return 1.0
+        if not 0.0 <= p <= 1.0:
+            raise ModelError(
+                f"{self.label} produced {p}, outside [0, 1], "
+                f"at {dict(sorted(values.items()))}")
+        return p
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __and__(self, other: "ParametricProbability") \
+            -> "ParametricProbability":
+        other = as_parametric(other)
+        return ParametricProbability(
+            lambda v: self(v) * other(v),
+            self.parameters | other.parameters,
+            f"({self.label} & {other.label})")
+
+    def __or__(self, other: "ParametricProbability") \
+            -> "ParametricProbability":
+        other = as_parametric(other)
+        return ParametricProbability(
+            lambda v: 1.0 - (1.0 - self(v)) * (1.0 - other(v)),
+            self.parameters | other.parameters,
+            f"({self.label} | {other.label})")
+
+    def __invert__(self) -> "ParametricProbability":
+        return ParametricProbability(
+            lambda v: 1.0 - self(v), self.parameters, f"~{self.label}")
+
+    def __add__(self, other) -> "ParametricProbability":
+        other = as_parametric(other)
+        return ParametricProbability(
+            lambda v: min(1.0, self(v) + other(v)),
+            self.parameters | other.parameters,
+            f"({self.label} + {other.label})")
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "ParametricProbability":
+        other = as_parametric(other)
+        return ParametricProbability(
+            lambda v: self(v) * other(v),
+            self.parameters | other.parameters,
+            f"({self.label} * {other.label})")
+
+    __rmul__ = __mul__
+
+    def rename(self, label: str) -> "ParametricProbability":
+        """Return the same probability with a new display label."""
+        return ParametricProbability(self._fn, self.parameters, label)
+
+    def __repr__(self) -> str:
+        return f"ParametricProbability({self.label})"
+
+
+def as_parametric(value) -> ParametricProbability:
+    """Coerce floats to :func:`constant`; pass instances through."""
+    if isinstance(value, ParametricProbability):
+        return value
+    if isinstance(value, (int, float)):
+        return constant(float(value))
+    raise ModelError(
+        f"cannot interpret {value!r} as a parametric probability")
+
+
+def constant(p: float, label: str = "") -> ParametricProbability:
+    """A parameter-independent probability (the paper's ``Pconst``)."""
+    if not 0.0 <= p <= 1.0:
+        raise ModelError(f"constant probability must be in [0, 1], got {p}")
+    return ParametricProbability(
+        lambda _v: p, frozenset(), label or f"{p:g}")
+
+
+def from_function(fn: Callable[[Values], float], parameters: Iterable[str],
+                  label: str = "") -> ParametricProbability:
+    """Wrap an arbitrary ``values -> probability`` function."""
+    return ParametricProbability(fn, parameters, label)
+
+
+def from_cdf(distribution: Distribution, parameter: str,
+             label: str = "") -> ParametricProbability:
+    """``P(X <= x)`` where ``x`` is the named free parameter.
+
+    E.g. the probability that an OHV clears a zone within the timer
+    runtime: ``from_cdf(TruncatedNormal(4, 2), "T1")``.
+    """
+    return ParametricProbability(
+        lambda v: distribution.cdf(v[parameter]), {parameter},
+        label or f"P(X<= {parameter})")
+
+
+def exceedance(distribution: Distribution, parameter: str,
+               label: str = "") -> ParametricProbability:
+    """``P(X > x)`` — the overtime probability ``1 - cdf`` (paper Eq. for
+    ``P(OT1)(T1)``)."""
+    return ParametricProbability(
+        lambda v: distribution.sf(v[parameter]), {parameter},
+        label or f"P(X> {parameter})")
+
+
+def from_model(model: ReliabilityModel, parameter: str,
+               label: str = "") -> ParametricProbability:
+    """Apply a reliability model to one named parameter.
+
+    E.g. ``from_model(ExposureWindowModel(rate), "T2")`` is the
+    probability that a spurious event falls into an active window of
+    length ``T2``.
+    """
+    return ParametricProbability(
+        lambda v: model(v[parameter]), {parameter},
+        label or f"{type(model).__name__}({parameter})")
+
+
+def from_table(points, parameter: str,
+               label: str = "") -> ParametricProbability:
+    """Piecewise-linear probability from measured (x, p) pairs.
+
+    The practical escape hatch when no closed-form model fits: feed in
+    an empirically measured curve (e.g. alarm fraction per tested timer
+    setting) and interpolate.  Outside the table the nearest endpoint is
+    held (no extrapolation).  Points are sorted by x; duplicate x values
+    and out-of-range probabilities are rejected.
+    """
+    table = sorted((float(x), float(p)) for x, p in points)
+    if len(table) < 2:
+        raise ModelError("table needs at least two points")
+    xs = [x for x, _p in table]
+    if len(set(xs)) != len(xs):
+        raise ModelError("table has duplicate x values")
+    for _x, p in table:
+        if not 0.0 <= p <= 1.0:
+            raise ModelError(
+                f"table probabilities must be in [0, 1], got {p}")
+
+    def interpolate(values: Values) -> float:
+        x = values[parameter]
+        if x <= table[0][0]:
+            return table[0][1]
+        if x >= table[-1][0]:
+            return table[-1][1]
+        for (x0, p0), (x1, p1) in zip(table, table[1:]):
+            if x0 <= x <= x1:
+                frac = (x - x0) / (x1 - x0)
+                return p0 + frac * (p1 - p0)
+        raise ModelError(f"value {x} not covered")  # pragma: no cover
+
+    return ParametricProbability(interpolate, {parameter},
+                                 label or f"table({parameter})")
+
+
+def scaled(probability: ParametricProbability,
+           factor: float) -> ParametricProbability:
+    """Multiply a probability by a constant in ``[0, 1]`` (thinning)."""
+    if not 0.0 <= factor <= 1.0:
+        raise ModelError(f"scale factor must be in [0, 1], got {factor}")
+    return ParametricProbability(
+        lambda v: factor * probability(v), probability.parameters,
+        f"{factor:g}*{probability.label}")

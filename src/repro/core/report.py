@@ -1,0 +1,121 @@
+"""Markdown study reports for safety models.
+
+One call produces the document a safety engineer would circulate: the
+model inventory, the optimization outcome with baseline comparison, the
+tornado sensitivity ranking, the hazard trade-off front, and optional
+environment-scenario comparisons — the complete paper workflow
+(Sect. III + IV) rendered for humans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.model import SafetyModel
+from repro.core.optimizer import SafetyOptimizer
+from repro.core.scenarios import Scenario, compare_scenarios
+from repro.core.sensitivity import tornado
+from repro.core.tradeoff import hazard_front
+
+
+def markdown_report(model: SafetyModel, method: str = "nelder_mead",
+                    scenarios: Optional[Sequence[Scenario]] = None,
+                    front_points: int = 15,
+                    **optimize_options) -> str:
+    """Run the full study on ``model`` and render it as Markdown.
+
+    Sections: model inventory, optimization result, per-hazard risk
+    changes, tornado sensitivity, sampled Pareto front, and (when
+    ``scenarios`` are given) a cross-scenario cost comparison at the
+    found optimum.
+    """
+    result = SafetyOptimizer(model).optimize(method, **optimize_options)
+    lines: List[str] = []
+    lines.append(f"# Safety optimization report — {model.name}")
+    lines.append("")
+
+    # ------------------------------------------------------------- model
+    lines.append("## Model")
+    lines.append("")
+    lines.append("| Parameter | Domain | Baseline |")
+    lines.append("|---|---|---|")
+    for parameter in model.space:
+        baseline = f"{parameter.default:g}" if parameter.has_default \
+            else "—"
+        unit = f" {parameter.unit}" if parameter.unit else ""
+        lines.append(f"| {parameter.name} | [{parameter.lower:g}, "
+                     f"{parameter.upper:g}]{unit} | {baseline}{unit} |")
+    lines.append("")
+    lines.append("| Hazard | Cost per occurrence |")
+    lines.append("|---|---|")
+    for hazard_name in sorted(model.hazards):
+        lines.append(f"| {hazard_name} | "
+                     f"{model.cost_model.cost_of(hazard_name):g} |")
+    lines.append("")
+
+    # ------------------------------------------------------ optimization
+    lines.append(f"## Optimal configuration ({method})")
+    lines.append("")
+    point = ", ".join(
+        f"{name} = {value:.4g}"
+        for name, value in zip(model.space.names, result.optimum))
+    lines.append(f"* optimum: **{point}**")
+    lines.append(f"* expected cost: **{result.optimal_cost:.6g}**")
+    if result.baseline is not None:
+        lines.append(f"* baseline cost: {result.baseline_cost:.6g} "
+                     f"(improvement "
+                     f"{result.cost_improvement_percent:.2f} %)")
+    lines.append("")
+    lines.append("| Hazard | P at optimum | P at baseline | Change |")
+    lines.append("|---|---|---|---|")
+    if result.baseline_hazards is not None:
+        for name, cmp_ in sorted(result.hazard_comparisons().items()):
+            lines.append(
+                f"| {name} | {cmp_.optimized:.4e} | "
+                f"{cmp_.baseline:.4e} | "
+                f"{cmp_.improvement_percent:+.2f} % |")
+    else:
+        for name, p in sorted(result.hazard_probabilities.items()):
+            lines.append(f"| {name} | {p:.4e} | — | — |")
+    lines.append("")
+
+    # --------------------------------------------------------- tornado
+    lines.append("## Parameter sensitivity (tornado)")
+    lines.append("")
+    lines.append("| Parameter | Cost at lower bound | Cost at upper "
+                 "bound | Swing |")
+    lines.append("|---|---|---|---|")
+    for bar in tornado(model, point=result.optimum):
+        lines.append(f"| {bar.parameter} | {bar.cost_at_low:.6g} | "
+                     f"{bar.cost_at_high:.6g} | {bar.swing:.3g} |")
+    lines.append("")
+
+    # ------------------------------------------------------------ front
+    lines.append("## Hazard trade-off front")
+    lines.append("")
+    hazard_names = sorted(model.hazards)
+    header = " | ".join(["configuration"] +
+                        [f"P({name})" for name in hazard_names])
+    lines.append(f"| {header} |")
+    lines.append("|" + "---|" * (1 + len(hazard_names)))
+    for pareto_point in hazard_front(model, points_per_dim=front_points):
+        config = ", ".join(f"{v:.3g}" for v in pareto_point.x)
+        values = " | ".join(f"{v:.4e}"
+                            for v in pareto_point.objectives)
+        lines.append(f"| ({config}) | {values} |")
+    lines.append("")
+
+    # -------------------------------------------------------- scenarios
+    if scenarios:
+        lines.append("## Environment scenarios (cost at the optimum)")
+        lines.append("")
+        values = compare_scenarios(
+            scenarios, lambda m: m.cost(
+                m.space.box().clip(result.optimum)))
+        lines.append("| Scenario | Expected cost |")
+        lines.append("|---|---|")
+        for name, value in sorted(values.items()):
+            lines.append(f"| {name} | {value:.6g} |")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Sensitivity analysis of cost and hazard probabilities.
+
+"Even if the statistics are not very elaborate, safety optimization can
+help by giving a rough estimation about how important the different
+parameters are" (Sect. V).  This module quantifies that importance:
+
+* :func:`local_sensitivities` — partial derivatives of the cost at a
+  configuration (central finite differences),
+* :func:`tornado` — one-at-a-time parameter ranging: swing each parameter
+  over its full domain while holding the others at the study point, and
+  report the induced cost range (the classic tornado diagram data),
+* :func:`sweep` — the raw one-parameter series behind plots like the
+  paper's Fig. 6 (probability of false alarm against the runtime of
+  timer 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import SafetyModel
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class TornadoBar:
+    """One parameter's cost swing for a tornado diagram."""
+
+    parameter: str
+    low_value: float
+    high_value: float
+    cost_at_low: float
+    cost_at_high: float
+    base_cost: float
+
+    @property
+    def swing(self) -> float:
+        """Total cost range induced by this parameter alone."""
+        return abs(self.cost_at_high - self.cost_at_low)
+
+
+def local_sensitivities(model: SafetyModel, point: Sequence[float],
+                        rel_step: float = 1e-5) -> Dict[str, float]:
+    """Central-difference partial derivatives of the cost at ``point``.
+
+    Steps are relative to each parameter's domain width and clipped to the
+    domain, falling back to one-sided differences at the walls.
+    """
+    box = model.space.box()
+    x = box.clip(tuple(point))
+    base = model.cost(x)
+    result: Dict[str, float] = {}
+    for i, parameter in enumerate(model.space):
+        h = max(rel_step * (parameter.upper - parameter.lower), 1e-12)
+        up = list(x)
+        down = list(x)
+        up[i] = min(x[i] + h, parameter.upper)
+        down[i] = max(x[i] - h, parameter.lower)
+        span = up[i] - down[i]
+        if span <= 0.0:
+            result[parameter.name] = 0.0
+            continue
+        f_up = model.cost(tuple(up)) if up[i] != x[i] else base
+        f_down = model.cost(tuple(down)) if down[i] != x[i] else base
+        result[parameter.name] = (f_up - f_down) / span
+    return result
+
+
+def tornado(model: SafetyModel,
+            point: Optional[Sequence[float]] = None) -> List[TornadoBar]:
+    """One-at-a-time full-range cost swings, sorted widest first."""
+    box = model.space.box()
+    x = box.clip(tuple(point)) if point is not None \
+        else model.space.defaults()
+    base = model.cost(x)
+    bars: List[TornadoBar] = []
+    for i, parameter in enumerate(model.space):
+        low_point = list(x)
+        high_point = list(x)
+        low_point[i] = parameter.lower
+        high_point[i] = parameter.upper
+        bars.append(TornadoBar(
+            parameter=parameter.name,
+            low_value=parameter.lower, high_value=parameter.upper,
+            cost_at_low=model.cost(tuple(low_point)),
+            cost_at_high=model.cost(tuple(high_point)),
+            base_cost=base))
+    bars.sort(key=lambda b: b.swing, reverse=True)
+    return bars
+
+
+def sweep(fn: Callable[[float], float], lower: float, upper: float,
+          points: int = 50) -> List[Tuple[float, float]]:
+    """Evaluate a scalar function on an even grid; returns (x, y) pairs."""
+    if points < 2:
+        raise ModelError(f"need at least 2 points, got {points}")
+    if not lower < upper:
+        raise ModelError(f"need lower < upper, got [{lower}, {upper}]")
+    step = (upper - lower) / (points - 1)
+    return [(lower + i * step, fn(lower + i * step))
+            for i in range(points)]
+
+
+def parameter_sweep(model: SafetyModel, parameter: str,
+                    point: Sequence[float], points: int = 50,
+                    quantity: str = "cost",
+                    hazard: Optional[str] = None
+                    ) -> List[Tuple[float, float]]:
+    """Sweep one parameter over its domain, others fixed at ``point``.
+
+    ``quantity`` is ``"cost"`` or ``"hazard"`` (then ``hazard`` names which
+    one) — the latter generates exactly the series of the paper's Fig. 6.
+    """
+    if parameter not in model.space:
+        raise ModelError(f"unknown parameter {parameter!r}")
+    if quantity not in ("cost", "hazard"):
+        raise ModelError(
+            f"quantity must be 'cost' or 'hazard', got {quantity!r}")
+    if quantity == "hazard" and hazard is None:
+        raise ModelError("quantity='hazard' requires the hazard name")
+    box = model.space.box()
+    x = list(box.clip(tuple(point)))
+    index = model.space.names.index(parameter)
+    spec = model.space[parameter]
+
+    def evaluate(value: float) -> float:
+        x[index] = value
+        if quantity == "cost":
+            return model.cost(tuple(x))
+        return model.hazard_probability(hazard, tuple(x))
+
+    return sweep(evaluate, spec.lower, spec.upper, points)

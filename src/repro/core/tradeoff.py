@@ -1,0 +1,115 @@
+"""Trade-off analysis between opposed hazards.
+
+"It is clear that it is not possible to minimize both risks at the same
+time.  We could also give formal proof for this" (Sect. IV-B.1).  This
+module provides the quantitative version of that statement:
+
+* :func:`hazards_opposed` checks, over a sampled grid, whether two hazards
+  ever improve together — if their minimizers differ and no sampled point
+  dominates on both, they are genuinely opposed;
+* :func:`hazard_front` computes the sampled Pareto front between all
+  hazards of a model, exposing the full space of defensible
+  configurations instead of the single point a fixed cost ratio selects;
+* :func:`cost_ratio_sensitivity` re-optimizes under varied cost weights —
+  how far does the "optimal" timer setting move when the assessed cost of
+  a collision is 10x higher or lower?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cost import CostModel, HazardCost
+from repro.core.model import SafetyModel
+from repro.core.optimizer import SafetyOptimizer
+from repro.errors import ModelError
+from repro.opt.pareto import ParetoPoint, pareto_filter
+from repro.opt.problem import Vector
+
+
+@dataclass(frozen=True)
+class OppositionReport:
+    """Evidence that two hazards cannot be minimized simultaneously."""
+
+    hazard_a: str
+    hazard_b: str
+    argmin_a: Vector
+    argmin_b: Vector
+    opposed: bool
+
+    def __repr__(self) -> str:
+        verdict = "opposed" if self.opposed else "not opposed"
+        return (f"OppositionReport({self.hazard_a} vs {self.hazard_b}: "
+                f"{verdict})")
+
+
+def hazards_opposed(model: SafetyModel, hazard_a: str, hazard_b: str,
+                    points_per_dim: int = 15) -> OppositionReport:
+    """Check on a sampled grid whether two hazards are opposed.
+
+    Opposed means: no sampled configuration minimizes both at once — the
+    minimizer of one is strictly worse than some other point for the
+    other hazard.
+    """
+    for name in (hazard_a, hazard_b):
+        if name not in model.hazards:
+            raise ModelError(f"unknown hazard {name!r}")
+    grid = model.space.box().grid(points_per_dim)
+    values_a = [model.hazard_probability(hazard_a, x) for x in grid]
+    values_b = [model.hazard_probability(hazard_b, x) for x in grid]
+    index_a = min(range(len(grid)), key=lambda i: (values_a[i], values_b[i]))
+    index_b = min(range(len(grid)), key=lambda i: (values_b[i], values_a[i]))
+    min_a, min_b = min(values_a), min(values_b)
+    # Opposed iff no grid point attains both minima simultaneously.
+    joint = any(values_a[i] <= min_a and values_b[i] <= min_b
+                for i in range(len(grid)))
+    return OppositionReport(
+        hazard_a=hazard_a, hazard_b=hazard_b,
+        argmin_a=grid[index_a], argmin_b=grid[index_b],
+        opposed=not joint)
+
+
+def hazard_front(model: SafetyModel,
+                 points_per_dim: int = 21) -> List[ParetoPoint]:
+    """Sampled Pareto front across all hazards of the model.
+
+    Objectives are ordered by sorted hazard name (matching
+    :meth:`SafetyModel.objectives`).
+    """
+    grid = model.space.box().grid(points_per_dim)
+    points = [ParetoPoint(x, model.objectives(x)) for x in grid]
+    return pareto_filter(points)
+
+
+def cost_ratio_sensitivity(model: SafetyModel, hazard: str,
+                           factors: Sequence[float],
+                           method: str = "nelder_mead",
+                           **options) -> Dict[float, Tuple[Vector, float]]:
+    """Re-optimize with one hazard's cost scaled by each factor.
+
+    Returns ``factor -> (optimum, optimal cost)``.  Large movements of the
+    optimum under modest factor changes flag configurations that hinge on
+    contestable cost assessments.
+    """
+    if hazard not in model.hazards:
+        raise ModelError(f"unknown hazard {hazard!r}")
+    if not factors:
+        raise ModelError("need at least one cost factor")
+    results: Dict[float, Tuple[Vector, float]] = {}
+    for factor in factors:
+        if factor <= 0.0:
+            raise ModelError(f"cost factors must be > 0, got {factor}")
+        scaled_costs = [
+            HazardCost(name,
+                       model.cost_model.cost_of(name) * factor
+                       if name == hazard
+                       else model.cost_model.cost_of(name))
+            for name in model.cost_model.hazards
+        ]
+        variant = SafetyModel(model.space, model.hazards,
+                              CostModel(scaled_costs),
+                              name=f"{model.name}[{hazard}x{factor:g}]")
+        outcome = SafetyOptimizer(variant).optimize(method, **options)
+        results[factor] = (outcome.optimum, outcome.optimal_cost)
+    return results

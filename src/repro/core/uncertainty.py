@@ -1,0 +1,185 @@
+"""Uncertainty propagation through safety models.
+
+"It is our experience, that the results of this analysis depend a lot on
+how well the statistical model reflects reality" (Sect. V).  This module
+quantifies that dependence: declare distributions over the uncertain
+*inputs* of a model (accumulated constants, arrival rates, sensor fault
+probabilities), sample them, rebuild the model per sample, and report the
+induced distribution of any output — a hazard probability, the expected
+cost, or the location of the optimum itself.
+
+The result answers the review question every quantitative safety case
+faces: *if your input numbers are off by their plausible ranges, does
+the conclusion survive?*
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ModelError
+from repro.stats.distributions import Distribution
+
+#: Builds a model-output value from one concrete input sample.
+OutputFn = Callable[[Dict[str, float]], float]
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Sampled distribution of one model output."""
+
+    name: str
+    samples: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        m = self.mean
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        return (sum((x - m) ** 2 for x in self.samples) / (n - 1)) ** 0.5
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolation percentile, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ModelError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q / 100.0 * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        frac = position - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def interval(self, confidence: float = 0.90) -> Tuple[float, float]:
+        """Central credible interval from the sample percentiles."""
+        if not 0.0 < confidence < 1.0:
+            raise ModelError(
+                f"confidence must be in (0, 1), got {confidence}")
+        tail = (1.0 - confidence) / 2.0 * 100.0
+        return (self.percentile(tail), self.percentile(100.0 - tail))
+
+    def __repr__(self) -> str:
+        lo, hi = self.interval()
+        return (f"UncertaintyResult({self.name}: mean={self.mean:.4g}, "
+                f"90% interval [{lo:.4g}, {hi:.4g}], "
+                f"n={len(self.samples)})")
+
+
+def latin_hypercube(inputs: Dict[str, Distribution], samples: int,
+                    seed: int = 0) -> List[Dict[str, float]]:
+    """Latin hypercube sample of the input distributions.
+
+    Each input's quantile range is split into ``samples`` equal strata;
+    one draw per stratum, shuffled independently per input — better
+    space coverage than plain Monte Carlo at small sample counts.
+    """
+    if samples < 1:
+        raise ModelError(f"samples must be >= 1, got {samples}")
+    if not inputs:
+        raise ModelError("no uncertain inputs declared")
+    rng = random.Random(seed)
+    columns: Dict[str, List[float]] = {}
+    for name, dist in inputs.items():
+        strata = []
+        for i in range(samples):
+            u = (i + rng.random()) / samples
+            u = min(max(u, 1e-12), 1.0 - 1e-12)
+            strata.append(dist.ppf(u))
+        rng.shuffle(strata)
+        columns[name] = strata
+    return [{name: columns[name][i] for name in inputs}
+            for i in range(samples)]
+
+
+def propagate(inputs: Dict[str, Distribution], output: OutputFn,
+              samples: int = 200, seed: int = 0,
+              name: str = "output") -> UncertaintyResult:
+    """Propagate input uncertainty through ``output``.
+
+    ``output`` receives one concrete input sample (name -> value) and
+    returns the model quantity of interest — typically it rebuilds a
+    :class:`~repro.core.model.SafetyModel` from the sampled constants
+    and evaluates a cost or hazard probability.
+    """
+    draws = latin_hypercube(inputs, samples, seed)
+    values = [float(output(draw)) for draw in draws]
+    return UncertaintyResult(name=name, samples=tuple(values))
+
+
+def sobol_first_order(inputs: Dict[str, Distribution], output: OutputFn,
+                      samples: int = 1024,
+                      seed: int = 0) -> Dict[str, float]:
+    """First-order Sobol sensitivity indices (Saltelli estimator).
+
+    ``S_i = Var(E[Y | X_i]) / Var(Y)`` measures how much of the output
+    variance each uncertain input explains on its own — which of the
+    contested statistical assumptions (Sect. V) actually moves the
+    conclusion.  Uses two independent sample matrices A and B plus the
+    pick-freeze matrices ``A_B^i`` (Saltelli 2010), costing
+    ``samples * (d + 2)`` output evaluations.
+
+    Indices are clipped into [0, 1]; with ``samples`` around 1000 expect
+    absolute accuracy of a few percent on smooth models.
+    """
+    if samples < 2:
+        raise ModelError(f"samples must be >= 2, got {samples}")
+    if not inputs:
+        raise ModelError("no uncertain inputs declared")
+    rng = random.Random(seed)
+    names = list(inputs)
+
+    def draw_matrix() -> List[Dict[str, float]]:
+        rows = []
+        for _ in range(samples):
+            row = {}
+            for name in names:
+                u = min(max(rng.random(), 1e-12), 1.0 - 1e-12)
+                row[name] = inputs[name].ppf(u)
+            rows.append(row)
+        return rows
+
+    a_rows = draw_matrix()
+    b_rows = draw_matrix()
+    f_a = [float(output(row)) for row in a_rows]
+    f_b = [float(output(row)) for row in b_rows]
+    all_values = f_a + f_b
+    mean = sum(all_values) / len(all_values)
+    variance = sum((v - mean) ** 2 for v in all_values) / \
+        (len(all_values) - 1)
+    if variance <= 0.0:
+        return {name: 0.0 for name in names}
+
+    indices: Dict[str, float] = {}
+    for name in names:
+        mixed = [dict(a_row, **{name: b_row[name]})
+                 for a_row, b_row in zip(a_rows, b_rows)]
+        f_mixed = [float(output(row)) for row in mixed]
+        estimate = sum(fb * (fm - fa) for fb, fm, fa in
+                       zip(f_b, f_mixed, f_a)) / samples
+        indices[name] = min(1.0, max(0.0, estimate / variance))
+    return indices
+
+
+def propagate_many(inputs: Dict[str, Distribution],
+                   outputs: Dict[str, OutputFn], samples: int = 200,
+                   seed: int = 0) -> Dict[str, UncertaintyResult]:
+    """Propagate the *same* input samples through several outputs.
+
+    Sharing the draws keeps the outputs comparable (common random
+    numbers) and amortizes expensive model rebuilds when the output
+    functions share work via closures.
+    """
+    draws = latin_hypercube(inputs, samples, seed)
+    results: Dict[str, UncertaintyResult] = {}
+    for name, fn in outputs.items():
+        values = [float(fn(draw)) for draw in draws]
+        results[name] = UncertaintyResult(name=name, samples=tuple(values))
+    return results

@@ -1,0 +1,105 @@
+"""The Elbtunnel height-control case study (paper Sect. IV).
+
+Analytic statistical model, fault trees, a discrete-event traffic
+simulation of the northern entrance, and the end-to-end safety
+optimization study reproducing Fig. 5, Fig. 6 and the quoted results.
+"""
+
+from repro.elbtunnel.config import (
+    DEFAULT_CONFIG,
+    DesignVariant,
+    ElbtunnelConfig,
+)
+from repro.elbtunnel.controller import Alarm, HeightControl
+from repro.elbtunnel.faulttrees import (
+    build_fault_tree_model,
+    collision_fault_tree,
+    false_alarm_fault_tree,
+    fig2_fault_tree,
+)
+from repro.elbtunnel.model import (
+    COLLISION,
+    FALSE_ALARM,
+    TIMER1,
+    TIMER2,
+    build_safety_model,
+    collision_probability,
+    correct_ohv_alarm_probability,
+    cost_function,
+    false_alarm_probability,
+    fig6_series,
+    transit_distribution,
+)
+from repro.elbtunnel.risk import (
+    RiskAssessment,
+    assess_variant,
+    collision_event_tree,
+    compare_variants,
+)
+from repro.elbtunnel.simulation import (
+    EntranceSimulation,
+    SimulationConfig,
+    SimulationResult,
+    simulate,
+)
+from repro.elbtunnel.study import (
+    Fig5Surface,
+    Fig6Study,
+    FullStudy,
+    fig5_surface,
+    fig6_study,
+    full_study,
+    optimum_study,
+)
+from repro.elbtunnel.vehicles import (
+    Lane,
+    Route,
+    TrafficConfig,
+    TrafficGenerator,
+    Vehicle,
+    VehicleType,
+)
+
+__all__ = [
+    "ElbtunnelConfig",
+    "DEFAULT_CONFIG",
+    "DesignVariant",
+    "COLLISION",
+    "FALSE_ALARM",
+    "TIMER1",
+    "TIMER2",
+    "build_safety_model",
+    "build_fault_tree_model",
+    "cost_function",
+    "collision_probability",
+    "false_alarm_probability",
+    "correct_ohv_alarm_probability",
+    "fig6_series",
+    "transit_distribution",
+    "fig2_fault_tree",
+    "collision_fault_tree",
+    "false_alarm_fault_tree",
+    "HeightControl",
+    "Alarm",
+    "Vehicle",
+    "VehicleType",
+    "Lane",
+    "Route",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "SimulationConfig",
+    "SimulationResult",
+    "EntranceSimulation",
+    "simulate",
+    "RiskAssessment",
+    "assess_variant",
+    "collision_event_tree",
+    "compare_variants",
+    "fig5_surface",
+    "Fig5Surface",
+    "fig6_study",
+    "Fig6Study",
+    "optimum_study",
+    "full_study",
+    "FullStudy",
+]

@@ -1,0 +1,121 @@
+"""Configuration constants of the Elbtunnel height-control case study.
+
+The paper publishes the driving-time distribution (Normal, mu = 4 min,
+sigma = 2 min), the cost ratio (collision = 100 000 x false alarm), the
+engineers' initial timer guesses (30 min each), and the headline results.
+It does *not* publish the underlying traffic statistics (arrival rates,
+sensor fault rates, the accumulated constants ``Pconst1/2``).  Those are
+calibrated here so that every published checkpoint is reproduced:
+
+* optimal runtimes approximately (19, 15.6) minutes,
+* cost near the optimum approximately 0.0046 (Fig. 5's z-axis),
+* about 10 % false-alarm risk improvement vs. the (30, 30) baseline,
+* collision risk change below 0.1 %,
+* Fig. 6: > 80 % of correctly driving OHVs trigger an alarm at
+  T2 = 15.6 (> 95 % at 30) without LB4, roughly 40 % with LB4, roughly
+  4 % with a light barrier at ODfinal.
+
+See DESIGN.md ("Substitutions") and EXPERIMENTS.md for the calibration
+record.  All times are in minutes; all rates are per minute.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ModelError
+
+
+class DesignVariant(enum.Enum):
+    """The three height-control designs analyzed in Sect. IV-C.2."""
+
+    #: The deployed design: ODfinal stays armed for the full timer-2 runtime.
+    WITHOUT_LB4 = "without_LB4"
+    #: Extra light barrier at the tube-4 entrance stops timer 2 when the
+    #: OHV has passed (paper's first proposed fix; ~40 % residual alarms).
+    WITH_LB4 = "with_LB4"
+    #: Light barrier co-located with ODfinal: the detector is only
+    #: critical while an OHV actually passes it (~4 % residual alarms).
+    LB_AT_ODFINAL = "lb_at_odfinal"
+
+
+@dataclass(frozen=True)
+class ElbtunnelConfig:
+    """All numeric inputs of the Elbtunnel analysis.
+
+    Published values keep the paper's numbers; unpublished ones are
+    calibrated (see module docstring).
+    """
+
+    # -- published: driving time per zone (paper Sect. IV-C) -------------
+    transit_mean: float = 4.0          # minutes, mu of the normal model
+    transit_std: float = 2.0           # minutes, sigma of the normal model
+
+    # -- published: cost model (paper Sect. IV-C.1) ----------------------
+    cost_collision: float = 100_000.0  # relative units
+    cost_false_alarm: float = 1.0
+
+    # -- published: engineers' baseline & domain -------------------------
+    timer1_default: float = 30.0       # minutes ("initial guesses of 30")
+    timer2_default: float = 30.0
+    timer_min: float = 5.0             # compact optimization domain
+    timer_max: float = 30.0
+
+    # -- calibrated: probabilities of the statistical model --------------
+    #: P(OHV critical): an OHV in the controlled area is heading towards
+    #: the west or mid tube (footnote 3).
+    p_ohv_critical: float = 5.0e-3
+    #: P(OHV): an OHV is present in the controlled area (Sect. IV-B.3).
+    p_ohv_present: float = 1.342e-3
+    #: Per-passage false-detection probability of light barrier LBpre.
+    p_fd_lbpre: float = 1.0e-4
+    #: Poisson rate of false detections of LBpost while armed (per min).
+    fd_lbpost_rate: float = 1.03e-5
+    #: Poisson rate of rule-violating high vehicles under ODfinal while it
+    #: is armed (per min) — normal traffic level.
+    hv_odfinal_rate: float = 4.0e-3
+    #: Accumulated probability of all other collision cut sets (Pconst1).
+    p_const1: float = 3.9e-8
+    #: Accumulated probability of all other false-alarm cut sets (Pconst2).
+    p_const2: float = 5.54e-4
+
+    # -- calibrated: Fig. 6 increased-OHV-traffic scenario ---------------
+    #: Poisson rate of high vehicles under ODfinal in the heavy-traffic
+    #: environment of Fig. 6 (per min).
+    hv_odfinal_rate_heavy: float = 0.13
+    #: Time an OHV needs to physically pass a light barrier (minutes).
+    lb_passage_time: float = 0.3
+    #: Per-passage false-detection probability of the extra light barrier
+    #: (LB4 / LB at ODfinal variants).
+    p_fd_lb4: float = 1.0e-3
+
+    def __post_init__(self):
+        if self.transit_mean <= 0 or self.transit_std <= 0:
+            raise ModelError("transit time parameters must be positive")
+        if not 0 < self.timer_min < self.timer_max:
+            raise ModelError("need 0 < timer_min < timer_max")
+        for name in ("p_ohv_critical", "p_ohv_present", "p_fd_lbpre",
+                     "p_const1", "p_const2", "p_fd_lb4"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must be in [0, 1], got {value}")
+        for name in ("fd_lbpost_rate", "hv_odfinal_rate",
+                     "hv_odfinal_rate_heavy"):
+            if getattr(self, name) < 0.0:
+                raise ModelError(f"{name} must be >= 0")
+        if self.cost_collision < 0 or self.cost_false_alarm < 0:
+            raise ModelError("costs must be >= 0")
+        if self.lb_passage_time <= 0:
+            raise ModelError("lb_passage_time must be > 0")
+
+    def heavy_traffic(self) -> "ElbtunnelConfig":
+        """The Fig. 6 environment: OHV/HV traffic strongly increased."""
+        return replace(self, hv_odfinal_rate=self.hv_odfinal_rate_heavy)
+
+    def with_rates(self, **overrides) -> "ElbtunnelConfig":
+        """Return a copy with selected fields replaced (scenario studies)."""
+        return replace(self, **overrides)
+
+
+DEFAULT_CONFIG = ElbtunnelConfig()

@@ -1,0 +1,159 @@
+"""The height-control state machine (Sect. IV-A) and its design variants.
+
+Logic of the deployed control (northern entrance):
+
+* an OHV at **LBpre** arms LBpost supervision and starts **timer 1**
+  (runtime T1); when the timer expires, LBpost is switched off again
+  ("to prevent unnecessary alarms through faulty triggering of LBpre");
+* an OHV at **LBpost** on the **left** lane, confirmed by **ODleft**,
+  triggers an immediate emergency stop;
+* an OHV at **LBpost** on the **right** lane arms **ODfinal** and starts
+  **timer 2** (runtime T2);
+* a high vehicle sensed by **ODfinal** while it is armed triggers an
+  emergency stop — this is where rule-violating HVs cause false alarms.
+
+Variants (Sect. IV-C.2):
+
+* :attr:`~repro.elbtunnel.config.DesignVariant.WITH_LB4` — an extra light
+  barrier at the tube-4 entrance counts OHVs out of zone 2 and disarms
+  ODfinal when none remain;
+* :attr:`~repro.elbtunnel.config.DesignVariant.LB_AT_ODFINAL` — a light
+  barrier co-located with ODfinal; its readings only count while an OHV
+  is physically passing (or the barrier false-detects).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.elbtunnel.config import DesignVariant
+from repro.elbtunnel.vehicles import Lane
+from repro.errors import SimulationError
+
+
+@dataclass
+class Alarm:
+    """One emergency stop signalled by the controller."""
+
+    time: float
+    source: str                    # "od_left" or "od_final"
+    justified: Optional[bool] = None   # classified by the simulation
+
+
+class HeightControl:
+    """The height-control state machine, decoupled from the simulator.
+
+    All methods take the current time explicitly; the simulation layer
+    owns the clock and delivers sensor events in time order.  Delivering
+    events out of order raises :class:`SimulationError`.
+    """
+
+    def __init__(self, timer1: float, timer2: float,
+                 variant: DesignVariant = DesignVariant.WITHOUT_LB4,
+                 lb_passage_time: float = 0.3,
+                 single_ohv_assumption: bool = False):
+        if timer1 <= 0.0 or timer2 <= 0.0:
+            raise SimulationError("timer runtimes must be positive")
+        self.timer1 = timer1
+        self.timer2 = timer2
+        self.variant = variant
+        self.lb_passage_time = lb_passage_time
+        #: The original design flaw found by model checking (Sect. IV-A,
+        #: [10]): the control assumed a single OHV per activation, so
+        #: LBpost supervision was dropped after the first passage.  Two
+        #: OHVs entering zone 1 together then leave the second one
+        #: unsupervised.  Kept as an opt-in flag to reproduce the flaw.
+        self.single_ohv_assumption = single_ohv_assumption
+        self.alarms: List[Alarm] = []
+        self._last_time = -math.inf
+        self._lbpost_armed_until = -math.inf
+        self._odfinal_armed_until = -math.inf
+        self._lb4_window_until = -math.inf
+        self._zone2_count = 0
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def lbpost_armed(self, now: float) -> bool:
+        """Is LBpost supervision active (timer 1 running)?"""
+        return now <= self._lbpost_armed_until
+
+    def odfinal_armed(self, now: float) -> bool:
+        """Is ODfinal active — would a high reading raise an alarm?"""
+        if self.variant is DesignVariant.WITH_LB4 and self._zone2_count <= 0:
+            return False
+        return now <= self._odfinal_armed_until
+
+    def _odfinal_critical(self, now: float) -> bool:
+        armed = self.odfinal_armed(now)
+        if self.variant is DesignVariant.LB_AT_ODFINAL:
+            return armed and now <= self._lb4_window_until
+        return armed
+
+    # ------------------------------------------------------------------
+    # Sensor events
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        if now < self._last_time - 1e-12:
+            raise SimulationError(
+                f"event at {now} delivered after {self._last_time}")
+        self._last_time = max(self._last_time, now)
+
+    def lbpre_triggered(self, now: float) -> None:
+        """An OHV (or a false detection) at LBpre: start timer 1."""
+        self._advance(now)
+        self._lbpost_armed_until = max(self._lbpost_armed_until,
+                                       now + self.timer1)
+
+    def lbpost_triggered(self, now: float, lane: Lane,
+                         od_left_high: bool = False) -> Optional[Alarm]:
+        """An OHV (or FD) at LBpost while supervision may be active.
+
+        Left lane + ODleft confirmation raises an immediate emergency
+        stop; right lane arms ODfinal and starts timer 2.  Returns the
+        alarm if one was raised.
+        """
+        self._advance(now)
+        if not self.lbpost_armed(now):
+            return None
+        if self.single_ohv_assumption:
+            # Flawed original design: assume this was the only OHV in
+            # zone 1 and drop supervision immediately.
+            self._lbpost_armed_until = now
+        if lane is Lane.LEFT and od_left_high:
+            return self._raise(now, "od_left")
+        self._odfinal_armed_until = max(self._odfinal_armed_until,
+                                        now + self.timer2)
+        if self.variant is DesignVariant.WITH_LB4:
+            self._zone2_count += 1
+        return None
+
+    def odfinal_high(self, now: float) -> Optional[Alarm]:
+        """ODfinal senses a high vehicle (HV, OHV, or a false detection)."""
+        self._advance(now)
+        if self._odfinal_critical(now):
+            return self._raise(now, "od_final")
+        return None
+
+    def lb4_triggered(self, now: float) -> None:
+        """The extra light barrier fires (variant-dependent meaning).
+
+        WITH_LB4: one OHV left zone 2 into tube 4 — count it out and
+        disarm ODfinal when the zone is empty.  LB_AT_ODFINAL: an OHV is
+        passing the ODfinal location — open the critical window.
+        """
+        self._advance(now)
+        if self.variant is DesignVariant.WITH_LB4:
+            if self._zone2_count > 0:
+                self._zone2_count -= 1
+        elif self.variant is DesignVariant.LB_AT_ODFINAL:
+            self._lb4_window_until = max(self._lb4_window_until,
+                                         now + self.lb_passage_time)
+
+    # ------------------------------------------------------------------
+    def _raise(self, now: float, source: str) -> Alarm:
+        alarm = Alarm(time=now, source=source)
+        self.alarms.append(alarm)
+        return alarm

@@ -1,0 +1,183 @@
+"""Fault trees of the Elbtunnel height control (paper Sect. II & IV-B).
+
+Three trees are provided:
+
+* :func:`fig2_fault_tree` — the qualitative collision tree of the paper's
+  Fig. 2, expanded down to the primary failures of Sect. IV-B.1
+  (F = {HV_ODleft, FD_ODleft, MD_ODleft, HV_ODfinal, FD_ODfinal,
+  MD_ODfinal, OT1, OT2, FD_LBpre, FD_LBpost}).  Used for the cut set
+  reproduction (benchmark Fig. 2).
+* :func:`collision_fault_tree` — the quantitative collision tree of
+  Sect. IV-B.2/B.3: the timer-overrun cut sets {OT1}, {OT2} guarded by
+  the INHIBIT condition "OHV critical" (an OHV heading for the west or
+  mid tube), plus the accumulated remainder ``Pconst1``.
+* :func:`false_alarm_fault_tree` — the quantitative false-alarm tree:
+  {HV_ODfinal} guarded by the INHIBIT condition "ODfinal armed" (an OHV
+  activated it, or both light barriers false-detected), plus ``Pconst2``.
+
+Quantifying the two quantitative trees with parameterized leaf
+probabilities reproduces the closed-form hazard formulas of
+:mod:`repro.elbtunnel.model` — tested in ``tests/elbtunnel``.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import FaultTreeHazard, SafetyModel
+from repro.core.parametric import ParametricProbability, from_function
+from repro.elbtunnel.config import ElbtunnelConfig
+from repro.elbtunnel.model import (
+    COLLISION,
+    FALSE_ALARM,
+    cost_model,
+    p_fd_lbpost,
+    p_hv_odfinal,
+    p_overtime_zone1,
+    p_overtime_zone2,
+    parameter_space,
+)
+from repro.fta.dsl import INHIBIT, OR, condition, hazard, primary
+from repro.fta.tree import FaultTree
+
+#: Leaf names in the paper's notation (Sect. IV-B.1).
+OT1 = "OT1"
+OT2 = "OT2"
+HV_ODFINAL = "HV_ODfinal"
+FD_ODFINAL = "FD_ODfinal"
+MD_ODFINAL = "MD_ODfinal"
+HV_ODLEFT = "HV_ODleft"
+FD_ODLEFT = "FD_ODleft"
+MD_ODLEFT = "MD_ODleft"
+FD_LBPRE = "FD_LBpre"
+FD_LBPOST = "FD_LBpost"
+
+#: INHIBIT condition names.
+OHV_CRITICAL = "OHV_critical"
+ODFINAL_ARMED = "ODfinal_armed"
+
+
+def fig2_fault_tree() -> FaultTree:
+    """The qualitative collision tree (Fig. 2, expanded to Sect. IV-B.1).
+
+    Structure: a collision happens when the OHV ignores the stop signals
+    OR the signals are not on; the latter because the signal hardware is
+    out of order OR the detection chain never activated them — the timer
+    overruns {OT1}, {OT2} and the missed detections {MD_ODleft},
+    {MD_ODfinal}.
+    """
+    ignores = primary("OHV ignores signal",
+                      description="driver disregards the emergency stop")
+    out_of_order = primary("Signal out of order",
+                           description="signal lights hardware failure")
+    not_activated = OR(
+        "Signal not activated",
+        primary(OT1, description="OHV slower than timer 1 in zone 1"),
+        primary(OT2, description="OHV slower than timer 2 in zone 2"),
+        primary(MD_ODLEFT,
+                description="OD left misses an OHV on the left lane"),
+        primary(MD_ODFINAL,
+                description="OD final misses an OHV that switched lanes"),
+        description="the detection chain never triggered the signals")
+    not_on = OR("Signal not on", out_of_order, not_activated,
+                description="stop signals were not shown")
+    top = hazard("Collision", OR_gate=[ignores, not_on],
+                 description="an OHV collides with the old tunnel entrance")
+    return FaultTree(top)
+
+
+def collision_fault_tree(config: ElbtunnelConfig = ElbtunnelConfig()
+                         ) -> FaultTree:
+    """Quantitative collision tree (Sect. IV-B.2/B.3).
+
+    Minimal cut sets: {OT1 | OHV_critical}, {OT2 | OHV_critical}, and the
+    accumulated single leaf "other collision causes" carrying ``Pconst1``.
+    """
+    ohv_critical = condition(
+        OHV_CRITICAL, probability=config.p_ohv_critical,
+        description="an OHV is driving towards the west or mid tube")
+    overrun = OR(
+        "Timer overrun",
+        primary(OT1, description="driving time in zone 1 exceeds T1"),
+        primary(OT2, description="driving time in zone 2 exceeds T2"),
+        description="a supervision timer expired while the OHV was "
+                    "still in its zone")
+    guarded = INHIBIT("Unprotected OHV passage", overrun, ohv_critical,
+                      description="timer overrun matters only for an OHV "
+                                  "heading towards an old tube")
+    rest = primary("Other collision causes", probability=config.p_const1,
+                   description="accumulated probability of the remaining "
+                               "minimal cut sets (Pconst1)")
+    top = hazard(COLLISION, OR_gate=[guarded, rest],
+                 description="collision of an OHV with the tunnel entrance")
+    return FaultTree(top)
+
+
+def false_alarm_fault_tree(config: ElbtunnelConfig = ElbtunnelConfig()
+                           ) -> FaultTree:
+    """Quantitative false-alarm tree (Sect. IV-B.2/B.3).
+
+    Dominating cut set: {HV_ODfinal | ODfinal_armed}; everything else is
+    accumulated into "other false alarm causes" (``Pconst2``).  The
+    condition's probability is the paper's ``Pconstraint1 = P(OHV) +
+    (1 - P(OHV)) * P(FD_LBpre) * P(FD_LBpost)`` — parameterized in T1
+    when quantified through :func:`build_fault_tree_model`.
+    """
+    armed = condition(
+        ODFINAL_ARMED,
+        description="ODfinal is armed: an OHV activated it or both light "
+                    "barriers false-detected")
+    hv = primary(HV_ODFINAL,
+                 description="a high vehicle below ODfinal is interpreted "
+                             "as an OHV")
+    guarded = INHIBIT("HV misread while armed", hv, armed,
+                      description="an HV below ODfinal only matters while "
+                                  "the sensor is armed")
+    rest = primary("Other false alarm causes", probability=config.p_const2,
+                   description="accumulated probability of the remaining "
+                               "minimal cut sets (Pconst2)")
+    top = hazard(FALSE_ALARM, OR_gate=[guarded, rest],
+                 description="unnecessary emergency stop of the tunnel")
+    return FaultTree(top)
+
+
+def odfinal_armed_probability(config: ElbtunnelConfig
+                              ) -> ParametricProbability:
+    """Constraint probability ``Pconstraint1`` as a function of T1."""
+    fd_post = p_fd_lbpost(config)
+    p_ohv = config.p_ohv_present
+    q_pre = config.p_fd_lbpre
+
+    def formula(values):
+        return p_ohv + (1.0 - p_ohv) * q_pre * fd_post(values)
+
+    return from_function(formula, fd_post.parameters,
+                         label="Pconstraint1(T1)")
+
+
+def build_fault_tree_model(config: ElbtunnelConfig = ElbtunnelConfig(),
+                           method: str = "rare_event") -> SafetyModel:
+    """The Elbtunnel safety model quantified through its fault trees.
+
+    Numerically equivalent (up to negligible higher-order terms) to the
+    closed-form :func:`repro.elbtunnel.model.build_safety_model`; exists
+    to exercise the full FTA pipeline — MOCUS, constraint probabilities,
+    parameterized leaves — on the paper's own case study.
+    """
+    collision = FaultTreeHazard(
+        collision_fault_tree(config),
+        assignments={
+            OT1: p_overtime_zone1(config),
+            OT2: p_overtime_zone2(config),
+        },
+        method=method)
+    false_alarm = FaultTreeHazard(
+        false_alarm_fault_tree(config),
+        assignments={
+            HV_ODFINAL: p_hv_odfinal(config),
+            ODFINAL_ARMED: odfinal_armed_probability(config),
+        },
+        method=method)
+    return SafetyModel(
+        space=parameter_space(config),
+        hazards={COLLISION: collision, FALSE_ALARM: false_alarm},
+        cost_model=cost_model(config),
+        name="Elbtunnel height control (fault tree quantification)")

@@ -1,0 +1,232 @@
+"""Analytic statistical model of the Elbtunnel height control (Sect. IV).
+
+Implements the paper's formulas verbatim:
+
+* driving time per zone ~ Normal(mu=4, sigma=2) truncated at 0
+  (Sect. IV-C), giving the overtime probabilities
+  ``P(OT1)(T1) = 1 - P_OHV1(Time <= T1)`` and analogously ``P(OT2)(T2)``;
+* exposure-window parameterizations for ``P(FD_LBpost)(T1)`` and
+  ``P(HV_ODfinal)(T2)`` — the longer a timer keeps its detector armed,
+  the likelier a spurious trigger falls inside the window;
+* the constrained hazard formulas of Sect. IV-B.3:
+
+  ``P(HCol) = Pconst1 + P(OHVcrit) * (P(OT1) + (1 - P(OT1)) * P(OT2))``
+
+  ``P(HAlr) = Pconst2 + (P(OHV) + (1 - P(OHV)) * P(FD_LBpre) *
+  P(FD_LBpost)(T1)) * P(HV_ODfinal)(T2)``
+
+* the cost function of Sect. IV-C.1:
+  ``f_cost(T1, T2) = 100000 * P(HCol)(T1, T2) + 1 * P(HAlr)(T1, T2)``.
+
+And the Fig. 6 analysis: the probability that a *correctly driving* OHV
+trips a false alarm, for the three design variants, in the increased-OHV-
+traffic environment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.core.cost import CostModel, HazardCost
+from repro.core.model import FormulaHazard, SafetyModel
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.core.parametric import (
+    ParametricProbability,
+    exceedance,
+    from_model,
+)
+from repro.elbtunnel.config import DesignVariant, ElbtunnelConfig
+from repro.errors import ModelError
+from repro.stats.distributions import TruncatedNormal
+from repro.stats.reliability import ExposureWindowModel
+
+#: Canonical hazard names (paper Sect. IV-B.1).
+COLLISION = "H_Col"
+FALSE_ALARM = "H_Alr"
+
+#: Canonical parameter names (paper Sect. IV: runtimes of timers 1 and 2).
+TIMER1 = "T1"
+TIMER2 = "T2"
+
+
+def transit_distribution(config: ElbtunnelConfig) -> TruncatedNormal:
+    """Zone driving time: Normal(mu, sigma) truncated to non-negatives."""
+    return TruncatedNormal(mu=config.transit_mean, sigma=config.transit_std,
+                           lower=0.0)
+
+
+# ----------------------------------------------------------------------
+# Parameterized probabilities (Sect. IV-C)
+# ----------------------------------------------------------------------
+def p_overtime_zone1(config: ElbtunnelConfig) -> ParametricProbability:
+    """``P(OT1)(T1)``: OHV needs longer than timer 1's runtime in zone 1."""
+    return exceedance(transit_distribution(config), TIMER1,
+                      label="P(OT1)(T1)")
+
+
+def p_overtime_zone2(config: ElbtunnelConfig) -> ParametricProbability:
+    """``P(OT2)(T2)``: OHV needs longer than timer 2's runtime in zone 2."""
+    return exceedance(transit_distribution(config), TIMER2,
+                      label="P(OT2)(T2)")
+
+
+def p_fd_lbpost(config: ElbtunnelConfig) -> ParametricProbability:
+    """``P(FD_LBpost)(T1)``: false detection of LBpost while armed."""
+    return from_model(ExposureWindowModel(config.fd_lbpost_rate), TIMER1,
+                      label="P(FDLBpost)(T1)")
+
+
+def p_hv_odfinal(config: ElbtunnelConfig) -> ParametricProbability:
+    """``P(HV_ODfinal)(T2)``: a high vehicle under ODfinal while armed."""
+    return from_model(ExposureWindowModel(config.hv_odfinal_rate), TIMER2,
+                      label="P(HVODfinal)(T2)")
+
+
+# ----------------------------------------------------------------------
+# Hazard formulas (Sect. IV-B.3, parameterized per Sect. IV-C)
+# ----------------------------------------------------------------------
+def collision_probability(config: ElbtunnelConfig) -> ParametricProbability:
+    """``P(HCol)(T1, T2)`` exactly as printed in the paper."""
+    ot1 = p_overtime_zone1(config)
+    ot2 = p_overtime_zone2(config)
+    p_crit = config.p_ohv_critical
+    pconst1 = config.p_const1
+
+    def formula(values: Dict[str, float]) -> float:
+        o1 = ot1(values)
+        o2 = ot2(values)
+        return pconst1 + p_crit * (o1 + (1.0 - o1) * o2)
+
+    return ParametricProbability(formula, {TIMER1, TIMER2},
+                                 label="P(HCol)(T1,T2)")
+
+
+def false_alarm_probability(config: ElbtunnelConfig) -> ParametricProbability:
+    """``P(HAlr)(T1, T2)`` exactly as printed in the paper.
+
+    The constraint (Sect. IV-B.3) is "the ODfinal sensor is armed":
+    either an OHV activated it or both light barriers false-detected —
+    ``P(OHV) + (1 - P(OHV)) * P(FD_LBpre) * P(FD_LBpost)(T1)`` — and a
+    high vehicle is then misread while the sensor is armed,
+    ``P(HV_ODfinal)(T2)``.
+    """
+    fd_post = p_fd_lbpost(config)
+    hv_final = p_hv_odfinal(config)
+    p_ohv = config.p_ohv_present
+    q_pre = config.p_fd_lbpre
+    pconst2 = config.p_const2
+
+    def formula(values: Dict[str, float]) -> float:
+        armed = p_ohv + (1.0 - p_ohv) * q_pre * fd_post(values)
+        return pconst2 + armed * hv_final(values)
+
+    return ParametricProbability(formula, {TIMER1, TIMER2},
+                                 label="P(HAlr)(T1,T2)")
+
+
+# ----------------------------------------------------------------------
+# The safety model & cost function (Sect. IV-C.1)
+# ----------------------------------------------------------------------
+def parameter_space(config: ElbtunnelConfig) -> ParameterSpace:
+    """Timer runtimes T1, T2 over their compact domain, baseline 30/30."""
+    return ParameterSpace([
+        Parameter(TIMER1, config.timer_min, config.timer_max,
+                  default=config.timer1_default, unit="min",
+                  description="runtime of timer 1 (zone-1 supervision)"),
+        Parameter(TIMER2, config.timer_min, config.timer_max,
+                  default=config.timer2_default, unit="min",
+                  description="runtime of timer 2 (ODfinal activation)"),
+    ])
+
+
+def cost_model(config: ElbtunnelConfig) -> CostModel:
+    """Collision costs 100 000 units, a false alarm costs 1 (Sect. IV-C.1)."""
+    return CostModel([
+        HazardCost(COLLISION, config.cost_collision,
+                   "OHV collides with the tunnel entrance"),
+        HazardCost(FALSE_ALARM, config.cost_false_alarm,
+                   "unnecessary emergency stop of the tunnel"),
+    ])
+
+
+def build_safety_model(config: ElbtunnelConfig = ElbtunnelConfig()
+                       ) -> SafetyModel:
+    """The complete Elbtunnel safety-optimization model."""
+    return SafetyModel(
+        space=parameter_space(config),
+        hazards={
+            COLLISION: FormulaHazard(collision_probability(config)),
+            FALSE_ALARM: FormulaHazard(false_alarm_probability(config)),
+        },
+        cost_model=cost_model(config),
+        name="Elbtunnel height control")
+
+
+def cost_function(config: ElbtunnelConfig = ElbtunnelConfig()):
+    """``f_cost(T1, T2)`` as a plain callable of two floats."""
+    model = build_safety_model(config)
+
+    def f_cost(t1: float, t2: float) -> float:
+        return model.cost((t1, t2))
+
+    return f_cost
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: per-OHV false alarm probability under the design variants
+# ----------------------------------------------------------------------
+def correct_ohv_alarm_probability(
+        t2: float, variant: DesignVariant = DesignVariant.WITHOUT_LB4,
+        config: ElbtunnelConfig = ElbtunnelConfig()) -> float:
+    """P(false alarm | a correctly driving OHV is in the controlled area).
+
+    Evaluated in the heavy-traffic environment of Fig. 6 (high vehicles
+    under ODfinal at rate ``hv_odfinal_rate_heavy``):
+
+    * ``WITHOUT_LB4`` — ODfinal stays armed for the full runtime ``t2``;
+      the alarm fires iff a rule-violating HV passes within the window:
+      ``1 - exp(-lambda * t2)``.
+    * ``WITH_LB4`` — the extra light barrier stops timer 2 when the OHV
+      leaves zone 2, so the armed window is ``min(transit, t2)``:
+      ``1 - E[exp(-lambda * min(X, t2))]`` (closed form via the truncated
+      normal's capped MGF).
+    * ``LB_AT_ODFINAL`` — ODfinal is only critical while the OHV actually
+      passes the light barrier (or the barrier false-detects):
+      ``1 - (1 - q_fd) * exp(-lambda * t_pass)``.
+    """
+    if t2 <= 0.0:
+        raise ModelError(f"timer runtime must be > 0, got {t2}")
+    lam = config.hv_odfinal_rate_heavy
+    if variant is DesignVariant.WITHOUT_LB4:
+        return -math.expm1(-lam * t2)
+    if variant is DesignVariant.WITH_LB4:
+        transit = transit_distribution(config)
+        return 1.0 - transit.capped_mgf(-lam, t2)
+    if variant is DesignVariant.LB_AT_ODFINAL:
+        survive = (1.0 - config.p_fd_lb4) * \
+            math.exp(-lam * config.lb_passage_time)
+        return 1.0 - survive
+    raise ModelError(f"unknown design variant {variant!r}")
+
+
+def fig6_series(config: ElbtunnelConfig = ElbtunnelConfig(),
+                t2_min: float = 5.0, t2_max: float = 25.0,
+                points: int = 41) -> Dict[str, list]:
+    """The two curves of Fig. 6 plus the LB-at-ODfinal improvement.
+
+    Returns a mapping from variant value (``without_LB4`` etc.) to a list
+    of ``(t2, probability)`` pairs.
+    """
+    if points < 2 or not t2_min < t2_max:
+        raise ModelError("need points >= 2 and t2_min < t2_max")
+    step = (t2_max - t2_min) / (points - 1)
+    series: Dict[str, list] = {}
+    for variant in DesignVariant:
+        series[variant.value] = [
+            (t2_min + i * step,
+             correct_ohv_alarm_probability(t2_min + i * step, variant,
+                                           config))
+            for i in range(points)
+        ]
+    return series

@@ -1,0 +1,141 @@
+"""Integrated risk assessment of the Elbtunnel designs (full PRA).
+
+Combines everything into the figure an operator actually budgets for:
+expected cost per year, per design variant.
+
+* the **collision chain** as an event tree: an incorrect OHV approaches
+  an old tube (initiator), the detection chain may fail (quantified from
+  the collision fault tree), the stop signals may be out of order, the
+  driver may ignore them — only the all-barriers-fail path collides;
+* the **false alarm rate** from the analytic model, converted to events
+  per year through the OHV traffic rate;
+* the paper's cost weights fold both into one money-per-year figure.
+
+This extends the paper's per-event cost function (Sect. IV-C.1) to a
+*rate*-based risk metric and lets the three design variants (deployed,
++LB4, LB at ODfinal) be compared on one axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.elbtunnel.config import DesignVariant, ElbtunnelConfig
+from repro.elbtunnel.faulttrees import OT1, OT2, collision_fault_tree
+from repro.elbtunnel.model import (
+    correct_ohv_alarm_probability,
+    p_overtime_zone1,
+    p_overtime_zone2,
+)
+from repro.errors import ModelError
+from repro.fta.eventtrees import BranchPoint, EventTree
+
+#: Minutes per year, the rate conversion used throughout.
+MINUTES_PER_YEAR = 60.0 * 24 * 365
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """Integrated yearly risk of one design variant."""
+
+    variant: DesignVariant
+    timer1: float
+    timer2: float
+    collisions_per_year: float
+    false_alarms_per_year: float
+    expected_cost_per_year: float
+
+    def __repr__(self) -> str:
+        return (f"RiskAssessment({self.variant.value}: "
+                f"{self.expected_cost_per_year:.2f} cost units/year)")
+
+
+def collision_event_tree(config: ElbtunnelConfig, timer1: float,
+                         timer2: float,
+                         incorrect_ohv_rate_per_year: float) -> EventTree:
+    """The collision chain as an event tree.
+
+    Branch order: detection chain (fault-tree backed, with the timers'
+    parameterized overtime probabilities), stop-signal hardware, driver
+    compliance.
+    """
+    values = {"T1": timer1, "T2": timer2}
+    detection = BranchPoint(
+        "detection chain", collision_fault_tree(config),
+        probabilities={
+            OT1: p_overtime_zone1(config)(values),
+            OT2: p_overtime_zone2(config)(values),
+        })
+
+    def rule(failures: Tuple[bool, ...]) -> str:
+        return "collision" if all(failures) else "stopped"
+
+    return EventTree(
+        initiator="incorrect OHV approaches old tube",
+        frequency=incorrect_ohv_rate_per_year,
+        branches=[
+            detection,
+            BranchPoint("stop signals", config.p_fd_lb4),
+            BranchPoint("driver compliance", 0.01),
+        ],
+        outcome_rule=rule)
+
+
+def assess_variant(variant: DesignVariant,
+                   config: ElbtunnelConfig = ElbtunnelConfig(),
+                   timer1: float = 19.0, timer2: float = 15.6,
+                   ohv_rate_per_minute: float = 1.0 / 120.0,
+                   p_incorrect: float = 0.01) -> RiskAssessment:
+    """Yearly risk of one design variant at a timer configuration.
+
+    Parameters
+    ----------
+    variant:
+        The ODfinal design option (alters the false-alarm rate only;
+        the collision chain is shared).
+    config:
+        The statistical model constants.
+    timer1, timer2:
+        Timer runtimes in minutes.
+    ohv_rate_per_minute:
+        OHV arrivals at the northern entrance.
+    p_incorrect:
+        Fraction of OHVs heading for an old tube (the collision
+        initiator).
+    """
+    if not 0.0 <= p_incorrect <= 1.0:
+        raise ModelError(
+            f"p_incorrect must be in [0, 1], got {p_incorrect}")
+    if ohv_rate_per_minute <= 0.0:
+        raise ModelError("ohv_rate_per_minute must be > 0")
+
+    ohvs_per_year = ohv_rate_per_minute * MINUTES_PER_YEAR
+    incorrect_per_year = ohvs_per_year * p_incorrect
+    correct_per_year = ohvs_per_year - incorrect_per_year
+
+    event_tree = collision_event_tree(config, timer1, timer2,
+                                      incorrect_per_year)
+    collisions = event_tree.evaluate().frequency_of("collision")
+
+    # Each correctly driving OHV trips a false alarm with the variant's
+    # Fig. 6 probability (heavy-traffic environment).
+    p_alarm = correct_ohv_alarm_probability(timer2, variant, config)
+    false_alarms = correct_per_year * p_alarm
+
+    cost = collisions * config.cost_collision + \
+        false_alarms * config.cost_false_alarm
+    return RiskAssessment(
+        variant=variant, timer1=timer1, timer2=timer2,
+        collisions_per_year=collisions,
+        false_alarms_per_year=false_alarms,
+        expected_cost_per_year=cost)
+
+
+def compare_variants(config: ElbtunnelConfig = ElbtunnelConfig(),
+                     timer1: float = 19.0, timer2: float = 15.6,
+                     **kwargs) -> Dict[DesignVariant, RiskAssessment]:
+    """Integrated yearly risk of all three designs, same configuration."""
+    return {variant: assess_variant(variant, config, timer1, timer2,
+                                    **kwargs)
+            for variant in DesignVariant}

@@ -1,0 +1,89 @@
+"""Sensor models: light barriers and overhead detectors (Sect. IV-A).
+
+Two failure modes from Sect. IV-B.1 are modelled per sensor:
+
+* **False detection (FD)** — "the sensor does indicate a vehicle although
+  there is none"; possible for all sensors, modelled as a Poisson process
+  while the sensor is powered.
+* **Miss detection (MD)** — "the sensor does not indicate a vehicle,
+  although there is one"; only the microwave overhead detectors miss,
+  light barriers do not (per the paper's failure classification).
+
+High vehicles below an overhead detector are *correctly* sensed but
+*incorrectly classified* — "overhead detectors cannot distinguish between
+high vehicles and OHVs" — so the HV case is reported as a detection, and
+the classification error is the controller's problem, exactly as in the
+real system.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.elbtunnel.vehicles import Vehicle, VehicleType
+from repro.errors import SimulationError
+
+
+@dataclass
+class LightBarrier:
+    """A light barrier scanning all lanes of one direction.
+
+    Detects only OHVs (the beam height is above HV roofs).  ``fd_rate``
+    is the Poisson rate of spurious triggers per minute of powered
+    operation; light barriers do not miss (MD "only possible for
+    microwave sensors").
+    """
+
+    name: str
+    fd_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.fd_rate < 0.0:
+            raise SimulationError(f"{self.name}: fd_rate must be >= 0")
+
+    def detects(self, vehicle: Vehicle) -> bool:
+        """True when the passing vehicle trips the barrier."""
+        return vehicle.vtype is VehicleType.OVERHIGH
+
+    def next_false_detection(self, rng: random.Random) -> float:
+        """Time until the next spurious trigger (inf when fd_rate is 0)."""
+        if self.fd_rate <= 0.0:
+            return float("inf")
+        return rng.expovariate(self.fd_rate)
+
+
+@dataclass
+class OverheadDetector:
+    """A microwave overhead detector scanning one lane group.
+
+    Senses *high* vehicles (HVs and OHVs) but cannot tell them apart; it
+    misses a vehicle with probability ``p_miss`` and produces spurious
+    detections at Poisson rate ``fd_rate`` while powered.
+    """
+
+    name: str
+    p_miss: float = 0.0
+    fd_rate: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.p_miss <= 1.0:
+            raise SimulationError(f"{self.name}: p_miss must be in [0, 1]")
+        if self.fd_rate < 0.0:
+            raise SimulationError(f"{self.name}: fd_rate must be >= 0")
+
+    def senses(self, vehicle: Vehicle, rng: random.Random) -> bool:
+        """True when the detector reports a high vehicle for this passage."""
+        if vehicle.vtype is VehicleType.CAR:
+            return False
+        return rng.random() >= self.p_miss
+
+    def senses_crossing(self, rng: random.Random) -> bool:
+        """Sensing outcome for an anonymous high-vehicle crossing."""
+        return rng.random() >= self.p_miss
+
+    def next_false_detection(self, rng: random.Random) -> float:
+        """Time until the next spurious trigger (inf when fd_rate is 0)."""
+        if self.fd_rate <= 0.0:
+            return float("inf")
+        return rng.expovariate(self.fd_rate)

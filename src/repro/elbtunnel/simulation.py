@@ -1,0 +1,290 @@
+"""Discrete-event simulation of the northern tunnel entrance.
+
+Wires the traffic model (:mod:`repro.elbtunnel.vehicles`), the sensors
+(:mod:`repro.elbtunnel.sensors`) and the controller state machine
+(:mod:`repro.elbtunnel.controller`) onto the DES kernel
+(:mod:`repro.sim.kernel`) and measures hazard frequencies directly:
+
+* **false alarms** — emergency stops with no rule-breaking OHV inside the
+  controlled area,
+* **collisions** — rule-breaking OHVs that reach an old tube without an
+  emergency stop having been raised for them,
+* the **Fig. 6 statistic** — the fraction of *correctly driving* OHVs
+  whose armed window caught a false alarm.
+
+The simulation is an independent check of the analytic model: with
+matching rates, the measured per-OHV false-alarm fraction must agree with
+:func:`repro.elbtunnel.model.correct_ohv_alarm_probability` within
+sampling error (tested and benchmarked).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.elbtunnel.config import DesignVariant
+from repro.elbtunnel.controller import Alarm, HeightControl
+from repro.elbtunnel.sensors import LightBarrier, OverheadDetector
+from repro.elbtunnel.vehicles import (
+    Lane,
+    TrafficConfig,
+    TrafficGenerator,
+    Vehicle,
+)
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.stats.estimation import wilson_ci
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All inputs of one simulation run."""
+
+    duration: float = 60.0 * 24 * 30          # minutes (30 days)
+    timer1: float = 30.0
+    timer2: float = 30.0
+    variant: DesignVariant = DesignVariant.WITHOUT_LB4
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    #: Spurious-trigger rates (per minute powered) of the light barriers.
+    fd_lbpre_rate: float = 0.0
+    fd_lbpost_rate: float = 0.0
+    fd_odfinal_rate: float = 0.0
+    #: Per-passage miss probability of the overhead detectors.
+    od_miss_probability: float = 0.0
+    #: Physical passage time of a light barrier (minutes).
+    lb_passage_time: float = 0.3
+    #: Reproduce the pre-fix design flaw: LBpost supervision dropped
+    #: after the first OHV passage (see HeightControl).
+    single_ohv_assumption: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise SimulationError("duration must be positive")
+        if self.timer1 <= 0 or self.timer2 <= 0:
+            raise SimulationError("timer runtimes must be positive")
+        for name in ("fd_lbpre_rate", "fd_lbpost_rate", "fd_odfinal_rate"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be >= 0")
+        if not 0.0 <= self.od_miss_probability <= 1.0:
+            raise SimulationError("od_miss_probability must be in [0, 1]")
+
+
+@dataclass
+class SimulationResult:
+    """Counters and derived statistics of one run."""
+
+    duration: float
+    ohvs_total: int = 0
+    ohvs_correct: int = 0
+    ohvs_incorrect: int = 0
+    hv_crossings: int = 0
+    alarms_total: int = 0
+    false_alarms: int = 0
+    justified_alarms: int = 0
+    collisions: int = 0
+    correct_ohvs_alarmed: int = 0
+
+    @property
+    def correct_ohv_alarm_fraction(self) -> float:
+        """The Fig. 6 statistic: P(false alarm | correctly driving OHV)."""
+        if self.ohvs_correct == 0:
+            return 0.0
+        return self.correct_ohvs_alarmed / self.ohvs_correct
+
+    def correct_ohv_alarm_ci(self, confidence: float = 0.95):
+        """Wilson confidence interval of the Fig. 6 statistic."""
+        if self.ohvs_correct == 0:
+            raise SimulationError("no correct OHVs simulated")
+        return wilson_ci(self.correct_ohvs_alarmed, self.ohvs_correct,
+                         confidence)
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms per minute of operation."""
+        return self.false_alarms / self.duration
+
+
+class EntranceSimulation:
+    """One simulated northern-entrance deployment."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self._rng = random.Random(config.seed ^ 0x5AFE)
+        self._sim = Simulator()
+        self._controller = HeightControl(
+            config.timer1, config.timer2, config.variant,
+            lb_passage_time=config.lb_passage_time,
+            single_ohv_assumption=config.single_ohv_assumption)
+        self._od_left = OverheadDetector(
+            "ODleft", p_miss=config.od_miss_probability)
+        self._od_final = OverheadDetector(
+            "ODfinal", p_miss=config.od_miss_probability,
+            fd_rate=config.fd_odfinal_rate)
+        self._lb_pre = LightBarrier("LBpre", fd_rate=config.fd_lbpre_rate)
+        self._lb_post = LightBarrier("LBpost",
+                                     fd_rate=config.fd_lbpost_rate)
+        self.result = SimulationResult(duration=config.duration)
+        #: Correct OHVs whose attribution window may still catch an alarm.
+        self._open_windows: List[Vehicle] = []
+        #: Rule-breaking OHVs currently inside the controlled area.
+        self._incorrect_inside: List[Vehicle] = []
+
+    # ------------------------------------------------------------------
+    # Event wiring
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Build the event schedule, run it, return the counters."""
+        config = self.config
+        generator = TrafficGenerator(config.traffic, seed=config.seed)
+        for vehicle in generator.ohvs_until(config.duration):
+            self._schedule_ohv(vehicle)
+        for crossing_time in generator.hv_crossings_until(config.duration):
+            self.result.hv_crossings += 1
+            self._sim.schedule_at(
+                crossing_time,
+                lambda t=crossing_time: self._hv_under_odfinal(t))
+        self._schedule_false_detections()
+        self._sim.run_until(config.duration)
+        return self.result
+
+    def _schedule_ohv(self, vehicle: Vehicle) -> None:
+        self.result.ohvs_total += 1
+        if vehicle.is_correct:
+            self.result.ohvs_correct += 1
+        else:
+            self.result.ohvs_incorrect += 1
+        self._sim.schedule_at(vehicle.arrival_time,
+                              lambda v=vehicle: self._at_lbpre(v))
+        self._sim.schedule_at(vehicle.time_at_lbpost,
+                              lambda v=vehicle: self._at_lbpost(v))
+        self._sim.schedule_at(vehicle.time_at_odfinal,
+                              lambda v=vehicle: self._at_odfinal_area(v))
+
+    def _schedule_false_detections(self) -> None:
+        """Spurious light-barrier triggers as Poisson processes."""
+
+        def chain(barrier: LightBarrier, deliver) -> None:
+            gap = barrier.next_false_detection(self._rng)
+            if gap == float("inf"):
+                return
+            when = self._sim.now + gap
+
+            def fire() -> None:
+                deliver(self._sim.now)
+                chain(barrier, deliver)
+
+            if when <= self.config.duration:
+                self._sim.schedule_at(when, fire)
+
+        chain(self._lb_pre, self._controller.lbpre_triggered)
+        chain(self._lb_post,
+              lambda now: self._controller.lbpost_triggered(
+                  now, Lane.RIGHT, od_left_high=False))
+        if self._od_final.fd_rate > 0.0:
+            chain_od = self._od_final
+
+            def od_fd(now: float) -> None:
+                self._classify(self._controller.odfinal_high(now))
+
+            chain(LightBarrier("ODfinal-fd", fd_rate=chain_od.fd_rate),
+                  od_fd)
+
+    # ------------------------------------------------------------------
+    # Vehicle passage handlers
+    # ------------------------------------------------------------------
+    def _at_lbpre(self, vehicle: Vehicle) -> None:
+        now = self._sim.now
+        if not vehicle.is_correct:
+            self._incorrect_inside.append(vehicle)
+        if self._lb_pre.detects(vehicle):
+            self._controller.lbpre_triggered(now)
+
+    def _at_lbpost(self, vehicle: Vehicle) -> None:
+        now = self._sim.now
+        if not self._lb_post.detects(vehicle):
+            return
+        od_left_high = False
+        if vehicle.lane_at_lbpost is Lane.LEFT:
+            od_left_high = self._od_left.senses(vehicle, self._rng)
+        alarm = self._controller.lbpost_triggered(
+            now, vehicle.lane_at_lbpost, od_left_high)
+        if alarm is not None:
+            vehicle.alarmed = True
+            self._classify(alarm)
+        elif vehicle.is_correct:
+            # The OHV armed ODfinal: open its attribution window for the
+            # Fig. 6 statistic.
+            self._open_windows.append(vehicle)
+
+    def _at_odfinal_area(self, vehicle: Vehicle) -> None:
+        now = self._sim.now
+        # Every OHV physically passes the ODfinal location; in the
+        # LB-at-ODfinal design this opens the critical window.
+        if self.config.variant is DesignVariant.LB_AT_ODFINAL:
+            self._controller.lb4_triggered(now)
+        if vehicle.crosses_odfinal:
+            # A rule-breaking OHV inside ODfinal's scan area.
+            if self._od_final.senses(vehicle, self._rng):
+                alarm = self._controller.odfinal_high(now)
+                if alarm is not None:
+                    vehicle.alarmed = True
+                    self._classify(alarm)
+        elif self.config.variant is DesignVariant.WITH_LB4:
+            # A correct OHV enters tube 4: LB4 counts it out of zone 2.
+            self._controller.lb4_triggered(now)
+        self._vehicle_leaves(vehicle)
+
+    def _hv_under_odfinal(self, now: float) -> None:
+        """A rule-violating high vehicle crosses ODfinal's scan area."""
+        if self._od_final.senses_crossing(self._rng):
+            self._classify(self._controller.odfinal_high(now))
+
+    def _vehicle_leaves(self, vehicle: Vehicle) -> None:
+        now = self._sim.now
+        if not vehicle.is_correct:
+            if vehicle in self._incorrect_inside:
+                self._incorrect_inside.remove(vehicle)
+            if not vehicle.alarmed:
+                # Reached an old tube without an emergency stop.
+                self.result.collisions += 1
+        # Expire attribution windows that can no longer catch alarms
+        # (a window stays open for timer2 after the LBpost passage).
+        self._open_windows = [
+            v for v in self._open_windows
+            if v.time_at_lbpost + self.config.timer2 >= now]
+
+    # ------------------------------------------------------------------
+    # Alarm classification
+    # ------------------------------------------------------------------
+    def _classify(self, alarm: Optional[Alarm]) -> None:
+        if alarm is None:
+            return
+        self.result.alarms_total += 1
+        justified = bool(self._incorrect_inside)
+        alarm.justified = justified
+        if justified:
+            self.result.justified_alarms += 1
+            return
+        self.result.false_alarms += 1
+        now = alarm.time
+        for vehicle in self._open_windows:
+            if vehicle.alarmed:
+                continue
+            window_end = vehicle.time_at_lbpost + self.config.timer2
+            if self.config.variant is DesignVariant.WITH_LB4:
+                window_end = min(window_end, vehicle.time_at_tunnel)
+            elif self.config.variant is DesignVariant.LB_AT_ODFINAL:
+                if abs(now - vehicle.time_at_odfinal) > \
+                        self.config.lb_passage_time:
+                    continue
+            if vehicle.time_at_lbpost <= now <= window_end:
+                vehicle.alarmed = True
+                self.result.correct_ohvs_alarmed += 1
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Convenience wrapper: build, run and return the result."""
+    return EntranceSimulation(config).run()

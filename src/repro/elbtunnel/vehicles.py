@@ -1,0 +1,174 @@
+"""Traffic model of the northern tunnel entrance.
+
+Vehicle classes follow Sect. IV-A: normal cars (irrelevant to the height
+control — no sensor reacts to them), high vehicles (HVs: trucks/buses,
+allowed in all tubes, detected by overhead detectors) and overhigh
+vehicles (OHVs: only allowed in the new tube 4, detected by light
+barriers *and* overhead detectors).
+
+The generator produces two Poisson streams:
+
+* OHV arrivals at LBpre; each OHV is *correct* (keeps the right lane to
+  tube 4, as road traffic regulations require) with probability
+  ``p_correct``, otherwise it heads for an old tube — on the left lane
+  from LBpost on, or by switching lanes inside zone 2;
+* rule-violating HVs crossing the ODfinal scan area on the left lanes
+  (the paper: "some drivers always ignore this rule!") at a fixed rate.
+
+Zone transit times are truncated-normal, the paper's driving-time model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.stats.distributions import TruncatedNormal
+
+
+class VehicleType(enum.Enum):
+    """Height class of a vehicle."""
+
+    CAR = "car"
+    HIGH = "hv"
+    OVERHIGH = "ohv"
+
+
+class Lane(enum.Enum):
+    """Lane position relevant to the detectors."""
+
+    LEFT = "left"
+    RIGHT = "right"
+
+
+class Route(enum.Enum):
+    """Where an OHV is actually heading."""
+
+    #: Correct: right lane all the way into tube 4.
+    TUBE4 = "tube4"
+    #: Wrong from the start: left lane at LBpost (towards the west tube).
+    LEFT_AT_LBPOST = "left_at_lbpost"
+    #: Wrong late: right lane at LBpost, switches left inside zone 2.
+    SWITCH_IN_ZONE2 = "switch_in_zone2"
+
+
+@dataclass
+class Vehicle:
+    """One simulated vehicle with its timeline through the entrance."""
+
+    vehicle_id: int
+    vtype: VehicleType
+    route: Route
+    arrival_time: float          # at LBpre
+    zone1_time: float            # LBpre -> LBpost
+    zone2_time: float            # LBpost -> ODfinal / tunnel entrance
+    alarmed: bool = False        # an emergency stop fired during transit
+
+    @property
+    def is_correct(self) -> bool:
+        """True for an OHV following the rules into tube 4."""
+        return self.route is Route.TUBE4
+
+    @property
+    def lane_at_lbpost(self) -> Lane:
+        return Lane.LEFT if self.route is Route.LEFT_AT_LBPOST \
+            else Lane.RIGHT
+
+    @property
+    def crosses_odfinal(self) -> bool:
+        """True when the vehicle drives through ODfinal's scan area.
+
+        ODfinal scans the left lanes towards the west/mid tubes; a correct
+        OHV on the right lane never enters it.
+        """
+        return self.route in (Route.LEFT_AT_LBPOST, Route.SWITCH_IN_ZONE2)
+
+    @property
+    def time_at_lbpost(self) -> float:
+        return self.arrival_time + self.zone1_time
+
+    @property
+    def time_at_odfinal(self) -> float:
+        return self.time_at_lbpost + self.zone2_time
+
+    @property
+    def time_at_tunnel(self) -> float:
+        return self.time_at_odfinal
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Arrival rates and behaviour probabilities of the traffic model."""
+
+    #: OHV arrivals at LBpre (per minute).
+    ohv_rate: float = 1.0 / 120.0
+    #: Probability an OHV drives correctly into tube 4.
+    p_correct: float = 0.99
+    #: Among incorrect OHVs, probability the error is visible already at
+    #: LBpost (left lane) rather than a lane switch inside zone 2.
+    p_wrong_early: float = 0.5
+    #: Rule-violating HVs crossing the ODfinal area (per minute).
+    hv_odfinal_rate: float = 0.13
+    #: Zone transit time distribution (the paper's Normal(4, 2), >= 0).
+    transit_mean: float = 4.0
+    transit_std: float = 2.0
+
+    def __post_init__(self):
+        if self.ohv_rate <= 0 or self.hv_odfinal_rate < 0:
+            raise SimulationError("arrival rates must be positive")
+        for name in ("p_correct", "p_wrong_early"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1]")
+        if self.transit_mean <= 0 or self.transit_std <= 0:
+            raise SimulationError("transit parameters must be positive")
+
+
+class TrafficGenerator:
+    """Deterministic (seeded) generator of the two traffic streams."""
+
+    def __init__(self, config: TrafficConfig, seed: int = 0):
+        self.config = config
+        self._rng = random.Random(seed)
+        self._ids = itertools.count(1)
+        self._transit = TruncatedNormal(
+            mu=config.transit_mean, sigma=config.transit_std, lower=0.0)
+
+    def _exponential_gap(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def _route(self) -> Route:
+        if self._rng.random() < self.config.p_correct:
+            return Route.TUBE4
+        if self._rng.random() < self.config.p_wrong_early:
+            return Route.LEFT_AT_LBPOST
+        return Route.SWITCH_IN_ZONE2
+
+    def ohvs_until(self, end_time: float) -> Iterator[Vehicle]:
+        """Yield OHV arrivals with full timelines up to ``end_time``."""
+        time = 0.0
+        while True:
+            time += self._exponential_gap(self.config.ohv_rate)
+            if time > end_time:
+                return
+            yield Vehicle(
+                vehicle_id=next(self._ids),
+                vtype=VehicleType.OVERHIGH,
+                route=self._route(),
+                arrival_time=time,
+                zone1_time=self._transit.sample(self._rng),
+                zone2_time=self._transit.sample(self._rng))
+
+    def hv_crossings_until(self, end_time: float) -> Iterator[float]:
+        """Yield times of rule-violating HVs under ODfinal."""
+        if self.config.hv_odfinal_rate <= 0.0:
+            return
+        time = 0.0
+        while True:
+            time += self._exponential_gap(self.config.hv_odfinal_rate)
+            if time > end_time:
+                return
+            yield time

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the safety-optimization library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class FaultTreeError(ReproError):
+    """A fault tree is structurally invalid or used incorrectly."""
+
+
+class ValidationError(FaultTreeError):
+    """A fault tree failed structural validation (cycles, bad arity, ...)."""
+
+
+class QuantificationError(ReproError):
+    """Probability quantification failed (missing data, bad method, ...)."""
+
+
+class DistributionError(ReproError):
+    """A probability distribution was parameterized or used incorrectly."""
+
+
+class OptimizationError(ReproError):
+    """An optimization run could not be performed or did not converge."""
+
+
+class BDDError(ReproError):
+    """A binary decision diagram operation failed."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation or Monte Carlo run failed."""
+
+
+class ModelError(ReproError):
+    """A safety model is inconsistent (unknown parameter, missing cost, ...)."""
+
+
+class SerializationError(ReproError):
+    """Reading or writing a fault tree representation failed."""

@@ -1,0 +1,141 @@
+"""Fault tree analysis (FTA) substrate.
+
+Implements the paper's Sect. II in full: events and gates (AND, OR,
+INHIBIT, plus the standard K-of-N/XOR/NOT extensions), validated trees,
+minimal cut sets via MOCUS, quantification by the standard rare-event
+formula (Eq. 1) and its constrained refinement (Eq. 2), exact alternatives
+through :mod:`repro.bdd`, importance measures, and a beta-factor
+common-cause transformation for the dependence cases the paper flags as
+out of FTA's scope.
+"""
+
+from repro.fta.allocation import AllocationResult, allocate_improvements
+from repro.fta.ccf import apply_beta_factor
+from repro.fta.constraints import (
+    ConstraintPolicy,
+    constrained_cut_set_probability,
+    constraint_probability,
+)
+from repro.fta.dependency import (
+    ImplicationSet,
+    dependent_constraint_probability,
+    reduce_conditions,
+)
+from repro.fta.cutsets import CutSet, CutSetCollection, minimize, mocus
+from repro.fta.events import (
+    Condition,
+    Event,
+    Hazard,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.eventtrees import (
+    BranchPoint,
+    EventTree,
+    EventTreeResult,
+)
+from repro.fta.gates import (
+    Gate,
+    GateType,
+    and_gate,
+    inhibit_gate,
+    kofn_gate,
+    not_gate,
+    or_gate,
+    xor_gate,
+)
+from repro.fta.importance import ImportanceResult, importance_measures
+from repro.fta.quantify import (
+    approximation_error,
+    cut_set_probabilities,
+    hazard_probability,
+    probability_map,
+    to_bdd,
+)
+from repro.fta.modules import Module, find_modules, modular_probability
+from repro.fta.phases import (
+    MissionPhase,
+    MissionResult,
+    PhaseResult,
+    evaluate_mission,
+    scale_exposure_probabilities,
+)
+from repro.fta.reporting import AnalysisReport, RankedCutSet, analyze
+from repro.fta.serialize import (
+    tree_from_dict,
+    tree_from_galileo,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_dot,
+    tree_to_galileo,
+    tree_to_json,
+)
+from repro.fta.temporal import (
+    TemporalCurve,
+    evaluate_over_time,
+    time_to_probability,
+)
+from repro.fta.tree import FaultTree
+
+__all__ = [
+    "Event",
+    "PrimaryFailure",
+    "Condition",
+    "HouseEvent",
+    "IntermediateEvent",
+    "Hazard",
+    "Gate",
+    "GateType",
+    "and_gate",
+    "or_gate",
+    "kofn_gate",
+    "xor_gate",
+    "not_gate",
+    "inhibit_gate",
+    "FaultTree",
+    "CutSet",
+    "CutSetCollection",
+    "mocus",
+    "minimize",
+    "ConstraintPolicy",
+    "constraint_probability",
+    "constrained_cut_set_probability",
+    "hazard_probability",
+    "probability_map",
+    "cut_set_probabilities",
+    "approximation_error",
+    "to_bdd",
+    "importance_measures",
+    "ImportanceResult",
+    "apply_beta_factor",
+    "AllocationResult",
+    "allocate_improvements",
+    "BranchPoint",
+    "EventTree",
+    "EventTreeResult",
+    "ImplicationSet",
+    "reduce_conditions",
+    "dependent_constraint_probability",
+    "analyze",
+    "AnalysisReport",
+    "RankedCutSet",
+    "Module",
+    "find_modules",
+    "modular_probability",
+    "MissionPhase",
+    "MissionResult",
+    "PhaseResult",
+    "evaluate_mission",
+    "scale_exposure_probabilities",
+    "TemporalCurve",
+    "evaluate_over_time",
+    "time_to_probability",
+    "tree_to_dict",
+    "tree_from_dict",
+    "tree_to_json",
+    "tree_from_json",
+    "tree_to_galileo",
+    "tree_from_galileo",
+    "tree_to_dot",
+]

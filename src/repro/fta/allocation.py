@@ -1,0 +1,135 @@
+"""Reliability allocation: cheapest way to reach a target hazard level.
+
+The inverse of quantification: given a fault tree, a *target* hazard
+probability, and the cost of improving each component, decide **which
+components to improve and by how much**.  This closes the loop the paper
+opens — safety optimization tunes free parameters of a fixed design;
+allocation tunes the design's component quality budget.
+
+Formulation: each improvable leaf ``i`` gets an improvement factor
+``f_i in [min_factor, 1]`` multiplying its failure probability; the cost
+of a factor is ``cost_i * log10(1 / f_i)`` (component price grows per
+*decade* of reliability improvement, the standard engineering model).
+Minimize total cost subject to ``P(H)(f) <= target``, solved with the
+library's own optimizers via an exact-penalty objective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import QuantificationError
+from repro.fta.quantify import hazard_probability, probability_map
+from repro.fta.tree import FaultTree
+from repro.opt.coordinate import coordinate_descent
+from repro.opt.problem import Box, Problem
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a reliability allocation."""
+
+    target: float
+    achieved: float
+    feasible: bool
+    total_cost: float
+    factors: Dict[str, float]          # leaf -> improvement factor
+    new_probabilities: Dict[str, float]
+
+    def improvements(self) -> Dict[str, float]:
+        """Leaves actually improved (factor < 1), by decades."""
+        return {name: math.log10(1.0 / factor)
+                for name, factor in self.factors.items()
+                if factor < 0.999}
+
+
+def allocate_improvements(
+        tree: FaultTree, target: float, improvement_costs: Dict[str, float],
+        probabilities: Optional[Dict[str, float]] = None,
+        min_factor: float = 1e-3, method: str = "exact",
+        penalty: float = 1e6,
+        sweeps: int = 40) -> AllocationResult:
+    """Find the cheapest component improvements reaching ``target``.
+
+    Parameters
+    ----------
+    tree:
+        The hazard's fault tree.
+    target:
+        Required hazard probability (must be below the current value for
+        the problem to be non-trivial).
+    improvement_costs:
+        Cost per decade of improvement for each improvable leaf
+        (leaves not listed are fixed).
+    probabilities:
+        Leaf probability overrides (merged over event defaults).
+    min_factor:
+        Best achievable improvement factor (1e-3 = three decades).
+    method:
+        Quantification method used inside the optimization.
+    penalty:
+        Exact-penalty weight on constraint violation (in cost units per
+        unit of log-probability violation).
+    sweeps:
+        Coordinate-descent sweep budget.
+    """
+    if not 0.0 < target < 1.0:
+        raise QuantificationError(
+            f"target must be in (0, 1), got {target}")
+    if not improvement_costs:
+        raise QuantificationError("no improvable leaves given")
+    if not 0.0 < min_factor < 1.0:
+        raise QuantificationError(
+            f"min_factor must be in (0, 1), got {min_factor}")
+    probs = probability_map(tree, probabilities)
+    for name, cost in improvement_costs.items():
+        if name not in probs:
+            raise QuantificationError(
+                f"improvable leaf {name!r} not in the tree")
+        if cost <= 0.0:
+            raise QuantificationError(
+                f"improvement cost of {name!r} must be > 0, got {cost}")
+
+    names = sorted(improvement_costs)
+    current = hazard_probability(tree, probs, method=method)
+    if current <= target:
+        return AllocationResult(
+            target=target, achieved=current, feasible=True,
+            total_cost=0.0, factors={name: 1.0 for name in names},
+            new_probabilities=dict(probs))
+
+    # Decision variables: decades of improvement per leaf (0 = none).
+    max_decades = math.log10(1.0 / min_factor)
+    box = Box([(0.0, max_decades)] * len(names))
+    log_target = math.log(target)
+
+    def objective(x: Tuple[float, ...]) -> float:
+        overrides = dict(probs)
+        cost = 0.0
+        for name, decades in zip(names, x):
+            overrides[name] = probs[name] * 10.0 ** (-decades)
+            cost += improvement_costs[name] * decades
+        achieved = hazard_probability(tree, overrides, method=method)
+        violation = max(0.0, math.log(max(achieved, 1e-300)) - log_target)
+        return cost + penalty * violation
+
+    problem = Problem(objective, box, name="allocation")
+    result = coordinate_descent(problem, x0=tuple([0.0] * len(names)),
+                                max_sweeps=sweeps)
+
+    factors = {name: 10.0 ** (-decades)
+               for name, decades in zip(names, result.x)}
+    new_probs = dict(probs)
+    for name in names:
+        new_probs[name] = probs[name] * factors[name]
+    achieved = hazard_probability(tree, new_probs, method=method)
+    total_cost = sum(improvement_costs[name] *
+                     math.log10(1.0 / factors[name]) for name in names)
+    all_factors = {name: factors.get(name, 1.0) for name in names}
+    return AllocationResult(
+        target=target, achieved=achieved,
+        feasible=achieved <= target * (1.0 + 1e-6),
+        total_cost=total_cost, factors=all_factors,
+        new_probabilities=new_probs)

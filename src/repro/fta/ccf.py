@@ -1,0 +1,113 @@
+"""Common-cause failure modelling via the beta-factor method.
+
+The paper notes that FTA's independence assumption breaks down under
+statistical correlation and points to common cause analysis as the remedy
+(Sect. II-C).  The beta-factor model is the standard first-order fix: a
+fraction ``beta`` of each component's failure probability is attributed to
+a shared common cause.
+
+:func:`apply_beta_factor` rewrites a fault tree: every primary failure in
+the common-cause group is replaced by ``OR(independent part, common cause
+event)`` where the independent part keeps probability ``(1 - beta) * p``
+and the single shared common-cause event carries ``beta * p_max`` (the
+conservative choice when group members have unequal probabilities).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import FaultTreeError
+from repro.fta.events import (
+    Condition,
+    Event,
+    Hazard,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.gates import Gate, GateType
+from repro.fta.tree import FaultTree
+
+
+def apply_beta_factor(tree: FaultTree, group: Iterable[str], beta: float,
+                      cc_name: Optional[str] = None) -> FaultTree:
+    """Return a new tree with a beta-factor common cause over ``group``.
+
+    Parameters
+    ----------
+    tree:
+        Source tree; not modified.
+    group:
+        Names of the primary failures sharing the common cause.  Each must
+        exist in the tree and carry a default probability.
+    beta:
+        Fraction of each member's failure probability attributed to the
+        common cause, ``0 <= beta <= 1``.
+    cc_name:
+        Name of the introduced common-cause event; defaults to
+        ``CCF(<sorted member names>)``.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise FaultTreeError(f"beta must be in [0, 1], got {beta}")
+    members = sorted(set(group))
+    if not members:
+        raise FaultTreeError("common-cause group must not be empty")
+    probabilities: Dict[str, float] = {}
+    for name in members:
+        event = tree.event(name)
+        if not isinstance(event, PrimaryFailure):
+            raise FaultTreeError(
+                f"{name!r} is not a primary failure; beta-factor groups "
+                "contain primary failures only")
+        if event.probability is None:
+            raise FaultTreeError(
+                f"{name!r} has no default probability; the beta-factor "
+                "rewrite needs one")
+        probabilities[name] = event.probability
+
+    cc_name = cc_name or f"CCF({','.join(members)})"
+    if cc_name in tree:
+        raise FaultTreeError(
+            f"common-cause event name {cc_name!r} already used in tree")
+    common = PrimaryFailure(
+        cc_name, probability=beta * max(probabilities.values()),
+        description=f"beta-factor common cause of {', '.join(members)}")
+
+    rebuilt: Dict[int, Event] = {}
+
+    def clone(event: Event) -> Event:
+        key = id(event)
+        if key in rebuilt:
+            return rebuilt[key]
+        if isinstance(event, PrimaryFailure):
+            if event.name in probabilities:
+                independent = PrimaryFailure(
+                    f"{event.name}~indep",
+                    probability=(1.0 - beta) * probabilities[event.name],
+                    description=f"independent part of {event.name}")
+                gate = Gate(GateType.OR, [independent, common])
+                result: Event = IntermediateEvent(
+                    event.name, gate,
+                    description=event.description or
+                    f"{event.name} with common cause split out")
+            else:
+                result = event
+        elif isinstance(event, (Condition, HouseEvent)):
+            result = event
+        elif isinstance(event, IntermediateEvent):
+            gate = event.gate
+            new_gate = Gate(gate.gate_type,
+                            [clone(child) for child in gate.inputs],
+                            k=gate.k, condition=gate.condition)
+            cls = Hazard if isinstance(event, Hazard) else IntermediateEvent
+            result = cls(event.name, new_gate, description=event.description)
+        else:
+            raise FaultTreeError(
+                f"cannot clone event of type {type(event).__name__}")
+        rebuilt[key] = result
+        return result
+
+    new_top = clone(tree.top)
+    assert isinstance(new_top, IntermediateEvent)
+    return FaultTree(new_top, name=tree.name)

@@ -1,0 +1,88 @@
+"""Constraint probabilities (paper Sect. II-D.1).
+
+A cut set often causes its hazard only when the environment cooperates —
+the conditions stated on the INHIBIT gates along the paths from the hazard
+to the cut set's failures.  Quantifying those conditions refines the cut
+set probability:
+
+``P(CS) = P(Constraints) * prod_{PF in CS} P(PF)``        (paper Eq. 2)
+
+Three policies are provided for combining several conditions into one
+constraint probability:
+
+* :attr:`ConstraintPolicy.WORST_CASE` — ``P(Constraints) = 1``; the
+  environment is always as bad as possible.  This recovers classic
+  quantitative FTA (paper: "If one chooses P(Constraints)=1 ... one gets
+  the same formula as before").
+* :attr:`ConstraintPolicy.INDEPENDENT` — the product of the condition
+  probabilities; an upper bound when the conditions are independent.
+* :attr:`ConstraintPolicy.FRECHET` — the minimum of the condition
+  probabilities: the tight Fréchet upper bound ``P(A and B) <= min(P(A),
+  P(B))``, valid under arbitrary dependence.  (The paper states "the
+  maximum is an upper bound" for the dependent case; the maximum is indeed
+  an upper bound but the minimum is the tight one, so we use it.)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import QuantificationError
+from repro.fta.cutsets import CutSet
+
+
+class ConstraintPolicy(enum.Enum):
+    """How a cut set's INHIBIT conditions enter its probability."""
+
+    WORST_CASE = "worst_case"
+    INDEPENDENT = "independent"
+    FRECHET = "frechet"
+
+
+def constraint_probability(cut_set: CutSet, probabilities: Dict[str, float],
+                           policy: ConstraintPolicy =
+                           ConstraintPolicy.INDEPENDENT) -> float:
+    """Return ``P(Constraints)`` for one cut set under a policy.
+
+    ``probabilities`` must provide a value in ``[0, 1]`` for every
+    condition of the cut set unless the policy is ``WORST_CASE``.
+    """
+    if policy is ConstraintPolicy.WORST_CASE or not cut_set.conditions:
+        return 1.0
+    values = []
+    for name in cut_set.conditions:
+        if name not in probabilities:
+            raise QuantificationError(
+                f"no probability given for condition {name!r}")
+        p = probabilities[name]
+        if not 0.0 <= p <= 1.0:
+            raise QuantificationError(
+                f"probability of condition {name!r} must be in [0, 1], "
+                f"got {p}")
+        values.append(p)
+    if policy is ConstraintPolicy.INDEPENDENT:
+        product = 1.0
+        for p in values:
+            product *= p
+        return product
+    if policy is ConstraintPolicy.FRECHET:
+        return min(values)
+    raise QuantificationError(f"unknown constraint policy {policy!r}")
+
+
+def constrained_cut_set_probability(
+        cut_set: CutSet, probabilities: Dict[str, float],
+        policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT) -> float:
+    """Return the constrained probability of one cut set (paper Eq. 2)."""
+    product = constraint_probability(cut_set, probabilities, policy)
+    for name in cut_set.failures:
+        if name not in probabilities:
+            raise QuantificationError(
+                f"no probability given for primary failure {name!r}")
+        p = probabilities[name]
+        if not 0.0 <= p <= 1.0:
+            raise QuantificationError(
+                f"probability of {name!r} must be in [0, 1], got {p}")
+        product *= p
+    return product

@@ -1,0 +1,235 @@
+"""Minimal cut set computation (MOCUS) and cut set algebra.
+
+A cut set (paper Sect. II-B) is a set of primary failures that together
+form a threat; a *minimal* cut set cannot be reduced without losing that
+property.  This module derives minimal cut sets from the tree structure by
+the classic MOCUS top-down expansion with absorption, and additionally
+carries each cut set's INHIBIT conditions along the paths from the hazard
+to the cut set's elements — exactly the information the paper's constraint
+probabilities (Sect. II-D.1) quantify.
+
+For non-coherent trees (XOR/NOT) use the BDD route
+(:func:`repro.fta.quantify.to_bdd` + :func:`repro.bdd.minimal_cut_sets`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import FaultTreeError
+from repro.fta.events import (
+    Condition,
+    Event,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+
+@dataclass(frozen=True, order=True)
+class CutSet:
+    """A cut set: primary failures plus the conditions guarding them.
+
+    ``failures`` are primary-failure names; ``conditions`` are the INHIBIT
+    conditions collected on the paths from the hazard down to those
+    failures.  The empty cut set (no failures) means the hazard is certain
+    whenever its conditions hold.
+    """
+
+    failures: FrozenSet[str]
+    conditions: FrozenSet[str] = frozenset()
+
+    @property
+    def order(self) -> int:
+        """Number of primary failures (the cut set's order)."""
+        return len(self.failures)
+
+    @property
+    def is_single_point(self) -> bool:
+        """True when one primary failure alone causes the hazard."""
+        return self.order == 1
+
+    def subsumes(self, other: "CutSet") -> bool:
+        """True when this cut set implies ``other`` is redundant.
+
+        ``self`` subsumes ``other`` when its failures are a subset of the
+        other's and it is not *harder* to trigger: its conditions must also
+        be a subset (fewer environmental requirements).
+        """
+        return (self.failures <= other.failures
+                and self.conditions <= other.conditions)
+
+    def __str__(self) -> str:
+        parts = "{" + ", ".join(sorted(self.failures)) + "}"
+        if self.conditions:
+            parts += " | " + ", ".join(sorted(self.conditions))
+        return parts
+
+
+class CutSetCollection:
+    """An ordered, minimized collection of cut sets for one hazard."""
+
+    def __init__(self, hazard_name: str, cut_sets: Iterable[CutSet]):
+        self.hazard_name = hazard_name
+        self.cut_sets: List[CutSet] = sorted(
+            minimize(list(cut_sets)),
+            key=lambda cs: (cs.order, sorted(cs.failures),
+                            sorted(cs.conditions)))
+
+    def __iter__(self) -> Iterator[CutSet]:
+        return iter(self.cut_sets)
+
+    def __len__(self) -> int:
+        return len(self.cut_sets)
+
+    def __getitem__(self, index: int) -> CutSet:
+        return self.cut_sets[index]
+
+    @property
+    def single_points_of_failure(self) -> List[CutSet]:
+        """All order-1 cut sets — the paper's key qualitative finding."""
+        return [cs for cs in self.cut_sets if cs.is_single_point]
+
+    def of_order(self, order: int) -> List[CutSet]:
+        """All cut sets with exactly ``order`` primary failures."""
+        return [cs for cs in self.cut_sets if cs.order == order]
+
+    def involving(self, failure_name: str) -> List[CutSet]:
+        """All cut sets containing the given primary failure."""
+        return [cs for cs in self.cut_sets if failure_name in cs.failures]
+
+    def failure_names(self) -> Set[str]:
+        """Union of all primary failure names across the collection."""
+        names: Set[str] = set()
+        for cs in self.cut_sets:
+            names |= cs.failures
+        return names
+
+    def __repr__(self) -> str:
+        return (f"CutSetCollection({self.hazard_name!r}, "
+                f"{len(self.cut_sets)} minimal cut sets)")
+
+
+def minimize(cut_sets: List[CutSet]) -> List[CutSet]:
+    """Remove subsumed cut sets (absorption law).
+
+    A cut set is dropped when another cut set subsumes it — fewer failures
+    and no additional conditions.  Exact duplicates collapse too.
+    """
+    unique = list(dict.fromkeys(cut_sets))
+    unique.sort(key=lambda cs: (cs.order, len(cs.conditions)))
+    kept: List[CutSet] = []
+    for candidate in unique:
+        if not any(existing.subsumes(candidate) and existing != candidate
+                   for existing in kept):
+            kept.append(candidate)
+    return kept
+
+
+def mocus(tree: FaultTree, max_order: int = 0) -> CutSetCollection:
+    """Compute the minimal cut sets of a coherent fault tree.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree; XOR/NOT gates are rejected (non-coherent).
+    max_order:
+        If positive, cut sets with more than ``max_order`` failures are
+        pruned during expansion (standard MOCUS truncation for large
+        trees).  ``0`` keeps everything.
+
+    Returns
+    -------
+    CutSetCollection
+        Minimized, each cut set annotated with its INHIBIT conditions.
+    """
+    if not tree.is_coherent:
+        raise FaultTreeError(
+            f"tree {tree.name!r} contains XOR/NOT gates; MOCUS requires a "
+            "coherent tree — use the BDD analysis instead")
+
+    memo: Dict[int, List[CutSet]] = {}
+
+    def expand(event: Event) -> List[CutSet]:
+        key = id(event)
+        if key in memo:
+            return memo[key]
+        if isinstance(event, PrimaryFailure):
+            result = [CutSet(frozenset([event.name]))]
+        elif isinstance(event, HouseEvent):
+            # True house event: certain — contributes the empty cut set.
+            # False house event: impossible — contributes nothing.
+            result = [CutSet(frozenset())] if event.state else []
+        elif isinstance(event, Condition):
+            raise FaultTreeError(
+                f"condition {event.name!r} used outside an INHIBIT gate")
+        elif isinstance(event, IntermediateEvent):
+            result = expand_gate(event)
+        else:
+            raise FaultTreeError(
+                f"cannot expand event of type {type(event).__name__}")
+        result = _truncate(minimize(result), max_order)
+        memo[key] = result
+        return result
+
+    def expand_gate(event: IntermediateEvent) -> List[CutSet]:
+        gate = event.gate
+        children = [expand(child) for child in gate.inputs]
+        gt = gate.gate_type
+        if gt is GateType.OR:
+            return [cs for group in children for cs in group]
+        if gt is GateType.AND:
+            return _conjoin_groups(children, max_order)
+        if gt is GateType.KOFN:
+            combined: List[CutSet] = []
+            for combo in itertools.combinations(children, gate.k):
+                combined.extend(_conjoin_groups(list(combo), max_order))
+            return combined
+        if gt is GateType.INHIBIT:
+            condition = gate.condition
+            return [
+                CutSet(cs.failures, cs.conditions | {condition.name})
+                for cs in children[0]
+            ]
+        raise FaultTreeError(f"unsupported gate type {gt!r} in MOCUS")
+
+    return CutSetCollection(tree.top.name, expand(tree.top))
+
+
+def _conjoin_groups(groups: List[List[CutSet]],
+                    max_order: int) -> List[CutSet]:
+    """Cross-product combination of cut set groups under an AND gate."""
+    current = [CutSet(frozenset())]
+    for group in groups:
+        combined: List[CutSet] = []
+        for left, right in itertools.product(current, group):
+            merged = CutSet(left.failures | right.failures,
+                            left.conditions | right.conditions)
+            if max_order and merged.order > max_order:
+                continue
+            combined.append(merged)
+        current = minimize(combined)
+        if not current:
+            return []
+    return current
+
+
+def _truncate(cut_sets: List[CutSet], max_order: int) -> List[CutSet]:
+    if not max_order:
+        return cut_sets
+    return [cs for cs in cut_sets if cs.order <= max_order]
+
+
+def cut_sets_agree(a: Iterable[Tuple[str, ...]],
+                   b: Iterable[Tuple[str, ...]]) -> bool:
+    """Compare two cut set families ignoring order and conditions.
+
+    Helper for cross-checking MOCUS against the BDD extraction, which
+    reports plain frozensets of failure names.
+    """
+    to_sets = lambda fam: {frozenset(x) for x in fam}  # noqa: E731
+    return to_sets(a) == to_sets(b)

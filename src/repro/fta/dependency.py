@@ -1,0 +1,102 @@
+"""Constraint dependencies: implication-aware constraint probabilities.
+
+The paper's future work (Sect. V): "if logical implication of two
+constraints (A -> B) can be shown ... then [one constraint's probability
+bounds the other's]".  The quantitative consequence used here is exact:
+when A implies B, the conjunction ``A and B`` *is* A, so implied
+conditions contribute nothing to a cut set's constraint probability and
+multiplying their probabilities in (the independence policy) is wrong —
+it understates nothing but double-counts overlap.
+
+:class:`ImplicationSet` holds declared implications between condition
+names (closed under transitivity); :func:`reduce_conditions` drops every
+condition implied by another member of the set, and
+:func:`dependent_constraint_probability` evaluates the constraint
+probability on the reduced set — exact for the declared implications,
+falling back to the chosen policy for the remaining (unrelated)
+conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.errors import QuantificationError
+from repro.fta.constraints import ConstraintPolicy, constraint_probability
+from repro.fta.cutsets import CutSet
+
+
+class ImplicationSet:
+    """A set of implications ``antecedent -> consequent`` between
+    conditions, closed under transitivity."""
+
+    def __init__(self, implications: Iterable[Tuple[str, str]] = ()):
+        self._implies: Dict[str, Set[str]] = {}
+        for antecedent, consequent in implications:
+            self.add(antecedent, consequent)
+
+    def add(self, antecedent: str, consequent: str) -> None:
+        """Declare ``antecedent -> consequent`` and re-close."""
+        if antecedent == consequent:
+            return
+        self._implies.setdefault(antecedent, set()).add(consequent)
+        self._close()
+        if antecedent in self._implies.get(consequent, set()):
+            raise QuantificationError(
+                f"implication cycle between {antecedent!r} and "
+                f"{consequent!r}: equivalent conditions should be "
+                "merged, not declared as mutual implications")
+
+    def _close(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for antecedent, consequents in list(self._implies.items()):
+                extra: Set[str] = set()
+                for consequent in consequents:
+                    extra |= self._implies.get(consequent, set())
+                new = extra - consequents - {antecedent}
+                if new:
+                    consequents |= new
+                    changed = True
+
+    def implies(self, antecedent: str, consequent: str) -> bool:
+        """True when ``antecedent -> consequent`` is declared/derivable."""
+        return consequent in self._implies.get(antecedent, set())
+
+    def consequences(self, antecedent: str) -> FrozenSet[str]:
+        """Every condition implied by ``antecedent``."""
+        return frozenset(self._implies.get(antecedent, set()))
+
+
+def reduce_conditions(conditions: Iterable[str],
+                      implications: ImplicationSet) -> FrozenSet[str]:
+    """Drop conditions implied by other members of the set.
+
+    The conjunction over the reduced set is logically equivalent to the
+    original conjunction, so any probability computed from it is at
+    least as tight.
+    """
+    members = set(conditions)
+    kept = {
+        c for c in members
+        if not any(other != c and implications.implies(other, c)
+                   for other in members)
+    }
+    return frozenset(kept)
+
+
+def dependent_constraint_probability(
+        cut_set: CutSet, probabilities: Dict[str, float],
+        implications: ImplicationSet,
+        policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT) -> float:
+    """Constraint probability with declared implications applied.
+
+    Reduces the cut set's conditions (dropping implied ones), then
+    applies the standard policy to the remainder.  With a full
+    implication chain the result is exact; with none it reduces to
+    :func:`repro.fta.constraints.constraint_probability`.
+    """
+    reduced = CutSet(cut_set.failures,
+                     reduce_conditions(cut_set.conditions, implications))
+    return constraint_probability(reduced, probabilities, policy)

@@ -1,0 +1,109 @@
+"""A small builder DSL for constructing fault trees readably.
+
+The paper's trees are described in prose ("the immediate causes of the top
+event — collision — are that either the driver ignores some stop signals OR
+the signals are not turned on").  The DSL keeps the code at that level:
+
+>>> from repro.fta.dsl import primary, condition, OR, AND, INHIBIT, hazard
+>>> driver = primary("OHV ignores signal", 1e-4)
+>>> out = primary("Signal out of order", 1e-5)
+>>> not_on = primary("Signal not activated", 1e-5)
+>>> signals_off = OR("Signal not on", out, not_on)
+>>> tree = hazard("Collision", OR_gate=[driver, signals_off])  # doctest: +SKIP
+
+All helpers return event objects that plug directly into
+:class:`~repro.fta.tree.FaultTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FaultTreeError
+from repro.fta.events import (
+    Condition,
+    Event,
+    Hazard,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.gates import Gate, GateType
+from repro.fta.tree import FaultTree
+
+
+def primary(name: str, probability: Optional[float] = None,
+            description: str = "") -> PrimaryFailure:
+    """Create a primary failure (leaf)."""
+    return PrimaryFailure(name, probability, description)
+
+
+def condition(name: str, probability: Optional[float] = None,
+              description: str = "") -> Condition:
+    """Create an INHIBIT condition (environmental circumstance)."""
+    return Condition(name, probability, description)
+
+
+def house(name: str, state: bool, description: str = "") -> HouseEvent:
+    """Create a house event (deterministic switch)."""
+    return HouseEvent(name, state, description)
+
+
+def AND(name: str, *inputs: Event, description: str = "") -> IntermediateEvent:
+    """Create an intermediate event refined through an AND gate."""
+    return IntermediateEvent(name, Gate(GateType.AND, inputs), description)
+
+
+def OR(name: str, *inputs: Event, description: str = "") -> IntermediateEvent:
+    """Create an intermediate event refined through an OR gate."""
+    return IntermediateEvent(name, Gate(GateType.OR, inputs), description)
+
+
+def KOFN(name: str, k: int, *inputs: Event,
+         description: str = "") -> IntermediateEvent:
+    """Create an intermediate event refined through a K-of-N gate."""
+    return IntermediateEvent(name, Gate(GateType.KOFN, inputs, k=k),
+                             description)
+
+
+def XOR(name: str, *inputs: Event, description: str = "") -> IntermediateEvent:
+    """Create an intermediate event refined through an XOR gate."""
+    return IntermediateEvent(name, Gate(GateType.XOR, inputs), description)
+
+
+def NOT(name: str, input_event: Event,
+        description: str = "") -> IntermediateEvent:
+    """Create an intermediate event refined through a NOT gate."""
+    return IntermediateEvent(name, Gate(GateType.NOT, [input_event]),
+                             description)
+
+
+def INHIBIT(name: str, cause: Event, cond: Condition,
+            description: str = "") -> IntermediateEvent:
+    """Create an intermediate event guarded by an INHIBIT condition."""
+    return IntermediateEvent(
+        name, Gate(GateType.INHIBIT, [cause], condition=cond), description)
+
+
+def hazard(name: str, gate: Optional[Gate] = None,
+           OR_gate: Optional[list] = None, AND_gate: Optional[list] = None,
+           description: str = "") -> Hazard:
+    """Create a hazard (top event) from a gate or a gate shorthand.
+
+    Exactly one of ``gate``, ``OR_gate`` (list of inputs) or ``AND_gate``
+    must be given.
+    """
+    provided = [x is not None for x in (gate, OR_gate, AND_gate)]
+    if sum(provided) != 1:
+        raise FaultTreeError(
+            "hazard() needs exactly one of gate, OR_gate, AND_gate")
+    if OR_gate is not None:
+        gate = Gate(GateType.OR, OR_gate)
+    elif AND_gate is not None:
+        gate = Gate(GateType.AND, AND_gate)
+    return Hazard(name, gate, description)
+
+
+def tree(top: IntermediateEvent, name: Optional[str] = None) -> FaultTree:
+    """Wrap a built top event into a validated :class:`FaultTree`."""
+    return FaultTree(top, name=name)

@@ -1,0 +1,101 @@
+"""Event types of a fault tree.
+
+Following the paper's terminology (Sect. II):
+
+* the **hazard** (top event) is the root,
+* **primary failures** are the leaves that are not investigated further,
+* **intermediate events** are inner nodes, each refined through a gate,
+* INHIBIT-gate **conditions** are environmental circumstances — explicitly
+  *not* failures — whose probabilities become the paper's constraint
+  probabilities (Sect. II-D.1),
+* **house events** are the classic FTA switch: an event that is certainly
+  on or off in a given analysis configuration.
+
+Events are identified by name; two event objects with the same name inside
+one tree must be the same object (validated by :class:`repro.fta.tree.FaultTree`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FaultTreeError
+
+
+class Event:
+    """Base class for every node of a fault tree."""
+
+    def __init__(self, name: str, description: str = ""):
+        if not name or not isinstance(name, str):
+            raise FaultTreeError(f"event name must be a non-empty string, "
+                                 f"got {name!r}")
+        self.name = name
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PrimaryFailure(Event):
+    """A basic component failure — a leaf of the fault tree.
+
+    ``probability`` is the event's default point probability; it may be
+    omitted when probabilities are supplied at quantification time (e.g.
+    parameterized probabilities evaluated for a concrete parameter vector).
+    """
+
+    def __init__(self, name: str, probability: Optional[float] = None,
+                 description: str = ""):
+        super().__init__(name, description)
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise FaultTreeError(
+                f"probability of {name!r} must be in [0, 1], "
+                f"got {probability}")
+        self.probability = probability
+
+
+class Condition(Event):
+    """An INHIBIT-gate condition: an environmental circumstance.
+
+    The paper stresses that "unlike all other nodes of the fault tree, this
+    condition must not be a failure or undesired event"; quantifying these
+    conditions yields the constraint probabilities of Sect. II-D.1.
+    """
+
+    def __init__(self, name: str, probability: Optional[float] = None,
+                 description: str = ""):
+        super().__init__(name, description)
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise FaultTreeError(
+                f"probability of {name!r} must be in [0, 1], "
+                f"got {probability}")
+        self.probability = probability
+
+
+class HouseEvent(Event):
+    """A deterministic on/off event (classic FTA 'house' symbol).
+
+    Used to switch analysis configurations: a house event that is ``True``
+    behaves as a certain event, ``False`` prunes its branch.
+    """
+
+    def __init__(self, name: str, state: bool, description: str = ""):
+        super().__init__(name, description)
+        self.state = bool(state)
+
+
+class IntermediateEvent(Event):
+    """An inner node, refined into its immediate causes through a gate."""
+
+    def __init__(self, name: str, gate: "Gate", description: str = ""):
+        super().__init__(name, description)
+        from repro.fta.gates import Gate  # local import to avoid a cycle
+        if not isinstance(gate, Gate):
+            raise FaultTreeError(
+                f"intermediate event {name!r} requires a Gate, "
+                f"got {type(gate).__name__}")
+        self.gate = gate
+
+
+class Hazard(IntermediateEvent):
+    """The top event of a fault tree: the situation that must be avoided."""

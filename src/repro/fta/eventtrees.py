@@ -1,0 +1,192 @@
+"""Event tree analysis: from initiating events to outcome frequencies.
+
+Fault trees answer "how can this barrier fail?"; event trees answer
+"what happens after the initiating event, given which barriers fail?".
+Together they form the classic probabilistic risk assessment (PRA)
+pipeline: an initiating event with a frequency, a sequence of branch
+points (mitigation systems whose failure probabilities may come from
+fault trees), and one outcome per path.
+
+The Elbtunnel collision chain is exactly such a sequence: an OHV heads
+for an old tube (initiator), the detection chain may fail (fault-tree
+backed), the stop signals may be out of order, the driver may ignore
+them — only the all-barriers-fail path ends in a collision.
+
+Outcome frequencies multiply the initiator frequency along each path;
+:meth:`EventTreeResult.outcome_frequencies` aggregates paths by outcome,
+and :meth:`EventTreeResult.risk` folds in per-outcome costs — the same
+weighted-sum construction as the paper's cost function (Sect. III-A),
+now over consequence categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import QuantificationError
+from repro.fta.quantify import hazard_probability
+from repro.fta.tree import FaultTree
+
+BranchSource = Union[float, FaultTree]
+
+
+@dataclass(frozen=True)
+class BranchPoint:
+    """One mitigation barrier: its name and failure probability source.
+
+    ``source`` is either a fixed probability or a fault tree (quantified
+    with ``method`` and optional ``probabilities`` at evaluation time).
+    """
+
+    name: str
+    source: BranchSource
+    probabilities: Optional[Dict[str, float]] = None
+    method: str = "exact"
+
+    def failure_probability(self) -> float:
+        """Evaluate the barrier's failure probability."""
+        if isinstance(self.source, FaultTree):
+            return hazard_probability(self.source, self.probabilities,
+                                      method=self.method)
+        p = float(self.source)
+        if not 0.0 <= p <= 1.0:
+            raise QuantificationError(
+                f"branch {self.name!r} probability must be in [0, 1], "
+                f"got {p}")
+        return p
+
+
+@dataclass(frozen=True)
+class Sequence_:
+    """One path through the event tree."""
+
+    #: Branch outcomes in order; True = the barrier FAILED.
+    failures: Tuple[bool, ...]
+    outcome: str
+    frequency: float
+
+    def label(self, branches: Sequence[BranchPoint]) -> str:
+        """Human-readable path description."""
+        steps = [
+            f"{branch.name}:{'fail' if failed else 'ok'}"
+            for branch, failed in zip(branches, self.failures)
+        ]
+        return " -> ".join(steps) + f" => {self.outcome}"
+
+
+@dataclass(frozen=True)
+class EventTreeResult:
+    """All sequences of one event tree evaluation."""
+
+    initiator: str
+    initiator_frequency: float
+    branches: Tuple[BranchPoint, ...]
+    sequences: Tuple[Sequence_, ...]
+
+    def outcome_frequencies(self) -> Dict[str, float]:
+        """Total frequency per outcome category."""
+        totals: Dict[str, float] = {}
+        for sequence in self.sequences:
+            totals[sequence.outcome] = totals.get(sequence.outcome, 0.0) \
+                + sequence.frequency
+        return totals
+
+    def frequency_of(self, outcome: str) -> float:
+        """Frequency of one outcome (0 when it never occurs)."""
+        return self.outcome_frequencies().get(outcome, 0.0)
+
+    def risk(self, outcome_costs: Dict[str, float]) -> float:
+        """Expected cost rate: sum of frequency * cost over outcomes.
+
+        Every outcome present in the tree must be priced (cost 0 is
+        fine); unknown outcomes in ``outcome_costs`` are rejected.
+        """
+        frequencies = self.outcome_frequencies()
+        missing = set(frequencies) - set(outcome_costs)
+        if missing:
+            raise QuantificationError(
+                f"no cost given for outcomes {sorted(missing)}")
+        extra = set(outcome_costs) - set(frequencies)
+        if extra:
+            raise QuantificationError(
+                f"costs given for unknown outcomes {sorted(extra)}")
+        return sum(frequencies[name] * outcome_costs[name]
+                   for name in frequencies)
+
+    def dominant_sequence(self, outcome: str) -> Sequence_:
+        """The highest-frequency path reaching ``outcome``."""
+        candidates = [s for s in self.sequences if s.outcome == outcome]
+        if not candidates:
+            raise QuantificationError(
+                f"no sequence reaches outcome {outcome!r}")
+        return max(candidates, key=lambda s: s.frequency)
+
+
+class EventTree:
+    """An event tree: initiator, ordered branch points, outcome rule.
+
+    Parameters
+    ----------
+    initiator:
+        Name of the initiating event.
+    frequency:
+        Its occurrence frequency (per unit time, or a probability for
+        per-demand analyses).
+    branches:
+        Barriers in challenge order.
+    outcome_rule:
+        Maps the tuple of branch failures (True = failed) to an outcome
+        name.  Defaults to binary: any barrier holding -> "mitigated",
+        all failing -> "unmitigated".
+    """
+
+    def __init__(self, initiator: str, frequency: float,
+                 branches: Sequence[BranchPoint],
+                 outcome_rule=None):
+        if frequency < 0.0:
+            raise QuantificationError(
+                f"initiator frequency must be >= 0, got {frequency}")
+        if not branches:
+            raise QuantificationError(
+                "event tree needs at least one branch point")
+        names = [b.name for b in branches]
+        if len(set(names)) != len(names):
+            raise QuantificationError(
+                f"duplicate branch names: {names}")
+        self.initiator = initiator
+        self.frequency = frequency
+        self.branches: Tuple[BranchPoint, ...] = tuple(branches)
+        self._outcome_rule = outcome_rule or self._default_rule
+
+    @staticmethod
+    def _default_rule(failures: Tuple[bool, ...]) -> str:
+        return "unmitigated" if all(failures) else "mitigated"
+
+    def evaluate(self) -> EventTreeResult:
+        """Enumerate every path and compute its frequency."""
+        probabilities = [b.failure_probability() for b in self.branches]
+        sequences: List[Sequence_] = []
+
+        def expand(index: int, failures: Tuple[bool, ...],
+                   weight: float) -> None:
+            if index == len(self.branches):
+                outcome = self._outcome_rule(failures)
+                if not isinstance(outcome, str) or not outcome:
+                    raise QuantificationError(
+                        f"outcome rule returned {outcome!r} for "
+                        f"{failures}; expected a non-empty string")
+                sequences.append(Sequence_(
+                    failures=failures, outcome=outcome,
+                    frequency=self.frequency * weight))
+                return
+            p_fail = probabilities[index]
+            expand(index + 1, failures + (True,), weight * p_fail)
+            expand(index + 1, failures + (False,),
+                   weight * (1.0 - p_fail))
+
+        expand(0, (), 1.0)
+        return EventTreeResult(
+            initiator=self.initiator,
+            initiator_frequency=self.frequency,
+            branches=self.branches, sequences=tuple(sequences))

@@ -1,0 +1,126 @@
+"""Gate types connecting fault tree events to their immediate causes.
+
+The paper uses AND, OR and INHIBIT gates (Fig. 1).  We additionally provide
+the standard K-of-N (voting), XOR and NOT gates found in the fault tree
+handbooks the paper builds on [Vesely et al.].  XOR and NOT make a tree
+non-coherent; the MOCUS cut-set algorithm rejects them and analysis must go
+through the exact BDD path instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from repro.errors import FaultTreeError
+from repro.fta.events import Condition, Event
+
+
+class GateType(enum.Enum):
+    """The connective applied to a gate's inputs."""
+
+    AND = "and"
+    OR = "or"
+    KOFN = "kofn"
+    XOR = "xor"
+    NOT = "not"
+    INHIBIT = "inhibit"
+
+
+class Gate:
+    """A gate: connective + input events (+ condition / k where relevant).
+
+    INHIBIT gates carry exactly one input (the cause) and a
+    :class:`~repro.fta.events.Condition`; semantically the output occurs
+    iff the cause occurs *and* the condition holds.
+    """
+
+    def __init__(self, gate_type: GateType, inputs: Sequence[Event],
+                 k: Optional[int] = None,
+                 condition: Optional[Condition] = None):
+        if not isinstance(gate_type, GateType):
+            raise FaultTreeError(f"gate_type must be a GateType, "
+                                 f"got {gate_type!r}")
+        inputs = list(inputs)
+        if not inputs:
+            raise FaultTreeError(f"{gate_type.value}-gate needs at least "
+                                 "one input")
+        for event in inputs:
+            if not isinstance(event, Event):
+                raise FaultTreeError(
+                    f"gate inputs must be events, got {type(event).__name__}")
+            if isinstance(event, Condition):
+                raise FaultTreeError(
+                    f"condition {event.name!r} can only be attached to an "
+                    "INHIBIT gate, not used as a gate input")
+        self.gate_type = gate_type
+        self.inputs: List[Event] = inputs
+        self.k = k
+        self.condition = condition
+        self._validate()
+
+    def _validate(self) -> None:
+        gt = self.gate_type
+        if gt is GateType.KOFN:
+            if self.k is None:
+                raise FaultTreeError("K-of-N gate requires k")
+            if not 1 <= self.k <= len(self.inputs):
+                raise FaultTreeError(
+                    f"K-of-N gate requires 1 <= k <= {len(self.inputs)}, "
+                    f"got k={self.k}")
+        elif self.k is not None:
+            raise FaultTreeError(f"k is only valid for K-of-N gates, "
+                                 f"not {gt.value}")
+        if gt is GateType.NOT and len(self.inputs) != 1:
+            raise FaultTreeError("NOT gate requires exactly one input")
+        if gt is GateType.INHIBIT:
+            if len(self.inputs) != 1:
+                raise FaultTreeError(
+                    "INHIBIT gate requires exactly one cause input")
+            if not isinstance(self.condition, Condition):
+                raise FaultTreeError(
+                    "INHIBIT gate requires a Condition event")
+        elif self.condition is not None:
+            raise FaultTreeError(
+                f"condition is only valid for INHIBIT gates, not {gt.value}")
+        if gt is GateType.XOR and len(self.inputs) < 2:
+            raise FaultTreeError("XOR gate requires at least two inputs")
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.gate_type is GateType.KOFN:
+            extra = f", k={self.k}"
+        if self.gate_type is GateType.INHIBIT:
+            extra = f", condition={self.condition.name!r}"
+        names = ", ".join(e.name for e in self.inputs)
+        return f"Gate({self.gate_type.value}, [{names}]{extra})"
+
+
+def and_gate(*inputs: Event) -> Gate:
+    """Convenience constructor for an AND gate."""
+    return Gate(GateType.AND, inputs)
+
+
+def or_gate(*inputs: Event) -> Gate:
+    """Convenience constructor for an OR gate."""
+    return Gate(GateType.OR, inputs)
+
+
+def kofn_gate(k: int, *inputs: Event) -> Gate:
+    """Convenience constructor for a K-of-N voting gate."""
+    return Gate(GateType.KOFN, inputs, k=k)
+
+
+def xor_gate(*inputs: Event) -> Gate:
+    """Convenience constructor for an XOR gate (non-coherent)."""
+    return Gate(GateType.XOR, inputs)
+
+
+def not_gate(event: Event) -> Gate:
+    """Convenience constructor for a NOT gate (non-coherent)."""
+    return Gate(GateType.NOT, [event])
+
+
+def inhibit_gate(cause: Event, condition: Condition) -> Gate:
+    """Convenience constructor for an INHIBIT gate."""
+    return Gate(GateType.INHIBIT, [cause], condition=condition)

@@ -1,0 +1,190 @@
+"""Module (independent subtree) detection for fault trees.
+
+A *module* is an intermediate event whose descendant leaves are reachable
+from the top event **only through it**.  Modules are the classic FTA
+decomposition lever: a module can be quantified once and treated as a
+single super-component, and its minimal cut sets compose with the rest
+of the tree without interaction.  Detection also tells the analyst which
+subsystems are genuinely independent — shared sensors (like the
+Elbtunnel light barriers feeding several detection chains) show up
+precisely as *non*-modular boundaries.
+
+Detection here uses exact path counting on the (possibly DAG-shaped)
+tree: an intermediate event ``M`` with ``p(M)`` root-paths is a module
+iff for every leaf ``l`` below it, the total number of root-paths to
+``l`` equals ``p(M)`` times the number of paths from ``M`` to ``l`` —
+i.e. every occurrence of ``l`` funnels through ``M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.fta.events import Event, IntermediateEvent, PrimaryFailure
+from repro.fta.gates import Gate, GateType
+from repro.fta.quantify import hazard_probability, probability_map
+from repro.fta.tree import FaultTree
+
+
+@dataclass(frozen=True)
+class Module:
+    """One detected module: its root event and its private leaves."""
+
+    root: str
+    leaves: FrozenSet[str]
+
+    @property
+    def size(self) -> int:
+        """Number of leaves owned by the module."""
+        return len(self.leaves)
+
+
+def _children(event: IntermediateEvent) -> List[Event]:
+    gate = event.gate
+    children = list(gate.inputs)
+    if gate.gate_type is GateType.INHIBIT:
+        children.append(gate.condition)
+    return children
+
+
+def _path_counts(root: Event) -> Dict[int, int]:
+    """Number of distinct root-to-node paths, keyed by node id."""
+    counts: Dict[int, int] = {id(root): 1}
+    order: List[Event] = []
+    seen: Set[int] = set()
+
+    def topo(event: Event) -> None:
+        if id(event) in seen:
+            return
+        seen.add(id(event))
+        if isinstance(event, IntermediateEvent):
+            for child in _children(event):
+                topo(child)
+        order.append(event)
+
+    topo(root)
+    for event in reversed(order):           # root first
+        if not isinstance(event, IntermediateEvent):
+            continue
+        base = counts.get(id(event), 0)
+        for child in _children(event):
+            counts[id(child)] = counts.get(id(child), 0) + base
+    return counts
+
+
+def _leaves_below(event: Event) -> Dict[int, Event]:
+    """All leaf objects reachable from ``event``, keyed by id."""
+    leaves: Dict[int, Event] = {}
+    seen: Set[int] = set()
+
+    def walk(node: Event) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, IntermediateEvent):
+            for child in _children(node):
+                walk(child)
+        else:
+            leaves[id(node)] = node
+
+    walk(event)
+    return leaves
+
+
+def find_modules(tree: FaultTree) -> List[Module]:
+    """Return all modules of the tree, largest first.
+
+    The top event is excluded (it is trivially a module).  An
+    intermediate event is reported when every root-path to each of its
+    leaves passes through it.
+    """
+    global_paths = _path_counts(tree.top)
+    modules: List[Module] = []
+    for event in tree.iter_events():
+        if not isinstance(event, IntermediateEvent) or event is tree.top:
+            continue
+        local_paths = _path_counts(event)
+        p_event = global_paths.get(id(event), 0)
+        is_module = True
+        for leaf_id in _leaves_below(event):
+            total = global_paths.get(leaf_id, 0)
+            within = local_paths.get(leaf_id, 0)
+            if total != p_event * within:
+                is_module = False
+                break
+        if is_module:
+            names = frozenset(l.name
+                              for l in _leaves_below(event).values())
+            modules.append(Module(root=event.name, leaves=names))
+    modules.sort(key=lambda m: (-m.size, m.root))
+    return modules
+
+
+def modular_probability(tree: FaultTree,
+                        probabilities: Optional[Dict[str, float]] = None,
+                        method: str = "exact") -> float:
+    """Quantify the tree by quantifying maximal modules independently.
+
+    Each chosen module is quantified on its own subtree and replaced by
+    an equivalent single leaf carrying the module's probability; the
+    reduced tree is then quantified.  For trees with independent leaves
+    this equals direct quantification (tested) while keeping every BDD
+    small.
+
+    Note: module substitution preserves *probability* for independent
+    leaves under the exact method; with ``rare_event`` it composes the
+    same approximation the paper's Eq. 1 makes.
+    """
+    probs = probability_map(tree, probabilities)
+    modules = find_modules(tree)
+    chosen: List[Module] = []
+    used: Set[str] = set()
+    for module in modules:
+        if module.leaves & used:
+            continue
+        if module.size < 2:
+            continue   # folding single leaves buys nothing
+        chosen.append(module)
+        used |= module.leaves
+
+    replacements: Dict[str, float] = {}
+    for module in chosen:
+        root_event = tree.event(module.root)
+        assert isinstance(root_event, IntermediateEvent)
+        sub = FaultTree(root_event, name=module.root)
+        replacements[module.root] = hazard_probability(sub, probs,
+                                                       method=method)
+
+    if not replacements:
+        return hazard_probability(tree, probs, method=method)
+
+    rebuilt: Dict[int, Event] = {}
+
+    def clone(event: Event) -> Event:
+        key = id(event)
+        if key in rebuilt:
+            return rebuilt[key]
+        if isinstance(event, IntermediateEvent) and \
+                event.name in replacements:
+            result: Event = PrimaryFailure(
+                event.name, probability=replacements[event.name],
+                description=f"module {event.name} folded")
+        elif isinstance(event, IntermediateEvent):
+            gate = event.gate
+            new_gate = Gate(gate.gate_type,
+                            [clone(c) for c in gate.inputs],
+                            k=gate.k, condition=gate.condition)
+            result = IntermediateEvent(event.name, new_gate,
+                                       event.description)
+        else:
+            result = event
+        rebuilt[key] = result
+        return result
+
+    top = clone(tree.top)
+    assert isinstance(top, IntermediateEvent)
+    reduced = FaultTree(top, name=tree.name)
+    remaining = dict(probs)
+    remaining.update(replacements)
+    return hazard_probability(reduced, remaining, method=method)

@@ -1,0 +1,324 @@
+"""Fault tree serialization: JSON round-trip, Galileo text, Graphviz DOT.
+
+The paper names "intuitive tool support" as a key feature for industrial
+adoption (Sect. V); interchange formats are the minimum viable version of
+that.  The JSON schema is self-describing and round-trips losslessly; the
+Galileo-style text format is write-only (a common exchange syntax for
+static fault trees); DOT export renders trees with the paper's Fig. 1
+shapes (circles for primary failures, houses for house events, ovals for
+INHIBIT conditions).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.fta.events import (
+    Condition,
+    Event,
+    Hazard,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.gates import Gate, GateType
+from repro.fta.tree import FaultTree
+
+_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def tree_to_dict(tree: FaultTree) -> Dict:
+    """Serialize a fault tree into a JSON-ready dictionary."""
+    events: Dict[str, Dict] = {}
+    for event in tree.iter_events():
+        entry: Dict = {"description": event.description}
+        if isinstance(event, PrimaryFailure):
+            entry["kind"] = "primary"
+            entry["probability"] = event.probability
+        elif isinstance(event, Condition):
+            entry["kind"] = "condition"
+            entry["probability"] = event.probability
+        elif isinstance(event, HouseEvent):
+            entry["kind"] = "house"
+            entry["state"] = event.state
+        elif isinstance(event, IntermediateEvent):
+            entry["kind"] = "hazard" if isinstance(event, Hazard) \
+                else "intermediate"
+            gate = event.gate
+            entry["gate"] = {
+                "type": gate.gate_type.value,
+                "inputs": [child.name for child in gate.inputs],
+            }
+            if gate.k is not None:
+                entry["gate"]["k"] = gate.k
+            if gate.condition is not None:
+                entry["gate"]["condition"] = gate.condition.name
+        else:
+            raise SerializationError(
+                f"cannot serialize event type {type(event).__name__}")
+        events[event.name] = entry
+    return {"schema": _SCHEMA_VERSION, "name": tree.name,
+            "top": tree.top.name, "events": events}
+
+
+def tree_from_dict(data: Dict) -> FaultTree:
+    """Rebuild a fault tree from :func:`tree_to_dict` output."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported schema version {data.get('schema')!r}")
+    try:
+        entries = data["events"]
+        top_name = data["top"]
+    except KeyError as exc:
+        raise SerializationError(f"missing key {exc}") from None
+
+    built: Dict[str, Event] = {}
+
+    def build(name: str) -> Event:
+        if name in built:
+            return built[name]
+        try:
+            entry = entries[name]
+        except KeyError:
+            raise SerializationError(
+                f"event {name!r} referenced but not defined") from None
+        kind = entry.get("kind")
+        description = entry.get("description", "")
+        if kind == "primary":
+            event: Event = PrimaryFailure(
+                name, entry.get("probability"), description)
+        elif kind == "condition":
+            event = Condition(name, entry.get("probability"), description)
+        elif kind == "house":
+            event = HouseEvent(name, entry["state"], description)
+        elif kind in ("intermediate", "hazard"):
+            gate_data = entry["gate"]
+            gate_type = GateType(gate_data["type"])
+            inputs = [build(child) for child in gate_data["inputs"]]
+            cond = None
+            if "condition" in gate_data:
+                cond_event = build(gate_data["condition"])
+                if not isinstance(cond_event, Condition):
+                    raise SerializationError(
+                        f"{gate_data['condition']!r} is not a condition")
+                cond = cond_event
+            gate = Gate(gate_type, inputs, k=gate_data.get("k"),
+                        condition=cond)
+            cls = Hazard if kind == "hazard" else IntermediateEvent
+            event = cls(name, gate, description)
+        else:
+            raise SerializationError(f"unknown event kind {kind!r}")
+        built[name] = event
+        return event
+
+    top = build(top_name)
+    if not isinstance(top, IntermediateEvent):
+        raise SerializationError(
+            f"top event {top_name!r} is not an intermediate event")
+    return FaultTree(top, name=data.get("name"))
+
+
+def tree_to_json(tree: FaultTree, indent: int = 2) -> str:
+    """Serialize a fault tree to a JSON string."""
+    return json.dumps(tree_to_dict(tree), indent=indent, sort_keys=True)
+
+
+def tree_from_json(text: str) -> FaultTree:
+    """Parse a fault tree from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from None
+    return tree_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Galileo-style text
+# ----------------------------------------------------------------------
+def tree_to_galileo(tree: FaultTree) -> str:
+    """Render the tree in a Galileo-style static fault tree syntax.
+
+    INHIBIT gates are rendered as 2-input ANDs over the cause and the
+    condition (the standard encoding); house events as probability 0/1
+    basic events.
+    """
+    lines: List[str] = [f"toplevel \"{tree.top.name}\";"]
+    for event in tree.iter_events():
+        if isinstance(event, IntermediateEvent):
+            gate = event.gate
+            names = [f"\"{child.name}\"" for child in gate.inputs]
+            gt = gate.gate_type
+            if gt is GateType.AND:
+                op = "and"
+            elif gt is GateType.OR:
+                op = "or"
+            elif gt is GateType.KOFN:
+                op = f"{gate.k}of{len(gate.inputs)}"
+            elif gt is GateType.XOR:
+                op = "xor"
+            elif gt is GateType.NOT:
+                op = "not"
+            elif gt is GateType.INHIBIT:
+                op = "and"
+                names.append(f"\"{gate.condition.name}\"")
+            else:  # pragma: no cover - exhaustive above
+                raise SerializationError(f"unknown gate type {gt!r}")
+            lines.append(f"\"{event.name}\" {op} {' '.join(names)};")
+    for event in tree.iter_events():
+        if isinstance(event, (PrimaryFailure, Condition)):
+            prob = event.probability
+            prob_text = f" prob={prob}" if prob is not None else ""
+            lines.append(f"\"{event.name}\"{prob_text};")
+        elif isinstance(event, HouseEvent):
+            lines.append(f"\"{event.name}\" prob={1.0 if event.state else 0.0};")
+    return "\n".join(lines) + "\n"
+
+
+def tree_from_galileo(text: str) -> FaultTree:
+    """Parse a Galileo-style static fault tree.
+
+    Accepts the subset :func:`tree_to_galileo` emits: a ``toplevel``
+    line, gate lines (``and``, ``or``, ``xor``, ``not``, ``KofN``), and
+    basic-event lines with optional ``prob=`` annotations.  The
+    INHIBIT distinction is not part of Galileo, so round-trips through
+    this format encode INHIBIT gates as ANDs with the condition as a
+    basic event (probabilities are preserved; constraint *semantics*
+    are not — use the JSON format for lossless storage).
+    """
+    import re
+
+    toplevel: Optional[str] = None
+    gate_lines: Dict[str, Tuple[str, List[str]]] = {}
+    basic_probs: Dict[str, Optional[float]] = {}
+
+    statements = [s.strip() for s in text.split(";")]
+    for statement in statements:
+        if not statement:
+            continue
+        if statement.startswith("toplevel"):
+            names = re.findall(r'"([^"]+)"', statement)
+            if len(names) != 1:
+                raise SerializationError(
+                    f"malformed toplevel statement: {statement!r}")
+            toplevel = names[0]
+            continue
+        names = re.findall(r'"([^"]+)"', statement)
+        if not names:
+            raise SerializationError(
+                f"cannot parse statement: {statement!r}")
+        head = names[0]
+        remainder = re.sub(r'"[^"]+"', " ", statement).split()
+        if remainder and remainder[0] in ("and", "or", "xor", "not") \
+                or (remainder and re.fullmatch(r"\d+of\d+",
+                                               remainder[0])):
+            op = remainder[0]
+            if len(names) < 2:
+                raise SerializationError(
+                    f"gate {head!r} has no inputs: {statement!r}")
+            gate_lines[head] = (op, names[1:])
+        else:
+            prob_match = re.search(r"prob\s*=\s*([0-9.eE+-]+)",
+                                   statement)
+            basic_probs[head] = float(prob_match.group(1)) \
+                if prob_match else None
+
+    if toplevel is None:
+        raise SerializationError("missing toplevel statement")
+
+    built: Dict[str, Event] = {}
+
+    def build(name: str) -> Event:
+        if name in built:
+            return built[name]
+        if name in gate_lines:
+            op, inputs = gate_lines[name]
+            children = [build(child) for child in inputs]
+            kofn_match = re.fullmatch(r"(\d+)of(\d+)", op)
+            if kofn_match:
+                k = int(kofn_match.group(1))
+                gate = Gate(GateType.KOFN, children, k=k)
+            elif op == "and":
+                gate = Gate(GateType.AND, children)
+            elif op == "or":
+                gate = Gate(GateType.OR, children)
+            elif op == "xor":
+                gate = Gate(GateType.XOR, children)
+            elif op == "not":
+                gate = Gate(GateType.NOT, children)
+            else:  # pragma: no cover - filtered during scanning
+                raise SerializationError(f"unknown gate op {op!r}")
+            cls = Hazard if name == toplevel else IntermediateEvent
+            event: Event = cls(name, gate)
+        elif name in basic_probs:
+            event = PrimaryFailure(name, basic_probs[name])
+        else:
+            raise SerializationError(
+                f"event {name!r} referenced but never defined")
+        built[name] = event
+        return event
+
+    top = build(toplevel)
+    if not isinstance(top, IntermediateEvent):
+        raise SerializationError(
+            f"toplevel {toplevel!r} is not a gate")
+    return FaultTree(top)
+
+
+# ----------------------------------------------------------------------
+# Graphviz DOT
+# ----------------------------------------------------------------------
+_GATE_LABELS = {
+    GateType.AND: "AND",
+    GateType.OR: "OR",
+    GateType.KOFN: "K/N",
+    GateType.XOR: "XOR",
+    GateType.NOT: "NOT",
+    GateType.INHIBIT: "INHIBIT",
+}
+
+
+def tree_to_dot(tree: FaultTree) -> str:
+    """Render the tree as a Graphviz digraph (top at the top)."""
+    lines = ["digraph fault_tree {", "  rankdir=TB;",
+             "  node [fontname=\"Helvetica\"];"]
+
+    def node_id(event: Event) -> str:
+        return f"\"{event.name}\""
+
+    for event in tree.iter_events():
+        if isinstance(event, IntermediateEvent):
+            gate = event.gate
+            label = f"{event.name}\\n[{_GATE_LABELS[gate.gate_type]}"
+            if gate.gate_type is GateType.KOFN:
+                label += f" k={gate.k}"
+            label += "]"
+            shape = "box"
+            style = ", style=bold" if isinstance(event, Hazard) else ""
+            lines.append(
+                f"  {node_id(event)} [label=\"{label}\", shape={shape}{style}];")
+        elif isinstance(event, PrimaryFailure):
+            lines.append(
+                f"  {node_id(event)} [label=\"{event.name}\", shape=circle];")
+        elif isinstance(event, Condition):
+            lines.append(
+                f"  {node_id(event)} [label=\"{event.name}\", shape=oval, "
+                "style=dashed];")
+        elif isinstance(event, HouseEvent):
+            lines.append(
+                f"  {node_id(event)} [label=\"{event.name}\", shape=house];")
+    for event in tree.iter_events():
+        if isinstance(event, IntermediateEvent):
+            gate = event.gate
+            for child in gate.inputs:
+                lines.append(f"  {node_id(event)} -> {node_id(child)};")
+            if gate.gate_type is GateType.INHIBIT:
+                lines.append(
+                    f"  {node_id(event)} -> \"{gate.condition.name}\" "
+                    "[style=dashed];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

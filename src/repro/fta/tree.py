@@ -1,0 +1,219 @@
+"""The :class:`FaultTree` container: validation, traversal, lookups.
+
+A fault tree is rooted at a hazard (the paper: "the hazard or top event is
+always the root").  Shared subtrees are allowed — structurally the tree is
+a DAG, which is the standard generalization — but cycles, duplicate names
+on distinct objects, and malformed gates are rejected at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import ValidationError
+from repro.fta.events import (
+    Condition,
+    Event,
+    Hazard,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.gates import Gate, GateType
+
+
+class FaultTree:
+    """An immutable, validated fault tree for one hazard.
+
+    Parameters
+    ----------
+    top:
+        The hazard (top event).  Any :class:`IntermediateEvent` is accepted
+        so subtrees can be analyzed standalone.
+    name:
+        Optional tree name; defaults to the top event's name.
+    """
+
+    def __init__(self, top: IntermediateEvent, name: Optional[str] = None):
+        if not isinstance(top, IntermediateEvent):
+            raise ValidationError(
+                "the top event must be an IntermediateEvent or Hazard, "
+                f"got {type(top).__name__}")
+        self.top = top
+        self.name = name if name is not None else top.name
+        self._events: Dict[str, Event] = {}
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        # Depth-first walk detecting cycles (grey set) and name clashes.
+        grey: Set[int] = set()
+        done: Set[int] = set()
+
+        def visit(event: Event) -> None:
+            key = id(event)
+            if key in grey:
+                raise ValidationError(
+                    f"cycle detected through event {event.name!r}")
+            if key in done:
+                return
+            known = self._events.get(event.name)
+            if known is not None and known is not event:
+                raise ValidationError(
+                    f"two distinct events share the name {event.name!r}")
+            self._events[event.name] = event
+            grey.add(key)
+            if isinstance(event, IntermediateEvent):
+                gate = event.gate
+                for child in gate.inputs:
+                    visit(child)
+                if gate.gate_type is GateType.INHIBIT:
+                    visit_condition(gate.condition)
+            grey.discard(key)
+            done.add(key)
+
+        def visit_condition(condition: Condition) -> None:
+            known = self._events.get(condition.name)
+            if known is not None and known is not condition:
+                raise ValidationError(
+                    f"two distinct events share the name {condition.name!r}")
+            self._events[condition.name] = condition
+
+        visit(self.top)
+
+    # ------------------------------------------------------------------
+    # Traversal & queries
+    # ------------------------------------------------------------------
+    def iter_events(self) -> Iterator[Event]:
+        """Yield every event exactly once (pre-order from the top)."""
+        seen: Set[int] = set()
+        stack: List[Event] = [self.top]
+        while stack:
+            event = stack.pop()
+            if id(event) in seen:
+                continue
+            seen.add(id(event))
+            yield event
+            if isinstance(event, IntermediateEvent):
+                gate = event.gate
+                if gate.gate_type is GateType.INHIBIT:
+                    stack.append(gate.condition)
+                stack.extend(reversed(gate.inputs))
+
+    def event(self, name: str) -> Event:
+        """Return the event called ``name`` or raise ``ValidationError``."""
+        try:
+            return self._events[name]
+        except KeyError:
+            raise ValidationError(
+                f"no event named {name!r} in tree {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._events
+
+    @property
+    def primary_failures(self) -> List[PrimaryFailure]:
+        """All primary failures, in first-visit order."""
+        return [e for e in self.iter_events()
+                if isinstance(e, PrimaryFailure)]
+
+    @property
+    def conditions(self) -> List[Condition]:
+        """All INHIBIT conditions, in first-visit order."""
+        return [e for e in self.iter_events() if isinstance(e, Condition)]
+
+    @property
+    def house_events(self) -> List[HouseEvent]:
+        """All house events, in first-visit order."""
+        return [e for e in self.iter_events() if isinstance(e, HouseEvent)]
+
+    @property
+    def intermediate_events(self) -> List[IntermediateEvent]:
+        """All intermediate events (the hazard included)."""
+        return [e for e in self.iter_events()
+                if isinstance(e, IntermediateEvent)]
+
+    @property
+    def gates(self) -> List[Gate]:
+        """All gates, one per intermediate event."""
+        return [e.gate for e in self.intermediate_events]
+
+    @property
+    def is_coherent(self) -> bool:
+        """True when no gate is XOR or NOT (monotone structure function)."""
+        return all(g.gate_type not in (GateType.XOR, GateType.NOT)
+                   for g in self.gates)
+
+    def depth(self) -> int:
+        """Longest path length (in gates) from the top to any leaf."""
+
+        memo: Dict[int, int] = {}
+
+        def walk(event: Event) -> int:
+            if not isinstance(event, IntermediateEvent):
+                return 0
+            key = id(event)
+            if key in memo:
+                return memo[key]
+            # Temporarily mark to keep recursion bounded on DAGs; cycles
+            # are impossible post-validation.
+            best = 1 + max(walk(child) for child in event.gate.inputs)
+            memo[key] = best
+            return best
+
+        return walk(self.top)
+
+    def evaluate(self, states: Dict[str, bool]) -> bool:
+        """Evaluate the structure function for a full leaf assignment.
+
+        ``states`` maps primary failure / condition names to booleans;
+        house events use their built-in state unless overridden.
+        """
+        memo: Dict[int, bool] = {}
+
+        def value_of(event: Event) -> bool:
+            key = id(event)
+            if key in memo:
+                return memo[key]
+            if isinstance(event, IntermediateEvent):
+                result = gate_value(event.gate)
+            elif isinstance(event, HouseEvent):
+                result = states.get(event.name, event.state)
+            else:
+                if event.name not in states:
+                    raise ValidationError(
+                        f"assignment missing leaf {event.name!r}")
+                result = bool(states[event.name])
+            memo[key] = result
+            return result
+
+        def gate_value(gate: Gate) -> bool:
+            values = [value_of(child) for child in gate.inputs]
+            gt = gate.gate_type
+            if gt is GateType.AND:
+                return all(values)
+            if gt is GateType.OR:
+                return any(values)
+            if gt is GateType.KOFN:
+                return sum(values) >= gate.k
+            if gt is GateType.XOR:
+                return sum(values) % 2 == 1
+            if gt is GateType.NOT:
+                return not values[0]
+            if gt is GateType.INHIBIT:
+                cond = gate.condition
+                cond_value = states.get(cond.name)
+                if cond_value is None:
+                    raise ValidationError(
+                        f"assignment missing condition {cond.name!r}")
+                return values[0] and bool(cond_value)
+            raise ValidationError(f"unknown gate type {gt!r}")
+
+        return value_of(self.top)
+
+    def __repr__(self) -> str:
+        return (f"FaultTree({self.name!r}, "
+                f"{len(self.primary_failures)} primary failures, "
+                f"{len(self.gates)} gates)")

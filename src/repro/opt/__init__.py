@@ -1,0 +1,62 @@
+"""Optimization substrate (paper Sect. III-B).
+
+Self-contained implementations of the methods the paper discusses —
+exhaustive "plot and zoom" search, the gradient method, and more elaborate
+nonlinear-programming alternatives (Nelder–Mead, simulated annealing,
+differential evolution, multistart globalization) — all over compact boxes
+so the minimum is guaranteed to exist, plus a scipy bridge for cross-checks
+and Pareto machinery for the underlying multi-objective trade-off.
+"""
+
+from repro.opt.anneal import simulated_annealing
+from repro.opt.coordinate import coordinate_descent
+from repro.opt.de import differential_evolution
+from repro.opt.golden import golden_section
+from repro.opt.gradient import gradient_descent
+from repro.opt.grid import grid_search, zoom_search
+from repro.opt.multistart import multistart
+from repro.opt.neldermead import nelder_mead
+from repro.opt.pareto import (
+    ParetoPoint,
+    pareto_filter,
+    sample_front,
+    weighted_sum_sweep,
+)
+from repro.opt.problem import Box, OptResult, Problem, best_of
+from repro.opt.scipy_bridge import scipy_differential_evolution, scipy_minimize
+from repro.opt.stochastic import (
+    ScenarioObjective,
+    cvar_cost,
+    expected_cost,
+    optimize_stochastic,
+    value_of_stochastic_solution,
+    worst_case_cost,
+)
+
+__all__ = [
+    "Box",
+    "Problem",
+    "OptResult",
+    "best_of",
+    "grid_search",
+    "zoom_search",
+    "golden_section",
+    "gradient_descent",
+    "coordinate_descent",
+    "nelder_mead",
+    "simulated_annealing",
+    "differential_evolution",
+    "multistart",
+    "scipy_minimize",
+    "scipy_differential_evolution",
+    "ParetoPoint",
+    "pareto_filter",
+    "sample_front",
+    "weighted_sum_sweep",
+    "ScenarioObjective",
+    "expected_cost",
+    "worst_case_cost",
+    "cvar_cost",
+    "optimize_stochastic",
+    "value_of_stochastic_solution",
+]

@@ -1,0 +1,80 @@
+"""Simulated annealing over a compact box.
+
+A global, derivative-free method for cost landscapes that are not "smooth
+enough" for nonlinear programming (the paper's escape hatch: "even if a
+specific optimization problem is neither analytically nor numerically
+solvable, this method can yield some results by testing possible
+combinations").  Gaussian proposals are scaled by the box widths and the
+temperature follows a geometric cooling schedule.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.opt.problem import OptResult, Problem, Vector
+
+
+def simulated_annealing(problem: Problem, x0: Optional[Vector] = None,
+                        seed: int = 0, steps: int = 5000,
+                        t0: Optional[float] = None, t_end: float = 1e-9,
+                        proposal_scale: float = 0.25) -> OptResult:
+    """Minimize by simulated annealing.
+
+    Parameters
+    ----------
+    problem:
+        Counted objective over a box.
+    x0:
+        Start point (box centre by default).
+    seed:
+        Seed of the private :class:`random.Random` — runs are reproducible.
+    steps:
+        Number of proposal steps.
+    t0:
+        Initial temperature; estimated from an initial random probe of the
+        objective's spread when omitted.
+    t_end:
+        Final temperature of the geometric schedule.
+    proposal_scale:
+        Proposal standard deviation as a fraction of each box width
+        (annealed down together with the temperature).
+    """
+    rng = random.Random(seed)
+    box = problem.box
+    x = box.clip(x0) if x0 is not None else box.center
+    start_evals = problem.evaluations
+    fx = problem(x)
+    best_x, best_f = x, fx
+
+    if t0 is None:
+        # Probe the landscape to set a temperature that accepts typical
+        # uphill moves early on.
+        probes = [problem(box.sample(rng)) for _ in range(10)]
+        spread = max(probes) - min(probes)
+        t0 = spread if spread > 0.0 else 1.0
+    cooling = (t_end / t0) ** (1.0 / max(steps - 1, 1))
+
+    history: List[Tuple[Vector, float]] = [(x, fx)]
+    temperature = t0
+    for step in range(steps):
+        frac = 1.0 - step / steps
+        candidate = box.clip(tuple(
+            xi + rng.gauss(0.0, proposal_scale * frac * w)
+            for xi, w in zip(x, box.widths)))
+        f_candidate = problem(candidate)
+        delta = f_candidate - fx
+        if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+            x, fx = candidate, f_candidate
+            if fx < best_f:
+                best_x, best_f = x, fx
+                history.append((best_x, best_f))
+        temperature *= cooling
+
+    return OptResult(
+        x=best_x, fun=best_f,
+        evaluations=problem.evaluations - start_evals, iterations=steps,
+        converged=True, method="simulated_annealing",
+        message=f"seed={seed}", history=history)

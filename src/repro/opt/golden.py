@@ -1,0 +1,55 @@
+"""Golden-section search for one-dimensional problems.
+
+Many safety parameters are tuned one at a time (a single tolerance, a
+single maintenance interval); golden-section search finds the minimum of a
+unimodal function on a compact interval with guaranteed interval reduction
+per step and no derivatives.
+"""
+
+from __future__ import annotations
+
+import math
+from repro.errors import OptimizationError
+from repro.opt.problem import OptResult, Problem
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/phi ~ 0.618
+
+
+def golden_section(problem: Problem, tol: float = 1e-8,
+                   max_iterations: int = 500) -> OptResult:
+    """Minimize a 1-D problem by golden-section search.
+
+    The objective should be unimodal on the interval; for multimodal
+    functions the result is a local minimum.
+    """
+    if problem.box.dim != 1:
+        raise OptimizationError(
+            f"golden-section search requires a 1-D box, "
+            f"got {problem.box.dim}-D")
+    (lo, hi), = problem.box.bounds
+    start_evals = problem.evaluations
+    a, b = lo, hi
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc = problem((c,))
+    fd = problem((d,))
+    iterations = 0
+    while b - a > tol and iterations < max_iterations:
+        iterations += 1
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = problem((c,))
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = problem((d,))
+    if fc < fd:
+        x, fx = c, fc
+    else:
+        x, fx = d, fd
+    return OptResult(
+        x=(x,), fun=fx, evaluations=problem.evaluations - start_evals,
+        iterations=iterations, converged=b - a <= tol,
+        method="golden_section",
+        message=f"final interval width {b - a:.3g}")

@@ -1,0 +1,79 @@
+"""Exhaustive grid search and the paper's "plot and zoom" refinement.
+
+Sect. III-B: "If there are only two free variables and the functions are
+smooth, then the solutions may be found by using a 3D plot of the cost
+function and zooming into it ... It is possible to test large number of
+combinations in very short time."  :func:`zoom_search` is the algorithmic
+form of that procedure: evaluate a full-factorial grid, re-centre a shrunk
+box on the best point, repeat until the box is smaller than the tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import OptimizationError
+from repro.opt.problem import Box, OptResult, Problem, Vector
+
+
+def grid_search(problem: Problem, points_per_dim: int = 11,
+                box: Optional[Box] = None) -> OptResult:
+    """Evaluate a full-factorial grid; return the best point found."""
+    box = box or problem.box
+    start_evals = problem.evaluations
+    best_x: Optional[Vector] = None
+    best_f = float("inf")
+    for point in box.grid(points_per_dim):
+        value = problem(point)
+        if value < best_f:
+            best_f, best_x = value, point
+    assert best_x is not None
+    return OptResult(
+        x=best_x, fun=best_f,
+        evaluations=problem.evaluations - start_evals, iterations=1,
+        converged=True, method="grid",
+        message=f"{points_per_dim} points per dimension")
+
+
+def zoom_search(problem: Problem, points_per_dim: int = 11,
+                shrink: float = 0.5, tol: float = 1e-6,
+                max_rounds: int = 60) -> OptResult:
+    """Iterated grid refinement (the paper's plot-and-zoom).
+
+    Parameters
+    ----------
+    problem:
+        The counted objective over its box.
+    points_per_dim:
+        Grid resolution per round.
+    shrink:
+        Relative box size after each round (0.5 halves every interval).
+    tol:
+        Stop when every interval is narrower than ``tol``.
+    max_rounds:
+        Hard round cap.
+    """
+    if not 0.0 < shrink < 1.0:
+        raise OptimizationError(f"shrink must be in (0, 1), got {shrink}")
+    box = problem.box
+    start_evals = problem.evaluations
+    best_x: Optional[Vector] = None
+    best_f = float("inf")
+    history: List[Tuple[Vector, float]] = []
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        result = grid_search(problem, points_per_dim, box)
+        if result.fun < best_f:
+            best_f, best_x = result.fun, result.x
+        history.append((best_x, best_f))
+        if max(box.widths) < tol:
+            break
+        box = box.shrink_around(best_x, shrink)
+    assert best_x is not None
+    converged = max(box.widths) < tol
+    return OptResult(
+        x=best_x, fun=best_f,
+        evaluations=problem.evaluations - start_evals, iterations=rounds,
+        converged=converged, method="zoom",
+        message=f"final box widths {tuple(f'{w:.2g}' for w in box.widths)}",
+        history=history)

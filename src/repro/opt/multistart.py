@@ -1,0 +1,66 @@
+"""Multi-start wrapper: run a local optimizer from several start points.
+
+Local methods (gradient descent, Nelder–Mead) only find the nearest local
+minimum; restarting them from a coarse grid or random starts and keeping
+the best result is the cheapest reliable globalization on the smooth,
+low-dimensional cost functions typical of safety optimization.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.opt.problem import OptResult, Problem, Vector, best_of
+
+LocalOptimizer = Callable[..., OptResult]
+
+
+def multistart(problem: Problem, local: LocalOptimizer,
+               starts: Optional[List[Vector]] = None,
+               random_starts: int = 0, grid_starts: int = 0,
+               seed: int = 0, **local_options) -> OptResult:
+    """Run ``local(problem, x0=start, **local_options)`` from many starts.
+
+    Parameters
+    ----------
+    problem:
+        Counted objective over a box.
+    local:
+        A local optimizer taking ``x0`` (e.g.
+        :func:`repro.opt.gradient.gradient_descent` or
+        :func:`repro.opt.neldermead.nelder_mead`).
+    starts:
+        Explicit start points (clipped onto the box).
+    random_starts:
+        Number of additional uniform random starts.
+    grid_starts:
+        If > 1, adds a full-factorial grid with this many points per
+        dimension as start points.
+    seed:
+        Seed for the random starts.
+    """
+    box = problem.box
+    points: List[Vector] = []
+    if starts:
+        points.extend(box.clip(s) for s in starts)
+    if grid_starts > 1:
+        points.extend(box.grid(grid_starts))
+    if random_starts > 0:
+        rng = random.Random(seed)
+        points.extend(box.sample(rng) for _ in range(random_starts))
+    if not points:
+        points = [box.center]
+
+    results: List[OptResult] = []
+    for start in points:
+        results.append(local(problem, x0=start, **local_options))
+    best = best_of(results)
+    total_evals = sum(r.evaluations for r in results)
+    return OptResult(
+        x=best.x, fun=best.fun, evaluations=total_evals,
+        iterations=len(results), converged=best.converged,
+        method=f"multistart({best.method})",
+        message=f"{len(points)} starts, best from start #"
+                f"{results.index(best)}",
+        history=[(r.x, r.fun) for r in results])

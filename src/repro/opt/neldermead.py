@@ -1,0 +1,112 @@
+"""Nelder–Mead simplex search, box-constrained by projection.
+
+A robust derivative-free local method for the "more elaborate and
+efficient algorithms" the paper alludes to (Sect. III-B).  Vertices are
+clipped onto the feasible box after every reflection/expansion step; the
+simplex is initialized relative to the box widths so the method behaves
+sensibly for badly scaled timer/tolerance domains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.opt.problem import OptResult, Problem, Vector
+
+
+def nelder_mead(problem: Problem, x0: Optional[Vector] = None,
+                initial_scale: float = 0.1, f_tol: float = 1e-12,
+                x_tol: float = 1e-9, max_iterations: int = 2000,
+                alpha: float = 1.0, gamma: float = 2.0,
+                rho: float = 0.5, sigma: float = 0.5) -> OptResult:
+    """Minimize a problem with the Nelder–Mead simplex algorithm.
+
+    Parameters
+    ----------
+    problem:
+        Counted objective over a box.
+    x0:
+        Start point (box centre by default).
+    initial_scale:
+        Initial simplex edge length as a fraction of each box width.
+    f_tol, x_tol:
+        Convergence thresholds on the simplex's value spread and extent.
+    alpha, gamma, rho, sigma:
+        Reflection, expansion, contraction and shrink coefficients.
+    """
+    box = problem.box
+    n = box.dim
+    start = box.clip(x0) if x0 is not None else box.center
+    start_evals = problem.evaluations
+
+    # Initial simplex: start point plus one offset vertex per dimension.
+    simplex: List[Vector] = [start]
+    for i in range(n):
+        lo, hi = box.bounds[i]
+        offset = initial_scale * (hi - lo)
+        vertex = list(start)
+        vertex[i] = vertex[i] + offset if vertex[i] + offset <= hi \
+            else vertex[i] - offset
+        simplex.append(box.clip(tuple(vertex)))
+    values = [problem(v) for v in simplex]
+
+    history: List[Tuple[Vector, float]] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        order = sorted(range(len(simplex)), key=lambda i: values[i])
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+        history.append((simplex[0], values[0]))
+
+        f_spread = values[-1] - values[0]
+        x_extent = max(
+            max(abs(v[i] - simplex[0][i]) for v in simplex)
+            for i in range(n))
+        if f_spread <= f_tol and x_extent <= x_tol:
+            converged = True
+            break
+
+        centroid = tuple(
+            sum(v[i] for v in simplex[:-1]) / n for i in range(n))
+        worst = simplex[-1]
+        reflected = box.clip(tuple(
+            c + alpha * (c - w) for c, w in zip(centroid, worst)))
+        f_reflected = problem(reflected)
+
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        if f_reflected < values[0]:
+            expanded = box.clip(tuple(
+                c + gamma * (r - c) for c, r in zip(centroid, reflected)))
+            f_expanded = problem(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        # Contraction (outside if the reflection improved on the worst).
+        if f_reflected < values[-1]:
+            contracted = box.clip(tuple(
+                c + rho * (r - c) for c, r in zip(centroid, reflected)))
+        else:
+            contracted = box.clip(tuple(
+                c + rho * (w - c) for c, w in zip(centroid, worst)))
+        f_contracted = problem(contracted)
+        if f_contracted < min(f_reflected, values[-1]):
+            simplex[-1], values[-1] = contracted, f_contracted
+            continue
+        # Shrink towards the best vertex.
+        best = simplex[0]
+        for i in range(1, len(simplex)):
+            simplex[i] = box.clip(tuple(
+                b + sigma * (v - b) for b, v in zip(best, simplex[i])))
+            values[i] = problem(simplex[i])
+
+    best_index = min(range(len(simplex)), key=lambda i: values[i])
+    return OptResult(
+        x=simplex[best_index], fun=values[best_index],
+        evaluations=problem.evaluations - start_evals,
+        iterations=iterations, converged=converged, method="nelder_mead",
+        history=history)

@@ -1,0 +1,95 @@
+"""Multi-objective analysis: Pareto fronts over opposed hazards.
+
+"In practice for most systems safety is a tradeoff between different
+undesired events" (Sect. III) — the Elbtunnel's collision risk and false-
+alarm risk cannot both be minimized.  A single cost function collapses the
+trade-off with fixed weights; this module exposes the whole trade-off:
+
+* :func:`pareto_filter` keeps the non-dominated points of a sampled set,
+* :func:`weighted_sum_sweep` scans weight ratios, re-optimizing the scalar
+  cost each time — tracing the convex part of the Pareto front and showing
+  how sensitive the "optimal" configuration is to the (ethically fraught)
+  cost-of-a-hazard figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.opt.neldermead import nelder_mead
+from repro.opt.problem import Box, OptResult, Problem, Vector
+
+MultiObjective = Callable[[Vector], Tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration with its vector of objective values."""
+
+    x: Vector
+    objectives: Tuple[float, ...]
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is no worse everywhere and better somewhere."""
+        if len(self.objectives) != len(other.objectives):
+            raise OptimizationError(
+                "cannot compare points with different objective counts")
+        no_worse = all(a <= b for a, b in
+                       zip(self.objectives, other.objectives))
+        better = any(a < b for a, b in
+                     zip(self.objectives, other.objectives))
+        return no_worse and better
+
+
+def pareto_filter(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Return the non-dominated subset, sorted by the first objective."""
+    front: List[ParetoPoint] = []
+    for candidate in points:
+        if any(other.dominates(candidate) for other in points
+               if other is not candidate):
+            continue
+        if any(f.objectives == candidate.objectives and f.x == candidate.x
+               for f in front):
+            continue
+        front.append(candidate)
+    front.sort(key=lambda p: p.objectives)
+    return front
+
+
+def sample_front(objectives: MultiObjective, box: Box,
+                 points_per_dim: int = 21) -> List[ParetoPoint]:
+    """Evaluate the objective vector on a grid and Pareto-filter it."""
+    points = [ParetoPoint(x, tuple(objectives(x)))
+              for x in box.grid(points_per_dim)]
+    return pareto_filter(points)
+
+
+def weighted_sum_sweep(objectives: MultiObjective, box: Box,
+                       weights: Sequence[Tuple[float, ...]],
+                       optimizer: Callable[..., OptResult] = nelder_mead,
+                       **optimizer_options) -> List[ParetoPoint]:
+    """Optimize a weighted sum of the objectives for each weight vector.
+
+    Each weight vector produces one (convex-front) Pareto point; the
+    returned list is Pareto-filtered and sorted.  This is precisely the
+    paper's construction generalized: its single cost function is the
+    weight vector ``(100000, 1)``.
+    """
+    if not weights:
+        raise OptimizationError("need at least one weight vector")
+    results: List[ParetoPoint] = []
+    for weight in weights:
+        def scalar(x: Vector, _w=tuple(weight)) -> float:
+            values = objectives(x)
+            if len(values) != len(_w):
+                raise OptimizationError(
+                    f"objective returned {len(values)} values for "
+                    f"{len(_w)} weights")
+            return sum(wi * vi for wi, vi in zip(_w, values))
+
+        problem = Problem(scalar, box, name=f"weighted{tuple(weight)}")
+        best = optimizer(problem, **optimizer_options)
+        results.append(ParetoPoint(best.x, tuple(objectives(best.x))))
+    return pareto_filter(results)

@@ -1,0 +1,172 @@
+"""Optimization problem definition: boxes, counted objectives, results.
+
+The paper restricts free parameters to compact intervals "to guarantee the
+existence of the minimum" (Sect. III-B); :class:`Box` is that product of
+compact intervals.  :class:`Problem` wraps the objective with evaluation
+counting so algorithm comparisons (benchmark A1) report work honestly, and
+:class:`OptResult` is the uniform result record every optimizer returns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import OptimizationError
+
+Vector = Tuple[float, ...]
+
+
+class Box:
+    """A product of compact intervals — the feasible set.
+
+    ``Box([(0, 30), (0, 30)])`` is the paper's timer-runtime domain.
+    """
+
+    def __init__(self, bounds: Sequence[Tuple[float, float]]):
+        bounds = [(float(lo), float(hi)) for lo, hi in bounds]
+        if not bounds:
+            raise OptimizationError("box needs at least one interval")
+        for lo, hi in bounds:
+            if not (math.isfinite(lo) and math.isfinite(hi)):
+                raise OptimizationError(
+                    f"intervals must be compact (finite), got [{lo}, {hi}]")
+            if not lo < hi:
+                raise OptimizationError(
+                    f"interval must satisfy lo < hi, got [{lo}, {hi}]")
+        self.bounds: List[Tuple[float, float]] = bounds
+
+    @property
+    def dim(self) -> int:
+        """Number of free parameters."""
+        return len(self.bounds)
+
+    @property
+    def widths(self) -> Vector:
+        """Interval widths per dimension."""
+        return tuple(hi - lo for lo, hi in self.bounds)
+
+    @property
+    def center(self) -> Vector:
+        """Midpoint of the box."""
+        return tuple(0.5 * (lo + hi) for lo, hi in self.bounds)
+
+    def contains(self, x: Sequence[float], tol: float = 1e-12) -> bool:
+        """True when ``x`` lies inside the box (with tolerance)."""
+        if len(x) != self.dim:
+            return False
+        return all(lo - tol <= xi <= hi + tol
+                   for xi, (lo, hi) in zip(x, self.bounds))
+
+    def clip(self, x: Sequence[float]) -> Vector:
+        """Project ``x`` onto the box (component-wise clamp)."""
+        if len(x) != self.dim:
+            raise OptimizationError(
+                f"point has dimension {len(x)}, box has {self.dim}")
+        return tuple(min(max(xi, lo), hi)
+                     for xi, (lo, hi) in zip(x, self.bounds))
+
+    def sample(self, rng: random.Random) -> Vector:
+        """Draw a uniform random point inside the box."""
+        return tuple(rng.uniform(lo, hi) for lo, hi in self.bounds)
+
+    def grid(self, points_per_dim: int) -> List[Vector]:
+        """Return a full-factorial grid with endpoints included."""
+        if points_per_dim < 2:
+            raise OptimizationError(
+                f"need at least 2 points per dimension, got {points_per_dim}")
+        axes = []
+        for lo, hi in self.bounds:
+            step = (hi - lo) / (points_per_dim - 1)
+            axes.append([lo + i * step for i in range(points_per_dim)])
+        points: List[Vector] = [()]
+        for axis in axes:
+            points = [p + (v,) for p in points for v in axis]
+        return points
+
+    def shrink_around(self, x: Sequence[float], factor: float) -> "Box":
+        """Return a sub-box of relative size ``factor`` centred on ``x``.
+
+        The sub-box is clamped so it never leaves the original box — the
+        zoom step of the paper's "3D plot and zoom into it" procedure.
+        """
+        if not 0.0 < factor < 1.0:
+            raise OptimizationError(
+                f"shrink factor must be in (0, 1), got {factor}")
+        new_bounds = []
+        for xi, (lo, hi) in zip(self.clip(x), self.bounds):
+            half = 0.5 * factor * (hi - lo)
+            new_lo, new_hi = xi - half, xi + half
+            # Slide the window back inside when it sticks out of a wall;
+            # factor < 1 guarantees it fits.
+            if new_lo < lo:
+                new_lo, new_hi = lo, lo + 2.0 * half
+            elif new_hi > hi:
+                new_lo, new_hi = hi - 2.0 * half, hi
+            new_bounds.append((new_lo, new_hi))
+        return Box(new_bounds)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"[{lo:g}, {hi:g}]" for lo, hi in self.bounds)
+        return f"Box({inside})"
+
+
+class Problem:
+    """A minimization problem: counted objective over a box.
+
+    The objective receives a tuple of floats and returns a float.  Every
+    call is counted; optimizers report the count in their results.
+    """
+
+    def __init__(self, objective: Callable[[Vector], float], box: Box,
+                 name: str = "problem"):
+        if not callable(objective):
+            raise OptimizationError("objective must be callable")
+        self._objective = objective
+        self.box = box
+        self.name = name
+        self.evaluations = 0
+
+    def __call__(self, x: Sequence[float]) -> float:
+        x = tuple(float(v) for v in x)
+        if not self.box.contains(x, tol=1e-9):
+            raise OptimizationError(
+                f"objective evaluated outside the box at {x}")
+        self.evaluations += 1
+        value = float(self._objective(x))
+        if math.isnan(value):
+            raise OptimizationError(f"objective returned NaN at {x}")
+        return value
+
+    def reset_counter(self) -> None:
+        """Zero the evaluation counter (e.g. between benchmark rounds)."""
+        self.evaluations = 0
+
+
+@dataclass
+class OptResult:
+    """Uniform optimizer result record."""
+
+    x: Vector
+    fun: float
+    evaluations: int
+    iterations: int
+    converged: bool
+    method: str
+    message: str = ""
+    history: List[Tuple[Vector, float]] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        point = ", ".join(f"{v:.6g}" for v in self.x)
+        return (f"OptResult({self.method}: f({point}) = {self.fun:.6g}, "
+                f"{self.evaluations} evals, "
+                f"{'converged' if self.converged else 'not converged'})")
+
+
+def best_of(results: Sequence[OptResult]) -> OptResult:
+    """Return the result with the lowest objective value."""
+    if not results:
+        raise OptimizationError("no results to choose from")
+    return min(results, key=lambda r: r.fun)

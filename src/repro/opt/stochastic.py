@@ -1,0 +1,166 @@
+"""Scenario-based stochastic programming over safety cost functions.
+
+The paper's future work (Sect. V): "an interesting connection is to
+reduce the whole optimization problem to a problem of stochastic
+programming, which is a branch of mathematical optimization that deals
+with probability distributions."
+
+This module implements the two standard single-stage formulations:
+
+* **Expected value**: minimize ``E_w[f(x; w)]`` over weighted scenarios
+  ``w`` (environments the system may face: traffic levels, component
+  ages, weather regimes);
+* **Conditional value at risk (CVaR)**: minimize the expected cost of
+  the worst ``(1 - alpha)`` tail across scenarios — the risk-averse
+  operator's objective, which refuses configurations that are great on
+  average but catastrophic in some environment.
+
+A robust (worst-case) evaluation is included for comparison.  Scenarios
+are plain objective functions, so any :class:`SafetyModel` cost works:
+``lambda x: model_for(env).cost(x)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.opt.neldermead import nelder_mead
+from repro.opt.problem import Box, OptResult, Problem, Vector
+
+Objective = Callable[[Vector], float]
+
+
+@dataclass(frozen=True)
+class ScenarioObjective:
+    """One environment: its objective and its occurrence weight."""
+
+    name: str
+    objective: Objective
+    weight: float
+
+    def __post_init__(self):
+        if self.weight < 0.0:
+            raise OptimizationError(
+                f"scenario {self.name!r} weight must be >= 0, "
+                f"got {self.weight}")
+
+
+def _normalized(scenarios: Sequence[ScenarioObjective]
+                ) -> List[ScenarioObjective]:
+    if not scenarios:
+        raise OptimizationError("need at least one scenario")
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise OptimizationError(f"duplicate scenario names: {names}")
+    total = sum(s.weight for s in scenarios)
+    if total <= 0.0:
+        raise OptimizationError("scenario weights must not sum to zero")
+    return [ScenarioObjective(s.name, s.objective, s.weight / total)
+            for s in scenarios]
+
+
+def expected_cost(scenarios: Sequence[ScenarioObjective],
+                  x: Vector) -> float:
+    """``E_w[f(x; w)]`` over normalized scenario weights."""
+    normalized = _normalized(scenarios)
+    return sum(s.weight * s.objective(x) for s in normalized)
+
+
+def worst_case_cost(scenarios: Sequence[ScenarioObjective],
+                    x: Vector) -> float:
+    """``max_w f(x; w)`` — the robust-optimization evaluation."""
+    normalized = _normalized(scenarios)
+    return max(s.objective(x) for s in normalized)
+
+
+def cvar_cost(scenarios: Sequence[ScenarioObjective], x: Vector,
+              alpha: float = 0.8) -> float:
+    """Conditional value at risk at level ``alpha``.
+
+    The expected cost over the worst ``(1 - alpha)`` probability mass of
+    scenarios.  ``alpha = 0`` gives the plain expectation, ``alpha -> 1``
+    approaches the worst case.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise OptimizationError(f"alpha must be in [0, 1), got {alpha}")
+    normalized = _normalized(scenarios)
+    evaluated = sorted(((s.objective(x), s.weight) for s in normalized),
+                       key=lambda pair: pair[0], reverse=True)
+    tail = 1.0 - alpha
+    remaining = tail
+    accumulated = 0.0
+    for value, weight in evaluated:
+        take = min(weight, remaining)
+        accumulated += take * value
+        remaining -= take
+        if remaining <= 1e-15:
+            break
+    return accumulated / tail
+
+
+def optimize_stochastic(scenarios: Sequence[ScenarioObjective], box: Box,
+                        formulation: str = "expected",
+                        alpha: float = 0.8,
+                        optimizer: Callable[..., OptResult] = nelder_mead,
+                        **optimizer_options) -> OptResult:
+    """Minimize a stochastic-programming formulation over the box.
+
+    Parameters
+    ----------
+    scenarios:
+        The weighted environments.
+    box:
+        The feasible parameter box.
+    formulation:
+        ``"expected"``, ``"cvar"`` or ``"worst_case"``.
+    alpha:
+        CVaR level (only used by the ``cvar`` formulation).
+    optimizer:
+        Any box optimizer from :mod:`repro.opt` (Nelder–Mead default).
+    """
+    normalized = _normalized(scenarios)
+    if formulation == "expected":
+        scalar = lambda x: expected_cost(normalized, x)       # noqa: E731
+    elif formulation == "cvar":
+        scalar = lambda x: cvar_cost(normalized, x, alpha)    # noqa: E731
+    elif formulation == "worst_case":
+        scalar = lambda x: worst_case_cost(normalized, x)     # noqa: E731
+    else:
+        raise OptimizationError(
+            f"unknown formulation {formulation!r}; expected 'expected', "
+            "'cvar' or 'worst_case'")
+    problem = Problem(scalar, box, name=f"stochastic:{formulation}")
+    result = optimizer(problem, **optimizer_options)
+    return OptResult(
+        x=result.x, fun=result.fun, evaluations=result.evaluations,
+        iterations=result.iterations, converged=result.converged,
+        method=f"stochastic:{formulation}({result.method})",
+        message=result.message, history=result.history)
+
+
+def value_of_stochastic_solution(
+        scenarios: Sequence[ScenarioObjective], box: Box,
+        optimizer: Callable[..., OptResult] = nelder_mead,
+        **optimizer_options) -> Tuple[float, OptResult, OptResult]:
+    """The classic VSS: how much does modelling uncertainty buy?
+
+    Compares the expected cost of (a) the stochastic solution against
+    (b) the solution obtained by optimizing the *mean* scenario only
+    (the deterministic "expected-value problem"), both evaluated under
+    the true scenario distribution.  Returns ``(vss, stochastic_result,
+    deterministic_result)`` with ``vss >= 0`` up to optimizer noise.
+    """
+    normalized = _normalized(scenarios)
+    stochastic = optimize_stochastic(normalized, box, "expected",
+                                     optimizer=optimizer,
+                                     **optimizer_options)
+    # Deterministic counterpart: the single highest-weight scenario.
+    nominal = max(normalized, key=lambda s: s.weight)
+    nominal_problem = Problem(nominal.objective, box, name="nominal")
+    deterministic = optimizer(nominal_problem, **optimizer_options)
+    deterministic_under_truth = expected_cost(normalized,
+                                              deterministic.x)
+    vss = deterministic_under_truth - stochastic.fun
+    return vss, stochastic, deterministic

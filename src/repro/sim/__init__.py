@@ -1,0 +1,21 @@
+"""Simulation substrate: discrete-event kernel and Monte Carlo engine.
+
+Two validation paths for the analytic machinery:
+
+* :mod:`repro.sim.kernel` — a discrete-event simulation kernel used by the
+  Elbtunnel traffic simulator (:mod:`repro.elbtunnel.simulation`) to
+  measure hazard frequencies directly from simulated traffic,
+* :mod:`repro.sim.montecarlo` — samples fault tree leaves as independent
+  Bernoulli variables and estimates the hazard probability with confidence
+  intervals (cross-checking the formulas of Sect. II-C against sampling).
+"""
+
+from repro.sim.kernel import Process, Simulator
+from repro.sim.montecarlo import MonteCarloEstimate, monte_carlo_probability
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "MonteCarloEstimate",
+    "monte_carlo_probability",
+]

@@ -1,0 +1,142 @@
+"""A small discrete-event simulation kernel.
+
+Events are callbacks on a time-ordered heap with deterministic FIFO
+tie-breaking, so simulations are exactly reproducible for a fixed seed.
+Generator-based processes (`yield delay`) are supported for modelling
+entities with their own timelines (vehicles driving through zones); plain
+callback scheduling covers everything else (timer expirations, sensor
+pulses).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, List, Tuple
+
+from repro.errors import SimulationError
+
+Action = Callable[[], None]
+
+
+class Process:
+    """A generator-driven simulation process.
+
+    The generator yields non-negative delays; the kernel resumes it after
+    each delay until it finishes.  ``alive`` turns false on completion or
+    cancellation.
+    """
+
+    def __init__(self, simulator: "Simulator",
+                 generator: Generator[float, None, None], name: str = ""):
+        self._simulator = simulator
+        self._generator = generator
+        self.name = name
+        self.alive = True
+
+    def cancel(self) -> None:
+        """Stop the process; pending resumptions become no-ops."""
+        if self.alive:
+            self.alive = False
+            self._generator.close()
+
+    def _step(self) -> None:
+        if not self.alive:
+            return
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self.alive = False
+            return
+        if delay is None or delay < 0:
+            self.alive = False
+            raise SimulationError(
+                f"process {self.name or id(self)} yielded invalid delay "
+                f"{delay!r}")
+        self._simulator.schedule(delay, self._step)
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Action]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(self, delay: float, action: Action) -> None:
+        """Run ``action`` after ``delay`` time units (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past "
+                                  f"(delay={delay})")
+        heapq.heappush(self._queue,
+                       (self._now + delay, next(self._sequence), action))
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        """Run ``action`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})")
+        heapq.heappush(self._queue,
+                       (time, next(self._sequence), action))
+
+    def process(self, generator: Generator[float, None, None],
+                name: str = "", delay: float = 0.0) -> Process:
+        """Start a generator process after an optional delay."""
+        proc = Process(self, generator, name)
+        self.schedule(delay, proc._step)
+        return proc
+
+    def run_until(self, end_time: float) -> None:
+        """Execute events in order until the clock passes ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are executed; the clock
+        finishes at ``end_time``.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} is before now ({self._now})")
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue and self._queue[0][0] <= end_time:
+                time, _seq, action = heapq.heappop(self._queue)
+                self._now = time
+                action()
+                self.events_executed += 1
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Execute all pending events (bounded by ``max_events``)."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; "
+                        "possible runaway simulation")
+                time, _seq, action = heapq.heappop(self._queue)
+                self._now = time
+                action()
+                executed += 1
+                self.events_executed += 1
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-executed events."""
+        return len(self._queue)

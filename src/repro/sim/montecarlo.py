@@ -1,0 +1,117 @@
+"""Monte Carlo estimation of hazard probabilities from fault trees.
+
+Samples every leaf (primary failures, conditions, house-event overrides)
+as independent Bernoulli variables and evaluates the tree's structure
+function.  This makes *no* rare-event or order-truncation approximation,
+so it serves as an independent check of both the standard formula (Eq. 1)
+and the exact BDD evaluation — the three must agree within sampling error
+(benchmark A3).
+
+Rare hazards need many samples; :func:`monte_carlo_probability` reports a
+Wilson confidence interval so callers can see when the budget was too
+small rather than trusting a noisy point estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.fta.events import Condition, PrimaryFailure
+from repro.fta.quantify import probability_map
+from repro.fta.tree import FaultTree
+from repro.stats.estimation import wilson_ci
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Result of a Monte Carlo hazard-probability run."""
+
+    probability: float
+    ci_low: float
+    ci_high: float
+    occurrences: int
+    samples: int
+    confidence: float
+
+    def agrees_with(self, analytic: float) -> bool:
+        """True when an analytic value falls inside the interval."""
+        return self.ci_low <= analytic <= self.ci_high
+
+    def __repr__(self) -> str:
+        return (f"MonteCarloEstimate(p={self.probability:.3e} "
+                f"[{self.ci_low:.3e}, {self.ci_high:.3e}] "
+                f"@{self.confidence:.0%}, n={self.samples})")
+
+
+def monte_carlo_probability(
+        tree: FaultTree,
+        probabilities: Optional[Dict[str, float]] = None,
+        samples: int = 100_000, seed: int = 0,
+        confidence: float = 0.95) -> MonteCarloEstimate:
+    """Estimate the hazard probability of ``tree`` by direct sampling.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree (coherent or not).
+    probabilities:
+        Leaf probability overrides merged over event defaults.
+    samples:
+        Number of independent leaf-assignment samples.
+    seed:
+        Seed of the private RNG; runs are reproducible.
+    confidence:
+        Confidence level of the Wilson interval.
+    """
+    if samples <= 0:
+        raise SimulationError(f"samples must be > 0, got {samples}")
+    probs = probability_map(tree, probabilities)
+    leaf_names = [e.name for e in tree.iter_events()
+                  if isinstance(e, (PrimaryFailure, Condition))]
+    rng = random.Random(seed)
+    occurrences = 0
+    assignment: Dict[str, bool] = {}
+    for _ in range(samples):
+        for name in leaf_names:
+            assignment[name] = rng.random() < probs[name]
+        if tree.evaluate(assignment):
+            occurrences += 1
+    ci_low, ci_high = wilson_ci(occurrences, samples, confidence)
+    return MonteCarloEstimate(
+        probability=occurrences / samples, ci_low=ci_low, ci_high=ci_high,
+        occurrences=occurrences, samples=samples, confidence=confidence)
+
+
+def monte_carlo_cut_set_frequencies(
+        tree: FaultTree,
+        probabilities: Optional[Dict[str, float]] = None,
+        samples: int = 100_000, seed: int = 0) -> Dict[str, float]:
+    """Estimate, per primary failure, how often it participates in a hazard.
+
+    For each sample where the hazard occurs, every true leaf is credited.
+    The result maps leaf names to their hazard-conditional occurrence
+    frequency — a sampling analogue of Fussell–Vesely importance.
+    """
+    if samples <= 0:
+        raise SimulationError(f"samples must be > 0, got {samples}")
+    probs = probability_map(tree, probabilities)
+    leaf_names = [e.name for e in tree.iter_events()
+                  if isinstance(e, (PrimaryFailure, Condition))]
+    rng = random.Random(seed)
+    hazard_count = 0
+    credit: Dict[str, int] = {name: 0 for name in leaf_names}
+    assignment: Dict[str, bool] = {}
+    for _ in range(samples):
+        for name in leaf_names:
+            assignment[name] = rng.random() < probs[name]
+        if tree.evaluate(assignment):
+            hazard_count += 1
+            for name in leaf_names:
+                if assignment[name]:
+                    credit[name] += 1
+    if hazard_count == 0:
+        return {name: 0.0 for name in leaf_names}
+    return {name: count / hazard_count for name, count in credit.items()}

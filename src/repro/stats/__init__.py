@@ -1,0 +1,73 @@
+"""Statistics substrate: distributions, reliability models, estimation.
+
+The paper's parameterized probabilities (Sect. II-D.2, IV-C) are functions
+built from standard probability distributions — most prominently the
+truncated normal driving-time model ``Normal(mu=4, sigma=2)`` restricted to
+non-negative times.  This package provides those distributions with a
+uniform interface (:class:`Distribution`), reliability models that map
+exposure parameters to failure probabilities, and simple estimation helpers
+(fits and confidence intervals) forming the "interface between mathematics
+and statistics" the paper argues for.
+"""
+
+from repro.stats.bayes import (
+    Beta,
+    GammaDist,
+    jeffreys_prior,
+    uniform_prior,
+    update_binomial,
+    update_poisson_exposure,
+)
+from repro.stats.distributions import (
+    Distribution,
+    Exponential,
+    LogNormal,
+    Normal,
+    PointMass,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+from repro.stats.estimation import (
+    fit_exponential_mle,
+    fit_normal_moments,
+    fit_weibull_moments,
+    normal_ci,
+    wilson_ci,
+)
+from repro.stats.reliability import (
+    ConstantRateModel,
+    ExposureWindowModel,
+    MissionTimeModel,
+    PerDemandModel,
+    ReliabilityModel,
+    WeibullHazardModel,
+)
+
+__all__ = [
+    "Beta",
+    "GammaDist",
+    "jeffreys_prior",
+    "uniform_prior",
+    "update_binomial",
+    "update_poisson_exposure",
+    "Distribution",
+    "Normal",
+    "TruncatedNormal",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "Uniform",
+    "PointMass",
+    "ReliabilityModel",
+    "ConstantRateModel",
+    "WeibullHazardModel",
+    "PerDemandModel",
+    "MissionTimeModel",
+    "ExposureWindowModel",
+    "fit_normal_moments",
+    "fit_exponential_mle",
+    "fit_weibull_moments",
+    "normal_ci",
+    "wilson_ci",
+]

@@ -1,0 +1,128 @@
+"""Estimation helpers: distribution fits and confidence intervals.
+
+The paper stresses that safety optimization is only as good as its
+statistical model (Sect. V) and that "good interfaces between mathematics
+and statistics" improve safety analysis.  This module provides the small
+estimation toolbox a practitioner needs to turn observed data (driving
+times, sensor fault logs, alarm counts) into the distributions and
+probabilities the rest of the library consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.errors import DistributionError
+from repro.stats.distributions import Exponential, Normal, Weibull
+
+
+def _require_samples(samples: Sequence[float], minimum: int) -> None:
+    if len(samples) < minimum:
+        raise DistributionError(
+            f"need at least {minimum} samples, got {len(samples)}")
+
+
+def fit_normal_moments(samples: Sequence[float]) -> Normal:
+    """Fit a :class:`Normal` by the method of moments (sample mean / std).
+
+    Uses the unbiased (n-1) variance estimator.
+    """
+    _require_samples(samples, 2)
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    if var <= 0.0:
+        raise DistributionError("samples have zero variance; cannot fit")
+    return Normal(mu=mean, sigma=math.sqrt(var))
+
+
+def fit_exponential_mle(samples: Sequence[float]) -> Exponential:
+    """Fit an :class:`Exponential` by maximum likelihood (rate = 1 / mean)."""
+    _require_samples(samples, 1)
+    if any(x < 0.0 for x in samples):
+        raise DistributionError("exponential samples must be non-negative")
+    mean = sum(samples) / len(samples)
+    if mean <= 0.0:
+        raise DistributionError("sample mean must be positive")
+    return Exponential(lam=1.0 / mean)
+
+
+def fit_weibull_moments(samples: Sequence[float]) -> Weibull:
+    """Fit a :class:`Weibull` by matching mean and variance.
+
+    Solves for the shape ``k`` such that the theoretical coefficient of
+    variation matches the sample's, by bisection on ``k in [0.05, 50]``,
+    then sets the scale from the mean.
+    """
+    _require_samples(samples, 2)
+    if any(x <= 0.0 for x in samples):
+        raise DistributionError("weibull samples must be positive")
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    if var <= 0.0:
+        raise DistributionError("samples have zero variance; cannot fit")
+    target_cv2 = var / (mean * mean)
+
+    def cv2_of(k: float) -> float:
+        g1 = math.gamma(1.0 + 1.0 / k)
+        g2 = math.gamma(1.0 + 2.0 / k)
+        return g2 / (g1 * g1) - 1.0
+
+    lo, hi = 0.05, 50.0
+    # cv2 is decreasing in k; make sure the target is bracketed.
+    if target_cv2 > cv2_of(lo) or target_cv2 < cv2_of(hi):
+        raise DistributionError(
+            f"sample coefficient of variation {math.sqrt(target_cv2):.3g} "
+            "outside fittable Weibull range")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if cv2_of(mid) > target_cv2:
+            lo = mid
+        else:
+            hi = mid
+    k = 0.5 * (lo + hi)
+    scale = mean / math.gamma(1.0 + 1.0 / k)
+    return Weibull(k=k, lam=scale)
+
+
+def normal_ci(mean: float, std_err: float,
+              confidence: float = 0.95) -> Tuple[float, float]:
+    """Normal-approximation confidence interval ``mean +- z * std_err``."""
+    if std_err < 0.0:
+        raise DistributionError(f"std_err must be >= 0, got {std_err}")
+    z = _z_for(confidence)
+    return (mean - z * std_err, mean + z * std_err)
+
+
+def wilson_ci(successes: int, trials: int,
+              confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the Wald interval for the tiny probabilities typical of
+    hazard estimation: it never leaves ``[0, 1]`` and behaves sensibly when
+    ``successes`` is 0 or equals ``trials``.
+    """
+    if trials <= 0:
+        raise DistributionError(f"trials must be > 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise DistributionError(
+            f"successes must be in [0, {trials}], got {successes}")
+    z = _z_for(confidence)
+    p_hat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p_hat + z2 / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def _z_for(confidence: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level."""
+    if not 0.0 < confidence < 1.0:
+        raise DistributionError(
+            f"confidence must be in (0, 1), got {confidence}")
+    from repro.stats.distributions import _big_phi_inv
+    return _big_phi_inv(0.5 + confidence / 2.0)

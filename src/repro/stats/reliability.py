@@ -1,0 +1,156 @@
+"""Reliability models mapping exposure parameters to failure probabilities.
+
+Parameterized probabilities (paper Sect. II-D.2) are functional mappings
+``P(PF): Domain(X) -> [0, 1]``.  In practice such mappings are almost always
+built from a handful of reliability idioms:
+
+* a component with constant failure rate exposed for a window of length
+  ``t`` fails with probability ``1 - exp(-lambda * t)``
+  (:class:`ExposureWindowModel` / :class:`ConstantRateModel`),
+* a per-demand failure probability over ``n`` demands
+  (:class:`PerDemandModel`),
+* a mission of fixed duration (:class:`MissionTimeModel`),
+* wear-out behaviour via a Weibull hazard (:class:`WeibullHazardModel`).
+
+Each model is a callable object ``model(x) -> probability``, composable with
+the parametric-expression layer in :mod:`repro.core.parametric`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import DistributionError
+
+
+class ReliabilityModel:
+    """Base class: a callable mapping a scalar parameter to a probability."""
+
+    def probability(self, x: float) -> float:
+        """Return the failure probability for parameter value ``x``."""
+        raise NotImplementedError
+
+    def __call__(self, x: float) -> float:
+        p = self.probability(x)
+        # Numerical guards: models must stay inside [0, 1] even for extreme
+        # parameter values fed in by optimizers probing box corners.
+        if p < 0.0:
+            return 0.0
+        if p > 1.0:
+            return 1.0
+        return p
+
+
+@dataclass(frozen=True)
+class ConstantRateModel(ReliabilityModel):
+    """Failure probability of a constant-rate component over time ``t``.
+
+    ``P(t) = 1 - exp(-rate * t)``; the parameter is the exposure time.
+    """
+
+    rate: float
+
+    def __post_init__(self):
+        if self.rate < 0.0:
+            raise DistributionError(f"rate must be >= 0, got {self.rate}")
+
+    def probability(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        return -math.expm1(-self.rate * t)
+
+
+@dataclass(frozen=True)
+class ExposureWindowModel(ReliabilityModel):
+    """Probability that at least one Poisson event hits an active window.
+
+    Events (false detections, rule-violating high vehicles, ...) arrive as
+    a Poisson process with rate ``rate``; the sensor/timer is active for a
+    window of length ``w``, so ``P(w) = 1 - exp(-rate * w)``.  This is the
+    idiom behind the Elbtunnel parameterized probabilities
+    ``P(FD_LBpost)(T1)`` and ``P(HV_ODfinal)(T2)``: the longer a timer keeps
+    a detector armed, the likelier a spurious activation falls inside.
+    """
+
+    rate: float
+
+    def __post_init__(self):
+        if self.rate < 0.0:
+            raise DistributionError(f"rate must be >= 0, got {self.rate}")
+
+    def probability(self, w: float) -> float:
+        if w <= 0.0:
+            return 0.0
+        return -math.expm1(-self.rate * w)
+
+
+@dataclass(frozen=True)
+class PerDemandModel(ReliabilityModel):
+    """Probability of at least one failure over ``n`` independent demands.
+
+    ``P(n) = 1 - (1 - q)^n`` with per-demand failure probability ``q``.
+    The parameter is the (possibly fractional) demand count.
+    """
+
+    q: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.q <= 1.0:
+            raise DistributionError(
+                f"per-demand probability must be in [0, 1], got {self.q}")
+
+    def probability(self, n: float) -> float:
+        if n <= 0.0:
+            return 0.0
+        if self.q >= 1.0:
+            return 1.0
+        return -math.expm1(n * math.log1p(-self.q))
+
+
+@dataclass(frozen=True)
+class MissionTimeModel(ReliabilityModel):
+    """Constant-rate failure over a fixed mission; parameter scales the rate.
+
+    ``P(x) = 1 - exp(-rate * x * mission_time)`` — useful when the free
+    parameter is a stress/duty-cycle multiplier rather than the time itself.
+    """
+
+    rate: float
+    mission_time: float
+
+    def __post_init__(self):
+        if self.rate < 0.0 or self.mission_time < 0.0:
+            raise DistributionError(
+                "rate and mission_time must be >= 0, got "
+                f"rate={self.rate} mission_time={self.mission_time}")
+
+    def probability(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        return -math.expm1(-self.rate * x * self.mission_time)
+
+
+@dataclass(frozen=True)
+class WeibullHazardModel(ReliabilityModel):
+    """Failure probability under a Weibull hazard up to time ``t``.
+
+    ``P(t) = 1 - exp(-(t / scale)^shape)`` — models components whose failure
+    intensity grows (wear-out, ``shape > 1``) or shrinks (burn-in,
+    ``shape < 1``) with exposure; reduces to :class:`ConstantRateModel`
+    at ``shape == 1``.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self):
+        if self.shape <= 0.0 or self.scale <= 0.0:
+            raise DistributionError(
+                "shape and scale must be > 0, got "
+                f"shape={self.shape} scale={self.scale}")
+
+    def probability(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        return -math.expm1(-((t / self.scale) ** self.shape))

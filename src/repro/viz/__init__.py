@@ -1,0 +1,18 @@
+"""ASCII rendering of tables, series, surfaces and charts for reports."""
+
+from repro.viz.plots import histogram, line_chart
+from repro.viz.tables import (
+    format_series,
+    format_surface,
+    format_table,
+    sparkline,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_surface",
+    "sparkline",
+    "line_chart",
+    "histogram",
+]

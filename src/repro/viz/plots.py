@@ -1,0 +1,93 @@
+"""ASCII line charts for terminal reports.
+
+Renders (x, y) series as a character grid with axes — enough to *see*
+the Fig. 6 shape in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(series: Dict[str, List[Tuple[float, float]]],
+               width: int = 60, height: int = 16, title: str = "",
+               y_min: float = None, y_max: float = None) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series gets its own marker character; a legend maps markers to
+    names.  Axis ranges default to the data's bounding box.
+    """
+    if not series:
+        raise ReproError("no series to plot")
+    if width < 10 or height < 4:
+        raise ReproError("chart needs width >= 10 and height >= 4")
+    all_points = [p for curve in series.values() for p in curve]
+    if not all_points:
+        raise ReproError("series contain no points")
+    x_lo = min(x for x, _y in all_points)
+    x_hi = max(x for x, _y in all_points)
+    y_lo = y_min if y_min is not None else min(y for _x, y in all_points)
+    y_hi = y_max if y_max is not None else max(y for _x, y in all_points)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        if 0 <= col < width and 0 <= row < height:
+            grid[height - 1 - row][col] = marker
+
+    names = sorted(series)
+    for index, name in enumerate(names):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in series[name]:
+            place(x, y, marker)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = y_hi - row_index * (y_hi - y_lo) / (height - 1)
+        lines.append(f"{y_value:8.3g} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = (f"{' ' * 10}{x_lo:<10.4g}"
+              f"{' ' * max(0, width - 20)}{x_hi:>10.4g}")
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(names))
+    lines.append(f"{' ' * 10}{legend}")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40,
+              title: str = "") -> str:
+    """Render a horizontal ASCII histogram of sampled values."""
+    if not values:
+        raise ReproError("no values to plot")
+    if bins < 1 or width < 1:
+        raise ReproError("bins and width must be >= 1")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - lo) / (hi - lo) * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        left = lo + i * (hi - lo) / bins
+        bar = "#" * (round(count / peak * width) if peak else 0)
+        lines.append(f"{left:10.4g} | {bar} {count}")
+    return "\n".join(lines)

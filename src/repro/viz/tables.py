@@ -1,0 +1,139 @@
+"""Plain-text tables, series plots and surface heat-text rendering.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and readable in a terminal
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table.
+
+    Cells are stringified with ``str``; floats are shown with ``%g``-like
+    compaction via ``format``.
+    """
+    if not headers:
+        raise ReproError("table needs at least one column")
+    text_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells for "
+                f"{len(headers)} headers")
+        text_rows.append([_cell(value) for value in row])
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of values as a compact character strip."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[len(_BLOCKS) // 2] * len(values)
+    scale = (len(_BLOCKS) - 1) / (hi - lo)
+    return "".join(_BLOCKS[int((v - lo) * scale)] for v in values)
+
+
+def format_series(series: Dict[str, List[Tuple[float, float]]],
+                  title: str = "", value_format: str = "{:.4f}",
+                  max_points: int = 12) -> str:
+    """Render named (x, y) series as a table with one row per x.
+
+    All series must share the same x grid; long grids are subsampled to
+    ``max_points`` rows, keeping the endpoints.
+    """
+    if not series:
+        raise ReproError("no series to format")
+    names = sorted(series)
+    xs = [x for x, _y in series[names[0]]]
+    for name in names:
+        if [x for x, _y in series[name]] != xs:
+            raise ReproError(
+                f"series {name!r} has a different x grid")
+    indices = list(range(len(xs)))
+    if len(indices) > max_points:
+        step = (len(indices) - 1) / (max_points - 1)
+        indices = sorted({round(i * step) for i in range(max_points)})
+    headers = ["x"] + names
+    rows = []
+    for i in indices:
+        row = [f"{xs[i]:.4g}"]
+        for name in names:
+            row.append(value_format.format(series[name][i][1]))
+        rows.append(row)
+    table = format_table(headers, rows, title=title)
+    strips = "\n".join(
+        f"  {name:<16s} {sparkline([y for _x, y in series[name]])}"
+        for name in names)
+    return table + "\n" + strips
+
+
+def format_surface(x_values: Sequence[float], y_values: Sequence[float],
+                   z: Sequence[Sequence[float]], title: str = "",
+                   max_cells: int = 16) -> str:
+    """Render a 2-D surface as a character heat map plus its minimum.
+
+    ``z[i][j]`` corresponds to ``(x_values[i], y_values[j])``; darker
+    characters are higher values, ``m`` marks the minimum cell.
+    """
+    if not x_values or not y_values:
+        raise ReproError("surface needs non-empty axes")
+    xi = _subsample(len(x_values), max_cells)
+    yi = _subsample(len(y_values), max_cells)
+    flat = [z[i][j] for i in xi for j in yi]
+    lo, hi = min(flat), max(flat)
+    span = hi - lo if hi > lo else 1.0
+    min_cell = min(((i, j) for i in xi for j in yi),
+                   key=lambda ij: z[ij[0]][ij[1]])
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "        " + " ".join(f"{y_values[j]:6.3g}" for j in yi)
+    lines.append(header)
+    for i in xi:
+        cells = []
+        for j in yi:
+            if (i, j) == min_cell:
+                cells.append("  m   ")
+            else:
+                level = int((z[i][j] - lo) / span * (len(_BLOCKS) - 1))
+                cells.append("  " + _BLOCKS[level] + "   ")
+        lines.append(f"{x_values[i]:6.3g}  " + " ".join(c[:6] for c in cells))
+    lines.append(
+        f"minimum: z={z[min_cell[0]][min_cell[1]]:.6g} at "
+        f"({x_values[min_cell[0]]:.4g}, {y_values[min_cell[1]]:.4g})")
+    return "\n".join(lines)
+
+
+def _subsample(count: int, limit: int) -> List[int]:
+    if count <= limit:
+        return list(range(count))
+    step = (count - 1) / (limit - 1)
+    return sorted({round(i * step) for i in range(limit)})

@@ -1,0 +1,217 @@
+"""BDD manager: canonicity, boolean algebra, structural queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BDDManager
+from repro.errors import BDDError
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestVariables:
+    def test_add_var_is_idempotent(self, mgr):
+        assert mgr.add_var("x") == 0
+        assert mgr.add_var("x") == 0
+        assert mgr.add_var("y") == 1
+        assert mgr.var_count == 2
+
+    def test_var_name_roundtrip(self, mgr):
+        mgr.add_var("a")
+        assert mgr.var_name(0) == "a"
+        with pytest.raises(BDDError):
+            mgr.var_name(5)
+
+    def test_var_nodes_are_interned(self, mgr):
+        assert mgr.var("x") is mgr.var("x")
+
+
+class TestCanonicity:
+    def test_equal_functions_share_node(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        # x and y == y and x (commutativity -> same canonical node)
+        assert mgr.apply_and(x, y) is mgr.apply_and(y, x)
+
+    def test_tautology_collapses_to_true(self, mgr):
+        x = mgr.var("x")
+        assert mgr.apply_or(x, mgr.negate(x)) is TRUE
+
+    def test_contradiction_collapses_to_false(self, mgr):
+        x = mgr.var("x")
+        assert mgr.apply_and(x, mgr.negate(x)) is FALSE
+
+    def test_double_negation(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        f = mgr.apply_or(x, y)
+        assert mgr.negate(mgr.negate(f)) is f
+
+    def test_de_morgan(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        lhs = mgr.negate(mgr.apply_and(x, y))
+        rhs = mgr.apply_or(mgr.negate(x), mgr.negate(y))
+        assert lhs is rhs
+
+    def test_absorption(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.apply_or(x, mgr.apply_and(x, y)) is x
+
+    def test_xor_via_and_or(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        direct = mgr.apply_xor(x, y)
+        composed = mgr.apply_or(
+            mgr.apply_and(x, mgr.negate(y)),
+            mgr.apply_and(mgr.negate(x), y))
+        assert direct is composed
+
+
+class TestTerminalRules:
+    def test_and_identities(self, mgr):
+        x = mgr.var("x")
+        assert mgr.apply_and(x, TRUE) is x
+        assert mgr.apply_and(x, FALSE) is FALSE
+        assert mgr.apply_and(x, x) is x
+
+    def test_or_identities(self, mgr):
+        x = mgr.var("x")
+        assert mgr.apply_or(x, FALSE) is x
+        assert mgr.apply_or(x, TRUE) is TRUE
+        assert mgr.apply_or(x, x) is x
+
+    def test_empty_aggregates(self, mgr):
+        assert mgr.and_all([]) is TRUE
+        assert mgr.or_all([]) is FALSE
+
+
+class TestEvaluate:
+    def test_evaluates_assignments(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        f = mgr.apply_and(x, mgr.negate(y))
+        assert mgr.evaluate(f, {"x": True, "y": False}) is True
+        assert mgr.evaluate(f, {"x": True, "y": True}) is False
+
+    def test_missing_variable_raises(self, mgr):
+        f = mgr.var("x")
+        with pytest.raises(BDDError):
+            mgr.evaluate(f, {})
+
+
+class TestRestrict:
+    def test_restrict_fixes_variable(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        f = mgr.apply_and(x, y)
+        assert mgr.restrict(f, "x", True) is y
+        assert mgr.restrict(f, "x", False) is FALSE
+
+    def test_restrict_unknown_variable_raises(self, mgr):
+        f = mgr.var("x")
+        with pytest.raises(BDDError):
+            mgr.restrict(f, "nope", True)
+
+    def test_shannon_expansion_identity(self, mgr):
+        x, y, z = mgr.var("x"), mgr.var("y"), mgr.var("z")
+        f = mgr.apply_or(mgr.apply_and(x, y), z)
+        rebuilt = mgr.ite(x, mgr.restrict(f, "x", True),
+                          mgr.restrict(f, "x", False))
+        assert rebuilt is f
+
+
+class TestStructural:
+    def test_support(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        mgr.var("unused")
+        f = mgr.apply_and(x, y)
+        assert mgr.support(f) == {"x", "y"}
+
+    def test_size_counts_nodes(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.size(TRUE) == 0
+        assert mgr.size(x) == 1
+        assert mgr.size(mgr.apply_and(x, y)) == 2
+
+    def test_sat_count(self, mgr):
+        x, y, z = mgr.var("x"), mgr.var("y"), mgr.var("z")
+        f = mgr.apply_or(mgr.apply_and(x, y), z)
+        # Truth table over 3 vars: x&y (2 rows) + z (4 rows) - overlap 1.
+        assert mgr.sat_count(f) == 5
+
+    def test_sat_count_terminals(self, mgr):
+        mgr.add_var("a")
+        mgr.add_var("b")
+        assert mgr.sat_count(TRUE) == 4
+        assert mgr.sat_count(FALSE) == 0
+
+
+class TestAtLeast:
+    @pytest.mark.parametrize("k,expected", [(0, 8), (1, 7), (2, 4),
+                                            (3, 1), (4, 0)])
+    def test_threshold_sat_counts(self, mgr, k, expected):
+        nodes = [mgr.var(n) for n in "abc"]
+        f = mgr.at_least(k, nodes)
+        assert mgr.sat_count(f) == expected
+
+    def test_equals_exhaustive_or_of_ands(self, mgr):
+        import itertools
+        nodes = {n: mgr.var(n) for n in "abcd"}
+        k = 2
+        explicit = mgr.or_all(
+            mgr.and_all(nodes[n] for n in combo)
+            for combo in itertools.combinations("abcd", k))
+        assert mgr.at_least(k, list(nodes.values())) is explicit
+
+
+@st.composite
+def boolean_expression(draw, depth=3):
+    """Random boolean expression over 4 variables as a nested tuple."""
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(["a", "b", "c", "d"]))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return (op, draw(boolean_expression(depth=depth - 1)))
+    return (op, draw(boolean_expression(depth=depth - 1)),
+            draw(boolean_expression(depth=depth - 1)))
+
+
+def _build(mgr, expr):
+    if isinstance(expr, str):
+        return mgr.var(expr)
+    op = expr[0]
+    if op == "not":
+        return mgr.negate(_build(mgr, expr[1]))
+    left, right = _build(mgr, expr[1]), _build(mgr, expr[2])
+    if op == "and":
+        return mgr.apply_and(left, right)
+    if op == "or":
+        return mgr.apply_or(left, right)
+    return mgr.apply_xor(left, right)
+
+
+def _eval(expr, env):
+    if isinstance(expr, str):
+        return env[expr]
+    op = expr[0]
+    if op == "not":
+        return not _eval(expr[1], env)
+    left, right = _eval(expr[1], env), _eval(expr[2], env)
+    if op == "and":
+        return left and right
+    if op == "or":
+        return left or right
+    return left != right
+
+
+class TestAgainstTruthTables:
+    @given(boolean_expression())
+    @settings(max_examples=120)
+    def test_bdd_matches_direct_evaluation(self, expr):
+        mgr = BDDManager()
+        for name in "abcd":
+            mgr.add_var(name)
+        node = _build(mgr, expr)
+        import itertools
+        for bits in itertools.product([False, True], repeat=4):
+            env = dict(zip("abcd", bits))
+            assert mgr.evaluate(node, env) == _eval(expr, env)

@@ -1,0 +1,101 @@
+"""Minimal cut sets from BDDs: known answers and brute-force agreement."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager, minimal_cut_sets
+
+
+def brute_force_mcs(mgr, node, names):
+    """All minimal satisfying variable subsets of a monotone function."""
+    satisfying = []
+    for bits in itertools.product([False, True], repeat=len(names)):
+        env = dict(zip(names, bits))
+        if mgr.evaluate(node, env):
+            satisfying.append(frozenset(n for n, b in env.items() if b))
+    minimal = set()
+    for s in satisfying:
+        if not any(t < s for t in satisfying):
+            minimal.add(s)
+    return minimal
+
+
+class TestKnownStructures:
+    def test_single_or(self):
+        mgr = BDDManager()
+        f = mgr.or_all([mgr.var("a"), mgr.var("b")])
+        assert set(minimal_cut_sets(mgr, f)) == {
+            frozenset({"a"}), frozenset({"b"})}
+
+    def test_single_and(self):
+        mgr = BDDManager()
+        f = mgr.and_all([mgr.var("a"), mgr.var("b")])
+        assert set(minimal_cut_sets(mgr, f)) == {frozenset({"a", "b"})}
+
+    def test_two_of_three(self):
+        mgr = BDDManager()
+        f = mgr.at_least(2, [mgr.var(n) for n in "abc"])
+        assert set(minimal_cut_sets(mgr, f)) == {
+            frozenset({"a", "b"}), frozenset({"a", "c"}),
+            frozenset({"b", "c"})}
+
+    def test_absorption_across_branches(self):
+        """a or (a and b): the {a, b} cut is subsumed by {a}."""
+        mgr = BDDManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_or(a, mgr.apply_and(a, b))
+        assert minimal_cut_sets(mgr, f) == [frozenset({"a"})]
+
+    def test_terminals(self):
+        mgr = BDDManager()
+        from repro.bdd import FALSE, TRUE
+        assert minimal_cut_sets(mgr, TRUE) == [frozenset()]
+        assert minimal_cut_sets(mgr, FALSE) == []
+
+    def test_result_is_sorted_by_order(self):
+        mgr = BDDManager()
+        a, b, c = (mgr.var(n) for n in "abc")
+        f = mgr.apply_or(mgr.apply_and(a, b), c)
+        result = minimal_cut_sets(mgr, f)
+        assert [len(cs) for cs in result] == sorted(len(cs) for cs in result)
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=80)
+    def test_random_monotone_functions(self, seed):
+        import random
+        rng = random.Random(seed)
+        mgr = BDDManager()
+        names = ["a", "b", "c", "d", "e"]
+        for n in names:
+            mgr.add_var(n)
+        # Random coherent function: OR of random AND-terms.
+        terms = []
+        for _ in range(rng.randint(1, 5)):
+            size = rng.randint(1, 3)
+            term_vars = rng.sample(names, size)
+            terms.append(mgr.and_all(mgr.var(v) for v in term_vars))
+        node = mgr.or_all(terms)
+        expected = brute_force_mcs(mgr, node, names)
+        assert set(minimal_cut_sets(mgr, node)) == expected
+
+    def test_mcs_all_satisfy_and_are_minimal(self):
+        mgr = BDDManager()
+        names = list("abcd")
+        for n in names:
+            mgr.add_var(n)
+        f = mgr.apply_or(
+            mgr.and_all([mgr.var("a"), mgr.var("b")]),
+            mgr.and_all([mgr.var("b"), mgr.var("c"), mgr.var("d")]))
+        for cut in minimal_cut_sets(mgr, f):
+            env = {n: n in cut for n in names}
+            assert mgr.evaluate(f, env)
+            # Removing any element must break the cut.
+            for member in cut:
+                reduced = dict(env)
+                reduced[member] = False
+                assert not mgr.evaluate(f, reduced)

@@ -1,0 +1,54 @@
+"""Shared fixtures: small reference fault trees and models."""
+
+import pytest
+
+from repro.fta import FaultTree
+from repro.fta.dsl import AND, INHIBIT, KOFN, OR, condition, hazard, primary
+
+
+@pytest.fixture
+def simple_or_tree() -> FaultTree:
+    """H = A or B with known probabilities."""
+    top = hazard("H", OR_gate=[primary("A", 0.1), primary("B", 0.2)])
+    return FaultTree(top)
+
+
+@pytest.fixture
+def simple_and_tree() -> FaultTree:
+    """H = A and B with known probabilities."""
+    top = hazard("H", AND_gate=[primary("A", 0.1), primary("B", 0.2)])
+    return FaultTree(top)
+
+
+@pytest.fixture
+def bridge_tree() -> FaultTree:
+    """A tree with a shared (repeated) event across two branches.
+
+    H = (A and C) or (B and C): the shared C makes the rare-event
+    approximation and naive bottom-up gate arithmetic visibly wrong,
+    exercising the BDD path.
+    """
+    a = primary("A", 0.3)
+    b = primary("B", 0.4)
+    c = primary("C", 0.5)
+    top = hazard("H", OR_gate=[AND("AC", a, c), AND("BC", b, c)])
+    return FaultTree(top)
+
+
+@pytest.fixture
+def inhibit_tree() -> FaultTree:
+    """H = (A and B) inhibited by an environmental condition."""
+    cond = condition("env", 0.25)
+    both = AND("both", primary("A", 0.1), primary("B", 0.2))
+    top = hazard("H", gate=INHIBIT("guarded", both, cond).gate)
+    return FaultTree(top)
+
+
+@pytest.fixture
+def kofn_tree() -> FaultTree:
+    """H = at least 2 of 3 redundant channels fail."""
+    top = hazard("H", gate=KOFN("vote", 2,
+                                primary("c1", 0.1),
+                                primary("c2", 0.2),
+                                primary("c3", 0.3)).gate)
+    return FaultTree(top)

@@ -1,0 +1,64 @@
+"""Cost model: paper Eq. 5 and validation."""
+
+import pytest
+
+from repro.core import CostModel, HazardCost
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def elb_costs():
+    """The paper's weighting: collision = 100000 x false alarm."""
+    return CostModel([HazardCost("H_Col", 100_000.0),
+                      HazardCost("H_Alr", 1.0)])
+
+
+class TestHazardCost:
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ModelError):
+            HazardCost("h", -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            HazardCost("", 1.0)
+
+
+class TestCostModel:
+    def test_weighted_sum(self, elb_costs):
+        """f_cost = 100000 * P(HCol) + 1 * P(HAlr) (paper Sect. IV-C.1)."""
+        cost = elb_costs.mean_cost({"H_Col": 1e-8, "H_Alr": 4e-4})
+        assert cost == pytest.approx(1e-3 + 4e-4)
+
+    def test_contributions(self, elb_costs):
+        parts = elb_costs.contributions({"H_Col": 1e-8, "H_Alr": 4e-4})
+        assert parts["H_Col"] == pytest.approx(1e-3)
+        assert parts["H_Alr"] == pytest.approx(4e-4)
+
+    def test_cost_of(self, elb_costs):
+        assert elb_costs.cost_of("H_Col") == 100_000.0
+        with pytest.raises(ModelError):
+            elb_costs.cost_of("ghost")
+
+    def test_missing_hazard_rejected(self, elb_costs):
+        with pytest.raises(ModelError):
+            elb_costs.mean_cost({"H_Col": 0.1})
+
+    def test_extra_hazard_rejected(self, elb_costs):
+        with pytest.raises(ModelError):
+            elb_costs.mean_cost({"H_Col": 0.1, "H_Alr": 0.1, "x": 0.1})
+
+    def test_out_of_range_probability_rejected(self, elb_costs):
+        with pytest.raises(ModelError):
+            elb_costs.mean_cost({"H_Col": 1.5, "H_Alr": 0.1})
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ModelError):
+            CostModel([HazardCost("h", 1.0), HazardCost("h", 2.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            CostModel([])
+
+    def test_zero_cost_hazard_is_free(self):
+        model = CostModel([HazardCost("a", 0.0), HazardCost("b", 2.0)])
+        assert model.mean_cost({"a": 1.0, "b": 0.5}) == pytest.approx(1.0)

@@ -1,0 +1,141 @@
+"""SafetyModel: wiring validation, evaluation, both hazard kinds."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    FaultTreeHazard,
+    FormulaHazard,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    constant,
+    from_cdf,
+    from_function,
+)
+from repro.errors import ModelError
+from repro.fta import ConstraintPolicy, FaultTree
+from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
+from repro.stats import Normal
+
+
+@pytest.fixture
+def space():
+    return ParameterSpace([Parameter("x", 0.0, 10.0, default=5.0)])
+
+
+@pytest.fixture
+def formula_model(space):
+    grows = from_cdf(Normal(5.0, 2.0), "x")
+    shrinks = from_function(lambda v: 1.0 - v["x"] / 10.0 * 0.5, {"x"})
+    return SafetyModel(
+        space=space,
+        hazards={"up": grows, "down": shrinks},
+        cost_model=CostModel([HazardCost("up", 10.0),
+                              HazardCost("down", 1.0)]),
+        name="toy")
+
+
+class TestValidation:
+    def test_cost_model_must_cover_hazards(self, space):
+        with pytest.raises(ModelError):
+            SafetyModel(space, {"a": constant(0.1)},
+                        CostModel([HazardCost("b", 1.0)]))
+
+    def test_hazard_parameters_must_exist(self, space):
+        bad = from_function(lambda v: v["ghost"], {"ghost"})
+        with pytest.raises(ModelError):
+            SafetyModel(space, {"a": bad},
+                        CostModel([HazardCost("a", 1.0)]))
+
+    def test_requires_hazards(self, space):
+        with pytest.raises(ModelError):
+            SafetyModel(space, {}, CostModel([HazardCost("a", 1.0)]))
+
+    def test_bare_parametric_probability_autowrapped(self, space):
+        model = SafetyModel(space, {"a": constant(0.1)},
+                            CostModel([HazardCost("a", 1.0)]))
+        assert isinstance(model.hazards["a"], FormulaHazard)
+
+
+class TestEvaluation:
+    def test_hazard_probability_by_vector_and_dict(self, formula_model):
+        by_vector = formula_model.hazard_probability("up", (5.0,))
+        by_dict = formula_model.hazard_probability("up", {"x": 5.0})
+        assert by_vector == by_dict == pytest.approx(0.5)
+
+    def test_unknown_hazard(self, formula_model):
+        with pytest.raises(ModelError):
+            formula_model.hazard_probability("ghost", (5.0,))
+
+    def test_cost_is_weighted_sum(self, formula_model):
+        probs = formula_model.hazard_probabilities((5.0,))
+        expected = 10.0 * probs["up"] + probs["down"]
+        assert formula_model.cost((5.0,)) == pytest.approx(expected)
+
+    def test_cost_breakdown(self, formula_model):
+        parts = formula_model.cost_breakdown((5.0,))
+        assert parts["up"] == pytest.approx(5.0)
+
+    def test_objectives_sorted_by_name(self, formula_model):
+        objs = formula_model.objectives((5.0,))
+        probs = formula_model.hazard_probabilities((5.0,))
+        assert objs == (probs["down"], probs["up"])
+
+    def test_point_outside_domain_rejected(self, formula_model):
+        with pytest.raises(ModelError):
+            formula_model.cost((50.0,))
+
+    def test_to_problem_counts(self, formula_model):
+        problem = formula_model.to_problem()
+        problem((5.0,))
+        assert problem.evaluations == 1
+        assert problem.box.bounds == [(0.0, 10.0)]
+
+
+class TestFaultTreeHazard:
+    @pytest.fixture
+    def tree(self):
+        cond = condition("armed", 0.5)
+        top = hazard("H", OR_gate=[
+            INHIBIT("g", primary("pf", 0.1), cond),
+            primary("other", 0.01)])
+        return FaultTree(top)
+
+    def test_static_defaults(self, tree):
+        model = FaultTreeHazard(tree)
+        assert model.probability({}) == pytest.approx(0.5 * 0.1 + 0.01)
+
+    def test_parameterized_leaf(self, tree):
+        model = FaultTreeHazard(tree, assignments={
+            "pf": from_cdf(Normal(5.0, 1.0), "x")})
+        assert model.parameters == {"x"}
+        assert model.probability({"x": 5.0}) == pytest.approx(
+            0.5 * 0.5 + 0.01)
+
+    def test_parameterized_condition(self, tree):
+        model = FaultTreeHazard(tree, assignments={
+            "armed": from_function(lambda v: v["x"] / 10.0, {"x"})})
+        assert model.probability({"x": 10.0}) == pytest.approx(
+            1.0 * 0.1 + 0.01)
+
+    def test_worst_case_policy(self, tree):
+        model = FaultTreeHazard(tree, policy=ConstraintPolicy.WORST_CASE)
+        assert model.probability({}) == pytest.approx(0.1 + 0.01)
+
+    def test_exact_method(self, tree):
+        model = FaultTreeHazard(tree, method="exact")
+        expected = 1.0 - (1.0 - 0.05) * (1.0 - 0.01)
+        assert model.probability({}) == pytest.approx(expected)
+
+    def test_unknown_leaf_assignment_rejected(self, tree):
+        with pytest.raises(ModelError):
+            FaultTreeHazard(tree, assignments={"ghost": 0.5})
+
+    def test_in_safety_model(self, tree, space):
+        ft_hazard = FaultTreeHazard(tree, assignments={
+            "pf": from_cdf(Normal(5.0, 1.0), "x")})
+        model = SafetyModel(space, {"H": ft_hazard},
+                            CostModel([HazardCost("H", 1.0)]))
+        assert model.cost((5.0,)) == pytest.approx(0.5 * 0.5 + 0.01)

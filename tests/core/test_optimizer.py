@@ -1,0 +1,127 @@
+"""SafetyOptimizer: methods, baselines, comparisons, reporting."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    SafetyOptimizer,
+    from_cdf,
+    from_function,
+)
+from repro.core.optimizer import HazardComparison
+from repro.errors import OptimizationError
+from repro.stats import Normal
+
+
+@pytest.fixture
+def model():
+    """Two opposed hazards with an interior optimum around x ~ 3.4."""
+    up = from_cdf(Normal(5.0, 2.0), "x") * 0.01
+    down = from_function(lambda v: (10.0 - v["x"]) / 20.0, {"x"})
+    return SafetyModel(
+        space=ParameterSpace([Parameter("x", 0.0, 10.0, default=8.0)]),
+        hazards={"up": up, "down": down},
+        cost_model=CostModel([HazardCost("up", 100.0),
+                              HazardCost("down", 1.0)]),
+        name="toy")
+
+
+class TestOptimize:
+    def test_default_method_runs(self, model):
+        result = SafetyOptimizer(model).optimize()
+        assert 0.0 <= result.optimum[0] <= 10.0
+        assert result.optimal_cost <= model.cost((8.0,))
+
+    @pytest.mark.parametrize("method", ["zoom", "grid", "gradient",
+                                        "nelder_mead", "scipy"])
+    def test_deterministic_methods_agree(self, model, method):
+        result = SafetyOptimizer(model).optimize(method)
+        reference = SafetyOptimizer(model).optimize("zoom")
+        assert result.optimal_cost == pytest.approx(
+            reference.optimal_cost, rel=1e-2)
+
+    def test_stochastic_methods(self, model):
+        for method in ("annealing", "differential_evolution"):
+            result = SafetyOptimizer(model).optimize(method, seed=1)
+            reference = SafetyOptimizer(model).optimize("zoom")
+            assert result.optimal_cost == pytest.approx(
+                reference.optimal_cost, rel=0.05)
+
+    def test_unknown_method(self, model):
+        with pytest.raises(OptimizationError):
+            SafetyOptimizer(model).optimize("magic")
+
+    def test_available_methods(self, model):
+        methods = SafetyOptimizer(model).available_methods()
+        assert "zoom" in methods and "nelder_mead" in methods
+
+    def test_optimize_all(self, model):
+        results = SafetyOptimizer(model).optimize_all(
+            methods=["zoom", "grid"])
+        assert set(results) == {"zoom", "grid"}
+
+
+class TestBaseline:
+    def test_defaults_used_as_baseline(self, model):
+        result = SafetyOptimizer(model).optimize("zoom")
+        assert result.baseline == (8.0,)
+        assert result.baseline_cost == pytest.approx(model.cost((8.0,)))
+
+    def test_explicit_baseline(self, model):
+        result = SafetyOptimizer(model).optimize("zoom", baseline=(2.0,))
+        assert result.baseline == (2.0,)
+
+    def test_baseline_outside_box_is_clipped(self, model):
+        result = SafetyOptimizer(model).optimize("zoom", baseline=(99.0,))
+        assert result.baseline == (10.0,)
+
+    def test_no_baseline_when_no_defaults(self):
+        model = SafetyModel(
+            ParameterSpace([Parameter("x", 0.0, 1.0)]),
+            {"h": from_function(lambda v: v["x"] * 0.1, {"x"})},
+            CostModel([HazardCost("h", 1.0)]))
+        result = SafetyOptimizer(model).optimize("zoom")
+        assert result.baseline is None
+        assert result.cost_improvement_percent is None
+        with pytest.raises(OptimizationError):
+            result.hazard_comparisons()
+
+
+class TestComparisons:
+    def test_improvement_percentages(self, model):
+        result = SafetyOptimizer(model).optimize("zoom")
+        comparisons = result.hazard_comparisons()
+        assert set(comparisons) == {"up", "down"}
+        up = comparisons["up"]
+        assert up.baseline == pytest.approx(
+            model.hazard_probability("up", (8.0,)))
+        assert up.optimized == pytest.approx(
+            model.hazard_probability("up", result.optimum))
+
+    def test_cost_improvement_positive(self, model):
+        result = SafetyOptimizer(model).optimize("zoom")
+        assert result.cost_improvement_percent > 0.0
+
+    def test_comparison_math(self):
+        cmp_ = HazardComparison("h", baseline=0.2, optimized=0.1)
+        assert cmp_.relative_change == pytest.approx(-0.5)
+        assert cmp_.improvement_percent == pytest.approx(50.0)
+
+    def test_comparison_zero_baseline(self):
+        assert HazardComparison("h", 0.0, 0.0).relative_change == 0.0
+        assert HazardComparison("h", 0.0, 0.1).relative_change == \
+            float("inf")
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self, model):
+        result = SafetyOptimizer(model).optimize("zoom")
+        text = result.summary()
+        assert "toy" in text
+        assert "optimum" in text
+        assert "baseline" in text
+        assert "improvement" in text

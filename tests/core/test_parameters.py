@@ -1,0 +1,97 @@
+"""Parameter and ParameterSpace: domains, defaults, conversions."""
+
+import pytest
+
+from repro.core import Parameter, ParameterSpace
+from repro.errors import ModelError
+
+
+class TestParameter:
+    def test_basic_fields(self):
+        p = Parameter("T1", 5.0, 30.0, default=30.0, unit="min")
+        assert p.has_default
+        assert p.unit == "min"
+
+    def test_default_optional(self):
+        assert not Parameter("x", 0.0, 1.0).has_default
+
+    def test_rejects_inverted_domain(self):
+        with pytest.raises(ModelError):
+            Parameter("x", 2.0, 1.0)
+
+    def test_rejects_infinite_domain(self):
+        with pytest.raises(ModelError):
+            Parameter("x", 0.0, float("inf"))
+
+    def test_rejects_default_outside_domain(self):
+        with pytest.raises(ModelError):
+            Parameter("x", 0.0, 1.0, default=2.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            Parameter("", 0.0, 1.0)
+
+    def test_clamp(self):
+        p = Parameter("x", 0.0, 1.0)
+        assert p.clamp(-1.0) == 0.0
+        assert p.clamp(0.5) == 0.5
+        assert p.clamp(2.0) == 1.0
+
+
+class TestParameterSpace:
+    @pytest.fixture
+    def space(self):
+        return ParameterSpace([
+            Parameter("T1", 5.0, 30.0, default=30.0),
+            Parameter("T2", 5.0, 30.0, default=30.0),
+        ])
+
+    def test_names_ordered(self, space):
+        assert space.names == ("T1", "T2")
+
+    def test_lookup(self, space):
+        assert space["T1"].lower == 5.0
+        with pytest.raises(ModelError):
+            space["T3"]
+
+    def test_contains_and_len(self, space):
+        assert "T1" in space and "T3" not in space
+        assert len(space) == 2
+
+    def test_box_matches_domains(self, space):
+        assert space.box().bounds == [(5.0, 30.0), (5.0, 30.0)]
+
+    def test_defaults_vector(self, space):
+        assert space.defaults() == (30.0, 30.0)
+
+    def test_defaults_require_all_set(self):
+        space = ParameterSpace([Parameter("a", 0.0, 1.0)])
+        with pytest.raises(ModelError):
+            space.defaults()
+
+    def test_to_dict_roundtrip(self, space):
+        values = space.to_dict((10.0, 20.0))
+        assert values == {"T1": 10.0, "T2": 20.0}
+        assert space.to_vector(values) == (10.0, 20.0)
+
+    def test_to_dict_rejects_wrong_arity(self, space):
+        with pytest.raises(ModelError):
+            space.to_dict((10.0,))
+
+    def test_to_dict_rejects_out_of_domain(self, space):
+        with pytest.raises(ModelError):
+            space.to_dict((1.0, 20.0))
+
+    def test_to_vector_rejects_unknown_and_missing(self, space):
+        with pytest.raises(ModelError):
+            space.to_vector({"T1": 10.0, "T2": 20.0, "T3": 1.0})
+        with pytest.raises(ModelError):
+            space.to_vector({"T1": 10.0})
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ModelError):
+            ParameterSpace([Parameter("x", 0, 1), Parameter("x", 0, 1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            ParameterSpace([])

@@ -1,0 +1,177 @@
+"""Parametric probabilities: constructors, algebra, range guards."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    as_parametric,
+    constant,
+    exceedance,
+    from_cdf,
+    from_function,
+    from_model,
+    scaled,
+)
+from repro.errors import ModelError
+from repro.stats import ExposureWindowModel, Normal, TruncatedNormal
+
+
+class TestConstructors:
+    def test_constant(self):
+        p = constant(0.3)
+        assert p({}) == 0.3
+        assert p.parameters == frozenset()
+
+    def test_constant_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            constant(1.5)
+
+    def test_from_cdf_tracks_parameter(self):
+        p = from_cdf(Normal(0, 1), "x")
+        assert p.parameters == {"x"}
+        assert p({"x": 0.0}) == pytest.approx(0.5)
+
+    def test_exceedance_is_complement_of_cdf(self):
+        dist = TruncatedNormal(4.0, 2.0, lower=0.0)
+        cdf = from_cdf(dist, "T")
+        exc = exceedance(dist, "T")
+        for t in (1.0, 4.0, 15.6):
+            assert exc({"T": t}) == pytest.approx(1.0 - cdf({"T": t}))
+
+    def test_from_model(self):
+        p = from_model(ExposureWindowModel(0.13), "T2")
+        assert p({"T2": 15.6}) == pytest.approx(1 - math.exp(-0.13 * 15.6))
+
+    def test_from_function(self):
+        p = from_function(lambda v: v["a"] * v["b"], {"a", "b"})
+        assert p({"a": 0.5, "b": 0.4}) == pytest.approx(0.2)
+
+    def test_as_parametric_coerces_floats(self):
+        p = as_parametric(0.25)
+        assert p({}) == 0.25
+
+    def test_as_parametric_rejects_junk(self):
+        with pytest.raises(ModelError):
+            as_parametric("0.5")
+
+
+class TestEvaluation:
+    def test_missing_parameter_raises(self):
+        p = from_cdf(Normal(0, 1), "x")
+        with pytest.raises(ModelError):
+            p({})
+
+    def test_extra_parameters_ignored(self):
+        p = from_cdf(Normal(0, 1), "x")
+        assert p({"x": 0.0, "y": 99.0}) == pytest.approx(0.5)
+
+    def test_out_of_range_result_raises(self):
+        p = from_function(lambda v: 2.0, set())
+        with pytest.raises(ModelError):
+            p({})
+
+    def test_tiny_numerical_excursions_clamped(self):
+        assert from_function(lambda v: -1e-12, set())({}) == 0.0
+        assert from_function(lambda v: 1.0 + 1e-12, set())({}) == 1.0
+
+
+class TestAlgebra:
+    @pytest.fixture
+    def p(self):
+        return constant(0.2, "p")
+
+    @pytest.fixture
+    def q(self):
+        return constant(0.5, "q")
+
+    def test_and_is_product(self, p, q):
+        assert (p & q)({}) == pytest.approx(0.1)
+
+    def test_or_is_inclusion_exclusion(self, p, q):
+        assert (p | q)({}) == pytest.approx(0.6)
+
+    def test_invert_is_complement(self, p):
+        assert (~p)({}) == pytest.approx(0.8)
+
+    def test_add_is_clipped_sum(self, p, q):
+        assert (p + q)({}) == pytest.approx(0.7)
+        assert (constant(0.9) + constant(0.9))({}) == 1.0
+
+    def test_mul_with_float(self, p):
+        assert (p * 0.5)({}) == pytest.approx(0.1)
+        assert (0.5 * p)({}) == pytest.approx(0.1)
+
+    def test_add_with_float(self, p):
+        assert (p + 0.1)({}) == pytest.approx(0.3)
+        assert (0.1 + p)({}) == pytest.approx(0.3)
+
+    def test_parameters_union(self):
+        a = from_cdf(Normal(0, 1), "x")
+        b = from_cdf(Normal(0, 1), "y")
+        assert (a & b).parameters == {"x", "y"}
+
+    def test_scaled(self, q):
+        assert scaled(q, 0.1)({}) == pytest.approx(0.05)
+        with pytest.raises(ModelError):
+            scaled(q, 1.5)
+
+    def test_rename(self, p):
+        renamed = p.rename("nice name")
+        assert renamed.label == "nice name"
+        assert renamed({}) == p({})
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=60)
+    def test_de_morgan_property(self, a, b):
+        pa, pb = constant(a), constant(b)
+        lhs = (~(pa & pb))({})
+        rhs = ((~pa) | (~pb))({})
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=60)
+    def test_or_bounds_property(self, a, b):
+        value = (constant(a) | constant(b))({})
+        assert max(a, b) - 1e-12 <= value <= min(1.0, a + b) + 1e-12
+
+
+class TestFromTable:
+    def test_interpolates_linearly(self):
+        from repro.core import from_table
+        p = from_table([(0.0, 0.0), (10.0, 1.0)], "x")
+        assert p({"x": 5.0}) == pytest.approx(0.5)
+        assert p({"x": 2.5}) == pytest.approx(0.25)
+
+    def test_holds_endpoints(self):
+        from repro.core import from_table
+        p = from_table([(1.0, 0.2), (2.0, 0.8)], "x")
+        assert p({"x": 0.0}) == pytest.approx(0.2)
+        assert p({"x": 99.0}) == pytest.approx(0.8)
+
+    def test_unsorted_input_accepted(self):
+        from repro.core import from_table
+        p = from_table([(10.0, 1.0), (0.0, 0.0)], "x")
+        assert p({"x": 5.0}) == pytest.approx(0.5)
+
+    def test_matches_exact_model_on_grid(self):
+        """A table sampled from a model reproduces it at the knots."""
+        import math
+        from repro.core import from_model, from_table
+        from repro.stats import ExposureWindowModel
+        model = from_model(ExposureWindowModel(0.13), "T2")
+        knots = [(t, model({"T2": t})) for t in range(5, 26)]
+        table = from_table(knots, "T2")
+        for t in (5.0, 12.0, 25.0):
+            assert table({"T2": t}) == pytest.approx(model({"T2": t}))
+
+    def test_rejects_bad_tables(self):
+        from repro.core import from_table
+        with pytest.raises(ModelError):
+            from_table([(0.0, 0.5)], "x")
+        with pytest.raises(ModelError):
+            from_table([(0.0, 0.5), (0.0, 0.7)], "x")
+        with pytest.raises(ModelError):
+            from_table([(0.0, 0.5), (1.0, 1.5)], "x")

@@ -1,0 +1,74 @@
+"""Markdown study reports."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    Scenario,
+    from_function,
+    markdown_report,
+)
+
+
+def make_model(scale: float = 1.0) -> SafetyModel:
+    up = from_function(lambda v: scale * v["x"] / 20.0, {"x"})
+    down = from_function(lambda v: (10.0 - v["x"]) / 20.0, {"x"})
+    return SafetyModel(
+        ParameterSpace([Parameter("x", 0.0, 10.0, default=5.0,
+                                  unit="ms")]),
+        {"up": up, "down": down},
+        CostModel([HazardCost("up", 3.0), HazardCost("down", 1.0)]),
+        name="toy system")
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return markdown_report(make_model(), front_points=7)
+
+    def test_has_all_sections(self, report):
+        for heading in ("# Safety optimization report",
+                        "## Model",
+                        "## Optimal configuration",
+                        "## Parameter sensitivity",
+                        "## Hazard trade-off front"):
+            assert heading in report
+
+    def test_model_inventory(self, report):
+        assert "| x | [0, 10] ms | 5 ms |" in report
+        assert "| up | 3 |" in report
+
+    def test_optimum_and_baseline(self, report):
+        assert "optimum: **x = " in report
+        assert "baseline cost" in report
+
+    def test_hazard_rows(self, report):
+        assert "| up |" in report and "| down |" in report
+
+    def test_front_rows_present(self, report):
+        # 7 grid points over opposed hazards -> 7 front rows.
+        front_section = report.split("## Hazard trade-off front")[1]
+        rows = [l for l in front_section.splitlines()
+                if l.startswith("| (")]
+        assert len(rows) == 7
+
+    def test_scenarios_section_optional(self):
+        without = markdown_report(make_model(), front_points=5)
+        assert "## Environment scenarios" not in without
+        with_scenarios = markdown_report(
+            make_model(), front_points=5,
+            scenarios=[Scenario("busy", lambda: make_model(2.0)),
+                       Scenario("calm", lambda: make_model(0.5))])
+        assert "## Environment scenarios" in with_scenarios
+        assert "| busy |" in with_scenarios
+
+    def test_renders_for_elbtunnel(self):
+        from repro.elbtunnel import build_safety_model
+        report = markdown_report(build_safety_model(), method="zoom",
+                                 front_points=5)
+        assert "Elbtunnel height control" in report
+        assert "T1" in report and "T2" in report

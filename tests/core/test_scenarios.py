@@ -1,0 +1,75 @@
+"""Scenario comparisons and multi-scenario series."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    Scenario,
+    compare_scenarios,
+    from_function,
+    scenario_series,
+)
+from repro.errors import ModelError
+
+
+def make_model(rate: float) -> SafetyModel:
+    h = from_function(lambda v: min(1.0, rate * v["x"]), {"x"})
+    return SafetyModel(
+        ParameterSpace([Parameter("x", 0.0, 1.0, default=0.5)]),
+        {"h": h}, CostModel([HazardCost("h", 1.0)]))
+
+
+@pytest.fixture
+def scenarios():
+    return [Scenario("low", lambda: make_model(0.1), "light traffic"),
+            Scenario("high", lambda: make_model(0.5), "heavy traffic")]
+
+
+class TestScenario:
+    def test_model_factory_called_fresh(self, scenarios):
+        a = scenarios[0].model()
+        b = scenarios[0].model()
+        assert a is not b
+
+    def test_bad_factory_rejected(self):
+        scenario = Scenario("bad", lambda: "not a model")
+        with pytest.raises(ModelError):
+            scenario.model()
+
+
+class TestCompare:
+    def test_evaluates_each_scenario(self, scenarios):
+        values = compare_scenarios(scenarios,
+                                   lambda m: m.cost((0.5,)))
+        assert values["low"] == pytest.approx(0.05)
+        assert values["high"] == pytest.approx(0.25)
+
+    def test_rejects_duplicates(self, scenarios):
+        doubled = scenarios + [Scenario("low", lambda: make_model(0.2))]
+        with pytest.raises(ModelError):
+            compare_scenarios(doubled, lambda m: 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            compare_scenarios([], lambda m: 0.0)
+
+
+class TestSeries:
+    def test_one_series_per_scenario(self, scenarios):
+        series = scenario_series(scenarios, "x", (0.5,), hazard="h",
+                                 points=5)
+        assert set(series) == {"low", "high"}
+        assert len(series["low"]) == 5
+
+    def test_high_scenario_dominates(self, scenarios):
+        """The paper's Fig. 6 shape: heavier traffic = higher risk curve."""
+        series = scenario_series(scenarios, "x", (0.5,), hazard="h",
+                                 points=5)
+        for (x1, y_low), (x2, y_high) in zip(series["low"],
+                                             series["high"]):
+            assert x1 == x2
+            assert y_high >= y_low

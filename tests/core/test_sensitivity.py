@@ -1,0 +1,100 @@
+"""Sensitivity: derivatives, tornado bars, sweeps."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    from_function,
+    local_sensitivities,
+    parameter_sweep,
+    sweep,
+    tornado,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def model():
+    """cost = 2*a + 10*b over a, b in [0, 1] (linear, known gradients)."""
+    ha = from_function(lambda v: 0.2 * v["a"], {"a"})
+    hb = from_function(lambda v: 0.1 * v["b"], {"b"})
+    return SafetyModel(
+        ParameterSpace([Parameter("a", 0.0, 1.0, default=0.5),
+                        Parameter("b", 0.0, 1.0, default=0.5)]),
+        {"ha": ha, "hb": hb},
+        CostModel([HazardCost("ha", 10.0), HazardCost("hb", 100.0)]))
+
+
+class TestLocalSensitivities:
+    def test_linear_gradients_exact(self, model):
+        grads = local_sensitivities(model, (0.5, 0.5))
+        assert grads["a"] == pytest.approx(2.0, rel=1e-4)
+        assert grads["b"] == pytest.approx(10.0, rel=1e-4)
+
+    def test_works_at_domain_walls(self, model):
+        grads = local_sensitivities(model, (0.0, 1.0))
+        assert grads["a"] == pytest.approx(2.0, rel=1e-3)
+        assert grads["b"] == pytest.approx(10.0, rel=1e-3)
+
+
+class TestTornado:
+    def test_swings_sorted_descending(self, model):
+        bars = tornado(model)
+        assert [b.parameter for b in bars] == ["b", "a"]
+        assert bars[0].swing >= bars[1].swing
+
+    def test_linear_swing_values(self, model):
+        bars = {b.parameter: b for b in tornado(model)}
+        assert bars["a"].swing == pytest.approx(2.0, rel=1e-9)
+        assert bars["b"].swing == pytest.approx(10.0, rel=1e-9)
+
+    def test_uses_defaults_without_point(self, model):
+        bars = tornado(model)
+        assert bars[0].base_cost == pytest.approx(model.cost((0.5, 0.5)))
+
+    def test_explicit_point(self, model):
+        bars = tornado(model, point=(0.1, 0.9))
+        assert bars[0].base_cost == pytest.approx(model.cost((0.1, 0.9)))
+
+
+class TestSweep:
+    def test_even_grid(self):
+        series = sweep(lambda x: x * x, 0.0, 1.0, points=3)
+        assert series == [(0.0, 0.0), (0.5, 0.25), (1.0, 1.0)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ModelError):
+            sweep(lambda x: x, 0.0, 1.0, points=1)
+        with pytest.raises(ModelError):
+            sweep(lambda x: x, 1.0, 0.0)
+
+
+class TestParameterSweep:
+    def test_cost_sweep_holds_others_fixed(self, model):
+        series = parameter_sweep(model, "a", (0.5, 0.5), points=3)
+        xs = [x for x, _y in series]
+        assert xs == [0.0, 0.5, 1.0]
+        # cost(a, b=0.5) = 2a + 5
+        assert series[0][1] == pytest.approx(5.0)
+        assert series[2][1] == pytest.approx(7.0)
+
+    def test_hazard_sweep(self, model):
+        series = parameter_sweep(model, "b", (0.5, 0.5), points=3,
+                                 quantity="hazard", hazard="hb")
+        assert series[2][1] == pytest.approx(0.1)
+
+    def test_rejects_unknown_parameter(self, model):
+        with pytest.raises(ModelError):
+            parameter_sweep(model, "ghost", (0.5, 0.5))
+
+    def test_rejects_bad_quantity(self, model):
+        with pytest.raises(ModelError):
+            parameter_sweep(model, "a", (0.5, 0.5), quantity="magic")
+
+    def test_hazard_quantity_requires_name(self, model):
+        with pytest.raises(ModelError):
+            parameter_sweep(model, "a", (0.5, 0.5), quantity="hazard")

@@ -1,0 +1,93 @@
+"""Trade-off analysis: opposition, fronts, cost-ratio sensitivity."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    cost_ratio_sensitivity,
+    from_function,
+    hazard_front,
+    hazards_opposed,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def opposed_model():
+    """Two hazards pulling the parameter in opposite directions."""
+    up = from_function(lambda v: v["x"] / 10.0, {"x"})
+    down = from_function(lambda v: (10.0 - v["x"]) / 10.0, {"x"})
+    return SafetyModel(
+        ParameterSpace([Parameter("x", 0.0, 10.0, default=5.0)]),
+        {"up": up, "down": down},
+        CostModel([HazardCost("up", 3.0), HazardCost("down", 1.0)]),
+        name="opposed")
+
+
+@pytest.fixture
+def aligned_model():
+    """Two hazards that share a common minimizer (not opposed)."""
+    h1 = from_function(lambda v: v["x"] / 10.0, {"x"})
+    h2 = from_function(lambda v: v["x"] / 20.0, {"x"})
+    return SafetyModel(
+        ParameterSpace([Parameter("x", 0.0, 10.0, default=5.0)]),
+        {"h1": h1, "h2": h2},
+        CostModel([HazardCost("h1", 1.0), HazardCost("h2", 1.0)]))
+
+
+class TestOpposition:
+    def test_detects_opposed_hazards(self, opposed_model):
+        """The paper: 'it is clear that it is not possible to minimize
+        both risks at the same time' — detect that quantitatively."""
+        report = hazards_opposed(opposed_model, "up", "down")
+        assert report.opposed
+        assert report.argmin_a == (0.0,)
+        assert report.argmin_b == (10.0,)
+
+    def test_detects_aligned_hazards(self, aligned_model):
+        report = hazards_opposed(aligned_model, "h1", "h2")
+        assert not report.opposed
+        assert report.argmin_a == report.argmin_b == (0.0,)
+
+    def test_rejects_unknown_hazard(self, opposed_model):
+        with pytest.raises(ModelError):
+            hazards_opposed(opposed_model, "up", "ghost")
+
+
+class TestFront:
+    def test_opposed_model_has_full_front(self, opposed_model):
+        front = hazard_front(opposed_model, points_per_dim=11)
+        assert len(front) == 11  # every point is a distinct trade-off
+
+    def test_aligned_model_has_single_point_front(self, aligned_model):
+        front = hazard_front(aligned_model, points_per_dim=11)
+        assert len(front) == 1
+        assert front[0].x == (0.0,)
+
+    def test_front_objectives_ordered_by_hazard_name(self, opposed_model):
+        front = hazard_front(opposed_model, points_per_dim=5)
+        for point in front:
+            probs = opposed_model.hazard_probabilities(point.x)
+            assert point.objectives == (probs["down"], probs["up"])
+
+
+class TestCostRatioSensitivity:
+    def test_optimum_tracks_cost_weight(self, opposed_model):
+        results = cost_ratio_sensitivity(opposed_model, "up",
+                                         factors=[0.1, 10.0])
+        cheap_up = results[0.1][0][0]
+        dear_up = results[10.0][0][0]
+        # Cheap 'up' hazard -> push x high; expensive -> push x low.
+        assert cheap_up > dear_up
+
+    def test_rejects_bad_inputs(self, opposed_model):
+        with pytest.raises(ModelError):
+            cost_ratio_sensitivity(opposed_model, "ghost", [1.0])
+        with pytest.raises(ModelError):
+            cost_ratio_sensitivity(opposed_model, "up", [])
+        with pytest.raises(ModelError):
+            cost_ratio_sensitivity(opposed_model, "up", [-1.0])

@@ -1,0 +1,152 @@
+"""Uncertainty propagation: LHS sampling and result statistics."""
+
+import pytest
+
+from repro.core import (
+    UncertaintyResult,
+    latin_hypercube,
+    propagate,
+    propagate_many,
+)
+from repro.errors import ModelError
+from repro.stats import Normal, Uniform
+
+
+class TestLatinHypercube:
+    def test_stratification_covers_range(self):
+        draws = latin_hypercube({"x": Uniform(0.0, 1.0)}, samples=10,
+                                seed=0)
+        values = sorted(d["x"] for d in draws)
+        # Exactly one value per decile.
+        for i, v in enumerate(values):
+            assert i / 10 <= v <= (i + 1) / 10
+
+    def test_all_inputs_in_every_draw(self):
+        draws = latin_hypercube({"a": Uniform(0, 1), "b": Normal(0, 1)},
+                                samples=5, seed=1)
+        assert all(set(d) == {"a", "b"} for d in draws)
+
+    def test_deterministic_under_seed(self):
+        inputs = {"x": Normal(0, 1)}
+        assert latin_hypercube(inputs, 7, seed=3) == \
+            latin_hypercube(inputs, 7, seed=3)
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ModelError):
+            latin_hypercube({}, samples=5)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ModelError):
+            latin_hypercube({"x": Uniform(0, 1)}, samples=0)
+
+
+class TestUncertaintyResult:
+    @pytest.fixture
+    def result(self):
+        return UncertaintyResult("x", tuple(float(i) for i in range(11)))
+
+    def test_mean_and_std(self, result):
+        assert result.mean == pytest.approx(5.0)
+        assert result.std == pytest.approx(3.3166, rel=1e-3)
+
+    def test_percentiles(self, result):
+        assert result.percentile(0) == 0.0
+        assert result.percentile(50) == 5.0
+        assert result.percentile(100) == 10.0
+
+    def test_interval(self, result):
+        lo, hi = result.interval(0.8)
+        assert lo == pytest.approx(1.0)
+        assert hi == pytest.approx(9.0)
+
+    def test_rejects_bad_arguments(self, result):
+        with pytest.raises(ModelError):
+            result.percentile(150)
+        with pytest.raises(ModelError):
+            result.interval(1.5)
+
+    def test_single_sample(self):
+        r = UncertaintyResult("x", (3.0,))
+        assert r.percentile(50) == 3.0
+        assert r.std == 0.0
+
+
+class TestPropagate:
+    def test_linear_output_statistics(self):
+        result = propagate({"x": Normal(10.0, 2.0)},
+                           lambda d: 3.0 * d["x"], samples=400, seed=0)
+        assert result.mean == pytest.approx(30.0, rel=0.02)
+        assert result.std == pytest.approx(6.0, rel=0.1)
+
+    def test_interval_contains_truth_for_uniform(self):
+        result = propagate({"x": Uniform(0.0, 1.0)},
+                           lambda d: d["x"], samples=200, seed=1)
+        lo, hi = result.interval(0.9)
+        assert lo == pytest.approx(0.05, abs=0.02)
+        assert hi == pytest.approx(0.95, abs=0.02)
+
+    def test_propagate_many_shares_draws(self):
+        inputs = {"x": Normal(0.0, 1.0)}
+        results = propagate_many(
+            inputs,
+            {"identity": lambda d: d["x"],
+             "double": lambda d: 2.0 * d["x"]},
+            samples=50, seed=2)
+        assert results["double"].samples == tuple(
+            2.0 * v for v in results["identity"].samples)
+
+
+class TestElbtunnelRobustness:
+    def test_optimum_conclusion_survives_input_uncertainty(self):
+        """The headline conclusion (cost at (19, 15.6) beats the (30, 30)
+        baseline) must hold across plausible input perturbations."""
+        from repro.elbtunnel import ElbtunnelConfig, build_safety_model
+        from repro.stats import LogNormal
+        import math
+
+        def gain(draw):
+            config = ElbtunnelConfig(
+                p_ohv_present=draw["p_ohv"],
+                hv_odfinal_rate=draw["hv_rate"])
+            model = build_safety_model(config)
+            return model.cost((30.0, 30.0)) - model.cost((19.0, 15.6))
+
+        result = propagate(
+            {"p_ohv": LogNormal(math.log(1.342e-3), 0.3),
+             "hv_rate": LogNormal(math.log(4.0e-3), 0.3)},
+            gain, samples=60, seed=5)
+        lo, _hi = result.interval(0.9)
+        assert lo > 0.0   # the optimized setting wins in every scenario
+
+
+class TestSobolIndices:
+    def test_linear_model_variance_split(self):
+        """Y = 2*X1 + X2, X1, X2 ~ N(0,1): S1 = 4/5, S2 = 1/5."""
+        from repro.core import sobol_first_order
+        indices = sobol_first_order(
+            {"x1": Normal(0.0, 1.0), "x2": Normal(0.0, 1.0)},
+            lambda d: 2.0 * d["x1"] + d["x2"], samples=3000, seed=0)
+        assert indices["x1"] == pytest.approx(0.8, abs=0.06)
+        assert indices["x2"] == pytest.approx(0.2, abs=0.06)
+
+    def test_irrelevant_input_scores_zero(self):
+        from repro.core import sobol_first_order
+        indices = sobol_first_order(
+            {"used": Uniform(0.0, 1.0), "unused": Uniform(0.0, 1.0)},
+            lambda d: d["used"] ** 2, samples=2000, seed=1)
+        assert indices["unused"] == pytest.approx(0.0, abs=0.05)
+        assert indices["used"] > 0.9
+
+    def test_constant_output_gives_zeros(self):
+        from repro.core import sobol_first_order
+        indices = sobol_first_order(
+            {"x": Uniform(0.0, 1.0)}, lambda d: 5.0, samples=100, seed=0)
+        assert indices == {"x": 0.0}
+
+    def test_rejects_bad_arguments(self):
+        from repro.core import sobol_first_order
+        with pytest.raises(ModelError):
+            sobol_first_order({}, lambda d: 0.0)
+        with pytest.raises(ModelError):
+            sobol_first_order({"x": Uniform(0, 1)}, lambda d: 0.0,
+                              samples=1)

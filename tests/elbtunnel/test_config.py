@@ -1,0 +1,59 @@
+"""Elbtunnel configuration: published values and validation."""
+
+import pytest
+
+from repro.elbtunnel import DEFAULT_CONFIG, DesignVariant, ElbtunnelConfig
+from repro.errors import ModelError
+
+
+class TestPublishedValues:
+    def test_driving_time_model(self):
+        """Sect. IV-C: Normal with mu = 4 min, sigma = 2 min."""
+        assert DEFAULT_CONFIG.transit_mean == 4.0
+        assert DEFAULT_CONFIG.transit_std == 2.0
+
+    def test_cost_ratio(self):
+        """Sect. IV-C.1: collision = 100000 x false alarm."""
+        assert DEFAULT_CONFIG.cost_collision / \
+            DEFAULT_CONFIG.cost_false_alarm == 100_000.0
+
+    def test_engineer_baseline(self):
+        """Sect. IV-C.2: 'initial guesses of 30 minutes'."""
+        assert DEFAULT_CONFIG.timer1_default == 30.0
+        assert DEFAULT_CONFIG.timer2_default == 30.0
+
+
+class TestValidation:
+    def test_rejects_bad_transit(self):
+        with pytest.raises(ModelError):
+            ElbtunnelConfig(transit_mean=-1.0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ModelError):
+            ElbtunnelConfig(p_ohv_present=1.5)
+        with pytest.raises(ModelError):
+            ElbtunnelConfig(p_const1=-0.1)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ModelError):
+            ElbtunnelConfig(hv_odfinal_rate=-0.1)
+
+    def test_rejects_bad_timer_domain(self):
+        with pytest.raises(ModelError):
+            ElbtunnelConfig(timer_min=30.0, timer_max=5.0)
+
+
+class TestVariants:
+    def test_three_design_variants(self):
+        assert {v.value for v in DesignVariant} == {
+            "without_LB4", "with_LB4", "lb_at_odfinal"}
+
+    def test_heavy_traffic_scales_hv_rate(self):
+        heavy = DEFAULT_CONFIG.heavy_traffic()
+        assert heavy.hv_odfinal_rate == DEFAULT_CONFIG.hv_odfinal_rate_heavy
+        assert heavy.hv_odfinal_rate > DEFAULT_CONFIG.hv_odfinal_rate
+
+    def test_with_rates_override(self):
+        custom = DEFAULT_CONFIG.with_rates(p_ohv_present=0.01)
+        assert custom.p_ohv_present == 0.01
+        assert custom.transit_mean == DEFAULT_CONFIG.transit_mean

@@ -1,0 +1,170 @@
+"""Height-control state machine: arming, timers, variants."""
+
+import pytest
+
+from repro.elbtunnel import DesignVariant, HeightControl, Lane
+from repro.errors import SimulationError
+
+
+def make(variant=DesignVariant.WITHOUT_LB4, t1=30.0, t2=30.0):
+    return HeightControl(t1, t2, variant, lb_passage_time=0.3)
+
+
+class TestArming:
+    def test_initially_disarmed(self):
+        hc = make()
+        assert not hc.lbpost_armed(0.0)
+        assert not hc.odfinal_armed(0.0)
+
+    def test_lbpre_arms_lbpost_for_timer1(self):
+        hc = make(t1=30.0)
+        hc.lbpre_triggered(10.0)
+        assert hc.lbpost_armed(10.0)
+        assert hc.lbpost_armed(40.0)
+        assert not hc.lbpost_armed(40.1)
+
+    def test_lbpost_arms_odfinal_for_timer2(self):
+        hc = make(t2=15.6)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(5.0, Lane.RIGHT)
+        assert hc.odfinal_armed(5.0)
+        assert hc.odfinal_armed(20.6)
+        assert not hc.odfinal_armed(20.7)
+
+    def test_lbpost_ignored_when_disarmed(self):
+        """The paper's timer-1 rationale: LBpost off after expiry, so a
+        spurious LBpre trigger cannot arm ODfinal forever."""
+        hc = make(t1=30.0)
+        hc.lbpre_triggered(0.0)
+        assert hc.lbpost_triggered(31.0, Lane.RIGHT) is None
+        assert not hc.odfinal_armed(31.0)
+
+    def test_rearming_extends_window(self):
+        hc = make(t1=10.0)
+        hc.lbpre_triggered(0.0)
+        hc.lbpre_triggered(8.0)
+        assert hc.lbpost_armed(17.0)
+
+
+class TestAlarms:
+    def test_left_lane_with_odleft_raises_immediately(self):
+        hc = make()
+        hc.lbpre_triggered(0.0)
+        alarm = hc.lbpost_triggered(5.0, Lane.LEFT, od_left_high=True)
+        assert alarm is not None
+        assert alarm.source == "od_left"
+
+    def test_left_lane_without_odleft_confirmation_arms_odfinal(self):
+        """OD left misses: no immediate stop, detection falls through."""
+        hc = make()
+        hc.lbpre_triggered(0.0)
+        assert hc.lbpost_triggered(5.0, Lane.LEFT,
+                                   od_left_high=False) is None
+        assert hc.odfinal_armed(5.0)
+
+    def test_odfinal_high_raises_while_armed(self):
+        hc = make(t2=15.6)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(5.0, Lane.RIGHT)
+        alarm = hc.odfinal_high(10.0)
+        assert alarm is not None and alarm.source == "od_final"
+
+    def test_odfinal_high_silent_when_disarmed(self):
+        hc = make(t2=15.6)
+        assert hc.odfinal_high(10.0) is None
+
+    def test_alarms_recorded(self):
+        hc = make()
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(1.0, Lane.RIGHT)
+        hc.odfinal_high(2.0)
+        hc.odfinal_high(3.0)
+        assert len(hc.alarms) == 2
+
+
+class TestWithLB4:
+    def test_lb4_disarms_when_zone_empties(self):
+        """The paper's proposed fix: LB4 stops timer 2 once the OHV has
+        entered tube 4 (with an OHV counter for zone 2)."""
+        hc = make(DesignVariant.WITH_LB4, t2=30.0)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(5.0, Lane.RIGHT)
+        assert hc.odfinal_armed(6.0)
+        hc.lb4_triggered(9.0)   # OHV entered tube 4
+        assert not hc.odfinal_armed(9.1)
+
+    def test_counter_tracks_multiple_ohvs(self):
+        hc = make(DesignVariant.WITH_LB4, t2=30.0)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(5.0, Lane.RIGHT)
+        hc.lbpost_triggered(6.0, Lane.RIGHT)
+        hc.lb4_triggered(9.0)
+        assert hc.odfinal_armed(9.1)    # one OHV still in zone 2
+        hc.lb4_triggered(10.0)
+        assert not hc.odfinal_armed(10.1)
+
+    def test_timer_still_bounds_window(self):
+        hc = make(DesignVariant.WITH_LB4, t2=10.0)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(5.0, Lane.RIGHT)
+        assert not hc.odfinal_armed(15.1)   # timer 2 expired anyway
+
+
+class TestLBAtODfinal:
+    def test_alarm_only_during_passage_window(self):
+        hc = make(DesignVariant.LB_AT_ODFINAL, t2=30.0)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(5.0, Lane.RIGHT)
+        # Armed, but no OHV passing the co-located light barrier.
+        assert hc.odfinal_high(10.0) is None
+        hc.lb4_triggered(12.0)   # OHV passes the LB at ODfinal
+        assert hc.odfinal_high(12.1) is not None
+        assert hc.odfinal_high(12.4) is None   # window (0.3 min) closed
+
+    def test_still_requires_armed(self):
+        hc = make(DesignVariant.LB_AT_ODFINAL, t2=30.0)
+        hc.lb4_triggered(1.0)
+        assert hc.odfinal_high(1.1) is None
+
+
+class TestGuards:
+    def test_rejects_nonpositive_timers(self):
+        with pytest.raises(SimulationError):
+            HeightControl(0.0, 10.0)
+        with pytest.raises(SimulationError):
+            HeightControl(10.0, -1.0)
+
+    def test_rejects_time_regression(self):
+        hc = make()
+        hc.lbpre_triggered(10.0)
+        with pytest.raises(SimulationError):
+            hc.lbpre_triggered(5.0)
+
+
+class TestSingleOhvAssumptionFlaw:
+    """The pre-fix design flaw found by model checking (Sect. IV-A)."""
+
+    def test_second_ohv_unsupervised_with_flaw(self):
+        hc = HeightControl(30.0, 30.0, single_ohv_assumption=True)
+        hc.lbpre_triggered(0.0)      # two OHVs enter together: one pulse
+        hc.lbpost_triggered(4.0, Lane.RIGHT)     # first OHV detected
+        # Supervision dropped: the second, wrong-headed OHV slips by.
+        alarm = hc.lbpost_triggered(4.5, Lane.LEFT, od_left_high=True)
+        assert alarm is None
+
+    def test_fixed_design_catches_second_ohv(self):
+        hc = HeightControl(30.0, 30.0, single_ohv_assumption=False)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(4.0, Lane.RIGHT)
+        alarm = hc.lbpost_triggered(4.5, Lane.LEFT, od_left_high=True)
+        assert alarm is not None
+
+    def test_rearming_by_new_lbpre_pulse(self):
+        """A separate LBpre pulse re-arms supervision even in the flawed
+        design — the flaw needs *simultaneous* passage."""
+        hc = HeightControl(30.0, 30.0, single_ohv_assumption=True)
+        hc.lbpre_triggered(0.0)
+        hc.lbpost_triggered(4.0, Lane.RIGHT)
+        hc.lbpre_triggered(5.0)
+        alarm = hc.lbpost_triggered(9.0, Lane.LEFT, od_left_high=True)
+        assert alarm is not None

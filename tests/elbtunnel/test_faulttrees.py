@@ -1,0 +1,95 @@
+"""Elbtunnel fault trees: cut sets and agreement with the closed forms."""
+
+import pytest
+
+from repro.elbtunnel import (
+    ElbtunnelConfig,
+    build_fault_tree_model,
+    build_safety_model,
+    collision_fault_tree,
+    false_alarm_fault_tree,
+    fig2_fault_tree,
+)
+from repro.elbtunnel.faulttrees import ODFINAL_ARMED, OHV_CRITICAL
+from repro.fta import mocus
+
+CFG = ElbtunnelConfig()
+
+
+class TestFig2Tree:
+    def test_all_cut_sets_are_single_points(self):
+        """Sect. IV-B.2: 'almost all cut sets are single point of
+        failures' — in the Fig. 2 expansion, all of them."""
+        cut_sets = mocus(fig2_fault_tree())
+        assert len(cut_sets) == 6
+        assert all(cs.is_single_point for cs in cut_sets)
+
+    def test_contains_paper_failures(self):
+        names = mocus(fig2_fault_tree()).failure_names()
+        assert {"OT1", "OT2", "MD_ODleft", "MD_ODfinal",
+                "OHV ignores signal", "Signal out of order"} == names
+
+
+class TestCollisionTree:
+    def test_cut_sets_match_section_iv_b2(self):
+        """MCS: {OT1}, {OT2} (guarded by OHV critical), plus Pconst1."""
+        cut_sets = mocus(collision_fault_tree(CFG))
+        by_failures = {frozenset(cs.failures): cs for cs in cut_sets}
+        assert frozenset({"OT1"}) in by_failures
+        assert frozenset({"OT2"}) in by_failures
+        assert by_failures[frozenset({"OT1"})].conditions == \
+            frozenset({OHV_CRITICAL})
+        assert by_failures[frozenset({"OT2"})].conditions == \
+            frozenset({OHV_CRITICAL})
+
+    def test_condition_probability_from_config(self):
+        tree = collision_fault_tree(CFG)
+        assert tree.event(OHV_CRITICAL).probability == CFG.p_ohv_critical
+
+
+class TestFalseAlarmTree:
+    def test_dominating_cut_set_is_hv_odfinal(self):
+        """Sect. IV-B.2: HV_ODfinal dominates the false alarm hazard."""
+        cut_sets = mocus(false_alarm_fault_tree(CFG))
+        guarded = [cs for cs in cut_sets
+                   if cs.failures == frozenset({"HV_ODfinal"})]
+        assert len(guarded) == 1
+        assert guarded[0].conditions == frozenset({ODFINAL_ARMED})
+
+
+class TestAgreementWithClosedForm:
+    @pytest.fixture
+    def formula_model(self):
+        return build_safety_model(CFG)
+
+    @pytest.mark.parametrize("point", [(30.0, 30.0), (19.0, 15.6),
+                                       (12.0, 25.0)])
+    def test_rare_event_matches_in_realistic_region(self, formula_model,
+                                                    point):
+        """For T >= 10 min all probabilities are tiny and the rare-event
+        quantification agrees with the paper's closed forms."""
+        tree_model = build_fault_tree_model(CFG, method="rare_event")
+        assert tree_model.cost(point) == pytest.approx(
+            formula_model.cost(point), rel=1e-4)
+
+    @pytest.mark.parametrize("method", ["exact", "inclusion_exclusion"])
+    @pytest.mark.parametrize("point", [(30.0, 30.0), (19.0, 15.6),
+                                       (5.0, 5.0)])
+    def test_exact_methods_match_everywhere(self, formula_model, method,
+                                            point):
+        """Exact quantification agrees with the closed form up to the
+        top-level rare-event term the paper itself uses (~1e-5 rel)."""
+        tree_model = build_fault_tree_model(CFG, method=method)
+        assert tree_model.cost(point) == pytest.approx(
+            formula_model.cost(point), rel=5e-5)
+
+    def test_both_models_find_the_same_optimum(self, formula_model):
+        from repro.core import SafetyOptimizer
+        tree_result = SafetyOptimizer(
+            build_fault_tree_model(CFG)).optimize("nelder_mead")
+        formula_result = SafetyOptimizer(formula_model).optimize(
+            "nelder_mead")
+        assert tree_result.optimum[0] == pytest.approx(
+            formula_result.optimum[0], abs=0.1)
+        assert tree_result.optimum[1] == pytest.approx(
+            formula_result.optimum[1], abs=0.1)

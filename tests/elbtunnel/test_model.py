@@ -1,0 +1,164 @@
+"""Analytic Elbtunnel model: paper formulas and monotonicities."""
+
+import math
+
+import pytest
+
+from repro.elbtunnel import (
+    COLLISION,
+    FALSE_ALARM,
+    DesignVariant,
+    ElbtunnelConfig,
+    build_safety_model,
+    correct_ohv_alarm_probability,
+    cost_function,
+    fig6_series,
+    transit_distribution,
+)
+from repro.elbtunnel.model import (
+    collision_probability,
+    false_alarm_probability,
+    p_fd_lbpost,
+    p_hv_odfinal,
+    p_overtime_zone1,
+    p_overtime_zone2,
+)
+from repro.errors import ModelError
+
+CFG = ElbtunnelConfig()
+
+
+class TestParameterizedProbabilities:
+    def test_overtime_formula(self):
+        """P(OT1)(T1) = 1 - P_OHV(Time <= T1) (Sect. IV-C)."""
+        ot1 = p_overtime_zone1(CFG)
+        transit = transit_distribution(CFG)
+        for t in (5.0, 15.6, 19.0, 30.0):
+            assert ot1({"T1": t}) == pytest.approx(1.0 - transit.cdf(t))
+
+    def test_overtime_decreases_with_runtime(self):
+        ot2 = p_overtime_zone2(CFG)
+        values = [ot2({"T2": t}) for t in (5, 10, 20, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_exposure_probabilities_increase_with_runtime(self):
+        fd = p_fd_lbpost(CFG)
+        hv = p_hv_odfinal(CFG)
+        assert fd({"T1": 30.0}) > fd({"T1": 10.0})
+        assert hv({"T2": 30.0}) > hv({"T2": 10.0})
+
+    def test_overtime_negligible_at_baseline(self):
+        """At T = 30 min the overtime risk is essentially zero
+        (z = 13 sigma) — why the engineers' guess was 'safe'."""
+        assert p_overtime_zone1(CFG)({"T1": 30.0}) < 1e-30
+
+
+class TestHazardFormulas:
+    def test_collision_formula_matches_paper(self):
+        """P(HCol) = Pconst1 + P(OHVcrit)(P(OT1) + (1-P(OT1))P(OT2))."""
+        col = collision_probability(CFG)
+        ot1 = p_overtime_zone1(CFG)
+        ot2 = p_overtime_zone2(CFG)
+        for t1, t2 in ((10.0, 12.0), (19.0, 15.6), (30.0, 30.0)):
+            values = {"T1": t1, "T2": t2}
+            o1, o2 = ot1(values), ot2(values)
+            expected = CFG.p_const1 + CFG.p_ohv_critical * (
+                o1 + (1 - o1) * o2)
+            assert col(values) == pytest.approx(expected, rel=1e-12)
+
+    def test_false_alarm_formula_matches_paper(self):
+        """P(HAlr) = Pconst2 + (P(OHV) + (1-P(OHV)) P(FDpre)
+        P(FDpost)(T1)) * P(HV ODfinal)(T2)."""
+        alr = false_alarm_probability(CFG)
+        fd_post = p_fd_lbpost(CFG)
+        hv = p_hv_odfinal(CFG)
+        for t1, t2 in ((10.0, 12.0), (19.0, 15.6), (30.0, 30.0)):
+            values = {"T1": t1, "T2": t2}
+            armed = CFG.p_ohv_present + (1 - CFG.p_ohv_present) * \
+                CFG.p_fd_lbpre * fd_post(values)
+            expected = CFG.p_const2 + armed * hv(values)
+            assert alr(values) == pytest.approx(expected, rel=1e-12)
+
+    def test_hazards_move_in_opposite_directions(self):
+        """Longer runtimes: collisions down, false alarms up."""
+        col = collision_probability(CFG)
+        alr = false_alarm_probability(CFG)
+        short = {"T1": 8.0, "T2": 8.0}
+        long = {"T1": 28.0, "T2": 28.0}
+        assert col(short) > col(long)
+        assert alr(short) < alr(long)
+
+
+class TestCostFunction:
+    def test_weighted_sum(self):
+        f = cost_function(CFG)
+        model = build_safety_model(CFG)
+        for t1, t2 in ((19.0, 15.6), (30.0, 30.0)):
+            probs = model.hazard_probabilities((t1, t2))
+            expected = 100_000.0 * probs[COLLISION] + probs[FALSE_ALARM]
+            assert f(t1, t2) == pytest.approx(expected, rel=1e-12)
+
+    def test_interior_minimum_exists(self):
+        """The cost rises towards both the short and long timer corners."""
+        f = cost_function(CFG)
+        mid = f(19.0, 15.6)
+        assert f(6.0, 6.0) > mid
+        assert f(30.0, 30.0) > mid
+
+
+class TestFig6Variants:
+    def test_without_lb4_closed_form(self):
+        lam = CFG.hv_odfinal_rate_heavy
+        assert correct_ohv_alarm_probability(
+            15.6, DesignVariant.WITHOUT_LB4, CFG) == pytest.approx(
+            1.0 - math.exp(-lam * 15.6))
+
+    def test_variant_ordering(self):
+        """without_LB4 > with_LB4 > lb_at_odfinal at every runtime."""
+        for t2 in (8.0, 15.6, 25.0):
+            without = correct_ohv_alarm_probability(
+                t2, DesignVariant.WITHOUT_LB4, CFG)
+            with_lb4 = correct_ohv_alarm_probability(
+                t2, DesignVariant.WITH_LB4, CFG)
+            lb_at = correct_ohv_alarm_probability(
+                t2, DesignVariant.LB_AT_ODFINAL, CFG)
+            assert without > with_lb4 > lb_at
+
+    def test_with_lb4_saturates_in_t2(self):
+        """Once T2 exceeds the transit time, LB4 caps the window: the
+        curve flattens."""
+        early = correct_ohv_alarm_probability(
+            20.0, DesignVariant.WITH_LB4, CFG)
+        late = correct_ohv_alarm_probability(
+            25.0, DesignVariant.WITH_LB4, CFG)
+        assert late - early < 1e-4
+
+    def test_lb_at_odfinal_independent_of_t2(self):
+        a = correct_ohv_alarm_probability(
+            10.0, DesignVariant.LB_AT_ODFINAL, CFG)
+        b = correct_ohv_alarm_probability(
+            25.0, DesignVariant.LB_AT_ODFINAL, CFG)
+        assert a == b
+
+    def test_rejects_nonpositive_runtime(self):
+        with pytest.raises(ModelError):
+            correct_ohv_alarm_probability(0.0)
+
+    def test_series_cover_all_variants(self):
+        series = fig6_series(CFG, points=5)
+        assert set(series) == {v.value for v in DesignVariant}
+        for curve in series.values():
+            assert len(curve) == 5
+            assert curve[0][0] == 5.0
+            assert curve[-1][0] == 25.0
+
+
+class TestModelWiring:
+    def test_hazard_names(self):
+        model = build_safety_model(CFG)
+        assert set(model.hazards) == {COLLISION, FALSE_ALARM}
+
+    def test_parameter_names_and_defaults(self):
+        model = build_safety_model(CFG)
+        assert model.space.names == ("T1", "T2")
+        assert model.space.defaults() == (30.0, 30.0)

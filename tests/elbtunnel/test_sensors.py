@@ -1,0 +1,67 @@
+"""Sensor models: detection rules and failure modes."""
+
+import random
+
+import pytest
+
+from repro.elbtunnel import Route, Vehicle, VehicleType
+from repro.elbtunnel.sensors import LightBarrier, OverheadDetector
+from repro.errors import SimulationError
+
+
+def make_vehicle(vtype: VehicleType) -> Vehicle:
+    return Vehicle(vehicle_id=1, vtype=vtype, route=Route.TUBE4,
+                   arrival_time=0.0, zone1_time=4.0, zone2_time=4.0)
+
+
+class TestLightBarrier:
+    def test_detects_only_overhigh(self):
+        lb = LightBarrier("LBpre")
+        assert lb.detects(make_vehicle(VehicleType.OVERHIGH))
+        assert not lb.detects(make_vehicle(VehicleType.HIGH))
+        assert not lb.detects(make_vehicle(VehicleType.CAR))
+
+    def test_false_detection_gaps_match_rate(self):
+        lb = LightBarrier("LBpre", fd_rate=0.01)
+        rng = random.Random(1)
+        gaps = [lb.next_false_detection(rng) for _ in range(20_000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(100.0, rel=0.05)
+
+    def test_zero_rate_never_fires(self):
+        lb = LightBarrier("LBpre")
+        assert lb.next_false_detection(random.Random(0)) == float("inf")
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(SimulationError):
+            LightBarrier("bad", fd_rate=-1.0)
+
+
+class TestOverheadDetector:
+    def test_senses_high_and_overhigh_alike(self):
+        """The paper: ODs cannot distinguish HVs from OHVs."""
+        od = OverheadDetector("ODfinal")
+        rng = random.Random(0)
+        assert od.senses(make_vehicle(VehicleType.HIGH), rng)
+        assert od.senses(make_vehicle(VehicleType.OVERHIGH), rng)
+
+    def test_ignores_cars(self):
+        od = OverheadDetector("ODfinal")
+        assert not od.senses(make_vehicle(VehicleType.CAR),
+                             random.Random(0))
+
+    def test_miss_probability(self):
+        od = OverheadDetector("ODfinal", p_miss=0.3)
+        rng = random.Random(2)
+        hits = sum(od.senses_crossing(rng) for _ in range(50_000))
+        assert hits / 50_000 == pytest.approx(0.7, abs=0.01)
+
+    def test_certain_miss(self):
+        od = OverheadDetector("ODfinal", p_miss=1.0)
+        assert not od.senses(make_vehicle(VehicleType.HIGH),
+                             random.Random(0))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            OverheadDetector("bad", p_miss=1.5)
+        with pytest.raises(SimulationError):
+            OverheadDetector("bad", fd_rate=-0.1)

@@ -1,0 +1,177 @@
+"""Entrance simulation: hazard counting and analytic agreement."""
+
+import pytest
+
+from repro.elbtunnel import (
+    DesignVariant,
+    SimulationConfig,
+    TrafficConfig,
+    correct_ohv_alarm_probability,
+    simulate,
+)
+from repro.errors import SimulationError
+
+#: Correct-only OHV traffic in the heavy-HV environment of Fig. 6.
+FIG6_TRAFFIC = TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
+                             hv_odfinal_rate=0.13)
+
+
+def run(variant, timer2=15.6, duration=60.0 * 24 * 120, seed=0,
+        traffic=FIG6_TRAFFIC, **kwargs):
+    config = SimulationConfig(duration=duration, timer1=30.0,
+                              timer2=timer2, variant=variant,
+                              traffic=traffic, seed=seed, **kwargs)
+    return simulate(config)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_duration(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(duration=0.0)
+
+    def test_rejects_bad_timers(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(timer1=0.0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(fd_lbpre_rate=-1.0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(od_miss_probability=2.0)
+
+
+class TestCounters:
+    def test_vehicle_counts_consistent(self):
+        result = run(DesignVariant.WITHOUT_LB4, duration=60.0 * 24 * 30)
+        assert result.ohvs_total == result.ohvs_correct + \
+            result.ohvs_incorrect
+        assert result.ohvs_correct > 0
+
+    def test_alarm_counts_consistent(self):
+        result = run(DesignVariant.WITHOUT_LB4, duration=60.0 * 24 * 30)
+        assert result.alarms_total == result.false_alarms + \
+            result.justified_alarms
+
+    def test_deterministic_under_seed(self):
+        a = run(DesignVariant.WITHOUT_LB4, duration=60.0 * 24 * 20, seed=5)
+        b = run(DesignVariant.WITHOUT_LB4, duration=60.0 * 24 * 20, seed=5)
+        assert a.false_alarms == b.false_alarms
+        assert a.correct_ohvs_alarmed == b.correct_ohvs_alarmed
+
+
+class TestFig6Agreement:
+    @pytest.mark.parametrize("variant", list(DesignVariant),
+                             ids=lambda v: v.value)
+    def test_simulation_matches_analytic(self, variant):
+        """The DES must reproduce the analytic Fig. 6 probabilities."""
+        result = run(variant, duration=60.0 * 24 * 365, seed=42)
+        analytic = correct_ohv_alarm_probability(15.6, variant)
+        assert result.ohvs_correct > 3000
+        # 4-sigma binomial tolerance plus a small modelling slack for
+        # overlapping arming windows.
+        sigma = (analytic * (1 - analytic) / result.ohvs_correct) ** 0.5
+        tolerance = 4.0 * sigma + 0.02
+        assert result.correct_ohv_alarm_fraction == pytest.approx(
+            analytic, abs=tolerance)
+
+    def test_longer_timer2_causes_more_false_alarms(self):
+        short = run(DesignVariant.WITHOUT_LB4, timer2=8.0,
+                    duration=60.0 * 24 * 120)
+        long = run(DesignVariant.WITHOUT_LB4, timer2=28.0,
+                   duration=60.0 * 24 * 120)
+        assert long.correct_ohv_alarm_fraction > \
+            short.correct_ohv_alarm_fraction
+
+    def test_design_fix_ordering(self):
+        """The paper's verdict: LB4 helps, LB at ODfinal helps most."""
+        results = {variant: run(variant, duration=60.0 * 24 * 240)
+                   for variant in DesignVariant}
+        assert results[DesignVariant.WITHOUT_LB4] \
+            .correct_ohv_alarm_fraction > \
+            results[DesignVariant.WITH_LB4].correct_ohv_alarm_fraction > \
+            results[DesignVariant.LB_AT_ODFINAL] \
+            .correct_ohv_alarm_fraction
+
+
+class TestCollisions:
+    def test_no_collisions_with_perfect_sensors(self):
+        """Incorrect OHVs are always caught when nothing fails."""
+        traffic = TrafficConfig(ohv_rate=1 / 60.0, p_correct=0.5,
+                                hv_odfinal_rate=0.0)
+        result = run(DesignVariant.WITHOUT_LB4, traffic=traffic,
+                     duration=60.0 * 24 * 60)
+        assert result.ohvs_incorrect > 100
+        assert result.collisions == 0
+
+    def test_od_misses_cause_collisions(self):
+        """With blind overhead detectors every wrong-headed OHV slips
+        through — the single-point-of-failure finding of the FTA."""
+        traffic = TrafficConfig(ohv_rate=1 / 60.0, p_correct=0.5,
+                                hv_odfinal_rate=0.0)
+        result = run(DesignVariant.WITHOUT_LB4, traffic=traffic,
+                     duration=60.0 * 24 * 30, od_miss_probability=1.0)
+        assert result.collisions == result.ohvs_incorrect > 0
+
+    def test_partial_miss_rate_scales_collisions(self):
+        traffic = TrafficConfig(ohv_rate=1 / 30.0, p_correct=0.5,
+                                hv_odfinal_rate=0.0)
+        result = run(DesignVariant.WITHOUT_LB4, traffic=traffic,
+                     duration=60.0 * 24 * 60, od_miss_probability=0.3)
+        fraction = result.collisions / result.ohvs_incorrect
+        # Wrong-early OHVs need two misses (ODleft, then ODfinal when
+        # they cross its area): 0.3^2 = 0.09.  Lane switchers need one:
+        # 0.3.  At a 50/50 route split the expectation is ~0.195.
+        assert 0.13 < fraction < 0.27
+
+    def test_justified_alarms_for_incorrect_ohvs(self):
+        traffic = TrafficConfig(ohv_rate=1 / 60.0, p_correct=0.5,
+                                hv_odfinal_rate=0.0)
+        result = run(DesignVariant.WITHOUT_LB4, traffic=traffic,
+                     duration=60.0 * 24 * 30)
+        assert result.justified_alarms > 0
+        assert result.false_alarms == 0
+
+
+class TestSpuriousDetections:
+    def test_lbpre_fd_alone_is_harmless(self):
+        """A false LBpre trigger arms LBpost but raises no alarm."""
+        traffic = TrafficConfig(ohv_rate=1e-9, p_correct=1.0,
+                                hv_odfinal_rate=0.0)
+        result = run(DesignVariant.WITHOUT_LB4, traffic=traffic,
+                     duration=60.0 * 24 * 30, fd_lbpre_rate=0.01)
+        assert result.alarms_total == 0
+
+    def test_fd_chain_plus_hv_causes_false_alarm(self):
+        """The paper's constraint: both LBs false-detect AND an HV is
+        misread at ODfinal."""
+        traffic = TrafficConfig(ohv_rate=1e-9, p_correct=1.0,
+                                hv_odfinal_rate=0.2)
+        result = run(DesignVariant.WITHOUT_LB4, traffic=traffic,
+                     duration=60.0 * 24 * 365,
+                     fd_lbpre_rate=0.005, fd_lbpost_rate=0.005)
+        assert result.false_alarms > 0
+        assert result.ohvs_total == 0
+
+
+class TestSingleOhvAssumptionFlaw:
+    """End-to-end reproduction of the two-OHV design flaw (Sect. IV-A)."""
+
+    def test_flawed_design_causes_collisions(self):
+        # The flaw needs a second OHV inside zone 1 when the first exits
+        # (~18 % at this rate) AND ODfinal disarmed when the missed OHV
+        # crosses — hence mostly-wrong traffic, all wrong-early, and a
+        # short timer 2 so correct OHVs rarely mask the miss.
+        traffic = TrafficConfig(ohv_rate=0.05, p_correct=0.1,
+                                p_wrong_early=1.0, hv_odfinal_rate=0.0)
+        flawed = SimulationConfig(
+            duration=60.0 * 24 * 10, timer1=30.0, timer2=10.0,
+            variant=DesignVariant.WITHOUT_LB4, traffic=traffic,
+            seed=3, single_ohv_assumption=True)
+        fixed = SimulationConfig(
+            duration=60.0 * 24 * 10, timer1=30.0, timer2=10.0,
+            variant=DesignVariant.WITHOUT_LB4, traffic=traffic,
+            seed=3, single_ohv_assumption=False)
+        flawed_result = simulate(flawed)
+        fixed_result = simulate(fixed)
+        assert fixed_result.collisions == 0
+        assert flawed_result.collisions > 0

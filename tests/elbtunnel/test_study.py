@@ -1,0 +1,76 @@
+"""Study artifacts: surfaces, checkpoints, report plumbing."""
+
+import pytest
+
+from repro.elbtunnel import ElbtunnelConfig, fig5_surface, fig6_study
+from repro.elbtunnel.study import Fig5Surface
+from repro.errors import ModelError
+
+
+class TestFig5Surface:
+    def test_dimensions(self):
+        surface = fig5_surface(points=5)
+        assert len(surface.t1_values) == 5
+        assert len(surface.t2_values) == 5
+        assert len(surface.cost) == 5
+        assert all(len(row) == 5 for row in surface.cost)
+
+    def test_ranges_match_figure(self):
+        surface = fig5_surface(points=5)
+        assert surface.t1_values[0] == 15.0
+        assert surface.t1_values[-1] == 20.0
+        assert surface.t2_values[0] == 15.0
+        assert surface.t2_values[-1] == 18.0
+
+    def test_minimum_returns_grid_argmin(self):
+        surface = Fig5Surface((1.0, 2.0), (3.0, 4.0),
+                              ((5.0, 2.0), (3.0, 4.0)))
+        assert surface.minimum() == (1.0, 4.0, 2.0)
+
+    def test_custom_window(self):
+        surface = fig5_surface(t1_range=(10.0, 12.0),
+                               t2_range=(10.0, 12.0), points=3)
+        assert surface.t1_values == (10.0, 11.0, 12.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ModelError):
+            fig5_surface(points=1)
+
+
+class TestFig6Study:
+    def test_checkpoints_consistent_with_series(self):
+        study = fig6_study()
+        # The without_LB4 series at its largest plotted T2 approaches the
+        # checkpoint values monotonically.
+        curve = dict(study.series["without_LB4"])
+        assert max(curve.values()) <= study.checkpoints.without_lb4_at_30
+
+    def test_series_monotone_without_lb4(self):
+        study = fig6_study()
+        ys = [y for _x, y in study.series["without_LB4"]]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+    def test_custom_optimal_t2(self):
+        study = fig6_study(optimal_t2=10.0)
+        base = fig6_study(optimal_t2=20.0)
+        assert study.checkpoints.without_lb4_at_opt < \
+            base.checkpoints.without_lb4_at_opt
+
+
+class TestFullStudyObject:
+    def test_full_study_components_consistent(self):
+        from repro.elbtunnel import full_study
+        study = full_study(method="coordinate")
+        # The Fig. 5 grid minimum and the optimizer agree.
+        t1, t2, cost = study.fig5.minimum()
+        assert abs(t1 - study.optimum.optimum[0]) < 0.3
+        assert abs(t2 - study.optimum.optimum[1]) < 0.2
+        assert cost == pytest.approx(study.optimum.optimal_cost,
+                                     rel=1e-4)
+        # Fig. 6 checkpoints evaluated at the found optimum's T2.
+        assert study.fig6.checkpoints.without_lb4_at_opt > 0.8
+
+    def test_summary_is_single_screen(self):
+        from repro.elbtunnel import full_study
+        text = full_study().summary()
+        assert 5 < len(text.splitlines()) < 20

@@ -1,0 +1,107 @@
+"""Traffic generation: rates, routes, timelines."""
+
+import pytest
+
+from repro.elbtunnel import (
+    Lane,
+    Route,
+    TrafficConfig,
+    TrafficGenerator,
+    VehicleType,
+)
+from repro.errors import SimulationError
+
+
+class TestTrafficConfig:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(SimulationError):
+            TrafficConfig(ohv_rate=0.0)
+        with pytest.raises(SimulationError):
+            TrafficConfig(hv_odfinal_rate=-1.0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(SimulationError):
+            TrafficConfig(p_correct=1.5)
+
+
+class TestOHVStream:
+    def test_arrival_rate_approximation(self):
+        config = TrafficConfig(ohv_rate=0.1)
+        generator = TrafficGenerator(config, seed=1)
+        vehicles = list(generator.ohvs_until(50_000.0))
+        # Poisson: expect ~5000 arrivals, allow 5 sigma.
+        assert 4650 <= len(vehicles) <= 5350
+
+    def test_all_are_overhigh(self):
+        generator = TrafficGenerator(TrafficConfig(), seed=2)
+        for vehicle in generator.ohvs_until(10_000.0):
+            assert vehicle.vtype is VehicleType.OVERHIGH
+
+    def test_correct_fraction(self):
+        config = TrafficConfig(ohv_rate=0.2, p_correct=0.8)
+        generator = TrafficGenerator(config, seed=3)
+        vehicles = list(generator.ohvs_until(50_000.0))
+        fraction = sum(v.is_correct for v in vehicles) / len(vehicles)
+        assert fraction == pytest.approx(0.8, abs=0.02)
+
+    def test_arrivals_sorted_and_unique_ids(self):
+        generator = TrafficGenerator(TrafficConfig(ohv_rate=0.5), seed=4)
+        vehicles = list(generator.ohvs_until(1000.0))
+        times = [v.arrival_time for v in vehicles]
+        assert times == sorted(times)
+        assert len({v.vehicle_id for v in vehicles}) == len(vehicles)
+
+    def test_transit_times_positive_with_paper_mean(self):
+        generator = TrafficGenerator(TrafficConfig(ohv_rate=0.5), seed=5)
+        vehicles = list(generator.ohvs_until(20_000.0))
+        zone1 = [v.zone1_time for v in vehicles]
+        assert all(t >= 0.0 for t in zone1)
+        mean = sum(zone1) / len(zone1)
+        # Truncated Normal(4, 2) at 0 has mean ~4.05.
+        assert mean == pytest.approx(4.05, abs=0.1)
+
+    def test_deterministic_under_seed(self):
+        a = list(TrafficGenerator(TrafficConfig(), seed=9)
+                 .ohvs_until(5000.0))
+        b = list(TrafficGenerator(TrafficConfig(), seed=9)
+                 .ohvs_until(5000.0))
+        assert [(v.arrival_time, v.route) for v in a] == \
+            [(v.arrival_time, v.route) for v in b]
+
+
+class TestRoutes:
+    def test_timeline_ordering(self):
+        generator = TrafficGenerator(TrafficConfig(), seed=6)
+        for vehicle in generator.ohvs_until(10_000.0):
+            assert vehicle.arrival_time < vehicle.time_at_lbpost \
+                <= vehicle.time_at_odfinal
+
+    def test_lane_and_odfinal_by_route(self):
+        generator = TrafficGenerator(
+            TrafficConfig(ohv_rate=0.5, p_correct=0.5), seed=7)
+        seen = set()
+        for vehicle in generator.ohvs_until(5000.0):
+            seen.add(vehicle.route)
+            if vehicle.route is Route.TUBE4:
+                assert vehicle.lane_at_lbpost is Lane.RIGHT
+                assert not vehicle.crosses_odfinal
+            elif vehicle.route is Route.LEFT_AT_LBPOST:
+                assert vehicle.lane_at_lbpost is Lane.LEFT
+                assert vehicle.crosses_odfinal
+            else:
+                assert vehicle.lane_at_lbpost is Lane.RIGHT
+                assert vehicle.crosses_odfinal
+        assert seen == set(Route)
+
+
+class TestHVStream:
+    def test_rate_approximation(self):
+        config = TrafficConfig(hv_odfinal_rate=0.13)
+        generator = TrafficGenerator(config, seed=8)
+        crossings = list(generator.hv_crossings_until(100_000.0))
+        assert len(crossings) == pytest.approx(13_000, abs=500)
+
+    def test_zero_rate_yields_nothing(self):
+        config = TrafficConfig(hv_odfinal_rate=0.0)
+        generator = TrafficGenerator(config, seed=8)
+        assert list(generator.hv_crossings_until(1000.0)) == []

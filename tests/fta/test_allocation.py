@@ -1,0 +1,111 @@
+"""Reliability allocation: cheapest improvements to a target."""
+
+import math
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import FaultTree, allocate_improvements, hazard_probability
+from repro.fta.dsl import AND, OR, hazard, primary
+
+
+@pytest.fixture
+def or_tree():
+    """H = cheap or dear: two single points of failure."""
+    return FaultTree(hazard("H", OR_gate=[
+        primary("cheap", 1e-3), primary("dear", 1e-3)]))
+
+
+class TestBasics:
+    def test_already_feasible_is_free(self, or_tree):
+        result = allocate_improvements(
+            or_tree, target=0.5, improvement_costs={"cheap": 1.0})
+        assert result.feasible
+        assert result.total_cost == 0.0
+        assert result.factors == {"cheap": 1.0}
+
+    def test_reaches_target(self, or_tree):
+        result = allocate_improvements(
+            or_tree, target=5e-4,
+            improvement_costs={"cheap": 1.0, "dear": 1.0})
+        assert result.feasible
+        assert result.achieved <= 5e-4 * (1 + 1e-6)
+
+    def test_achieved_matches_new_probabilities(self, or_tree):
+        result = allocate_improvements(
+            or_tree, target=5e-4,
+            improvement_costs={"cheap": 1.0, "dear": 1.0})
+        assert result.achieved == pytest.approx(hazard_probability(
+            or_tree, result.new_probabilities, method="exact"))
+
+    def test_prefers_cheap_component(self, or_tree):
+        """With asymmetric prices and a target reachable through the
+        cheap leaf alone, the budget goes entirely to it."""
+        result = allocate_improvements(
+            or_tree, target=1.2e-3,
+            improvement_costs={"cheap": 1.0, "dear": 50.0})
+        assert result.feasible
+        assert result.factors["cheap"] < result.factors["dear"]
+        improvements = result.improvements()
+        assert improvements.get("dear", 0.0) < 0.05
+        # cheap must improve by ~log10(1/0.2) ~ 0.7 decades.
+        assert improvements["cheap"] == pytest.approx(0.7, abs=0.1)
+
+    def test_mandatory_expensive_improvement(self, or_tree):
+        """A target below the fixed leaf's solo contribution forces
+        spending on the expensive component too — and the optimizer
+        buys exactly as little of it as possible."""
+        result = allocate_improvements(
+            or_tree, target=6e-4,
+            improvement_costs={"cheap": 1.0, "dear": 50.0})
+        assert result.feasible
+        # dear ends just under the target's remaining budget.
+        assert result.factors["dear"] == pytest.approx(0.6, abs=0.02)
+
+    def test_and_tree_single_improvement_suffices(self):
+        """For an AND gate, improving one input improves the product."""
+        tree = FaultTree(hazard("H", AND_gate=[
+            primary("a", 0.1), primary("b", 0.1)]))
+        result = allocate_improvements(
+            tree, target=1e-3, improvement_costs={"a": 1.0})
+        assert result.feasible
+        assert result.factors["a"] == pytest.approx(0.1, rel=0.1)
+
+    def test_infeasible_target_reported(self, or_tree):
+        """One improvable leaf cannot push an OR below the other leaf's
+        probability."""
+        result = allocate_improvements(
+            or_tree, target=1e-5, improvement_costs={"cheap": 1.0})
+        assert not result.feasible
+        assert result.achieved > 1e-5
+
+    def test_cost_accounting(self, or_tree):
+        result = allocate_improvements(
+            or_tree, target=5e-4,
+            improvement_costs={"cheap": 2.0, "dear": 2.0})
+        expected = sum(2.0 * math.log10(1.0 / f)
+                       for f in result.factors.values())
+        assert result.total_cost == pytest.approx(expected)
+
+
+class TestGuards:
+    def test_rejects_bad_target(self, or_tree):
+        with pytest.raises(QuantificationError):
+            allocate_improvements(or_tree, 0.0, {"cheap": 1.0})
+
+    def test_rejects_unknown_leaf(self, or_tree):
+        with pytest.raises(QuantificationError):
+            allocate_improvements(or_tree, 0.1, {"ghost": 1.0})
+
+    def test_rejects_empty_costs(self, or_tree):
+        with pytest.raises(QuantificationError):
+            allocate_improvements(or_tree, 0.1, {})
+
+    def test_rejects_nonpositive_cost(self, or_tree):
+        with pytest.raises(QuantificationError):
+            allocate_improvements(or_tree, 0.1, {"cheap": 0.0})
+
+    def test_rejects_bad_min_factor(self, or_tree):
+        with pytest.raises(QuantificationError):
+            allocate_improvements(or_tree, 0.1, {"cheap": 1.0},
+                                  min_factor=2.0)

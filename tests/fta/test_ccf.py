@@ -1,0 +1,96 @@
+"""Beta-factor common-cause transformation."""
+
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.fta import FaultTree, apply_beta_factor, hazard_probability, mocus
+from repro.fta.dsl import AND, OR, hazard, primary
+
+
+@pytest.fixture
+def redundant_tree():
+    """H = A and B — two redundant components, each p = 0.01."""
+    return FaultTree(hazard("H", AND_gate=[
+        primary("A", 0.01), primary("B", 0.01)]))
+
+
+class TestStructure:
+    def test_introduces_common_event_cut_set(self, redundant_tree):
+        cc = apply_beta_factor(redundant_tree, ["A", "B"], beta=0.1)
+        cuts = {frozenset(cs.failures) for cs in mocus(cc)}
+        assert frozenset({"CCF(A,B)"}) in cuts
+        assert frozenset({"A~indep", "B~indep"}) in cuts
+
+    def test_original_tree_unchanged(self, redundant_tree):
+        before = hazard_probability(redundant_tree, method="exact")
+        apply_beta_factor(redundant_tree, ["A", "B"], beta=0.2)
+        after = hazard_probability(redundant_tree, method="exact")
+        assert before == after
+
+    def test_custom_name(self, redundant_tree):
+        cc = apply_beta_factor(redundant_tree, ["A", "B"], beta=0.1,
+                               cc_name="shared_psu")
+        assert "shared_psu" in cc
+
+
+class TestProbabilities:
+    def test_beta_zero_keeps_probability(self, redundant_tree):
+        cc = apply_beta_factor(redundant_tree, ["A", "B"], beta=0.0)
+        assert hazard_probability(cc, method="exact") == pytest.approx(
+            hazard_probability(redundant_tree, method="exact"), rel=1e-9)
+
+    def test_beta_one_collapses_to_single_failure(self, redundant_tree):
+        cc = apply_beta_factor(redundant_tree, ["A", "B"], beta=1.0)
+        assert hazard_probability(cc, method="exact") == pytest.approx(
+            0.01, rel=1e-9)
+
+    def test_common_cause_dominates_redundancy(self, redundant_tree):
+        """Even a small beta destroys the p^2 redundancy gain."""
+        independent = hazard_probability(redundant_tree, method="exact")
+        cc = apply_beta_factor(redundant_tree, ["A", "B"], beta=0.1)
+        with_cc = hazard_probability(cc, method="exact")
+        assert with_cc > 5 * independent
+
+    def test_monotone_in_beta(self, redundant_tree):
+        values = [
+            hazard_probability(
+                apply_beta_factor(redundant_tree, ["A", "B"], beta=b),
+                method="exact")
+            for b in (0.0, 0.05, 0.2, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_unequal_probabilities_use_max(self):
+        tree = FaultTree(hazard("H", AND_gate=[
+            primary("A", 0.01), primary("B", 0.04)]))
+        cc = apply_beta_factor(tree, ["A", "B"], beta=0.5)
+        common = cc.event("CCF(A,B)")
+        assert common.probability == pytest.approx(0.5 * 0.04)
+
+
+class TestRejections:
+    def test_rejects_bad_beta(self, redundant_tree):
+        with pytest.raises(FaultTreeError):
+            apply_beta_factor(redundant_tree, ["A", "B"], beta=1.5)
+
+    def test_rejects_empty_group(self, redundant_tree):
+        with pytest.raises(FaultTreeError):
+            apply_beta_factor(redundant_tree, [], beta=0.1)
+
+    def test_rejects_unknown_member(self, redundant_tree):
+        with pytest.raises(Exception):
+            apply_beta_factor(redundant_tree, ["A", "ghost"], beta=0.1)
+
+    def test_rejects_member_without_probability(self):
+        tree = FaultTree(hazard("H", AND_gate=[
+            primary("A"), primary("B", 0.1)]))
+        with pytest.raises(FaultTreeError):
+            apply_beta_factor(tree, ["A", "B"], beta=0.1)
+
+    def test_rejects_intermediate_member(self, redundant_tree):
+        with pytest.raises(FaultTreeError):
+            apply_beta_factor(redundant_tree, ["H"], beta=0.1)
+
+    def test_rejects_name_clash(self, redundant_tree):
+        with pytest.raises(FaultTreeError):
+            apply_beta_factor(redundant_tree, ["A", "B"], beta=0.1,
+                              cc_name="A")

@@ -1,0 +1,93 @@
+"""Constraint probabilities: policies and paper Eq. 2."""
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import ConstraintPolicy, CutSet
+from repro.fta.constraints import (
+    constrained_cut_set_probability,
+    constraint_probability,
+)
+
+
+@pytest.fixture
+def guarded_cut():
+    return CutSet(frozenset({"a", "b"}), frozenset({"c1", "c2"}))
+
+
+@pytest.fixture
+def probs():
+    return {"a": 0.1, "b": 0.2, "c1": 0.5, "c2": 0.4}
+
+
+class TestConstraintProbability:
+    def test_worst_case_is_one(self, guarded_cut, probs):
+        assert constraint_probability(
+            guarded_cut, probs, ConstraintPolicy.WORST_CASE) == 1.0
+
+    def test_independent_is_product(self, guarded_cut, probs):
+        assert constraint_probability(
+            guarded_cut, probs, ConstraintPolicy.INDEPENDENT) \
+            == pytest.approx(0.2)
+
+    def test_frechet_is_min(self, guarded_cut, probs):
+        assert constraint_probability(
+            guarded_cut, probs, ConstraintPolicy.FRECHET) \
+            == pytest.approx(0.4)
+
+    def test_frechet_upper_bounds_independent(self, guarded_cut, probs):
+        """min(P) >= prod(P): the Frechet bound dominates independence."""
+        indep = constraint_probability(
+            guarded_cut, probs, ConstraintPolicy.INDEPENDENT)
+        frechet = constraint_probability(
+            guarded_cut, probs, ConstraintPolicy.FRECHET)
+        assert frechet >= indep
+
+    def test_unconditioned_cut_is_one(self, probs):
+        plain = CutSet(frozenset({"a"}))
+        for policy in ConstraintPolicy:
+            assert constraint_probability(plain, probs, policy) == 1.0
+
+    def test_missing_condition_raises(self, guarded_cut):
+        with pytest.raises(QuantificationError):
+            constraint_probability(guarded_cut, {"c1": 0.5},
+                                   ConstraintPolicy.INDEPENDENT)
+
+    def test_out_of_range_condition_raises(self, guarded_cut, probs):
+        bad = dict(probs, c1=1.2)
+        with pytest.raises(QuantificationError):
+            constraint_probability(guarded_cut, bad,
+                                   ConstraintPolicy.INDEPENDENT)
+
+    def test_worst_case_needs_no_values(self, guarded_cut):
+        assert constraint_probability(guarded_cut, {},
+                                      ConstraintPolicy.WORST_CASE) == 1.0
+
+
+class TestConstrainedCutSetProbability:
+    def test_paper_eq2(self, guarded_cut, probs):
+        """P(CS) = P(Constraints) * prod P(PF)."""
+        value = constrained_cut_set_probability(
+            guarded_cut, probs, ConstraintPolicy.INDEPENDENT)
+        assert value == pytest.approx(0.5 * 0.4 * 0.1 * 0.2)
+
+    def test_worst_case_reduces_to_failure_product(self, guarded_cut,
+                                                   probs):
+        value = constrained_cut_set_probability(
+            guarded_cut, probs, ConstraintPolicy.WORST_CASE)
+        assert value == pytest.approx(0.1 * 0.2)
+
+    def test_missing_failure_probability_raises(self, guarded_cut):
+        with pytest.raises(QuantificationError):
+            constrained_cut_set_probability(
+                guarded_cut, {"a": 0.1, "c1": 0.5, "c2": 0.4})
+
+    def test_out_of_range_failure_raises(self, guarded_cut, probs):
+        bad = dict(probs, a=-0.1)
+        with pytest.raises(QuantificationError):
+            constrained_cut_set_probability(guarded_cut, bad)
+
+    def test_empty_cut_set_is_constraint_only(self, probs):
+        empty = CutSet(frozenset(), frozenset({"c1"}))
+        assert constrained_cut_set_probability(empty, probs) \
+            == pytest.approx(0.5)

@@ -1,0 +1,199 @@
+"""MOCUS minimal cut sets: known answers, absorption, BDD agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager, minimal_cut_sets
+from repro.errors import FaultTreeError
+from repro.fta import CutSet, FaultTree, mocus, to_bdd
+from repro.fta.cutsets import minimize
+from repro.fta.dsl import AND, INHIBIT, KOFN, NOT, OR, condition, hazard, \
+    house, primary
+
+
+class TestCutSet:
+    def test_order_and_single_point(self):
+        cs = CutSet(frozenset({"a"}))
+        assert cs.order == 1
+        assert cs.is_single_point
+        assert not CutSet(frozenset({"a", "b"})).is_single_point
+
+    def test_subsumption_includes_conditions(self):
+        plain = CutSet(frozenset({"a"}))
+        guarded = CutSet(frozenset({"a"}), frozenset({"c"}))
+        # The unguarded cut is at least as easy to trigger.
+        assert plain.subsumes(guarded)
+        assert not guarded.subsumes(plain)
+
+    def test_str_format(self):
+        cs = CutSet(frozenset({"b", "a"}), frozenset({"env"}))
+        assert str(cs) == "{a, b} | env"
+
+
+class TestMinimize:
+    def test_removes_supersets(self):
+        sets = [CutSet(frozenset({"a"})), CutSet(frozenset({"a", "b"}))]
+        assert minimize(sets) == [CutSet(frozenset({"a"}))]
+
+    def test_removes_duplicates(self):
+        sets = [CutSet(frozenset({"a"})), CutSet(frozenset({"a"}))]
+        assert len(minimize(sets)) == 1
+
+    def test_keeps_conditioned_variant_when_fewer_failures(self):
+        # {a | c} does not subsume {a} (extra environmental requirement).
+        guarded = CutSet(frozenset({"a"}), frozenset({"c"}))
+        plain = CutSet(frozenset({"a", "b"}))
+        result = minimize([guarded, plain])
+        assert set(result) == {guarded, plain}
+
+
+class TestKnownTrees:
+    def test_or_tree(self, simple_or_tree):
+        result = mocus(simple_or_tree)
+        assert {cs.failures for cs in result} == {
+            frozenset({"A"}), frozenset({"B"})}
+
+    def test_and_tree(self, simple_and_tree):
+        result = mocus(simple_and_tree)
+        assert {cs.failures for cs in result} == {frozenset({"A", "B"})}
+
+    def test_kofn_tree(self, kofn_tree):
+        result = mocus(kofn_tree)
+        assert {cs.failures for cs in result} == {
+            frozenset({"c1", "c2"}), frozenset({"c1", "c3"}),
+            frozenset({"c2", "c3"})}
+
+    def test_inhibit_collects_conditions(self, inhibit_tree):
+        result = mocus(inhibit_tree)
+        assert len(result) == 1
+        assert result[0].failures == frozenset({"A", "B"})
+        assert result[0].conditions == frozenset({"env"})
+
+    def test_nested_inhibit_conditions_accumulate(self):
+        c1, c2 = condition("c1", 0.5), condition("c2", 0.5)
+        inner = INHIBIT("inner", primary("a", 0.1), c1)
+        outer = INHIBIT("outer", inner, c2)
+        tree = FaultTree(hazard("H", OR_gate=[outer]))
+        result = mocus(tree)
+        assert result[0].conditions == frozenset({"c1", "c2"})
+
+    def test_absorption_through_shared_event(self):
+        shared = primary("s", 0.1)
+        tree = FaultTree(hazard("H", OR_gate=[
+            shared, AND("extra", shared, primary("b", 0.1))]))
+        result = mocus(tree)
+        assert {cs.failures for cs in result} == {frozenset({"s"})}
+
+    def test_house_event_true_under_and_disappears(self):
+        tree = FaultTree(hazard("H", AND_gate=[
+            primary("a", 0.1), house("on", True)]))
+        assert {cs.failures for cs in mocus(tree)} == {frozenset({"a"})}
+
+    def test_house_event_false_prunes_branch(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            AND("blocked", primary("a", 0.1), house("off", False)),
+            primary("b", 0.1)]))
+        assert {cs.failures for cs in mocus(tree)} == {frozenset({"b"})}
+
+    def test_house_event_true_under_or_makes_hazard_certain(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            primary("a", 0.1), house("on", True)]))
+        result = mocus(tree)
+        assert [cs.failures for cs in result] == [frozenset()]
+
+    def test_single_points_of_failure(self, bridge_tree):
+        result = mocus(bridge_tree)
+        assert result.single_points_of_failure == []
+        assert {cs.failures for cs in result.of_order(2)} == {
+            frozenset({"A", "C"}), frozenset({"B", "C"})}
+
+    def test_involving(self, bridge_tree):
+        result = mocus(bridge_tree)
+        assert len(result.involving("C")) == 2
+        assert len(result.involving("A")) == 1
+
+    def test_failure_names(self, bridge_tree):
+        assert mocus(bridge_tree).failure_names() == {"A", "B", "C"}
+
+
+class TestRejections:
+    def test_rejects_not_gate(self):
+        tree = FaultTree(hazard("H", gate=NOT("n", primary("a", 0.1)).gate))
+        with pytest.raises(FaultTreeError):
+            mocus(tree)
+
+    def test_rejects_xor_gate(self):
+        from repro.fta.dsl import XOR
+        tree = FaultTree(hazard("H", gate=XOR(
+            "x", primary("a", 0.1), primary("b", 0.1)).gate))
+        with pytest.raises(FaultTreeError):
+            mocus(tree)
+
+
+class TestTruncation:
+    def test_max_order_prunes_long_cuts(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            primary("a", 0.1),
+            AND("deep", primary("b", 0.1), primary("c", 0.1),
+                primary("d", 0.1))]))
+        truncated = mocus(tree, max_order=2)
+        assert {cs.failures for cs in truncated} == {frozenset({"a"})}
+
+
+def random_coherent_tree(seed: int) -> FaultTree:
+    """Random AND/OR/KofN tree over a small leaf pool."""
+    import random
+    rng = random.Random(seed)
+    leaves = [primary(f"e{i}", 0.1) for i in range(rng.randint(3, 6))]
+    counter = [0]
+
+    def build(depth):
+        if depth == 0 or rng.random() < 0.35:
+            return rng.choice(leaves)
+        counter[0] += 1
+        name = f"g{counter[0]}"
+        children = [build(depth - 1)
+                    for _ in range(rng.randint(2, 3))]
+        # Deduplicate identical child objects (gates reject nothing, but
+        # identical children make KOFN k ambiguous and are unrealistic).
+        unique = list({id(c): c for c in children}.values())
+        kind = rng.choice(["and", "or", "kofn"])
+        if kind == "and":
+            return AND(name, *unique)
+        if kind == "or":
+            return OR(name, *unique)
+        k = rng.randint(1, len(unique))
+        return KOFN(name, k, *unique)
+
+    root = build(3)
+    if not hasattr(root, "gate"):
+        root = OR("root", root)
+    return FaultTree(hazard("H", OR_gate=[root]))
+
+
+class TestAgainstBDD:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_mocus_agrees_with_bdd_on_random_trees(self, seed):
+        tree = random_coherent_tree(seed)
+        manager = BDDManager()
+        root = to_bdd(tree, manager)
+        expected = set(minimal_cut_sets(manager, root))
+        actual = {frozenset(cs.failures) for cs in mocus(tree)}
+        assert actual == expected
+
+    def test_agreement_on_fixture_trees(self, bridge_tree, kofn_tree):
+        for tree in (bridge_tree, kofn_tree):
+            manager = BDDManager()
+            expected = set(minimal_cut_sets(manager, to_bdd(tree, manager)))
+            actual = {frozenset(cs.failures) for cs in mocus(tree)}
+            assert actual == expected
+
+    def test_agreement_with_conditions_as_literals(self, inhibit_tree):
+        manager = BDDManager()
+        expected = set(minimal_cut_sets(
+            manager, to_bdd(inhibit_tree, manager)))
+        actual = {frozenset(cs.failures | cs.conditions)
+                  for cs in mocus(inhibit_tree)}
+        assert actual == expected

@@ -1,0 +1,102 @@
+"""Implication-aware constraint probabilities (paper future work)."""
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import (
+    ConstraintPolicy,
+    CutSet,
+    ImplicationSet,
+    constraint_probability,
+    dependent_constraint_probability,
+    reduce_conditions,
+)
+
+
+class TestImplicationSet:
+    def test_direct_implication(self):
+        imp = ImplicationSet([("A", "B")])
+        assert imp.implies("A", "B")
+        assert not imp.implies("B", "A")
+
+    def test_transitive_closure(self):
+        imp = ImplicationSet([("A", "B"), ("B", "C")])
+        assert imp.implies("A", "C")
+        assert imp.consequences("A") == frozenset({"B", "C"})
+
+    def test_closure_on_late_add(self):
+        imp = ImplicationSet([("B", "C")])
+        imp.add("A", "B")
+        assert imp.implies("A", "C")
+
+    def test_self_implication_is_noop(self):
+        imp = ImplicationSet()
+        imp.add("A", "A")
+        assert not imp.implies("A", "A")
+
+    def test_cycle_rejected(self):
+        imp = ImplicationSet([("A", "B")])
+        with pytest.raises(QuantificationError):
+            imp.add("B", "A")
+
+    def test_longer_cycle_rejected(self):
+        imp = ImplicationSet([("A", "B"), ("B", "C")])
+        with pytest.raises(QuantificationError):
+            imp.add("C", "A")
+
+
+class TestReduceConditions:
+    def test_drops_implied_member(self):
+        imp = ImplicationSet([("A", "B")])
+        assert reduce_conditions({"A", "B"}, imp) == frozenset({"A"})
+
+    def test_keeps_unrelated(self):
+        imp = ImplicationSet([("A", "B")])
+        assert reduce_conditions({"A", "B", "X"}, imp) == \
+            frozenset({"A", "X"})
+
+    def test_chain_collapses_to_root(self):
+        imp = ImplicationSet([("A", "B"), ("B", "C")])
+        assert reduce_conditions({"A", "B", "C"}, imp) == frozenset({"A"})
+
+    def test_empty_implications_keep_everything(self):
+        assert reduce_conditions({"A", "B"}, ImplicationSet()) == \
+            frozenset({"A", "B"})
+
+
+class TestDependentConstraintProbability:
+    @pytest.fixture
+    def cut(self):
+        return CutSet(frozenset({"pf"}), frozenset({"A", "B"}))
+
+    @pytest.fixture
+    def probs(self):
+        return {"A": 0.2, "B": 0.5, "pf": 0.1}
+
+    def test_implication_makes_conjunction_exact(self, cut, probs):
+        """A -> B means P(A and B) = P(A), not P(A)P(B)."""
+        imp = ImplicationSet([("A", "B")])
+        value = dependent_constraint_probability(cut, probs, imp)
+        assert value == pytest.approx(0.2)
+
+    def test_tighter_than_naive_independence(self, cut, probs):
+        naive = constraint_probability(cut, probs,
+                                       ConstraintPolicy.INDEPENDENT)
+        imp = ImplicationSet([("A", "B")])
+        informed = dependent_constraint_probability(cut, probs, imp)
+        # P(A) = 0.2 >= P(A)P(B) = 0.1: the naive product UNDERSTATES the
+        # true constraint probability when A implies B.
+        assert informed > naive
+
+    def test_no_implications_reduces_to_plain(self, cut, probs):
+        value = dependent_constraint_probability(cut, probs,
+                                                 ImplicationSet())
+        assert value == pytest.approx(
+            constraint_probability(cut, probs,
+                                   ConstraintPolicy.INDEPENDENT))
+
+    def test_frechet_policy_combines(self, cut, probs):
+        imp = ImplicationSet([("A", "B")])
+        value = dependent_constraint_probability(
+            cut, probs, imp, ConstraintPolicy.FRECHET)
+        assert value == pytest.approx(0.2)   # min over reduced set {A}

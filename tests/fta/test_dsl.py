@@ -1,0 +1,88 @@
+"""Builder DSL: constructed shapes match explicit Gate construction."""
+
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.fta import FaultTree, GateType, hazard_probability
+from repro.fta.dsl import (
+    AND,
+    INHIBIT,
+    KOFN,
+    NOT,
+    OR,
+    XOR,
+    condition,
+    hazard,
+    house,
+    primary,
+    tree,
+)
+
+
+class TestLeafBuilders:
+    def test_primary(self):
+        pf = primary("a", 0.1, "desc")
+        assert pf.probability == 0.1
+        assert pf.description == "desc"
+
+    def test_condition(self):
+        assert condition("c", 0.5).probability == 0.5
+
+    def test_house(self):
+        assert house("h", False).state is False
+
+
+class TestGateBuilders:
+    def test_each_builder_sets_type(self):
+        a, b = primary("a", 0.1), primary("b", 0.2)
+        assert AND("x", a, b).gate.gate_type is GateType.AND
+        assert OR("y", a, b).gate.gate_type is GateType.OR
+        assert KOFN("z", 1, a, b).gate.gate_type is GateType.KOFN
+        assert XOR("w", a, b).gate.gate_type is GateType.XOR
+        assert NOT("v", a).gate.gate_type is GateType.NOT
+
+    def test_inhibit_builder(self):
+        g = INHIBIT("g", primary("a", 0.1), condition("c", 0.5))
+        assert g.gate.gate_type is GateType.INHIBIT
+        assert g.gate.condition.name == "c"
+
+    def test_descriptions_carried(self):
+        node = AND("x", primary("a", 0.1), primary("b", 0.1),
+                   description="both")
+        assert node.description == "both"
+
+
+class TestHazardBuilder:
+    def test_or_shorthand(self):
+        top = hazard("H", OR_gate=[primary("a", 0.1)])
+        assert top.gate.gate_type is GateType.OR
+
+    def test_and_shorthand(self):
+        top = hazard("H", AND_gate=[primary("a", 0.1), primary("b", 0.1)])
+        assert top.gate.gate_type is GateType.AND
+
+    def test_explicit_gate(self):
+        inner = KOFN("vote", 1, primary("a", 0.1), primary("b", 0.1))
+        top = hazard("H", gate=inner.gate)
+        assert top.gate.gate_type is GateType.KOFN
+
+    def test_requires_exactly_one_gate_argument(self):
+        with pytest.raises(FaultTreeError):
+            hazard("H")
+        with pytest.raises(FaultTreeError):
+            hazard("H", OR_gate=[primary("a", 0.1)],
+                   AND_gate=[primary("b", 0.1)])
+
+
+class TestTreeBuilder:
+    def test_tree_wraps_and_validates(self):
+        t = tree(hazard("H", OR_gate=[primary("a", 0.1)]), name="custom")
+        assert isinstance(t, FaultTree)
+        assert t.name == "custom"
+
+    def test_dsl_tree_quantifies(self):
+        t = tree(hazard("H", OR_gate=[
+            AND("ab", primary("a", 0.5), primary("b", 0.5)),
+            primary("c", 0.25)]))
+        assert hazard_probability(t, method="exact") == pytest.approx(
+            1 - (1 - 0.25) * (1 - 0.25))

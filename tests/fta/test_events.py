@@ -1,0 +1,71 @@
+"""Event types: construction rules and invariants."""
+
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.fta import (
+    Condition,
+    Gate,
+    GateType,
+    Hazard,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+
+
+class TestPrimaryFailure:
+    def test_holds_probability(self):
+        pf = PrimaryFailure("pump", 0.01, "pump fails to start")
+        assert pf.name == "pump"
+        assert pf.probability == 0.01
+        assert pf.description == "pump fails to start"
+
+    def test_probability_is_optional(self):
+        assert PrimaryFailure("pump").probability is None
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 2.0])
+    def test_rejects_out_of_range_probability(self, bad):
+        with pytest.raises(FaultTreeError):
+            PrimaryFailure("pump", bad)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(FaultTreeError):
+            PrimaryFailure("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(FaultTreeError):
+            PrimaryFailure(42)
+
+
+class TestCondition:
+    def test_holds_probability(self):
+        c = Condition("system running", 0.9)
+        assert c.probability == 0.9
+
+    @pytest.mark.parametrize("bad", [-1e-9, 1.0001])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(FaultTreeError):
+            Condition("c", bad)
+
+
+class TestHouseEvent:
+    def test_state_coerced_to_bool(self):
+        assert HouseEvent("h", 1).state is True
+        assert HouseEvent("h", 0).state is False
+
+
+class TestIntermediateEvent:
+    def test_requires_gate(self):
+        with pytest.raises(FaultTreeError):
+            IntermediateEvent("x", "not a gate")
+
+    def test_hazard_is_intermediate(self):
+        gate = Gate(GateType.OR, [PrimaryFailure("a", 0.1)])
+        h = Hazard("top", gate)
+        assert isinstance(h, IntermediateEvent)
+        assert h.gate is gate
+
+    def test_repr_mentions_name(self):
+        gate = Gate(GateType.OR, [PrimaryFailure("a", 0.1)])
+        assert "top" in repr(Hazard("top", gate))

@@ -1,0 +1,160 @@
+"""Event tree analysis: sequences, outcomes, risk integration."""
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import BranchPoint, EventTree, FaultTree
+from repro.fta.dsl import AND, OR, hazard, primary
+
+
+@pytest.fixture
+def two_barrier_tree():
+    """Initiator at 0.1/yr; detection fails 1%, signals fail 10%."""
+    return EventTree(
+        initiator="OHV towards old tube", frequency=0.1,
+        branches=[BranchPoint("detection", 0.01),
+                  BranchPoint("signals", 0.1)])
+
+
+class TestEvaluation:
+    def test_enumerates_all_paths(self, two_barrier_tree):
+        result = two_barrier_tree.evaluate()
+        assert len(result.sequences) == 4
+        assert sum(s.frequency for s in result.sequences) == \
+            pytest.approx(0.1)
+
+    def test_default_binary_outcome(self, two_barrier_tree):
+        result = two_barrier_tree.evaluate()
+        assert result.frequency_of("unmitigated") == pytest.approx(
+            0.1 * 0.01 * 0.1)
+        assert result.frequency_of("mitigated") == pytest.approx(
+            0.1 * (1 - 0.01 * 0.1))
+
+    def test_custom_outcome_rule(self):
+        def rule(failures):
+            detection_failed, signals_failed, driver_ignores = failures
+            if detection_failed and signals_failed and driver_ignores:
+                return "collision"
+            if detection_failed:
+                return "near_miss"
+            return "safe_stop"
+
+        tree = EventTree("OHV", 1.0, [
+            BranchPoint("detection", 0.1),
+            BranchPoint("signals", 0.2),
+            BranchPoint("driver", 0.5),
+        ], outcome_rule=rule)
+        result = tree.evaluate()
+        assert result.frequency_of("collision") == pytest.approx(
+            0.1 * 0.2 * 0.5)
+        assert result.frequency_of("near_miss") == pytest.approx(
+            0.1 - 0.1 * 0.2 * 0.5)
+        assert result.frequency_of("safe_stop") == pytest.approx(0.9)
+
+    def test_fault_tree_backed_branch(self):
+        detection = FaultTree(hazard("detection_fails", OR_gate=[
+            AND("both", primary("lb", 0.1), primary("od", 0.2)),
+            primary("controller", 0.01)]))
+        et = EventTree("OHV", 2.0, [
+            BranchPoint("detection", detection),
+            BranchPoint("signals", 0.5)])
+        p_detection = 1 - (1 - 0.1 * 0.2) * (1 - 0.01)
+        result = et.evaluate()
+        assert result.frequency_of("unmitigated") == pytest.approx(
+            2.0 * p_detection * 0.5)
+
+    def test_fault_tree_branch_with_overrides(self):
+        detection = FaultTree(hazard("fails", OR_gate=[primary("x")]))
+        et = EventTree("I", 1.0, [
+            BranchPoint("det", detection, probabilities={"x": 0.25})])
+        assert et.evaluate().frequency_of("unmitigated") == \
+            pytest.approx(0.25)
+
+    def test_sequence_labels(self, two_barrier_tree):
+        result = two_barrier_tree.evaluate()
+        worst = result.dominant_sequence("unmitigated")
+        assert worst.label(result.branches) == \
+            "detection:fail -> signals:fail => unmitigated"
+
+    def test_dominant_sequence(self):
+        def rule(failures):
+            return "bad" if any(failures) else "good"
+
+        result = EventTree("I", 1.0, [BranchPoint("a", 0.3),
+                                      BranchPoint("b", 0.01)],
+                           outcome_rule=rule).evaluate()
+        dominant = result.dominant_sequence("bad")
+        assert dominant.failures == (True, False)
+
+    def test_dominant_sequence_unknown_outcome(self, two_barrier_tree):
+        with pytest.raises(QuantificationError):
+            two_barrier_tree.evaluate().dominant_sequence("ghost")
+
+
+class TestRisk:
+    def test_weighted_outcome_costs(self, two_barrier_tree):
+        result = two_barrier_tree.evaluate()
+        risk = result.risk({"unmitigated": 100_000.0, "mitigated": 1.0})
+        expected = 0.1 * 0.001 * 100_000.0 + 0.1 * 0.999 * 1.0
+        assert risk == pytest.approx(expected)
+
+    def test_missing_cost_rejected(self, two_barrier_tree):
+        with pytest.raises(QuantificationError):
+            two_barrier_tree.evaluate().risk({"unmitigated": 1.0})
+
+    def test_extra_cost_rejected(self, two_barrier_tree):
+        with pytest.raises(QuantificationError):
+            two_barrier_tree.evaluate().risk(
+                {"unmitigated": 1.0, "mitigated": 1.0, "ghost": 1.0})
+
+
+class TestGuards:
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(QuantificationError):
+            EventTree("I", -1.0, [BranchPoint("a", 0.1)])
+
+    def test_rejects_empty_branches(self):
+        with pytest.raises(QuantificationError):
+            EventTree("I", 1.0, [])
+
+    def test_rejects_duplicate_branch_names(self):
+        with pytest.raises(QuantificationError):
+            EventTree("I", 1.0, [BranchPoint("a", 0.1),
+                                 BranchPoint("a", 0.2)])
+
+    def test_rejects_bad_branch_probability(self):
+        et = EventTree("I", 1.0, [BranchPoint("a", 1.5)])
+        with pytest.raises(QuantificationError):
+            et.evaluate()
+
+    def test_rejects_bad_outcome_rule(self):
+        et = EventTree("I", 1.0, [BranchPoint("a", 0.1)],
+                       outcome_rule=lambda f: 42)
+        with pytest.raises(QuantificationError):
+            et.evaluate()
+
+
+class TestElbtunnelChain:
+    def test_collision_chain_matches_fig2_story(self):
+        """The Fig. 2 narrative as an event tree: collision requires the
+        detection to fail AND the signals to fail AND the driver to
+        ignore them — matching the OR-structure of the fault tree."""
+        from repro.elbtunnel import collision_fault_tree
+
+        def rule(failures):
+            return "collision" if all(failures) else "no_collision"
+
+        detection = collision_fault_tree()
+        et = EventTree(
+            "OHV towards old tube", frequency=1e-2,
+            branches=[
+                BranchPoint("detection chain", detection,
+                            probabilities={"OT1": 1e-4, "OT2": 1e-4}),
+                BranchPoint("stop signals", 1e-5),
+                BranchPoint("driver compliance", 1e-4),
+            ], outcome_rule=rule)
+        result = et.evaluate()
+        collision_rate = result.frequency_of("collision")
+        assert 0.0 < collision_rate < 1e-12
+        worst = result.dominant_sequence("collision")
+        assert all(worst.failures)

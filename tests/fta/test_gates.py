@@ -1,0 +1,104 @@
+"""Gate construction rules: arities, k ranges, conditions."""
+
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.fta import Condition, Gate, GateType, PrimaryFailure
+from repro.fta.gates import (
+    and_gate,
+    inhibit_gate,
+    kofn_gate,
+    not_gate,
+    or_gate,
+    xor_gate,
+)
+
+
+@pytest.fixture
+def leaves():
+    return [PrimaryFailure(n, 0.1) for n in "abc"]
+
+
+class TestBasicRules:
+    def test_requires_inputs(self):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.AND, [])
+
+    def test_rejects_non_event_inputs(self):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.OR, ["not an event"])
+
+    def test_rejects_non_gatetype(self):
+        with pytest.raises(FaultTreeError):
+            Gate("or", [PrimaryFailure("a", 0.1)])
+
+    def test_condition_cannot_be_plain_input(self, leaves):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.OR, [Condition("c", 0.5)] + leaves)
+
+
+class TestKofN:
+    def test_valid_range(self, leaves):
+        gate = kofn_gate(2, *leaves)
+        assert gate.k == 2
+
+    @pytest.mark.parametrize("k", [0, 4, -1])
+    def test_rejects_bad_k(self, leaves, k):
+        with pytest.raises(FaultTreeError):
+            kofn_gate(k, *leaves)
+
+    def test_k_requires_kofn_type(self, leaves):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.AND, leaves, k=2)
+
+    def test_kofn_requires_k(self, leaves):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.KOFN, leaves)
+
+
+class TestNot:
+    def test_single_input_only(self, leaves):
+        assert not_gate(leaves[0]).gate_type is GateType.NOT
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.NOT, leaves[:2])
+
+
+class TestXor:
+    def test_requires_two_inputs(self, leaves):
+        assert xor_gate(*leaves[:2]).gate_type is GateType.XOR
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.XOR, leaves[:1])
+
+
+class TestInhibit:
+    def test_requires_condition(self, leaves):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.INHIBIT, leaves[:1])
+
+    def test_requires_single_cause(self, leaves):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.INHIBIT, leaves[:2], condition=Condition("c", 0.5))
+
+    def test_valid_inhibit(self, leaves):
+        cond = Condition("c", 0.5)
+        gate = inhibit_gate(leaves[0], cond)
+        assert gate.condition is cond
+
+    def test_condition_only_on_inhibit(self, leaves):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.AND, leaves, condition=Condition("c", 0.5))
+
+    def test_condition_must_be_condition_type(self, leaves):
+        with pytest.raises(FaultTreeError):
+            Gate(GateType.INHIBIT, leaves[:1], condition=leaves[1])
+
+
+class TestConvenience:
+    def test_and_or_builders(self, leaves):
+        assert and_gate(*leaves).gate_type is GateType.AND
+        assert or_gate(*leaves).gate_type is GateType.OR
+
+    def test_repr_is_informative(self, leaves):
+        gate = kofn_gate(2, *leaves)
+        text = repr(gate)
+        assert "kofn" in text and "k=2" in text

@@ -1,0 +1,80 @@
+"""Importance measures: closed-form checks and ordering properties."""
+
+import math
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import FaultTree, importance_measures
+from repro.fta.dsl import AND, OR, hazard, primary
+
+
+class TestClosedForms:
+    def test_or_tree_birnbaum(self, simple_or_tree):
+        """For H = A or B: Birnbaum(A) = 1 - P(B)."""
+        rows = {r.event: r for r in importance_measures(simple_or_tree)}
+        assert rows["A"].birnbaum == pytest.approx(0.8)
+        assert rows["B"].birnbaum == pytest.approx(0.9)
+
+    def test_and_tree_birnbaum(self, simple_and_tree):
+        """For H = A and B: Birnbaum(A) = P(B)."""
+        rows = {r.event: r for r in importance_measures(simple_and_tree)}
+        assert rows["A"].birnbaum == pytest.approx(0.2)
+        assert rows["B"].birnbaum == pytest.approx(0.1)
+
+    def test_fussell_vesely_or_tree(self, simple_or_tree):
+        base = 1 - 0.9 * 0.8
+        rows = {r.event: r for r in importance_measures(simple_or_tree)}
+        assert rows["A"].fussell_vesely == pytest.approx(1 - 0.2 / base)
+
+    def test_raw_and_rrw(self, simple_or_tree):
+        base = 1 - 0.9 * 0.8
+        rows = {r.event: r for r in importance_measures(simple_or_tree)}
+        assert rows["A"].raw == pytest.approx(1.0 / base)
+        assert rows["A"].rrw == pytest.approx(base / 0.2)
+
+    def test_rrw_infinite_for_sole_cause(self, simple_and_tree):
+        rows = {r.event: r for r in importance_measures(simple_and_tree)}
+        assert math.isinf(rows["A"].rrw)
+
+    def test_criticality_relation(self, simple_or_tree):
+        """criticality = birnbaum * p / P(H)."""
+        base = 1 - 0.9 * 0.8
+        rows = {r.event: r for r in importance_measures(simple_or_tree)}
+        assert rows["A"].criticality == pytest.approx(
+            rows["A"].birnbaum * 0.1 / base)
+
+
+class TestOrderingProperties:
+    def test_sorted_by_birnbaum_descending(self, bridge_tree):
+        rows = importance_measures(bridge_tree)
+        values = [r.birnbaum for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_shared_event_dominates(self, bridge_tree):
+        """C participates in every cut set; it must rank first."""
+        rows = importance_measures(bridge_tree)
+        assert rows[0].event == "C"
+
+    def test_condition_importance_computed_too(self, inhibit_tree):
+        rows = {r.event: r for r in importance_measures(inhibit_tree)}
+        assert rows["env"].birnbaum == pytest.approx(0.1 * 0.2)
+
+
+class TestEdgeCases:
+    def test_irrelevant_event_gets_neutral_values(self, simple_or_tree):
+        rows = importance_measures(simple_or_tree, events=["A", "ghost"])
+        ghost = next(r for r in rows if r.event == "ghost")
+        assert ghost.birnbaum == 0.0
+        assert ghost.raw == 1.0
+        assert ghost.rrw == 1.0
+
+    def test_zero_hazard_probability_raises(self):
+        tree = FaultTree(hazard("H", OR_gate=[primary("a", 0.0)]))
+        with pytest.raises(QuantificationError):
+            importance_measures(tree)
+
+    def test_subset_of_events(self, bridge_tree):
+        rows = importance_measures(bridge_tree, events=["A"])
+        assert len(rows) == 1
+        assert rows[0].event == "A"

@@ -1,0 +1,125 @@
+"""Module detection and modular quantification."""
+
+import pytest
+
+from repro.fta import (
+    FaultTree,
+    find_modules,
+    hazard_probability,
+    modular_probability,
+)
+from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
+
+
+@pytest.fixture
+def modular_tree():
+    """Two independent subsystems under the top OR."""
+    pumps = AND("pumps", primary("pump_a", 0.1), primary("pump_b", 0.2))
+    valves = OR("valves", primary("valve_a", 0.05),
+                primary("valve_b", 0.01))
+    return FaultTree(hazard("H", OR_gate=[pumps, valves]))
+
+
+@pytest.fixture
+def shared_leaf_tree():
+    """A shared power supply breaks the module boundaries."""
+    power = primary("power", 0.01)
+    left = AND("left", power, primary("a", 0.1))
+    right = AND("right", power, primary("b", 0.2))
+    return FaultTree(hazard("H", OR_gate=[left, right]))
+
+
+class TestFindModules:
+    def test_independent_subtrees_are_modules(self, modular_tree):
+        modules = {m.root: m for m in find_modules(modular_tree)}
+        assert set(modules) == {"pumps", "valves"}
+        assert modules["pumps"].leaves == frozenset({"pump_a", "pump_b"})
+        assert modules["valves"].leaves == frozenset(
+            {"valve_a", "valve_b"})
+
+    def test_shared_leaf_blocks_modularity(self, shared_leaf_tree):
+        assert find_modules(shared_leaf_tree) == []
+
+    def test_partial_sharing(self):
+        shared = primary("shared", 0.1)
+        independent = AND("independent", primary("x", 0.1),
+                          primary("y", 0.1))
+        coupled = AND("coupled", shared, primary("z", 0.1))
+        other = AND("other", shared, primary("w", 0.1))
+        tree = FaultTree(hazard("H", OR_gate=[independent, coupled,
+                                              other]))
+        roots = {m.root for m in find_modules(tree)}
+        assert "independent" in roots
+        assert "coupled" not in roots and "other" not in roots
+
+    def test_nested_modules_all_reported(self):
+        inner = AND("inner", primary("a", 0.1), primary("b", 0.1))
+        outer = OR("outer", inner, primary("c", 0.1))
+        tree = FaultTree(hazard("H", AND_gate=[outer,
+                                               primary("d", 0.1)]))
+        roots = {m.root for m in find_modules(tree)}
+        assert {"inner", "outer"} <= roots
+
+    def test_largest_first(self, modular_tree):
+        modules = find_modules(modular_tree)
+        sizes = [m.size for m in modules]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_inhibit_condition_counts_as_leaf(self):
+        cond = condition("env", 0.5)
+        guarded = INHIBIT("guarded", primary("a", 0.1), cond)
+        tree = FaultTree(hazard("H", OR_gate=[guarded,
+                                              primary("b", 0.1)]))
+        modules = {m.root: m for m in find_modules(tree)}
+        assert modules["guarded"].leaves == frozenset({"a", "env"})
+
+    def test_shared_subtree_is_not_module(self):
+        shared_gate = AND("shared_pair", primary("a", 0.1),
+                          primary("b", 0.1))
+        left = OR("left", shared_gate, primary("c", 0.1))
+        right = OR("right", shared_gate, primary("d", 0.1))
+        tree = FaultTree(hazard("H", AND_gate=[left, right]))
+        roots = {m.root for m in find_modules(tree)}
+        # The shared pair is reachable via two paths, but all of its
+        # leaves funnel through it: it IS a module; its parents are not.
+        assert "shared_pair" in roots
+        assert "left" not in roots and "right" not in roots
+
+
+class TestModularProbability:
+    def test_matches_direct_exact(self, modular_tree):
+        direct = hazard_probability(modular_tree, method="exact")
+        modular = modular_probability(modular_tree, method="exact")
+        assert modular == pytest.approx(direct, rel=1e-12)
+
+    def test_matches_on_nonmodular_tree(self, shared_leaf_tree):
+        direct = hazard_probability(shared_leaf_tree, method="exact")
+        modular = modular_probability(shared_leaf_tree, method="exact")
+        assert modular == pytest.approx(direct, rel=1e-12)
+
+    def test_matches_with_conditions(self):
+        cond = condition("env", 0.4)
+        guarded = INHIBIT("guarded",
+                          AND("pair", primary("a", 0.2),
+                              primary("b", 0.3)), cond)
+        tree = FaultTree(hazard("H", OR_gate=[guarded,
+                                              primary("c", 0.1)]))
+        assert modular_probability(tree, method="exact") == \
+            pytest.approx(hazard_probability(tree, method="exact"),
+                          rel=1e-12)
+
+    def test_matches_with_overrides(self, modular_tree):
+        overrides = {"pump_a": 0.5, "valve_b": 0.2}
+        assert modular_probability(modular_tree, overrides,
+                                   method="exact") == pytest.approx(
+            hazard_probability(modular_tree, overrides, method="exact"),
+            rel=1e-12)
+
+    def test_deep_random_trees_match(self):
+        import random
+        from tests.fta.test_cutsets import random_coherent_tree
+        for seed in range(20):
+            tree = random_coherent_tree(seed)
+            assert modular_probability(tree, method="exact") == \
+                pytest.approx(
+                    hazard_probability(tree, method="exact"), rel=1e-9)

@@ -1,0 +1,114 @@
+"""Phased-mission analysis."""
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import (
+    FaultTree,
+    MissionPhase,
+    evaluate_mission,
+    hazard_probability,
+    scale_exposure_probabilities,
+)
+from repro.fta.dsl import AND, OR, hazard, primary
+
+
+def simple_tree(p_a: float, p_b: float) -> FaultTree:
+    return FaultTree(hazard("H", OR_gate=[
+        primary("a", p_a), primary("b", p_b)]))
+
+
+class TestEvaluateMission:
+    def test_single_phase_equals_direct(self):
+        tree = simple_tree(0.01, 0.02)
+        mission = evaluate_mission(
+            [MissionPhase("only", tree, duration=1.0)])
+        assert mission.probability == pytest.approx(
+            hazard_probability(tree, method="exact"))
+
+    def test_two_phases_combine_as_survival_product(self):
+        day = simple_tree(0.01, 0.02)
+        night = simple_tree(0.001, 0.002)
+        mission = evaluate_mission([
+            MissionPhase("day", day, duration=16.0),
+            MissionPhase("night", night, duration=8.0),
+        ])
+        p_day = hazard_probability(day, method="exact")
+        p_night = hazard_probability(night, method="exact")
+        assert mission.probability == pytest.approx(
+            1.0 - (1.0 - p_day) * (1.0 - p_night))
+
+    def test_contributions_sum_to_one(self):
+        mission = evaluate_mission([
+            MissionPhase("a", simple_tree(0.01, 0.02), 1.0),
+            MissionPhase("b", simple_tree(0.05, 0.01), 1.0),
+        ])
+        assert sum(p.contribution for p in mission.phases) == \
+            pytest.approx(1.0)
+
+    def test_dominant_phase(self):
+        mission = evaluate_mission([
+            MissionPhase("quiet", simple_tree(0.001, 0.001), 1.0),
+            MissionPhase("rush", simple_tree(0.1, 0.1), 1.0),
+        ])
+        assert mission.dominant_phase.name == "rush"
+
+    def test_per_phase_probability_overrides(self):
+        tree = simple_tree(0.5, 0.5)
+        mission = evaluate_mission([
+            MissionPhase("p", tree, 1.0,
+                         probabilities={"a": 0.0, "b": 0.25}),
+        ])
+        assert mission.probability == pytest.approx(0.25)
+
+    def test_different_trees_per_phase(self):
+        """Phases may change the logic, not just the numbers."""
+        strict = FaultTree(hazard("H", OR_gate=[
+            primary("x", 0.1), primary("y", 0.1)]))
+        relaxed = FaultTree(hazard("H2", AND_gate=[
+            primary("x2", 0.1), primary("y2", 0.1)]))
+        mission = evaluate_mission([
+            MissionPhase("strict", strict, 1.0),
+            MissionPhase("relaxed", relaxed, 1.0),
+        ])
+        assert mission.phases[0].probability > \
+            mission.phases[1].probability
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(QuantificationError):
+            evaluate_mission([])
+        tree = simple_tree(0.1, 0.1)
+        with pytest.raises(QuantificationError):
+            evaluate_mission([MissionPhase("p", tree, 1.0),
+                              MissionPhase("p", tree, 1.0)])
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(QuantificationError):
+            MissionPhase("p", simple_tree(0.1, 0.1), 0.0)
+
+
+class TestScaleExposure:
+    def test_full_fraction_is_identity(self):
+        base = {"a": 0.3, "b": 0.001}
+        assert scale_exposure_probabilities(base, 1.0) == \
+            pytest.approx(base)
+
+    def test_poisson_exactness(self):
+        """1 - exp(-rate*T) scaled to f*T equals 1 - (1-p)^f."""
+        import math
+        rate, horizon, fraction = 0.13, 30.0, 0.25
+        p_full = 1.0 - math.exp(-rate * horizon)
+        scaled = scale_exposure_probabilities({"x": p_full}, fraction)
+        assert scaled["x"] == pytest.approx(
+            1.0 - math.exp(-rate * horizon * fraction))
+
+    def test_certain_event_stays_certain(self):
+        assert scale_exposure_probabilities({"x": 1.0}, 0.5)["x"] == 1.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(QuantificationError):
+            scale_exposure_probabilities({"x": 0.5}, 0.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(QuantificationError):
+            scale_exposure_probabilities({"x": 1.5}, 0.5)

@@ -1,0 +1,161 @@
+"""Quantification: paper formulas, method agreement, approximation error."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantificationError
+from repro.fta import (
+    ConstraintPolicy,
+    FaultTree,
+    approximation_error,
+    cut_set_probabilities,
+    hazard_probability,
+    mocus,
+    probability_map,
+)
+from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
+
+
+class TestProbabilityMap:
+    def test_uses_event_defaults(self, simple_or_tree):
+        probs = probability_map(simple_or_tree)
+        assert probs == {"A": 0.1, "B": 0.2}
+
+    def test_overrides_take_precedence(self, simple_or_tree):
+        probs = probability_map(simple_or_tree, {"A": 0.5})
+        assert probs["A"] == 0.5
+        assert probs["B"] == 0.2
+
+    def test_missing_probability_raises(self):
+        tree = FaultTree(hazard("H", OR_gate=[primary("a")]))
+        with pytest.raises(QuantificationError):
+            probability_map(tree)
+
+    def test_includes_conditions(self, inhibit_tree):
+        probs = probability_map(inhibit_tree)
+        assert probs["env"] == 0.25
+
+
+class TestPaperFormulas:
+    def test_rare_event_is_sum_of_products(self, simple_or_tree):
+        """Paper Eq. 1: P(H) = sum over MCS of the product of P(PF)."""
+        assert hazard_probability(simple_or_tree, method="rare_event") \
+            == pytest.approx(0.1 + 0.2)
+
+    def test_and_tree_product(self, simple_and_tree):
+        assert hazard_probability(simple_and_tree, method="rare_event") \
+            == pytest.approx(0.02)
+
+    def test_constrained_cut_set_formula(self, inhibit_tree):
+        """Paper Eq. 2: P(CS) = P(Constraints) * prod P(PF)."""
+        assert hazard_probability(inhibit_tree, method="rare_event") \
+            == pytest.approx(0.25 * 0.1 * 0.2)
+
+    def test_worst_case_policy_recovers_classic_fta(self, inhibit_tree):
+        """P(Constraints) = 1 gives the unconstrained formula."""
+        value = hazard_probability(inhibit_tree, method="rare_event",
+                                   policy=ConstraintPolicy.WORST_CASE)
+        assert value == pytest.approx(0.1 * 0.2)
+
+    def test_rare_event_clips_at_one(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            primary("a", 0.9), primary("b", 0.9)]))
+        assert hazard_probability(tree, method="rare_event") == 1.0
+
+
+class TestMethodRelationships:
+    def test_exact_matches_closed_form_or(self, simple_or_tree):
+        assert hazard_probability(simple_or_tree, method="exact") \
+            == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_inclusion_exclusion_matches_exact_without_sharing(
+            self, simple_or_tree, simple_and_tree, kofn_tree):
+        for tree in (simple_or_tree, simple_and_tree, kofn_tree):
+            ie = hazard_probability(tree, method="inclusion_exclusion")
+            exact = hazard_probability(tree, method="exact")
+            assert ie == pytest.approx(exact, rel=1e-12)
+
+    def test_exact_handles_shared_events(self, bridge_tree):
+        """(A and C) or (B and C): P = P(C) * (1 - (1-P(A))(1-P(B)))."""
+        expected = 0.5 * (1 - 0.7 * 0.6)
+        assert hazard_probability(bridge_tree, method="exact") \
+            == pytest.approx(expected)
+        # inclusion-exclusion over the MCS family is also exact here.
+        assert hazard_probability(bridge_tree,
+                                  method="inclusion_exclusion") \
+            == pytest.approx(expected)
+
+    def test_ordering_rare_event_above_mcub_above_exact(self, bridge_tree):
+        rare = hazard_probability(bridge_tree, method="rare_event")
+        mcub = hazard_probability(bridge_tree, method="mcub")
+        exact = hazard_probability(bridge_tree, method="exact")
+        assert rare >= mcub >= exact - 1e-12
+
+    def test_rare_event_upper_bounds_exact(self, kofn_tree, bridge_tree):
+        for tree in (kofn_tree, bridge_tree):
+            assert hazard_probability(tree, method="rare_event") >= \
+                hazard_probability(tree, method="exact") - 1e-12
+
+    @given(st.floats(1e-6, 0.3), st.floats(1e-6, 0.3), st.floats(1e-6, 0.3))
+    @settings(max_examples=50)
+    def test_methods_agree_for_small_probabilities(self, pa, pb, pc):
+        """The paper: neglecting higher-order terms is 'in practice no
+        problem as failure probabilities are very small'."""
+        tree = FaultTree(hazard("H", OR_gate=[
+            AND("ab", primary("a"), primary("b")), primary("c")]))
+        probs = {"a": pa, "b": pb, "c": pc}
+        rare = hazard_probability(tree, probs, method="rare_event")
+        exact = hazard_probability(tree, probs, method="exact")
+        assert rare == pytest.approx(exact, rel=0.35)
+        assert rare >= exact - 1e-15
+
+
+class TestApproximationError:
+    def test_reports_zero_for_single_cut(self, simple_and_tree):
+        report = approximation_error(simple_and_tree)
+        assert report["absolute_error"] == pytest.approx(0.0, abs=1e-15)
+
+    def test_reports_positive_error_for_overlapping_cuts(self, bridge_tree):
+        report = approximation_error(bridge_tree)
+        assert report["rare_event"] > report["exact"]
+        assert report["relative_error"] > 0.0
+
+    def test_error_grows_with_probability(self):
+        def error_at(p):
+            tree = FaultTree(hazard("H", OR_gate=[
+                primary("a", p), primary("b", p)]))
+            return approximation_error(tree)["relative_error"]
+
+        assert error_at(0.3) > error_at(0.01) > error_at(0.0001)
+
+
+class TestCutSetProbabilities:
+    def test_per_cut_values(self, bridge_tree):
+        cut_sets = mocus(bridge_tree)
+        probs = cut_set_probabilities(cut_sets,
+                                      probability_map(bridge_tree))
+        by_failures = {frozenset(cs.failures): p
+                       for cs, p in probs.items()}
+        assert by_failures[frozenset({"A", "C"})] == pytest.approx(0.15)
+        assert by_failures[frozenset({"B", "C"})] == pytest.approx(0.2)
+
+
+class TestGuards:
+    def test_unknown_method_rejected(self, simple_or_tree):
+        with pytest.raises(QuantificationError):
+            hazard_probability(simple_or_tree, method="magic")
+
+    def test_inclusion_exclusion_size_guard(self):
+        leaves = [primary(f"e{i}", 0.01) for i in range(25)]
+        tree = FaultTree(hazard("H", OR_gate=leaves))
+        with pytest.raises(QuantificationError):
+            hazard_probability(tree, method="inclusion_exclusion")
+
+    def test_exact_supports_noncoherent(self):
+        from repro.fta.dsl import XOR
+        tree = FaultTree(hazard("H", gate=XOR(
+            "x", primary("a", 0.3), primary("b", 0.4)).gate))
+        expected = 0.3 * 0.6 + 0.7 * 0.4
+        assert hazard_probability(tree, method="exact") \
+            == pytest.approx(expected)

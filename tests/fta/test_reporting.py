@@ -1,0 +1,73 @@
+"""Quantitative FTA reports: ranking, contributions, rendering."""
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import FaultTree, analyze
+from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
+
+
+@pytest.fixture
+def tree():
+    """Three cut sets with distinct, known probabilities."""
+    cond = condition("armed", 0.5)
+    top = hazard("H", OR_gate=[
+        primary("big", 0.1),
+        AND("pair", primary("a", 0.2), primary("b", 0.1)),
+        INHIBIT("guarded", primary("c", 0.04), cond),
+    ])
+    return FaultTree(top)
+
+
+class TestAnalyze:
+    def test_ranked_by_probability(self, tree):
+        report = analyze(tree)
+        probs = [r.probability for r in report.ranked_cut_sets]
+        assert probs == sorted(probs, reverse=True)
+        assert report.dominant.cut_set.failures == frozenset({"big"})
+
+    def test_probabilities_and_contributions(self, tree):
+        report = analyze(tree)
+        by_failures = {frozenset(r.cut_set.failures): r
+                       for r in report.ranked_cut_sets}
+        assert by_failures[frozenset({"big"})].probability == \
+            pytest.approx(0.1)
+        assert by_failures[frozenset({"a", "b"})].probability == \
+            pytest.approx(0.02)
+        assert by_failures[frozenset({"c"})].probability == \
+            pytest.approx(0.02)  # 0.04 * 0.5 constraint
+        total = sum(r.contribution for r in report.ranked_cut_sets)
+        assert total == pytest.approx(1.0)
+
+    def test_rare_event_total(self, tree):
+        report = analyze(tree)
+        assert report.rare_event_probability == pytest.approx(0.14)
+        assert report.exact_probability < report.rare_event_probability
+
+    def test_single_points_listed(self, tree):
+        report = analyze(tree)
+        spf = {frozenset(cs.failures)
+               for cs in report.single_points_of_failure}
+        assert spf == {frozenset({"big"}), frozenset({"c"})}
+
+    def test_importance_included(self, tree):
+        report = analyze(tree)
+        assert report.importance[0].birnbaum >= \
+            report.importance[-1].birnbaum
+
+    def test_overrides(self, tree):
+        report = analyze(tree, {"big": 0.0})
+        assert report.dominant.cut_set.failures != frozenset({"big"})
+
+
+class TestRendering:
+    def test_text_mentions_key_facts(self, tree):
+        text = analyze(tree).to_text()
+        assert "H" in text
+        assert "Top minimal cut sets" in text
+        assert "Importance ranking" in text
+        assert "{big}" in text
+
+    def test_top_limits_rows(self, tree):
+        text = analyze(tree).to_text(top=1)
+        assert "{a, b}" not in text

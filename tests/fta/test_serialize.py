@@ -1,0 +1,195 @@
+"""Serialization: JSON round-trips, Galileo and DOT exports."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.fta import (
+    FaultTree,
+    hazard_probability,
+    mocus,
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_dot,
+    tree_to_galileo,
+    tree_to_json,
+)
+from repro.fta.dsl import AND, INHIBIT, KOFN, OR, condition, hazard, \
+    house, primary
+
+
+@pytest.fixture
+def rich_tree():
+    """A tree exercising every serializable feature."""
+    cond = condition("env", 0.5)
+    top = hazard("H", OR_gate=[
+        INHIBIT("guarded", AND("both", primary("a", 0.1),
+                               primary("b", 0.2)), cond),
+        KOFN("vote", 2, primary("c", 0.1), primary("d", 0.2),
+             primary("e", 0.3)),
+        house("switch", True),
+    ], description="top event")
+    return FaultTree(top, name="rich")
+
+
+class TestJsonRoundTrip:
+    def test_preserves_structure(self, rich_tree):
+        rebuilt = tree_from_json(tree_to_json(rich_tree))
+        assert rebuilt.name == "rich"
+        assert {cs.failures for cs in mocus(rebuilt)} == \
+            {cs.failures for cs in mocus(rich_tree)}
+
+    def test_preserves_probabilities(self, rich_tree):
+        rebuilt = tree_from_json(tree_to_json(rich_tree))
+        assert hazard_probability(rebuilt, method="exact") == \
+            pytest.approx(hazard_probability(rich_tree, method="exact"))
+
+    def test_preserves_conditions(self, rich_tree):
+        rebuilt = tree_from_json(tree_to_json(rich_tree))
+        assert [c.name for c in rebuilt.conditions] == ["env"]
+        assert rebuilt.event("env").probability == 0.5
+
+    def test_preserves_descriptions(self, rich_tree):
+        rebuilt = tree_from_json(tree_to_json(rich_tree))
+        assert rebuilt.top.description == "top event"
+
+    def test_second_roundtrip_is_identical(self, rich_tree):
+        once = tree_to_json(rich_tree)
+        twice = tree_to_json(tree_from_json(once))
+        assert once == twice
+
+    def test_shared_events_stay_shared(self, bridge_tree):
+        rebuilt = tree_from_dict(tree_to_dict(bridge_tree))
+        cs = {frozenset(c.failures) for c in mocus(rebuilt)}
+        assert cs == {frozenset({"A", "C"}), frozenset({"B", "C"})}
+
+
+class TestJsonErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            tree_from_json("{not json")
+
+    def test_unknown_schema(self):
+        with pytest.raises(SerializationError):
+            tree_from_dict({"schema": 99, "top": "H", "events": {}})
+
+    def test_missing_keys(self):
+        with pytest.raises(SerializationError):
+            tree_from_dict({"schema": 1})
+
+    def test_dangling_reference(self):
+        data = {"schema": 1, "name": "x", "top": "H", "events": {
+            "H": {"kind": "hazard",
+                  "gate": {"type": "or", "inputs": ["ghost"]}}}}
+        with pytest.raises(SerializationError):
+            tree_from_dict(data)
+
+    def test_unknown_kind(self):
+        data = {"schema": 1, "name": "x", "top": "H", "events": {
+            "H": {"kind": "sparkle"}}}
+        with pytest.raises(SerializationError):
+            tree_from_dict(data)
+
+    def test_top_must_be_intermediate(self):
+        data = {"schema": 1, "name": "x", "top": "H", "events": {
+            "H": {"kind": "primary", "probability": 0.5}}}
+        with pytest.raises(SerializationError):
+            tree_from_dict(data)
+
+    def test_json_output_is_valid_json(self, rich_tree):
+        parsed = json.loads(tree_to_json(rich_tree))
+        assert parsed["top"] == "H"
+
+
+class TestGalileo:
+    def test_contains_toplevel_and_gates(self, rich_tree):
+        text = tree_to_galileo(rich_tree)
+        assert text.startswith('toplevel "H";')
+        assert '"vote" 2of3' in text
+
+    def test_inhibit_rendered_as_and_with_condition(self, rich_tree):
+        text = tree_to_galileo(rich_tree)
+        assert '"guarded" and "both" "env";' in text
+
+    def test_probabilities_serialized(self, rich_tree):
+        text = tree_to_galileo(rich_tree)
+        assert '"a" prob=0.1;' in text
+
+    def test_house_events_as_constants(self, rich_tree):
+        assert '"switch" prob=1.0;' in tree_to_galileo(rich_tree)
+
+
+class TestDot:
+    def test_valid_digraph_structure(self, rich_tree):
+        text = tree_to_dot(rich_tree)
+        assert text.startswith("digraph fault_tree {")
+        assert text.rstrip().endswith("}")
+
+    def test_every_event_has_a_node(self, rich_tree):
+        text = tree_to_dot(rich_tree)
+        for event in rich_tree.iter_events():
+            assert f'"{event.name}"' in text
+
+    def test_edges_follow_gates(self, rich_tree):
+        text = tree_to_dot(rich_tree)
+        assert '"both" -> "a";' in text
+        assert '"H" -> "guarded";' in text
+
+    def test_condition_edge_is_dashed(self, rich_tree):
+        assert '"guarded" -> "env" [style=dashed];' in tree_to_dot(rich_tree)
+
+
+class TestGalileoParser:
+    def test_roundtrip_coherent_tree(self, bridge_tree):
+        from repro.fta import hazard_probability, tree_from_galileo
+        rebuilt = tree_from_galileo(tree_to_galileo(bridge_tree))
+        assert hazard_probability(rebuilt, method="exact") == \
+            pytest.approx(
+                hazard_probability(bridge_tree, method="exact"))
+
+    def test_kofn_roundtrip(self, kofn_tree):
+        from repro.fta import mocus, tree_from_galileo
+        rebuilt = tree_from_galileo(tree_to_galileo(kofn_tree))
+        assert {cs.failures for cs in mocus(rebuilt)} == \
+            {cs.failures for cs in mocus(kofn_tree)}
+
+    def test_inhibit_becomes_and(self, inhibit_tree):
+        """Galileo has no INHIBIT: conditions degrade to basic events
+        with preserved probabilities."""
+        from repro.fta import hazard_probability, tree_from_galileo
+        rebuilt = tree_from_galileo(tree_to_galileo(inhibit_tree))
+        assert rebuilt.conditions == []
+        assert hazard_probability(rebuilt, method="exact") == \
+            pytest.approx(
+                hazard_probability(inhibit_tree, method="exact"))
+
+    def test_parses_hand_written_text(self):
+        from repro.fta import hazard_probability, tree_from_galileo
+        text = '''
+            toplevel "TOP";
+            "TOP" or "G1" "C";
+            "G1" 2of3 "A" "B" "C";
+            "A" prob=0.1;
+            "B" prob=0.2;
+            "C" prob=0.3;
+        '''
+        tree = tree_from_galileo(text)
+        assert tree.top.name == "TOP"
+        assert hazard_probability(tree, method="exact") > 0.3
+
+    def test_missing_toplevel_rejected(self):
+        from repro.fta import tree_from_galileo
+        with pytest.raises(SerializationError):
+            tree_from_galileo('"A" prob=0.1;')
+
+    def test_undefined_reference_rejected(self):
+        from repro.fta import tree_from_galileo
+        with pytest.raises(SerializationError):
+            tree_from_galileo('toplevel "T"; "T" or "ghost";')
+
+    def test_gate_without_inputs_rejected(self):
+        from repro.fta import tree_from_galileo
+        with pytest.raises(SerializationError):
+            tree_from_galileo('toplevel "T"; "T" or;')

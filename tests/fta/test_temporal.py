@@ -1,0 +1,154 @@
+"""Time-dependent FTA: curves, interpolation, MTTH."""
+
+import math
+
+import pytest
+
+from repro.errors import QuantificationError
+from repro.fta import FaultTree, evaluate_over_time, time_to_probability
+from repro.fta.dsl import AND, OR, hazard, primary
+from repro.stats import ConstantRateModel, WeibullHazardModel
+
+
+@pytest.fixture
+def single_component_tree():
+    return FaultTree(hazard("H", OR_gate=[primary("pump")]))
+
+
+@pytest.fixture
+def redundant_tree():
+    return FaultTree(hazard("H", AND_gate=[primary("a"), primary("b")]))
+
+
+class TestCurves:
+    def test_single_constant_rate_matches_closed_form(
+            self, single_component_tree):
+        curve = evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.1)},
+            horizon=20.0, points=21)
+        for t, p in curve.points:
+            assert p == pytest.approx(1.0 - math.exp(-0.1 * t), rel=1e-9)
+
+    def test_redundant_pair_is_product(self, redundant_tree):
+        model = ConstantRateModel(0.05)
+        curve = evaluate_over_time(
+            redundant_tree, {"a": model, "b": model},
+            horizon=30.0, points=16)
+        for t, p in curve.points:
+            q = 1.0 - math.exp(-0.05 * t)
+            assert p == pytest.approx(q * q, rel=1e-9)
+
+    def test_curve_monotone_for_coherent_tree(self, redundant_tree):
+        curve = evaluate_over_time(
+            redundant_tree,
+            {"a": WeibullHazardModel(2.0, 50.0),
+             "b": ConstantRateModel(0.01)},
+            horizon=100.0, points=25)
+        probs = curve.probabilities
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_static_probabilities_for_uncovered_leaves(self):
+        tree = FaultTree(hazard("H", AND_gate=[
+            primary("aging"), primary("demand", 0.5)]))
+        curve = evaluate_over_time(
+            tree, {"aging": ConstantRateModel(0.1)}, horizon=10.0,
+            points=5)
+        assert curve.at(10.0) == pytest.approx(
+            0.5 * (1.0 - math.exp(-1.0)), rel=1e-9)
+
+    def test_starts_at_zero(self, single_component_tree):
+        curve = evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.1)},
+            horizon=5.0, points=5)
+        assert curve.points[0] == (0.0, 0.0)
+
+
+class TestInterpolation:
+    @pytest.fixture
+    def curve(self, single_component_tree):
+        return evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.1)},
+            horizon=20.0, points=41)
+
+    def test_at_sample_points(self, curve):
+        t, p = curve.points[10]
+        assert curve.at(t) == pytest.approx(p)
+
+    def test_between_samples(self, curve):
+        value = curve.at(0.25)
+        assert curve.at(0.0) < value < curve.at(0.5)
+
+    def test_clamped_outside_horizon(self, curve):
+        assert curve.at(-1.0) == curve.points[0][1]
+        assert curve.at(99.0) == curve.points[-1][1]
+
+
+class TestMTTH:
+    def test_constant_rate_mtth_converges_to_inverse_rate(
+            self, single_component_tree):
+        curve = evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.5)},
+            horizon=40.0, points=400)
+        assert curve.mean_time_to_hazard() == pytest.approx(2.0, rel=0.01)
+
+    def test_redundancy_extends_mtth(self, redundant_tree,
+                                     single_component_tree):
+        single = evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.2)},
+            horizon=60.0, points=300)
+        double = evaluate_over_time(
+            redundant_tree, {"a": ConstantRateModel(0.2),
+                             "b": ConstantRateModel(0.2)},
+            horizon=60.0, points=300)
+        assert double.mean_time_to_hazard() > \
+            single.mean_time_to_hazard()
+
+
+class TestTimeToProbability:
+    def test_constant_rate_threshold(self, single_component_tree):
+        curve = evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.1)},
+            horizon=50.0, points=501)
+        # P reaches 0.5 at t = ln(2)/0.1 ~ 6.93.
+        assert time_to_probability(curve, 0.5) == pytest.approx(
+            math.log(2) / 0.1, rel=0.01)
+
+    def test_unreachable_target(self, single_component_tree):
+        curve = evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.01)},
+            horizon=1.0, points=5)
+        assert time_to_probability(curve, 0.99) == float("inf")
+
+    def test_rejects_bad_target(self, single_component_tree):
+        curve = evaluate_over_time(
+            single_component_tree, {"pump": ConstantRateModel(0.1)},
+            horizon=1.0, points=3)
+        with pytest.raises(QuantificationError):
+            time_to_probability(curve, 1.5)
+
+
+class TestGuards:
+    def test_rejects_unknown_leaf(self, single_component_tree):
+        with pytest.raises(QuantificationError):
+            evaluate_over_time(single_component_tree,
+                               {"ghost": ConstantRateModel(0.1)},
+                               horizon=1.0)
+
+    def test_rejects_bad_horizon(self, single_component_tree):
+        with pytest.raises(QuantificationError):
+            evaluate_over_time(single_component_tree,
+                               {"pump": ConstantRateModel(0.1)},
+                               horizon=0.0)
+
+    def test_rejects_single_point(self, single_component_tree):
+        with pytest.raises(QuantificationError):
+            evaluate_over_time(single_component_tree,
+                               {"pump": ConstantRateModel(0.1)},
+                               horizon=1.0, points=1)
+
+    def test_uncovered_leaf_without_static_raises(self):
+        tree = FaultTree(hazard("H", AND_gate=[
+            primary("aging"), primary("uncovered")]))
+        with pytest.raises(QuantificationError):
+            evaluate_over_time(tree, {"aging": ConstantRateModel(0.1)},
+                               horizon=1.0)

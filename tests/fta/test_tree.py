@@ -1,0 +1,139 @@
+"""FaultTree validation, traversal and structure-function evaluation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.fta import FaultTree, Gate, GateType, PrimaryFailure
+from repro.fta.dsl import AND, INHIBIT, KOFN, NOT, OR, XOR, condition, \
+    hazard, house, primary
+
+
+class TestValidation:
+    def test_rejects_non_intermediate_top(self):
+        with pytest.raises(ValidationError):
+            FaultTree(primary("leaf", 0.1))
+
+    def test_rejects_duplicate_names(self):
+        top = hazard("H", OR_gate=[primary("a", 0.1), primary("a", 0.2)])
+        with pytest.raises(ValidationError):
+            FaultTree(top)
+
+    def test_shared_subtree_is_allowed(self):
+        shared = primary("shared", 0.1)
+        top = hazard("H", OR_gate=[AND("x", shared, primary("b", 0.1)),
+                                   AND("y", shared, primary("c", 0.1))])
+        tree = FaultTree(top)
+        assert len(tree.primary_failures) == 3
+
+    def test_rejects_cycle(self):
+        a = primary("a", 0.1)
+        inner = OR("inner", a)
+        outer = OR("outer", inner)
+        # Create a cycle by appending outer into inner's gate inputs.
+        inner.gate.inputs.append(outer)
+        with pytest.raises(ValidationError):
+            FaultTree(hazard("H", OR_gate=[outer]))
+
+    def test_condition_name_clash_detected(self):
+        cond = condition("x", 0.5)
+        pf = primary("x", 0.1)
+        top = hazard("H", OR_gate=[
+            INHIBIT("g", primary("a", 0.1), cond), pf])
+        with pytest.raises(ValidationError):
+            FaultTree(top)
+
+    def test_name_defaults_to_top(self):
+        tree = FaultTree(hazard("MyHazard", OR_gate=[primary("a", 0.1)]))
+        assert tree.name == "MyHazard"
+
+
+class TestQueries:
+    @pytest.fixture
+    def tree(self):
+        cond = condition("env", 0.5)
+        top = hazard("H", OR_gate=[
+            INHIBIT("guarded", AND("both", primary("a", 0.1),
+                                   primary("b", 0.2)), cond),
+            house("switch", True),
+            primary("c", 0.3),
+        ])
+        return FaultTree(top)
+
+    def test_event_lookup(self, tree):
+        assert tree.event("a").probability == 0.1
+        with pytest.raises(ValidationError):
+            tree.event("nope")
+
+    def test_contains(self, tree):
+        assert "a" in tree
+        assert "env" in tree
+        assert "zzz" not in tree
+
+    def test_leaf_collections(self, tree):
+        assert {e.name for e in tree.primary_failures} == {"a", "b", "c"}
+        assert {e.name for e in tree.conditions} == {"env"}
+        assert {e.name for e in tree.house_events} == {"switch"}
+
+    def test_intermediates_and_gates(self, tree):
+        names = {e.name for e in tree.intermediate_events}
+        assert names == {"H", "guarded", "both"}
+        assert len(tree.gates) == 3
+
+    def test_iter_events_yields_once(self, tree):
+        events = list(tree.iter_events())
+        assert len(events) == len({id(e) for e in events})
+
+    def test_depth(self, tree):
+        assert tree.depth() == 3
+
+    def test_is_coherent(self, tree):
+        assert tree.is_coherent
+        bad = FaultTree(hazard("H2", gate=NOT("neg",
+                                              primary("x", 0.1)).gate))
+        assert not bad.is_coherent
+
+
+class TestEvaluate:
+    def test_or_gate(self, simple_or_tree):
+        assert simple_or_tree.evaluate({"A": True, "B": False})
+        assert not simple_or_tree.evaluate({"A": False, "B": False})
+
+    def test_and_gate(self, simple_and_tree):
+        assert simple_and_tree.evaluate({"A": True, "B": True})
+        assert not simple_and_tree.evaluate({"A": True, "B": False})
+
+    def test_kofn_gate(self, kofn_tree):
+        assert kofn_tree.evaluate({"c1": True, "c2": True, "c3": False})
+        assert not kofn_tree.evaluate(
+            {"c1": True, "c2": False, "c3": False})
+
+    def test_inhibit_gate(self, inhibit_tree):
+        on = {"A": True, "B": True, "env": True}
+        off = {"A": True, "B": True, "env": False}
+        assert inhibit_tree.evaluate(on)
+        assert not inhibit_tree.evaluate(off)
+
+    def test_xor_gate(self):
+        tree = FaultTree(hazard("H", gate=XOR(
+            "x", primary("a"), primary("b")).gate))
+        assert tree.evaluate({"a": True, "b": False})
+        assert not tree.evaluate({"a": True, "b": True})
+
+    def test_not_gate(self):
+        tree = FaultTree(hazard("H", gate=NOT("n", primary("a")).gate))
+        assert tree.evaluate({"a": False})
+        assert not tree.evaluate({"a": True})
+
+    def test_house_event_default_and_override(self):
+        tree = FaultTree(hazard("H", AND_gate=[primary("a"),
+                                               house("hs", True)]))
+        assert tree.evaluate({"a": True})
+        assert not tree.evaluate({"a": True, "hs": False})
+
+    def test_missing_leaf_raises(self, simple_or_tree):
+        with pytest.raises(ValidationError):
+            simple_or_tree.evaluate({"A": True})
+
+    def test_missing_condition_raises(self, inhibit_tree):
+        with pytest.raises(ValidationError):
+            inhibit_tree.evaluate({"A": True, "B": True})

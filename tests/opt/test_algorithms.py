@@ -1,0 +1,271 @@
+"""All optimizers on shared benchmark landscapes.
+
+Each algorithm must find the minimum of smooth convex and moderately
+multimodal test functions within its documented accuracy; results must be
+deterministic under fixed seeds and never leave the feasible box.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.opt import (
+    Box,
+    Problem,
+    differential_evolution,
+    golden_section,
+    gradient_descent,
+    grid_search,
+    multistart,
+    nelder_mead,
+    simulated_annealing,
+    zoom_search,
+)
+
+
+def sphere(x):
+    """Convex bowl centred at (1, 2)."""
+    return (x[0] - 1.0) ** 2 + (x[1] - 2.0) ** 2
+
+
+def rosenbrock(x):
+    return (1 - x[0]) ** 2 + 100.0 * (x[1] - x[0] ** 2) ** 2
+
+
+def rastrigin1d(x):
+    """Multimodal; global minimum 0 at the origin."""
+    return 10.0 + x[0] ** 2 - 10.0 * math.cos(2 * math.pi * x[0])
+
+
+def make_sphere():
+    return Problem(sphere, Box([(-5, 5), (-5, 5)]), name="sphere")
+
+
+LOCAL_SOLVERS = [
+    ("zoom", lambda p: zoom_search(p, points_per_dim=9, tol=1e-7)),
+    ("gradient", lambda p: gradient_descent(p, tol=1e-14,
+                                            max_iterations=2000)),
+    ("nelder_mead", lambda p: nelder_mead(p)),
+]
+GLOBAL_SOLVERS = [
+    ("annealing", lambda p: simulated_annealing(p, seed=3, steps=8000)),
+    ("de", lambda p: differential_evolution(p, seed=3)),
+]
+
+
+class TestOnSphere:
+    @pytest.mark.parametrize("name,solver",
+                             LOCAL_SOLVERS + GLOBAL_SOLVERS,
+                             ids=lambda v: v if isinstance(v, str) else "")
+    def test_finds_minimum(self, name, solver):
+        result = solver(make_sphere())
+        tol = 0.05 if name == "annealing" else 1e-3
+        assert result.x[0] == pytest.approx(1.0, abs=tol)
+        assert result.x[1] == pytest.approx(2.0, abs=tol)
+        assert result.fun == pytest.approx(0.0, abs=tol)
+
+    @pytest.mark.parametrize("name,solver",
+                             LOCAL_SOLVERS + GLOBAL_SOLVERS,
+                             ids=lambda v: v if isinstance(v, str) else "")
+    def test_reports_evaluations(self, name, solver):
+        problem = make_sphere()
+        result = solver(problem)
+        assert result.evaluations == problem.evaluations
+        assert result.evaluations > 0
+
+    @pytest.mark.parametrize("name,solver",
+                             LOCAL_SOLVERS + GLOBAL_SOLVERS,
+                             ids=lambda v: v if isinstance(v, str) else "")
+    def test_stays_inside_box(self, name, solver):
+        box = Box([(-5, 5), (-5, 5)])
+        seen = []
+
+        def recording(x):
+            seen.append(x)
+            return sphere(x)
+
+        solver(Problem(recording, box))
+        assert all(box.contains(x) for x in seen)
+
+
+class TestGrid:
+    def test_grid_search_picks_best_point(self):
+        problem = Problem(lambda x: abs(x[0] - 0.5), Box([(0, 1)]))
+        result = grid_search(problem, points_per_dim=11)
+        assert result.x == (0.5,)
+        assert result.evaluations == 11
+
+    def test_zoom_converges_below_grid_resolution(self):
+        problem = Problem(lambda x: (x[0] - 0.123456) ** 2, Box([(0, 1)]))
+        result = zoom_search(problem, points_per_dim=5, tol=1e-8)
+        assert result.x[0] == pytest.approx(0.123456, abs=1e-6)
+        assert result.converged
+
+    def test_zoom_rejects_bad_shrink(self):
+        with pytest.raises(OptimizationError):
+            zoom_search(make_sphere(), shrink=1.0)
+
+    def test_zoom_respects_max_rounds(self):
+        problem = Problem(lambda x: x[0] ** 2, Box([(-1, 1)]))
+        result = zoom_search(problem, points_per_dim=3, tol=1e-30,
+                             max_rounds=4)
+        assert result.iterations == 4
+        assert not result.converged
+
+
+class TestGolden:
+    def test_finds_1d_minimum(self):
+        problem = Problem(lambda x: (x[0] - 2.5) ** 2 + 1.0,
+                          Box([(0, 10)]))
+        result = golden_section(problem, tol=1e-10)
+        assert result.x[0] == pytest.approx(2.5, abs=1e-6)
+        assert result.fun == pytest.approx(1.0, abs=1e-10)
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(OptimizationError):
+            golden_section(make_sphere())
+
+    def test_boundary_minimum(self):
+        problem = Problem(lambda x: x[0], Box([(2, 5)]))
+        result = golden_section(problem)
+        assert result.x[0] == pytest.approx(2.0, abs=1e-5)
+
+
+class TestGradient:
+    def test_descends_on_rosenbrock_valley(self):
+        problem = Problem(rosenbrock, Box([(-2, 2), (-1, 3)]))
+        result = gradient_descent(problem, x0=(0.0, 0.0),
+                                  max_iterations=3000, tol=1e-15)
+        # Gradient descent is slow in the valley but must reach it.
+        assert result.fun < rosenbrock((0.0, 0.0))
+        assert result.fun < 0.5
+
+    def test_projects_boundary_optimum(self):
+        problem = Problem(lambda x: -x[0], Box([(0, 1)]))
+        result = gradient_descent(problem)
+        assert result.x[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_history_is_monotone(self):
+        problem = make_sphere()
+        result = gradient_descent(problem)
+        values = [f for _x, f in result.history]
+        assert all(b <= a + 1e-15 for a, b in zip(values, values[1:]))
+
+
+class TestNelderMead:
+    def test_solves_rosenbrock(self):
+        problem = Problem(rosenbrock, Box([(-2, 2), (-1, 3)]))
+        result = nelder_mead(problem, x0=(-1.0, 1.0),
+                             max_iterations=5000)
+        assert result.x[0] == pytest.approx(1.0, abs=1e-3)
+        assert result.x[1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_converged_flag(self):
+        result = nelder_mead(make_sphere())
+        assert result.converged
+
+
+class TestAnnealing:
+    def test_deterministic_under_seed(self):
+        a = simulated_annealing(make_sphere(), seed=7, steps=500)
+        b = simulated_annealing(make_sphere(), seed=7, steps=500)
+        assert a.x == b.x and a.fun == b.fun
+
+    def test_different_seeds_explore_differently(self):
+        a = simulated_annealing(make_sphere(), seed=1, steps=500)
+        b = simulated_annealing(make_sphere(), seed=2, steps=500)
+        assert a.x != b.x
+
+    def test_escapes_local_minimum(self):
+        """Start in a side valley of 1-D Rastrigin; must reach near 0."""
+        problem = Problem(rastrigin1d, Box([(-5.12, 5.12)]))
+        result = simulated_annealing(problem, x0=(3.0,), seed=11,
+                                     steps=20_000)
+        assert result.fun < 1.0
+
+
+class TestDifferentialEvolution:
+    def test_global_on_rastrigin(self):
+        problem = Problem(rastrigin1d, Box([(-5.12, 5.12)]))
+        result = differential_evolution(problem, seed=5, generations=200)
+        assert result.fun == pytest.approx(0.0, abs=1e-6)
+
+    def test_deterministic_under_seed(self):
+        a = differential_evolution(make_sphere(), seed=9, generations=30)
+        b = differential_evolution(make_sphere(), seed=9, generations=30)
+        assert a.x == b.x
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(OptimizationError):
+            differential_evolution(make_sphere(), f_weight=3.0)
+        with pytest.raises(OptimizationError):
+            differential_evolution(make_sphere(), crossover=1.5)
+        with pytest.raises(OptimizationError):
+            differential_evolution(make_sphere(), population=3)
+
+
+class TestMultistart:
+    def test_beats_single_start_on_multimodal(self):
+        problem1 = Problem(rastrigin1d, Box([(-5.12, 5.12)]))
+        single = nelder_mead(problem1, x0=(4.4,))
+        problem2 = Problem(rastrigin1d, Box([(-5.12, 5.12)]))
+        multi = multistart(problem2, nelder_mead, grid_starts=9)
+        assert multi.fun <= single.fun
+        assert multi.fun == pytest.approx(0.0, abs=1e-6)
+
+    def test_explicit_starts_are_used(self):
+        problem = make_sphere()
+        result = multistart(problem, nelder_mead, starts=[(1.0, 2.0)])
+        assert result.iterations == 1
+        assert result.fun == pytest.approx(0.0, abs=1e-8)
+
+    def test_defaults_to_center(self):
+        result = multistart(make_sphere(), nelder_mead)
+        assert result.iterations == 1
+
+    def test_total_evaluations_accumulate(self):
+        problem = make_sphere()
+        result = multistart(problem, nelder_mead, grid_starts=3)
+        assert result.evaluations == problem.evaluations
+
+
+class TestCoordinateDescent:
+    def test_solves_sphere(self):
+        from repro.opt import coordinate_descent
+        result = coordinate_descent(make_sphere())
+        assert result.x[0] == pytest.approx(1.0, abs=1e-5)
+        assert result.x[1] == pytest.approx(2.0, abs=1e-5)
+        assert result.converged
+
+    def test_resolves_near_flat_directions(self):
+        """Comparison-based line searches find optima even where the
+        slope is below derivative-method resolution."""
+        from repro.opt import coordinate_descent
+
+        def nearly_flat(x):
+            return (x[0] - 3.0) ** 2 * 1e-12 + (x[1] - 1.0) ** 2
+
+        problem = Problem(nearly_flat, Box([(0, 10), (0, 10)]))
+        result = coordinate_descent(problem)
+        assert result.x[0] == pytest.approx(3.0, abs=1e-3)
+        assert result.x[1] == pytest.approx(1.0, abs=1e-5)
+
+    def test_separable_function_one_sweep(self):
+        from repro.opt import coordinate_descent
+        problem = Problem(lambda x: abs(x[0] - 1) + abs(x[1] + 2),
+                          Box([(-5, 5), (-5, 5)]))
+        result = coordinate_descent(problem)
+        assert result.fun == pytest.approx(0.0, abs=1e-5)
+
+    def test_history_monotone(self):
+        from repro.opt import coordinate_descent
+        result = coordinate_descent(make_sphere())
+        values = [f for _x, f in result.history]
+        assert all(b <= a + 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_respects_max_sweeps(self):
+        from repro.opt import coordinate_descent
+        problem = Problem(rosenbrock, Box([(-2, 2), (-1, 3)]))
+        result = coordinate_descent(problem, max_sweeps=2)
+        assert result.iterations <= 2

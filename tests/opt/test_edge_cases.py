@@ -1,0 +1,82 @@
+"""Optimizer edge cases: explicit options, degenerate landscapes."""
+
+import pytest
+
+from repro.opt import (
+    Box,
+    Problem,
+    differential_evolution,
+    golden_section,
+    nelder_mead,
+    simulated_annealing,
+    zoom_search,
+)
+
+
+class TestExplicitOptions:
+    def test_annealing_with_explicit_t0(self):
+        problem = Problem(lambda x: x[0] ** 2, Box([(-2, 2)]))
+        result = simulated_annealing(problem, t0=1.0, steps=3000, seed=1)
+        assert result.fun < 0.01
+
+    def test_de_with_explicit_population(self):
+        problem = Problem(lambda x: x[0] ** 2, Box([(-2, 2)]))
+        result = differential_evolution(problem, population=8,
+                                        generations=60, seed=2)
+        assert result.fun == pytest.approx(0.0, abs=1e-6)
+
+    def test_golden_respects_max_iterations(self):
+        problem = Problem(lambda x: x[0] ** 2, Box([(-1, 1)]))
+        result = golden_section(problem, tol=1e-30, max_iterations=5)
+        assert result.iterations == 5
+        assert not result.converged
+
+
+class TestDegenerateLandscapes:
+    def test_constant_objective(self):
+        """Flat functions terminate and return a feasible point."""
+        box = Box([(-1, 1), (-1, 1)])
+        for solver in (lambda p: nelder_mead(p),
+                       lambda p: zoom_search(p, points_per_dim=3),
+                       lambda p: simulated_annealing(p, steps=200,
+                                                     seed=0)):
+            problem = Problem(lambda x: 7.0, box)
+            result = solver(problem)
+            assert result.fun == 7.0
+            assert box.contains(result.x)
+
+    def test_piecewise_constant_steps(self):
+        """Comparison-based methods handle step functions."""
+        problem = Problem(lambda x: float(int(abs(x[0]) * 3)),
+                          Box([(-1, 1)]))
+        result = zoom_search(problem, points_per_dim=7)
+        assert result.fun == 0.0
+
+    def test_minimum_exactly_on_grid_boundary(self):
+        problem = Problem(lambda x: (x[0] + 1.0) ** 2, Box([(-1, 1)]))
+        result = zoom_search(problem, points_per_dim=5)
+        assert result.x[0] == pytest.approx(-1.0, abs=1e-6)
+
+    def test_narrow_box(self):
+        problem = Problem(lambda x: x[0] ** 2,
+                          Box([(0.999999, 1.000001)]))
+        result = nelder_mead(problem)
+        assert result.x[0] == pytest.approx(0.999999, abs=1e-5)
+
+
+class TestHighDimensional:
+    def test_ten_dimensional_sphere(self):
+        box = Box([(-3, 3)] * 10)
+        problem = Problem(lambda x: sum(v * v for v in x), box)
+        result = nelder_mead(problem, max_iterations=10_000)
+        assert result.fun < 1e-3
+
+    def test_coordinate_descent_scales_with_dim(self):
+        from repro.opt import coordinate_descent
+        box = Box([(-3, 3)] * 8)
+        problem = Problem(
+            lambda x: sum((v - i * 0.1) ** 2
+                          for i, v in enumerate(x)), box)
+        result = coordinate_descent(problem)
+        for i, v in enumerate(result.x):
+            assert v == pytest.approx(i * 0.1, abs=1e-5)

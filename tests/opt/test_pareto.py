@@ -1,0 +1,112 @@
+"""Pareto machinery: dominance, filtering, weighted sweeps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.opt import (
+    Box,
+    ParetoPoint,
+    pareto_filter,
+    sample_front,
+    weighted_sum_sweep,
+)
+
+
+def two_objectives(x):
+    """f1 minimized at 0, f2 minimized at 1 — genuinely opposed."""
+    return (x[0] ** 2, (x[0] - 1.0) ** 2)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        a = ParetoPoint((0,), (1.0, 1.0))
+        b = ParetoPoint((1,), (2.0, 2.0))
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = ParetoPoint((0,), (1.0, 1.0))
+        b = ParetoPoint((1,), (1.0, 1.0))
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        a = ParetoPoint((0,), (1.0, 2.0))
+        b = ParetoPoint((1,), (2.0, 1.0))
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_dimension_mismatch(self):
+        a = ParetoPoint((0,), (1.0,))
+        b = ParetoPoint((1,), (1.0, 2.0))
+        with pytest.raises(OptimizationError):
+            a.dominates(b)
+
+
+class TestFilter:
+    def test_removes_dominated(self):
+        points = [ParetoPoint((0,), (1.0, 1.0)),
+                  ParetoPoint((1,), (2.0, 2.0)),
+                  ParetoPoint((2,), (0.5, 3.0))]
+        front = pareto_filter(points)
+        assert {p.x for p in front} == {(0,), (2,)}
+
+    def test_sorted_by_first_objective(self):
+        points = [ParetoPoint((i,), (float(5 - i), float(i)))
+                  for i in range(5)]
+        front = pareto_filter(points)
+        firsts = [p.objectives[0] for p in front]
+        assert firsts == sorted(firsts)
+
+    def test_duplicates_collapse(self):
+        points = [ParetoPoint((0,), (1.0, 1.0)),
+                  ParetoPoint((0,), (1.0, 1.0))]
+        assert len(pareto_filter(points)) == 1
+
+    @given(st.lists(st.tuples(st.floats(0, 10), st.floats(0, 10)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_front_is_mutually_nondominated(self, values):
+        points = [ParetoPoint((i,), v) for i, v in enumerate(values)]
+        front = pareto_filter(points)
+        assert front
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.dominates(b)
+
+
+class TestSampleFront:
+    def test_opposed_objectives_give_a_curve(self):
+        front = sample_front(two_objectives, Box([(0, 1)]),
+                             points_per_dim=21)
+        assert len(front) == 21  # every grid point is non-dominated here
+
+    def test_extremes_present(self):
+        front = sample_front(two_objectives, Box([(0, 1)]),
+                             points_per_dim=11)
+        xs = {p.x[0] for p in front}
+        assert 0.0 in xs and 1.0 in xs
+
+
+class TestWeightedSweep:
+    def test_weights_move_along_front(self):
+        front = weighted_sum_sweep(
+            two_objectives, Box([(0, 1)]),
+            weights=[(1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+        xs = sorted(p.x[0] for p in front)
+        # Pure f1 weight -> x ~ 0; pure f2 weight -> x ~ 1; mixed in between.
+        assert xs[0] == pytest.approx(0.0, abs=1e-3)
+        assert xs[-1] == pytest.approx(1.0, abs=1e-3)
+        assert 0.3 < xs[1] < 0.7
+
+    def test_objective_arity_checked(self):
+        with pytest.raises(OptimizationError):
+            weighted_sum_sweep(two_objectives, Box([(0, 1)]),
+                               weights=[(1.0, 1.0, 1.0)])
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(OptimizationError):
+            weighted_sum_sweep(two_objectives, Box([(0, 1)]), weights=[])

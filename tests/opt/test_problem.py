@@ -1,0 +1,134 @@
+"""Box and Problem: domains, clipping, counting, guards."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.opt import Box, OptResult, Problem, best_of
+
+
+class TestBox:
+    def test_dim_and_widths(self):
+        box = Box([(0, 10), (5, 6)])
+        assert box.dim == 2
+        assert box.widths == (10.0, 1.0)
+        assert box.center == (5.0, 5.5)
+
+    def test_contains(self):
+        box = Box([(0, 1)])
+        assert box.contains((0.5,))
+        assert box.contains((0.0,))
+        assert not box.contains((1.5,))
+        assert not box.contains((0.5, 0.5))
+
+    def test_clip(self):
+        box = Box([(0, 1), (0, 1)])
+        assert box.clip((-5, 0.5)) == (0.0, 0.5)
+        assert box.clip((2, 2)) == (1.0, 1.0)
+
+    def test_clip_dimension_mismatch(self):
+        with pytest.raises(OptimizationError):
+            Box([(0, 1)]).clip((1, 2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(OptimizationError):
+            Box([])
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(OptimizationError):
+            Box([(1, 0)])
+
+    def test_rejects_infinite_interval(self):
+        """The paper requires compact intervals for the minimum to exist."""
+        with pytest.raises(OptimizationError):
+            Box([(0, math.inf)])
+
+    def test_grid_includes_endpoints(self):
+        points = Box([(0, 1)]).grid(3)
+        assert points == [(0.0,), (0.5,), (1.0,)]
+
+    def test_grid_is_full_factorial(self):
+        points = Box([(0, 1), (0, 2)]).grid(3)
+        assert len(points) == 9
+        assert (0.0, 2.0) in points
+
+    def test_grid_rejects_single_point(self):
+        with pytest.raises(OptimizationError):
+            Box([(0, 1)]).grid(1)
+
+    def test_sample_stays_inside(self):
+        box = Box([(-3, -1), (10, 20)])
+        rng = random.Random(0)
+        for _ in range(100):
+            assert box.contains(box.sample(rng))
+
+    def test_shrink_around_center(self):
+        box = Box([(0, 10)])
+        small = box.shrink_around((5,), 0.5)
+        assert small.bounds == [(2.5, 7.5)]
+
+    def test_shrink_slides_at_wall(self):
+        box = Box([(0, 10)])
+        small = box.shrink_around((0,), 0.5)
+        assert small.bounds == [(0.0, 5.0)]
+
+    def test_shrink_never_leaves_box(self):
+        box = Box([(0, 10), (0, 2)])
+        small = box.shrink_around((9.9, 0.1), 0.3)
+        for (lo, hi), (olo, ohi) in zip(small.bounds, box.bounds):
+            assert olo <= lo < hi <= ohi
+
+    @given(st.floats(0.01, 0.99), st.floats(-100, 100),
+           st.floats(0.1, 100))
+    @settings(max_examples=60)
+    def test_shrink_factor_property(self, factor, lo, width):
+        box = Box([(lo, lo + width)])
+        small = box.shrink_around(box.center, factor)
+        (slo, shi), = small.bounds
+        assert shi - slo == pytest.approx(factor * width, rel=1e-9)
+
+    def test_shrink_rejects_bad_factor(self):
+        with pytest.raises(OptimizationError):
+            Box([(0, 1)]).shrink_around((0.5,), 1.5)
+
+
+class TestProblem:
+    def test_counts_evaluations(self):
+        problem = Problem(lambda x: x[0] ** 2, Box([(-1, 1)]))
+        problem((0.5,))
+        problem((0.2,))
+        assert problem.evaluations == 2
+        problem.reset_counter()
+        assert problem.evaluations == 0
+
+    def test_rejects_outside_box(self):
+        problem = Problem(lambda x: 0.0, Box([(-1, 1)]))
+        with pytest.raises(OptimizationError):
+            problem((2.0,))
+
+    def test_rejects_nan(self):
+        problem = Problem(lambda x: float("nan"), Box([(-1, 1)]))
+        with pytest.raises(OptimizationError):
+            problem((0.0,))
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(OptimizationError):
+            Problem("f", Box([(-1, 1)]))
+
+
+class TestBestOf:
+    def _result(self, fun):
+        return OptResult(x=(0.0,), fun=fun, evaluations=1, iterations=1,
+                         converged=True, method="m")
+
+    def test_picks_lowest(self):
+        results = [self._result(3.0), self._result(1.0), self._result(2.0)]
+        assert best_of(results).fun == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(OptimizationError):
+            best_of([])

@@ -1,0 +1,55 @@
+"""scipy bridge agrees with our native solvers."""
+
+import pytest
+
+from repro.opt import (
+    Box,
+    Problem,
+    nelder_mead,
+    scipy_differential_evolution,
+    scipy_minimize,
+)
+
+
+def make_problem():
+    return Problem(lambda x: (x[0] - 1.0) ** 2 + (x[1] + 2.0) ** 2,
+                   Box([(-5, 5), (-5, 5)]))
+
+
+class TestScipyMinimize:
+    def test_lbfgsb_finds_minimum(self):
+        result = scipy_minimize(make_problem(), method="L-BFGS-B")
+        assert result.x[0] == pytest.approx(1.0, abs=1e-4)
+        assert result.x[1] == pytest.approx(-2.0, abs=1e-4)
+        assert result.converged
+
+    def test_nelder_mead_variant(self):
+        result = scipy_minimize(make_problem(), method="Nelder-Mead")
+        assert result.fun == pytest.approx(0.0, abs=1e-6)
+
+    def test_counts_evaluations(self):
+        problem = make_problem()
+        result = scipy_minimize(problem)
+        assert result.evaluations == problem.evaluations > 0
+
+    def test_respects_bounds(self):
+        problem = Problem(lambda x: -x[0], Box([(0, 2)]))
+        result = scipy_minimize(problem)
+        assert result.x[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_agrees_with_native_nelder_mead(self):
+        ours = nelder_mead(make_problem())
+        theirs = scipy_minimize(make_problem(), method="Nelder-Mead")
+        assert ours.fun == pytest.approx(theirs.fun, abs=1e-6)
+
+
+class TestScipyDE:
+    def test_finds_global_minimum(self):
+        result = scipy_differential_evolution(make_problem(), seed=1,
+                                              maxiter=100)
+        assert result.fun == pytest.approx(0.0, abs=1e-8)
+
+    def test_method_label(self):
+        result = scipy_differential_evolution(make_problem(), seed=1,
+                                              maxiter=20)
+        assert result.method == "scipy:differential_evolution"

@@ -1,0 +1,127 @@
+"""Stochastic programming: formulations, CVaR, VSS."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.opt import (
+    Box,
+    ScenarioObjective,
+    cvar_cost,
+    expected_cost,
+    optimize_stochastic,
+    value_of_stochastic_solution,
+    worst_case_cost,
+)
+
+
+@pytest.fixture
+def scenarios():
+    """Two environments pulling the optimum in opposite directions.
+
+    calm:  minimum at x = 2;  storm: minimum at x = 8.
+    """
+    return [
+        ScenarioObjective("calm", lambda x: (x[0] - 2.0) ** 2, 0.7),
+        ScenarioObjective("storm", lambda x: 3.0 * (x[0] - 8.0) ** 2, 0.3),
+    ]
+
+
+BOX = Box([(0.0, 10.0)])
+
+
+class TestEvaluations:
+    def test_expected_cost_is_weighted(self, scenarios):
+        # At x=2: calm 0, storm 3*36 = 108; weights 0.7/0.3.
+        assert expected_cost(scenarios, (2.0,)) == pytest.approx(32.4)
+
+    def test_weights_normalized(self):
+        doubled = [
+            ScenarioObjective("a", lambda x: 1.0, 2.0),
+            ScenarioObjective("b", lambda x: 3.0, 6.0),
+        ]
+        assert expected_cost(doubled, (0.0,)) == pytest.approx(2.5)
+
+    def test_worst_case(self, scenarios):
+        assert worst_case_cost(scenarios, (2.0,)) == pytest.approx(108.0)
+
+    def test_cvar_zero_alpha_is_expectation(self, scenarios):
+        assert cvar_cost(scenarios, (2.0,), alpha=0.0) == pytest.approx(
+            expected_cost(scenarios, (2.0,)))
+
+    def test_cvar_tail_isolates_worst_scenario(self, scenarios):
+        # Tail of 0.2 < storm's weight 0.3: the tail is pure storm.
+        assert cvar_cost(scenarios, (2.0,), alpha=0.8) == \
+            pytest.approx(108.0)
+
+    def test_cvar_interpolates(self, scenarios):
+        # Tail of 0.5: 0.3 storm + 0.2 calm at x=2 -> (0.3*108)/0.5.
+        assert cvar_cost(scenarios, (2.0,), alpha=0.5) == \
+            pytest.approx(0.3 * 108.0 / 0.5)
+
+    def test_cvar_bounds(self, scenarios):
+        expected = expected_cost(scenarios, (4.0,))
+        worst = worst_case_cost(scenarios, (4.0,))
+        for alpha in (0.1, 0.5, 0.9):
+            value = cvar_cost(scenarios, (4.0,), alpha=alpha)
+            assert expected - 1e-9 <= value <= worst + 1e-9
+
+
+class TestOptimization:
+    def test_expected_optimum_between_scenario_optima(self, scenarios):
+        result = optimize_stochastic(scenarios, BOX, "expected")
+        # Weighted quadratics: x* = (0.7*2 + 0.9*8) / (0.7 + 0.9) = 5.375.
+        assert result.x[0] == pytest.approx(5.375, abs=1e-3)
+
+    def test_worst_case_optimum_balances(self, scenarios):
+        result = optimize_stochastic(scenarios, BOX, "worst_case")
+        # At the robust optimum both parabolas are equal.
+        calm = (result.x[0] - 2.0) ** 2
+        storm = 3.0 * (result.x[0] - 8.0) ** 2
+        assert calm == pytest.approx(storm, rel=1e-2)
+
+    def test_cvar_moves_towards_robust(self, scenarios):
+        expected = optimize_stochastic(scenarios, BOX, "expected")
+        cvar = optimize_stochastic(scenarios, BOX, "cvar", alpha=0.8)
+        robust = optimize_stochastic(scenarios, BOX, "worst_case")
+        assert expected.x[0] < cvar.x[0] <= robust.x[0] + 0.2
+
+    def test_unknown_formulation(self, scenarios):
+        with pytest.raises(OptimizationError):
+            optimize_stochastic(scenarios, BOX, "magic")
+
+
+class TestVSS:
+    def test_vss_nonnegative_and_positive_here(self, scenarios):
+        vss, stochastic, deterministic = value_of_stochastic_solution(
+            scenarios, BOX)
+        assert vss >= -1e-6
+        # The deterministic (calm-only) solution is clearly worse under
+        # the true mixture.
+        assert vss > 1.0
+        assert deterministic.x[0] == pytest.approx(2.0, abs=1e-3)
+        assert stochastic.x[0] == pytest.approx(5.375, abs=1e-3)
+
+
+class TestGuards:
+    def test_rejects_empty(self):
+        with pytest.raises(OptimizationError):
+            expected_cost([], (0.0,))
+
+    def test_rejects_duplicate_names(self):
+        pair = [ScenarioObjective("a", lambda x: 0.0, 1.0),
+                ScenarioObjective("a", lambda x: 0.0, 1.0)]
+        with pytest.raises(OptimizationError):
+            expected_cost(pair, (0.0,))
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(OptimizationError):
+            ScenarioObjective("a", lambda x: 0.0, -1.0)
+
+    def test_rejects_zero_total_weight(self):
+        pair = [ScenarioObjective("a", lambda x: 0.0, 0.0)]
+        with pytest.raises(OptimizationError):
+            expected_cost(pair, (0.0,))
+
+    def test_rejects_bad_alpha(self, scenarios):
+        with pytest.raises(OptimizationError):
+            cvar_cost(scenarios, (0.0,), alpha=1.0)

@@ -1,0 +1,193 @@
+"""DES kernel: ordering, determinism, processes, guards."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Process, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        log = []
+        for label in "abc":
+            sim.schedule(1.0, lambda l=label: log.append(l))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_rejects_past_scheduling(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run_until(5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_inclusive_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run_until(5.0)
+        assert log == [5]
+
+    def test_rejects_backwards_horizon(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_resumable(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(3.0, lambda: log.append(3))
+        sim.run_until(2.0)
+        sim.run_until(4.0)
+        assert log == [1, 3]
+
+
+class TestRunaway:
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rescheduling():
+            sim.schedule(1.0, rescheduling)
+
+        sim.schedule(0.0, rescheduling)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestProcesses:
+    def test_generator_process_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            log.append(("start", sim.now))
+            yield 2.0
+            log.append(("middle", sim.now))
+            yield 3.0
+            log.append(("end", sim.now))
+
+        sim.process(worker())
+        sim.run()
+        assert log == [("start", 0.0), ("middle", 2.0), ("end", 5.0)]
+
+    def test_process_completion_sets_alive(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1.0
+
+        proc = sim.process(worker())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+    def test_cancelled_process_stops(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            while True:
+                yield 1.0
+                log.append(sim.now)
+
+        proc = sim.process(worker())
+        sim.schedule(2.5, proc.cancel)
+        sim.run_until(10.0)
+        assert log == [1.0, 2.0]
+
+    def test_invalid_delay_raises(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1.0
+
+        sim.process(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_delayed_start(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield 1.0
+
+        sim.process(worker(), delay=4.0)
+        sim.run()
+        assert log == [4.0]
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, gap):
+            for _ in range(2):
+                yield gap
+                log.append((name, sim.now))
+
+        sim.process(worker("fast", 1.0))
+        sim.process(worker("slow", 1.5))
+        sim.run()
+        assert log == [("fast", 1.0), ("slow", 1.5), ("fast", 2.0),
+                       ("slow", 3.0)]

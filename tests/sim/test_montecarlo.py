@@ -1,0 +1,86 @@
+"""Monte Carlo fault-tree estimation: agreement with exact values."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fta import FaultTree, hazard_probability
+from repro.fta.dsl import AND, OR, hazard, primary
+from repro.sim import monte_carlo_probability
+from repro.sim.montecarlo import monte_carlo_cut_set_frequencies
+
+
+class TestEstimation:
+    def test_or_tree_agrees_with_exact(self, simple_or_tree):
+        exact = hazard_probability(simple_or_tree, method="exact")
+        estimate = monte_carlo_probability(simple_or_tree,
+                                           samples=60_000, seed=3)
+        assert estimate.agrees_with(exact)
+
+    def test_inhibit_tree_includes_conditions(self, inhibit_tree):
+        exact = hazard_probability(inhibit_tree, method="exact")
+        estimate = monte_carlo_probability(inhibit_tree,
+                                           samples=200_000, seed=4)
+        assert estimate.agrees_with(exact)
+
+    def test_bridge_tree_catches_shared_events(self, bridge_tree):
+        exact = hazard_probability(bridge_tree, method="exact")
+        estimate = monte_carlo_probability(bridge_tree,
+                                           samples=60_000, seed=5)
+        assert estimate.agrees_with(exact)
+        # And specifically NOT the (higher) rare-event value.
+        rare = hazard_probability(bridge_tree, method="rare_event")
+        assert estimate.probability < rare
+
+    def test_certain_hazard(self):
+        tree = FaultTree(hazard("H", OR_gate=[primary("a", 1.0)]))
+        estimate = monte_carlo_probability(tree, samples=1000, seed=0)
+        assert estimate.probability == 1.0
+        assert estimate.occurrences == 1000
+
+    def test_impossible_hazard(self):
+        tree = FaultTree(hazard("H", OR_gate=[primary("a", 0.0)]))
+        estimate = monte_carlo_probability(tree, samples=1000, seed=0)
+        assert estimate.probability == 0.0
+        assert estimate.ci_low == 0.0
+
+    def test_overrides_respected(self, simple_or_tree):
+        estimate = monte_carlo_probability(
+            simple_or_tree, {"A": 1.0, "B": 1.0}, samples=100, seed=0)
+        assert estimate.probability == 1.0
+
+    def test_deterministic_under_seed(self, simple_or_tree):
+        a = monte_carlo_probability(simple_or_tree, samples=5000, seed=11)
+        b = monte_carlo_probability(simple_or_tree, samples=5000, seed=11)
+        assert a == b
+
+    def test_interval_narrows_with_samples(self, simple_or_tree):
+        small = monte_carlo_probability(simple_or_tree, samples=1000,
+                                        seed=1)
+        large = monte_carlo_probability(simple_or_tree, samples=100_000,
+                                        seed=1)
+        assert (large.ci_high - large.ci_low) < \
+            (small.ci_high - small.ci_low)
+
+    def test_rejects_nonpositive_samples(self, simple_or_tree):
+        with pytest.raises(SimulationError):
+            monte_carlo_probability(simple_or_tree, samples=0)
+
+
+class TestCutSetFrequencies:
+    def test_and_tree_all_leaves_always_present(self, simple_and_tree):
+        freqs = monte_carlo_cut_set_frequencies(simple_and_tree,
+                                                samples=20_000, seed=2)
+        assert freqs["A"] == 1.0
+        assert freqs["B"] == 1.0
+
+    def test_dominant_leaf_ranks_highest(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            primary("common", 0.2), primary("rare", 0.001)]))
+        freqs = monte_carlo_cut_set_frequencies(tree, samples=50_000,
+                                                seed=3)
+        assert freqs["common"] > freqs["rare"]
+
+    def test_zero_hazard_gives_zero_frequencies(self):
+        tree = FaultTree(hazard("H", OR_gate=[primary("a", 0.0)]))
+        freqs = monte_carlo_cut_set_frequencies(tree, samples=100, seed=0)
+        assert freqs == {"a": 0.0}

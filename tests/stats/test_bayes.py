@@ -1,0 +1,126 @@
+"""Bayesian updating: Beta/Gamma conjugacy and credible intervals."""
+
+import random
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.stats import (
+    Beta,
+    GammaDist,
+    jeffreys_prior,
+    uniform_prior,
+    update_binomial,
+    update_poisson_exposure,
+)
+
+
+class TestBeta:
+    def test_mean_variance(self):
+        b = Beta(2.0, 3.0)
+        assert b.mean == pytest.approx(0.4)
+        assert b.variance == pytest.approx(0.04)
+
+    def test_cdf_symmetric_case(self):
+        b = Beta(2.0, 2.0)
+        assert b.cdf(0.5) == pytest.approx(0.5)
+        assert b.cdf(0.0) == 0.0
+        assert b.cdf(1.0) == 1.0
+
+    def test_uniform_special_case(self):
+        b = Beta(1.0, 1.0)
+        for x in (0.1, 0.5, 0.9):
+            assert b.cdf(x) == pytest.approx(x)
+            assert b.pdf(x) == pytest.approx(1.0)
+
+    def test_ppf_inverts_cdf(self):
+        b = Beta(0.5, 4.0)
+        for p in (0.05, 0.5, 0.95):
+            assert b.cdf(b.ppf(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_sampling_mean(self):
+        b = Beta(3.0, 7.0)
+        rng = random.Random(1)
+        samples = b.sample_many(rng, 20_000)
+        assert sum(samples) / len(samples) == pytest.approx(0.3,
+                                                            abs=0.01)
+
+    def test_credible_interval_ordering(self):
+        lo, hi = Beta(2.0, 8.0).credible_interval(0.9)
+        assert 0.0 < lo < 0.2 < hi < 1.0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DistributionError):
+            Beta(0.0, 1.0)
+
+
+class TestGamma:
+    def test_mean_variance(self):
+        g = GammaDist(4.0, 2.0)
+        assert g.mean == pytest.approx(2.0)
+        assert g.variance == pytest.approx(1.0)
+
+    def test_exponential_special_case(self):
+        import math
+        g = GammaDist(1.0, 0.5)
+        assert g.cdf(2.0) == pytest.approx(1.0 - math.exp(-1.0))
+        assert g.pdf(0.0) == pytest.approx(0.5)
+
+    def test_ppf_inverts_cdf(self):
+        g = GammaDist(2.5, 1.5)
+        for p in (0.1, 0.5, 0.9):
+            assert g.cdf(g.ppf(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DistributionError):
+            GammaDist(1.0, 0.0)
+
+
+class TestBinomialUpdate:
+    def test_posterior_counts(self):
+        posterior = update_binomial(uniform_prior(), failures=3,
+                                    demands=10)
+        assert posterior.a == 4.0
+        assert posterior.b == 8.0
+
+    def test_posterior_concentrates_with_data(self):
+        little = update_binomial(jeffreys_prior(), 1, 10)
+        lots = update_binomial(jeffreys_prior(), 100, 1000)
+        assert lots.variance < little.variance
+        assert lots.mean == pytest.approx(0.1, abs=0.005)
+
+    def test_zero_failures_still_informative(self):
+        posterior = update_binomial(jeffreys_prior(), 0, 1000)
+        _lo, hi = posterior.credible_interval(0.95)
+        assert hi < 0.005   # strong evidence the probability is tiny
+
+    def test_sequential_equals_batch(self):
+        batch = update_binomial(jeffreys_prior(), 5, 20)
+        seq = update_binomial(
+            update_binomial(jeffreys_prior(), 2, 8), 3, 12)
+        assert (seq.a, seq.b) == (batch.a, batch.b)
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(DistributionError):
+            update_binomial(uniform_prior(), 5, 3)
+
+
+class TestPoissonUpdate:
+    def test_posterior_parameters(self):
+        posterior = update_poisson_exposure(0.5, 0.0001, events=13,
+                                            exposure=100.0)
+        assert posterior.k == pytest.approx(13.5)
+        assert posterior.rate == pytest.approx(100.0001)
+        assert posterior.mean == pytest.approx(0.135, abs=0.001)
+
+    def test_recovers_elbtunnel_style_rate(self):
+        """13 HVs under ODfinal in 100 minutes -> rate ~0.13/min."""
+        posterior = update_poisson_exposure(0.5, 1e-6, 13, 100.0)
+        lo, hi = posterior.credible_interval(0.95)
+        assert lo < 0.13 < hi
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DistributionError):
+            update_poisson_exposure(0.5, 0.1, -1, 10.0)
+        with pytest.raises(DistributionError):
+            update_poisson_exposure(0.5, 0.1, 1, 0.0)

@@ -1,0 +1,255 @@
+"""Distribution correctness: closed forms, inverses, sampling, truncation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.stats import (
+    Exponential,
+    LogNormal,
+    Normal,
+    PointMass,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+
+ALL_DISTRIBUTIONS = [
+    Normal(0.0, 1.0),
+    Normal(4.0, 2.0),
+    TruncatedNormal(4.0, 2.0, lower=0.0),
+    TruncatedNormal(0.0, 1.0, lower=-1.0, upper=2.0),
+    Exponential(0.5),
+    Weibull(2.0, 3.0),
+    Weibull(0.8, 1.0),
+    LogNormal(0.0, 0.5),
+    Uniform(-1.0, 3.0),
+]
+
+
+class TestGenericContract:
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS,
+                             ids=lambda d: repr(d))
+    def test_cdf_monotone(self, dist):
+        xs = [-5.0 + i * 0.5 for i in range(30)]
+        values = [dist.cdf(x) for x in xs]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS,
+                             ids=lambda d: repr(d))
+    def test_cdf_limits(self, dist):
+        assert dist.cdf(-1e9) == pytest.approx(0.0, abs=1e-12)
+        assert dist.cdf(1e9) == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS,
+                             ids=lambda d: repr(d))
+    def test_ppf_inverts_cdf(self, dist):
+        for p in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            assert dist.cdf(dist.ppf(p)) == pytest.approx(p, abs=1e-7)
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS,
+                             ids=lambda d: repr(d))
+    def test_sf_complements_cdf(self, dist):
+        for x in (-2.0, 0.0, 1.0, 4.0):
+            assert dist.sf(x) == pytest.approx(1.0 - dist.cdf(x), abs=1e-12)
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS,
+                             ids=lambda d: repr(d))
+    def test_sample_mean_matches(self, dist):
+        rng = random.Random(123)
+        samples = dist.sample_many(rng, 20_000)
+        mean = sum(samples) / len(samples)
+        tol = 4.0 * dist.std / math.sqrt(len(samples))
+        assert mean == pytest.approx(dist.mean, abs=tol)
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS,
+                             ids=lambda d: repr(d))
+    def test_pdf_integrates_to_cdf_increment(self, dist):
+        # Trapezoid integral of the pdf over a quantile window matches
+        # the cdf difference.
+        lo, hi = dist.ppf(0.2), dist.ppf(0.8)
+        n = 4000
+        step = (hi - lo) / n
+        integral = 0.5 * (dist.pdf(lo) + dist.pdf(hi)) * step
+        for i in range(1, n):
+            integral += dist.pdf(lo + i * step) * step
+        assert integral == pytest.approx(0.6, abs=2e-3)
+
+
+class TestNormal:
+    def test_standard_values(self):
+        n = Normal(0.0, 1.0)
+        assert n.cdf(0.0) == pytest.approx(0.5)
+        assert n.cdf(1.96) == pytest.approx(0.975, abs=1e-4)
+        assert n.pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(DistributionError):
+            Normal(0.0, 0.0)
+        with pytest.raises(DistributionError):
+            Normal(0.0, -1.0)
+
+    def test_ppf_rejects_bounds(self):
+        with pytest.raises(DistributionError):
+            Normal(0.0, 1.0).ppf(0.0)
+        with pytest.raises(DistributionError):
+            Normal(0.0, 1.0).ppf(1.0)
+
+    @given(st.floats(-10, 10), st.floats(0.1, 10),
+           st.floats(0.001, 0.999))
+    @settings(max_examples=60)
+    def test_ppf_cdf_roundtrip_property(self, mu, sigma, p):
+        n = Normal(mu, sigma)
+        assert n.cdf(n.ppf(p)) == pytest.approx(p, abs=1e-6)
+
+
+class TestTruncatedNormal:
+    def test_matches_paper_model(self):
+        """The paper's P_OHV(Time <= T): normalized Gaussian on [0, inf)."""
+        t = TruncatedNormal(4.0, 2.0, lower=0.0)
+        plain = Normal(4.0, 2.0)
+        mass = 1.0 - plain.cdf(0.0)
+        for x in (1.0, 4.0, 8.0, 15.6, 19.0, 30.0):
+            expected = (plain.cdf(x) - plain.cdf(0.0)) / mass
+            assert t.cdf(x) == pytest.approx(expected, rel=1e-10)
+
+    def test_support_is_respected(self):
+        t = TruncatedNormal(0.0, 1.0, lower=-1.0, upper=2.0)
+        assert t.cdf(-1.0) == 0.0
+        assert t.cdf(2.0) == 1.0
+        assert t.pdf(-1.5) == 0.0
+        assert t.pdf(2.5) == 0.0
+
+    def test_mean_shifts_up_when_left_truncated(self):
+        t = TruncatedNormal(4.0, 2.0, lower=0.0)
+        assert t.mean > 4.0
+        assert t.variance < 4.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(DistributionError):
+            TruncatedNormal(0.0, 1.0, lower=2.0, upper=1.0)
+
+    def test_rejects_zero_mass_interval(self):
+        with pytest.raises(DistributionError):
+            TruncatedNormal(0.0, 1.0, lower=50.0, upper=51.0)
+
+    def test_mgf_at_zero_is_one(self):
+        t = TruncatedNormal(4.0, 2.0, lower=0.0)
+        assert t.mgf(0.0) == pytest.approx(1.0, rel=1e-9)
+
+    def test_mgf_matches_sampling(self):
+        t = TruncatedNormal(4.0, 2.0, lower=0.0)
+        rng = random.Random(5)
+        lam = 0.13
+        samples = t.sample_many(rng, 40_000)
+        empirical = sum(math.exp(-lam * x) for x in samples) / len(samples)
+        assert t.mgf(-lam) == pytest.approx(empirical, rel=0.01)
+
+    def test_capped_mgf_matches_sampling(self):
+        t = TruncatedNormal(4.0, 2.0, lower=0.0)
+        rng = random.Random(6)
+        lam, cap = 0.13, 5.0
+        samples = t.sample_many(rng, 40_000)
+        empirical = sum(math.exp(-lam * min(x, cap)) for x in samples) \
+            / len(samples)
+        assert t.capped_mgf(-lam, cap) == pytest.approx(empirical, rel=0.01)
+
+    def test_capped_mgf_limits(self):
+        t = TruncatedNormal(4.0, 2.0, lower=0.0)
+        # Cap below the support: window is exactly the cap.
+        assert t.capped_mgf(-0.1, 0.0) == pytest.approx(1.0)
+        # Huge cap: reduces to the plain MGF.
+        assert t.capped_mgf(-0.1, 1e9) == pytest.approx(t.mgf(-0.1))
+
+    def test_capped_mgf_monotone_in_cap(self):
+        t = TruncatedNormal(4.0, 2.0, lower=0.0)
+        values = [t.capped_mgf(-0.2, cap) for cap in (1.0, 2.0, 4.0, 8.0)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestExponential:
+    def test_memoryless_cdf(self):
+        e = Exponential(2.0)
+        assert e.cdf(1.0) == pytest.approx(1.0 - math.exp(-2.0))
+        assert e.cdf(-1.0) == 0.0
+
+    def test_mean_variance(self):
+        e = Exponential(4.0)
+        assert e.mean == pytest.approx(0.25)
+        assert e.variance == pytest.approx(0.0625)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(DistributionError):
+            Exponential(0.0)
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        w = Weibull(1.0, 2.0)
+        e = Exponential(0.5)
+        for x in (0.5, 1.0, 3.0):
+            assert w.cdf(x) == pytest.approx(e.cdf(x), rel=1e-12)
+
+    def test_pdf_at_zero_by_shape(self):
+        assert Weibull(0.5, 1.0).pdf(0.0) == math.inf
+        assert Weibull(1.0, 2.0).pdf(0.0) == pytest.approx(0.5)
+        assert Weibull(2.0, 1.0).pdf(0.0) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DistributionError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            Weibull(1.0, -2.0)
+
+
+class TestLogNormal:
+    def test_median_is_exp_mu(self):
+        ln = LogNormal(1.0, 0.7)
+        assert ln.ppf(0.5) == pytest.approx(math.exp(1.0), rel=1e-6)
+
+    def test_support_is_positive(self):
+        ln = LogNormal(0.0, 1.0)
+        assert ln.cdf(0.0) == 0.0
+        assert ln.pdf(-1.0) == 0.0
+
+
+class TestUniform:
+    def test_linear_cdf(self):
+        u = Uniform(2.0, 6.0)
+        assert u.cdf(3.0) == pytest.approx(0.25)
+        assert u.pdf(5.0) == pytest.approx(0.25)
+        assert u.ppf(0.5) == pytest.approx(4.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(DistributionError):
+            Uniform(1.0, 1.0)
+
+
+class TestPointMass:
+    def test_step_cdf(self):
+        p = PointMass(3.0)
+        assert p.cdf(2.999) == 0.0
+        assert p.cdf(3.0) == 1.0
+        assert p.mean == 3.0
+        assert p.variance == 0.0
+
+    def test_sampling_is_constant(self):
+        p = PointMass(7.0)
+        rng = random.Random(0)
+        assert p.sample_many(rng, 5) == [7.0] * 5
+
+
+class TestSampling:
+    def test_sample_many_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            Normal(0, 1).sample_many(random.Random(0), -1)
+
+    def test_deterministic_under_seed(self):
+        d = Weibull(2.0, 1.0)
+        a = d.sample_many(random.Random(42), 10)
+        b = d.sample_many(random.Random(42), 10)
+        assert a == b

@@ -1,0 +1,126 @@
+"""Estimation: fits recover parameters, intervals behave."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.stats import (
+    Exponential,
+    Normal,
+    Weibull,
+    fit_exponential_mle,
+    fit_normal_moments,
+    fit_weibull_moments,
+    normal_ci,
+    wilson_ci,
+)
+
+
+class TestNormalFit:
+    def test_recovers_parameters(self):
+        rng = random.Random(11)
+        samples = Normal(4.0, 2.0).sample_many(rng, 20_000)
+        fit = fit_normal_moments(samples)
+        assert fit.mu == pytest.approx(4.0, abs=0.1)
+        assert fit.sigma == pytest.approx(2.0, abs=0.1)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(DistributionError):
+            fit_normal_moments([1.0])
+
+    def test_rejects_constant_samples(self):
+        with pytest.raises(DistributionError):
+            fit_normal_moments([2.0, 2.0, 2.0])
+
+
+class TestExponentialFit:
+    def test_recovers_rate(self):
+        rng = random.Random(12)
+        samples = Exponential(0.5).sample_many(rng, 20_000)
+        fit = fit_exponential_mle(samples)
+        assert fit.lam == pytest.approx(0.5, rel=0.05)
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(DistributionError):
+            fit_exponential_mle([1.0, -0.5])
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(DistributionError):
+            fit_exponential_mle([0.0, 0.0])
+
+
+class TestWeibullFit:
+    def test_recovers_parameters(self):
+        rng = random.Random(13)
+        samples = Weibull(2.0, 3.0).sample_many(rng, 20_000)
+        fit = fit_weibull_moments(samples)
+        assert fit.k == pytest.approx(2.0, rel=0.1)
+        assert fit.lam == pytest.approx(3.0, rel=0.05)
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(DistributionError):
+            fit_weibull_moments([1.0, 0.0])
+
+
+class TestNormalCI:
+    def test_symmetric_around_mean(self):
+        lo, hi = normal_ci(10.0, 2.0, 0.95)
+        assert lo == pytest.approx(10.0 - 1.96 * 2.0, abs=1e-3)
+        assert hi == pytest.approx(10.0 + 1.96 * 2.0, abs=1e-3)
+
+    def test_zero_stderr_collapses(self):
+        assert normal_ci(3.0, 0.0) == (3.0, 3.0)
+
+    def test_rejects_negative_stderr(self):
+        with pytest.raises(DistributionError):
+            normal_ci(0.0, -1.0)
+
+
+class TestWilsonCI:
+    def test_stays_in_unit_interval_at_zero(self):
+        lo, hi = wilson_ci(0, 1000)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_stays_in_unit_interval_at_full(self):
+        lo, hi = wilson_ci(1000, 1000)
+        assert hi == 1.0
+        assert lo < 1.0
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_ci(30, 200)
+        assert lo < 30 / 200 < hi
+
+    def test_narrows_with_more_trials(self):
+        narrow = wilson_ci(100, 10_000)
+        wide = wilson_ci(1, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DistributionError):
+            wilson_ci(5, 0)
+        with pytest.raises(DistributionError):
+            wilson_ci(-1, 10)
+        with pytest.raises(DistributionError):
+            wilson_ci(11, 10)
+        with pytest.raises(DistributionError):
+            wilson_ci(1, 10, confidence=1.5)
+
+    @given(st.integers(0, 50), st.integers(50, 500))
+    @settings(max_examples=60)
+    def test_interval_ordering_property(self, successes, trials):
+        lo, hi = wilson_ci(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_coverage_simulation(self):
+        """~95% of seeded binomial experiments cover the true p."""
+        rng = random.Random(99)
+        p_true, trials, covered, runs = 0.05, 400, 0, 300
+        for _ in range(runs):
+            successes = sum(rng.random() < p_true for _ in range(trials))
+            lo, hi = wilson_ci(successes, trials)
+            covered += lo <= p_true <= hi
+        assert covered / runs > 0.90

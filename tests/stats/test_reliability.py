@@ -1,0 +1,121 @@
+"""Reliability models: closed forms, monotonicity, clamping."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.stats import (
+    ConstantRateModel,
+    ExposureWindowModel,
+    MissionTimeModel,
+    PerDemandModel,
+    WeibullHazardModel,
+)
+
+ALL_MODELS = [
+    ConstantRateModel(0.1),
+    ExposureWindowModel(0.05),
+    PerDemandModel(0.01),
+    MissionTimeModel(0.02, 10.0),
+    WeibullHazardModel(2.0, 100.0),
+]
+
+
+class TestGenericContract:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_zero_exposure_is_zero(self, model):
+        assert model(0.0) == 0.0
+        assert model(-5.0) == 0.0
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_monotone_nondecreasing(self, model):
+        xs = [0.5 * i for i in range(40)]
+        values = [model(x) for x in xs]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_always_in_unit_interval(self, model):
+        for x in (0.0, 1e-9, 1.0, 1e3, 1e9):
+            assert 0.0 <= model(x) <= 1.0
+
+
+class TestConstantRate:
+    def test_closed_form(self):
+        m = ConstantRateModel(0.5)
+        assert m(2.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_zero_rate_never_fails(self):
+        assert ConstantRateModel(0.0)(100.0) == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(DistributionError):
+            ConstantRateModel(-0.1)
+
+
+class TestExposureWindow:
+    def test_matches_elbtunnel_parameterization(self):
+        """P(HV ODfinal)(T2) = 1 - exp(-lambda T2), the paper's idiom."""
+        m = ExposureWindowModel(0.13)
+        assert m(15.6) == pytest.approx(1.0 - math.exp(-0.13 * 15.6))
+        assert m(15.6) > 0.8          # the paper's ">80%" checkpoint
+        assert m(30.0) > 0.95         # and its ">95%" checkpoint
+
+    @given(st.floats(1e-6, 1.0), st.floats(0.01, 100.0))
+    @settings(max_examples=50)
+    def test_agrees_with_constant_rate(self, rate, window):
+        assert ExposureWindowModel(rate)(window) == pytest.approx(
+            ConstantRateModel(rate)(window), rel=1e-12)
+
+
+class TestPerDemand:
+    def test_closed_form(self):
+        m = PerDemandModel(0.1)
+        assert m(1.0) == pytest.approx(0.1)
+        assert m(2.0) == pytest.approx(1.0 - 0.81)
+
+    def test_certain_failure(self):
+        assert PerDemandModel(1.0)(1.0) == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DistributionError):
+            PerDemandModel(1.5)
+
+    @given(st.floats(0.0, 0.5), st.integers(1, 50))
+    @settings(max_examples=50)
+    def test_equals_complement_power(self, q, n):
+        assert PerDemandModel(q)(float(n)) == pytest.approx(
+            1.0 - (1.0 - q) ** n, rel=1e-9, abs=1e-12)
+
+
+class TestMissionTime:
+    def test_closed_form(self):
+        m = MissionTimeModel(rate=0.1, mission_time=5.0)
+        assert m(2.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            MissionTimeModel(-1.0, 1.0)
+        with pytest.raises(DistributionError):
+            MissionTimeModel(1.0, -1.0)
+
+
+class TestWeibullHazard:
+    def test_shape_one_reduces_to_constant_rate(self):
+        w = WeibullHazardModel(1.0, 10.0)
+        c = ConstantRateModel(0.1)
+        for t in (0.5, 5.0, 20.0):
+            assert w(t) == pytest.approx(c(t), rel=1e-12)
+
+    def test_wearout_accelerates(self):
+        """shape > 1: failure probability grows faster than linear early."""
+        w = WeibullHazardModel(3.0, 100.0)
+        assert w(10.0) / w(5.0) > 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            WeibullHazardModel(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            WeibullHazardModel(1.0, 0.0)

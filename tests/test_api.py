@@ -1,0 +1,75 @@
+"""Public API surface: exports exist, are documented, and are stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.fta",
+    "repro.bdd",
+    "repro.stats",
+    "repro.opt",
+    "repro.sim",
+    "repro.elbtunnel",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_documented(package):
+    """Every exported class/function carries a docstring."""
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"undocumented in {package}: {undocumented}"
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__.count(".") == 2
+
+
+def test_error_hierarchy():
+    """Every library error derives from ReproError, so one except
+    clause catches everything."""
+    from repro import errors
+    subclasses = [
+        errors.FaultTreeError, errors.ValidationError,
+        errors.QuantificationError, errors.DistributionError,
+        errors.OptimizationError, errors.BDDError,
+        errors.SimulationError, errors.ModelError,
+        errors.SerializationError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError)
+    assert issubclass(errors.ValidationError, errors.FaultTreeError)
+
+
+def test_no_cross_contamination_of_names():
+    """Key classes resolve to a single canonical definition."""
+    from repro.core import SafetyModel as a
+    from repro.core.model import SafetyModel as b
+    assert a is b
+    from repro.fta import FaultTree as c
+    from repro.fta.tree import FaultTree as d
+    assert c is d

@@ -1,0 +1,81 @@
+"""CLI: every subcommand runs and prints the expected artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fta import tree_to_json
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_study(self, capsys):
+        assert main(["study"]) == 0
+        out = capsys.readouterr().out
+        assert "19" in out and "15.6" in out
+
+    def test_optimize(self, capsys):
+        assert main(["optimize", "--method", "nelder_mead"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "without_LB4" in out and "with_LB4" in out
+
+    @pytest.mark.parametrize("tree", ["fig2", "collision", "false-alarm"])
+    def test_cutsets_builtin(self, capsys, tree):
+        assert main(["cutsets", "--tree", tree]) == 0
+        out = capsys.readouterr().out
+        assert "Minimal cut sets" in out
+
+    def test_cutsets_from_file(self, capsys, tmp_path, simple_or_tree):
+        path = tmp_path / "tree.json"
+        path.write_text(tree_to_json(simple_or_tree))
+        assert main(["cutsets", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "{A}" in out and "{B}" in out
+
+    def test_report_from_file(self, capsys, tmp_path, bridge_tree):
+        path = tmp_path / "tree.json"
+        path.write_text(tree_to_json(bridge_tree))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Top minimal cut sets" in out
+        assert "Importance ranking" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--days", "20", "--variant",
+                     "with_LB4"]) == 0
+        out = capsys.readouterr().out
+        assert "P(alarm|OHV)" in out
+        assert "collisions" in out
+
+
+class TestErrors:
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["report", "/nonexistent/tree.json"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_invalid_json_is_reported(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["report", str(path)]) == 1
+        assert "error" in capsys.readouterr().err

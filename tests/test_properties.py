@@ -1,0 +1,105 @@
+"""Cross-module property-based tests on random coherent fault trees.
+
+Invariants every analysis path must satisfy simultaneously, checked on
+randomly generated trees:
+
+* probabilities live in [0, 1] and the method ordering
+  ``rare_event >= mcub >= exact`` holds,
+* every MOCUS cut set satisfies the structure function and is minimal,
+* serialization round-trips preserve the exact probability,
+* modular quantification equals monolithic quantification,
+* coherent structure functions are monotone (flipping a leaf on never
+  un-fails the system).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fta import (
+    hazard_probability,
+    modular_probability,
+    mocus,
+    tree_from_json,
+    tree_to_json,
+)
+from tests.fta.test_cutsets import random_coherent_tree
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=60, deadline=None)
+def test_method_ordering_on_random_trees(seed):
+    tree = random_coherent_tree(seed)
+    rare = hazard_probability(tree, method="rare_event")
+    mcub = hazard_probability(tree, method="mcub")
+    exact = hazard_probability(tree, method="exact")
+    assert 0.0 <= exact <= 1.0
+    assert rare >= mcub - 1e-12
+    assert mcub >= exact - 1e-12
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_cut_sets_satisfy_and_are_minimal(seed):
+    tree = random_coherent_tree(seed)
+    leaves = [e.name for e in tree.primary_failures]
+    for cut in mocus(tree):
+        assignment = {name: name in cut.failures for name in leaves}
+        assert tree.evaluate(assignment)
+        for member in cut.failures:
+            reduced = dict(assignment)
+            reduced[member] = False
+            assert not tree.evaluate(reduced)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_serialization_preserves_probability(seed):
+    tree = random_coherent_tree(seed)
+    rebuilt = tree_from_json(tree_to_json(tree))
+    assert hazard_probability(rebuilt, method="exact") == pytest.approx(
+        hazard_probability(tree, method="exact"), rel=1e-12)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_modular_equals_monolithic(seed):
+    tree = random_coherent_tree(seed)
+    assert modular_probability(tree, method="exact") == pytest.approx(
+        hazard_probability(tree, method="exact"), rel=1e-9)
+
+
+@given(st.integers(0, 100_000), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_structure_function_monotone(seed, flip_seed):
+    import random
+    tree = random_coherent_tree(seed)
+    leaves = [e.name for e in tree.primary_failures]
+    rng = random.Random(flip_seed)
+    assignment = {name: rng.random() < 0.5 for name in leaves}
+    before = tree.evaluate(assignment)
+    # Turning one more leaf ON must never turn the hazard OFF.
+    for name in leaves:
+        if not assignment[name]:
+            flipped = dict(assignment)
+            flipped[name] = True
+            assert tree.evaluate(flipped) >= before
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_probability_monotone_in_leaf_probability(seed):
+    """Coherent trees: raising any leaf probability never lowers P(H)."""
+    import random
+    tree = random_coherent_tree(seed)
+    leaves = [e.name for e in tree.primary_failures]
+    rng = random.Random(seed ^ 0xBEEF)
+    base = {name: rng.uniform(0.05, 0.5) for name in leaves}
+    p_base = hazard_probability(tree, base, method="exact")
+    bumped_leaf = rng.choice(leaves)
+    bumped = dict(base)
+    bumped[bumped_leaf] = min(1.0, base[bumped_leaf] + 0.3)
+    p_bumped = hazard_probability(tree, bumped, method="exact")
+    assert p_bumped >= p_base - 1e-12

@@ -1,0 +1,72 @@
+"""ASCII charts: structure and content."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz import histogram, line_chart
+
+
+class TestLineChart:
+    @pytest.fixture
+    def series(self):
+        return {
+            "rising": [(float(i), float(i)) for i in range(10)],
+            "flat": [(float(i), 4.0) for i in range(10)],
+        }
+
+    def test_contains_legend(self, series):
+        text = line_chart(series)
+        assert "rising" in text and "flat" in text
+
+    def test_height_and_axis(self, series):
+        text = line_chart(series, height=8, title="chart")
+        lines = text.splitlines()
+        assert lines[0] == "chart"
+        axis_lines = [l for l in lines if l.lstrip().startswith("+")]
+        assert len(axis_lines) == 1
+
+    def test_markers_placed(self, series):
+        text = line_chart(series)
+        assert "o" in text and "x" in text
+
+    def test_y_range_override(self, series):
+        text = line_chart(series, y_min=0.0, y_max=100.0)
+        assert "100" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ReproError):
+            line_chart({"a": [(0.0, 0.0)]}, width=2)
+
+    def test_fig6_shape_visible(self):
+        """The real use: the Fig. 6 curves render without error."""
+        from repro.elbtunnel import fig6_series
+        text = line_chart(fig6_series(points=15), y_min=0.0, y_max=1.0)
+        assert "without_LB4" in text
+
+
+class TestHistogram:
+    def test_bins_and_counts(self):
+        text = histogram([1.0] * 5 + [2.0] * 10, bins=2)
+        lines = text.splitlines()
+        assert lines[0].endswith("5")
+        assert lines[1].endswith("10")
+
+    def test_peak_bar_has_full_width(self):
+        text = histogram([0.0, 1.0, 1.0, 1.0], bins=2, width=10)
+        assert "#" * 10 in text
+
+    def test_constant_values(self):
+        text = histogram([3.0, 3.0], bins=3)
+        assert "2" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            histogram([])
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ReproError):
+            histogram([1.0], bins=0)

@@ -1,0 +1,89 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz import format_series, format_surface, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.0], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines[:2]}) >= 1
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_compaction(self):
+        text = format_table(["x"], [[0.000123456789]])
+        assert "0.000123457" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        strip = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert strip[0] == " " and strip[-1] == "@"
+
+
+class TestFormatSeries:
+    def test_renders_all_series(self):
+        series = {"a": [(0.0, 0.1), (1.0, 0.2)],
+                  "b": [(0.0, 0.3), (1.0, 0.4)]}
+        text = format_series(series)
+        assert "a" in text and "b" in text
+        assert "0.1000" in text and "0.4000" in text
+
+    def test_rejects_mismatched_grids(self):
+        series = {"a": [(0.0, 0.1)], "b": [(5.0, 0.3)]}
+        with pytest.raises(ReproError):
+            format_series(series)
+
+    def test_subsamples_long_series(self):
+        series = {"a": [(float(i), 0.0) for i in range(100)]}
+        text = format_series(series, max_points=5)
+        data_lines = [l for l in text.splitlines()
+                      if l and l[0].isdigit()]
+        assert len(data_lines) <= 6
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            format_series({})
+
+
+class TestFormatSurface:
+    def test_marks_minimum(self):
+        z = [[3.0, 2.0], [1.0, 4.0]]
+        text = format_surface([0.0, 1.0], [0.0, 1.0], z)
+        assert "m" in text
+        assert "z=1" in text
+
+    def test_reports_minimum_location(self):
+        z = [[3.0, 2.0], [0.5, 4.0]]
+        text = format_surface([10.0, 20.0], [30.0, 40.0], z)
+        assert "(20, 30)" in text
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ReproError):
+            format_surface([], [1.0], [[1.0]])
