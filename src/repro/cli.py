@@ -11,6 +11,8 @@ without writing Python:
 * ``cutsets``   — minimal cut sets of a built-in or JSON fault tree
 * ``report``    — full quantitative FTA report of a JSON fault tree
 * ``simulate``  — run the traffic simulation for a design variant
+* ``batch``     — run a JSON list of evaluation jobs through the
+  :mod:`repro.engine` (parallel workers, content-addressed cache)
 """
 
 from __future__ import annotations
@@ -72,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--timer2", type=float, default=15.6,
                           help="runtime of timer 2 in minutes")
     simulate.add_argument("--seed", type=int, default=0)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON list of engine jobs (quantify/sweep/montecarlo)")
+    batch.add_argument("file", help="JSON job list file")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes for shardable jobs")
+    batch.add_argument("--cache",
+                       help="JSON result-cache file persisted across runs")
+    batch.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit machine-readable JSON instead of text")
     return parser
 
 
@@ -181,6 +194,132 @@ def _cmd_simulate(args) -> None:
           f"[{lo:.4f}, {hi:.4f}]")
 
 
+def _batch_tree(spec):
+    """Resolve a batch job's ``tree`` spec: builtin name, file, or inline."""
+    from repro.errors import EngineError
+    from repro.fta import tree_from_dict, tree_from_json
+    if isinstance(spec, str):
+        from repro.elbtunnel import (
+            collision_fault_tree,
+            false_alarm_fault_tree,
+            fig2_fault_tree,
+        )
+        builders = {"fig2": fig2_fault_tree,
+                    "collision": collision_fault_tree,
+                    "false-alarm": false_alarm_fault_tree}
+        try:
+            return builders[spec]()
+        except KeyError:
+            raise EngineError(
+                f"unknown built-in tree {spec!r}; "
+                f"expected one of {sorted(builders)}") from None
+    if isinstance(spec, dict) and "file" in spec:
+        with open(spec["file"]) as handle:
+            return tree_from_json(handle.read())
+    if isinstance(spec, dict):
+        return tree_from_dict(spec)
+    raise EngineError(f"cannot interpret tree spec {spec!r}")
+
+
+def _batch_job(spec):
+    """Build one engine job from its JSON description."""
+    from repro.core.parametric import identity
+    from repro.engine import MonteCarloJob, QuantifyJob, SweepJob
+    from repro.errors import EngineError
+    from repro.fta import ConstraintPolicy
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise EngineError(
+            f"each job needs a 'type' field, got {spec!r}")
+    kind = spec["type"]
+    tree = _batch_tree(spec.get("tree", "fig2"))
+    try:
+        policy = ConstraintPolicy(spec.get("policy", "independent"))
+    except ValueError:
+        raise EngineError(
+            f"unknown policy {spec.get('policy')!r}; expected one of "
+            f"{[p.value for p in ConstraintPolicy]}") from None
+    method = spec.get("method", "rare_event")
+
+    def number(field, default, convert):
+        try:
+            return convert(spec.get(field, default))
+        except (TypeError, ValueError):
+            raise EngineError(
+                f"job field {field!r} must be a number, "
+                f"got {spec.get(field)!r}") from None
+    if kind == "quantify":
+        return QuantifyJob(tree, spec.get("probabilities"),
+                           method=method, policy=policy)
+    if kind == "sweep":
+        axes = spec.get("axes")
+        if not axes:
+            raise EngineError("sweep jobs need a non-empty 'axes' mapping")
+        # Each axis sweeps one leaf's probability directly; fixed
+        # 'probabilities' cover the leaves that are not swept.
+        assignments = {leaf: identity(leaf) for leaf in axes}
+        return SweepJob.from_axes(tree, assignments, axes,
+                                  method=method, policy=policy,
+                                  probabilities=spec.get("probabilities"))
+    if kind == "montecarlo":
+        return MonteCarloJob(tree, spec.get("probabilities"),
+                             samples=number("samples", 100_000, int),
+                             seed=number("seed", 0, int),
+                             confidence=number("confidence", 0.95, float),
+                             shards=number("shards", 1, int))
+    raise EngineError(
+        f"unknown job type {kind!r}; "
+        "expected 'quantify', 'sweep' or 'montecarlo'")
+
+
+def _cmd_batch(args) -> None:
+    import json
+    from repro.engine import Engine, MonteCarloJob, QuantifyJob, SweepJob
+    from repro.errors import EngineError
+    with open(args.file) as handle:
+        try:
+            spec = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise EngineError(f"invalid job file: {exc}") from None
+    job_specs = spec.get("jobs") if isinstance(spec, dict) else spec
+    if not isinstance(job_specs, list) or not job_specs:
+        raise EngineError(
+            "job file must be a non-empty list of jobs (or an object "
+            "with a 'jobs' list)")
+    engine = Engine(workers=args.workers, cache_path=args.cache)
+    jobs = [engine.submit(_batch_job(job_spec)) for job_spec in job_specs]
+    results = engine.run_all()
+    if args.cache:
+        engine.save_cache()
+
+    if args.as_json:
+        payload = [{"type": job.kind,
+                    "job": job.describe(),
+                    "result": job.encode_result(result)}
+                   for job, result in zip(jobs, results)]
+        print(json.dumps({"results": payload,
+                          "stats": engine.stats().cache}, indent=2,
+                         sort_keys=True))
+        return
+    print(f"batch: {len(results)} jobs from {args.file}")
+    for index, (job, result) in enumerate(zip(jobs, results), 1):
+        if isinstance(job, QuantifyJob):
+            line = f"P = {result:.6g}"
+        elif isinstance(job, SweepJob):
+            point, value = result.best()
+            at = ", ".join(f"{k}={v:g}" for k, v in sorted(point.items()))
+            line = (f"{len(result)} points, "
+                    f"min {value:.6g} at ({at}), "
+                    f"max {max(result.values):.6g}")
+        elif isinstance(job, MonteCarloJob):
+            line = (f"p = {result.probability:.6g} "
+                    f"[{result.ci_low:.6g}, {result.ci_high:.6g}] "
+                    f"@{result.confidence:.0%}, n={result.samples}")
+        else:  # pragma: no cover - job kinds are closed above
+            line = repr(result)
+        print(f"[{index}] {job.describe()}: {line}")
+    print(f"engine: {engine.stats().summary()}")
+
+
 _HANDLERS = {
     "study": _cmd_study,
     "optimize": _cmd_optimize,
@@ -189,6 +328,7 @@ _HANDLERS = {
     "cutsets": _cmd_cutsets,
     "report": _cmd_report,
     "simulate": _cmd_simulate,
+    "batch": _cmd_batch,
 }
 
 

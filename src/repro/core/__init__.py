@@ -24,11 +24,14 @@ from repro.core.parametric import (
     ParametricProbability,
     as_parametric,
     constant,
+    evaluate_grid,
     exceedance,
     from_cdf,
     from_function,
     from_model,
     from_table,
+    grid_points,
+    identity,
     scaled,
 )
 from repro.core.report import markdown_report
@@ -66,6 +69,9 @@ __all__ = [
     "from_model",
     "from_table",
     "scaled",
+    "identity",
+    "grid_points",
+    "evaluate_grid",
     "HazardCost",
     "CostModel",
     "HazardModel",

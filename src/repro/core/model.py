@@ -107,6 +107,40 @@ class FaultTreeHazard(HazardModel):
         return _quantify(self.tree, overrides, method=self.method,
                          policy=self.policy, cut_sets=self._cut_sets)
 
+    def to_sweep_job(self, axes=None, grid=None, chunks=None):
+        """Package a grid quantification of this hazard as an engine job.
+
+        Give exactly one of ``axes`` (per-parameter value lists whose
+        cartesian product forms the grid) or ``grid`` (explicit list of
+        parameter valuations).  The job inherits this hazard's tree,
+        assignments, method and policy.
+        """
+        from repro.engine.jobs import SweepJob
+        if (axes is None) == (grid is None):
+            raise ModelError("give exactly one of axes= or grid=")
+        if axes is not None:
+            return SweepJob.from_axes(self.tree, self.assignments, axes,
+                                      method=self.method,
+                                      policy=self.policy, chunks=chunks)
+        return SweepJob(self.tree, self.assignments, grid,
+                        method=self.method, policy=self.policy,
+                        chunks=chunks)
+
+    def probability_grid(self, axes=None, grid=None, engine=None):
+        """Quantify this hazard over a parameter grid.
+
+        The engine-backed fast path for grid sweeps: with an
+        :class:`~repro.engine.Engine` the evaluation is chunked across
+        its worker pool and content-address cached; without one the same
+        job runs serially in-process.  Returns a
+        :class:`~repro.engine.SweepResult` either way, with values
+        identical to calling :meth:`probability` point by point.
+        """
+        job = self.to_sweep_job(axes=axes, grid=grid)
+        if engine is None:
+            return job.run_serial()
+        return engine.run(job)
+
     def __repr__(self) -> str:
         return (f"FaultTreeHazard({self.tree.name!r}, "
                 f"method={self.method!r}, "

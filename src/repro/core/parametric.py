@@ -28,7 +28,18 @@ parameters, but rather only on a subset").
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable
+import itertools
+import uuid
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ModelError
 from repro.stats.distributions import Distribution
@@ -37,14 +48,44 @@ from repro.stats.reliability import ReliabilityModel
 Values = Dict[str, float]
 
 
+#: Per-process salt for opaque fingerprints: tokens of two different
+#: processes can never collide through a disk-persisted cache.
+_OPAQUE_SALT = uuid.uuid4().hex
+_opaque_counter = itertools.count(1)
+
+
+def _opaque_fingerprint(parameters: FrozenSet[str]) -> str:
+    """A unique content token for a probability we cannot introspect.
+
+    Raw callables are not content-addressable, so each instance gets a
+    token that is unique per object and per process: the engine cache
+    can still reuse results for the *same* probability object, but two
+    different callables can never be mistaken for one another — a
+    conservative cache miss instead of a silently wrong hit.
+    """
+    return (f"opaque#{_OPAQUE_SALT}:{next(_opaque_counter)}"
+            f"({','.join(sorted(parameters))})")
+
+
 class ParametricProbability:
-    """A probability as a function of named free parameters."""
+    """A probability as a function of named free parameters.
+
+    ``fingerprint`` is the content token :mod:`repro.engine` hashes into
+    cache keys.  The constructors in this module derive it from their
+    actual inputs (distribution parameters, exact float reprs, table
+    points), so rebuilt-but-identical probabilities share cache entries;
+    probabilities wrapping arbitrary callables get an opaque per-object
+    token instead — they never produce a wrong cache hit, only misses.
+    """
 
     def __init__(self, fn: Callable[[Values], float],
-                 parameters: Iterable[str], label: str = ""):
+                 parameters: Iterable[str], label: str = "",
+                 fingerprint: str = ""):
         self._fn = fn
         self.parameters: FrozenSet[str] = frozenset(parameters)
         self.label = label or "p(" + ", ".join(sorted(self.parameters)) + ")"
+        self.fingerprint = fingerprint \
+            or _opaque_fingerprint(self.parameters)
 
     def __call__(self, values: Values) -> float:
         missing = self.parameters - set(values)
@@ -73,7 +114,8 @@ class ParametricProbability:
         return ParametricProbability(
             lambda v: self(v) * other(v),
             self.parameters | other.parameters,
-            f"({self.label} & {other.label})")
+            f"({self.label} & {other.label})",
+            f"({self.fingerprint} & {other.fingerprint})")
 
     def __or__(self, other: "ParametricProbability") \
             -> "ParametricProbability":
@@ -81,18 +123,21 @@ class ParametricProbability:
         return ParametricProbability(
             lambda v: 1.0 - (1.0 - self(v)) * (1.0 - other(v)),
             self.parameters | other.parameters,
-            f"({self.label} | {other.label})")
+            f"({self.label} | {other.label})",
+            f"({self.fingerprint} | {other.fingerprint})")
 
     def __invert__(self) -> "ParametricProbability":
         return ParametricProbability(
-            lambda v: 1.0 - self(v), self.parameters, f"~{self.label}")
+            lambda v: 1.0 - self(v), self.parameters, f"~{self.label}",
+            f"~{self.fingerprint}")
 
     def __add__(self, other) -> "ParametricProbability":
         other = as_parametric(other)
         return ParametricProbability(
             lambda v: min(1.0, self(v) + other(v)),
             self.parameters | other.parameters,
-            f"({self.label} + {other.label})")
+            f"({self.label} + {other.label})",
+            f"({self.fingerprint} + {other.fingerprint})")
 
     __radd__ = __add__
 
@@ -101,13 +146,15 @@ class ParametricProbability:
         return ParametricProbability(
             lambda v: self(v) * other(v),
             self.parameters | other.parameters,
-            f"({self.label} * {other.label})")
+            f"({self.label} * {other.label})",
+            f"({self.fingerprint} * {other.fingerprint})")
 
     __rmul__ = __mul__
 
     def rename(self, label: str) -> "ParametricProbability":
         """Return the same probability with a new display label."""
-        return ParametricProbability(self._fn, self.parameters, label)
+        return ParametricProbability(self._fn, self.parameters, label,
+                                     self.fingerprint)
 
     def __repr__(self) -> str:
         return f"ParametricProbability({self.label})"
@@ -128,12 +175,18 @@ def constant(p: float, label: str = "") -> ParametricProbability:
     if not 0.0 <= p <= 1.0:
         raise ModelError(f"constant probability must be in [0, 1], got {p}")
     return ParametricProbability(
-        lambda _v: p, frozenset(), label or f"{p:g}")
+        lambda _v: p, frozenset(), label or f"{p:g}",
+        f"const({float(p)!r})")
 
 
 def from_function(fn: Callable[[Values], float], parameters: Iterable[str],
                   label: str = "") -> ParametricProbability:
-    """Wrap an arbitrary ``values -> probability`` function."""
+    """Wrap an arbitrary ``values -> probability`` function.
+
+    The callable cannot be content-hashed, so the result carries an
+    opaque per-object fingerprint: engine caches reuse results for this
+    object but never conflate two different functions.
+    """
     return ParametricProbability(fn, parameters, label)
 
 
@@ -146,7 +199,8 @@ def from_cdf(distribution: Distribution, parameter: str,
     """
     return ParametricProbability(
         lambda v: distribution.cdf(v[parameter]), {parameter},
-        label or f"P(X<= {parameter})")
+        label or f"P(X<= {parameter})",
+        f"cdf({distribution!r};{parameter})")
 
 
 def exceedance(distribution: Distribution, parameter: str,
@@ -155,7 +209,8 @@ def exceedance(distribution: Distribution, parameter: str,
     ``P(OT1)(T1)``)."""
     return ParametricProbability(
         lambda v: distribution.sf(v[parameter]), {parameter},
-        label or f"P(X> {parameter})")
+        label or f"P(X> {parameter})",
+        f"sf({distribution!r};{parameter})")
 
 
 def from_model(model: ReliabilityModel, parameter: str,
@@ -168,7 +223,8 @@ def from_model(model: ReliabilityModel, parameter: str,
     """
     return ParametricProbability(
         lambda v: model(v[parameter]), {parameter},
-        label or f"{type(model).__name__}({parameter})")
+        label or f"{type(model).__name__}({parameter})",
+        f"model({model!r};{parameter})")
 
 
 def from_table(points, parameter: str,
@@ -205,7 +261,58 @@ def from_table(points, parameter: str,
         raise ModelError(f"value {x} not covered")  # pragma: no cover
 
     return ParametricProbability(interpolate, {parameter},
-                                 label or f"table({parameter})")
+                                 label or f"table({parameter})",
+                                 f"table({table!r};{parameter})")
+
+
+def identity(parameter: str, label: str = "") -> ParametricProbability:
+    """The probability that *is* the named parameter (must lie in [0, 1]).
+
+    Lets a probability itself act as a free parameter — e.g. sweeping a
+    leaf probability directly over a grid (the ``repro batch`` sweep jobs
+    use exactly this).
+    """
+    return ParametricProbability(
+        lambda v: v[parameter], {parameter}, label or f"id({parameter})",
+        f"identity({parameter})")
+
+
+def grid_points(axes: Mapping[str, Sequence[float]]
+                ) -> List[Dict[str, float]]:
+    """Cartesian product of per-parameter value lists, in row-major order.
+
+    ``axes`` maps parameter names to the values each should take; the
+    result lists one ``{name: value}`` dict per grid point, with the last
+    axis varying fastest (axes iterate in insertion order).  This is the
+    grid construction behind engine sweep jobs
+    (:meth:`repro.engine.SweepJob.from_axes`).
+    """
+    if not axes:
+        raise ModelError("grid needs at least one axis")
+    names = list(axes)
+    columns = []
+    for name in names:
+        values = [float(v) for v in axes[name]]
+        if not values:
+            raise ModelError(f"axis {name!r} has no values")
+        columns.append(values)
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*columns)]
+
+
+def evaluate_grid(probability: ParametricProbability,
+                  axes: Mapping[str, Sequence[float]]
+                  ) -> List[Tuple[Dict[str, float], float]]:
+    """Evaluate a parametric probability on a full parameter grid.
+
+    Returns ``(values, probability)`` pairs in the row-major order of
+    :func:`grid_points`.  For fault-tree hazards (where each point costs
+    a quantification rather than a formula evaluation) use the
+    engine-backed :meth:`repro.core.model.FaultTreeHazard.probability_grid`
+    instead.
+    """
+    probability = as_parametric(probability)
+    return [(point, probability(point)) for point in grid_points(axes)]
 
 
 def scaled(probability: ParametricProbability,
@@ -215,4 +322,5 @@ def scaled(probability: ParametricProbability,
         raise ModelError(f"scale factor must be in [0, 1], got {factor}")
     return ParametricProbability(
         lambda v: factor * probability(v), probability.parameters,
-        f"{factor:g}*{probability.label}")
+        f"{factor:g}*{probability.label}",
+        f"scale({float(factor)!r};{probability.fingerprint})")

@@ -1,0 +1,75 @@
+"""Parallel batch-evaluation engine with content-addressed caching.
+
+The paper's safety-optimization loop quantifies the same fault trees
+over and over — across parameter grids (Fig. 5/6), optimizer
+trajectories, and Monte Carlo cross-checks.  This package turns those
+repeated evaluations into declarative *jobs* executed through one
+engine:
+
+* :mod:`repro.engine.jobs`        — job specs with validation,
+* :mod:`repro.engine.fingerprint` — canonical structural hashing so
+  semantically identical requests share a cache key,
+* :mod:`repro.engine.cache`       — an LRU result cache with optional
+  JSON disk persistence and hit/miss statistics,
+* :mod:`repro.engine.pool`        — a multiprocessing worker pool with a
+  serial fallback and deterministic per-shard Monte Carlo seeding,
+* :mod:`repro.engine.engine`      — the :class:`Engine` façade tying
+  jobs → cache → pool.
+
+Quickstart::
+
+    from repro.engine import Engine, SweepJob
+
+    engine = Engine(workers=4, cache_path="results.json")
+    job = SweepJob.from_axes(tree, {"OT1": p_ot1, "OT2": p_ot2},
+                             axes={"T1": t1_values, "T2": t2_values})
+    surface = engine.run(job)      # recomputed
+    surface = engine.run(job)      # served from the cache
+    print(engine.stats().summary())
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.engine import Engine, EngineStats
+from repro.engine.fingerprint import (
+    canonical_tree,
+    grid_fingerprint,
+    job_fingerprint,
+    model_fingerprint,
+    options_fingerprint,
+    parametric_fingerprint,
+    tree_fingerprint,
+    values_fingerprint,
+)
+from repro.engine.jobs import (
+    Job,
+    MonteCarloJob,
+    OptimizeJob,
+    QuantifyJob,
+    SweepJob,
+    SweepResult,
+)
+from repro.engine.pool import WorkerPool, default_workers, derive_seed
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "Job",
+    "QuantifyJob",
+    "SweepJob",
+    "SweepResult",
+    "MonteCarloJob",
+    "OptimizeJob",
+    "ResultCache",
+    "CacheStats",
+    "WorkerPool",
+    "default_workers",
+    "derive_seed",
+    "tree_fingerprint",
+    "canonical_tree",
+    "model_fingerprint",
+    "parametric_fingerprint",
+    "values_fingerprint",
+    "grid_fingerprint",
+    "options_fingerprint",
+    "job_fingerprint",
+]

@@ -1,0 +1,167 @@
+"""LRU result cache with optional JSON disk persistence.
+
+Keys are the content-addressed job fingerprints from
+:mod:`repro.engine.fingerprint`; values are whatever the owning job chose
+to store (the engine stores JSON-safe encoded results for persistable
+jobs, raw objects for memory-only ones).  The cache never interprets the
+values — it only orders, bounds and persists them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import EngineError
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+MISS = object()
+
+_PERSIST_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counters plus the derived hit rate, for reports."""
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "evictions": self.evictions,
+                "hit_rate": self.hit_rate}
+
+
+class ResultCache:
+    """A bounded least-recently-used mapping of fingerprints to results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries held in memory; the least recently used
+        entry is evicted on overflow.
+    path:
+        Optional JSON file for persistence.  When given and the file
+        exists, its entries are loaded eagerly; :meth:`save` writes the
+        current persistable entries back.  Entries stored with
+        ``persist=False`` (results that are not JSON-serializable, e.g.
+        optimizer runs) live in memory only.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 path: Optional[str] = None):
+        if capacity <= 0:
+            raise EngineError(f"cache capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.path = path
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Tuple[bool, Any]]" = OrderedDict()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any:
+        """Return the cached value or :data:`MISS`; refreshes recency."""
+        try:
+            entry = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return MISS
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[1]
+
+    def put(self, key: str, value: Any, persist: bool = True) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry if full.
+
+        ``persist=False`` keeps the entry out of :meth:`save` (for results
+        that cannot be represented in JSON).
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (persist, value)
+        self.stats.puts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are preserved)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Disk persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Optional[str] = None) -> int:
+        """Write persistable entries to JSON; returns the entry count.
+
+        The write goes through a temporary file in the target directory
+        and an atomic rename, so a crash mid-save never corrupts an
+        existing cache file.
+        """
+        target = path or self.path
+        if target is None:
+            raise EngineError("no cache path configured for save()")
+        payload = {
+            "version": _PERSIST_VERSION,
+            "entries": {key: value
+                        for key, (persist, value) in self._entries.items()
+                        if persist},
+        }
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_path, target)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.remove(temp_path)
+            raise
+        return len(payload["entries"])
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Merge entries from a JSON cache file; returns the count read."""
+        source = path or self.path
+        if source is None:
+            raise EngineError("no cache path configured for load()")
+        try:
+            with open(source) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise EngineError(
+                f"cannot load cache file {source!r}: {exc}") from None
+        if payload.get("version") != _PERSIST_VERSION:
+            raise EngineError(
+                f"unsupported cache file version "
+                f"{payload.get('version')!r} in {source!r}")
+        entries = payload.get("entries", {})
+        for key, value in entries.items():
+            self.put(key, value, persist=True)
+        # Loading is bookkeeping, not workload; keep the stats clean.
+        self.stats.puts -= len(entries)
+        return len(entries)

@@ -1,0 +1,129 @@
+"""The :class:`Engine` façade: jobs → cache → worker pool.
+
+The engine is the one object callers hold: submit declarative jobs
+(:mod:`repro.engine.jobs`), run them, and let the engine content-address
+every result so repeated requests — the same fault tree quantified at
+the same points by an optimizer, a parameter study re-run with one axis
+changed, a Monte Carlo check repeated across sessions via the disk cache
+— cost a dictionary lookup instead of a recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.cache import MISS, CacheStats, ResultCache
+from repro.engine.jobs import Job
+from repro.engine.pool import WorkerPool
+from repro.errors import EngineError
+
+
+@dataclass
+class EngineStats:
+    """A snapshot of one engine's activity."""
+
+    workers: int
+    submitted: int
+    executed: int
+    cache_size: int
+    cache: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """A compact human-readable stats line."""
+        return (f"workers={self.workers} submitted={self.submitted} "
+                f"executed={self.executed} cache_size={self.cache_size} "
+                f"hits={self.cache.get('hits', 0):.0f} "
+                f"misses={self.cache.get('misses', 0):.0f} "
+                f"hit_rate={self.cache.get('hit_rate', 0.0):.1%}")
+
+
+class Engine:
+    """Parallel batch evaluation with content-addressed result caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for shardable jobs (``None`` = CPU count;
+        1 = fully serial, no subprocesses).
+    cache:
+        A pre-built :class:`ResultCache` to share between engines;
+        mutually exclusive with ``cache_capacity``/``cache_path``.
+    cache_capacity:
+        LRU capacity of the engine-owned cache.
+    cache_path:
+        Optional JSON file backing the cache across sessions; loaded on
+        construction when present, written by :meth:`save_cache`.
+    """
+
+    def __init__(self, workers: Optional[int] = 1,
+                 cache: Optional[ResultCache] = None,
+                 cache_capacity: int = 1024,
+                 cache_path: Optional[str] = None):
+        self.pool = WorkerPool(workers)
+        if cache is not None:
+            if cache_path is not None:
+                raise EngineError(
+                    "pass either a cache object or a cache_path, not both")
+            self.cache = cache
+        else:
+            self.cache = ResultCache(capacity=cache_capacity,
+                                     path=cache_path)
+        self._pending: List[Job] = []
+        self.submitted = 0
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Queue a job for the next :meth:`run_all`; returns the job."""
+        if not isinstance(job, Job):
+            raise EngineError(
+                f"expected an engine Job, got {type(job).__name__}")
+        self._pending.append(job)
+        self.submitted += 1
+        return job
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted jobs not yet run."""
+        return len(self._pending)
+
+    def run(self, job: Job) -> Any:
+        """Run one job immediately (cache consulted first)."""
+        if not isinstance(job, Job):
+            raise EngineError(
+                f"expected an engine Job, got {type(job).__name__}")
+        key = job.fingerprint()
+        cached = self.cache.get(key)
+        if cached is not MISS:
+            return job.decode_result(cached) if job.persistable else cached
+        result = job.run(self.pool)
+        self.executed += 1
+        if job.persistable:
+            self.cache.put(key, job.encode_result(result), persist=True)
+        else:
+            self.cache.put(key, result, persist=False)
+        return result
+
+    def run_all(self) -> List[Any]:
+        """Run every pending job in submission order; returns results."""
+        jobs, self._pending = self._pending, []
+        return [self.run(job) for job in jobs]
+
+    # ------------------------------------------------------------------
+    # Introspection & persistence
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """Activity counters plus the cache's hit/miss statistics."""
+        cache_stats: CacheStats = self.cache.stats
+        return EngineStats(workers=self.pool.workers,
+                           submitted=self.submitted,
+                           executed=self.executed,
+                           cache_size=len(self.cache),
+                           cache=cache_stats.as_dict())
+
+    def save_cache(self, path: Optional[str] = None) -> int:
+        """Persist cacheable results to JSON; returns the entry count."""
+        return self.cache.save(path)

@@ -1,0 +1,186 @@
+"""Content-addressed fingerprints for engine jobs.
+
+The engine caches results under keys derived from *what* is being
+computed, not from object identities: two :class:`~repro.fta.tree.FaultTree`
+objects that describe the same hazard structure — even when built in a
+different order — must share a fingerprint, while any change to the
+structure (a gate type, an input, a default probability, an INHIBIT
+condition) must change it.
+
+The canonical form is a recursive textual serialization of the tree from
+the top event down.  Inputs of commutative gates (AND, OR, XOR, K-of-N)
+are sorted by their canonical forms so construction order cannot leak into
+the key; NOT and INHIBIT keep their single ordered input.  Shared subtrees
+(the DAG case) are canonicalized once and reused.  Tree *names* are
+display metadata and deliberately excluded; event names are part of the
+structure because probability overrides address leaves by name.
+
+Floats are canonicalized through :func:`repr`, which is exact for Python
+floats (round-trips the IEEE-754 value).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.errors import EngineError
+from repro.fta.events import (
+    Condition,
+    Event,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+#: Gate types whose inputs may be reordered without changing semantics.
+_COMMUTATIVE = (GateType.AND, GateType.OR, GateType.XOR, GateType.KOFN)
+
+
+def digest(text: str) -> str:
+    """SHA-256 hex digest of a canonical text form."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _number(value: Optional[float]) -> str:
+    return "none" if value is None else repr(float(value))
+
+
+def canonical_tree(tree: FaultTree) -> str:
+    """The order-independent canonical text form of a fault tree."""
+    memo: Dict[int, str] = {}
+
+    def canon(event: Event) -> str:
+        key = id(event)
+        if key in memo:
+            return memo[key]
+        if isinstance(event, IntermediateEvent):
+            gate = event.gate
+            inputs = [canon(child) for child in gate.inputs]
+            if gate.gate_type in _COMMUTATIVE:
+                inputs.sort()
+            parts = [gate.gate_type.value]
+            if gate.k is not None:
+                parts.append(f"k={gate.k}")
+            if gate.condition is not None:
+                parts.append("cond=" + canon(gate.condition))
+            form = (f"gate({event.name};{';'.join(parts)};"
+                    f"[{','.join(inputs)}])")
+        elif isinstance(event, PrimaryFailure):
+            form = f"pf({event.name};{_number(event.probability)})"
+        elif isinstance(event, Condition):
+            form = f"cond({event.name};{_number(event.probability)})"
+        elif isinstance(event, HouseEvent):
+            form = f"house({event.name};{event.state})"
+        else:  # pragma: no cover - event taxonomy is closed
+            raise EngineError(
+                f"cannot canonicalize event type {type(event).__name__}")
+        memo[key] = form
+        return form
+
+    return canon(tree.top)
+
+
+def tree_fingerprint(tree: FaultTree) -> str:
+    """Structural content hash of a fault tree (cached on the tree).
+
+    Uses the ``_fingerprint`` slot :class:`~repro.fta.tree.FaultTree`
+    initializes; trees are immutable after validation, so caching is safe
+    and repeated jobs over the same tree object hash it only once.
+    """
+    if not isinstance(tree, FaultTree):
+        raise EngineError(
+            f"expected a FaultTree, got {type(tree).__name__}")
+    cached = getattr(tree, "_fingerprint", None)
+    if cached is None:
+        cached = digest("tree:" + canonical_tree(tree))
+        tree._fingerprint = cached
+    return cached
+
+
+def values_fingerprint(values: Optional[Mapping[str, float]]) -> str:
+    """Canonical hash of a name->number mapping (e.g. leaf overrides)."""
+    if not values:
+        return "{}"
+    items = {str(name): _number(value)
+             for name, value in values.items()}
+    return json.dumps(items, sort_keys=True, separators=(",", ":"))
+
+
+def parametric_fingerprint(probability) -> str:
+    """Fingerprint a :class:`~repro.core.parametric.ParametricProbability`.
+
+    Uses the probability's own ``fingerprint`` content token: the
+    constructors in :mod:`repro.core.parametric` derive it from their
+    actual inputs (distribution parameters, exact float reprs, table
+    points), while raw-callable probabilities carry an opaque per-object
+    token — so a cache hit can never conflate two semantically different
+    probabilities, only (conservatively) miss.
+    """
+    parameters = ",".join(sorted(probability.parameters))
+    return f"param({probability.fingerprint};{parameters})"
+
+
+def grid_fingerprint(grid: Sequence[Mapping[str, float]]) -> str:
+    """Canonical hash of a list of parameter valuations (a sweep grid)."""
+    return digest("grid:" + ";".join(
+        values_fingerprint(point) for point in grid))
+
+
+def options_fingerprint(**options: Any) -> str:
+    """Canonical form of keyword options (JSON with sorted keys)."""
+
+    def normalize(value: Any) -> Any:
+        if isinstance(value, float):
+            return repr(value)
+        if isinstance(value, Mapping):
+            return {str(k): normalize(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [normalize(v) for v in value]
+        return value
+
+    return json.dumps({k: normalize(v) for k, v in options.items()},
+                      sort_keys=True, separators=(",", ":"), default=str)
+
+
+def model_fingerprint(model) -> str:
+    """Structural fingerprint of a :class:`~repro.core.model.SafetyModel`.
+
+    Covers the parameter space (names, bounds, defaults), each hazard's
+    content (tree fingerprint + assignment labels + method + policy for
+    fault-tree hazards, formula label for closed forms), and the cost
+    weights.  The model's display name is excluded.
+    """
+    from repro.core.model import FaultTreeHazard, FormulaHazard
+
+    space = ";".join(
+        f"{p.name}[{_number(p.lower)},{_number(p.upper)},"
+        f"{_number(p.default)}]" for p in model.space)
+    hazards = []
+    for name in sorted(model.hazards):
+        hazard = model.hazards[name]
+        if isinstance(hazard, FaultTreeHazard):
+            assignments = ",".join(
+                f"{leaf}={parametric_fingerprint(p)}"
+                for leaf, p in sorted(hazard.assignments.items()))
+            hazards.append(
+                f"{name}:ft({tree_fingerprint(hazard.tree)};"
+                f"{hazard.method};{hazard.policy.value};{assignments})")
+        elif isinstance(hazard, FormulaHazard):
+            hazards.append(
+                f"{name}:formula({parametric_fingerprint(hazard.formula)})")
+        else:
+            raise EngineError(
+                f"cannot fingerprint hazard type {type(hazard).__name__}")
+    costs = ",".join(f"{name}={_number(model.cost_model.cost_of(name))}"
+                     for name in sorted(model.cost_model.hazards))
+    return digest(f"model:space({space});hazards({';'.join(hazards)});"
+                  f"costs({costs})")
+
+
+def job_fingerprint(kind: str, *parts: str) -> str:
+    """Assemble a job cache key from its kind and canonical parts."""
+    return digest(kind + "|" + "|".join(parts))

@@ -1,0 +1,456 @@
+"""Declarative job specifications for the batch-evaluation engine.
+
+A job is a validated, content-addressable description of one unit of
+work over the library's analytic machinery:
+
+* :class:`QuantifyJob`     — one hazard probability of one fault tree,
+* :class:`SweepJob`        — a fault tree quantified across a parameter
+  grid (chunked across workers),
+* :class:`MonteCarloJob`   — a sampling estimate split into
+  deterministically seeded shards and pooled into one Wilson interval,
+* :class:`OptimizeJob`     — a full safety-optimization run over a
+  :class:`~repro.core.model.SafetyModel`.
+
+Jobs know how to fingerprint themselves (so semantically identical
+requests share a cache key), how to run serially, how to spread across a
+:class:`~repro.engine.pool.WorkerPool`, and how to encode their results
+for the JSON-persistable cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.parametric import (
+    ParametricProbability,
+    as_parametric,
+    grid_points,
+)
+from repro.engine.fingerprint import (
+    grid_fingerprint,
+    job_fingerprint,
+    model_fingerprint,
+    options_fingerprint,
+    parametric_fingerprint,
+    tree_fingerprint,
+    values_fingerprint,
+)
+from repro.engine.pool import (
+    WorkerPool,
+    chunk_indices,
+    derive_seed,
+    run_monte_carlo_shard,
+    run_quantify_chunk,
+)
+from repro.errors import EngineError
+from repro.fta.constraints import ConstraintPolicy
+from repro.fta.cutsets import CutSetCollection, mocus
+from repro.fta.quantify import hazard_probability
+from repro.fta.tree import FaultTree
+from repro.sim.montecarlo import MonteCarloEstimate
+from repro.stats.estimation import pooled_wilson_ci
+
+#: Quantification methods accepted by tree-based jobs (mirrors
+#: :mod:`repro.fta.quantify`).
+QUANTIFY_METHODS = ("rare_event", "mcub", "inclusion_exclusion", "exact")
+
+#: Methods whose cut sets can be computed once and shared across points.
+_CUT_SET_METHODS = ("rare_event", "mcub", "inclusion_exclusion")
+
+
+def _check_tree(tree: FaultTree) -> FaultTree:
+    if not isinstance(tree, FaultTree):
+        raise EngineError(
+            f"job requires a FaultTree, got {type(tree).__name__}")
+    return tree
+
+
+def _check_method(method: str) -> str:
+    if method not in QUANTIFY_METHODS:
+        raise EngineError(
+            f"unknown method {method!r}; "
+            f"expected one of {QUANTIFY_METHODS}")
+    return method
+
+
+def _check_policy(policy: ConstraintPolicy) -> ConstraintPolicy:
+    if not isinstance(policy, ConstraintPolicy):
+        raise EngineError(
+            f"policy must be a ConstraintPolicy, got {policy!r}")
+    return policy
+
+
+def _check_probabilities(probabilities: Optional[Mapping[str, float]]
+                         ) -> Optional[Dict[str, float]]:
+    if probabilities is None:
+        return None
+    checked: Dict[str, float] = {}
+    for name, value in probabilities.items():
+        value = float(value)
+        if not 0.0 <= value <= 1.0:
+            raise EngineError(
+                f"probability of {name!r} must be in [0, 1], got {value}")
+        checked[str(name)] = value
+    return checked
+
+
+def _shared_cut_sets(tree: FaultTree,
+                     method: str) -> Optional[CutSetCollection]:
+    """Cut sets computed once per job (they don't depend on the point)."""
+    if method in _CUT_SET_METHODS and tree.is_coherent:
+        return mocus(tree)
+    return None
+
+
+class Job:
+    """Base class: a validated, fingerprintable unit of work."""
+
+    kind: str = "job"
+    #: Whether results are JSON-encodable for the disk-persisted cache.
+    persistable: bool = True
+
+    _cached_fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """The job's content-addressed cache key (computed once)."""
+        if self._cached_fingerprint is None:
+            self._cached_fingerprint = job_fingerprint(
+                self.kind, *self._fingerprint_parts())
+        return self._cached_fingerprint
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def run_serial(self) -> Any:
+        """Execute the job in-process, without a pool."""
+        raise NotImplementedError
+
+    def run(self, pool: WorkerPool) -> Any:
+        """Execute the job, using the pool where the job can shard."""
+        return self.run_serial()
+
+    @staticmethod
+    def encode_result(result: Any) -> Any:
+        """JSON-safe encoding of a result (for disk persistence)."""
+        return result
+
+    @staticmethod
+    def decode_result(encoded: Any) -> Any:
+        """Inverse of :meth:`encode_result`."""
+        return encoded
+
+    def describe(self) -> str:
+        """One-line human description for batch reports."""
+        return self.kind
+
+
+class QuantifyJob(Job):
+    """Quantify one fault tree hazard at fixed leaf probabilities."""
+
+    kind = "quantify"
+
+    def __init__(self, tree: FaultTree,
+                 probabilities: Optional[Mapping[str, float]] = None,
+                 method: str = "rare_event",
+                 policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT):
+        self.tree = _check_tree(tree)
+        self.probabilities = _check_probabilities(probabilities)
+        self.method = _check_method(method)
+        self.policy = _check_policy(policy)
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        return (tree_fingerprint(self.tree),
+                values_fingerprint(self.probabilities),
+                self.method, self.policy.value)
+
+    def run_serial(self) -> float:
+        return hazard_probability(self.tree, self.probabilities,
+                                  method=self.method, policy=self.policy)
+
+    def describe(self) -> str:
+        return (f"quantify {self.tree.name!r} "
+                f"({self.method}, {self.policy.value})")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A quantified parameter grid: one value per grid point, in order."""
+
+    points: Tuple[Dict[str, float], ...]
+    values: Tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(zip(self.points, self.values))
+
+    def series(self, parameter: str) -> List[Tuple[float, float]]:
+        """The ``(parameter value, hazard probability)`` pairs — the raw
+        data behind one-parameter plots like the paper's Fig. 6."""
+        return [(point[parameter], value) for point, value in self]
+
+    def best(self) -> Tuple[Dict[str, float], float]:
+        """The grid point with the smallest value (grid-search optimum)."""
+        index = min(range(len(self.values)), key=self.values.__getitem__)
+        return self.points[index], self.values[index]
+
+
+class SweepJob(Job):
+    """Quantify a fault tree across a grid of parameter valuations.
+
+    ``assignments`` maps leaf names to
+    :class:`~repro.core.parametric.ParametricProbability` objects (or
+    floats); at each grid point they are evaluated *in the parent
+    process* — closures never cross the process boundary — and only the
+    resulting override dicts are shipped to workers alongside the tree
+    and its precomputed cut sets.
+    """
+
+    kind = "sweep"
+
+    def __init__(self, tree: FaultTree,
+                 assignments: Mapping[str, Any],
+                 grid: Sequence[Mapping[str, float]],
+                 method: str = "rare_event",
+                 policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
+                 probabilities: Optional[Mapping[str, float]] = None,
+                 chunks: Optional[int] = None):
+        self.tree = _check_tree(tree)
+        self.method = _check_method(method)
+        self.policy = _check_policy(policy)
+        # Fixed leaf overrides applied at every point (assignments win).
+        self.probabilities = _check_probabilities(probabilities)
+        if not assignments:
+            raise EngineError("sweep needs at least one leaf assignment")
+        self.assignments: Dict[str, ParametricProbability] = {}
+        for name, value in assignments.items():
+            if name not in tree:
+                raise EngineError(
+                    f"assignment for unknown leaf {name!r} "
+                    f"in tree {tree.name!r}")
+            self.assignments[name] = as_parametric(value)
+        required = frozenset().union(
+            *(p.parameters for p in self.assignments.values()))
+        if not grid:
+            raise EngineError("sweep grid must not be empty")
+        self.grid: List[Dict[str, float]] = []
+        for i, point in enumerate(grid):
+            missing = required - set(point)
+            if missing:
+                raise EngineError(
+                    f"grid point {i} is missing parameter values for "
+                    f"{sorted(missing)}")
+            self.grid.append({str(k): float(v) for k, v in point.items()})
+        if chunks is not None and chunks < 1:
+            raise EngineError(f"chunks must be >= 1, got {chunks}")
+        self.chunks = chunks
+
+    @classmethod
+    def from_axes(cls, tree: FaultTree, assignments: Mapping[str, Any],
+                  axes: Mapping[str, Sequence[float]],
+                  method: str = "rare_event",
+                  policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
+                  probabilities: Optional[Mapping[str, float]] = None,
+                  chunks: Optional[int] = None) -> "SweepJob":
+        """Build the grid as the cartesian product of per-axis values."""
+        return cls(tree, assignments, grid_points(axes),
+                   method=method, policy=policy,
+                   probabilities=probabilities, chunks=chunks)
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        assignments = ";".join(
+            f"{name}={parametric_fingerprint(p)}"
+            for name, p in sorted(self.assignments.items()))
+        return (tree_fingerprint(self.tree), assignments,
+                values_fingerprint(self.probabilities),
+                grid_fingerprint(self.grid), self.method,
+                self.policy.value)
+
+    def _overrides(self) -> List[Dict[str, float]]:
+        base = self.probabilities or {}
+        result = []
+        for point in self.grid:
+            overrides = dict(base)
+            overrides.update(
+                (name, p(point)) for name, p in self.assignments.items())
+            result.append(overrides)
+        return result
+
+    def _result(self, values: Sequence[float]) -> SweepResult:
+        # Copy the grid dicts: the result (and the cache entry encoded
+        # from it) must not share mutable state with this job's grid or
+        # with whatever the caller does to the returned points.
+        return SweepResult(points=tuple(dict(p) for p in self.grid),
+                           values=tuple(values))
+
+    def run_serial(self) -> SweepResult:
+        cut_sets = _shared_cut_sets(self.tree, self.method)
+        values = [hazard_probability(self.tree, overrides,
+                                     method=self.method, policy=self.policy,
+                                     cut_sets=cut_sets)
+                  for overrides in self._overrides()]
+        return self._result(values)
+
+    def run(self, pool: WorkerPool) -> SweepResult:
+        if not pool.is_parallel or len(self.grid) == 1:
+            return self.run_serial()
+        overrides = self._overrides()
+        cut_sets = _shared_cut_sets(self.tree, self.method)
+        chunks = self.chunks if self.chunks is not None \
+            else 4 * pool.workers
+        payloads = []
+        for start, stop in chunk_indices(len(overrides), chunks):
+            chunk = [(i, overrides[i]) for i in range(start, stop)]
+            payloads.append(
+                (self.tree, cut_sets, self.method, self.policy, chunk))
+        values: List[float] = [0.0] * len(overrides)
+        for partial in pool.map(run_quantify_chunk, payloads):
+            for index, value in partial:
+                values[index] = value
+        return self._result(values)
+
+    @staticmethod
+    def encode_result(result: SweepResult) -> Dict[str, Any]:
+        return {"points": [dict(p) for p in result.points],
+                "values": list(result.values)}
+
+    @staticmethod
+    def decode_result(encoded: Mapping[str, Any]) -> SweepResult:
+        return SweepResult(points=tuple(dict(p)
+                                        for p in encoded["points"]),
+                           values=tuple(encoded["values"]))
+
+    def describe(self) -> str:
+        return (f"sweep {self.tree.name!r} over {len(self.grid)} points "
+                f"({self.method}, {len(self.assignments)} leaves)")
+
+
+class MonteCarloJob(Job):
+    """Sharded Monte Carlo estimation of one tree's hazard probability.
+
+    The sample budget is split into ``shards`` near-equal pieces, each
+    driven by a deterministic seed derived from ``(seed, shard index)``
+    (:func:`repro.engine.pool.derive_seed`), and the per-shard counts are
+    pooled into a single Wilson interval via
+    :func:`repro.stats.estimation.pooled_wilson_ci`.  With ``shards=1``
+    the job reproduces :func:`repro.sim.montecarlo.monte_carlo_probability`
+    bit-for-bit (same seed, same stream).
+    """
+
+    kind = "montecarlo"
+
+    def __init__(self, tree: FaultTree,
+                 probabilities: Optional[Mapping[str, float]] = None,
+                 samples: int = 100_000, seed: int = 0,
+                 confidence: float = 0.95, shards: int = 1):
+        self.tree = _check_tree(tree)
+        self.probabilities = _check_probabilities(probabilities)
+        if samples <= 0:
+            raise EngineError(f"samples must be > 0, got {samples}")
+        if shards < 1:
+            raise EngineError(f"shards must be >= 1, got {shards}")
+        if shards > samples:
+            raise EngineError(
+                f"cannot split {samples} samples into {shards} shards")
+        if not 0.0 < confidence < 1.0:
+            raise EngineError(
+                f"confidence must be in (0, 1), got {confidence}")
+        self.samples = int(samples)
+        self.seed = int(seed)
+        self.confidence = float(confidence)
+        self.shards = int(shards)
+
+    def shard_plan(self) -> List[Tuple[int, int]]:
+        """The deterministic ``(samples, seed)`` plan, one per shard."""
+        if self.shards == 1:
+            return [(self.samples, self.seed)]
+        return [(stop - start, derive_seed(self.seed, i))
+                for i, (start, stop)
+                in enumerate(chunk_indices(self.samples, self.shards))]
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        return (tree_fingerprint(self.tree),
+                values_fingerprint(self.probabilities),
+                options_fingerprint(samples=self.samples, seed=self.seed,
+                                    confidence=self.confidence,
+                                    shards=self.shards))
+
+    def run_serial(self) -> MonteCarloEstimate:
+        return self.run(WorkerPool(1))
+
+    def run(self, pool: WorkerPool) -> MonteCarloEstimate:
+        payloads = [(self.tree, self.probabilities, samples, seed)
+                    for samples, seed in self.shard_plan()]
+        counts = pool.map(run_monte_carlo_shard, payloads)
+        occurrences, samples, (ci_low, ci_high) = pooled_wilson_ci(
+            counts, self.confidence)
+        return MonteCarloEstimate(
+            probability=occurrences / samples, ci_low=ci_low,
+            ci_high=ci_high, occurrences=occurrences, samples=samples,
+            confidence=self.confidence)
+
+    @staticmethod
+    def encode_result(result: MonteCarloEstimate) -> Dict[str, Any]:
+        return asdict(result)
+
+    @staticmethod
+    def decode_result(encoded: Mapping[str, Any]) -> MonteCarloEstimate:
+        return MonteCarloEstimate(**encoded)
+
+    def describe(self) -> str:
+        return (f"montecarlo {self.tree.name!r} "
+                f"({self.samples} samples, {self.shards} shards, "
+                f"seed {self.seed})")
+
+
+class OptimizeJob(Job):
+    """A full safety-optimization run over a :class:`SafetyModel`.
+
+    Optimizer trajectories are inherently sequential, so the job always
+    runs in the parent process; the engine's value here is caching — an
+    optimizer study revisiting the same model and method reuses the
+    finished run.  Results hold optimizer history objects and are
+    memory-cached only (``persistable=False``).
+    """
+
+    kind = "optimize"
+    persistable = False
+
+    def __init__(self, model, method: str = "nelder_mead",
+                 baseline: Optional[Sequence[float]] = None,
+                 options: Optional[Mapping[str, Any]] = None):
+        from repro.core.model import SafetyModel
+        from repro.core.optimizer import _METHODS
+        if not isinstance(model, SafetyModel):
+            raise EngineError(
+                f"OptimizeJob requires a SafetyModel, "
+                f"got {type(model).__name__}")
+        if method not in _METHODS:
+            raise EngineError(
+                f"unknown optimization method {method!r}; "
+                f"expected one of {sorted(_METHODS)}")
+        if baseline is not None:
+            baseline = tuple(float(v) for v in baseline)
+            if len(baseline) != len(model.space):
+                raise EngineError(
+                    f"baseline has {len(baseline)} components for "
+                    f"{len(model.space)} parameters")
+        self.model = model
+        self.method = method
+        self.baseline = baseline
+        self.options: Dict[str, Any] = dict(options or {})
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        return (model_fingerprint(self.model), self.method,
+                options_fingerprint(baseline=self.baseline,
+                                    **self.options))
+
+    def run_serial(self):
+        from repro.core.optimizer import SafetyOptimizer
+        return SafetyOptimizer(self.model).optimize(
+            self.method, baseline=self.baseline, **self.options)
+
+    def describe(self) -> str:
+        return f"optimize {self.model.name!r} ({self.method})"

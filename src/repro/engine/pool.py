@@ -1,0 +1,127 @@
+"""Worker pool: multiprocessing execution with a serial fallback.
+
+The pool runs *payload lists* through module-level worker functions (the
+only kind :mod:`multiprocessing` can ship to child processes).  Payloads
+carry plain library objects — fault trees, probability dicts, cut set
+collections — all of which pickle; parametric probabilities (arbitrary
+closures) never cross the process boundary: sweep jobs evaluate them in
+the parent and ship the resulting per-point override dicts instead.
+
+When only one worker is configured, only one payload exists, or a pool
+cannot be created (restricted environments, missing semaphores), the same
+worker functions run serially in-process — results are identical either
+way, by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError
+from repro.fta.quantify import hazard_probability
+
+
+def default_workers() -> int:
+    """The machine's CPU count (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def derive_seed(seed: int, shard: int) -> int:
+    """Deterministic, well-separated per-shard RNG seed.
+
+    Hash-derived so that neighbouring base seeds cannot collide with
+    neighbouring shard indices (as ``seed + shard`` would); independent of
+    ``PYTHONHASHSEED``.
+    """
+    raw = hashlib.sha256(f"mc-shard:{seed}:{shard}".encode()).digest()
+    return int.from_bytes(raw[:8], "big")
+
+
+def chunk_indices(count: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(count)`` into ``chunks`` near-equal (start, stop) runs."""
+    if count <= 0:
+        raise EngineError(f"cannot chunk {count} items")
+    chunks = max(1, min(chunks, count))
+    base, extra = divmod(count, chunks)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class WorkerPool:
+    """A fixed-size process pool with graceful serial degradation.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``None`` means the CPU count.  With
+        one worker everything runs in-process (no pickling, no fork).
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when payloads may run in separate processes."""
+        return self.workers > 1
+
+    def map(self, fn: Callable[[Any], Any],
+            payloads: Sequence[Any]) -> List[Any]:
+        """Apply a module-level function to every payload, in order.
+
+        Results are returned in payload order regardless of completion
+        order.  Worker exceptions propagate to the caller unchanged.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.workers == 1 or len(payloads) == 1:
+            return [fn(payload) for payload in payloads]
+        try:
+            pool = multiprocessing.get_context().Pool(
+                processes=min(self.workers, len(payloads)))
+        except (OSError, ValueError, ImportError):
+            # Sandboxes without /dev/shm or fork; same results, serially.
+            return [fn(payload) for payload in payloads]
+        with pool:
+            return pool.map(fn, payloads)
+
+
+# ----------------------------------------------------------------------
+# Worker functions (module-level: must be picklable by reference)
+# ----------------------------------------------------------------------
+def run_quantify_chunk(payload: Tuple) -> List[Tuple[int, float]]:
+    """Quantify one chunk of a parametric sweep.
+
+    ``payload`` is ``(tree, cut_sets, method, policy, chunk)`` where
+    ``chunk`` is a list of ``(index, overrides)`` pairs; returns
+    ``(index, probability)`` pairs so the parent can reassemble the grid
+    in order.
+    """
+    tree, cut_sets, method, policy, chunk = payload
+    return [(index,
+             hazard_probability(tree, overrides, method=method,
+                                policy=policy, cut_sets=cut_sets))
+            for index, overrides in chunk]
+
+
+def run_monte_carlo_shard(payload: Tuple) -> Tuple[int, int]:
+    """Run one Monte Carlo shard; returns ``(occurrences, samples)``.
+
+    ``payload`` is ``(tree, probabilities, samples, seed)``.
+    """
+    from repro.sim.montecarlo import monte_carlo_counts
+    tree, probabilities, samples, seed = payload
+    return monte_carlo_counts(tree, probabilities, samples, seed)

@@ -44,3 +44,7 @@ class ModelError(ReproError):
 
 class SerializationError(ReproError):
     """Reading or writing a fault tree representation failed."""
+
+
+class EngineError(ReproError):
+    """A batch-evaluation engine job is invalid or could not be run."""

@@ -42,6 +42,9 @@ class FaultTree:
         self.top = top
         self.name = name if name is not None else top.name
         self._events: Dict[str, Event] = {}
+        # Structural content hash, filled lazily by fingerprint(); trees
+        # are immutable after validation so one computation suffices.
+        self._fingerprint: Optional[str] = None
         self._validate()
 
     # ------------------------------------------------------------------
@@ -101,6 +104,18 @@ class FaultTree:
                 if gate.gate_type is GateType.INHIBIT:
                     stack.append(gate.condition)
                 stack.extend(reversed(gate.inputs))
+
+    def fingerprint(self) -> str:
+        """Structural content hash of this tree (order-independent).
+
+        Two trees describing the same hazard structure — same events,
+        gates, probabilities and conditions, regardless of construction
+        order — share a fingerprint; any structural change produces a new
+        one.  Used by :mod:`repro.engine` as the cache-key ingredient for
+        every job over this tree.
+        """
+        from repro.engine.fingerprint import tree_fingerprint
+        return tree_fingerprint(self)
 
     def event(self, name: str) -> Event:
         """Return the event called ``name`` or raise ``ValidationError``."""

@@ -11,11 +11,16 @@ Two validation paths for the analytic machinery:
 """
 
 from repro.sim.kernel import Process, Simulator
-from repro.sim.montecarlo import MonteCarloEstimate, monte_carlo_probability
+from repro.sim.montecarlo import (
+    MonteCarloEstimate,
+    monte_carlo_counts,
+    monte_carlo_probability,
+)
 
 __all__ = [
     "Simulator",
     "Process",
     "MonteCarloEstimate",
+    "monte_carlo_counts",
     "monte_carlo_probability",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.fta.events import Condition, PrimaryFailure
@@ -46,25 +46,16 @@ class MonteCarloEstimate:
                 f"@{self.confidence:.0%}, n={self.samples})")
 
 
-def monte_carlo_probability(
+def monte_carlo_counts(
         tree: FaultTree,
         probabilities: Optional[Dict[str, float]] = None,
-        samples: int = 100_000, seed: int = 0,
-        confidence: float = 0.95) -> MonteCarloEstimate:
-    """Estimate the hazard probability of ``tree`` by direct sampling.
+        samples: int = 100_000, seed: int = 0) -> Tuple[int, int]:
+    """Count hazard occurrences over ``samples`` draws.
 
-    Parameters
-    ----------
-    tree:
-        The fault tree (coherent or not).
-    probabilities:
-        Leaf probability overrides merged over event defaults.
-    samples:
-        Number of independent leaf-assignment samples.
-    seed:
-        Seed of the private RNG; runs are reproducible.
-    confidence:
-        Confidence level of the Wilson interval.
+    The raw ``(occurrences, samples)`` pair behind
+    :func:`monte_carlo_probability` — exposed so shards run in parallel
+    (by :mod:`repro.engine`) can be pooled into one Wilson interval via
+    :func:`repro.stats.estimation.pooled_wilson_ci`.
     """
     if samples <= 0:
         raise SimulationError(f"samples must be > 0, got {samples}")
@@ -79,10 +70,66 @@ def monte_carlo_probability(
             assignment[name] = rng.random() < probs[name]
         if tree.evaluate(assignment):
             occurrences += 1
-    ci_low, ci_high = wilson_ci(occurrences, samples, confidence)
-    return MonteCarloEstimate(
-        probability=occurrences / samples, ci_low=ci_low, ci_high=ci_high,
-        occurrences=occurrences, samples=samples, confidence=confidence)
+    return occurrences, samples
+
+
+def monte_carlo_probability(
+        tree: FaultTree,
+        probabilities: Optional[Dict[str, float]] = None,
+        samples: int = 100_000, seed: int = 0,
+        confidence: float = 0.95, shards: int = 1,
+        workers: int = 1) -> MonteCarloEstimate:
+    """Estimate the hazard probability of ``tree`` by direct sampling.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree (coherent or not).
+    probabilities:
+        Leaf probability overrides merged over event defaults.
+    samples:
+        Number of independent leaf-assignment samples.
+    seed:
+        Seed of the private RNG; runs are reproducible.
+    confidence:
+        Confidence level of the Wilson interval.
+    shards:
+        Split the sample budget into this many independently seeded
+        shards (engine-backed fast path).  ``shards=1`` keeps the classic
+        single-stream sampler; sharded runs draw a different (but
+        deterministic, seed-derived) sample stream, so their estimates
+        agree with the single-stream one within the confidence interval
+        rather than bit-for-bit.
+    workers:
+        Worker processes used to run the shards (only meaningful with
+        ``shards > 1``).
+    """
+    if samples <= 0:
+        raise SimulationError(f"samples must be > 0, got {samples}")
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards}")
+    if shards > samples:
+        raise SimulationError(
+            f"cannot split {samples} samples into {shards} shards")
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if shards == 1 and workers == 1:
+        occurrences, samples = monte_carlo_counts(
+            tree, probabilities, samples, seed)
+        ci_low, ci_high = wilson_ci(occurrences, samples, confidence)
+        return MonteCarloEstimate(
+            probability=occurrences / samples, ci_low=ci_low,
+            ci_high=ci_high, occurrences=occurrences, samples=samples,
+            confidence=confidence)
+    # Engine-backed path: deterministic per-shard seeding, parallel
+    # execution, one pooled Wilson interval.  Imported lazily to keep
+    # repro.sim free of an engine dependency at import time.
+    from repro.engine.jobs import MonteCarloJob
+    from repro.engine.pool import WorkerPool
+    job = MonteCarloJob(tree, probabilities=probabilities,
+                        samples=samples, seed=seed, confidence=confidence,
+                        shards=shards)
+    return job.run(WorkerPool(workers))
 
 
 def monte_carlo_cut_set_frequencies(

@@ -33,6 +33,7 @@ from repro.stats.estimation import (
     fit_normal_moments,
     fit_weibull_moments,
     normal_ci,
+    pooled_wilson_ci,
     wilson_ci,
 )
 from repro.stats.reliability import (
@@ -70,4 +71,5 @@ __all__ = [
     "fit_weibull_moments",
     "normal_ci",
     "wilson_ci",
+    "pooled_wilson_ci",
 ]

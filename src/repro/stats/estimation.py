@@ -119,6 +119,34 @@ def wilson_ci(successes: int, trials: int,
     return (max(0.0, center - half), min(1.0, center + half))
 
 
+def pooled_wilson_ci(counts: Sequence[Tuple[int, int]],
+                     confidence: float = 0.95
+                     ) -> Tuple[int, int, Tuple[float, float]]:
+    """Pool ``(successes, trials)`` shards into one Wilson interval.
+
+    The merge used by :mod:`repro.engine` for sharded Monte Carlo runs:
+    Bernoulli samples are exchangeable across independently seeded
+    shards, so pooling the raw counts and intervalling once is exact —
+    unlike averaging per-shard intervals.  Returns
+    ``(successes, trials, (low, high))``.
+    """
+    if not counts:
+        raise DistributionError("cannot pool an empty list of counts")
+    successes = 0
+    trials = 0
+    for shard_successes, shard_trials in counts:
+        if shard_trials <= 0:
+            raise DistributionError(
+                f"shard trials must be > 0, got {shard_trials}")
+        if not 0 <= shard_successes <= shard_trials:
+            raise DistributionError(
+                f"shard successes must be in [0, {shard_trials}], "
+                f"got {shard_successes}")
+        successes += shard_successes
+        trials += shard_trials
+    return successes, trials, wilson_ci(successes, trials, confidence)
+
+
 def _z_for(confidence: float) -> float:
     """Two-sided standard-normal quantile for a confidence level."""
     if not 0.0 < confidence < 1.0:

@@ -1,0 +1,121 @@
+"""Result cache: LRU behaviour, statistics, JSON persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.engine.cache import MISS
+from repro.errors import EngineError
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is MISS
+        cache.put("k", 1.0)
+        assert cache.get("k") == 1.0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_cached_none_is_distinguished_from_miss(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k", None)
+        assert cache.get("k") is None
+        assert cache.get("other") is MISS
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # overwrite refreshes a
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 10
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(EngineError):
+            ResultCache(capacity=0)
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(capacity=8, path=path)
+        cache.put("a", 0.125)
+        cache.put("b", {"points": [{"x": 1.0}], "values": [0.5]})
+        assert cache.save() == 2
+
+        loaded = ResultCache(capacity=8, path=path)
+        assert loaded.get("a") == 0.125
+        assert loaded.get("b") == {"points": [{"x": 1.0}],
+                                   "values": [0.5]}
+
+    def test_non_persistable_entries_stay_in_memory(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(capacity=8, path=path)
+        cache.put("mem", object(), persist=False)
+        cache.put("disk", 1.0)
+        assert cache.save() == 1
+        loaded = ResultCache(capacity=8, path=path)
+        assert loaded.get("mem") is MISS
+        assert loaded.get("disk") == 1.0
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(EngineError):
+            ResultCache(capacity=2).save()
+
+    def test_load_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        with pytest.raises(EngineError):
+            ResultCache(capacity=2, path=str(path))
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(EngineError):
+            ResultCache(capacity=2, path=str(path))
+
+    def test_save_is_atomic(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(capacity=2, path=path)
+        cache.put("a", 1.0)
+        cache.save()
+        cache.put("b", 2.0)
+        cache.save()
+        leftovers = [f for f in os.listdir(tmp_path)
+                     if f.endswith(".tmp")]
+        assert leftovers == []
+        assert set(ResultCache(capacity=4, path=path)._entries) == \
+            {"a", "b"}
+
+    def test_loading_does_not_count_as_workload(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(capacity=8, path=path)
+        cache.put("a", 1.0)
+        cache.save()
+        loaded = ResultCache(capacity=8, path=path)
+        assert loaded.stats.puts == 0
+        assert loaded.stats.lookups == 0

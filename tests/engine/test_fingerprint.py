@@ -1,0 +1,216 @@
+"""Structural fingerprinting: order independence, change sensitivity."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    FaultTreeHazard,
+    HazardCost,
+    Parameter,
+    ParameterSpace,
+    SafetyModel,
+    constant,
+    exceedance,
+)
+from repro.engine import (
+    canonical_tree,
+    model_fingerprint,
+    parametric_fingerprint,
+    tree_fingerprint,
+    values_fingerprint,
+)
+from repro.errors import EngineError
+from repro.fta import FaultTree
+from repro.fta.dsl import AND, INHIBIT, KOFN, OR, condition, hazard, primary
+from repro.stats import TruncatedNormal
+
+
+def or_and_tree(order="ab"):
+    a = primary("A", 0.1)
+    b = primary("B", 0.2)
+    c = primary("C", 0.05)
+    children = [a, b] if order == "ab" else [b, a]
+    return FaultTree(hazard("H", OR_gate=[AND("AB", *children), c]))
+
+
+class TestOrderIndependence:
+    def test_same_build_order_hashes_equal(self):
+        assert tree_fingerprint(or_and_tree()) == \
+            tree_fingerprint(or_and_tree())
+
+    def test_commutative_gate_input_order_is_canonicalized(self):
+        assert tree_fingerprint(or_and_tree("ab")) == \
+            tree_fingerprint(or_and_tree("ba"))
+
+    def test_or_children_reordered_hash_equal(self):
+        t1 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1),
+                                            primary("B", 0.2)]))
+        t2 = FaultTree(hazard("H", OR_gate=[primary("B", 0.2),
+                                            primary("A", 0.1)]))
+        assert tree_fingerprint(t1) == tree_fingerprint(t2)
+
+    def test_kofn_input_order_is_canonicalized(self):
+        def tree(order):
+            leaves = [primary("c1", 0.1), primary("c2", 0.2),
+                      primary("c3", 0.3)]
+            if order == "rev":
+                leaves.reverse()
+            return FaultTree(hazard("H", gate=KOFN("v", 2, *leaves).gate))
+        assert tree_fingerprint(tree("fwd")) == tree_fingerprint(tree("rev"))
+
+    def test_tree_display_name_is_excluded(self):
+        t1 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1)]),
+                       name="first")
+        t2 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1)]),
+                       name="second")
+        assert tree_fingerprint(t1) == tree_fingerprint(t2)
+
+    def test_fingerprint_is_cached_on_the_tree(self):
+        tree = or_and_tree()
+        assert tree._fingerprint is None
+        first = tree.fingerprint()
+        assert tree._fingerprint == first
+        assert tree.fingerprint() is first
+
+
+class TestChangeSensitivity:
+    def test_changed_probability_changes_hash(self):
+        t1 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1)]))
+        t2 = FaultTree(hazard("H", OR_gate=[primary("A", 0.2)]))
+        assert tree_fingerprint(t1) != tree_fingerprint(t2)
+
+    def test_removed_default_probability_changes_hash(self):
+        t1 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1)]))
+        t2 = FaultTree(hazard("H", OR_gate=[primary("A")]))
+        assert tree_fingerprint(t1) != tree_fingerprint(t2)
+
+    def test_changed_gate_type_changes_hash(self):
+        t_or = FaultTree(hazard("H", OR_gate=[primary("A", 0.1),
+                                              primary("B", 0.2)]))
+        t_and = FaultTree(hazard("H", AND_gate=[primary("A", 0.1),
+                                                primary("B", 0.2)]))
+        assert tree_fingerprint(t_or) != tree_fingerprint(t_and)
+
+    def test_changed_k_changes_hash(self):
+        def tree(k):
+            return FaultTree(hazard("H", gate=KOFN(
+                "v", k, primary("c1", 0.1), primary("c2", 0.2),
+                primary("c3", 0.3)).gate))
+        assert tree_fingerprint(tree(2)) != tree_fingerprint(tree(3))
+
+    def test_changed_condition_changes_hash(self):
+        def tree(p):
+            cond = condition("env", p)
+            both = AND("both", primary("A", 0.1), primary("B", 0.2))
+            return FaultTree(hazard(
+                "H", gate=INHIBIT("g", both, cond).gate))
+        assert tree_fingerprint(tree(0.25)) != tree_fingerprint(tree(0.5))
+
+    def test_renamed_event_changes_hash(self):
+        t1 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1)]))
+        t2 = FaultTree(hazard("H", OR_gate=[primary("A2", 0.1)]))
+        assert tree_fingerprint(t1) != tree_fingerprint(t2)
+
+    def test_extra_input_changes_hash(self):
+        t1 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1)]))
+        t2 = FaultTree(hazard("H", OR_gate=[primary("A", 0.1),
+                                            primary("B", 0.2)]))
+        assert tree_fingerprint(t1) != tree_fingerprint(t2)
+
+
+class TestCanonicalForm:
+    def test_shared_subtree_canonicalized_once(self):
+        c = primary("C", 0.5)
+        tree = FaultTree(hazard("H", OR_gate=[
+            AND("AC", primary("A", 0.3), c),
+            AND("BC", primary("B", 0.4), c)]))
+        form = canonical_tree(tree)
+        assert form.count("pf(C;0.5)") == 2  # referenced from both gates
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(EngineError):
+            tree_fingerprint("not a tree")
+
+
+class TestValueAndModelFingerprints:
+    def test_values_fingerprint_is_order_independent(self):
+        assert values_fingerprint({"a": 0.1, "b": 0.2}) == \
+            values_fingerprint({"b": 0.2, "a": 0.1})
+
+    def test_values_fingerprint_distinguishes_values(self):
+        assert values_fingerprint({"a": 0.1}) != \
+            values_fingerprint({"a": 0.2})
+
+    def test_empty_values(self):
+        assert values_fingerprint(None) == values_fingerprint({})
+
+    def test_parametric_fingerprint_stable_across_rebuilds(self):
+        p1 = exceedance(TruncatedNormal(4.0, 2.0), "T1")
+        p2 = exceedance(TruncatedNormal(4.0, 2.0), "T1")
+        assert parametric_fingerprint(p1) == parametric_fingerprint(p2)
+        p3 = exceedance(TruncatedNormal(4.0, 2.0), "T2")
+        assert parametric_fingerprint(p1) != parametric_fingerprint(p3)
+
+    def test_distribution_parameters_enter_the_fingerprint(self):
+        # Same label ("P(X> T)"), different distributions: these must
+        # not share a cache key.
+        p1 = exceedance(TruncatedNormal(4.0, 2.0), "T")
+        p2 = exceedance(TruncatedNormal(5.0, 2.0), "T")
+        assert p1.label == p2.label
+        assert parametric_fingerprint(p1) != parametric_fingerprint(p2)
+
+    def test_constant_fingerprint_is_full_precision(self):
+        # %g labels collapse to 6 significant digits; fingerprints
+        # must not.
+        p1 = constant(0.12345678)
+        p2 = constant(0.123456789)
+        assert p1.label == p2.label
+        assert parametric_fingerprint(p1) != parametric_fingerprint(p2)
+
+    def test_raw_callables_never_collide(self):
+        from repro.core import from_function
+        p1 = from_function(lambda v: v["T"] * 0.1, {"T"})
+        p2 = from_function(lambda v: v["T"] * 0.9, {"T"})
+        assert p1.label == p2.label  # both default to "p(T)"
+        assert parametric_fingerprint(p1) != parametric_fingerprint(p2)
+        # ... but the same object is stable (in-process cache reuse).
+        assert parametric_fingerprint(p1) == parametric_fingerprint(p1)
+
+    def test_algebra_and_helpers_compose_fingerprints(self):
+        from repro.core import from_table, scaled
+        assert parametric_fingerprint(constant(0.1) & constant(0.2)) == \
+            parametric_fingerprint(constant(0.1) & constant(0.2))
+        assert parametric_fingerprint(constant(0.1) & constant(0.2)) != \
+            parametric_fingerprint(constant(0.1) & constant(0.3))
+        assert parametric_fingerprint(scaled(constant(0.5), 0.25)) != \
+            parametric_fingerprint(scaled(constant(0.5), 0.5))
+        t1 = from_table([(0.0, 0.0), (1.0, 0.5)], "x")
+        t2 = from_table([(0.0, 0.0), (1.0, 0.6)], "x")
+        assert t1.label == t2.label
+        assert parametric_fingerprint(t1) != parametric_fingerprint(t2)
+
+    def test_rename_preserves_content_fingerprint(self):
+        p = constant(0.25)
+        assert parametric_fingerprint(p.rename("pretty")) == \
+            parametric_fingerprint(p)
+
+    def test_model_fingerprint_stable_and_sensitive(self):
+        def model(cost=1000.0):
+            space = ParameterSpace([Parameter("T", 1.0, 30.0, 15.0)])
+            tree = FaultTree(hazard("H", OR_gate=[primary("A", 0.1),
+                                                  primary("OT")]))
+            h = FaultTreeHazard(
+                tree, {"OT": exceedance(TruncatedNormal(4.0, 2.0), "T")})
+            return SafetyModel(space, {"H": h},
+                               CostModel([HazardCost("H", cost)]))
+        assert model_fingerprint(model()) == model_fingerprint(model())
+        assert model_fingerprint(model()) != \
+            model_fingerprint(model(cost=2000.0))
+
+    def test_model_fingerprint_covers_formula_hazards(self):
+        def model(p):
+            space = ParameterSpace([Parameter("T", 1.0, 30.0, 15.0)])
+            return SafetyModel(space, {"H": constant(p)},
+                               CostModel([HazardCost("H", 1.0)]))
+        assert model_fingerprint(model(0.1)) == model_fingerprint(model(0.1))
+        assert model_fingerprint(model(0.1)) != model_fingerprint(model(0.2))
