@@ -9,7 +9,7 @@ import pytest
 
 from repro.elbtunnel import ElbtunnelConfig
 from repro.elbtunnel.faulttrees import false_alarm_fault_tree
-from repro.elbtunnel.model import p_fd_lbpost, p_hv_odfinal
+from repro.elbtunnel.model import p_hv_odfinal
 from repro.elbtunnel.faulttrees import odfinal_armed_probability
 from repro.fta import hazard_probability
 from repro.sim import monte_carlo_probability

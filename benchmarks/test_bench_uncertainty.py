@@ -8,7 +8,6 @@ the optimal T2 stays near 15.6 minutes.
 
 import math
 
-import pytest
 
 from repro.core import propagate_many, sobol_first_order
 from repro.elbtunnel import ElbtunnelConfig, build_safety_model

@@ -21,7 +21,6 @@ Run:  python examples/field_data_calibration.py
 """
 
 import math
-import random
 
 from repro.core import SafetyOptimizer
 from repro.elbtunnel import (

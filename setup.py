@@ -1,14 +1,29 @@
 """Setup shim for environments without the ``wheel`` package.
 
 ``pip install -e . --no-build-isolation --no-use-pep517`` uses this file;
-all metadata lives in pyproject.toml.
+all metadata lives in pyproject.toml.  The version is single-sourced
+from ``repro.__version__`` (read textually so the build does not import
+the package or its dependencies).
 """
+
+import pathlib
+import re
 
 from setuptools import find_packages, setup
 
+
+def read_version() -> str:
+    init = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__\s*=\s*"([^"]+)"',
+                      init.read_text(), re.MULTILINE)
+    if not match:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
 setup(
     name="repro",
-    version="1.0.0",
+    version=read_version(),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",

@@ -20,6 +20,8 @@ Subpackages
 ``repro.core``       safety optimization (the paper's contribution)
 ``repro.fta``        fault tree analysis substrate
 ``repro.bdd``        ROBDD engine for exact quantification
+``repro.compile``    vectorized quantification compiler (batch evaluators)
+``repro.engine``     parallel batch evaluation with result caching
 ``repro.stats``      distributions, reliability models, estimation
 ``repro.opt``        optimization algorithms over compact boxes
 ``repro.sim``        discrete-event simulation and Monte Carlo engines

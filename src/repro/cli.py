@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for shardable jobs")
     batch.add_argument("--cache",
                        help="JSON result-cache file persisted across runs")
+    batch.add_argument("--compiled", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="evaluate sweeps through the repro.compile "
+                            "vectorized batch evaluator (default: "
+                            "--compiled; results are bit-identical "
+                            "either way)")
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON instead of text")
     return parser
@@ -221,7 +227,7 @@ def _batch_tree(spec):
     raise EngineError(f"cannot interpret tree spec {spec!r}")
 
 
-def _batch_job(spec):
+def _batch_job(spec, compiled=True):
     """Build one engine job from its JSON description."""
     from repro.core.parametric import identity
     from repro.engine import MonteCarloJob, QuantifyJob, SweepJob
@@ -259,7 +265,8 @@ def _batch_job(spec):
         assignments = {leaf: identity(leaf) for leaf in axes}
         return SweepJob.from_axes(tree, assignments, axes,
                                   method=method, policy=policy,
-                                  probabilities=spec.get("probabilities"))
+                                  probabilities=spec.get("probabilities"),
+                                  compiled=compiled)
     if kind == "montecarlo":
         return MonteCarloJob(tree, spec.get("probabilities"),
                              samples=number("samples", 100_000, int),
@@ -286,7 +293,8 @@ def _cmd_batch(args) -> None:
             "job file must be a non-empty list of jobs (or an object "
             "with a 'jobs' list)")
     engine = Engine(workers=args.workers, cache_path=args.cache)
-    jobs = [engine.submit(_batch_job(job_spec)) for job_spec in job_specs]
+    jobs = [engine.submit(_batch_job(job_spec, compiled=args.compiled))
+            for job_spec in job_specs]
     results = engine.run_all()
     if args.cache:
         engine.save_cache()

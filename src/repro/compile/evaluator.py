@@ -1,0 +1,154 @@
+"""The :class:`CompiledHazard` façade: one tree, compiled once.
+
+Compilation front door for the rest of the library: pick the right
+backend for a quantification method (BDD tape for ``exact``, column
+reductions for ``rare_event``/``mcub``), build the leaf-probability
+matrix from per-point override dicts merged over event defaults —
+exactly like :func:`repro.fta.quantify.probability_map` — and evaluate
+whole batches in one call.
+
+:func:`compile_tree` is memoized per tree object (weakly, so trees stay
+garbage-collectable): a hazard quantified by an optimizer across
+thousands of iterations, or by a sweep across thousands of grid points,
+compiles exactly once per process.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.compile.cutsets import CUT_SET_METHODS, CompiledCutSets
+from repro.compile.tape import CompiledTape
+from repro.errors import QuantificationError
+from repro.fta.constraints import ConstraintPolicy
+from repro.fta.cutsets import CutSetCollection
+from repro.fta.events import Condition, PrimaryFailure
+from repro.fta.tree import FaultTree
+
+#: Methods :func:`compile_tree` can lower.
+COMPILED_METHODS = ("exact",) + CUT_SET_METHODS
+
+
+def supports_compilation(tree: FaultTree, method: str) -> bool:
+    """True when ``compile_tree`` can handle this tree/method pair.
+
+    ``exact`` compiles any tree (XOR/NOT included); the cut-set methods
+    require a coherent tree, as MOCUS does.
+    """
+    if method == "exact":
+        return True
+    return method in CUT_SET_METHODS and tree.is_coherent
+
+
+class CompiledHazard:
+    """A fault tree's quantification compiled into a batch evaluator.
+
+    Thin façade over :class:`~repro.compile.tape.CompiledTape` (exact)
+    or :class:`~repro.compile.cutsets.CompiledCutSets` (rare-event /
+    MCUB) that adds default-probability handling: evaluation points are
+    override dicts merged over the leaf events' default probabilities,
+    exactly like the interpreted
+    :func:`repro.fta.quantify.hazard_probability`.
+    """
+
+    def __init__(self, tree: FaultTree, method: str = "rare_event",
+                 policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
+                 cut_sets: Optional[CutSetCollection] = None):
+        if method not in COMPILED_METHODS:
+            raise QuantificationError(
+                f"cannot compile method {method!r}; "
+                f"expected one of {COMPILED_METHODS}")
+        self.tree_name = tree.name
+        self.method = method
+        self.policy = policy
+        self._backend: Union[CompiledTape, CompiledCutSets]
+        if method == "exact":
+            self._backend = CompiledTape(tree)
+        else:
+            self._backend = CompiledCutSets(tree, method, policy,
+                                            cut_sets=cut_sets)
+        self._defaults: Dict[str, float] = {
+            e.name: e.probability for e in tree.iter_events()
+            if isinstance(e, (PrimaryFailure, Condition))
+            and e.probability is not None}
+
+    @property
+    def leaf_names(self) -> List[str]:
+        """Leaf names in matrix column order."""
+        return self._backend.leaf_names
+
+    def matrix(self, points: Sequence[Optional[Dict[str, float]]]
+               ) -> np.ndarray:
+        """The ``(batch, n_leaves)`` matrix for a batch of override dicts.
+
+        Each point's leaf probabilities are its overrides merged over the
+        event defaults; a leaf with neither raises
+        :class:`~repro.errors.QuantificationError`, as the interpreted
+        path does.
+        """
+        return self._backend.matrix([self._merge(p) for p in points])
+
+    def evaluate_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Hazard probabilities for a pre-built leaf matrix."""
+        return self._backend.evaluate(matrix)
+
+    def evaluate(self, points: Sequence[Optional[Dict[str, float]]]
+                 ) -> np.ndarray:
+        """Hazard probabilities for a batch of override dicts."""
+        return self._backend.evaluate(self.matrix(points))
+
+    def scalar(self, overrides: Optional[Dict[str, float]] = None) -> float:
+        """One point through the compiled pipeline, with plain floats.
+
+        Bit-identical to ``evaluate([overrides])[0]`` but without array
+        overhead — the optimizer-objective fast path.
+        """
+        return self._backend.scalar(self._merge(overrides))
+
+    def _merge(self, overrides: Optional[Dict[str, float]]
+               ) -> Dict[str, float]:
+        if not overrides:
+            return self._defaults
+        merged = dict(self._defaults)
+        merged.update(overrides)
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"CompiledHazard({self.tree_name!r}, {self.method!r}, "
+                f"{type(self._backend).__name__})")
+
+
+#: Per-tree compilation cache: tree object → {(method, policy): evaluator}.
+#: Weak keys keep trees collectable; entries die with their tree.
+_CACHE: "weakref.WeakKeyDictionary[FaultTree, Dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def compile_tree(tree: FaultTree, method: str = "rare_event",
+                 policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
+                 cut_sets: Optional[CutSetCollection] = None,
+                 cache: bool = True) -> CompiledHazard:
+    """Compile ``tree`` for batch quantification under ``method``.
+
+    With ``cache=True`` (the default) the evaluator is memoized per tree
+    *object*: repeated requests — an optimizer objective called per
+    iteration, a sweep job re-run — reuse the compiled form.  Trees are
+    immutable after validation, so object-level caching is safe.
+    Explicitly passed ``cut_sets`` become part of the cache key (cut
+    sets are content, e.g. a truncated MOCUS run): requests with
+    different cut sets never share an evaluator.
+    """
+    if not cache:
+        return CompiledHazard(tree, method, policy, cut_sets=cut_sets)
+    per_tree = _CACHE.setdefault(tree, {})
+    key = (method, policy,
+           None if cut_sets is None else tuple(cut_sets))
+    evaluator = per_tree.get(key)
+    if evaluator is None:
+        evaluator = CompiledHazard(tree, method, policy,
+                                   cut_sets=cut_sets)
+        per_tree[key] = evaluator
+    return evaluator

@@ -1,0 +1,162 @@
+"""Lower a fault tree's BDD into a flat arithmetic-circuit tape.
+
+The exact probability of a Boolean function over independent leaves is a
+single bottom-up pass over its ROBDD (``P = (1-p)*P(low) + p*P(high)``,
+see :mod:`repro.bdd.prob`).  That pass walks a linked node structure with
+a per-node dictionary cache — fine for one evaluation, wasteful for
+thousands.  :class:`CompiledTape` performs the walk *once* at compile
+time, recording each node as one fused-multiply step over value slots;
+evaluating the tape is then a short loop over NumPy array operations, so
+a whole batch of leaf-probability vectors is quantified at C speed.
+
+The tape replays exactly the arithmetic of the interpreted walk (same
+operations, same order, IEEE doubles throughout), so compiled results are
+bit-identical to :func:`repro.bdd.prob.probability` — not merely close.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
+from repro.errors import QuantificationError
+from repro.fta.quantify import to_bdd
+from repro.fta.tree import FaultTree
+
+#: Slots 0 and 1 of every tape hold the terminal values 0.0 and 1.0.
+_FALSE_SLOT = 0
+_TRUE_SLOT = 1
+
+
+class CompiledTape:
+    """A fault tree's exact quantification, compiled to a flat tape.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree; all gate types (including XOR/NOT/INHIBIT and
+        house events) are supported, exactly as in
+        :func:`repro.fta.quantify.to_bdd`.
+
+    Attributes
+    ----------
+    leaf_names:
+        Leaf (primary failure / condition) names in BDD variable order —
+        the column order expected by :meth:`evaluate`.
+    """
+
+    def __init__(self, tree: FaultTree):
+        manager = BDDManager()
+        root = to_bdd(tree, manager)
+        self.tree_name = tree.name
+        self.leaf_names: List[str] = [manager.var_name(i)
+                                      for i in range(manager.var_count)]
+        self._column: Dict[str, int] = {name: j for j, name
+                                        in enumerate(self.leaf_names)}
+        # Post-order (children first) sequence of decision nodes.
+        order: List[Node] = []
+        slot_of: Dict[int, int] = {id(FALSE): _FALSE_SLOT,
+                                   id(TRUE): _TRUE_SLOT}
+        stack: List[tuple] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in slot_of:
+                continue
+            if expanded:
+                slot_of[id(node)] = 2 + len(order)
+                order.append(node)
+            else:
+                stack.append((node, True))
+                stack.append((node.high, False))
+                stack.append((node.low, False))
+        # One step per node: (leaf column, low slot, high slot).
+        self._steps: List[tuple] = [
+            (node.var, slot_of[id(node.low)], slot_of[id(node.high)])
+            for node in order]
+        self._root_slot = slot_of[id(root)]
+        self._support = frozenset(self.leaf_names[var]
+                                  for var, _lo, _hi in self._steps)
+
+    @property
+    def size(self) -> int:
+        """Number of decision steps on the tape (BDD node count)."""
+        return len(self._steps)
+
+    @property
+    def support(self) -> frozenset:
+        """Leaf names the compiled function actually depends on."""
+        return self._support
+
+    def evaluate(self, matrix: np.ndarray) -> np.ndarray:
+        """Exact hazard probabilities for a whole batch of leaf vectors.
+
+        ``matrix`` has shape ``(batch, len(leaf_names))``; column ``j``
+        holds the probability of ``leaf_names[j]`` at each batch point.
+        Returns a ``(batch,)`` array, bit-identical to evaluating the
+        interpreted BDD walk point by point.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.leaf_names):
+            raise QuantificationError(
+                f"probability matrix must have shape "
+                f"(batch, {len(self.leaf_names)}), got {matrix.shape}")
+        batch = matrix.shape[0]
+        if self._root_slot == _FALSE_SLOT:
+            return np.zeros(batch)
+        if self._root_slot == _TRUE_SLOT:
+            return np.ones(batch)
+        slots: List[Optional[np.ndarray]] = \
+            [None] * (2 + len(self._steps))
+        slots[_FALSE_SLOT] = np.zeros(batch)
+        slots[_TRUE_SLOT] = np.ones(batch)
+        for index, (var, low, high) in enumerate(self._steps):
+            p = matrix[:, var]
+            slots[2 + index] = (1.0 - p) * slots[low] + p * slots[high]
+        return slots[self._root_slot]
+
+    def scalar(self, probabilities: Dict[str, float]) -> float:
+        """Exact probability for one leaf valuation (no array overhead).
+
+        Runs the same tape with plain floats — the fast path for
+        optimizer objectives that evaluate one point per iteration but
+        thousands of iterations per run.  Bit-identical to
+        :meth:`evaluate` on a batch of one.
+        """
+        # Validate first: a house-collapsed (terminal) root must still
+        # reject missing/invalid leaf data, like the interpreted path.
+        values = self._row(probabilities)
+        if self._root_slot == _FALSE_SLOT:
+            return 0.0
+        if self._root_slot == _TRUE_SLOT:
+            return 1.0
+        slots: List[float] = [0.0, 1.0] + [0.0] * len(self._steps)
+        for index, (var, low, high) in enumerate(self._steps):
+            p = values[var]
+            slots[2 + index] = (1.0 - p) * slots[low] + p * slots[high]
+        return slots[self._root_slot]
+
+    def _row(self, probabilities: Dict[str, float]) -> List[float]:
+        """One matrix row from a name → probability mapping."""
+        row = []
+        for name in self.leaf_names:
+            if name not in probabilities:
+                raise QuantificationError(
+                    f"no probability given for variable {name!r}")
+            p = probabilities[name]
+            if not 0.0 <= p <= 1.0:
+                raise QuantificationError(
+                    f"probability of {name!r} must be in [0, 1], got {p}")
+            row.append(float(p))
+        return row
+
+    def matrix(self, points: Sequence[Dict[str, float]]) -> np.ndarray:
+        """Stack leaf valuations into the ``(batch, n_leaves)`` matrix."""
+        return np.array([self._row(point) for point in points],
+                        dtype=np.float64).reshape(len(points),
+                                                  len(self.leaf_names))
+
+    def __repr__(self) -> str:
+        return (f"CompiledTape({self.tree_name!r}, {self.size} steps, "
+                f"{len(self.leaf_names)} leaves)")

@@ -19,7 +19,7 @@ Sect. III-B; :class:`~repro.core.optimizer.SafetyOptimizer` drives it.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.cost import CostModel
 from repro.core.parameters import ParameterSpace
@@ -75,15 +75,23 @@ class FaultTreeHazard(HazardModel):
         the paper's standard choice is ``rare_event``.
     policy:
         Constraint-probability policy for INHIBIT conditions.
+    compiled:
+        Evaluate through :mod:`repro.compile` where the method supports
+        it (default).  The tree is compiled once and reused across every
+        :meth:`probability` call — the optimizer-objective hot path —
+        with results bit-identical to the interpreted quantification.
     """
 
     def __init__(self, tree: FaultTree,
                  assignments: Optional[Mapping[str, Assignment]] = None,
                  method: str = "rare_event",
-                 policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT):
+                 policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
+                 compiled: bool = True):
         self.tree = tree
         self.method = method
         self.policy = policy
+        self.compiled = bool(compiled)
+        self._evaluator = None
         self.assignments: Dict[str, ParametricProbability] = {}
         for name, value in (assignments or {}).items():
             if name not in tree:
@@ -101,11 +109,53 @@ class FaultTreeHazard(HazardModel):
                 and tree.is_coherent:
             self._cut_sets = mocus(tree)
 
+    def _compiled_evaluator(self):
+        """The lazily built (and then reused) compiled evaluator.
+
+        Returns ``None`` when compilation is disabled or the method is
+        not compilable (e.g. ``inclusion_exclusion``, or cut-set methods
+        on non-coherent trees — those fall back to the interpreted path
+        and fail there with the interpreted path's own diagnostics).
+        """
+        if not self.compiled:
+            return None
+        if self._evaluator is None:
+            from repro.compile import compile_tree, supports_compilation
+            if not supports_compilation(self.tree, self.method):
+                self.compiled = False
+                return None
+            self._evaluator = compile_tree(
+                self.tree, self.method, self.policy,
+                cut_sets=self._cut_sets)
+        return self._evaluator
+
     def probability(self, values: Values) -> float:
         overrides = {name: p(values)
                      for name, p in self.assignments.items()}
+        evaluator = self._compiled_evaluator()
+        if evaluator is not None:
+            return evaluator.scalar(overrides)
         return _quantify(self.tree, overrides, method=self.method,
                          policy=self.policy, cut_sets=self._cut_sets)
+
+    def probability_batch(self, points: Sequence[Values]) -> List[float]:
+        """Hazard probabilities for many parameter valuations at once.
+
+        The compiled batch path: parameterized leaves are evaluated per
+        point (closures stay in-process), then the whole batch runs
+        through one :mod:`repro.compile` evaluation.  Falls back to
+        per-point :meth:`probability` calls for non-compilable methods;
+        values are identical either way.
+        """
+        overrides = [{name: p(values)
+                      for name, p in self.assignments.items()}
+                     for values in points]
+        evaluator = self._compiled_evaluator()
+        if evaluator is not None:
+            return [float(v) for v in evaluator.evaluate(overrides)]
+        return [_quantify(self.tree, o, method=self.method,
+                          policy=self.policy, cut_sets=self._cut_sets)
+                for o in overrides]
 
     def to_sweep_job(self, axes=None, grid=None, chunks=None):
         """Package a grid quantification of this hazard as an engine job.
@@ -121,10 +171,11 @@ class FaultTreeHazard(HazardModel):
         if axes is not None:
             return SweepJob.from_axes(self.tree, self.assignments, axes,
                                       method=self.method,
-                                      policy=self.policy, chunks=chunks)
+                                      policy=self.policy, chunks=chunks,
+                                      compiled=self.compiled)
         return SweepJob(self.tree, self.assignments, grid,
                         method=self.method, policy=self.policy,
-                        chunks=chunks)
+                        chunks=chunks, compiled=self.compiled)
 
     def probability_grid(self, axes=None, grid=None, engine=None):
         """Quantify this hazard over a parameter grid.

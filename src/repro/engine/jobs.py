@@ -216,10 +216,14 @@ class SweepJob(Job):
                  method: str = "rare_event",
                  policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
                  probabilities: Optional[Mapping[str, float]] = None,
-                 chunks: Optional[int] = None):
+                 chunks: Optional[int] = None,
+                 compiled: bool = True):
         self.tree = _check_tree(tree)
         self.method = _check_method(method)
         self.policy = _check_policy(policy)
+        # Evaluate the grid through repro.compile (bit-identical to the
+        # per-point path, so the flag is not part of the fingerprint).
+        self.compiled = bool(compiled)
         # Fixed leaf overrides applied at every point (assignments win).
         self.probabilities = _check_probabilities(probabilities)
         if not assignments:
@@ -253,11 +257,13 @@ class SweepJob(Job):
                   method: str = "rare_event",
                   policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
                   probabilities: Optional[Mapping[str, float]] = None,
-                  chunks: Optional[int] = None) -> "SweepJob":
+                  chunks: Optional[int] = None,
+                  compiled: bool = True) -> "SweepJob":
         """Build the grid as the cartesian product of per-axis values."""
         return cls(tree, assignments, grid_points(axes),
                    method=method, policy=policy,
-                   probabilities=probabilities, chunks=chunks)
+                   probabilities=probabilities, chunks=chunks,
+                   compiled=compiled)
 
     def _fingerprint_parts(self) -> Tuple[str, ...]:
         assignments = ";".join(
@@ -285,8 +291,20 @@ class SweepJob(Job):
         return SweepResult(points=tuple(dict(p) for p in self.grid),
                            values=tuple(values))
 
+    def _use_compiled(self) -> bool:
+        from repro.compile import supports_compilation
+        return self.compiled and supports_compilation(self.tree,
+                                                      self.method)
+
     def run_serial(self) -> SweepResult:
         cut_sets = _shared_cut_sets(self.tree, self.method)
+        if self._use_compiled():
+            from repro.compile import compile_tree
+            evaluator = compile_tree(self.tree, self.method, self.policy,
+                                     cut_sets=cut_sets)
+            values = [float(v)
+                      for v in evaluator.evaluate(self._overrides())]
+            return self._result(values)
         values = [hazard_probability(self.tree, overrides,
                                      method=self.method, policy=self.policy,
                                      cut_sets=cut_sets)
@@ -304,7 +322,8 @@ class SweepJob(Job):
         for start, stop in chunk_indices(len(overrides), chunks):
             chunk = [(i, overrides[i]) for i in range(start, stop)]
             payloads.append(
-                (self.tree, cut_sets, self.method, self.policy, chunk))
+                (self.tree, cut_sets, self.method, self.policy, chunk,
+                 self.compiled))
         values: List[float] = [0.0] * len(overrides)
         for partial in pool.map(run_quantify_chunk, payloads):
             for index, value in partial:

@@ -105,12 +105,27 @@ class WorkerPool:
 def run_quantify_chunk(payload: Tuple) -> List[Tuple[int, float]]:
     """Quantify one chunk of a parametric sweep.
 
-    ``payload`` is ``(tree, cut_sets, method, policy, chunk)`` where
-    ``chunk`` is a list of ``(index, overrides)`` pairs; returns
-    ``(index, probability)`` pairs so the parent can reassemble the grid
-    in order.
+    ``payload`` is ``(tree, cut_sets, method, policy, chunk)`` — with an
+    optional trailing ``compiled`` flag — where ``chunk`` is a list of
+    ``(index, overrides)`` pairs; returns ``(index, probability)`` pairs
+    so the parent can reassemble the grid in order.  With ``compiled``
+    the chunk is evaluated as one :mod:`repro.compile` batch,
+    bit-identical to the per-point path.  Each payload ships (and
+    unpickles) its own tree copy, so the compile memo cannot hit across
+    chunks: compilation happens once per *chunk* — amortized over the
+    chunk's points, still far cheaper than the per-point walk.
     """
-    tree, cut_sets, method, policy, chunk = payload
+    tree, cut_sets, method, policy, chunk = payload[:5]
+    compiled = payload[5] if len(payload) > 5 else False
+    if compiled and chunk:
+        from repro.compile import compile_tree, supports_compilation
+        if supports_compilation(tree, method):
+            evaluator = compile_tree(tree, method, policy,
+                                     cut_sets=cut_sets)
+            values = evaluator.evaluate(
+                [overrides for _index, overrides in chunk])
+            return [(index, float(value))
+                    for (index, _o), value in zip(chunk, values)]
     return [(index,
              hazard_probability(tree, overrides, method=method,
                                 policy=policy, cut_sets=cut_sets))

@@ -49,16 +49,28 @@ class MonteCarloEstimate:
 def monte_carlo_counts(
         tree: FaultTree,
         probabilities: Optional[Dict[str, float]] = None,
-        samples: int = 100_000, seed: int = 0) -> Tuple[int, int]:
+        samples: int = 100_000, seed: int = 0,
+        vectorized: bool = True) -> Tuple[int, int]:
     """Count hazard occurrences over ``samples`` draws.
 
     The raw ``(occurrences, samples)`` pair behind
     :func:`monte_carlo_probability` — exposed so shards run in parallel
     (by :mod:`repro.engine`) can be pooled into one Wilson interval via
     :func:`repro.stats.estimation.pooled_wilson_ci`.
+
+    With ``vectorized`` (the default) the structure function is compiled
+    by :mod:`repro.compile` and evaluated on whole blocks of draws —
+    bit-packed where the tree allows it.  Draws come from the same
+    ``random.Random`` stream in the same order as the interpreted loop,
+    so the count is *bit-for-bit identical* for any seed; ``False``
+    keeps the original per-sample walk (the reference implementation
+    the vectorized path is tested against).
     """
     if samples <= 0:
         raise SimulationError(f"samples must be > 0, got {samples}")
+    if vectorized:
+        from repro.compile import compile_sampler
+        return compile_sampler(tree).counts(probabilities, samples, seed)
     probs = probability_map(tree, probabilities)
     leaf_names = [e.name for e in tree.iter_events()
                   if isinstance(e, (PrimaryFailure, Condition))]

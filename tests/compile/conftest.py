@@ -1,0 +1,87 @@
+"""Shared helpers for the compile-subsystem tests: random fault trees.
+
+The generator exercises everything the compiler must lower faithfully:
+shared subtrees (DAGs), INHIBIT conditions (shared between gates), house
+events (both states), K-of-N votes, and — when ``coherent=False`` — the
+non-coherent XOR/NOT gates that force the BDD route.
+"""
+
+import itertools
+import random
+
+from repro.fta.dsl import (
+    AND,
+    INHIBIT,
+    KOFN,
+    NOT,
+    OR,
+    XOR,
+    condition,
+    hazard,
+    house,
+    primary,
+)
+from repro.fta.tree import FaultTree
+
+
+def random_tree(rng: random.Random, coherent: bool = True,
+                depth: int = 3) -> FaultTree:
+    """A random, validated fault tree with shared leaves and conditions."""
+    names = itertools.count()
+    primaries = [primary(f"P{i}", round(rng.uniform(0.01, 0.4), 6))
+                 for i in range(rng.randint(3, 7))]
+    conditions = [condition(f"C{i}", round(rng.uniform(0.05, 0.9), 6))
+                  for i in range(rng.randint(1, 2))]
+    houses = [house(f"HS{i}", rng.random() < 0.5)
+              for i in range(rng.randint(0, 2))]
+    # Shared-subtree pool: built gates get reused as inputs elsewhere.
+    shared = []
+
+    def leaf():
+        pool = primaries + houses
+        return rng.choice(pool)
+
+    def build(levels):
+        if levels == 0 or rng.random() < 0.2:
+            return leaf()
+        if shared and rng.random() < 0.25:
+            return rng.choice(shared)
+        kinds = ["and", "or", "kofn", "inhibit"]
+        if not coherent:
+            kinds += ["xor", "not"]
+        kind = rng.choice(kinds)
+        name = f"G{next(names)}"
+        if kind == "not":
+            event = NOT(name, build(levels - 1))
+        elif kind == "inhibit":
+            event = INHIBIT(name, build(levels - 1),
+                            rng.choice(conditions))
+        else:
+            n = rng.randint(2, 3)
+            inputs = [build(levels - 1) for _ in range(n)]
+            if kind == "and":
+                event = AND(name, *inputs)
+            elif kind == "or":
+                event = OR(name, *inputs)
+            elif kind == "xor":
+                event = XOR(name, *inputs)
+            else:
+                event = KOFN(name, rng.randint(1, n), *inputs)
+        shared.append(event)
+        return event
+
+    top = hazard("TOP", OR_gate=[build(depth - 1), build(depth - 1)])
+    return FaultTree(top)
+
+
+def leaf_names(tree: FaultTree):
+    """Primary-failure and condition names, in first-visit order."""
+    from repro.fta.events import Condition, PrimaryFailure
+    return [e.name for e in tree.iter_events()
+            if isinstance(e, (PrimaryFailure, Condition))]
+
+
+def random_batch(rng: random.Random, tree: FaultTree, size: int):
+    """Random full-leaf override dicts for ``tree``."""
+    return [{name: rng.random() for name in leaf_names(tree)}
+            for _ in range(size)]

@@ -1,0 +1,111 @@
+"""CompiledCutSets: vectorized rare-event / MCUB quantification."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.compile import CompiledCutSets
+from repro.elbtunnel.faulttrees import (
+    collision_fault_tree,
+    false_alarm_fault_tree,
+    fig2_fault_tree,
+)
+from repro.errors import QuantificationError
+from repro.fta.constraints import ConstraintPolicy
+from repro.fta.cutsets import mocus
+from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
+from repro.fta.quantify import hazard_probability
+from repro.fta.tree import FaultTree
+
+from tests.compile.conftest import leaf_names
+
+
+def guarded_tree():
+    cond = condition("ENV", 0.3)
+    guarded = INHIBIT("G", AND("A2", primary("A", 0.1),
+                               primary("B", 0.2)), cond)
+    return FaultTree(hazard("H", OR_gate=[guarded, primary("C", 0.05)]))
+
+
+class TestCompile:
+    def test_cut_set_count(self):
+        compiled = CompiledCutSets(guarded_tree())
+        assert compiled.cut_set_count == len(mocus(guarded_tree()))
+
+    def test_precomputed_cut_sets_are_reused(self):
+        tree = guarded_tree()
+        cut_sets = mocus(tree)
+        compiled = CompiledCutSets(tree, cut_sets=cut_sets)
+        assert compiled.cut_set_count == len(cut_sets)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(QuantificationError):
+            CompiledCutSets(guarded_tree(), method="exact")
+
+    def test_repr(self):
+        assert "CompiledCutSets" in repr(CompiledCutSets(guarded_tree()))
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("method", ["rare_event", "mcub"])
+    @pytest.mark.parametrize("policy", list(ConstraintPolicy))
+    def test_matches_interpreted_bitwise(self, method, policy):
+        rng = random.Random(11)
+        for builder in (guarded_tree, fig2_fault_tree,
+                        collision_fault_tree, false_alarm_fault_tree):
+            tree = builder()
+            compiled = CompiledCutSets(tree, method, policy)
+            points = [{name: rng.random() for name in leaf_names(tree)}
+                      for _ in range(4)]
+            values = compiled.evaluate(compiled.matrix(points))
+            for point, value in zip(points, values):
+                reference = hazard_probability(tree, point, method,
+                                               policy=policy)
+                assert value == reference
+                assert compiled.scalar(point) == reference
+
+    def test_rare_event_clips_at_one(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            primary("A", 0.9), primary("B", 0.9)]))
+        compiled = CompiledCutSets(tree, "rare_event")
+        assert compiled.scalar({"A": 0.9, "B": 0.9}) == 1.0
+        batch = compiled.evaluate(
+            compiled.matrix([{"A": 0.9, "B": 0.9}] * 3))
+        assert list(batch) == [1.0, 1.0, 1.0]
+
+    def test_worst_case_ignores_conditions(self):
+        tree = guarded_tree()
+        compiled = CompiledCutSets(tree, "rare_event",
+                                   ConstraintPolicy.WORST_CASE)
+        point = {"A": 0.1, "B": 0.2, "C": 0.0, "ENV": 0.0}
+        assert compiled.scalar(point) == pytest.approx(0.1 * 0.2)
+
+    def test_frechet_takes_minimum(self):
+        cond_a = condition("CA", 0.4)
+        cond_b = condition("CB", 0.2)
+        inner = INHIBIT("I1", primary("A", 0.5), cond_a)
+        outer = INHIBIT("I2", inner, cond_b)
+        tree = FaultTree(hazard("H", OR_gate=[outer]))
+        compiled = CompiledCutSets(tree, "rare_event",
+                                   ConstraintPolicy.FRECHET)
+        point = {"A": 0.5, "CA": 0.4, "CB": 0.2}
+        assert compiled.scalar(point) == pytest.approx(0.2 * 0.5)
+
+
+class TestValidation:
+    def test_missing_probability(self):
+        compiled = CompiledCutSets(guarded_tree())
+        with pytest.raises(QuantificationError):
+            compiled.scalar({"A": 0.1, "B": 0.2, "C": 0.05})
+
+    def test_out_of_range(self):
+        compiled = CompiledCutSets(guarded_tree())
+        with pytest.raises(QuantificationError):
+            compiled.matrix([{"A": -0.1, "B": 0.2, "C": 0.05,
+                              "ENV": 0.3}])
+
+    def test_bad_matrix_shape(self):
+        compiled = CompiledCutSets(guarded_tree())
+        with pytest.raises(QuantificationError):
+            compiled.evaluate(np.zeros((2, 1)))

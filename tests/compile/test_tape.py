@@ -1,0 +1,114 @@
+"""CompiledTape: exact BDD quantification lowered to a flat tape."""
+
+import numpy as np
+import pytest
+
+from repro.compile import CompiledTape
+from repro.elbtunnel.faulttrees import (
+    collision_fault_tree,
+    false_alarm_fault_tree,
+    fig2_fault_tree,
+)
+from repro.errors import QuantificationError
+from repro.fta.dsl import AND, NOT, OR, XOR, hazard, house, primary
+from repro.fta.quantify import hazard_probability
+from repro.fta.tree import FaultTree
+
+from tests.compile.conftest import leaf_names
+
+
+def small_tree():
+    shared = primary("S", 0.1)
+    left = AND("L", shared, primary("A", 0.2))
+    right = AND("R", shared, primary("B", 0.3))
+    return FaultTree(hazard("H", OR_gate=[left, right]))
+
+
+class TestCompile:
+    def test_leaves_in_first_visit_order(self):
+        tape = CompiledTape(small_tree())
+        assert tape.leaf_names == ["S", "A", "B"]
+
+    def test_size_and_support(self):
+        tape = CompiledTape(small_tree())
+        assert tape.size >= 3
+        assert tape.support == {"S", "A", "B"}
+
+    def test_repr(self):
+        assert "CompiledTape" in repr(CompiledTape(small_tree()))
+
+
+class TestEvaluate:
+    def test_matches_interpreted_exact_bitwise(self):
+        tree = small_tree()
+        tape = CompiledTape(tree)
+        points = [{"S": 0.1, "A": 0.2, "B": 0.3},
+                  {"S": 0.5, "A": 0.01, "B": 0.99},
+                  {"S": 0.0, "A": 1.0, "B": 1.0}]
+        values = tape.evaluate(tape.matrix(points))
+        for point, value in zip(points, values):
+            assert value == hazard_probability(tree, point, "exact")
+
+    def test_scalar_matches_batch_bitwise(self):
+        tree = small_tree()
+        tape = CompiledTape(tree)
+        point = {"S": 0.137, "A": 0.21, "B": 0.003}
+        batch = tape.evaluate(tape.matrix([point]))
+        assert tape.scalar(point) == batch[0]
+
+    def test_shared_events_are_not_double_counted(self):
+        # P(S&A or S&B) = P(S) * P(A or B) for independent leaves.
+        tape = CompiledTape(small_tree())
+        p = tape.scalar({"S": 0.5, "A": 0.5, "B": 0.5})
+        assert p == pytest.approx(0.5 * 0.75)
+
+    def test_xor_not_tree(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            XOR("X", primary("A", 0.3), primary("B", 0.4)),
+            NOT("N", primary("C", 0.2))]))
+        tape = CompiledTape(tree)
+        point = {"A": 0.3, "B": 0.4, "C": 0.2}
+        assert tape.scalar(point) == \
+            hazard_probability(tree, point, "exact")
+
+    def test_house_events_become_constants(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            AND("G", primary("A", 0.25), house("ON", True))]))
+        tape = CompiledTape(tree)
+        assert tape.scalar({"A": 0.25}) == 0.25
+
+    def test_constant_false_tree(self):
+        tree = FaultTree(hazard("H", OR_gate=[
+            AND("G", primary("A", 0.25), house("OFF", False))]))
+        tape = CompiledTape(tree)
+        assert list(tape.evaluate(tape.matrix([{"A": 0.3}] * 4))) \
+            == [0.0] * 4
+
+    def test_elbtunnel_trees(self):
+        import random
+        rng = random.Random(3)
+        for builder in (fig2_fault_tree, collision_fault_tree,
+                        false_alarm_fault_tree):
+            tree = builder()
+            tape = CompiledTape(tree)
+            point = {name: rng.uniform(0.0, 0.5)
+                     for name in leaf_names(tree)}
+            assert tape.scalar(point) == \
+                hazard_probability(tree, point, "exact")
+
+
+class TestValidation:
+    def test_missing_probability(self):
+        tape = CompiledTape(small_tree())
+        with pytest.raises(QuantificationError):
+            tape.matrix([{"S": 0.1, "A": 0.2}])
+
+    def test_out_of_range_probability(self):
+        tape = CompiledTape(small_tree())
+        with pytest.raises(QuantificationError):
+            tape.scalar({"S": 0.1, "A": 1.5, "B": 0.2})
+
+    def test_bad_matrix_shape(self):
+        tape = CompiledTape(small_tree())
+        with pytest.raises(QuantificationError):
+            tape.evaluate(np.zeros((4, 2)))

@@ -1,0 +1,200 @@
+"""Compiled evaluators wired into engine, core, sim and CLI hot paths."""
+
+import json
+
+import pytest
+
+from repro.compile import compile_tree
+from repro.core import FaultTreeHazard, identity
+from repro.core.parametric import exceedance
+from repro.engine import SweepJob, WorkerPool
+from repro.engine.pool import run_quantify_chunk
+from repro.fta.constraints import ConstraintPolicy
+from repro.fta.cutsets import mocus
+from repro.fta.dsl import AND, OR, hazard, primary
+from repro.fta.quantify import hazard_probability
+from repro.fta.tree import FaultTree
+from repro.stats.distributions import TruncatedNormal
+
+
+def small_tree():
+    shared = primary("S", 0.05)
+    return FaultTree(hazard("H", OR_gate=[
+        AND("L", shared, primary("A", 0.1)),
+        AND("R", shared, primary("B", 0.2)),
+        primary("C", 0.01)]))
+
+
+def sweep_job(compiled, method="rare_event", chunks=None):
+    values = [0.05 * i for i in range(1, 8)]
+    return SweepJob.from_axes(
+        small_tree(), {"A": identity("pA"), "B": identity("pB")},
+        {"pA": values, "pB": values}, method=method,
+        compiled=compiled, chunks=chunks)
+
+
+class TestSweepJob:
+    @pytest.mark.parametrize("method", ["rare_event", "mcub", "exact"])
+    def test_compiled_matches_interpreted(self, method):
+        compiled = sweep_job(True, method).run_serial()
+        interpreted = sweep_job(False, method).run_serial()
+        assert compiled == interpreted
+        assert all(isinstance(v, float) for v in compiled.values)
+
+    def test_compiled_flag_does_not_change_fingerprint(self):
+        assert sweep_job(True).fingerprint() == \
+            sweep_job(False).fingerprint()
+
+    def test_parallel_matches_serial(self):
+        job = sweep_job(True, "exact", chunks=3)
+        assert job.run(WorkerPool(2)) == job.run_serial()
+
+    def test_inclusion_exclusion_falls_back(self):
+        job = sweep_job(True, "inclusion_exclusion")
+        reference = sweep_job(False, "inclusion_exclusion")
+        assert job.run_serial() == reference.run_serial()
+
+    def test_json_round_trip_of_compiled_values(self):
+        result = sweep_job(True, "exact").run_serial()
+        encoded = json.loads(json.dumps(SweepJob.encode_result(result)))
+        assert SweepJob.decode_result(encoded) == result
+
+
+class TestQuantifyChunk:
+    def test_legacy_five_tuple_payload_still_works(self):
+        tree = small_tree()
+        cut_sets = mocus(tree)
+        chunk = [(0, {"A": 0.3}), (1, {"B": 0.4})]
+        legacy = run_quantify_chunk(
+            (tree, cut_sets, "rare_event",
+             ConstraintPolicy.INDEPENDENT, chunk))
+        compiled = run_quantify_chunk(
+            (tree, cut_sets, "rare_event",
+             ConstraintPolicy.INDEPENDENT, chunk, True))
+        assert legacy == compiled
+
+    def test_compiled_chunk_exact(self):
+        tree = small_tree()
+        chunk = [(i, {"A": 0.1 * (i + 1)}) for i in range(4)]
+        result = run_quantify_chunk(
+            (tree, None, "exact", ConstraintPolicy.INDEPENDENT, chunk,
+             True))
+        for (index, overrides), (out_index, value) in zip(chunk, result):
+            assert out_index == index
+            assert value == hazard_probability(tree, overrides, "exact")
+
+
+class TestFaultTreeHazard:
+    def hazard_model(self, method="rare_event", compiled=True):
+        return FaultTreeHazard(
+            small_tree(),
+            {"A": exceedance(TruncatedNormal(4.0, 2.0), "T")},
+            method=method, compiled=compiled)
+
+    @pytest.mark.parametrize("method", ["rare_event", "mcub", "exact"])
+    def test_compiled_probability_matches_interpreted(self, method):
+        compiled = self.hazard_model(method)
+        interpreted = self.hazard_model(method, compiled=False)
+        for t in (1.0, 3.5, 7.0):
+            assert compiled.probability({"T": t}) == \
+                interpreted.probability({"T": t})
+
+    def test_evaluator_is_reused_across_calls(self):
+        model = self.hazard_model("exact")
+        model.probability({"T": 2.0})
+        first = model._evaluator
+        model.probability({"T": 5.0})
+        assert model._evaluator is first
+
+    def test_probability_batch_matches_pointwise(self):
+        model = self.hazard_model("exact")
+        points = [{"T": t} for t in (1.0, 2.0, 4.0, 8.0)]
+        batch = model.probability_batch(points)
+        assert batch == [model.probability(p) for p in points]
+
+    def test_unsupported_method_falls_back(self):
+        model = self.hazard_model("inclusion_exclusion")
+        reference = self.hazard_model("inclusion_exclusion",
+                                      compiled=False)
+        point = {"T": 3.0}
+        assert model.probability(point) == reference.probability(point)
+        assert model.probability_batch([point]) == \
+            [reference.probability(point)]
+
+    def test_probability_grid_uses_compiled_sweep(self):
+        model = self.hazard_model("exact")
+        axes = {"T": [1.0, 2.0, 3.0]}
+        result = model.probability_grid(axes=axes)
+        for point, value in result:
+            assert value == model.probability(point)
+
+
+class TestCompileCache:
+    def test_compile_tree_memoizes_per_tree_object(self):
+        tree = small_tree()
+        assert compile_tree(tree, "exact") is compile_tree(tree, "exact")
+        assert compile_tree(tree, "exact") is not \
+            compile_tree(tree, "rare_event")
+        assert compile_tree(small_tree(), "exact") is not \
+            compile_tree(tree, "exact")
+
+    def test_different_cut_sets_never_share_an_evaluator(self):
+        tree = small_tree()
+        truncated = mocus(tree, max_order=1)
+        full = compile_tree(tree, "rare_event")
+        partial = compile_tree(tree, "rare_event", cut_sets=truncated)
+        assert partial is not full
+        point = {"S": 0.3, "A": 0.3, "B": 0.3, "C": 0.1}
+        assert partial.scalar(point) == hazard_probability(
+            tree, point, "rare_event", cut_sets=truncated)
+        assert full.scalar(point) == hazard_probability(
+            tree, point, "rare_event")
+        assert partial.scalar(point) != full.scalar(point)
+
+    def test_sampler_cache_entries_are_collectable(self):
+        import gc
+        import weakref
+        from repro.compile import compile_sampler
+        tree = small_tree()
+        compile_sampler(tree)
+        ref = weakref.ref(tree)
+        del tree
+        gc.collect()
+        assert ref() is None
+
+    def test_terminal_root_still_validates_leaves(self):
+        from repro.errors import QuantificationError
+        from repro.fta.dsl import house
+        tree = FaultTree(hazard("H", OR_gate=[
+            house("ON", True), primary("A")]))  # A has no default
+        evaluator = compile_tree(tree, "exact", cache=False)
+        # The interpreted path rejects the missing leaf probability even
+        # though the house event collapses the BDD to TRUE; so must we.
+        with pytest.raises(QuantificationError):
+            hazard_probability(tree, {}, "exact")
+        with pytest.raises(QuantificationError):
+            evaluator.scalar({})
+        with pytest.raises(QuantificationError):
+            evaluator.evaluate([{}])
+        assert evaluator.scalar({"A": 0.5}) == 1.0
+        assert evaluator.evaluate([{"A": 0.5}])[0] == 1.0
+
+
+class TestCli:
+    def run_cli(self, tmp_path, capsys, *flags):
+        from repro.cli import main
+        jobs = {"jobs": [{"type": "sweep", "tree": "collision",
+                          "axes": {"OT1": [0.01, 0.02, 0.03],
+                                   "OT2": [0.01, 0.02]},
+                          "probabilities": {"Other collision causes":
+                                            0.001}}]}
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(jobs))
+        assert main(["batch", str(path), "--json", *flags]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_compiled_and_interpreted_cli_results_agree(self, tmp_path,
+                                                        capsys):
+        compiled = self.run_cli(tmp_path, capsys, "--compiled")
+        interpreted = self.run_cli(tmp_path, capsys, "--no-compiled")
+        assert compiled["results"] == interpreted["results"]

@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro.errors import ModelError
 from repro.fta import ConstraintPolicy, FaultTree
-from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
+from repro.fta.dsl import INHIBIT, OR, condition, hazard, primary
 from repro.stats import Normal
 
 

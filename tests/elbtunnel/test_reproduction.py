@@ -7,13 +7,10 @@ set by how precisely the paper states each figure ("approximately 19",
 
 import pytest
 
-from repro.core import SafetyOptimizer
 from repro.elbtunnel import (
     COLLISION,
     FALSE_ALARM,
     build_safety_model,
-    fig5_surface,
-    fig6_study,
     full_study,
     optimum_study,
 )

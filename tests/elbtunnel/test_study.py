@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.elbtunnel import ElbtunnelConfig, fig5_surface, fig6_study
+from repro.elbtunnel import fig5_surface, fig6_study
 from repro.elbtunnel.study import Fig5Surface
 from repro.errors import ModelError
 

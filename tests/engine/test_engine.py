@@ -278,8 +278,9 @@ class TestBatchCli:
         assert "executed=0" in warm
         assert "hits=3" in warm
         # identical reported results
-        strip = lambda text: [line for line in text.splitlines()
-                              if line.startswith("[")]
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if line.startswith("[")]
         assert strip(cold) == strip(warm)
 
     def test_batch_builtin_tree_and_errors(self, tmp_path, capsys):

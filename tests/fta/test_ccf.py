@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import FaultTreeError
 from repro.fta import FaultTree, apply_beta_factor, hazard_probability, mocus
-from repro.fta.dsl import AND, OR, hazard, primary
+from repro.fta.dsl import AND, hazard, primary
 
 
 @pytest.fixture

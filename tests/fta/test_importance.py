@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import QuantificationError
 from repro.fta import FaultTree, importance_measures
-from repro.fta.dsl import AND, OR, hazard, primary
+from repro.fta.dsl import OR, hazard, primary
 
 
 class TestClosedForms:

@@ -14,7 +14,7 @@ from repro.fta import (
     mocus,
     probability_map,
 )
-from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
+from repro.fta.dsl import AND, OR, condition, hazard, primary
 
 
 class TestProbabilityMap:

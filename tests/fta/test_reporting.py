@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import QuantificationError
 from repro.fta import FaultTree, analyze
 from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
 

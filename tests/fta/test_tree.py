@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import ValidationError
-from repro.fta import FaultTree, Gate, GateType, PrimaryFailure
-from repro.fta.dsl import AND, INHIBIT, KOFN, NOT, OR, XOR, condition, \
+from repro.fta import FaultTree, Gate
+from repro.fta.dsl import AND, INHIBIT, NOT, OR, XOR, condition, \
     hazard, house, primary
 
 

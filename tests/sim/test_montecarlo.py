@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.fta import FaultTree, hazard_probability
-from repro.fta.dsl import AND, OR, hazard, primary
+from repro.fta.dsl import OR, hazard, primary
 from repro.sim import monte_carlo_probability
 from repro.sim.montecarlo import monte_carlo_cut_set_frequencies
 

@@ -8,6 +8,8 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.engine",
+    "repro.compile",
     "repro.fta",
     "repro.bdd",
     "repro.stats",
@@ -47,6 +49,29 @@ def test_public_callables_documented(package):
 def test_version_string():
     import repro
     assert repro.__version__.count(".") == 2
+
+
+def test_version_is_single_sourced():
+    """setup.py and pyproject.toml both read repro.__version__."""
+    import pathlib
+
+    import repro
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    pyproject = (root / "pyproject.toml").read_text()
+    assert 'dynamic = ["version"]' in pyproject
+    assert 'version = {attr = "repro.__version__"}' in pyproject
+    assert '"1.0.0"' not in pyproject
+
+    # Execute only setup.py's helper definitions, not setup() itself.
+    import ast
+    setup_py = root / "setup.py"
+    module = ast.parse(setup_py.read_text())
+    module.body = [node for node in module.body
+                   if isinstance(node, (ast.Import, ast.ImportFrom,
+                                        ast.FunctionDef))]
+    namespace = {"__file__": str(setup_py)}
+    exec(compile(module, str(setup_py), "exec"), namespace)
+    assert namespace["read_version"]() == repro.__version__
 
 
 def test_error_hierarchy():

@@ -1,6 +1,5 @@
 """Cross-module integration: full pipelines end to end."""
 
-import math
 
 import pytest
 
@@ -22,7 +21,6 @@ from repro.fta import (
     apply_beta_factor,
     evaluate_mission,
     hazard_probability,
-    mocus,
     scale_exposure_probabilities,
     tree_from_json,
     tree_to_json,

@@ -12,7 +12,6 @@ randomly generated trees:
   un-fails the system).
 """
 
-import itertools
 
 import pytest
 from hypothesis import given, settings
