@@ -8,21 +8,28 @@ formula (Eq. 1) "neglects second and higher-order terms"; this engine is the
 reference against which that approximation's error is measured
 (benchmark A2).
 
-The implementation is a classic unique-table/compute-table ROBDD:
+The implementation is an index-based *arena* kernel:
 
-* :class:`BDDManager` owns the node store and variable order,
-* boolean operations go through Shannon-expansion ``apply`` with
-  memoization,
+* :class:`BDDManager` owns the node arena (parallel ``var/low/high``
+  integer arrays), the variable order, and packed-integer unique and
+  compute tables; :class:`Node` is a lightweight interned handle, so
+  equality is still identity and diagrams are canonical for a fixed
+  variable order,
+* boolean operations go through an iterative Shannon-expansion ``apply``
+  with integer opcodes (plus a true ternary ``ite``); every traversal
+  uses an explicit stack, so deep diagrams never hit the recursion limit,
 * :func:`~repro.bdd.prob.probability` evaluates the function's satisfaction
-  probability given independent variable probabilities in one
-  bottom-up pass,
+  probability in one bottom-up pass over the leveled arena, and
+  :func:`~repro.bdd.prob.probability_batch` runs the same pass over a
+  whole ``(batch, n_vars)`` probability matrix,
 * :func:`~repro.bdd.mcs.minimal_cut_sets` extracts prime implicants of the
-  monotone function via Rauzy's minimal-solutions construction.
+  monotone function via Rauzy's minimal-solutions construction on integer
+  bitmasks with popcount-grouped absorption.
 """
 
 from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
 from repro.bdd.mcs import minimal_cut_sets
-from repro.bdd.prob import probability
+from repro.bdd.prob import probability, probability_batch
 
 __all__ = [
     "BDDManager",
@@ -30,5 +37,6 @@ __all__ = [
     "TRUE",
     "FALSE",
     "probability",
+    "probability_batch",
     "minimal_cut_sets",
 ]

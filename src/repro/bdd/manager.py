@@ -1,63 +1,115 @@
-"""ROBDD node store with unique and compute tables.
+"""ROBDD arena kernel: nodes as indices into parallel integer arrays.
 
-Nodes are interned: structurally identical nodes are the same object, so
-equality is identity and the diagram is canonical for a fixed variable
-order.  Terminals are the module-level singletons :data:`TRUE` and
-:data:`FALSE`.
+Nodes live in a *node arena* inside :class:`BDDManager` — three parallel
+lists ``var[] / low[] / high[]`` indexed by integer node id — instead of a
+graph of linked objects.  Index ``0`` is the FALSE terminal, index ``1``
+the TRUE terminal, and every decision node is created *after* its
+children, so ascending index order is a topological (children-first)
+order of every diagram in the manager.  The unique table and the shared
+``(op, a, b)`` compute table use packed integer keys, and every traversal
+(`apply`, `negate`, ``ite``, ``restrict``, ``sat_count``) runs an explicit
+stack, so arbitrarily deep diagrams never hit Python's recursion limit.
+
+The public surface is handle-based: :class:`Node` is a lightweight
+interned view onto one arena slot, so structurally identical functions
+are still the *same object* and equality remains identity, exactly as in
+the linked-node kernel this module replaces.  Terminals are the
+module-level singletons :data:`TRUE` and :data:`FALSE`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import BDDError
 
+#: Integer opcodes for the shared compute table.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+#: Sentinel "variable" of the terminals: sorts after every real variable.
+_NO_VAR = (1 << 60)
+
 
 class Node:
-    """A BDD node: terminal or ``(var, low, high)`` decision node.
+    """A handle to one BDD node: an index into a manager's arena.
 
-    ``var`` is the variable index in the manager's order (lower index =
-    closer to the root).  ``low`` is the cofactor for ``var = 0``, ``high``
-    for ``var = 1``.  Terminals carry ``var = None`` and a boolean
-    ``value``.
+    ``index`` is the node's arena slot (``0`` = FALSE, ``1`` = TRUE).
+    Handles are interned per manager, so two handles denote the same
+    Boolean function iff they are the same object.  The linked-node
+    attributes ``var`` / ``low`` / ``high`` / ``value`` are kept as
+    read-only views onto the arena for compatibility and debugging; the
+    kernel itself only ever touches indices.
     """
 
-    __slots__ = ("var", "low", "high", "value")
+    __slots__ = ("manager", "index", "value")
 
-    def __init__(self, var: Optional[int], low: Optional["Node"],
-                 high: Optional["Node"], value: Optional[bool] = None):
-        self.var = var
-        self.low = low
-        self.high = high
+    def __init__(self, manager: Optional["BDDManager"], index: int,
+                 value: Optional[bool] = None):
+        self.manager = manager
+        self.index = index
         self.value = value
 
     @property
     def is_terminal(self) -> bool:
         """True for the TRUE/FALSE leaves."""
-        return self.var is None
+        return self.index < 2
+
+    @property
+    def var(self) -> Optional[int]:
+        """Variable order index (``None`` for terminals)."""
+        if self.index < 2:
+            return None
+        return self.manager._vars[self.index]
+
+    @property
+    def low(self) -> Optional["Node"]:
+        """Cofactor for ``var = 0`` (``None`` for terminals)."""
+        if self.index < 2:
+            return None
+        return self.manager._node(self.manager._lows[self.index])
+
+    @property
+    def high(self) -> Optional["Node"]:
+        """Cofactor for ``var = 1`` (``None`` for terminals)."""
+        if self.index < 2:
+            return None
+        return self.manager._node(self.manager._highs[self.index])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        if self.is_terminal:
-            return f"<{'TRUE' if self.value else 'FALSE'}>"
-        return f"<Node var={self.var}>"
+        if self.index < 2:
+            return f"<{'TRUE' if self.index else 'FALSE'}>"
+        return f"<Node {self.index} var={self.var}>"
 
 
-TRUE = Node(None, None, None, True)
-FALSE = Node(None, None, None, False)
+TRUE = Node(None, 1, True)
+FALSE = Node(None, 0, False)
 
 
 class BDDManager:
-    """Owns variable ordering and node interning for one family of BDDs.
+    """Owns the node arena, variable ordering and all compute tables.
 
-    Variables are registered by name with :meth:`add_var` (or implicitly by
-    :meth:`var`); their registration order is the BDD order.  All boolean
-    connectives are provided, each memoized in a per-manager compute table.
+    Variables are registered by name with :meth:`add_var` (or implicitly
+    by :meth:`var`); their registration order is the BDD order.  All
+    boolean connectives are provided, each memoized in the manager's
+    typed ``(op, a, b)`` compute table; :meth:`ite` has its own ternary
+    table.  The raw arrays are readable through :attr:`arena` and
+    :meth:`topological_indices` so downstream passes (probability,
+    tape lowering, cut-set extraction) can run directly over indices.
     """
 
     def __init__(self):
-        self._unique: Dict[Tuple[int, int, int], Node] = {}
-        self._apply_cache: Dict[Tuple[str, int, int], Node] = {}
-        self._not_cache: Dict[int, Node] = {}
+        # Arena slots 0/1 are the terminals; their var sorts last so the
+        # apply loop can treat them uniformly.
+        self._vars: List[int] = [_NO_VAR, _NO_VAR]
+        self._lows: List[int] = [0, 1]
+        self._highs: List[int] = [0, 1]
+        self._handles: List[Optional[Node]] = [FALSE, TRUE]
+        self._unique: Dict[int, int] = {}
+        self._compute: Dict[int, int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
         self._var_names: List[str] = []
         self._var_index: Dict[str, int] = {}
 
@@ -66,8 +118,9 @@ class BDDManager:
     # ------------------------------------------------------------------
     def add_var(self, name: str) -> int:
         """Register ``name`` (idempotent) and return its order index."""
-        if name in self._var_index:
-            return self._var_index[name]
+        index = self._var_index.get(name)
+        if index is not None:
+            return index
         index = len(self._var_names)
         self._var_names.append(name)
         self._var_index[name] = index
@@ -76,7 +129,7 @@ class BDDManager:
     def var(self, name: str) -> Node:
         """Return the BDD of the single variable ``name``."""
         index = self.add_var(name)
-        return self._mk(index, FALSE, TRUE)
+        return self._node(self._mk(index, 0, 1))
 
     def var_name(self, index: int) -> str:
         """Return the name of the variable at order position ``index``."""
@@ -91,69 +144,132 @@ class BDDManager:
         return len(self._var_names)
 
     @property
+    def var_names(self) -> List[str]:
+        """Variable names in order position; treat as read-only."""
+        return self._var_names
+
+    @property
     def node_count(self) -> int:
         """Number of live interned decision nodes (terminals excluded)."""
-        return len(self._unique)
+        return len(self._vars) - 2
+
+    # ------------------------------------------------------------------
+    # Arena access
+    # ------------------------------------------------------------------
+    @property
+    def arena(self) -> Tuple[List[int], List[int], List[int]]:
+        """The ``(var, low, high)`` arrays, indexed by node id.
+
+        Slots 0/1 are the FALSE/TRUE terminals (their ``var`` entry is a
+        sentinel that sorts after every real variable).  Treat the lists
+        as read-only views: they are the live arena, not a copy.
+        """
+        return self._vars, self._lows, self._highs
+
+    def topological_indices(self, node: Union[Node, int]) -> List[int]:
+        """Reachable decision-node indices, children before parents.
+
+        Decision nodes are always created after their cofactors, so
+        ascending arena order is a topological level order — the
+        iteration order used by every bottom-up pass (probability,
+        sat-count, tape lowering, cut-set extraction).
+        """
+        index = node.index if isinstance(node, Node) else node
+        if index < 2:
+            return []
+        lows, highs = self._lows, self._highs
+        seen: Set[int] = {index}
+        add = seen.add
+        stack = [index]
+        push = stack.append
+        while stack:
+            n = stack.pop()
+            low = lows[n]
+            if low > 1 and low not in seen:
+                add(low)
+                push(low)
+            high = highs[n]
+            if high > 1 and high not in seen:
+                add(high)
+                push(high)
+        return sorted(seen)
 
     # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
-    def _mk(self, var: int, low: Node, high: Node) -> Node:
-        if low is high:
+    def _node(self, index: int) -> Node:
+        """Interned handle for an arena index."""
+        handle = self._handles[index]
+        if handle is None:
+            handle = Node(self, index)
+            self._handles[index] = handle
+        return handle
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
             return low
-        key = (var, id(low), id(high))
-        node = self._unique.get(key)
-        if node is None:
-            node = Node(var, low, high)
-            self._unique[key] = node
-        return node
+        key = ((var << 32 | low) << 32) | high
+        index = self._unique.get(key)
+        if index is None:
+            index = len(self._vars)
+            self._vars.append(var)
+            self._lows.append(low)
+            self._highs.append(high)
+            self._handles.append(None)
+            self._unique[key] = index
+        return index
 
     # ------------------------------------------------------------------
     # Boolean operations
     # ------------------------------------------------------------------
     def apply_and(self, a: Node, b: Node) -> Node:
         """Conjunction of two BDDs."""
-        return self._apply("and", a, b)
+        return self._node(self._apply(_OP_AND, a.index, b.index))
 
     def apply_or(self, a: Node, b: Node) -> Node:
         """Disjunction of two BDDs."""
-        return self._apply("or", a, b)
+        return self._node(self._apply(_OP_OR, a.index, b.index))
 
     def apply_xor(self, a: Node, b: Node) -> Node:
         """Exclusive or of two BDDs."""
-        return self._apply("xor", a, b)
+        return self._node(self._apply(_OP_XOR, a.index, b.index))
 
     def negate(self, a: Node) -> Node:
         """Negation of a BDD."""
-        if a is TRUE:
-            return FALSE
-        if a is FALSE:
-            return TRUE
-        cached = self._not_cache.get(id(a))
-        if cached is not None:
-            return cached
-        result = self._mk(a.var, self.negate(a.low), self.negate(a.high))
-        self._not_cache[id(a)] = result
-        return result
+        return self._node(self._neg(a.index))
+
+    def _fold(self, op: int, nodes, empty: int) -> Node:
+        """Balanced pairwise reduction of an associative apply.
+
+        Produces the same canonical diagram as a linear fold (the ROBDD
+        of the combined function is unique for a fixed variable order)
+        but visits far fewer operand pairs: a linear fold re-descends the
+        whole accumulated diagram at every step, a balanced fold mostly
+        combines small disjoint diagrams.
+        """
+        items = [node.index for node in nodes]
+        if not items:
+            return self._node(empty)
+        while len(items) > 1:
+            merged = [self._apply(op, items[i], items[i + 1])
+                      for i in range(0, len(items) - 1, 2)]
+            if len(items) % 2:
+                merged.append(items[-1])
+            items = merged
+        return self._node(items[0])
 
     def and_all(self, nodes) -> Node:
         """Conjunction of an iterable of BDDs (TRUE when empty)."""
-        result = TRUE
-        for node in nodes:
-            result = self.apply_and(result, node)
-        return result
+        return self._fold(_OP_AND, nodes, 1)
 
     def or_all(self, nodes) -> Node:
         """Disjunction of an iterable of BDDs (FALSE when empty)."""
-        result = FALSE
-        for node in nodes:
-            result = self.apply_or(result, node)
-        return result
+        return self._fold(_OP_OR, nodes, 0)
 
     def ite(self, cond: Node, then: Node, otherwise: Node) -> Node:
         """If-then-else composition ``cond ? then : otherwise``."""
-        return self.apply_or(self.apply_and(cond, then),
-                             self.apply_and(self.negate(cond), otherwise))
+        return self._node(self._ite(cond.index, then.index,
+                                    otherwise.index))
 
     def at_least(self, k: int, nodes: List[Node]) -> Node:
         """K-of-N combination: true when at least ``k`` inputs are true.
@@ -167,74 +283,210 @@ class BDDManager:
         if k > n:
             return FALSE
         # state[j] = BDD of "at least j of the inputs seen so far are true"
-        state = [TRUE] + [FALSE] * k
+        state = [1] + [0] * k
         for node in nodes:
+            index = node.index
             for j in range(k, 0, -1):
-                state[j] = self.apply_or(
-                    state[j], self.apply_and(state[j - 1], node))
-        return state[k]
+                state[j] = self._apply(
+                    _OP_OR, state[j],
+                    self._apply(_OP_AND, state[j - 1], index))
+        return self._node(state[k])
 
-    def _apply(self, op: str, a: Node, b: Node) -> Node:
-        terminal = self._apply_terminal(op, a, b)
-        if terminal is not None:
-            return terminal
-        key = (op, id(a), id(b))
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            return cached
-        # Shannon expansion on the top-most variable of the two operands.
-        a_var = a.var if not a.is_terminal else None
-        b_var = b.var if not b.is_terminal else None
-        if b_var is None or (a_var is not None and a_var < b_var):
-            var = a_var
-            a_low, a_high = a.low, a.high
-            b_low, b_high = b, b
-        elif a_var is None or b_var < a_var:
-            var = b_var
-            a_low, a_high = a, a
-            b_low, b_high = b.low, b.high
-        else:
-            var = a_var
-            a_low, a_high = a.low, a.high
-            b_low, b_high = b.low, b.high
-        result = self._mk(var,
-                          self._apply(op, a_low, b_low),
-                          self._apply(op, a_high, b_high))
-        self._apply_cache[key] = result
-        return result
-
+    # -- kernel ---------------------------------------------------------
     @staticmethod
-    def _apply_terminal(op: str, a: Node, b: Node) -> Optional[Node]:
-        if op == "and":
-            if a is FALSE or b is FALSE:
-                return FALSE
-            if a is TRUE:
-                return b
-            if b is TRUE:
-                return a
-            if a is b:
-                return a
-        elif op == "or":
-            if a is TRUE or b is TRUE:
-                return TRUE
-            if a is FALSE:
-                return b
-            if b is FALSE:
-                return a
-            if a is b:
-                return a
-        elif op == "xor":
-            if a is b:
-                return FALSE
-            if a is FALSE:
-                return b
-            if b is FALSE:
-                return a
-            if a is TRUE and b is TRUE:
-                return FALSE
-        else:
-            raise BDDError(f"unknown boolean operation {op!r}")
-        return None
+    def _terminal(op: int, x: int, y: int) -> int:
+        """Terminal rule for a normalized (``x <= y``) operand pair.
+
+        Returns the result index, or ``-1`` when Shannon expansion is
+        required.  With ``x <= y``, any terminal operand is ``x``.
+        """
+        if op == _OP_AND:
+            if x == 0:
+                return 0
+            if x == 1:
+                return y
+            if x == y:
+                return x
+        elif op == _OP_OR:
+            if x == 1:
+                return 1
+            if x == 0:
+                return y
+            if x == y:
+                return x
+        else:  # XOR
+            if x == y:
+                return 0
+            if x == 0:
+                return y
+        return -1
+
+    def _apply(self, op: int, a: int, b: int) -> int:
+        """Shannon-expansion apply over indices, iterative and memoized.
+
+        All three opcodes are commutative, so operand pairs are
+        normalized (``x <= y``) before the packed-key cache lookup,
+        which merges the two symmetric cache entries into one.
+        """
+        if a > b:
+            a, b = b, a
+        terminal = self._terminal
+        result = terminal(op, a, b)
+        if result >= 0:
+            return result
+        compute = self._compute
+        root_key = ((a << 32 | b) << 2) | op
+        hit = compute.get(root_key)
+        if hit is not None:
+            return hit
+        vars_, lows, highs = self._vars, self._lows, self._highs
+        unique = self._unique
+        handles = self._handles
+        # The hot loop inlines the terminal rules and node interning
+        # (_terminal/_mk) — call overhead dominates their tiny bodies.
+        stack = [(a, b, False)]
+        push = stack.append
+        while stack:
+            x, y, ready = stack.pop()
+            key = ((x << 32 | y) << 2) | op
+            if key in compute:
+                continue
+            vx = vars_[x]
+            vy = vars_[y]
+            if vx <= vy:
+                x0, x1 = lows[x], highs[x]
+                var = vx
+            else:
+                x0 = x1 = x
+                var = vy
+            if vy <= vx:
+                y0, y1 = lows[y], highs[y]
+            else:
+                y0 = y1 = y
+            if x0 > y0:
+                x0, y0 = y0, x0
+            if x1 > y1:
+                x1, y1 = y1, x1
+            lo = terminal(op, x0, y0)
+            hi = terminal(op, x1, y1)
+            if ready or (lo >= 0 and hi >= 0):
+                if lo < 0:
+                    lo = compute[((x0 << 32 | y0) << 2) | op]
+                if hi < 0:
+                    hi = compute[((x1 << 32 | y1) << 2) | op]
+                if lo == hi:
+                    compute[key] = lo
+                    continue
+                ukey = ((var << 32 | lo) << 32) | hi
+                index = unique.get(ukey)
+                if index is None:
+                    index = len(vars_)
+                    vars_.append(var)
+                    lows.append(lo)
+                    highs.append(hi)
+                    handles.append(None)
+                    unique[ukey] = index
+                compute[key] = index
+                continue
+            push((x, y, True))
+            if hi < 0:
+                push((x1, y1, False))
+            if lo < 0:
+                push((x0, y0, False))
+        return compute[root_key]
+
+    def _neg(self, a: int) -> int:
+        """Iterative complement with a persistent per-manager cache."""
+        if a < 2:
+            return a ^ 1
+        cache = self._not_cache
+        hit = cache.get(a)
+        if hit is not None:
+            return hit
+        vars_, lows, highs = self._vars, self._lows, self._highs
+        stack = [(a, False)]
+        push = stack.append
+        while stack:
+            n, ready = stack.pop()
+            if n in cache:
+                continue
+            lo, hi = lows[n], highs[n]
+            if ready:
+                nl = lo ^ 1 if lo < 2 else cache[lo]
+                nh = hi ^ 1 if hi < 2 else cache[hi]
+                cache[n] = self._mk(vars_[n], nl, nh)
+                continue
+            push((n, True))
+            if hi > 1 and hi not in cache:
+                push((hi, False))
+            if lo > 1 and lo not in cache:
+                push((lo, False))
+        return cache[a]
+
+    def _ite_terminal(self, f: int, g: int, h: int) -> int:
+        if f == 1:
+            return g
+        if f == 0:
+            return h
+        if g == h:
+            return g
+        if g == 1 and h == 0:
+            return f
+        if g == 0 and h == 1:
+            return self._neg(f)
+        return -1
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        """Ternary if-then-else over indices, iterative and memoized."""
+        terminal = self._ite_terminal
+        result = terminal(f, g, h)
+        if result >= 0:
+            return result
+        cache = self._ite_cache
+        root_key = (f, g, h)
+        hit = cache.get(root_key)
+        if hit is not None:
+            return hit
+        vars_, lows, highs = self._vars, self._lows, self._highs
+        stack = [(f, g, h, False)]
+        push = stack.append
+        while stack:
+            x, y, z, ready = stack.pop()
+            key = (x, y, z)
+            if key in cache:
+                continue
+            v = vars_[x]
+            if vars_[y] < v:
+                v = vars_[y]
+            if vars_[z] < v:
+                v = vars_[z]
+            if vars_[x] == v:
+                x0, x1 = lows[x], highs[x]
+            else:
+                x0 = x1 = x
+            if vars_[y] == v:
+                y0, y1 = lows[y], highs[y]
+            else:
+                y0 = y1 = y
+            if vars_[z] == v:
+                z0, z1 = lows[z], highs[z]
+            else:
+                z0 = z1 = z
+            if ready:
+                lo = terminal(x0, y0, z0)
+                if lo < 0:
+                    lo = cache[(x0, y0, z0)]
+                hi = terminal(x1, y1, z1)
+                if hi < 0:
+                    hi = cache[(x1, y1, z1)]
+                cache[key] = self._mk(v, lo, hi)
+                continue
+            push((x, y, z, True))
+            if terminal(x1, y1, z1) < 0:
+                push((x1, y1, z1, False))
+            if terminal(x0, y0, z0) < 0:
+                push((x0, y0, z0, False))
+        return cache[root_key]
 
     # ------------------------------------------------------------------
     # Structural queries
@@ -243,82 +495,81 @@ class BDDManager:
         """Cofactor: fix ``var_name`` to ``value`` and simplify."""
         if var_name not in self._var_index:
             raise BDDError(f"unknown variable {var_name!r}")
-        index = self._var_index[var_name]
-        cache: Dict[int, Node] = {}
+        target = self._var_index[var_name]
+        vars_, lows, highs = self._vars, self._lows, self._highs
+        cache: Dict[int, int] = {}
 
-        def walk(n: Node) -> Node:
-            if n.is_terminal or n.var > index:
+        def done(n: int) -> bool:
+            # Terminals and nodes ordered past the target are unchanged.
+            return n < 2 or vars_[n] > target or n in cache
+
+        def resolved(n: int) -> int:
+            if n < 2 or vars_[n] > target:
                 return n
-            hit = cache.get(id(n))
-            if hit is not None:
-                return hit
-            if n.var == index:
-                result = n.high if value else n.low
-            else:
-                result = self._mk(n.var, walk(n.low), walk(n.high))
-            cache[id(n)] = result
-            return result
+            return cache[n]
 
-        return walk(node)
+        stack = [(node.index, False)]
+        push = stack.append
+        while stack:
+            n, ready = stack.pop()
+            if n < 2 or vars_[n] > target or n in cache:
+                continue
+            if vars_[n] == target:
+                cache[n] = highs[n] if value else lows[n]
+                continue
+            lo, hi = lows[n], highs[n]
+            if ready:
+                cache[n] = self._mk(vars_[n], resolved(lo), resolved(hi))
+                continue
+            push((n, True))
+            if not done(hi):
+                push((hi, False))
+            if not done(lo):
+                push((lo, False))
+        return self._node(resolved(node.index))
 
     def support(self, node: Node) -> set:
         """Return the set of variable names the function depends on."""
-        names = set()
-        seen = set()
-        stack = [node]
-        while stack:
-            n = stack.pop()
-            if n.is_terminal or id(n) in seen:
-                continue
-            seen.add(id(n))
-            names.add(self._var_names[n.var])
-            stack.append(n.low)
-            stack.append(n.high)
-        return names
+        names = self._var_names
+        return {names[self._vars[n]]
+                for n in self.topological_indices(node)}
 
     def size(self, node: Node) -> int:
         """Number of decision nodes reachable from ``node``."""
-        seen = set()
-        stack = [node]
-        count = 0
-        while stack:
-            n = stack.pop()
-            if n.is_terminal or id(n) in seen:
-                continue
-            seen.add(id(n))
-            count += 1
-            stack.append(n.low)
-            stack.append(n.high)
-        return count
+        return len(self.topological_indices(node))
 
     def evaluate(self, node: Node, assignment: Dict[str, bool]) -> bool:
         """Evaluate the function for a full variable assignment."""
-        current = node
-        while not current.is_terminal:
-            name = self._var_names[current.var]
+        vars_, lows, highs = self._vars, self._lows, self._highs
+        names = self._var_names
+        current = node.index
+        while current > 1:
+            name = names[vars_[current]]
             try:
                 bit = assignment[name]
             except KeyError:
                 raise BDDError(
                     f"assignment missing variable {name!r}") from None
-            current = current.high if bit else current.low
-        return bool(current.value)
+            current = highs[current] if bit else lows[current]
+        return current == 1
 
     def sat_count(self, node: Node) -> int:
         """Number of satisfying assignments over all registered variables."""
-        total_vars = self.var_count
-        cache: Dict[int, int] = {}
-
-        def walk(n: Node, depth: int) -> int:
-            if n is TRUE:
-                return 2 ** (total_vars - depth)
-            if n is FALSE:
-                return 0
-            key = id(n)
-            hit = cache.get(key)
-            if hit is None:
-                hit = walk(n.low, n.var + 1) + walk(n.high, n.var + 1)
-                cache[key] = hit
-            return hit * 2 ** (n.var - depth)
-
-        return walk(node, 0)
+        total = self.var_count
+        index = node.index
+        if index == 1:
+            return 2 ** total
+        if index == 0:
+            return 0
+        vars_, lows, highs = self._vars, self._lows, self._highs
+        counts: Dict[int, int] = {}
+        for n in self.topological_indices(node):
+            var = vars_[n]
+            acc = 0
+            for child in (lows[n], highs[n]):
+                if child == 1:
+                    acc += 2 ** (total - var - 1)
+                elif child != 0:
+                    acc += counts[child] * 2 ** (vars_[child] - var - 1)
+            counts[n] = acc
+        return counts[index] * 2 ** vars_[index]

@@ -6,6 +6,15 @@ obtained from the BDD by the classic ``minsol`` construction: at each node,
 solutions of the high branch that are already solutions of the low branch
 need not assert the node's variable; the remainder do.
 
+The construction runs bottom-up over the manager's arena (children-first
+index order, no recursion) and represents every cut set as an integer
+*bitmask* over variable order positions, so subsumption is a single
+``a & b == a`` test.  No per-node absorption pass is needed at all: the
+low family never contains the node's bit while every kept high solution
+does, and both families are antichains by induction, so their union is
+already minimal — the quadratic re-minimization the linked-node
+implementation ran at every node was a no-op by construction.
+
 The result is canonical: a sorted list of frozensets of variable names.
 :mod:`repro.fta.cutsets` (MOCUS) must agree with this module on every tree —
 that cross-check is both a test and a benchmark.
@@ -13,9 +22,9 @@ that cross-check is both a test and a benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Tuple
 
-from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
+from repro.bdd.manager import BDDManager, Node
 
 
 def minimal_cut_sets(manager: BDDManager,
@@ -26,44 +35,43 @@ def minimal_cut_sets(manager: BDDManager,
     literals); behaviour on non-monotone functions is the minimal
     *solutions* of the BDD, which may not be prime implicants.
     """
-    cache: Dict[int, Set[FrozenSet[str]]] = {}
-
-    def walk(n: Node) -> Set[FrozenSet[str]]:
-        if n is TRUE:
-            return {frozenset()}
-        if n is FALSE:
-            return set()
-        hit = cache.get(id(n))
-        if hit is not None:
-            return hit
-        name = manager.var_name(n.var)
-        low_sets = walk(n.low)
-        high_sets = walk(n.high)
-        # Solutions of the low branch are solutions regardless of this
-        # variable.  Solutions of the high branch require the variable
-        # unless some low-branch solution already covers them.
-        result: Set[FrozenSet[str]] = set(low_sets)
-        for cut in high_sets:
-            extended = cut | {name}
-            if not _is_superset_of_any(extended, low_sets):
-                result.add(extended)
-        result = _minimize(result)
-        cache[id(n)] = result
-        return result
-
-    return sorted(walk(node), key=lambda cs: (len(cs), sorted(cs)))
-
-
-def _is_superset_of_any(candidate: FrozenSet[str],
-                        sets: Set[FrozenSet[str]]) -> bool:
-    return any(existing <= candidate for existing in sets)
-
-
-def _minimize(sets: Set[FrozenSet[str]]) -> Set[FrozenSet[str]]:
-    """Remove any set that is a strict superset of another (absorption)."""
-    ordered = sorted(sets, key=len)
-    kept: List[FrozenSet[str]] = []
-    for cut in ordered:
-        if not any(existing < cut or existing == cut for existing in kept):
-            kept.append(cut)
-    return set(kept)
+    index = node.index
+    if index == 1:
+        return [frozenset()]
+    if index == 0:
+        return []
+    vars_, lows, highs = manager.arena
+    # families[n] = minimal solution masks of node n (an antichain),
+    # held as (popcount, mask) pairs in ascending popcount order so the
+    # subsumption scan can stop at the first low mask with more bits
+    # than the candidate.
+    families: Dict[int, Tuple[Tuple[int, int], ...]] = {0: (), 1: ((0, 0),)}
+    for n in manager.topological_indices(node):
+        bit = 1 << vars_[n]
+        low_family = families[lows[n]]
+        extended: List[Tuple[int, int]] = []
+        for popcount, mask in families[highs[n]]:
+            mask |= bit
+            popcount += 1
+            # A high-branch solution needs the variable unless some
+            # low-branch solution already covers it.
+            subsumed = False
+            for low_popcount, low_mask in low_family:
+                if low_popcount > popcount:
+                    break
+                if low_mask & mask == low_mask:
+                    subsumed = True
+                    break
+            if not subsumed:
+                extended.append((popcount, mask))
+        if extended:
+            # Both runs are popcount-sorted; Timsort merges them in
+            # linear time.
+            families[n] = tuple(sorted(low_family + tuple(extended)))
+        else:
+            families[n] = low_family
+    names = manager.var_names
+    result = [frozenset(name for i, name in enumerate(names)
+                        if mask >> i & 1)
+              for _size, mask in families[index]]
+    return sorted(result, key=lambda cs: (len(cs), sorted(cs)))

@@ -5,6 +5,12 @@ is true is computed in a single bottom-up pass over its BDD:
 
 ``P(node) = (1 - p_var) * P(low) + p_var * P(high)``
 
+The pass runs over the manager's arena in ascending index order — a
+topological level order, since decision nodes are always created after
+their cofactors — so no recursion and no per-node dictionary walk is
+involved, and :func:`probability_batch` evaluates the same pass over a
+whole ``(batch, n_vars)`` probability matrix with NumPy row arithmetic.
+
 This is exact — unlike the paper's standard formula (Eq. 1), which sums
 minimal-cut-set products and "neglects second and higher-order terms".  The
 benchmark suite uses this evaluator to measure the rare-event
@@ -15,7 +21,9 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
+import numpy as np
+
+from repro.bdd.manager import BDDManager, Node
 from repro.errors import BDDError
 
 
@@ -34,36 +42,69 @@ def probability(manager: BDDManager, node: Node,
         Every variable in the support of ``node`` must be present and
         inside ``[0, 1]``.
     """
-    if node is TRUE:
+    index = node.index
+    if index == 1:
         return 1.0
-    if node is FALSE:
+    if index == 0:
         return 0.0
-    prob_by_index: Dict[int, float] = {}
-    for name in manager.support(node):
-        if name not in var_probs:
-            raise BDDError(f"no probability given for variable {name!r}")
-        p = var_probs[name]
-        if not 0.0 <= p <= 1.0:
+    vars_, lows, highs = manager.arena
+    names = manager.var_names
+    values: Dict[int, float] = {0: 0.0, 1: 1.0}
+    # Validation folds into the single bottom-up sweep: each support
+    # variable is checked the first time a node branching on it appears.
+    prob_of: Dict[int, float] = {}
+    for n in manager.topological_indices(node):
+        var = vars_[n]
+        p = prob_of.get(var)
+        if p is None:
+            name = names[var]
+            if name not in var_probs:
+                raise BDDError(
+                    f"no probability given for variable {name!r}")
+            p = var_probs[name]
+            if not 0.0 <= p <= 1.0:
+                raise BDDError(
+                    f"probability of {name!r} must be in [0, 1], got {p}")
+            prob_of[var] = p
+        values[n] = (1.0 - p) * values[lows[n]] + p * values[highs[n]]
+    return values[index]
+
+
+def probability_batch(manager: BDDManager, node: Node,
+                      matrix: "np.ndarray") -> "np.ndarray":
+    """Exact probabilities for a whole batch of variable valuations.
+
+    ``matrix`` has shape ``(batch, manager.var_count)``; column ``j``
+    holds the probability of the variable at order position ``j`` for
+    each batch point.  Returns a ``(batch,)`` array, bit-identical to
+    calling :func:`probability` row by row (the per-node arithmetic is
+    the same fused expression, applied to whole columns at once).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != manager.var_count:
+        raise BDDError(
+            f"probability matrix must have shape "
+            f"(batch, {manager.var_count}), got {matrix.shape}")
+    batch = matrix.shape[0]
+    index = node.index
+    if index == 1:
+        return np.ones(batch)
+    if index == 0:
+        return np.zeros(batch)
+    vars_, lows, highs = manager.arena
+    order = manager.topological_indices(node)
+    for var in {vars_[n] for n in order}:
+        column = matrix[:, var]
+        if not np.all((column >= 0.0) & (column <= 1.0)):
             raise BDDError(
-                f"probability of {name!r} must be in [0, 1], got {p}")
-        prob_by_index[manager.add_var(name)] = p
-
-    cache: Dict[int, float] = {}
-
-    def walk(n: Node) -> float:
-        if n is TRUE:
-            return 1.0
-        if n is FALSE:
-            return 0.0
-        hit = cache.get(id(n))
-        if hit is not None:
-            return hit
-        p = prob_by_index[n.var]
-        value = (1.0 - p) * walk(n.low) + p * walk(n.high)
-        cache[id(n)] = value
-        return value
-
-    return walk(node)
+                f"probability of {manager.var_name(var)!r} must be "
+                "in [0, 1]")
+    values: Dict[int, np.ndarray] = {0: np.zeros(batch),
+                                     1: np.ones(batch)}
+    for n in order:
+        p = matrix[:, vars_[n]]
+        values[n] = (1.0 - p) * values[lows[n]] + p * values[highs[n]]
+    return values[index]
 
 
 def conditional_probability(manager: BDDManager, node: Node,

@@ -2,12 +2,13 @@
 
 The exact probability of a Boolean function over independent leaves is a
 single bottom-up pass over its ROBDD (``P = (1-p)*P(low) + p*P(high)``,
-see :mod:`repro.bdd.prob`).  That pass walks a linked node structure with
-a per-node dictionary cache — fine for one evaluation, wasteful for
-thousands.  :class:`CompiledTape` performs the walk *once* at compile
-time, recording each node as one fused-multiply step over value slots;
-evaluating the tape is then a short loop over NumPy array operations, so
-a whole batch of leaf-probability vectors is quantified at C speed.
+see :mod:`repro.bdd.prob`).  That pass walks the manager's node arena
+with per-node dictionary bookkeeping — fine for one evaluation, wasteful
+for thousands.  :class:`CompiledTape` lowers the arena arrays *once* at
+compile time, recording each node as one fused-multiply step over value
+slots; evaluating the tape is then a short loop over NumPy array
+operations, so a whole batch of leaf-probability vectors is quantified
+at C speed.
 
 The tape replays exactly the arithmetic of the interpreted walk (same
 operations, same order, IEEE doubles throughout), so compiled results are
@@ -20,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
+from repro.bdd.manager import BDDManager
 from repro.errors import QuantificationError
 from repro.fta.quantify import to_bdd
 from repro.fta.tree import FaultTree
@@ -55,27 +56,19 @@ class CompiledTape:
                                       for i in range(manager.var_count)]
         self._column: Dict[str, int] = {name: j for j, name
                                         in enumerate(self.leaf_names)}
-        # Post-order (children first) sequence of decision nodes.
-        order: List[Node] = []
-        slot_of: Dict[int, int] = {id(FALSE): _FALSE_SLOT,
-                                   id(TRUE): _TRUE_SLOT}
-        stack: List[tuple] = [(root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            if id(node) in slot_of:
-                continue
-            if expanded:
-                slot_of[id(node)] = 2 + len(order)
-                order.append(node)
-            else:
-                stack.append((node, True))
-                stack.append((node.high, False))
-                stack.append((node.low, False))
+        # Lower straight from the arena arrays: ascending index order is
+        # topological (children first), so each node maps to one step
+        # whose operand slots are already assigned.
+        vars_, lows, highs = manager.arena
+        slot_of: Dict[int, int] = {0: _FALSE_SLOT, 1: _TRUE_SLOT}
+        steps: List[tuple] = []
+        for index in manager.topological_indices(root):
+            slot_of[index] = 2 + len(steps)
+            steps.append((vars_[index], slot_of[lows[index]],
+                          slot_of[highs[index]]))
         # One step per node: (leaf column, low slot, high slot).
-        self._steps: List[tuple] = [
-            (node.var, slot_of[id(node.low)], slot_of[id(node.high)])
-            for node in order]
-        self._root_slot = slot_of[id(root)]
+        self._steps = steps
+        self._root_slot = slot_of[root.index]
         self._support = frozenset(self.leaf_names[var]
                                   for var, _lo, _hi in self._steps)
 

@@ -14,6 +14,7 @@ from repro.elbtunnel.controller import Alarm, HeightControl
 from repro.elbtunnel.faulttrees import (
     build_fault_tree_model,
     collision_fault_tree,
+    corridor_fault_tree,
     false_alarm_fault_tree,
     fig2_fault_tree,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "transit_distribution",
     "fig2_fault_tree",
     "collision_fault_tree",
+    "corridor_fault_tree",
     "false_alarm_fault_tree",
     "HeightControl",
     "Alarm",

@@ -1,6 +1,6 @@
 """Fault trees of the Elbtunnel height control (paper Sect. II & IV-B).
 
-Three trees are provided:
+Four trees are provided:
 
 * :func:`fig2_fault_tree` — the qualitative collision tree of the paper's
   Fig. 2, expanded down to the primary failures of Sect. IV-B.1
@@ -14,6 +14,10 @@ Three trees are provided:
 * :func:`false_alarm_fault_tree` — the quantitative false-alarm tree:
   {HV_ODfinal} guarded by the INHIBIT condition "ODfinal armed" (an OHV
   activated it, or both light barriers false-detected), plus ``Pconst2``.
+* :func:`corridor_fault_tree` — the production-scale corridor model: one
+  wide OR over monitored road sections sharing the accumulated
+  signalling-failure leaf; the largest Elbtunnel tree and the cold-path
+  benchmark workload of ``benchmarks/test_bench_bdd.py``.
 
 Quantifying the two quantitative trees with parameterized leaf
 probabilities reproduces the closed-form hazard formulas of
@@ -35,7 +39,7 @@ from repro.elbtunnel.model import (
     p_overtime_zone2,
     parameter_space,
 )
-from repro.fta.dsl import INHIBIT, OR, condition, hazard, primary
+from repro.fta.dsl import AND, INHIBIT, OR, condition, hazard, primary
 from repro.fta.tree import FaultTree
 
 #: Leaf names in the paper's notation (Sect. IV-B.1).
@@ -151,6 +155,48 @@ def odfinal_armed_probability(config: ElbtunnelConfig
 
     return from_function(formula, fd_post.parameters,
                          label="Pconstraint1(T1)")
+
+
+def corridor_fault_tree(sections: int = 64) -> FaultTree:
+    """Production-scale model: collision anywhere along the corridor.
+
+    The paper analyzes one OHV at the decisive tunnel entrance; a
+    deployed height control supervises a whole approach corridor of
+    ``sections`` monitored road sections.  A collision at section ``s``
+    needs an OHV in that section ignoring the stop signals *and* the
+    shared signalling chain down — the common cause across all sections,
+    accumulated into one leaf exactly as the paper accumulates residual
+    cut sets into ``Pconst1``/``Pconst2`` (Sect. IV-B.2).  Each section
+    additionally carries its own accumulated residual-cause leaf.
+
+    This is the largest Elbtunnel tree (``2 * sections + 1`` primary
+    failures) and the cold-path benchmark workload of
+    ``benchmarks/test_bench_bdd.py``: one wide OR over section branches
+    that all share the signalling leaf — the shape that dominates
+    fault-tree analysis cost at fleet scale.
+    """
+    signal_down = primary(
+        "Signal not shown",
+        probability=1e-4,
+        description="shared signalling chain failure (accumulated: "
+                    "signal hardware, detection chain, timers)")
+    branches = []
+    for s in range(1, sections + 1):
+        ohv = primary(f"OHV in section {s} ignores stop",
+                      probability=1e-3,
+                      description="an overheight vehicle traverses "
+                                  f"section {s} while signals are dark")
+        branches.append(AND(f"Collision at section {s}", ohv, signal_down))
+    for s in range(1, sections + 1):
+        branches.append(primary(
+            f"Other collision causes in section {s}",
+            probability=1e-6,
+            description="accumulated residual minimal cut sets of "
+                        f"section {s} (Pconst-style)"))
+    top = hazard("Corridor collision", OR_gate=branches,
+                 description="an OHV collides somewhere along the "
+                             "supervised approach corridor")
+    return FaultTree(top)
 
 
 def build_fault_tree_model(config: ElbtunnelConfig = ElbtunnelConfig(),

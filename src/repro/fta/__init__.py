@@ -47,6 +47,7 @@ from repro.fta.gates import (
 )
 from repro.fta.importance import ImportanceResult, importance_measures
 from repro.fta.quantify import (
+    VARIABLE_ORDERS,
     approximation_error,
     cut_set_probabilities,
     hazard_probability,
@@ -103,6 +104,7 @@ __all__ = [
     "constrained_cut_set_probability",
     "hazard_probability",
     "probability_map",
+    "VARIABLE_ORDERS",
     "cut_set_probabilities",
     "approximation_error",
     "to_bdd",

@@ -8,6 +8,15 @@ carries each cut set's INHIBIT conditions along the paths from the hazard
 to the cut set's elements — exactly the information the paper's constraint
 probabilities (Sect. II-D.1) quantify.
 
+Internally the expansion works on integer *bitmasks*: every primary
+failure is mapped to a bit position (first-visit order) and every INHIBIT
+condition to a bit in a parallel condition mask, so a cut set is one
+``(failures, conditions)`` pair of ints, subsumption is two ``a & b == a``
+tests, and absorption groups candidates by popcount so only cut sets with
+no more failures are ever compared.  The public boundary is unchanged:
+:class:`CutSet` / :class:`CutSetCollection` still expose frozensets of
+names, and :func:`minimize` accepts and returns :class:`CutSet` lists.
+
 For non-coherent trees (XOR/NOT) use the BDD route
 (:func:`repro.fta.quantify.to_bdd` + :func:`repro.bdd.minimal_cut_sets`).
 """
@@ -28,6 +37,17 @@ from repro.fta.events import (
 )
 from repro.fta.gates import GateType
 from repro.fta.tree import FaultTree
+
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10: one C call
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
+
+#: A cut set in mask form: (failure bitmask, condition bitmask).
+_MaskPair = Tuple[int, int]
 
 
 @dataclass(frozen=True, order=True)
@@ -113,20 +133,79 @@ class CutSetCollection:
         return (f"CutSetCollection({self.hazard_name!r}, "
                 f"{len(self.cut_sets)} minimal cut sets)")
 
+    @classmethod
+    def _from_minimal(cls, hazard_name: str,
+                      cut_sets: Iterable[CutSet]) -> "CutSetCollection":
+        """Build a collection from cut sets that are already minimal
+        (skips the constructor's re-minimization); internal fast path
+        for :func:`mocus`."""
+        self = cls.__new__(cls)
+        self.hazard_name = hazard_name
+        self.cut_sets = sorted(
+            cut_sets,
+            key=lambda cs: (cs.order, sorted(cs.failures),
+                            sorted(cs.conditions)))
+        return self
+
+
+def _minimize_pairs(pairs: List[_MaskPair]) -> List[_MaskPair]:
+    """Absorption over mask pairs, ordered by failure popcount.
+
+    A pair is dropped when an already-kept pair has a subset of its
+    failures *and* a subset of its conditions.  Exact duplicates collapse
+    in the dedup step, so no equality test is needed in the loop, and the
+    ascending popcount order guarantees kept pairs never have more
+    failures than the candidate — subsumption is one-directional.
+    """
+    unique = list(dict.fromkeys(pairs))
+    if len(unique) <= 1:
+        return unique
+    unique.sort(key=lambda p: (_popcount(p[0]), _popcount(p[1])))
+    kept: List[_MaskPair] = []
+    for pair in unique:
+        failures, conditions = pair
+        for kf, kc in kept:
+            # kept is popcount-sorted, so kf never has more bits than
+            # failures; the subset tests alone decide absorption.
+            if kf & failures == kf and kc & conditions == kc:
+                break
+        else:
+            kept.append(pair)
+    return kept
+
 
 def minimize(cut_sets: List[CutSet]) -> List[CutSet]:
     """Remove subsumed cut sets (absorption law).
 
     A cut set is dropped when another cut set subsumes it — fewer failures
-    and no additional conditions.  Exact duplicates collapse too.
+    and no additional conditions.  Exact duplicates collapse too.  The
+    comparison runs on bitmasks over the names appearing in the input.
     """
     unique = list(dict.fromkeys(cut_sets))
-    unique.sort(key=lambda cs: (cs.order, len(cs.conditions)))
+    if len(unique) <= 1:
+        return unique
+    failure_bit: Dict[str, int] = {}
+    condition_bit: Dict[str, int] = {}
+    pairs: List[Tuple[int, int, CutSet]] = []
+    for cs in unique:
+        fmask = 0
+        for name in cs.failures:
+            fmask |= failure_bit.setdefault(name, 1 << len(failure_bit))
+        cmask = 0
+        for name in cs.conditions:
+            cmask |= condition_bit.setdefault(name,
+                                              1 << len(condition_bit))
+        pairs.append((fmask, cmask, cs))
+    pairs.sort(key=lambda p: (p[2].order, len(p[2].conditions)))
     kept: List[CutSet] = []
-    for candidate in unique:
-        if not any(existing.subsumes(candidate) and existing != candidate
-                   for existing in kept):
-            kept.append(candidate)
+    kept_masks: List[Tuple[int, int]] = []
+    for fmask, cmask, cs in pairs:
+        for kf, kc in kept_masks:
+            if kf & fmask == kf and kc & cmask == kc:
+                break
+        else:
+            kept.append(cs)
+            kept_masks.append((fmask, cmask))
     return kept
 
 
@@ -152,76 +231,107 @@ def mocus(tree: FaultTree, max_order: int = 0) -> CutSetCollection:
             f"tree {tree.name!r} contains XOR/NOT gates; MOCUS requires a "
             "coherent tree — use the BDD analysis instead")
 
-    memo: Dict[int, List[CutSet]] = {}
-
-    def expand(event: Event) -> List[CutSet]:
-        key = id(event)
-        if key in memo:
-            return memo[key]
+    # Map every primary failure / condition to a bit, first-visit order.
+    failure_names: List[str] = []
+    condition_names: List[str] = []
+    failure_bit: Dict[str, int] = {}
+    condition_bit: Dict[str, int] = {}
+    for event in tree.iter_events():
         if isinstance(event, PrimaryFailure):
-            result = [CutSet(frozenset([event.name]))]
-        elif isinstance(event, HouseEvent):
-            # True house event: certain — contributes the empty cut set.
-            # False house event: impossible — contributes nothing.
-            result = [CutSet(frozenset())] if event.state else []
+            if event.name not in failure_bit:
+                failure_bit[event.name] = 1 << len(failure_names)
+                failure_names.append(event.name)
         elif isinstance(event, Condition):
-            raise FaultTreeError(
-                f"condition {event.name!r} used outside an INHIBIT gate")
-        elif isinstance(event, IntermediateEvent):
-            result = expand_gate(event)
-        else:
-            raise FaultTreeError(
-                f"cannot expand event of type {type(event).__name__}")
-        result = _truncate(minimize(result), max_order)
-        memo[key] = result
-        return result
+            if event.name not in condition_bit:
+                condition_bit[event.name] = 1 << len(condition_names)
+                condition_names.append(event.name)
 
-    def expand_gate(event: IntermediateEvent) -> List[CutSet]:
+    memo: Dict[int, List[_MaskPair]] = {}
+
+    def finish(pairs: List[_MaskPair]) -> List[_MaskPair]:
+        return _truncate_pairs(_minimize_pairs(pairs), max_order)
+
+    def expand_gate(event: IntermediateEvent) -> List[_MaskPair]:
         gate = event.gate
-        children = [expand(child) for child in gate.inputs]
+        children = [memo[id(child)] for child in gate.inputs]
         gt = gate.gate_type
         if gt is GateType.OR:
-            return [cs for group in children for cs in group]
+            return [pair for group in children for pair in group]
         if gt is GateType.AND:
             return _conjoin_groups(children, max_order)
         if gt is GateType.KOFN:
-            combined: List[CutSet] = []
+            combined: List[_MaskPair] = []
             for combo in itertools.combinations(children, gate.k):
                 combined.extend(_conjoin_groups(list(combo), max_order))
             return combined
         if gt is GateType.INHIBIT:
-            condition = gate.condition
-            return [
-                CutSet(cs.failures, cs.conditions | {condition.name})
-                for cs in children[0]
-            ]
+            bit = condition_bit[gate.condition.name]
+            return [(failures, conditions | bit)
+                    for failures, conditions in children[0]]
         raise FaultTreeError(f"unsupported gate type {gt!r} in MOCUS")
 
-    return CutSetCollection(tree.top.name, expand(tree.top))
+    # Explicit-stack expansion (deep trees must not hit the recursion
+    # limit), memoized per event for shared subtrees.
+    stack: List[Tuple[Event, bool]] = [(tree.top, False)]
+    while stack:
+        event, ready = stack.pop()
+        key = id(event)
+        if key in memo:
+            continue
+        if isinstance(event, PrimaryFailure):
+            memo[key] = finish([(failure_bit[event.name], 0)])
+        elif isinstance(event, HouseEvent):
+            # True house event: certain — contributes the empty cut set.
+            # False house event: impossible — contributes nothing.
+            memo[key] = finish([(0, 0)] if event.state else [])
+        elif isinstance(event, Condition):
+            raise FaultTreeError(
+                f"condition {event.name!r} used outside an INHIBIT gate")
+        elif isinstance(event, IntermediateEvent):
+            if ready:
+                memo[key] = finish(expand_gate(event))
+            else:
+                stack.append((event, True))
+                for child in reversed(event.gate.inputs):
+                    if id(child) not in memo:
+                        stack.append((child, False))
+        else:
+            raise FaultTreeError(
+                f"cannot expand event of type {type(event).__name__}")
+
+    cut_sets = [
+        CutSet(frozenset(name for i, name in enumerate(failure_names)
+                         if failures >> i & 1),
+               frozenset(name for i, name in enumerate(condition_names)
+                         if conditions >> i & 1))
+        for failures, conditions in memo[id(tree.top)]]
+    # The expansion output is already minimal; skip the constructor's
+    # re-minimization pass.
+    return CutSetCollection._from_minimal(tree.top.name, cut_sets)
 
 
-def _conjoin_groups(groups: List[List[CutSet]],
-                    max_order: int) -> List[CutSet]:
+def _conjoin_groups(groups: List[List[_MaskPair]],
+                    max_order: int) -> List[_MaskPair]:
     """Cross-product combination of cut set groups under an AND gate."""
-    current = [CutSet(frozenset())]
+    current: List[_MaskPair] = [(0, 0)]
     for group in groups:
-        combined: List[CutSet] = []
+        combined: List[_MaskPair] = []
         for left, right in itertools.product(current, group):
-            merged = CutSet(left.failures | right.failures,
-                            left.conditions | right.conditions)
-            if max_order and merged.order > max_order:
+            failures = left[0] | right[0]
+            if max_order and _popcount(failures) > max_order:
                 continue
-            combined.append(merged)
-        current = minimize(combined)
+            combined.append((failures, left[1] | right[1]))
+        current = _minimize_pairs(combined)
         if not current:
             return []
     return current
 
 
-def _truncate(cut_sets: List[CutSet], max_order: int) -> List[CutSet]:
+def _truncate_pairs(pairs: List[_MaskPair],
+                    max_order: int) -> List[_MaskPair]:
     if not max_order:
-        return cut_sets
-    return [cs for cs in cut_sets if cs.order <= max_order]
+        return pairs
+    return [pair for pair in pairs if _popcount(pair[0]) <= max_order]
 
 
 def cut_sets_agree(a: Iterable[Tuple[str, ...]],

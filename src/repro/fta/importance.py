@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.bdd import BDDManager, probability as bdd_probability
+from repro.bdd.prob import conditional_probability
 from repro.errors import QuantificationError
 from repro.fta.quantify import probability_map, to_bdd
 from repro.fta.tree import FaultTree
@@ -78,12 +79,12 @@ def importance_measures(
                 criticality=0.0, fussell_vesely=0.0, raw=1.0, rrw=1.0))
             continue
         p_event = probs[name]
-        with_e = bdd_probability(
-            manager, manager.restrict(root, name, True),
-            {k: v for k, v in probs.items() if k != name})
-        without_e = bdd_probability(
-            manager, manager.restrict(root, name, False),
-            {k: v for k, v in probs.items() if k != name})
+        # Restrict-and-evaluate on the shared arena: both cofactors reuse
+        # the manager's interned nodes, and the arithmetic is exactly the
+        # bottom-up pass of the unrestricted evaluation.
+        with_e = conditional_probability(manager, root, probs, name, True)
+        without_e = conditional_probability(
+            manager, root, probs, name, False)
         birnbaum = with_e - without_e
         criticality = birnbaum * p_event / base
         fussell_vesely = 1.0 - without_e / base

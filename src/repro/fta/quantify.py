@@ -20,7 +20,7 @@ point of providing the exact ones is to *quantify* the error of Eq. 1
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.bdd import BDDManager, Node, probability as bdd_probability
 from repro.errors import QuantificationError
@@ -31,7 +31,6 @@ from repro.fta.constraints import (
 from repro.fta.cutsets import CutSet, CutSetCollection, mocus
 from repro.fta.events import (
     Condition,
-    Event,
     HouseEvent,
     IntermediateEvent,
     PrimaryFailure,
@@ -164,42 +163,136 @@ def approximation_error(tree: FaultTree,
             "absolute_error": abs_err, "relative_error": rel_err}
 
 
-def to_bdd(tree: FaultTree, manager: BDDManager) -> Node:
+def _order_declaration(tree: FaultTree) -> List[str]:
+    """Leaves in first-visit depth-first (pre-order) declaration order —
+    the default, and exactly the ordering of the linked-node kernel this
+    replaced: each subtree's leaves stay adjacent."""
+    return [event.name for event in tree.iter_events()
+            if isinstance(event, (PrimaryFailure, Condition))]
+
+
+def _order_topological(tree: FaultTree) -> List[str]:
+    """Leaves in breadth-first level order (shallowest first).
+
+    Leaves close to the hazard come first in the variable order, level by
+    level — for wide, balanced trees this interleaves sibling subtrees,
+    which tends to beat declaration order when gates at the same depth
+    share events."""
+    names: List[str] = []
+    seen = set()
+    queue = [tree.top]
+    head = 0
+    while head < len(queue):
+        event = queue[head]
+        head += 1
+        key = id(event)
+        if key in seen:
+            continue
+        seen.add(key)
+        if isinstance(event, (PrimaryFailure, Condition)):
+            names.append(event.name)
+            continue
+        if not isinstance(event, IntermediateEvent):
+            continue
+        gate = event.gate
+        queue.extend(gate.inputs)
+        if gate.gate_type is GateType.INHIBIT:
+            queue.append(gate.condition)
+    return names
+
+
+def _order_weighted(tree: FaultTree) -> List[str]:
+    """Leaves by descending *weighted fan-in*: every distinct gate that
+    references a leaf contributes ``1 / (depth + 1)`` at the gate's
+    shallowest depth, so shallow and widely shared leaves come first
+    (closest to the root) — the classic heuristic for trees with
+    repeated events; ties break on first-visit order.
+
+    Each gate is visited exactly once (breadth-first, so its recorded
+    depth is minimal), keeping the pass linear even on DAG-shaped trees
+    with heavily shared subtrees."""
+    weights: Dict[str, float] = {}
+    first_visit: Dict[str, int] = {}
+    seen = set()
+    queue = [(tree.top, 0)]
+    head = 0
+    while head < len(queue):
+        event, depth = queue[head]
+        head += 1
+        if isinstance(event, (PrimaryFailure, Condition)):
+            # Leaves are enqueued once per referencing gate; each such
+            # edge adds its contribution here.
+            weights[event.name] = weights.get(event.name, 0.0) \
+                + 1.0 / (depth + 1)
+            first_visit.setdefault(event.name, len(first_visit))
+            continue
+        if not isinstance(event, IntermediateEvent) or id(event) in seen:
+            continue
+        seen.add(id(event))
+        gate = event.gate
+        children = list(gate.inputs)
+        if gate.gate_type is GateType.INHIBIT:
+            children.append(gate.condition)
+        for child in children:
+            queue.append((child, depth + 1))
+    return sorted(weights,
+                  key=lambda name: (-weights[name], first_visit[name]))
+
+
+_ORDER_HEURISTICS = {
+    "declaration": _order_declaration,
+    "topological": _order_topological,
+    "weighted": _order_weighted,
+}
+
+#: Static variable-ordering heuristics accepted by :func:`to_bdd`.
+VARIABLE_ORDERS = tuple(_ORDER_HEURISTICS)
+
+
+def to_bdd(tree: FaultTree, manager: BDDManager,
+           order: str = "declaration") -> Node:
     """Translate a fault tree into a BDD over its leaf events.
 
-    Primary failures and INHIBIT conditions become BDD variables (in
-    first-visit order, which keeps related leaves adjacent); house events
-    become constants.  All gate types, including the non-coherent XOR/NOT,
-    are supported.
+    Primary failures and INHIBIT conditions become BDD variables; house
+    events become constants.  All gate types, including the non-coherent
+    XOR/NOT, are supported, and the build is iterative — arbitrarily deep
+    trees never hit Python's recursion limit.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree to translate.
+    manager:
+        Target manager; variables are registered into its order.
+    order:
+        Static variable-ordering heuristic — ordering dominates BDD
+        size.  One of ``"declaration"`` (first-visit depth-first
+        pre-order, the default and historical behaviour: each subtree's
+        leaves stay adjacent), ``"topological"`` (breadth-first level
+        order: shallow leaves first, interleaving sibling subtrees) or
+        ``"weighted"`` (descending weighted fan-in: widely shared and
+        shallow leaves first, good for trees with many repeated
+        events).  Heuristics only matter on a fresh manager —
+        already-registered variables keep their positions.
     """
-    # Register variables in traversal order for a reasonable ordering.
-    for event in tree.iter_events():
-        if isinstance(event, (PrimaryFailure, Condition)):
-            manager.add_var(event.name)
+    if order != "declaration":
+        try:
+            leaf_order = _ORDER_HEURISTICS[order]
+        except KeyError:
+            raise QuantificationError(
+                f"unknown variable order {order!r}; expected one of "
+                f"{VARIABLE_ORDERS}") from None
+        for name in leaf_order(tree):
+            manager.add_var(name)
+    # Declaration order needs no pre-pass: the build below registers
+    # every leaf (and INHIBIT condition) at its first visit, which *is*
+    # the declaration order.
 
     memo: Dict[int, Node] = {}
 
-    def build(event: Event) -> Node:
-        key = id(event)
-        if key in memo:
-            return memo[key]
-        if isinstance(event, PrimaryFailure):
-            node = manager.var(event.name)
-        elif isinstance(event, Condition):
-            node = manager.var(event.name)
-        elif isinstance(event, HouseEvent):
-            node = TRUE if event.state else FALSE
-        elif isinstance(event, IntermediateEvent):
-            node = build_gate(event)
-        else:
-            raise QuantificationError(
-                f"cannot translate event of type {type(event).__name__}")
-        memo[key] = node
-        return node
-
     def build_gate(event: IntermediateEvent) -> Node:
         gate = event.gate
-        children = [build(child) for child in gate.inputs]
+        children = [memo[id(child)] for child in gate.inputs]
         gt = gate.gate_type
         if gt is GateType.AND:
             return manager.and_all(children)
@@ -219,4 +312,25 @@ def to_bdd(tree: FaultTree, manager: BDDManager) -> Node:
                                      manager.var(gate.condition.name))
         raise QuantificationError(f"unknown gate type {gt!r}")
 
-    return build(tree.top)
+    stack = [(tree.top, False)]
+    while stack:
+        event, ready = stack.pop()
+        key = id(event)
+        if key in memo:
+            continue
+        if isinstance(event, (PrimaryFailure, Condition)):
+            memo[key] = manager.var(event.name)
+        elif isinstance(event, HouseEvent):
+            memo[key] = TRUE if event.state else FALSE
+        elif isinstance(event, IntermediateEvent):
+            if ready:
+                memo[key] = build_gate(event)
+            else:
+                stack.append((event, True))
+                for child in reversed(event.gate.inputs):
+                    if id(child) not in memo:
+                        stack.append((child, False))
+        else:
+            raise QuantificationError(
+                f"cannot translate event of type {type(event).__name__}")
+    return memo[id(tree.top)]

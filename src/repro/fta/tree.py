@@ -14,7 +14,6 @@ from repro.errors import ValidationError
 from repro.fta.events import (
     Condition,
     Event,
-    Hazard,
     HouseEvent,
     IntermediateEvent,
     PrimaryFailure,
@@ -52,39 +51,40 @@ class FaultTree:
     # ------------------------------------------------------------------
     def _validate(self) -> None:
         # Depth-first walk detecting cycles (grey set) and name clashes.
+        # Runs an explicit stack so arbitrarily deep trees (thousands of
+        # chained gates) validate without hitting the recursion limit.
         grey: Set[int] = set()
         done: Set[int] = set()
 
-        def visit(event: Event) -> None:
-            key = id(event)
-            if key in grey:
-                raise ValidationError(
-                    f"cycle detected through event {event.name!r}")
-            if key in done:
-                return
+        def register(event: Event) -> None:
             known = self._events.get(event.name)
             if known is not None and known is not event:
                 raise ValidationError(
                     f"two distinct events share the name {event.name!r}")
             self._events[event.name] = event
+
+        stack: List[tuple] = [(self.top, False)]
+        while stack:
+            event, leaving = stack.pop()
+            key = id(event)
+            if leaving:
+                grey.discard(key)
+                done.add(key)
+                continue
+            if key in grey:
+                raise ValidationError(
+                    f"cycle detected through event {event.name!r}")
+            if key in done:
+                continue
+            register(event)
             grey.add(key)
+            stack.append((event, True))
             if isinstance(event, IntermediateEvent):
                 gate = event.gate
-                for child in gate.inputs:
-                    visit(child)
                 if gate.gate_type is GateType.INHIBIT:
-                    visit_condition(gate.condition)
-            grey.discard(key)
-            done.add(key)
-
-        def visit_condition(condition: Condition) -> None:
-            known = self._events.get(condition.name)
-            if known is not None and known is not condition:
-                raise ValidationError(
-                    f"two distinct events share the name {condition.name!r}")
-            self._events[condition.name] = condition
-
-        visit(self.top)
+                    register(gate.condition)
+                for child in reversed(gate.inputs):
+                    stack.append((child, False))
 
     # ------------------------------------------------------------------
     # Traversal & queries

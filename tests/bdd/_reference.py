@@ -1,0 +1,432 @@
+"""The seed's linked-node BDD kernel, kept verbatim as a test oracle.
+
+This is the recursive object-graph implementation that
+:mod:`repro.bdd` replaced with the arena kernel: interned ``Node``
+objects, string-keyed apply cache, recursive ``negate`` and probability
+walk, frozenset-based minimal solutions and frozenset MOCUS
+minimization.  Property tests pin the arena kernel against it
+(bit-identical probabilities, identical cut-set families and orderings),
+and ``benchmarks/test_bench_bdd.py`` times the cold analysis path
+against it.
+
+Nothing here is exported by the library — it exists only so the old
+semantics stay executable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.fta.events import (
+    Condition,
+    Event,
+    HouseEvent,
+    IntermediateEvent,
+    PrimaryFailure,
+)
+from repro.fta.gates import GateType
+
+
+def build_chain_tree(depth: int):
+    """A ``depth``-gate chain, AND-heavy with OR branches near the top.
+
+    ``g_i = AND(e_i, g_{i+1})`` for most levels; the top 50 levels
+    alternate ``OR`` so the minimal cut set family is non-trivial (one
+    cut per OR branch) without exploding.  Shared by the deep-tree
+    regression tests and the cold-path benchmark so both always exercise
+    the same workload shape.
+    """
+    from repro.fta.dsl import AND, OR, hazard, primary
+    from repro.fta.tree import FaultTree
+
+    node = AND("g_tail", primary(f"e{depth}", 0.5),
+               primary(f"e{depth + 1}", 0.5))
+    for i in range(depth - 1, 0, -1):
+        leaf = primary(f"e{i}", 0.5)
+        if i < 50 and i % 2 == 0:
+            node = OR(f"g{i}", leaf, node)
+        else:
+            node = AND(f"g{i}", leaf, node)
+    return FaultTree(hazard("H", AND_gate=[primary("e0", 0.5), node]))
+
+
+class RefNode:
+    """Seed BDD node: terminal or ``(var, low, high)`` decision node."""
+
+    __slots__ = ("var", "low", "high", "value")
+
+    def __init__(self, var, low, high, value=None):
+        self.var = var
+        self.low = low
+        self.high = high
+        self.value = value
+
+    @property
+    def is_terminal(self):
+        return self.var is None
+
+
+REF_TRUE = RefNode(None, None, None, True)
+REF_FALSE = RefNode(None, None, None, False)
+
+
+class RefManager:
+    """Seed ROBDD manager: unique table + string-keyed compute table."""
+
+    def __init__(self):
+        self._unique: Dict[Tuple[int, int, int], RefNode] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], RefNode] = {}
+        self._not_cache: Dict[int, RefNode] = {}
+        self._var_names: List[str] = []
+        self._var_index: Dict[str, int] = {}
+
+    def add_var(self, name: str) -> int:
+        if name in self._var_index:
+            return self._var_index[name]
+        index = len(self._var_names)
+        self._var_names.append(name)
+        self._var_index[name] = index
+        return index
+
+    def var(self, name: str) -> RefNode:
+        return self._mk(self.add_var(name), REF_FALSE, REF_TRUE)
+
+    def var_name(self, index: int) -> str:
+        return self._var_names[index]
+
+    @property
+    def var_count(self) -> int:
+        return len(self._var_names)
+
+    def _mk(self, var, low, high):
+        if low is high:
+            return low
+        key = (var, id(low), id(high))
+        node = self._unique.get(key)
+        if node is None:
+            node = RefNode(var, low, high)
+            self._unique[key] = node
+        return node
+
+    def apply_and(self, a, b):
+        return self._apply("and", a, b)
+
+    def apply_or(self, a, b):
+        return self._apply("or", a, b)
+
+    def apply_xor(self, a, b):
+        return self._apply("xor", a, b)
+
+    def negate(self, a):
+        if a is REF_TRUE:
+            return REF_FALSE
+        if a is REF_FALSE:
+            return REF_TRUE
+        cached = self._not_cache.get(id(a))
+        if cached is not None:
+            return cached
+        result = self._mk(a.var, self.negate(a.low), self.negate(a.high))
+        self._not_cache[id(a)] = result
+        return result
+
+    def and_all(self, nodes):
+        result = REF_TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+        return result
+
+    def or_all(self, nodes):
+        result = REF_FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+        return result
+
+    def at_least(self, k, nodes):
+        n = len(nodes)
+        if k <= 0:
+            return REF_TRUE
+        if k > n:
+            return REF_FALSE
+        state = [REF_TRUE] + [REF_FALSE] * k
+        for node in nodes:
+            for j in range(k, 0, -1):
+                state[j] = self.apply_or(
+                    state[j], self.apply_and(state[j - 1], node))
+        return state[k]
+
+    def _apply(self, op, a, b):
+        terminal = self._apply_terminal(op, a, b)
+        if terminal is not None:
+            return terminal
+        key = (op, id(a), id(b))
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        a_var = a.var if not a.is_terminal else None
+        b_var = b.var if not b.is_terminal else None
+        if b_var is None or (a_var is not None and a_var < b_var):
+            var = a_var
+            a_low, a_high = a.low, a.high
+            b_low, b_high = b, b
+        elif a_var is None or b_var < a_var:
+            var = b_var
+            a_low, a_high = a, a
+            b_low, b_high = b.low, b.high
+        else:
+            var = a_var
+            a_low, a_high = a.low, a.high
+            b_low, b_high = b.low, b.high
+        result = self._mk(var,
+                          self._apply(op, a_low, b_low),
+                          self._apply(op, a_high, b_high))
+        self._apply_cache[key] = result
+        return result
+
+    @staticmethod
+    def _apply_terminal(op, a, b):
+        if op == "and":
+            if a is REF_FALSE or b is REF_FALSE:
+                return REF_FALSE
+            if a is REF_TRUE:
+                return b
+            if b is REF_TRUE:
+                return a
+            if a is b:
+                return a
+        elif op == "or":
+            if a is REF_TRUE or b is REF_TRUE:
+                return REF_TRUE
+            if a is REF_FALSE:
+                return b
+            if b is REF_FALSE:
+                return a
+            if a is b:
+                return a
+        else:
+            if a is b:
+                return REF_FALSE
+            if a is REF_FALSE:
+                return b
+            if b is REF_FALSE:
+                return a
+            if a is REF_TRUE and b is REF_TRUE:
+                return REF_FALSE
+        return None
+
+    def restrict(self, node, var_name, value):
+        index = self._var_index[var_name]
+        cache: Dict[int, RefNode] = {}
+
+        def walk(n):
+            if n.is_terminal or n.var > index:
+                return n
+            hit = cache.get(id(n))
+            if hit is not None:
+                return hit
+            if n.var == index:
+                result = n.high if value else n.low
+            else:
+                result = self._mk(n.var, walk(n.low), walk(n.high))
+            cache[id(n)] = result
+            return result
+
+        return walk(node)
+
+    def support(self, node) -> set:
+        names = set()
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.is_terminal or id(n) in seen:
+                continue
+            seen.add(id(n))
+            names.add(self._var_names[n.var])
+            stack.append(n.low)
+            stack.append(n.high)
+        return names
+
+
+def ref_probability(manager: RefManager, node: RefNode,
+                    var_probs: Dict[str, float]) -> float:
+    """Seed probability pass: recursive walk with per-node cache."""
+    if node is REF_TRUE:
+        return 1.0
+    if node is REF_FALSE:
+        return 0.0
+    prob_by_index = {manager.add_var(name): var_probs[name]
+                     for name in manager.support(node)}
+    cache: Dict[int, float] = {}
+
+    def walk(n):
+        if n is REF_TRUE:
+            return 1.0
+        if n is REF_FALSE:
+            return 0.0
+        hit = cache.get(id(n))
+        if hit is not None:
+            return hit
+        p = prob_by_index[n.var]
+        value = (1.0 - p) * walk(n.low) + p * walk(n.high)
+        cache[id(n)] = value
+        return value
+
+    return walk(node)
+
+
+def ref_minimal_cut_sets(manager: RefManager,
+                         node: RefNode) -> List[FrozenSet[str]]:
+    """Seed minimal solutions: frozenset families with quadratic
+    absorption."""
+    cache: Dict[int, Set[FrozenSet[str]]] = {}
+
+    def walk(n):
+        if n is REF_TRUE:
+            return {frozenset()}
+        if n is REF_FALSE:
+            return set()
+        hit = cache.get(id(n))
+        if hit is not None:
+            return hit
+        name = manager.var_name(n.var)
+        low_sets = walk(n.low)
+        high_sets = walk(n.high)
+        result = set(low_sets)
+        for cut in high_sets:
+            extended = cut | {name}
+            if not any(existing <= extended for existing in low_sets):
+                result.add(extended)
+        result = _ref_minimize_sets(result)
+        cache[id(n)] = result
+        return result
+
+    return sorted(walk(node), key=lambda cs: (len(cs), sorted(cs)))
+
+
+def _ref_minimize_sets(sets):
+    ordered = sorted(sets, key=len)
+    kept = []
+    for cut in ordered:
+        if not any(existing <= cut for existing in kept):
+            kept.append(cut)
+    return set(kept)
+
+
+def ref_to_bdd(tree, manager: RefManager) -> RefNode:
+    """Seed tree translation: recursive build, declaration order."""
+    for event in tree.iter_events():
+        if isinstance(event, (PrimaryFailure, Condition)):
+            manager.add_var(event.name)
+
+    memo: Dict[int, RefNode] = {}
+
+    def build(event: Event) -> RefNode:
+        key = id(event)
+        if key in memo:
+            return memo[key]
+        if isinstance(event, (PrimaryFailure, Condition)):
+            node = manager.var(event.name)
+        elif isinstance(event, HouseEvent):
+            node = REF_TRUE if event.state else REF_FALSE
+        else:
+            node = build_gate(event)
+        memo[key] = node
+        return node
+
+    def build_gate(event: IntermediateEvent) -> RefNode:
+        gate = event.gate
+        children = [build(child) for child in gate.inputs]
+        gt = gate.gate_type
+        if gt is GateType.AND:
+            return manager.and_all(children)
+        if gt is GateType.OR:
+            return manager.or_all(children)
+        if gt is GateType.KOFN:
+            return manager.at_least(gate.k, children)
+        if gt is GateType.XOR:
+            result = children[0]
+            for child in children[1:]:
+                result = manager.apply_xor(result, child)
+            return result
+        if gt is GateType.NOT:
+            return manager.negate(children[0])
+        if gt is GateType.INHIBIT:
+            return manager.apply_and(children[0],
+                                     manager.var(gate.condition.name))
+        raise AssertionError(f"unknown gate type {gt!r}")
+
+    return build(tree.top)
+
+
+def ref_minimize(cut_sets: list) -> list:
+    """Seed MOCUS minimization: frozenset subsumption, O(n^2)."""
+    unique = list(dict.fromkeys(cut_sets))
+    unique.sort(key=lambda cs: (cs.order, len(cs.conditions)))
+    kept = []
+    for candidate in unique:
+        if not any(existing.subsumes(candidate) and existing != candidate
+                   for existing in kept):
+            kept.append(candidate)
+    return kept
+
+
+def ref_mocus_cut_sets(tree) -> list:
+    """Seed MOCUS expansion: recursive, frozenset-based :class:`CutSet`
+    lists (minimized but unsorted — feed to ``CutSetCollection`` or sort
+    with the collection key to compare orderings)."""
+    import itertools
+
+    from repro.fta.cutsets import CutSet
+
+    memo: Dict[int, list] = {}
+
+    def expand(event):
+        key = id(event)
+        if key in memo:
+            return memo[key]
+        if isinstance(event, PrimaryFailure):
+            result = [CutSet(frozenset([event.name]))]
+        elif isinstance(event, HouseEvent):
+            result = [CutSet(frozenset())] if event.state else []
+        elif isinstance(event, IntermediateEvent):
+            result = expand_gate(event)
+        else:
+            raise AssertionError(type(event).__name__)
+        result = ref_minimize(result)
+        memo[key] = result
+        return result
+
+    def expand_gate(event):
+        gate = event.gate
+        children = [expand(child) for child in gate.inputs]
+        gt = gate.gate_type
+        if gt is GateType.OR:
+            return [cs for group in children for cs in group]
+        if gt is GateType.AND:
+            return _conjoin(children)
+        if gt is GateType.KOFN:
+            combined = []
+            for combo in itertools.combinations(children, gate.k):
+                combined.extend(_conjoin(list(combo)))
+            return combined
+        if gt is GateType.INHIBIT:
+            condition = gate.condition
+            return [CutSet(cs.failures, cs.conditions | {condition.name})
+                    for cs in children[0]]
+        raise AssertionError(f"unsupported gate type {gt!r}")
+
+    def _conjoin(groups):
+        import itertools
+
+        from repro.fta.cutsets import CutSet
+        current = [CutSet(frozenset())]
+        for group in groups:
+            combined = [CutSet(left.failures | right.failures,
+                               left.conditions | right.conditions)
+                        for left, right in itertools.product(current, group)]
+            current = ref_minimize(combined)
+            if not current:
+                return []
+        return current
+
+    return expand(tree.top)

@@ -1,0 +1,89 @@
+"""Deep-tree regression: 5,000-gate chains must never hit the recursion
+limit.
+
+The seed kernel's recursive ``_apply`` / ``negate`` / MCS walks (and the
+recursive tree validation and translation) all blew up on gate chains a
+few hundred levels deep.  Every traversal is now an explicit stack; these
+tests build a 5,000-gate chain and run the whole analysis pipeline —
+validation, BDD construction, negation, cut sets (both routes) and exact
+probability — with the default recursion limit untouched.
+"""
+
+import sys
+
+import pytest
+
+from repro.bdd import BDDManager, minimal_cut_sets, probability
+from repro.fta import mocus, to_bdd
+from tests.bdd._reference import build_chain_tree
+
+DEPTH = 5_000
+
+
+@pytest.fixture(autouse=True)
+def standard_recursion_limit():
+    """Pin the stock CPython limit so the tests prove the library needs
+    no more, even when a debugger/plugin raised the ambient limit."""
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+@pytest.fixture(scope="module")
+def chain_tree():
+    """The shared 5,000-gate chain workload (see ``build_chain_tree``)."""
+    return build_chain_tree(DEPTH)
+
+
+def test_deep_tree_validates_and_builds_bdd(chain_tree):
+    manager = BDDManager()
+    root = to_bdd(chain_tree, manager)
+    assert manager.size(root) >= DEPTH
+
+
+def test_deep_tree_negates(chain_tree):
+    manager = BDDManager()
+    root = to_bdd(chain_tree, manager)
+    negated = manager.negate(root)
+    assert manager.negate(negated) is root
+    assert manager.apply_and(root, negated).index == 0
+
+
+def test_deep_tree_minimal_cut_sets_both_routes(chain_tree):
+    manager = BDDManager()
+    root = to_bdd(chain_tree, manager)
+    bdd_cuts = minimal_cut_sets(manager, root)
+    assert len(bdd_cuts) == 25  # one cut per OR branch + the full chain
+    mocus_cuts = mocus(chain_tree)
+    assert {cs.failures for cs in mocus_cuts} == set(bdd_cuts)
+
+
+def test_deep_tree_exact_probability(chain_tree):
+    manager = BDDManager()
+    root = to_bdd(chain_tree, manager)
+    probs = {f"e{i}": 1.0 for i in range(DEPTH + 2)}
+    assert probability(manager, root, probs) == 1.0
+    probs["e0"] = 0.0
+    assert probability(manager, root, probs) == 0.0
+
+
+def test_deep_pure_and_chain_on_raw_manager():
+    manager = BDDManager()
+    names = [f"v{i}" for i in range(DEPTH)]
+    for name in names:
+        manager.add_var(name)
+    # Fold deepest-variable-first so every apply is O(1); folding the
+    # other way is quadratic (each step re-descends the whole chain).
+    node = manager.var(names[-1])
+    for name in reversed(names[:-1]):
+        node = manager.apply_and(manager.var(name), node)
+    assert manager.size(node) == DEPTH
+    assert manager.sat_count(node) == 1
+    cuts = minimal_cut_sets(manager, node)
+    assert len(cuts) == 1 and len(cuts[0]) == DEPTH
+    negated = manager.negate(node)
+    assert manager.sat_count(negated) == 2 ** DEPTH - 1
+    assert manager.restrict(node, "v0", False).index == 0

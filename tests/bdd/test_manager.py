@@ -145,6 +145,29 @@ class TestStructural:
         assert mgr.sat_count(FALSE) == 0
 
 
+class TestIte:
+    def test_terminal_shortcuts(self, mgr):
+        x, y = mgr.var("x"), mgr.var("y")
+        assert mgr.ite(TRUE, x, y) is x
+        assert mgr.ite(FALSE, x, y) is y
+        assert mgr.ite(x, y, y) is y
+        assert mgr.ite(x, TRUE, FALSE) is x
+        assert mgr.ite(x, FALSE, TRUE) is mgr.negate(x)
+
+    def test_matches_boolean_composition(self, mgr):
+        x, y, z, w = (mgr.var(n) for n in "xyzw")
+        f = mgr.apply_or(x, w)
+        composed = mgr.apply_or(
+            mgr.apply_and(f, y), mgr.apply_and(mgr.negate(f), z))
+        assert mgr.ite(f, y, z) is composed
+
+    def test_node_count_grows_monotonically(self, mgr):
+        before = mgr.node_count
+        x, y = mgr.var("x"), mgr.var("y")
+        mgr.apply_and(x, y)
+        assert mgr.node_count > before
+
+
 class TestAtLeast:
     @pytest.mark.parametrize("k,expected", [(0, 8), (1, 7), (2, 4),
                                             (3, 1), (4, 0)])

@@ -1,0 +1,118 @@
+"""Static variable-ordering heuristics for ``to_bdd``."""
+
+import pytest
+
+from repro.bdd import BDDManager, minimal_cut_sets, probability
+from repro.errors import QuantificationError
+from repro.fta import VARIABLE_ORDERS, FaultTree, to_bdd
+from repro.fta.dsl import AND, INHIBIT, condition, hazard, primary
+
+
+@pytest.fixture
+def shared_leaf_tree():
+    """A leaf shared by every branch, declared deep in each subtree."""
+    shared = primary("shared", 0.3)
+    branches = [AND(f"b{i}", primary(f"e{i}", 0.1), shared)
+                for i in range(4)]
+    return FaultTree(hazard("H", OR_gate=branches))
+
+
+def test_exposed_orders(shared_leaf_tree):
+    assert VARIABLE_ORDERS == ("declaration", "topological", "weighted")
+    for order in VARIABLE_ORDERS:
+        manager = BDDManager()
+        root = to_bdd(shared_leaf_tree, manager, order=order)
+        assert manager.size(root) >= 1
+
+
+def test_unknown_order_raises(shared_leaf_tree):
+    with pytest.raises(QuantificationError, match="unknown variable order"):
+        to_bdd(shared_leaf_tree, BDDManager(), order="random")
+
+
+def test_declaration_is_default_first_visit_order(shared_leaf_tree):
+    manager = BDDManager()
+    to_bdd(shared_leaf_tree, manager)
+    names = [manager.var_name(i) for i in range(manager.var_count)]
+    assert names == ["e0", "shared", "e1", "e2", "e3"]
+
+
+def test_weighted_puts_shared_leaf_first(shared_leaf_tree):
+    manager = BDDManager()
+    to_bdd(shared_leaf_tree, manager, order="weighted")
+    assert manager.var_name(0) == "shared"
+
+
+def test_topological_orders_by_depth():
+    deep = AND("inner", primary("deep_leaf", 0.1), primary("deep2", 0.1))
+    tree = FaultTree(hazard("H", OR_gate=[
+        AND("outer", primary("shallow", 0.1), deep)]))
+    manager = BDDManager()
+    to_bdd(tree, manager, order="topological")
+    names = [manager.var_name(i) for i in range(manager.var_count)]
+    assert names.index("shallow") < names.index("deep_leaf")
+
+
+@pytest.mark.parametrize("order", VARIABLE_ORDERS)
+def test_orders_preserve_semantics(order, shared_leaf_tree):
+    """Every heuristic yields the same function: same probability, same
+    minimal cut sets — only the diagram shape may differ."""
+    manager = BDDManager()
+    root = to_bdd(shared_leaf_tree, manager, order=order)
+    probs = {"shared": 0.3, "e0": 0.1, "e1": 0.1, "e2": 0.1, "e3": 0.1}
+    # P(shared and (e0 or e1 or e2 or e3)) = 0.3 * (1 - 0.9^4)
+    assert probability(manager, root, probs) == \
+        pytest.approx(0.3 * (1.0 - 0.9 ** 4))
+    assert set(minimal_cut_sets(manager, root)) == {
+        frozenset({"shared", f"e{i}"}) for i in range(4)}
+
+
+def test_orders_respect_inhibit_conditions():
+    cond = condition("env", 0.5)
+    guarded = INHIBIT("guarded", AND("pair", primary("a", 0.1),
+                                     primary("b", 0.1)), cond)
+    tree = FaultTree(hazard("H", OR_gate=[guarded, primary("c", 0.1)]))
+    for order in VARIABLE_ORDERS:
+        manager = BDDManager()
+        root = to_bdd(tree, manager, order=order)
+        assert manager.support(root) == {"a", "b", "c", "env"}
+
+
+def test_weighted_is_linear_on_shared_diamond_chains():
+    """A chain of diamonds (each gate referenced twice by its parent)
+    has exponentially many root-to-leaf paths; the weighted heuristic
+    must traverse each gate once, not once per path."""
+    node = AND("g0", primary("x0", 0.1), primary("y0", 0.1))
+    for i in range(1, 30):
+        node = AND(f"g{i}",
+                   AND(f"l{i}", primary(f"x{i}", 0.1), node),
+                   AND(f"r{i}", primary(f"y{i}", 0.1), node))
+    tree = FaultTree(hazard("H", OR_gate=[node]))
+    manager = BDDManager()
+    to_bdd(tree, manager, order="weighted")  # must return immediately
+    assert manager.var_count == 60
+
+
+def test_weighted_can_beat_declaration():
+    """The textbook case: interleaved vs. grouped ordering of
+    ``(a1 and b1) or (a2 and b2) or ...`` — declaration order groups
+    pairs (linear size) while an adversarial interleaving is
+    exponential; the weighted heuristic restores the grouped order."""
+    pairs = [AND(f"p{i}", primary(f"a{i}", 0.1), primary(f"b{i}", 0.1))
+             for i in range(6)]
+    tree = FaultTree(hazard("H", OR_gate=pairs))
+    grouped = BDDManager()
+    grouped_root = to_bdd(tree, grouped, order="declaration")
+
+    adversarial = BDDManager()
+    for i in range(6):
+        adversarial.add_var(f"a{i}")
+    for i in range(6):
+        adversarial.add_var(f"b{i}")
+    adversarial_root = to_bdd(tree, adversarial)
+
+    weighted = BDDManager()
+    weighted_root = to_bdd(tree, weighted, order="weighted")
+
+    assert grouped.size(grouped_root) < adversarial.size(adversarial_root)
+    assert weighted.size(weighted_root) == grouped.size(grouped_root)

@@ -93,3 +93,39 @@ class TestAgreementWithClosedForm:
             formula_result.optimum[0], abs=0.1)
         assert tree_result.optimum[1] == pytest.approx(
             formula_result.optimum[1], abs=0.1)
+
+
+class TestCorridorTree:
+    def test_structure_scales_with_sections(self):
+        from repro.elbtunnel import corridor_fault_tree
+        tree = corridor_fault_tree(sections=5)
+        leaves = tree.primary_failures
+        assert len(leaves) == 2 * 5 + 1  # per-section OHV + residual, shared
+
+    def test_cut_sets_are_pairs_plus_residual_singletons(self):
+        from repro.elbtunnel import corridor_fault_tree
+        tree = corridor_fault_tree(sections=4)
+        cuts = mocus(tree)
+        pairs = [cs for cs in cuts if cs.order == 2]
+        singles = cuts.single_points_of_failure
+        assert len(pairs) == 4 and len(singles) == 4
+        for cs in pairs:
+            assert "Signal not shown" in cs.failures
+
+    def test_bdd_route_agrees_and_quantifies(self):
+        from repro.bdd import BDDManager, minimal_cut_sets, probability
+        from repro.elbtunnel import corridor_fault_tree
+        from repro.fta import hazard_probability, to_bdd
+        tree = corridor_fault_tree(sections=6)
+        manager = BDDManager()
+        root = to_bdd(tree, manager)
+        assert {cs.failures for cs in mocus(tree)} == \
+            set(minimal_cut_sets(manager, root))
+        from repro.fta.quantify import probability_map
+        probs = probability_map(tree)
+        exact = probability(manager, root, probs)
+        assert exact == pytest.approx(
+            hazard_probability(tree, method="exact"))
+        # Rare-event approximation stays close for these probabilities.
+        rare = hazard_probability(tree, method="rare_event")
+        assert rare == pytest.approx(exact, rel=1e-2)
