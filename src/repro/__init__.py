@@ -22,6 +22,7 @@ Subpackages
 ``repro.bdd``        ROBDD engine for exact quantification
 ``repro.compile``    vectorized quantification compiler (batch evaluators)
 ``repro.engine``     parallel batch evaluation with result caching
+``repro.uq``         epistemic uncertainty quantification & sensitivity
 ``repro.stats``      distributions, reliability models, estimation
 ``repro.opt``        optimization algorithms over compact boxes
 ``repro.sim``        discrete-event simulation and Monte Carlo engines

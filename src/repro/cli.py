@@ -13,6 +13,8 @@ without writing Python:
 * ``simulate``  — run the traffic simulation for a design variant
 * ``batch``     — run a JSON list of evaluation jobs through the
   :mod:`repro.engine` (parallel workers, content-addressed cache)
+* ``uq``        — epistemic uncertainty and Sobol sensitivity of a
+  tree's top-event probability (:mod:`repro.uq`)
 """
 
 from __future__ import annotations
@@ -62,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("file", help="JSON fault tree file")
     report.add_argument("--top", type=int, default=10,
                         help="cut sets / events to show")
+    report.add_argument("--uncertain", action="store_true",
+                        help="append an epistemic-uncertainty section "
+                             "(lognormal error factors around the leaf "
+                             "defaults)")
+    report.add_argument("--ef", type=float, default=3.0,
+                        help="error factor for --uncertain (default: 3)")
 
     simulate = sub.add_parser("simulate",
                               help="run the Elbtunnel traffic simulation")
@@ -91,6 +99,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "either way)")
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON instead of text")
+
+    uq = sub.add_parser(
+        "uq",
+        help="epistemic uncertainty of a tree's top-event probability")
+    uq.add_argument("--tree",
+                    choices=["collision", "false-alarm", "corridor"],
+                    default="collision",
+                    help="built-in Elbtunnel tree with its bundled "
+                         "uncertain-rate model (default: collision)")
+    uq.add_argument("--file",
+                    help="JSON fault tree file instead (distributions "
+                         "derived as lognormal error factors around the "
+                         "leaf defaults)")
+    uq.add_argument("--samples", type=int, default=2000,
+                    help="sample count (default: 2000)")
+    uq.add_argument("--sampler", choices=["lhs", "mc"], default="lhs",
+                    help="sampling design (default: lhs)")
+    uq.add_argument("--seed", type=int, default=0)
+    uq.add_argument("--method", default="exact",
+                    help="quantification method (default: exact)")
+    uq.add_argument("--percentiles", default="5,50,95",
+                    help="comma-separated percentiles to report")
+    uq.add_argument("--ef", type=float, default=3.0,
+                    help="error factor for --file trees (default: 3)")
+    uq.add_argument("--sobol", action="store_true",
+                    help="add Sobol first/total sensitivity indices")
+    uq.add_argument("--workers", type=int, default=1,
+                    help="worker processes for the propagation shards")
+    uq.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit machine-readable JSON instead of text")
     return parser
 
 
@@ -174,6 +212,14 @@ def _cmd_report(args) -> None:
     with open(args.file) as handle:
         tree = tree_from_json(handle.read())
     print(analyze(tree).to_text(top=args.top))
+    if args.uncertain:
+        from repro.uq import from_error_factors, propagate
+        model = from_error_factors(tree, error_factor=args.ef)
+        result = propagate(tree, model, n_samples=2000,
+                           method="rare_event"
+                           if tree.is_coherent else "exact")
+        print()
+        print(result.summary())
 
 
 def _cmd_simulate(args) -> None:
@@ -328,6 +374,88 @@ def _cmd_batch(args) -> None:
     print(f"engine: {engine.stats().summary()}")
 
 
+def _parse_percentiles(text: str):
+    from repro.errors import UQError
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise UQError(
+            f"percentiles must be comma-separated numbers, "
+            f"got {text!r}") from None
+    if not values or not all(0.0 <= q <= 100.0 for q in values):
+        raise UQError(
+            f"percentiles must lie in [0, 100], got {text!r}")
+    return values
+
+
+def _cmd_uq(args) -> None:
+    import json
+    from repro.elbtunnel import standalone_tree, standalone_uncertain_model
+    from repro.engine import Engine, UncertaintyJob
+    from repro.fta import tree_from_json
+    from repro.uq import from_error_factors, sobol_indices
+    from repro.viz import histogram, line_chart, tornado_table
+    qs = _parse_percentiles(args.percentiles)
+    if args.file:
+        with open(args.file) as handle:
+            tree = tree_from_json(handle.read())
+        model = from_error_factors(tree, error_factor=args.ef)
+    else:
+        tree = standalone_tree(args.tree)
+        model = standalone_uncertain_model(args.tree)
+    engine = Engine(workers=args.workers)
+    job = UncertaintyJob(tree, model, samples=args.samples,
+                         seed=args.seed, sampler=args.sampler,
+                         method=args.method)
+    result = engine.run(job)
+    sobol = None
+    if args.sobol:
+        sobol = sobol_indices(tree, model,
+                              n_samples=max(2, args.samples // 2),
+                              seed=args.seed, sampler=args.sampler,
+                              method=args.method)
+
+    if args.as_json:
+        payload = {
+            "job": job.describe(),
+            "mean": result.mean,
+            "std": result.std,
+            "percentiles": {f"{q:g}": result.percentile(q) for q in qs},
+            "interval90": list(result.interval(0.90)),
+            "samples": result.n_samples,
+            "sampler": result.sampler,
+            "seed": result.seed,
+            "method": result.method,
+        }
+        if sobol is not None:
+            payload["sobol"] = {"first": sobol.first,
+                                "total": sobol.total}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(result.summary())
+    for q in qs:
+        print(f"  p{q:g}".ljust(11) + f": {result.percentile(q):.6g}")
+    print()
+    print(histogram(list(result.samples), bins=12,
+                    title="Top-event probability distribution"))
+    curve = result.exceedance_curve()
+    if len(curve) > 1:
+        lo, hi = result.interval(0.90)
+        band = [(t, 0.0, 1.0) for t, _p in curve if lo <= t <= hi]
+        print()
+        print(line_chart(
+            {"P(risk > t)": curve},
+            bands={"90% credible region": band} if band else None,
+            y_min=0.0, y_max=1.0, width=56, height=12,
+            title="Exceedance curve — probability the true risk "
+                  "exceeds t"))
+    if sobol is not None:
+        print()
+        print(tornado_table(
+            sobol.first, sobol.total,
+            title=f"Sobol sensitivity ({sobol.n_samples} samples)"))
+
+
 _HANDLERS = {
     "study": _cmd_study,
     "optimize": _cmd_optimize,
@@ -337,6 +465,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "simulate": _cmd_simulate,
     "batch": _cmd_batch,
+    "uq": _cmd_uq,
 }
 
 

@@ -80,6 +80,16 @@ class CompiledHazard:
         """Leaf names in matrix column order."""
         return self._backend.leaf_names
 
+    @property
+    def defaults(self) -> Dict[str, float]:
+        """The leaf events' default probabilities (a copy).
+
+        The base valuation evaluation points are merged over; exposed so
+        callers building matrices directly (e.g. :mod:`repro.uq`) fill
+        certain columns exactly like the interpreted path would.
+        """
+        return dict(self._defaults)
+
     def matrix(self, points: Sequence[Optional[Dict[str, float]]]
                ) -> np.ndarray:
         """The ``(batch, n_leaves)`` matrix for a batch of override dicts.

@@ -43,6 +43,15 @@ from repro.elbtunnel.simulation import (
     SimulationResult,
     simulate,
 )
+from repro.elbtunnel.uncertain import (
+    collision_uncertain_model,
+    corridor_uncertain_model,
+    elbtunnel_uncertain_models,
+    false_alarm_uncertain_model,
+    robust_timer_problem,
+    standalone_tree,
+    standalone_uncertain_model,
+)
 from repro.elbtunnel.study import (
     Fig5Surface,
     Fig6Study,
@@ -93,6 +102,13 @@ __all__ = [
     "SimulationResult",
     "EntranceSimulation",
     "simulate",
+    "collision_uncertain_model",
+    "false_alarm_uncertain_model",
+    "corridor_uncertain_model",
+    "elbtunnel_uncertain_models",
+    "standalone_tree",
+    "standalone_uncertain_model",
+    "robust_timer_problem",
     "RiskAssessment",
     "assess_variant",
     "collision_event_tree",

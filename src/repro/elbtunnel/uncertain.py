@@ -1,0 +1,195 @@
+"""Epistemic uncertainty models for the Elbtunnel case study.
+
+The paper's quantitative inputs are calibrated estimates (Sect. V warns
+the conclusions "depend a lot on how well the statistical model reflects
+reality"); the configuration constants in
+:class:`~repro.elbtunnel.config.ElbtunnelConfig` are point values.  This
+module states what is plausibly *known* about them:
+
+* rate-like constants (the accumulated ``Pconst1``/``Pconst2``, sensor
+  false-detection probabilities) get lognormal error-factor
+  distributions, the way reliability databases report rate uncertainty;
+* the traffic fraction ``P(OHV critical)`` gets a Beta posterior as it
+  would come out of :func:`repro.stats.bayes.update_binomial` on
+  operating counts (a Jeffreys prior updated with roughly ten observed
+  critical OHVs);
+* overtime and exposure-window probabilities that depend on the timers
+  are *design-parameterized*, not epistemic — the robust problem keeps
+  them as assignments and samples only the genuinely uncertain leaves.
+
+:func:`robust_timer_problem` assembles the paper's timer optimization
+with the collision and false-alarm hazards quantified at a chosen risk
+percentile — the Sect. IV-C optimization made robust.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.elbtunnel.config import ElbtunnelConfig
+from repro.elbtunnel.faulttrees import (
+    build_fault_tree_model,
+    collision_fault_tree,
+    corridor_fault_tree,
+    false_alarm_fault_tree,
+)
+from repro.elbtunnel.model import COLLISION, FALSE_ALARM
+from repro.errors import UQError
+from repro.fta.events import PrimaryFailure
+from repro.stats.bayes import Beta
+from repro.stats.distributions import TruncatedNormal
+from repro.stats.reliability import ExposureWindowModel
+from repro.uq.robust import robust_problem
+from repro.uq.spec import UncertainModel, lognormal_error_factor
+
+#: Error factors used for the accumulated/rate-like constants: the
+#: residual cut-set aggregates (``Pconst1/2``) are the least observable
+#: quantities and get the widest band.
+EF_RESIDUAL = 10.0
+EF_RATE = 3.0
+
+#: Pseudo-count of observed critical OHVs behind the Beta posterior of
+#: ``P(OHV critical)`` (a Jeffreys prior updated with ~10 events).
+_CRITICAL_EVENTS = 10.5
+
+
+def _critical_posterior(p_mean: float) -> Beta:
+    """Beta posterior of ``P(OHV critical)`` with the given mean.
+
+    Shaped like ``update_binomial(jeffreys_prior(), 10, n)`` for the
+    demand count ``n`` that makes the posterior mean hit the calibrated
+    point value — operating-experience uncertainty, not a made-up band.
+    """
+    if not 0.0 < p_mean < 1.0:
+        raise UQError(
+            f"P(OHV critical) must be in (0, 1), got {p_mean}")
+    return Beta(_CRITICAL_EVENTS,
+                _CRITICAL_EVENTS * (1.0 - p_mean) / p_mean)
+
+
+def collision_uncertain_model(config: ElbtunnelConfig = ElbtunnelConfig()
+                              ) -> UncertainModel:
+    """Uncertainty over the collision tree's non-parameterized leaves."""
+    return UncertainModel({
+        "OHV_critical": _critical_posterior(config.p_ohv_critical),
+        "Other collision causes": lognormal_error_factor(
+            config.p_const1, EF_RESIDUAL),
+    }, name="collision rates")
+
+
+def false_alarm_uncertain_model(config: ElbtunnelConfig =
+                                ElbtunnelConfig()) -> UncertainModel:
+    """Uncertainty over the false-alarm tree's non-parameterized leaf."""
+    return UncertainModel({
+        "Other false alarm causes": lognormal_error_factor(
+            config.p_const2, EF_RESIDUAL),
+    }, name="false-alarm rates")
+
+
+def elbtunnel_uncertain_models(config: ElbtunnelConfig = ElbtunnelConfig()
+                               ) -> Dict[str, UncertainModel]:
+    """Per-hazard uncertain models for :func:`robust_timer_problem`."""
+    return {COLLISION: collision_uncertain_model(config),
+            FALSE_ALARM: false_alarm_uncertain_model(config)}
+
+
+def corridor_uncertain_model(sections: int = 64) -> UncertainModel:
+    """Error-factor model over every leaf of the corridor tree.
+
+    The production-scale UQ workload: ``2 * sections + 1`` lognormal
+    leaves pushed through the corridor tree — the benchmark case of
+    ``benchmarks/test_bench_uq.py``.  Medians come from the tree's own
+    declared leaf probabilities (one source of truth); the error factor
+    scales with observability — EF 3 on the per-section OHV
+    probabilities, EF 5 on the shared signalling chain, EF 10 on the
+    residual aggregates.
+    """
+    distributions = {}
+    for event in corridor_fault_tree(sections).iter_events():
+        if not isinstance(event, PrimaryFailure):
+            continue
+        if event.name == "Signal not shown":
+            error_factor = 5.0
+        elif event.name.startswith("Other collision causes"):
+            error_factor = EF_RESIDUAL
+        else:
+            error_factor = EF_RATE
+        distributions[event.name] = lognormal_error_factor(
+            event.probability, error_factor)
+    return UncertainModel(distributions, name="corridor rates")
+
+
+def standalone_uncertain_model(tree_name: str,
+                               config: ElbtunnelConfig = ElbtunnelConfig(),
+                               t1: float = 19.0, t2: float = 15.6
+                               ) -> UncertainModel:
+    """A complete uncertain model for one built-in quantitative tree.
+
+    For CLI-style standalone propagation every leaf needs either a
+    default or a distribution; the timer-dependent leaves are frozen at
+    the operating point ``(t1, t2)`` — the paper's optimum by default —
+    and wrapped in rate-style error factors.
+    """
+    transit = TruncatedNormal(mu=config.transit_mean,
+                              sigma=config.transit_std, lower=0.0)
+    if tree_name == "collision":
+        return collision_uncertain_model(config).updated({
+            "OT1": lognormal_error_factor(transit.sf(t1), EF_RATE),
+            "OT2": lognormal_error_factor(transit.sf(t2), EF_RATE),
+        })
+    if tree_name == "false-alarm":
+        hv_window = ExposureWindowModel(config.hv_odfinal_rate)
+        fd_window = ExposureWindowModel(config.fd_lbpost_rate)
+        armed = config.p_ohv_present + \
+            (1.0 - config.p_ohv_present) * config.p_fd_lbpre * \
+            fd_window.probability(t1)
+        return false_alarm_uncertain_model(config).updated({
+            "HV_ODfinal": lognormal_error_factor(
+                hv_window.probability(t2), EF_RATE),
+            "ODfinal_armed": lognormal_error_factor(armed, EF_RATE),
+        })
+    if tree_name == "corridor":
+        return corridor_uncertain_model()
+    raise UQError(
+        f"no uncertain model for tree {tree_name!r}; expected "
+        f"'collision', 'false-alarm' or 'corridor'")
+
+
+def standalone_tree(tree_name: str,
+                    config: ElbtunnelConfig = ElbtunnelConfig()):
+    """The fault tree matching :func:`standalone_uncertain_model`."""
+    builders = {"collision": lambda: collision_fault_tree(config),
+                "false-alarm": lambda: false_alarm_fault_tree(config),
+                "corridor": corridor_fault_tree}
+    try:
+        builder = builders[tree_name]
+    except KeyError:
+        raise UQError(
+            f"unknown built-in tree {tree_name!r}; expected one of "
+            f"{sorted(builders)}") from None
+    return builder()
+
+
+def robust_timer_problem(config: ElbtunnelConfig = ElbtunnelConfig(),
+                         n_samples: int = 256, seed: int = 0,
+                         sampler: str = "lhs", q: float = 95.0,
+                         method: str = "rare_event",
+                         name: Optional[str] = None):
+    """The Elbtunnel timer optimization against percentile risk.
+
+    Wraps :func:`~repro.elbtunnel.faulttrees.build_fault_tree_model`
+    (OT1/OT2 and the ODfinal leaves stay parameterized in T1/T2) with
+    the epistemic rate models above, and returns an
+    :class:`~repro.opt.problem.Problem` minimizing the ``q``-th
+    percentile of the hazard cost — drive it with any optimizer in
+    :mod:`repro.opt`::
+
+        from repro.opt import nelder_mead
+        problem = robust_timer_problem(q=95.0)
+        result = nelder_mead(problem, x0=(30.0, 30.0))
+    """
+    model = build_fault_tree_model(config, method=method)
+    return robust_problem(model, elbtunnel_uncertain_models(config),
+                          n_samples=n_samples, seed=seed,
+                          sampler=sampler, q=q,
+                          name=name or f"Elbtunnel timers @ p{q:g}")

@@ -47,6 +47,7 @@ from repro.engine.jobs import (
     QuantifyJob,
     SweepJob,
     SweepResult,
+    UncertaintyJob,
 )
 from repro.engine.pool import WorkerPool, default_workers, derive_seed
 
@@ -58,6 +59,7 @@ __all__ = [
     "SweepJob",
     "SweepResult",
     "MonteCarloJob",
+    "UncertaintyJob",
     "OptimizeJob",
     "ResultCache",
     "CacheStats",

@@ -8,6 +8,9 @@ work over the library's analytic machinery:
   grid (chunked across workers),
 * :class:`MonteCarloJob`   — a sampling estimate split into
   deterministically seeded shards and pooled into one Wilson interval,
+* :class:`UncertaintyJob`  — epistemic uncertainty propagation of an
+  :class:`~repro.uq.spec.UncertainModel` through one tree (row-sharded
+  across workers, bit-identical at any worker/shard count),
 * :class:`OptimizeJob`     — a full safety-optimization run over a
   :class:`~repro.core.model.SafetyModel`.
 
@@ -42,6 +45,7 @@ from repro.engine.pool import (
     derive_seed,
     run_monte_carlo_shard,
     run_quantify_chunk,
+    run_uq_chunk,
 )
 from repro.errors import EngineError
 from repro.fta.constraints import ConstraintPolicy
@@ -422,6 +426,105 @@ class MonteCarloJob(Job):
         return (f"montecarlo {self.tree.name!r} "
                 f"({self.samples} samples, {self.shards} shards, "
                 f"seed {self.seed})")
+
+
+class UncertaintyJob(Job):
+    """Epistemic uncertainty propagation through one fault tree.
+
+    The seeded sampling design is a pure function of ``(model, samples,
+    seed, sampler)`` and is built *whole* in the parent process; workers
+    only quantify row blocks of the finished matrix.  Because each
+    row's quantification is element-wise, the assembled result is
+    bit-identical to the serial run — and to the scalar per-sample
+    reference loop (:func:`repro.uq.reference_propagate`) — at any
+    worker or shard count.  The fingerprint extends the tree's
+    structural hash with the :class:`~repro.uq.spec.UncertainModel`
+    content hash, so semantically identical UQ requests share a cache
+    entry across sessions.
+    """
+
+    kind = "uncertainty"
+
+    def __init__(self, tree: FaultTree, model,
+                 samples: int = 1000, seed: int = 0,
+                 sampler: str = "lhs", method: str = "exact",
+                 policy: ConstraintPolicy = ConstraintPolicy.INDEPENDENT,
+                 chunks: Optional[int] = None):
+        from repro.compile import supports_compilation
+        from repro.uq.sampling import SAMPLERS
+        from repro.uq.spec import UncertainModel
+        self.tree = _check_tree(tree)
+        if not isinstance(model, UncertainModel):
+            raise EngineError(
+                f"UncertaintyJob requires an UncertainModel, "
+                f"got {type(model).__name__}")
+        if samples < 1:
+            raise EngineError(f"samples must be >= 1, got {samples}")
+        if sampler not in SAMPLERS:
+            raise EngineError(
+                f"unknown sampler {sampler!r}; "
+                f"expected one of {SAMPLERS}")
+        self.method = _check_method(method)
+        if not supports_compilation(tree, method):
+            raise EngineError(
+                f"uncertainty propagation needs a compilable method "
+                f"for tree {tree.name!r}; {method!r} is not")
+        self.policy = _check_policy(policy)
+        self.model = model
+        self.samples = int(samples)
+        self.seed = int(seed)
+        self.sampler = sampler
+        if chunks is not None and chunks < 1:
+            raise EngineError(f"chunks must be >= 1, got {chunks}")
+        # Like SweepJob.chunks/compiled: an execution detail, results
+        # are bit-identical regardless — deliberately not fingerprinted.
+        self.chunks = chunks
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        return (tree_fingerprint(self.tree), self.model.fingerprint,
+                options_fingerprint(samples=self.samples, seed=self.seed,
+                                    sampler=self.sampler),
+                self.method, self.policy.value)
+
+    def run_serial(self):
+        from repro.uq import propagate
+        return propagate(self.tree, self.model, n_samples=self.samples,
+                         seed=self.seed, sampler=self.sampler,
+                         method=self.method, policy=self.policy)
+
+    def run(self, pool: WorkerPool):
+        if not pool.is_parallel or self.samples == 1:
+            return self.run_serial()
+        from repro.uq import PropagationResult, propagation_matrix
+        matrix = propagation_matrix(
+            self.tree, self.model, self.samples, seed=self.seed,
+            sampler=self.sampler, method=self.method, policy=self.policy)
+        chunks = self.chunks if self.chunks is not None \
+            else 4 * pool.workers
+        payloads = [(self.tree, self.method, self.policy,
+                     matrix[start:stop])
+                    for start, stop in chunk_indices(self.samples,
+                                                     chunks)]
+        values: List[float] = []
+        for partial in pool.map(run_uq_chunk, payloads):
+            values.extend(partial)
+        return PropagationResult(
+            name=self.tree.name, samples=tuple(values), seed=self.seed,
+            sampler=self.sampler, method=self.method)
+
+    @staticmethod
+    def encode_result(result) -> Dict[str, Any]:
+        return result.encode()
+
+    @staticmethod
+    def decode_result(encoded: Mapping[str, Any]):
+        from repro.uq import PropagationResult
+        return PropagationResult.decode(encoded)
+
+    def describe(self) -> str:
+        return (f"uncertainty {self.tree.name!r} "
+                f"({self.samples} {self.sampler} samples, "
+                f"seed {self.seed}, {len(self.model)} uncertain events)")
 
 
 class OptimizeJob(Job):

@@ -140,3 +140,19 @@ def run_monte_carlo_shard(payload: Tuple) -> Tuple[int, int]:
     from repro.sim.montecarlo import monte_carlo_counts
     tree, probabilities, samples, seed = payload
     return monte_carlo_counts(tree, probabilities, samples, seed)
+
+
+def run_uq_chunk(payload: Tuple) -> list:
+    """Propagate one row block of a UQ leaf-probability matrix.
+
+    ``payload`` is ``(tree, method, policy, block)`` where ``block`` is
+    a ``(rows, n_leaves)`` slice of the full seeded design matrix built
+    in the parent.  Each row's quantification is an independent
+    element-wise computation, so concatenating per-chunk results is
+    bit-identical to evaluating the whole matrix at once — worker and
+    shard counts cannot perturb the sampled distribution.
+    """
+    from repro.compile import compile_tree
+    tree, method, policy, block = payload
+    evaluator = compile_tree(tree, method, policy)
+    return [float(v) for v in evaluator.evaluate_matrix(block)]

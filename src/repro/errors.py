@@ -48,3 +48,7 @@ class SerializationError(ReproError):
 
 class EngineError(ReproError):
     """A batch-evaluation engine job is invalid or could not be run."""
+
+
+class UQError(ReproError):
+    """An uncertainty-quantification model or analysis is invalid."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import DistributionError
 
 _SQRT2 = math.sqrt(2.0)
@@ -76,6 +78,50 @@ def _big_phi_inv(p: float) -> float:
     return x
 
 
+def _as_probability_array(p) -> np.ndarray:
+    """Coerce quantile arguments to a 1-D float64 array."""
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DistributionError(
+            f"batch quantiles expect a 1-D array, got shape {arr.shape}")
+    return arr
+
+
+def _check_open_unit(p: np.ndarray) -> np.ndarray:
+    """Validate every probability lies in the open interval (0, 1)."""
+    valid = (p > 0.0) & (p < 1.0)
+    if p.size and not valid.all():
+        # The complement of validity, not a direct comparison, so NaNs
+        # (which fail every comparison) are reported too.
+        bad = p[~valid][0]
+        raise DistributionError(
+            f"ppf argument must be in (0, 1), got {bad}")
+    return p
+
+
+def _check_closed_unit(p: np.ndarray) -> np.ndarray:
+    """Validate every probability lies in the closed interval [0, 1]."""
+    valid = (p >= 0.0) & (p <= 1.0)
+    if p.size and not valid.all():
+        bad = p[~valid][0]
+        raise DistributionError(
+            f"ppf argument must be in [0, 1], got {bad}")
+    return p
+
+
+def _big_phi_inv_batch(p: np.ndarray) -> np.ndarray:
+    """Element-wise :func:`_big_phi_inv` over an array.
+
+    The transcendental core stays element-wise on purpose: NumPy's SIMD
+    ``exp``/``log``/``erf`` kernels differ from libm in the last ulp, and
+    the library's contract is that batched results are *bit-identical*
+    to the scalar path, not merely close.  Callers vectorize the exact
+    affine arithmetic around this call.
+    """
+    return np.fromiter((_big_phi_inv(float(v)) for v in p),
+                       dtype=np.float64, count=p.size)
+
+
 class Distribution:
     """Abstract base class for univariate distributions.
 
@@ -132,6 +178,39 @@ class Distribution:
             raise DistributionError(f"sample count must be >= 0, got {n}")
         return [self.sample(rng) for _ in range(n)]
 
+    def ppf_batch(self, p) -> np.ndarray:
+        """Quantiles of a whole probability vector as a float64 array.
+
+        Element-wise **bit-identical** to calling :meth:`ppf` per value —
+        the contract the UQ propagation paths rely on.  Subclasses whose
+        quantile is exact affine arithmetic (or a SciPy ufunc evaluating
+        the same kernel either way) override this with a truly vectorized
+        path; this generic fallback evaluates the scalar quantile per
+        element, which is correct for every subclass.
+        """
+        p = _as_probability_array(p)
+        return np.fromiter((self.ppf(float(v)) for v in p),
+                           dtype=np.float64, count=p.size)
+
+    def sample_batch(self, rng, n: int) -> np.ndarray:
+        """Draw ``n`` samples as a float64 array.
+
+        Consumes exactly the same ``rng`` stream as :meth:`sample_many`
+        (one ``rng.random()`` per draw, the same zero guard) and pushes
+        the uniforms through :meth:`ppf_batch`, so the values are
+        bit-identical to the scalar path.
+        """
+        if n < 0:
+            raise DistributionError(f"sample count must be >= 0, got {n}")
+
+        def draws():
+            for _ in range(n):
+                u = rng.random()
+                yield 5e-324 if u <= 0.0 else u
+
+        uniforms = np.fromiter(draws(), dtype=np.float64, count=n)
+        return self.ppf_batch(uniforms)
+
 
 @dataclass(frozen=True)
 class Normal(Distribution):
@@ -152,6 +231,12 @@ class Normal(Distribution):
 
     def ppf(self, p: float) -> float:
         return self.mu + self.sigma * _big_phi_inv(p)
+
+    def ppf_batch(self, p) -> np.ndarray:
+        # mu + sigma * z vectorizes exactly (IEEE ops are element-wise);
+        # the transcendental inverse CDF stays on the scalar kernel.
+        p = _check_open_unit(_as_probability_array(p))
+        return self.mu + self.sigma * _big_phi_inv_batch(p)
 
     @property
     def mean(self) -> float:
@@ -222,6 +307,14 @@ class TruncatedNormal(Distribution):
             raise DistributionError(f"ppf argument must be in (0, 1), got {p}")
         lo = _big_phi(self._alpha()) if not math.isinf(self.lower) else 0.0
         return self.mu + self.sigma * _big_phi_inv(lo + p * self._mass())
+
+    def ppf_batch(self, p) -> np.ndarray:
+        # lo + p * mass and mu + sigma * z are exact element-wise IEEE
+        # arithmetic on the same scalar constants; only the inverse CDF
+        # needs the scalar kernel.
+        p = _check_open_unit(_as_probability_array(p))
+        lo = _big_phi(self._alpha()) if not math.isinf(self.lower) else 0.0
+        return self.mu + self.sigma * _big_phi_inv_batch(lo + p * self._mass())
 
     @property
     def mean(self) -> float:
@@ -311,6 +404,14 @@ class Exponential(Distribution):
             raise DistributionError(f"ppf argument must be in (0, 1), got {p}")
         return -math.log1p(-p) / self.lam
 
+    def ppf_batch(self, p) -> np.ndarray:
+        # Negation and division vectorize exactly; log1p stays on the
+        # libm kernel (NumPy's SIMD log1p differs in the last ulp).
+        p = _check_open_unit(_as_probability_array(p))
+        logs = np.fromiter((math.log1p(-float(v)) for v in p),
+                           dtype=np.float64, count=p.size)
+        return -logs / self.lam
+
     @property
     def mean(self) -> float:
         return 1.0 / self.lam
@@ -397,6 +498,14 @@ class LogNormal(Distribution):
             raise DistributionError(f"ppf argument must be in (0, 1), got {p}")
         return math.exp(self.mu + self.sigma * _big_phi_inv(p))
 
+    def ppf_batch(self, p) -> np.ndarray:
+        # The affine part vectorizes exactly; exp stays on the libm
+        # kernel (NumPy's SIMD exp differs in the last ulp).
+        p = _check_open_unit(_as_probability_array(p))
+        t = self.mu + self.sigma * _big_phi_inv_batch(p)
+        return np.fromiter((math.exp(float(v)) for v in t),
+                           dtype=np.float64, count=t.size)
+
     @property
     def mean(self) -> float:
         return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
@@ -435,6 +544,12 @@ class Uniform(Distribution):
             raise DistributionError(f"ppf argument must be in [0, 1], got {p}")
         return self.a + p * (self.b - self.a)
 
+    def ppf_batch(self, p) -> np.ndarray:
+        # Pure affine arithmetic: exactly the scalar operations, fully
+        # vectorized.
+        p = _check_closed_unit(_as_probability_array(p))
+        return self.a + p * (self.b - self.a)
+
     @property
     def mean(self) -> float:
         return 0.5 * (self.a + self.b)
@@ -466,6 +581,10 @@ class PointMass(Distribution):
             raise DistributionError(f"ppf argument must be in [0, 1], got {p}")
         return self.value
 
+    def ppf_batch(self, p) -> np.ndarray:
+        p = _check_closed_unit(_as_probability_array(p))
+        return np.full(p.size, self.value, dtype=np.float64)
+
     @property
     def mean(self) -> float:
         return self.value
@@ -476,3 +595,9 @@ class PointMass(Distribution):
 
     def sample(self, rng) -> float:
         return self.value
+
+    def sample_batch(self, rng, n: int) -> np.ndarray:
+        # Like sample()/sample_many(), a point mass consumes no draws.
+        if n < 0:
+            raise DistributionError(f"sample count must be >= 0, got {n}")
+        return np.full(n, self.value, dtype=np.float64)

@@ -1,0 +1,183 @@
+"""Robust safety optimization: minimize a risk percentile, not a point.
+
+The paper optimizes the expected hazard cost at the *point estimates* of
+the basic-event probabilities (Sect. IV-C).  When those estimates carry
+epistemic uncertainty, the point-optimal timers may sit on a ridge where
+plausible parameter draws blow the risk up.  This module wraps a
+:class:`~repro.core.model.SafetyModel` into an
+:class:`~repro.opt.problem.Problem` whose objective is a chosen
+*percentile* of the cost over the epistemic distribution — e.g. the 95th
+percentile — so any optimizer in :mod:`repro.opt` minimizes the
+guaranteed-with-confidence risk instead.
+
+Mechanics: for every fault-tree hazard with an
+:class:`~repro.uq.spec.UncertainModel`, the uncertain leaf columns are
+sampled *once* at construction (common random numbers — the objective
+is a deterministic, smooth-as-possible function of the design point);
+at each evaluated design point only the parameterized columns are
+refilled and the whole sample batch runs through the compiled
+evaluator.  A robust objective evaluation therefore costs one batched
+quantification per hazard, not ``n_samples`` tree walks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import FaultTreeHazard, SafetyModel
+from repro.engine.pool import derive_seed
+from repro.errors import UQError
+from repro.opt.problem import Problem
+from repro.uq.propagate import _checked_evaluator, percentile
+from repro.uq.sampling import SAMPLERS, probability_matrix
+from repro.uq.spec import UncertainModel
+
+
+class _UncertainHazard:
+    """One hazard's precomputed sample matrix and compiled evaluator."""
+
+    def __init__(self, name: str, hazard: FaultTreeHazard,
+                 model: UncertainModel, n_samples: int, seed: int,
+                 sampler: str):
+        if not isinstance(hazard, FaultTreeHazard):
+            raise UQError(
+                f"robust objectives need fault-tree hazards; "
+                f"{name!r} is a {type(hazard).__name__}")
+        overlap = set(model) & set(hazard.assignments)
+        if overlap:
+            raise UQError(
+                f"events {sorted(overlap)} of hazard {name!r} are both "
+                f"parameterized and uncertain — decide which they are")
+        self.name = name
+        self.hazard = hazard
+        # Reuse the hazard's own memoized evaluator where it has one —
+        # it already carries the hazard's precomputed cut sets, so
+        # MOCUS is not re-run and both code paths share one compiled
+        # form; fall back to (validated) direct compilation otherwise.
+        self.evaluator = hazard._compiled_evaluator() or \
+            _checked_evaluator(hazard.tree, hazard.method,
+                               hazard.policy)
+        leaf_names = self.evaluator.leaf_names
+        missing = set(model) - set(leaf_names)
+        if missing:
+            raise UQError(
+                f"uncertain events {sorted(missing)} are not leaves of "
+                f"hazard {name!r}")
+        # Certain, non-parameterized columns fall back to defaults;
+        # parameterized columns get a placeholder overwritten per point.
+        defaults = self.evaluator.defaults
+        for assigned in hazard.assignments:
+            defaults[assigned] = 0.0
+        self._matrix = probability_matrix(model, leaf_names, n_samples,
+                                          seed=seed, sampler=sampler,
+                                          defaults=defaults)
+        self._assigned_columns: List[Tuple[int, str]] = [
+            (leaf_names.index(leaf), leaf)
+            for leaf in hazard.assignments]
+
+    def probability_samples(self, values: Dict[str, float]) -> np.ndarray:
+        """Per-sample hazard probabilities at one design point.
+
+        Assigned columns are overwritten in place: every one of them is
+        rewritten on every call before the matrix is evaluated, so no
+        stale state can leak between design points — and the optimizer
+        hot path avoids copying the whole CRN matrix per iteration.
+        """
+        matrix = self._matrix
+        for column, leaf in self._assigned_columns:
+            p = float(self.hazard.assignments[leaf](values))
+            if not 0.0 <= p <= 1.0:
+                raise UQError(
+                    f"assignment of {leaf!r} produced probability "
+                    f"{p} outside [0, 1]")
+            matrix[:, column] = p
+        return self.evaluator.evaluate_matrix(matrix)
+
+
+class RobustCostObjective:
+    """The cost percentile over the epistemic distribution, per point.
+
+    Callable on parameter vectors (the :class:`~repro.opt.problem.Problem`
+    contract).  Hazards named in ``uncertain`` contribute their sampled
+    probability vectors; the rest contribute their point probability to
+    every sample — so certain hazards shift the whole distribution
+    without widening it.
+    """
+
+    def __init__(self, model: SafetyModel,
+                 uncertain: Mapping[str, UncertainModel],
+                 n_samples: int = 256, seed: int = 0,
+                 sampler: str = "lhs", q: float = 95.0):
+        if not uncertain:
+            raise UQError("robust objective needs at least one "
+                          "uncertain hazard")
+        if not 0.0 <= q <= 100.0:
+            raise UQError(f"percentile must be in [0, 100], got {q}")
+        if n_samples < 2:
+            raise UQError(f"n_samples must be >= 2, got {n_samples}")
+        if sampler not in SAMPLERS:
+            raise UQError(
+                f"unknown sampler {sampler!r}; "
+                f"expected one of {SAMPLERS}")
+        unknown = set(uncertain) - set(model.hazards)
+        if unknown:
+            raise UQError(
+                f"uncertain models for unknown hazards "
+                f"{sorted(unknown)}; model has "
+                f"{sorted(model.hazards)}")
+        self.model = model
+        self.q = float(q)
+        self.n_samples = int(n_samples)
+        self.seed = int(seed)
+        self.sampler = sampler
+        self._sampled: Dict[str, _UncertainHazard] = {}
+        for index, name in enumerate(sorted(uncertain)):
+            # Hash-derived per-hazard seeds: neighbouring base seeds
+            # must not collide with neighbouring hazard indices (as
+            # ``seed + index`` would).
+            self._sampled[name] = _UncertainHazard(
+                name, model.hazards[name], uncertain[name],
+                n_samples, derive_seed(seed, index), sampler)
+
+    def cost_samples(self, x: Sequence[float]) -> np.ndarray:
+        """The sampled cost distribution at one design point."""
+        values = self.model.space.to_dict(tuple(float(v) for v in x))
+        total = np.zeros(self.n_samples)
+        for name in sorted(self.model.hazards):
+            weight = self.model.cost_model.cost_of(name)
+            sampled = self._sampled.get(name)
+            if sampled is not None:
+                total = total + weight * \
+                    sampled.probability_samples(values)
+            else:
+                point = self.model.hazards[name].probability(values)
+                total = total + weight * point
+        return total
+
+    def __call__(self, x: Sequence[float]) -> float:
+        return percentile(self.cost_samples(x), self.q)
+
+
+def robust_problem(model: SafetyModel,
+                   uncertain: Mapping[str, UncertainModel],
+                   n_samples: int = 256, seed: int = 0,
+                   sampler: str = "lhs", q: float = 95.0,
+                   name: Optional[str] = None) -> Problem:
+    """Package the robust objective as an optimization problem.
+
+    The returned :class:`~repro.opt.problem.Problem` runs over the
+    model's parameter box and counts evaluations like any other, so
+    every optimizer in :mod:`repro.opt` (and the zoom procedure) can
+    minimize the ``q``-th percentile cost directly::
+
+        problem = robust_problem(model, {COLLISION: uncertain_rates},
+                                 q=95.0)
+        result = nelder_mead(problem, x0=model.space.defaults)
+    """
+    objective = RobustCostObjective(model, uncertain,
+                                    n_samples=n_samples, seed=seed,
+                                    sampler=sampler, q=q)
+    label = name or f"{model.name}:cost@p{objective.q:g}"
+    return Problem(objective, model.space.box(), name=label)

@@ -1,0 +1,214 @@
+"""Immutable epistemic-uncertainty specifications over basic events.
+
+"It is our experience, that the results of this analysis depend a lot on
+how well the statistical model reflects reality" (paper Sect. V).  The
+Elbtunnel failure rates are estimates from operating experience, yet the
+quantification machinery consumes point probabilities.  An
+:class:`UncertainModel` closes that gap declaratively: it maps basic
+events (primary failures and INHIBIT conditions) to
+:class:`~repro.stats.distributions.Distribution` objects describing what
+is actually known about their probabilities — lognormal error-factor
+data (NRC handbook style, :func:`lognormal_error_factor`), Beta
+posteriors straight from :mod:`repro.stats.bayes` operating-experience
+updates, truncated normals, or point masses for quantities taken as
+certain.
+
+The model is immutable and hashable, and it carries a canonical
+:attr:`~UncertainModel.fingerprint` derived from the distribution
+parameters — so :mod:`repro.engine` cache keys extend naturally to UQ
+jobs: two semantically identical uncertainty specifications share a
+cache entry, any parameter change invalidates it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.engine.fingerprint import digest
+from repro.errors import UQError
+from repro.fta.events import Condition, PrimaryFailure
+from repro.fta.tree import FaultTree
+from repro.stats.distributions import (
+    Distribution,
+    LogNormal,
+    _big_phi_inv,
+)
+
+#: The standard normal 95th-percentile quantile, the conventional
+#: reference point of error-factor data (EF = p95 / median).
+_Z95 = _big_phi_inv(0.95)
+
+
+def distribution_fingerprint(distribution: Distribution) -> str:
+    """Canonical text form of a distribution: class name plus fields.
+
+    Every distribution in :mod:`repro.stats` is a frozen dataclass whose
+    fields are floats; the canonical form serializes them through
+    :func:`repr`, which round-trips IEEE doubles exactly.  Distributions
+    that are not dataclasses cannot be canonicalized and are rejected —
+    an opaque token would silently conflate different models.
+    """
+    if not isinstance(distribution, Distribution):
+        raise UQError(
+            f"expected a Distribution, got {type(distribution).__name__}")
+    if not dataclasses.is_dataclass(distribution):
+        raise UQError(
+            f"cannot fingerprint non-dataclass distribution "
+            f"{type(distribution).__name__}")
+    fields = ",".join(
+        f"{field.name}={repr(float(getattr(distribution, field.name)))}"
+        for field in dataclasses.fields(distribution))
+    return f"{type(distribution).__name__}({fields})"
+
+
+class UncertainModel(Mapping):
+    """An immutable, hashable map: basic-event name → distribution.
+
+    Parameters
+    ----------
+    distributions:
+        Mapping from basic-event names to
+        :class:`~repro.stats.distributions.Distribution` objects over
+        the event's *probability*.  Values outside ``[0, 1]`` that a
+        distribution may produce (e.g. a lognormal's upper tail) are
+        clipped by the sampling layer.
+    name:
+        Display name for reports.
+    """
+
+    def __init__(self, distributions: Mapping[str, Distribution],
+                 name: str = "uncertain"):
+        if not distributions:
+            raise UQError("uncertain model needs at least one event")
+        items = []
+        for event, dist in distributions.items():
+            if not isinstance(dist, Distribution):
+                raise UQError(
+                    f"event {event!r} needs a Distribution, "
+                    f"got {type(dist).__name__}")
+            items.append((str(event), dist))
+        # Sorted storage makes iteration (and the fingerprint) canonical
+        # regardless of construction order.
+        self._items: Tuple[Tuple[str, Distribution], ...] = \
+            tuple(sorted(items, key=lambda kv: kv[0]))
+        self._index: Dict[str, Distribution] = dict(self._items)
+        if len(self._index) != len(items):
+            raise UQError("duplicate event names in uncertain model")
+        self.name = str(name)
+        self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, event: str) -> Distribution:
+        return self._index[event]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _dist in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def events(self) -> Tuple[str, ...]:
+        """Uncertain event names, in canonical (sorted) order."""
+        return tuple(name for name, _dist in self._items)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content hash over events and distribution parameters."""
+        if self._fingerprint is None:
+            body = ";".join(
+                f"{name}={distribution_fingerprint(dist)}"
+                for name, dist in self._items)
+            self._fingerprint = digest("uq-model:" + body)
+        return self._fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, UncertainModel):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def updated(self, distributions: Mapping[str, Distribution]
+                ) -> "UncertainModel":
+        """A copy with some events' distributions replaced or added."""
+        merged = dict(self._index)
+        merged.update(distributions)
+        return UncertainModel(merged, name=self.name)
+
+    def restricted(self, events) -> "UncertainModel":
+        """A copy keeping only the given events."""
+        wanted = set(events)
+        keep = {name: dist for name, dist in self._items
+                if name in wanted}
+        return UncertainModel(keep, name=self.name)
+
+    def means(self) -> Dict[str, float]:
+        """Each event's mean probability (clipped into [0, 1])."""
+        return {name: min(1.0, max(0.0, dist.mean))
+                for name, dist in self._items}
+
+    def __repr__(self) -> str:
+        inside = ", ".join(
+            f"{name}~{type(dist).__name__}" for name, dist in self._items)
+        return f"UncertainModel({self.name!r}, {inside})"
+
+
+def lognormal_error_factor(median: float,
+                           error_factor: float) -> LogNormal:
+    """Lognormal from NRC-handbook style error-factor data.
+
+    ``median`` is the best estimate, ``error_factor`` the ratio of the
+    95th percentile to the median (equivalently median to 5th), the
+    conventional way reliability databases report rate uncertainty:
+    ``sigma = ln(EF) / z_0.95``.
+    """
+    if median <= 0.0:
+        raise UQError(f"median must be > 0, got {median}")
+    if error_factor <= 1.0:
+        raise UQError(
+            f"error factor must be > 1, got {error_factor}")
+    return LogNormal(mu=math.log(median),
+                     sigma=math.log(error_factor) / _Z95)
+
+
+def from_error_factors(tree: FaultTree, error_factor: float = 3.0,
+                       overrides: Optional[Mapping[str, Distribution]]
+                       = None,
+                       name: Optional[str] = None) -> UncertainModel:
+    """Default epistemic model of a tree: lognormal around each default.
+
+    Every leaf (primary failure or condition) carrying a positive
+    default probability gets a :func:`lognormal_error_factor`
+    distribution with its default as the median; ``overrides`` replace
+    or add per-event distributions (e.g. Beta posteriors from
+    :mod:`repro.stats.bayes`).  Leaves without defaults are left out —
+    propagation will demand a distribution or default for them.
+    """
+    distributions: Dict[str, Distribution] = {}
+    for event in tree.iter_events():
+        if not isinstance(event, (PrimaryFailure, Condition)):
+            continue
+        p = event.probability
+        if p is not None and p > 0.0:
+            distributions[event.name] = lognormal_error_factor(
+                p, error_factor)
+    if overrides:
+        distributions.update(overrides)
+    if not distributions:
+        raise UQError(
+            f"tree {tree.name!r} has no leaves with positive default "
+            f"probabilities to derive distributions from")
+    return UncertainModel(distributions,
+                          name=name or f"{tree.name} (EF {error_factor:g})")

@@ -6,6 +6,7 @@ from repro.viz.tables import (
     format_surface,
     format_table,
     sparkline,
+    tornado_table,
 )
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "format_series",
     "format_surface",
     "sparkline",
+    "tornado_table",
     "line_chart",
     "histogram",
 ]

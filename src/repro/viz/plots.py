@@ -13,25 +13,44 @@ from repro.errors import ReproError
 _MARKERS = "ox+*#@%&"
 
 
+#: Fill character for percentile bands.
+_BAND_FILL = "."
+
+
 def line_chart(series: Dict[str, List[Tuple[float, float]]],
                width: int = 60, height: int = 16, title: str = "",
-               y_min: float = None, y_max: float = None) -> str:
+               y_min: float = None, y_max: float = None,
+               bands: Dict[str, List[Tuple[float, float, float]]] = None
+               ) -> str:
     """Render named (x, y) series as an ASCII chart.
 
     Each series gets its own marker character; a legend maps markers to
     names.  Axis ranges default to the data's bounding box.
+
+    ``bands`` optionally adds named uncertainty bands — lists of
+    ``(x, low, high)`` triples, e.g. a credible interval around a
+    median curve — rendered as a dotted fill underneath the series
+    markers and included in the autoscaled axis ranges and the legend.
     """
     if not series:
         raise ReproError("no series to plot")
     if width < 10 or height < 4:
         raise ReproError("chart needs width >= 10 and height >= 4")
+    bands = bands or {}
     all_points = [p for curve in series.values() for p in curve]
+    band_points = [(x, y) for band in bands.values()
+                   for x, lo, hi in band for y in (lo, hi)]
     if not all_points:
         raise ReproError("series contain no points")
-    x_lo = min(x for x, _y in all_points)
-    x_hi = max(x for x, _y in all_points)
-    y_lo = y_min if y_min is not None else min(y for _x, y in all_points)
-    y_hi = y_max if y_max is not None else max(y for _x, y in all_points)
+    for name, band in bands.items():
+        if any(lo > hi for _x, lo, hi in band):
+            raise ReproError(
+                f"band {name!r} has a low value above its high value")
+    scale_points = all_points + band_points
+    x_lo = min(x for x, _y in scale_points)
+    x_hi = max(x for x, _y in scale_points)
+    y_lo = y_min if y_min is not None else min(y for _x, y in scale_points)
+    y_hi = y_max if y_max is not None else max(y for _x, y in scale_points)
     if x_hi == x_lo:
         x_hi = x_lo + 1.0
     if y_hi == y_lo:
@@ -39,11 +58,25 @@ def line_chart(series: Dict[str, List[Tuple[float, float]]],
 
     grid = [[" "] * width for _ in range(height)]
 
-    def place(x: float, y: float, marker: str) -> None:
+    def cell(x: float, y: float) -> Tuple[int, int]:
         col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
         row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return col, row
+
+    def place(x: float, y: float, marker: str) -> None:
+        col, row = cell(x, y)
         if 0 <= col < width and 0 <= row < height:
             grid[height - 1 - row][col] = marker
+
+    # Bands first, so series markers draw on top of the fill.
+    for band in bands.values():
+        for x, lo, hi in band:
+            col, row_lo = cell(x, lo)
+            _col, row_hi = cell(x, hi)
+            if not 0 <= col < width:
+                continue
+            for row in range(max(0, row_lo), min(height - 1, row_hi) + 1):
+                grid[height - 1 - row][col] = _BAND_FILL
 
     names = sorted(series)
     for index, name in enumerate(names):
@@ -64,6 +97,8 @@ def line_chart(series: Dict[str, List[Tuple[float, float]]],
     legend = "  ".join(
         f"{_MARKERS[i % len(_MARKERS)]} = {name}"
         for i, name in enumerate(names))
+    for band_name in sorted(bands):
+        legend += f"  {_BAND_FILL} = {band_name}"
     lines.append(f"{' ' * 10}{legend}")
     return "\n".join(lines)
 

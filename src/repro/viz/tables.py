@@ -137,3 +137,36 @@ def _subsample(count: int, limit: int) -> List[int]:
         return list(range(count))
     step = (count - 1) / (limit - 1)
     return sorted({round(i * step) for i in range(limit)})
+
+
+def tornado_table(first: Dict[str, float],
+                  total: Dict[str, float] = None,
+                  title: str = "", width: int = 30) -> str:
+    """Render sensitivity indices as a tornado-style ranked bar table.
+
+    ``first`` maps names to first-order (or swing) values; ``total``
+    optionally adds a total-order column and drives the ranking when
+    given.  Bars scale the ranking column against the largest entry —
+    the classic tornado shape, in plain text.
+    """
+    if not first:
+        raise ReproError("no sensitivity entries to render")
+    if width < 1:
+        raise ReproError("bar width must be >= 1")
+    if total is not None and set(total) != set(first):
+        raise ReproError(
+            "first- and total-order entries must cover the same names")
+    ranking = total if total is not None else first
+    names = sorted(first, key=lambda n: ranking[n], reverse=True)
+    peak = max(ranking.values())
+    rows = []
+    for name in names:
+        bar = "#" * (round(ranking[name] / peak * width) if peak > 0
+                     else 0)
+        if total is not None:
+            rows.append([name, first[name], total[name], bar])
+        else:
+            rows.append([name, first[name], bar])
+    headers = ["event", "S1", "ST", ""] if total is not None \
+        else ["event", "value", ""]
+    return format_table(headers, rows, title=title)

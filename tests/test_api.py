@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.core",
     "repro.engine",
     "repro.compile",
+    "repro.uq",
     "repro.fta",
     "repro.bdd",
     "repro.stats",
@@ -83,7 +84,8 @@ def test_error_hierarchy():
         errors.QuantificationError, errors.DistributionError,
         errors.OptimizationError, errors.BDDError,
         errors.SimulationError, errors.ModelError,
-        errors.SerializationError,
+        errors.SerializationError, errors.EngineError,
+        errors.UQError,
     ]
     for cls in subclasses:
         assert issubclass(cls, errors.ReproError)

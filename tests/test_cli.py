@@ -68,6 +68,84 @@ class TestCommands:
         assert "collisions" in out
 
 
+class TestUncertainty:
+    @pytest.mark.parametrize("tree", ["collision", "false-alarm",
+                                      "corridor"])
+    def test_uq_builtin_trees(self, capsys, tree):
+        assert main(["uq", "--tree", tree, "--samples", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "uncertainty of" in out
+        assert "90% band" in out
+        assert "p95" in out
+        assert "distribution" in out
+        assert "Exceedance curve" in out
+        assert "90% credible region" in out
+
+    def test_uq_custom_percentiles(self, capsys):
+        assert main(["uq", "--samples", "50",
+                     "--percentiles", "10,90"]) == 0
+        out = capsys.readouterr().out
+        assert "p10" in out and "p90" in out and "p95" not in out
+
+    def test_uq_sobol(self, capsys):
+        assert main(["uq", "--tree", "collision", "--samples", "80",
+                     "--sobol"]) == 0
+        out = capsys.readouterr().out
+        assert "Sobol sensitivity" in out
+        assert "S1" in out and "ST" in out
+
+    def test_uq_from_file(self, capsys, tmp_path, bridge_tree):
+        path = tmp_path / "tree.json"
+        path.write_text(tree_to_json(bridge_tree))
+        assert main(["uq", "--file", str(path), "--samples", "60",
+                     "--sampler", "mc", "--ef", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "uncertainty of 'H'" in out
+        assert "60 mc samples" in out
+
+    def test_uq_json_output(self, capsys):
+        assert main(["uq", "--samples", "50", "--sobol",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 50
+        assert set(payload["percentiles"]) == {"5", "50", "95"}
+        assert payload["interval90"][0] <= payload["interval90"][1]
+        assert "sobol" in payload and "first" in payload["sobol"]
+
+    def test_uq_seed_determinism(self, capsys):
+        assert main(["uq", "--samples", "50", "--seed", "3",
+                     "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["uq", "--samples", "50", "--seed", "3",
+                     "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_uq_workers_match_serial(self, capsys):
+        assert main(["uq", "--samples", "50", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["uq", "--samples", "50", "--workers", "2",
+                     "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["mean"] == serial["mean"]
+        assert parallel["percentiles"] == serial["percentiles"]
+
+    def test_uq_bad_percentiles_reported(self, capsys):
+        assert main(["uq", "--percentiles", "5,abc"]) == 1
+        assert "error" in capsys.readouterr().err
+        assert main(["uq", "--percentiles", "5,150"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_uncertain_section(self, capsys, tmp_path,
+                                      bridge_tree):
+        path = tmp_path / "tree.json"
+        path.write_text(tree_to_json(bridge_tree))
+        assert main(["report", str(path), "--uncertain"]) == 0
+        out = capsys.readouterr().out
+        assert "Top minimal cut sets" in out
+        assert "uncertainty of 'H'" in out
+        assert "90% band" in out
+
+
 class TestErrors:
     def test_missing_file_is_reported(self, capsys):
         assert main(["report", "/nonexistent/tree.json"]) == 1

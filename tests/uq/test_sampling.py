@@ -1,0 +1,99 @@
+"""Sampling designs: determinism, stratification, matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UQError
+from repro.stats import LogNormal, Uniform
+from repro.uq import UncertainModel, probability_matrix, uniform_matrix
+
+
+class TestUniformMatrix:
+    def test_deterministic_per_seed(self):
+        for sampler in ("mc", "lhs"):
+            a = uniform_matrix(50, 3, seed=9, sampler=sampler)
+            b = uniform_matrix(50, 3, seed=9, sampler=sampler)
+            assert np.array_equal(a, b)
+            c = uniform_matrix(50, 3, seed=10, sampler=sampler)
+            assert not np.array_equal(a, c)
+
+    def test_samplers_differ(self):
+        a = uniform_matrix(50, 3, seed=9, sampler="mc")
+        b = uniform_matrix(50, 3, seed=9, sampler="lhs")
+        assert not np.array_equal(a, b)
+
+    def test_shape_and_open_interval(self):
+        u = uniform_matrix(200, 4, seed=0, sampler="mc")
+        assert u.shape == (200, 4)
+        assert (u > 0.0).all() and (u < 1.0).all()
+
+    def test_lhs_stratification(self):
+        """Each column holds exactly one draw per quantile stratum."""
+        n = 64
+        u = uniform_matrix(n, 5, seed=3, sampler="lhs")
+        for j in range(5):
+            strata = np.floor(u[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_mc_is_not_stratified(self):
+        n = 64
+        u = uniform_matrix(n, 1, seed=3, sampler="mc")
+        strata = np.floor(u[:, 0] * n).astype(int)
+        assert sorted(strata) != list(range(n))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(UQError):
+            uniform_matrix(0, 3)
+        with pytest.raises(UQError):
+            uniform_matrix(3, 0)
+        with pytest.raises(UQError):
+            uniform_matrix(3, 3, sampler="sobol")
+
+
+class TestProbabilityMatrix:
+    @pytest.fixture
+    def model(self):
+        return UncertainModel({"A": Uniform(0.1, 0.2),
+                               "C": Uniform(0.3, 0.4)})
+
+    def test_columns_follow_leaf_order(self, model):
+        matrix = probability_matrix(model, ["A", "B", "C"], 100,
+                                    seed=1, defaults={"B": 0.05})
+        assert matrix.shape == (100, 3)
+        assert ((matrix[:, 0] >= 0.1) & (matrix[:, 0] <= 0.2)).all()
+        assert (matrix[:, 1] == 0.05).all()
+        assert ((matrix[:, 2] >= 0.3) & (matrix[:, 2] <= 0.4)).all()
+
+    def test_sampled_columns_match_ppf_batch(self, model):
+        matrix = probability_matrix(model, ["A", "C"], 64, seed=5,
+                                    sampler="lhs")
+        u = uniform_matrix(64, 2, seed=5, sampler="lhs")
+        expected_a = model["A"].ppf_batch(u[:, 0])
+        assert np.array_equal(matrix[:, 0], expected_a)
+
+    def test_clipping_into_unit_interval(self):
+        # LogNormal(mu=1) has most of its mass above 1.
+        model = UncertainModel({"A": LogNormal(1.0, 0.5)})
+        matrix = probability_matrix(model, ["A"], 500, seed=2)
+        assert matrix.max() == 1.0
+        assert (matrix <= 1.0).all() and (matrix >= 0.0).all()
+
+    def test_unknown_uncertain_event_rejected(self, model):
+        with pytest.raises(UQError, match="not leaves"):
+            probability_matrix(model, ["A", "B"], 10,
+                               defaults={"B": 0.1})
+
+    def test_missing_default_rejected(self):
+        model = UncertainModel({"A": Uniform(0.1, 0.2)})
+        with pytest.raises(UQError, match="neither"):
+            probability_matrix(model, ["A", "B"], 10)
+
+    def test_invalid_default_rejected(self):
+        model = UncertainModel({"A": Uniform(0.1, 0.2)})
+        with pytest.raises(UQError, match="\\[0, 1\\]"):
+            probability_matrix(model, ["A", "B"], 10,
+                               defaults={"B": 1.5})
+
+    def test_rejects_zero_samples(self, model):
+        with pytest.raises(UQError):
+            probability_matrix(model, ["A", "C"], 0)

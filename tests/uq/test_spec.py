@@ -1,0 +1,139 @@
+"""UncertainModel: immutability, hashing, canonical fingerprints."""
+
+import math
+
+import pytest
+
+from repro.errors import UQError
+from repro.fta import FaultTree
+from repro.fta.dsl import OR, hazard, primary
+from repro.stats import Beta, LogNormal, Normal, PointMass, Uniform
+from repro.uq import (
+    UncertainModel,
+    distribution_fingerprint,
+    from_error_factors,
+    lognormal_error_factor,
+)
+
+
+@pytest.fixture
+def model() -> UncertainModel:
+    return UncertainModel({"A": LogNormal(-5.0, 0.5),
+                           "B": Beta(2.0, 50.0)}, name="demo")
+
+
+class TestUncertainModel:
+    def test_mapping_interface(self, model):
+        assert len(model) == 2
+        assert set(model) == {"A", "B"}
+        assert model["A"] == LogNormal(-5.0, 0.5)
+        assert "A" in model and "C" not in model
+        assert model.events == ("A", "B")
+
+    def test_canonical_order(self):
+        forward = UncertainModel({"A": Uniform(0.0, 0.1),
+                                  "B": Uniform(0.0, 0.2)})
+        backward = UncertainModel({"B": Uniform(0.0, 0.2),
+                                   "A": Uniform(0.0, 0.1)})
+        assert forward.fingerprint == backward.fingerprint
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_fingerprint_sensitivity(self, model):
+        renamed = UncertainModel({"A2": LogNormal(-5.0, 0.5),
+                                  "B": Beta(2.0, 50.0)})
+        reparam = UncertainModel({"A": LogNormal(-5.0, 0.6),
+                                  "B": Beta(2.0, 50.0)})
+        retyped = UncertainModel({"A": Normal(-5.0, 0.5),
+                                  "B": Beta(2.0, 50.0)})
+        fingerprints = {model.fingerprint, renamed.fingerprint,
+                        reparam.fingerprint, retyped.fingerprint}
+        assert len(fingerprints) == 4
+
+    def test_name_is_display_metadata(self, model):
+        other = UncertainModel(dict(model), name="other display name")
+        assert other == model
+
+    def test_usable_as_dict_key(self, model):
+        assert {model: 1}[UncertainModel(dict(model))] == 1
+
+    def test_updated_and_restricted(self, model):
+        grown = model.updated({"C": PointMass(0.5)})
+        assert set(grown) == {"A", "B", "C"}
+        assert set(model) == {"A", "B"}          # original untouched
+        assert set(grown.restricted(["A", "C"])) == {"A", "C"}
+
+    def test_means_are_clipped(self):
+        wide = UncertainModel({"A": LogNormal(1.0, 0.5)})
+        assert wide.means()["A"] == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(UQError):
+            UncertainModel({})
+        with pytest.raises(UQError):
+            UncertainModel({"A": 0.5})
+
+
+class TestDistributionFingerprint:
+    def test_covers_class_and_fields(self):
+        text = distribution_fingerprint(LogNormal(-5.0, 0.5))
+        assert text.startswith("LogNormal(")
+        assert "mu=-5.0" in text and "sigma=0.5" in text
+
+    def test_rejects_non_distributions(self):
+        with pytest.raises(UQError):
+            distribution_fingerprint(0.5)
+
+    def test_rejects_non_dataclass_distributions(self):
+        from repro.stats.distributions import Distribution
+
+        class Opaque(Distribution):
+            def ppf(self, p):
+                return 0.5
+
+        with pytest.raises(UQError):
+            distribution_fingerprint(Opaque())
+
+
+class TestLognormalErrorFactor:
+    def test_median_and_error_factor(self):
+        dist = lognormal_error_factor(1e-4, 3.0)
+        assert dist.ppf(0.5) == pytest.approx(1e-4, rel=1e-9)
+        assert dist.ppf(0.95) / dist.ppf(0.5) == pytest.approx(3.0,
+                                                               rel=1e-9)
+        assert dist.ppf(0.5) / dist.ppf(0.05) == pytest.approx(3.0,
+                                                               rel=1e-9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(UQError):
+            lognormal_error_factor(0.0, 3.0)
+        with pytest.raises(UQError):
+            lognormal_error_factor(1e-4, 1.0)
+
+
+class TestFromErrorFactors:
+    def test_covers_leaves_with_defaults(self, bridge_tree):
+        model = from_error_factors(bridge_tree, 3.0)
+        assert set(model) == {"A", "B", "C"}
+        assert model["A"].ppf(0.5) == pytest.approx(0.3, rel=1e-9)
+
+    def test_overrides_win(self, bridge_tree):
+        beta = Beta(3.0, 7.0)
+        model = from_error_factors(bridge_tree, 3.0,
+                                   overrides={"A": beta})
+        assert model["A"] == beta
+
+    def test_skips_leaves_without_defaults(self, inhibit_tree):
+        model = from_error_factors(inhibit_tree, 3.0)
+        assert set(model) == {"A", "B", "env"}
+
+    def test_rejects_trees_without_any_defaults(self):
+        tree = FaultTree(hazard("H", OR_gate=[primary("A"),
+                                              primary("B")]))
+        with pytest.raises(UQError):
+            from_error_factors(tree)
+
+    def test_sigma_matches_conventional_z95(self):
+        dist = lognormal_error_factor(1.0, 10.0)
+        assert dist.sigma == pytest.approx(math.log(10.0) / 1.6448536,
+                                           rel=1e-6)

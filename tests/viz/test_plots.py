@@ -70,3 +70,50 @@ class TestHistogram:
     def test_rejects_bad_bins(self):
         with pytest.raises(ReproError):
             histogram([1.0], bins=0)
+
+
+class TestLineChartBands:
+    def band(self):
+        xs = [0.0, 0.5, 1.0]
+        return {"90% band": [(x, 0.2, 0.8) for x in xs]}
+
+    def series(self):
+        return {"median": [(0.0, 0.5), (0.5, 0.5), (1.0, 0.5)]}
+
+    def test_band_fill_is_rendered(self):
+        text = line_chart(self.series(), bands=self.band(),
+                          width=20, height=8)
+        assert "." in text
+        assert ". = 90% band" in text
+
+    def test_markers_draw_over_the_fill(self):
+        text = line_chart(self.series(), bands=self.band(),
+                          width=20, height=8)
+        assert "o" in text          # the median series marker survives
+
+    def test_bands_extend_the_autoscaled_axis(self):
+        wide = {"band": [(0.0, -1.0, 2.0)]}
+        text = line_chart(self.series(), bands=wide,
+                          width=20, height=8)
+        assert "-1" in text         # y axis reaches the band's low
+
+    def test_band_low_above_high_rejected(self):
+        from repro.errors import ReproError
+        bad = {"band": [(0.0, 0.9, 0.1)]}
+        with pytest.raises(ReproError):
+            line_chart(self.series(), bands=bad)
+
+    def test_chart_without_bands_is_unchanged(self):
+        plain = line_chart(self.series(), width=20, height=8)
+        explicit = line_chart(self.series(), bands=None,
+                              width=20, height=8)
+        assert plain == explicit
+        assert ". =" not in plain    # no band legend entry
+
+    def test_uncertainty_band_around_fig6_style_series(self):
+        xs = [float(i) for i in range(6)]
+        median = {"p50": [(x, 0.5 + 0.05 * x) for x in xs]}
+        band = {"p5-p95": [(x, 0.4 + 0.05 * x, 0.6 + 0.05 * x)
+                           for x in xs]}
+        text = line_chart(median, bands=band, width=30, height=10)
+        assert text.count(".") > 10

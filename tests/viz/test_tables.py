@@ -87,3 +87,40 @@ class TestFormatSurface:
     def test_rejects_empty_axes(self):
         with pytest.raises(ReproError):
             format_surface([], [1.0], [[1.0]])
+
+
+class TestTornadoTable:
+    def test_ranked_by_total_with_bars(self):
+        from repro.viz import tornado_table
+        first = {"a": 0.1, "b": 0.5}
+        total = {"a": 0.2, "b": 0.8}
+        text = tornado_table(first, total, title="Sobol", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "Sobol"
+        assert "S1" in lines[1] and "ST" in lines[1]
+        rows = lines[3:]
+        assert rows[0].startswith("b") and rows[1].startswith("a")
+        assert "#" * 10 in rows[0]          # peak bar at full width
+        assert "##" in rows[1]              # 0.2 / 0.8 * 10 = 2.5 -> 2
+        assert "###" not in rows[1]
+
+    def test_single_column_mode(self):
+        from repro.viz import tornado_table
+        text = tornado_table({"x": 0.3, "y": 0.6}, width=4)
+        lines = text.splitlines()
+        assert "value" in lines[0]
+        assert lines[2].startswith("y")
+
+    def test_zero_values_render_empty_bars(self):
+        from repro.viz import tornado_table
+        text = tornado_table({"x": 0.0, "y": 0.0})
+        assert "#" not in text
+
+    def test_validation(self):
+        from repro.viz import tornado_table
+        with pytest.raises(ReproError):
+            tornado_table({})
+        with pytest.raises(ReproError):
+            tornado_table({"a": 1.0}, {"b": 1.0})
+        with pytest.raises(ReproError):
+            tornado_table({"a": 1.0}, width=0)
