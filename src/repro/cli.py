@@ -35,7 +35,19 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction).")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("study", help="full Elbtunnel reproduction summary")
+    study = sub.add_parser("study",
+                           help="full Elbtunnel reproduction summary")
+    study.add_argument("--simulate", action="store_true",
+                       help="cross-check the Fig. 6 checkpoints with "
+                            "batched DES replications")
+    study.add_argument("--replications", type=int, default=4,
+                       help="replications per variant for --simulate "
+                            "(default: 4)")
+    study.add_argument("--days", type=float, default=60.0,
+                       help="simulated days per replication for "
+                            "--simulate (default: 60)")
+    study.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the simulation shards")
 
     optimize = sub.add_parser("optimize",
                               help="optimize the Elbtunnel timers")
@@ -50,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="render the Fig. 6 false-alarm curves")
     fig6.add_argument("--points", type=int, default=21,
                       help="samples per curve")
+    fig6.add_argument("--simulate", action="store_true",
+                      help="append a batched-DES cross-check of the "
+                           "checkpoints")
+    fig6.add_argument("--replications", type=int, default=4,
+                      help="replications per variant for --simulate "
+                           "(default: 4)")
+    fig6.add_argument("--days", type=float, default=60.0,
+                      help="simulated days per replication for "
+                           "--simulate (default: 60)")
+    fig6.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the simulation shards")
 
     cutsets = sub.add_parser("cutsets",
                              help="minimal cut sets of a fault tree")
@@ -82,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--timer2", type=float, default=15.6,
                           help="runtime of timer 2 in minutes")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--replications", type=int, default=1,
+                          help="independent replications run as one "
+                               "batch (default: 1)")
+    simulate.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the replication "
+                               "shards")
+    simulate.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit machine-readable JSON instead of "
+                               "text")
 
     batch = sub.add_parser(
         "batch",
@@ -149,7 +181,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _cmd_study(args) -> None:
     from repro.elbtunnel import full_study
-    print(full_study().summary())
+    replications = args.replications if args.simulate else 0
+    print(full_study(simulation_replications=replications,
+                     simulation_days=args.days,
+                     workers=args.workers).summary())
 
 
 def _cmd_optimize(args) -> None:
@@ -167,7 +202,7 @@ def _cmd_fig5(args) -> None:
 
 
 def _cmd_fig6(args) -> None:
-    from repro.elbtunnel import fig6_series
+    from repro.elbtunnel import fig6_series, fig6_simulation_check
     from repro.viz import format_series, line_chart
     series = fig6_series(points=args.points)
     print(line_chart(series, y_min=0.0, y_max=1.0,
@@ -175,6 +210,12 @@ def _cmd_fig6(args) -> None:
                            "vs. T2 [min]"))
     print()
     print(format_series(series, title="Values"))
+    if args.simulate:
+        check = fig6_simulation_check(replications=args.replications,
+                                      days=args.days,
+                                      workers=args.workers)
+        print()
+        print(check.summary())
 
 
 def _load_tree(args):
@@ -223,27 +264,66 @@ def _cmd_report(args) -> None:
 
 
 def _cmd_simulate(args) -> None:
+    import json
     from repro.elbtunnel import (
+        COUNTER_FIELDS,
         DesignVariant,
         SimulationConfig,
         TrafficConfig,
-        simulate,
     )
+    from repro.elbtunnel.study import CORRIDOR_OHV_RATE
+    from repro.engine import Engine, SimulationJob
     config = SimulationConfig(
         duration=60.0 * 24 * args.days, timer1=30.0, timer2=args.timer2,
         variant=DesignVariant(args.variant),
-        traffic=TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
+        traffic=TrafficConfig(ohv_rate=CORRIDOR_OHV_RATE, p_correct=1.0,
                               hv_odfinal_rate=0.13),
         seed=args.seed)
-    result = simulate(config)
-    lo, hi = result.correct_ohv_alarm_ci()
+    job = SimulationJob(config, replications=args.replications)
+    batch = Engine(workers=args.workers).run(job)
+    pooled = batch.pooled()
+    result = pooled.result
+    lo, hi = pooled.alarm_ci
+
+    if args.as_json:
+        payload = {
+            "job": job.describe(),
+            "variant": args.variant,
+            "days": args.days,
+            "replications": batch.replications,
+            "seeds": list(batch.seeds),
+            "counters": [dict(zip(COUNTER_FIELDS, row))
+                         for row in batch.counters.rows()],
+            "pooled": {
+                "counters": dict(zip(COUNTER_FIELDS,
+                                     result.counters())),
+                "correct_ohv_alarm_fraction":
+                    pooled.correct_ohv_alarm_fraction,
+                "ci": [lo, hi],
+                "confidence": pooled.confidence,
+                "between_variance": pooled.between_variance,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+
     print(f"variant          : {args.variant}")
-    print(f"simulated        : {args.days:g} days, "
+    print(f"simulated        : {args.days:g} days x "
+          f"{batch.replications} replications, "
           f"{result.ohvs_total} OHVs, {result.hv_crossings} HV crossings")
     print(f"false alarms     : {result.false_alarms}")
     print(f"collisions       : {result.collisions}")
     print(f"P(alarm|OHV)     : {result.correct_ohv_alarm_fraction:.4f} "
           f"[{lo:.4f}, {hi:.4f}]")
+    if batch.replications > 1:
+        print(f"between-run var  : {pooled.between_variance:.3g}")
+        fractions = batch.alarm_fractions()
+        for replication in range(batch.replications):
+            row = batch.result(replication)
+            print(f"  rep {replication:<3}: "
+                  f"P = {fractions[replication]:.4f}, "
+                  f"{row.false_alarms} false alarms, "
+                  f"{row.collisions} collisions")
 
 
 def _batch_tree(spec):

@@ -37,10 +37,18 @@ from repro.elbtunnel.risk import (
     collision_event_tree,
     compare_variants,
 )
+from repro.elbtunnel.batch import (
+    BatchSimulationResult,
+    fast_path_supported,
+    simulate_batch,
+)
 from repro.elbtunnel.simulation import (
+    COUNTER_FIELDS,
     EntranceSimulation,
+    PooledSimulation,
     SimulationConfig,
     SimulationResult,
+    pool_results,
     simulate,
 )
 from repro.elbtunnel.uncertain import (
@@ -54,9 +62,11 @@ from repro.elbtunnel.uncertain import (
 )
 from repro.elbtunnel.study import (
     Fig5Surface,
+    Fig6SimulationCheck,
     Fig6Study,
     FullStudy,
     fig5_surface,
+    fig6_simulation_check,
     fig6_study,
     full_study,
     optimum_study,
@@ -102,6 +112,12 @@ __all__ = [
     "SimulationResult",
     "EntranceSimulation",
     "simulate",
+    "COUNTER_FIELDS",
+    "PooledSimulation",
+    "pool_results",
+    "BatchSimulationResult",
+    "simulate_batch",
+    "fast_path_supported",
     "collision_uncertain_model",
     "false_alarm_uncertain_model",
     "corridor_uncertain_model",
@@ -117,6 +133,8 @@ __all__ = [
     "Fig5Surface",
     "fig6_study",
     "Fig6Study",
+    "fig6_simulation_check",
+    "Fig6SimulationCheck",
     "optimum_study",
     "full_study",
     "FullStudy",

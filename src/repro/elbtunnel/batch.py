@@ -1,0 +1,544 @@
+"""Batched multi-replication Elbtunnel entrance simulation.
+
+:func:`simulate_batch` runs R independent replications of the traffic
+simulation (:mod:`repro.elbtunnel.simulation`) as one batch instead of R
+sequential :func:`~repro.elbtunnel.simulation.simulate` calls.  Per-
+replication seeds come from :func:`repro.sim.batch.replication_seeds`,
+counters land in a structure-of-arrays
+:class:`~repro.sim.batch.CounterMatrix`, and statistics (pooled Wilson
+interval, per-replication intervals, between-replication variance) are
+batch reductions.
+
+**Bit-identity contract.**  Replication ``r`` of a batch produces
+*exactly* the counters of the scalar kernel at the same seed::
+
+    simulate_batch(config, n).result(r)
+        == simulate(replace(config, seed=replication_seeds(config.seed,
+                                                           n)[r]))
+
+The scalar path stays in the tree as the oracle (``tests/elbtunnel``
+pins the equivalence, mirroring ``tests/bdd/_reference.py``), and the
+equality is integer-exact — not statistical — at any worker or shard
+count.
+
+**How the fast path is fast.**  When no spurious-detection Poisson
+chains are configured (``fd_*_rate == 0`` — the Fig. 6 corridor
+workloads), every RNG draw's *position* in the stream is known before
+the event loop runs: the traffic streams are drawn eagerly (exactly as
+the scalar kernel draws them), and the in-loop draws (OD-miss
+Bernoullis) occur at statically known events in time order.  The kernel
+therefore pre-draws the uniforms in one block from the same seeded
+stream, replays the few hundred vehicle events through an inlined copy
+of the controller state machine (recording the controller state
+timeline), and then resolves the tens of thousands of HV-crossing
+events — 90+ % of all events — with vectorized NumPy index lookups and
+comparisons.  No floating-point *arithmetic* moves to NumPy, only exact
+comparisons and integer reductions, so there is no ULP hazard: every
+float is produced by the same scalar Python expressions the kernel
+classes evaluate.
+
+Spurious-detection configs draw from the shared RNG lazily (each fired
+trigger schedules — and draws for — the next), with data-dependent
+interleaving that cannot be pre-drawn; those replications run the scalar
+:class:`~repro.elbtunnel.simulation.EntranceSimulation` unchanged
+(identical by construction) while still gaining batch sharding, pooling
+and caching through :class:`~repro.engine.jobs.SimulationJob`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from math import log
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.elbtunnel.config import DesignVariant
+from repro.elbtunnel.simulation import (
+    COUNTER_FIELDS,
+    PooledSimulation,
+    SimulationConfig,
+    SimulationResult,
+    pool_results,
+    simulate,
+)
+from repro.errors import SimulationError
+# The scalar kernel draws transit times by inverse transform through
+# TruncatedNormal.ppf; the batch kernel evaluates the same quantile
+# expression with its constant parts hoisted, so it needs the same
+# internal normal-CDF kernels the distribution evaluates.
+from repro.stats.distributions import (
+    TruncatedNormal,
+    _big_phi,
+    _big_phi_inv,
+)
+from repro.sim.batch import (
+    CounterMatrix,
+    between_replication_variance,
+    per_replication_wilson,
+    replication_seeds,
+)
+
+#: Event kinds of the inlined vehicle timeline (scheduling order of the
+#: scalar kernel: LBpre, LBpost, ODfinal area — per vehicle).
+_LBPRE, _LBPOST, _ODFINAL = 0, 1, 2
+
+
+def fast_path_supported(config: SimulationConfig) -> bool:
+    """True when the vectorized replication kernel applies.
+
+    Spurious-detection Poisson chains (``fd_*_rate > 0``) draw their
+    next-gap lazily when the previous trigger fires, so the RNG draw
+    order depends on simulated data and cannot be pre-drawn; such
+    configs run the scalar kernel per replication instead.
+    """
+    return (config.fd_lbpre_rate == 0.0 and config.fd_lbpost_rate == 0.0
+            and config.fd_odfinal_rate == 0.0)
+
+
+def _fast_counters(config: SimulationConfig) -> Tuple[int, ...]:
+    """One replication through the vectorized kernel.
+
+    Returns the :data:`~repro.elbtunnel.simulation.COUNTER_FIELDS` row,
+    bit-identical to ``simulate(config).counters()``.
+    """
+    duration = config.duration
+    traffic = config.traffic
+    with_lb4 = config.variant is DesignVariant.WITH_LB4
+    lb_at_od = config.variant is DesignVariant.LB_AT_ODFINAL
+    timer1 = config.timer1
+    timer2 = config.timer2
+    p_miss = config.od_miss_probability
+    lb_passage = config.lb_passage_time
+    single_ohv = config.single_ohv_assumption
+
+    # ------------------------------------------------------------------
+    # Traffic streams — the exact draws (and draw order) of the scalar
+    # kernel's TrafficGenerator, inlined: per OHV one exponential gap,
+    # the route draws, then the two truncated-normal transit samples;
+    # afterwards the HV-crossing Poisson stream, all from the same
+    # seeded generator stream.  The truncated-normal quantile is
+    # ``mu + sigma * phi_inv(lo + u * mass)`` with ``lo``/``mass``
+    # constants of the distribution — hoisted out of the loop, computed
+    # by the distribution object itself so the float values match
+    # ``TruncatedNormal.ppf`` bit-for-bit.
+    # ------------------------------------------------------------------
+    transit = TruncatedNormal(mu=traffic.transit_mean,
+                              sigma=traffic.transit_std, lower=0.0)
+    transit_lo = _big_phi(transit._alpha())
+    transit_mass = transit._mass()
+    transit_mu = transit.mu
+    transit_sigma = transit.sigma
+    phi_inv = _big_phi_inv
+
+    rand = random.Random(config.seed).random
+    ohv_rate = traffic.ohv_rate
+    p_correct = traffic.p_correct
+    p_wrong_early = traffic.p_wrong_early
+
+    # Vehicle timelines as flat lists (object/property access per event
+    # is the scalar loop's single biggest constant factor).
+    arrivals: List[float] = []
+    t_lbpost: List[float] = []
+    t_odfinal: List[float] = []
+    is_correct: List[bool] = []
+    is_left: List[bool] = []     # wrong lane already visible at LBpost
+    is_cross: List[bool] = []    # drives through ODfinal's scan area
+    ohvs_correct = 0
+    time = 0.0
+    while True:
+        time += -log(1.0 - rand()) / ohv_rate
+        if time > duration:
+            break
+        # TrafficGenerator._route(): one draw, a second for wrong OHVs.
+        if rand() < p_correct:
+            correct, left, cross = True, False, False
+            ohvs_correct += 1
+        else:
+            correct = False
+            left = rand() < p_wrong_early
+            cross = True
+        u = rand()
+        if u <= 0.0:
+            u = 5e-324
+        zone1 = transit_mu + transit_sigma * phi_inv(
+            transit_lo + u * transit_mass)
+        u = rand()
+        if u <= 0.0:
+            u = 5e-324
+        zone2 = transit_mu + transit_sigma * phi_inv(
+            transit_lo + u * transit_mass)
+        lbpost = time + zone1
+        arrivals.append(time)
+        t_lbpost.append(lbpost)
+        t_odfinal.append(lbpost + zone2)
+        is_correct.append(correct)
+        is_left.append(left)
+        is_cross.append(cross)
+
+    crossing_times: List[float] = []
+    if traffic.hv_odfinal_rate > 0.0:
+        rate = traffic.hv_odfinal_rate
+        append = crossing_times.append
+        time = 0.0
+        while True:
+            time += -log(1.0 - rand()) / rate
+            if time > duration:
+                break
+            append(time)
+
+    n_vehicles = len(arrivals)
+    n_crossings = len(crossing_times)
+
+    # Executed vehicle events, in execution order.  The scalar kernel
+    # schedules all vehicle events before any crossing, so sequence
+    # numbers are 3i + {0, 1, 2} and every crossing breaks time ties
+    # *after* every vehicle event; run_until executes times <= duration.
+    events: List[Tuple[float, int, int, int]] = []
+    event_append = events.append
+    for i in range(n_vehicles):
+        seq = 3 * i
+        event_append((arrivals[i], seq, _LBPRE, i))
+        if t_lbpost[i] <= duration:
+            event_append((t_lbpost[i], seq + 1, _LBPOST, i))
+        if t_odfinal[i] <= duration:
+            event_append((t_odfinal[i], seq + 2, _ODFINAL, i))
+    events.sort()
+
+    # ------------------------------------------------------------------
+    # Pre-draw the in-loop uniforms.  With no FD chains, the simulation
+    # RNG is consulted exactly at: LBpost passages on the left lane
+    # (ODleft), ODfinal-area passages of crossing OHVs (ODfinal), and
+    # every HV crossing (ODfinal) — in event-execution order.  Drawing
+    # that block up front from the same seeded stream reproduces the
+    # scalar draws positionally.
+    # ------------------------------------------------------------------
+    rng = random.Random(config.seed ^ 0x5AFE)
+    rand = rng.random
+    vehicle_draws: List[Tuple[float, int, int]] = []   # (time, kind, i)
+    for time, _seq, kind, i in events:
+        if kind == _LBPOST:
+            if is_left[i]:
+                vehicle_draws.append((time, kind, i))
+        elif kind == _ODFINAL and is_cross[i]:
+            vehicle_draws.append((time, kind, i))
+    u_lbpost: Dict[int, float] = {}
+    u_odfinal: Dict[int, float] = {}
+    if not vehicle_draws:
+        u_crossings = [rand() for _ in range(n_crossings)]
+    else:
+        u_crossings = [0.0] * n_crossings
+        drawn = 0
+        for time, kind, i in vehicle_draws:
+            # Crossings strictly earlier than this vehicle event draw
+            # first; at equal times the vehicle event's lower sequence
+            # number wins.
+            while drawn < n_crossings and crossing_times[drawn] < time:
+                u_crossings[drawn] = rand()
+                drawn += 1
+            if kind == _LBPOST:
+                u_lbpost[i] = rand()
+            else:
+                u_odfinal[i] = rand()
+        for index in range(drawn, n_crossings):
+            u_crossings[index] = rand()
+
+    # ------------------------------------------------------------------
+    # Vehicle events: an inlined replay of HeightControl +
+    # EntranceSimulation handlers on local state, recording the
+    # controller-state timeline the crossing stream reads.
+    # ------------------------------------------------------------------
+    neg_inf = float("-inf")
+    lbpost_armed_until = neg_inf
+    odfinal_armed_until = neg_inf
+    lb4_window_until = neg_inf
+    zone2_count = 0
+    incorrect_inside = 0
+    alarms_total = 0
+    justified_alarms = 0
+    false_alarms = 0
+    collisions = 0
+    alarmed = [False] * n_vehicles
+    #: Fig. 6 attribution windows: (t_lbpost, window_end, t_odfinal) per
+    #: correct OHV, in opening order (ascending t_lbpost).
+    windows: List[Tuple[float, float, float]] = []
+    #: False alarms raised at vehicle events (kept for generality; an
+    #: OHV-raised alarm always has its rule-breaking raiser inside the
+    #: controlled area, hence is justified).
+    vehicle_false_alarm_times: List[float] = []
+
+    snap_times = [neg_inf]
+    snap_armed = [neg_inf]
+    snap_zone2 = [0]
+    snap_lb4 = [neg_inf]
+    snap_incorrect = [0]
+
+    for time, _seq, kind, i in events:
+        if kind == _LBPRE:
+            if not is_correct[i]:
+                incorrect_inside += 1
+            armed = time + timer1
+            if armed > lbpost_armed_until:
+                lbpost_armed_until = armed
+        elif kind == _LBPOST:
+            raised = False
+            if time <= lbpost_armed_until:
+                if single_ohv:
+                    # Flawed original design: drop supervision after the
+                    # first passage.
+                    lbpost_armed_until = time
+                if is_left[i] and u_lbpost[i] >= p_miss:
+                    raised = True
+                    alarmed[i] = True
+                    alarms_total += 1
+                    if incorrect_inside:
+                        justified_alarms += 1
+                    else:
+                        false_alarms += 1
+                        vehicle_false_alarm_times.append(time)
+                else:
+                    armed = time + timer2
+                    if armed > odfinal_armed_until:
+                        odfinal_armed_until = armed
+                    if with_lb4:
+                        zone2_count += 1
+            if not raised and is_correct[i]:
+                window_end = time + timer2
+                if with_lb4 and t_odfinal[i] < window_end:
+                    window_end = t_odfinal[i]
+                windows.append((time, window_end, t_odfinal[i]))
+        else:  # _ODFINAL
+            if lb_at_od:
+                until = time + lb_passage
+                if until > lb4_window_until:
+                    lb4_window_until = until
+            if is_cross[i]:
+                if u_odfinal[i] >= p_miss:
+                    critical = time <= odfinal_armed_until
+                    if with_lb4 and zone2_count <= 0:
+                        critical = False
+                    if lb_at_od and time > lb4_window_until:
+                        critical = False
+                    if critical:
+                        alarmed[i] = True
+                        alarms_total += 1
+                        if incorrect_inside:
+                            justified_alarms += 1
+                        else:
+                            false_alarms += 1
+                            vehicle_false_alarm_times.append(time)
+            elif with_lb4:
+                if zone2_count > 0:
+                    zone2_count -= 1
+            if not is_correct[i]:
+                incorrect_inside -= 1
+                if not alarmed[i]:
+                    collisions += 1
+        snap_times.append(time)
+        snap_armed.append(odfinal_armed_until)
+        snap_zone2.append(zone2_count)
+        snap_lb4.append(lb4_window_until)
+        snap_incorrect.append(incorrect_inside)
+
+    # ------------------------------------------------------------------
+    # HV crossings, vectorized.  Crossings read controller state but
+    # never write it (an ODfinal high reading does not re-arm anything),
+    # so each crossing sees the state after the last vehicle event at or
+    # before its time — a searchsorted lookup into the timeline.  All
+    # comparisons are exact; the compared floats were produced by the
+    # same scalar expressions the kernel classes evaluate.
+    # ------------------------------------------------------------------
+    correct_ohvs_alarmed = 0
+    if n_crossings:
+        times = np.array(crossing_times, dtype=np.float64)
+        sensed = np.array(u_crossings, dtype=np.float64) >= p_miss
+        state = np.searchsorted(np.array(snap_times, dtype=np.float64),
+                                times, side="right") - 1
+        raised = times <= np.array(snap_armed, dtype=np.float64)[state]
+        if with_lb4:
+            raised &= np.array(snap_zone2, dtype=np.int64)[state] > 0
+        if lb_at_od:
+            raised &= times <= np.array(snap_lb4,
+                                        dtype=np.float64)[state]
+        raised &= sensed
+        justified = np.array(snap_incorrect,
+                             dtype=np.int64)[state] > 0
+        raised_count = int(np.count_nonzero(raised))
+        justified_count = int(np.count_nonzero(raised & justified))
+        alarms_total += raised_count
+        justified_alarms += justified_count
+        false_alarms += raised_count - justified_count
+        crossing_false_times = times[raised & ~justified]
+    else:
+        crossing_false_times = np.empty(0, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Fig. 6 attribution: mark every window a false alarm falls into.
+    # Which alarm marks a window first does not change the counters (a
+    # window counts once, when any false alarm matches it), so marking
+    # after the loops is exact; alarms are processed in time order with
+    # a frontier over the opening-ordered window list.
+    # ------------------------------------------------------------------
+    if windows and (vehicle_false_alarm_times
+                    or crossing_false_times.size):
+        if vehicle_false_alarm_times:
+            false_times = sorted(
+                vehicle_false_alarm_times
+                + crossing_false_times.tolist())
+        else:
+            false_times = crossing_false_times.tolist()
+        n_windows = len(windows)
+        marked = bytearray(n_windows)
+        active: List[int] = []
+        opened = 0
+        for now in false_times:
+            while opened < n_windows and windows[opened][0] <= now:
+                active.append(opened)
+                opened += 1
+            if not active:
+                continue
+            still_active: List[int] = []
+            for index in active:
+                t_post, window_end, t_odf = windows[index]
+                if window_end < now:
+                    continue
+                still_active.append(index)
+                if marked[index]:
+                    continue
+                if lb_at_od and abs(now - t_odf) > lb_passage:
+                    continue
+                marked[index] = 1
+                correct_ohvs_alarmed += 1
+            active = still_active
+
+    return (n_vehicles, ohvs_correct, n_vehicles - ohvs_correct,
+            n_crossings, alarms_total, false_alarms, justified_alarms,
+            collisions, correct_ohvs_alarmed)
+
+
+def _scalar_counters(config: SimulationConfig) -> Tuple[int, ...]:
+    """One replication through the scalar oracle kernel."""
+    return simulate(config).counters()
+
+
+def replicate_counters(config: SimulationConfig,
+                       seeds: Sequence[int]) -> List[Tuple[int, ...]]:
+    """Counter rows for one replication per seed, in seed order.
+
+    The shard worker of :class:`~repro.engine.jobs.SimulationJob`: rows
+    are pure functions of ``(config, seed)``, so any partition of the
+    seed list across processes reassembles to the same batch.
+    """
+    kernel = _fast_counters if fast_path_supported(config) \
+        else _scalar_counters
+    rows = []
+    for seed in seeds:
+        seed = int(seed)
+        run_config = config if config.seed == seed \
+            else replace(config, seed=seed)
+        rows.append(kernel(run_config))
+    return rows
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Counters and statistics of R batched replications."""
+
+    #: Per-run simulated duration (every replication shares the config).
+    duration: float
+    seeds: Tuple[int, ...]
+    counters: CounterMatrix
+
+    @property
+    def replications(self) -> int:
+        return len(self.seeds)
+
+    def result(self, replication: int) -> SimulationResult:
+        """One replication's counters as a scalar-shaped result."""
+        return SimulationResult.from_counters(
+            self.duration, self.counters.row(replication))
+
+    @property
+    def results(self) -> List[SimulationResult]:
+        """All replications as scalar-shaped results, in order."""
+        return [self.result(r) for r in range(self.replications)]
+
+    def pooled(self, confidence: float = 0.95) -> PooledSimulation:
+        """Replication-pooled counters and Wilson interval."""
+        return pool_results(self.results, confidence)
+
+    def alarm_fractions(self) -> np.ndarray:
+        """The per-replication Fig. 6 statistic as a float array.
+
+        Replications without a correct OHV get the same ``0.0``
+        placeholder as ``SimulationResult.correct_ohv_alarm_fraction``;
+        the statistics (:meth:`between_variance`, :meth:`pooled`)
+        exclude such replications as carrying no data.
+        """
+        alarmed = self.counters.column("correct_ohvs_alarmed")
+        correct = self.counters.column("ohvs_correct")
+        return np.divide(alarmed, correct,
+                         out=np.zeros(self.replications),
+                         where=correct > 0)
+
+    def alarm_cis(self, confidence: float = 0.95
+                  ) -> List[Tuple[float, float]]:
+        """Per-replication Wilson intervals of the Fig. 6 statistic."""
+        return per_replication_wilson(
+            self.counters.column("correct_ohvs_alarmed"),
+            self.counters.column("ohvs_correct"), confidence)
+
+    def between_variance(self) -> float:
+        """Between-replication variance of the Fig. 6 statistic.
+
+        Matches the :func:`~repro.elbtunnel.simulation.pool_results`
+        contract: replications without a correct OHV are excluded (their
+        fraction is a placeholder, not an observation).
+        """
+        informative = self.counters.column("ohvs_correct") > 0
+        return between_replication_variance(
+            self.alarm_fractions()[informative])
+
+    @classmethod
+    def from_rows(cls, duration: float, seeds: Sequence[int],
+                  rows: Sequence[Tuple[int, ...]]
+                  ) -> "BatchSimulationResult":
+        """Assemble a batch result from per-replication counter rows."""
+        if len(rows) != len(seeds):
+            raise SimulationError(
+                f"got {len(rows)} counter rows for {len(seeds)} seeds")
+        matrix = CounterMatrix(COUNTER_FIELDS, len(seeds))
+        for replication, row in enumerate(rows):
+            matrix.set_row(replication, row)
+        return cls(duration=float(duration),
+                   seeds=tuple(int(s) for s in seeds), counters=matrix)
+
+    def encode(self) -> Dict[str, object]:
+        """JSON-safe encoding (for the engine's persistable cache)."""
+        return {"duration": self.duration,
+                "seeds": list(self.seeds),
+                "counters": [list(row) for row in self.counters.rows()]}
+
+    @classmethod
+    def decode(cls, encoded: Mapping[str, object]
+               ) -> "BatchSimulationResult":
+        """Inverse of :meth:`encode`."""
+        return cls.from_rows(encoded["duration"], encoded["seeds"],
+                             [tuple(row) for row in encoded["counters"]])
+
+
+def simulate_batch(config: SimulationConfig, replications: int = 1,
+                   seed: Optional[int] = None) -> BatchSimulationResult:
+    """Run ``replications`` independent replications as one batch.
+
+    Replication seeds derive from ``seed`` (default: ``config.seed``)
+    via :func:`repro.sim.batch.replication_seeds`; each replication's
+    counters are bit-identical to ``simulate()`` at that seed.  This is
+    the in-process engine; :class:`~repro.engine.jobs.SimulationJob`
+    shards the same computation across a worker pool and caches it.
+    """
+    base_seed = config.seed if seed is None else int(seed)
+    seeds = replication_seeds(base_seed, replications)
+    rows = replicate_counters(config, seeds)
+    return BatchSimulationResult.from_rows(config.duration, seeds, rows)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.elbtunnel.config import DesignVariant
 from repro.elbtunnel.controller import Alarm, HeightControl
@@ -34,8 +34,17 @@ from repro.elbtunnel.vehicles import (
     Vehicle,
 )
 from repro.errors import SimulationError
+from repro.sim.batch import between_replication_variance
 from repro.sim.kernel import Simulator
-from repro.stats.estimation import wilson_ci
+from repro.stats.estimation import pooled_wilson_ci, wilson_ci
+
+#: The integer counters of :class:`SimulationResult`, in declaration
+#: order — the row layout of batched replication runs
+#: (:mod:`repro.elbtunnel.batch`) and their bit-identity contract.
+COUNTER_FIELDS = ("ohvs_total", "ohvs_correct", "ohvs_incorrect",
+                  "hv_crossings", "alarms_total", "false_alarms",
+                  "justified_alarms", "collisions",
+                  "correct_ohvs_alarmed")
 
 
 @dataclass(frozen=True)
@@ -105,6 +114,84 @@ class SimulationResult:
     def false_alarm_rate(self) -> float:
         """False alarms per minute of operation."""
         return self.false_alarms / self.duration
+
+    def counters(self) -> Tuple[int, ...]:
+        """The integer counters as a row (:data:`COUNTER_FIELDS` order)."""
+        return tuple(getattr(self, name) for name in COUNTER_FIELDS)
+
+    @classmethod
+    def from_counters(cls, duration: float,
+                      row: Tuple[int, ...]) -> "SimulationResult":
+        """Rebuild a result from a counter row (inverse of :meth:`counters`)."""
+        if len(row) != len(COUNTER_FIELDS):
+            raise SimulationError(
+                f"expected {len(COUNTER_FIELDS)} counters, got {len(row)}")
+        return cls(duration=duration,
+                   **{name: int(value)
+                      for name, value in zip(COUNTER_FIELDS, row)})
+
+
+@dataclass(frozen=True)
+class PooledSimulation:
+    """Replication-pooled counters and statistics of a batch of runs.
+
+    ``result`` holds the summed counters (its ``duration`` is the total
+    simulated time across replications, so ``false_alarm_rate`` stays a
+    per-minute rate); ``alarm_ci`` is the *pooled* Wilson interval of the
+    Fig. 6 statistic — per-replication Bernoulli windows are exchangeable
+    across independently seeded runs, so pooling the raw counts and
+    intervalling once is exact, unlike averaging per-run intervals.
+    """
+
+    replications: int
+    result: SimulationResult
+    alarm_ci: Tuple[float, float]
+    confidence: float
+    #: Unbiased between-replication variance of the per-run Fig. 6
+    #: fraction (0.0 for a single replication).
+    between_variance: float
+
+    @property
+    def correct_ohv_alarm_fraction(self) -> float:
+        """The pooled Fig. 6 statistic."""
+        return self.result.correct_ohv_alarm_fraction
+
+
+def pool_results(results, confidence: float = 0.95) -> PooledSimulation:
+    """Pool per-replication :class:`SimulationResult` objects.
+
+    Counters are summed; the Fig. 6 statistic gets a pooled Wilson
+    interval via :func:`repro.stats.estimation.pooled_wilson_ci` over
+    the per-replication ``(correct_ohvs_alarmed, ohvs_correct)`` counts.
+    Replications that simulated no correct OHV contribute their summed
+    counters but are excluded from the interval and the
+    between-replication variance (they carry no data on the
+    proportion); raises :class:`SimulationError` when *no* replication
+    simulated a correct OHV.
+    """
+    results = list(results)
+    if not results:
+        raise SimulationError("cannot pool an empty list of results")
+    pooled = SimulationResult.from_counters(
+        sum(r.duration for r in results),
+        tuple(sum(getattr(r, name) for r in results)
+              for name in COUNTER_FIELDS))
+    # Replications without a single correct OHV carry no information
+    # about the proportion: excluded from the interval *and* from the
+    # between-replication spread (their fraction property's 0.0 is a
+    # placeholder, not an observation).
+    informative = [r for r in results if r.ohvs_correct > 0]
+    if not informative:
+        raise SimulationError("no correct OHVs simulated in any "
+                              "replication")
+    _successes, _trials, ci = pooled_wilson_ci(
+        [(r.correct_ohvs_alarmed, r.ohvs_correct)
+         for r in informative], confidence)
+    variance = between_replication_variance(
+        [r.correct_ohv_alarm_fraction for r in informative])
+    return PooledSimulation(replications=len(results), result=pooled,
+                            alarm_ci=ci, confidence=confidence,
+                            between_variance=variance)
 
 
 class EntranceSimulation:

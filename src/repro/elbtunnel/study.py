@@ -17,7 +17,9 @@ The benchmark suite prints these; EXPERIMENTS.md records paper-vs-measured.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.optimizer import SafetyOptimizationResult, SafetyOptimizer
 from repro.elbtunnel.config import DesignVariant, ElbtunnelConfig
@@ -41,15 +43,16 @@ class Fig5Surface:
     cost: Tuple[Tuple[float, ...], ...]
 
     def minimum(self) -> Tuple[float, float, float]:
-        """Grid minimum: (t1, t2, cost)."""
-        best = (0, 0)
-        best_cost = float("inf")
-        for i, row in enumerate(self.cost):
-            for j, value in enumerate(row):
-                if value < best_cost:
-                    best_cost = value
-                    best = (i, j)
-        return (self.t1_values[best[0]], self.t2_values[best[1]], best_cost)
+        """Grid minimum: (t1, t2, cost).
+
+        Ties break deterministically on the first occurrence in row-major
+        order (smallest t1 index, then smallest t2 index) — ``argmin``
+        over the flattened surface instead of a nested Python scan.
+        """
+        surface = np.asarray(self.cost, dtype=np.float64)
+        flat = int(surface.argmin())
+        i, j = divmod(flat, surface.shape[1])
+        return (self.t1_values[i], self.t2_values[j], float(surface[i, j]))
 
 
 def fig5_surface(config: ElbtunnelConfig = ElbtunnelConfig(),
@@ -89,16 +92,103 @@ class Fig6Checkpoints:
 
 
 @dataclass(frozen=True)
+class Fig6SimulationCheck:
+    """Stochastic cross-check of the Fig. 6 checkpoints.
+
+    Batched DES replications per design variant (run through the
+    engine's ``SimulationJob``) next to the analytic probability: the
+    measured per-OHV false-alarm fraction must agree within sampling
+    error, which the pooled Wilson interval quantifies.
+    """
+
+    timer2: float
+    replications: int
+    days: float
+    seed: int
+    #: Variant value -> (measured fraction, ci_low, ci_high, analytic).
+    measured: Dict[str, Tuple[float, float, float, float]]
+
+    def summary(self) -> str:
+        """Per-variant measured-vs-analytic report lines."""
+        lines = [f"Fig. 6 simulation check "
+                 f"({self.replications} replications x {self.days:g} "
+                 f"days at T2 = {self.timer2:g})"]
+        for variant, (fraction, lo, hi, analytic) in \
+                sorted(self.measured.items()):
+            lines.append(
+                f"  {variant:<15}: analytic {analytic * 100:5.1f} %  -> "
+                f"measured {fraction * 100:5.1f} % "
+                f"[{lo * 100:.1f}, {hi * 100:.1f}]")
+        return "\n".join(lines)
+
+
+#: The corridor OHV arrival rate (per minute) shared by the simulation
+#: checks, the CLI and the benchmark suite.
+CORRIDOR_OHV_RATE = 1.0 / 120.0
+
+
+def fig6_simulation_check(config: ElbtunnelConfig = ElbtunnelConfig(),
+                          timer2: float = 15.6, replications: int = 4,
+                          days: float = 60.0, seed: int = 0,
+                          workers: int = 1,
+                          engine=None) -> Fig6SimulationCheck:
+    """Measure the Fig. 6 statistic by batched simulation, per variant.
+
+    Routes through :class:`~repro.engine.jobs.SimulationJob`, so the
+    replications shard across ``workers`` processes; results are
+    independent of the worker count by construction.  Each call builds
+    a fresh in-memory engine — pass a prebuilt ``engine`` (which then
+    supersedes ``workers``) to reuse its LRU/disk cache across repeated
+    studies.
+    """
+    from repro.elbtunnel.simulation import SimulationConfig
+    from repro.elbtunnel.vehicles import TrafficConfig
+    from repro.engine import Engine, SimulationJob
+    if engine is None:
+        engine = Engine(workers=workers)
+    traffic = TrafficConfig(ohv_rate=CORRIDOR_OHV_RATE, p_correct=1.0,
+                            hv_odfinal_rate=config.hv_odfinal_rate_heavy,
+                            transit_mean=config.transit_mean,
+                            transit_std=config.transit_std)
+    measured: Dict[str, Tuple[float, float, float, float]] = {}
+    for variant in DesignVariant:
+        sim_config = SimulationConfig(
+            duration=60.0 * 24 * days, timer1=config.timer1_default,
+            timer2=timer2, variant=variant, traffic=traffic,
+            lb_passage_time=config.lb_passage_time, seed=seed)
+        batch = engine.run(SimulationJob(sim_config,
+                                         replications=replications))
+        pooled = batch.pooled()
+        lo, hi = pooled.alarm_ci
+        measured[variant.value] = (
+            pooled.correct_ohv_alarm_fraction, lo, hi,
+            correct_ohv_alarm_probability(timer2, variant, config))
+    return Fig6SimulationCheck(timer2=timer2, replications=replications,
+                               days=days, seed=seed, measured=measured)
+
+
+@dataclass(frozen=True)
 class Fig6Study:
     """Curves and checkpoints of the Fig. 6 analysis."""
 
     series: Dict[str, List[Tuple[float, float]]]
     checkpoints: Fig6Checkpoints
+    #: Optional stochastic cross-check (batched DES replications).
+    simulation: Optional[Fig6SimulationCheck] = None
 
 
 def fig6_study(config: ElbtunnelConfig = ElbtunnelConfig(),
-               optimal_t2: float = 15.6) -> Fig6Study:
-    """The Fig. 6 curves plus the quoted checkpoints."""
+               optimal_t2: float = 15.6,
+               simulation_replications: int = 0,
+               simulation_days: float = 60.0,
+               simulation_seed: int = 0,
+               workers: int = 1) -> Fig6Study:
+    """The Fig. 6 curves plus the quoted checkpoints.
+
+    With ``simulation_replications > 0`` the checkpoints are
+    cross-checked by that many batched DES replications per variant
+    (sharded across ``workers`` through the batch engine).
+    """
     series = fig6_series(config)
     checkpoints = Fig6Checkpoints(
         without_lb4_at_opt=correct_ohv_alarm_probability(
@@ -109,7 +199,14 @@ def fig6_study(config: ElbtunnelConfig = ElbtunnelConfig(),
             optimal_t2, DesignVariant.WITH_LB4, config),
         lb_at_odfinal=correct_ohv_alarm_probability(
             optimal_t2, DesignVariant.LB_AT_ODFINAL, config))
-    return Fig6Study(series=series, checkpoints=checkpoints)
+    simulation = None
+    if simulation_replications > 0:
+        simulation = fig6_simulation_check(
+            config, timer2=optimal_t2,
+            replications=simulation_replications,
+            days=simulation_days, seed=simulation_seed, workers=workers)
+    return Fig6Study(series=series, checkpoints=checkpoints,
+                     simulation=simulation)
 
 
 @dataclass(frozen=True)
@@ -147,13 +244,24 @@ class FullStudy:
             f"  Fig6 LB at ODfinal   : ~4 %         -> "
             f"{cp.lb_at_odfinal * 100:.1f} %",
         ]
+        if self.fig6.simulation is not None:
+            lines.append(self.fig6.simulation.summary())
         return "\n".join(lines)
 
 
 def full_study(config: ElbtunnelConfig = ElbtunnelConfig(),
-               method: str = "zoom") -> FullStudy:
-    """Run the complete reproduction and return all artifacts."""
+               method: str = "zoom",
+               simulation_replications: int = 0,
+               simulation_days: float = 60.0,
+               workers: int = 1) -> FullStudy:
+    """Run the complete reproduction and return all artifacts.
+
+    ``simulation_replications > 0`` adds the batched-DES cross-check of
+    the Fig. 6 checkpoints (:func:`fig6_simulation_check`).
+    """
     optimum = optimum_study(config, method=method)
     fig5 = fig5_surface(config)
-    fig6 = fig6_study(config, optimal_t2=optimum.optimum[1])
+    fig6 = fig6_study(config, optimal_t2=optimum.optimum[1],
+                      simulation_replications=simulation_replications,
+                      simulation_days=simulation_days, workers=workers)
     return FullStudy(optimum=optimum, fig5=fig5, fig6=fig6)

@@ -45,6 +45,7 @@ from repro.engine.jobs import (
     MonteCarloJob,
     OptimizeJob,
     QuantifyJob,
+    SimulationJob,
     SweepJob,
     SweepResult,
     UncertaintyJob,
@@ -59,6 +60,7 @@ __all__ = [
     "SweepJob",
     "SweepResult",
     "MonteCarloJob",
+    "SimulationJob",
     "UncertaintyJob",
     "OptimizeJob",
     "ResultCache",

@@ -11,6 +11,9 @@ work over the library's analytic machinery:
 * :class:`UncertaintyJob`  — epistemic uncertainty propagation of an
   :class:`~repro.uq.spec.UncertainModel` through one tree (row-sharded
   across workers, bit-identical at any worker/shard count),
+* :class:`SimulationJob`   — batched replications of the Elbtunnel
+  traffic simulation (replication-sharded across workers, each row
+  bit-identical to the scalar kernel at its seed),
 * :class:`OptimizeJob`     — a full safety-optimization run over a
   :class:`~repro.core.model.SafetyModel`.
 
@@ -525,6 +528,100 @@ class UncertaintyJob(Job):
         return (f"uncertainty {self.tree.name!r} "
                 f"({self.samples} {self.sampler} samples, "
                 f"seed {self.seed}, {len(self.model)} uncertain events)")
+
+
+class SimulationJob(Job):
+    """Batched replications of the Elbtunnel traffic simulation.
+
+    ``replications`` independent runs of one
+    :class:`~repro.elbtunnel.simulation.SimulationConfig`, seeded by
+    :func:`repro.sim.batch.replication_seeds` from ``seed`` (default:
+    the config's own seed) and executed through the batch kernel
+    (:mod:`repro.elbtunnel.batch`).  Replication rows are pure functions
+    of ``(config, seed)``, so sharding the seed list across the pool
+    reassembles to the same :class:`BatchSimulationResult` at any worker
+    or shard count — and every row is bit-identical to the scalar
+    ``simulate()`` run at that seed.  Like ``chunks`` elsewhere,
+    ``shards`` is an execution detail and not part of the fingerprint;
+    the content key covers the full simulation config plus
+    ``(replications, seed)``, so repeated studies hit the LRU/disk cache
+    like every other job.
+    """
+
+    kind = "simulate"
+
+    def __init__(self, config, replications: int = 1,
+                 seed: Optional[int] = None,
+                 shards: Optional[int] = None):
+        from repro.elbtunnel.simulation import SimulationConfig
+        if not isinstance(config, SimulationConfig):
+            raise EngineError(
+                f"SimulationJob requires a SimulationConfig, "
+                f"got {type(config).__name__}")
+        if replications < 1:
+            raise EngineError(
+                f"replications must be >= 1, got {replications}")
+        if shards is not None and shards < 1:
+            raise EngineError(f"shards must be >= 1, got {shards}")
+        self.config = config
+        self.replications = int(replications)
+        self.seed = int(config.seed if seed is None else seed)
+        self.shards = shards
+
+    def _config_dict(self) -> Dict[str, Any]:
+        encoded = asdict(self.config)
+        encoded["variant"] = self.config.variant.value
+        # Replication seeds derive from the job's effective seed alone
+        # (replicate_counters overrides the config seed per run), so a
+        # superseded config seed must not split the cache key.
+        encoded["seed"] = self.seed
+        return encoded
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        return (options_fingerprint(**self._config_dict()),
+                options_fingerprint(replications=self.replications,
+                                    seed=self.seed))
+
+    def seed_plan(self) -> List[int]:
+        """The deterministic per-replication seeds, in order."""
+        from repro.sim.batch import replication_seeds
+        return replication_seeds(self.seed, self.replications)
+
+    def run_serial(self):
+        return self.run(WorkerPool(1))
+
+    def run(self, pool: WorkerPool):
+        from repro.elbtunnel.batch import BatchSimulationResult
+        from repro.engine.pool import run_simulation_shard
+        seeds = self.seed_plan()
+        if not pool.is_parallel or self.replications == 1:
+            rows = run_simulation_shard((self.config, seeds))
+        else:
+            chunks = self.shards if self.shards is not None \
+                else 4 * pool.workers
+            payloads = [(self.config, seeds[start:stop])
+                        for start, stop
+                        in chunk_indices(self.replications, chunks)]
+            rows = []
+            for partial in pool.map(run_simulation_shard, payloads):
+                rows.extend(partial)
+        return BatchSimulationResult.from_rows(self.config.duration,
+                                               seeds, rows)
+
+    @staticmethod
+    def encode_result(result) -> Dict[str, Any]:
+        return result.encode()
+
+    @staticmethod
+    def decode_result(encoded: Mapping[str, Any]):
+        from repro.elbtunnel.batch import BatchSimulationResult
+        return BatchSimulationResult.decode(encoded)
+
+    def describe(self) -> str:
+        days = self.config.duration / (60.0 * 24)
+        return (f"simulate {self.config.variant.value} "
+                f"({self.replications} replications x {days:g} days, "
+                f"seed {self.seed})")
 
 
 class OptimizeJob(Job):

@@ -142,6 +142,23 @@ def run_monte_carlo_shard(payload: Tuple) -> Tuple[int, int]:
     return monte_carlo_counts(tree, probabilities, samples, seed)
 
 
+def run_simulation_shard(payload: Tuple) -> list:
+    """Run one replication shard of a batched traffic simulation.
+
+    ``payload`` is ``(config, seeds)`` — a
+    :class:`~repro.elbtunnel.simulation.SimulationConfig` plus the
+    per-replication seeds of this shard; returns one integer counter row
+    per seed (:data:`~repro.elbtunnel.simulation.COUNTER_FIELDS` order).
+    Rows are pure functions of ``(config, seed)``, so the parent can
+    concatenate shard results into the full batch regardless of how the
+    seed list was partitioned — worker-count independence by
+    construction.
+    """
+    from repro.elbtunnel.batch import replicate_counters
+    config, seeds = payload
+    return replicate_counters(config, seeds)
+
+
 def run_uq_chunk(payload: Tuple) -> list:
     """Propagate one row block of a UQ leaf-probability matrix.
 

@@ -1,15 +1,26 @@
-"""Simulation substrate: discrete-event kernel and Monte Carlo engine.
+"""Simulation substrate: discrete-event kernel, batching, Monte Carlo.
 
-Two validation paths for the analytic machinery:
+Two validation paths for the analytic machinery, plus the batch layer
+that scales them:
 
 * :mod:`repro.sim.kernel` — a discrete-event simulation kernel used by the
   Elbtunnel traffic simulator (:mod:`repro.elbtunnel.simulation`) to
   measure hazard frequencies directly from simulated traffic,
+* :mod:`repro.sim.batch` — multi-replication batch execution:
+  deterministic per-replication seeds, structure-of-arrays counter
+  storage and replication statistics (the substrate of
+  :mod:`repro.elbtunnel.batch` and the engine's ``SimulationJob``),
 * :mod:`repro.sim.montecarlo` — samples fault tree leaves as independent
   Bernoulli variables and estimates the hazard probability with confidence
   intervals (cross-checking the formulas of Sect. II-C against sampling).
 """
 
+from repro.sim.batch import (
+    CounterMatrix,
+    between_replication_variance,
+    per_replication_wilson,
+    replication_seeds,
+)
 from repro.sim.kernel import Process, Simulator
 from repro.sim.montecarlo import (
     MonteCarloEstimate,
@@ -20,6 +31,10 @@ from repro.sim.montecarlo import (
 __all__ = [
     "Simulator",
     "Process",
+    "CounterMatrix",
+    "replication_seeds",
+    "between_replication_variance",
+    "per_replication_wilson",
     "MonteCarloEstimate",
     "monte_carlo_counts",
     "monte_carlo_probability",

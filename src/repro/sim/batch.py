@@ -1,0 +1,153 @@
+"""Multi-replication batch execution for discrete-event simulations.
+
+Stochastic validation needs many independent replications of the same
+simulation, and running them one :func:`simulate`-call at a time leaves
+everything on the table: counters live in per-run Python objects, seeds
+are managed by hand, and statistics are recomputed per run.  This module
+provides the replication-batch substrate the Elbtunnel batch engine
+(:mod:`repro.elbtunnel.batch`) and the engine's ``SimulationJob`` build
+on:
+
+* :func:`replication_seeds` — deterministic, well-separated per-replication
+  seeds that depend only on ``(base seed, replication index)``, never on
+  the replication count or on how a batch is sharded across workers;
+* :class:`CounterMatrix` — a structure-of-arrays counter store: one
+  preallocated NumPy ``int64`` column per counter, one row per
+  replication, so batch statistics are vectorized reductions instead of
+  attribute walks over result objects;
+* :func:`between_replication_variance` / :func:`per_replication_wilson` —
+  the standard replication statistics (between-run variance of a derived
+  statistic, per-run Wilson intervals) used to report batch results.
+
+The contract every batch runner built on this module keeps: replication
+``r`` of a batch is **bit-identical** to the scalar run at seed
+``replication_seeds(seed, n)[r]`` — batching changes how fast the runs
+execute, never what they compute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.stats.estimation import wilson_ci
+
+
+def replication_seeds(seed: int, count: int) -> List[int]:
+    """Deterministic per-replication seeds for a batch of ``count`` runs.
+
+    Replication 0 runs the base seed itself, so a batch of one *is* the
+    scalar run.  Later replications get hash-derived seeds (independent
+    of ``PYTHONHASHSEED``) that depend only on ``(seed, index)``:
+    growing a study keeps its prefix, and any sharding of the index
+    range across workers reproduces the same runs by construction.
+    """
+    if count < 1:
+        raise SimulationError(
+            f"replication count must be >= 1, got {count}")
+    seeds = [int(seed)]
+    for index in range(1, count):
+        raw = hashlib.sha256(
+            f"sim-replication:{seed}:{index}".encode()).digest()
+        seeds.append(int.from_bytes(raw[:8], "big"))
+    return seeds
+
+
+class CounterMatrix:
+    """Structure-of-arrays integer counters: one row per replication.
+
+    Columns are preallocated NumPy ``int64`` arrays, so pooled counts,
+    per-replication fractions and between-replication spreads are single
+    vectorized reductions.  Rows round-trip losslessly: ``row(r)``
+    returns exactly the Python integers stored by ``set_row(r, ...)``.
+    """
+
+    def __init__(self, fields: Sequence[str], replications: int):
+        if not fields:
+            raise SimulationError("counter matrix needs at least one field")
+        if replications < 1:
+            raise SimulationError(
+                f"replication count must be >= 1, got {replications}")
+        self.fields: Tuple[str, ...] = tuple(str(name) for name in fields)
+        if len(set(self.fields)) != len(self.fields):
+            raise SimulationError(
+                f"counter fields must be unique, got {self.fields}")
+        self.replications = int(replications)
+        self._columns: Dict[str, np.ndarray] = {
+            name: np.zeros(self.replications, dtype=np.int64)
+            for name in self.fields}
+
+    def set_row(self, replication: int, values: Sequence[int]) -> None:
+        """Store one replication's counters (in ``fields`` order)."""
+        if len(values) != len(self.fields):
+            raise SimulationError(
+                f"expected {len(self.fields)} counters, got {len(values)}")
+        for name, value in zip(self.fields, values):
+            self._columns[name][replication] = value
+
+    def row(self, replication: int) -> Tuple[int, ...]:
+        """One replication's counters as plain Python integers."""
+        return tuple(int(self._columns[name][replication])
+                     for name in self.fields)
+
+    def rows(self) -> Iterator[Tuple[int, ...]]:
+        """All replication rows, in replication order."""
+        for replication in range(self.replications):
+            yield self.row(replication)
+
+    def column(self, name: str) -> np.ndarray:
+        """The per-replication values of one counter (a live view)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown counter {name!r}; expected one of "
+                f"{self.fields}") from None
+
+    def totals(self) -> Dict[str, int]:
+        """Pooled (summed over replications) value of every counter."""
+        return {name: int(self._columns[name].sum())
+                for name in self.fields}
+
+    def __len__(self) -> int:
+        return self.replications
+
+
+def between_replication_variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance of a per-replication statistic.
+
+    The spread *between* independent replications — the quantity a
+    replication study reports next to the pooled point estimate.  A
+    single replication carries no spread information; returns ``0.0``.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1:
+        raise SimulationError(
+            f"expected a 1-d sequence of values, got shape {data.shape}")
+    if data.size < 2:
+        return 0.0
+    return float(data.var(ddof=1))
+
+
+def per_replication_wilson(successes: Sequence[int], trials: Sequence[int],
+                           confidence: float = 0.95
+                           ) -> List[Tuple[float, float]]:
+    """Wilson interval of ``successes[r] / trials[r]`` per replication.
+
+    Replications with zero trials get the degenerate ``(0.0, 1.0)``
+    interval (no data constrains the proportion).
+    """
+    if len(successes) != len(trials):
+        raise SimulationError(
+            f"got {len(successes)} success counts for "
+            f"{len(trials)} trial counts")
+    intervals: List[Tuple[float, float]] = []
+    for won, ran in zip(successes, trials):
+        if ran <= 0:
+            intervals.append((0.0, 1.0))
+        else:
+            intervals.append(wilson_ci(int(won), int(ran), confidence))
+    return intervals

@@ -1,0 +1,202 @@
+"""Batched replication engine vs. the scalar oracle kernel.
+
+The scalar :func:`repro.elbtunnel.simulation.simulate` path is the
+oracle (mirroring ``tests/bdd/_reference.py``): every replication of a
+batch must reproduce its counters **bit-identically** at the same seed,
+for every design variant and failure-mode configuration.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.elbtunnel import (
+    COUNTER_FIELDS,
+    DesignVariant,
+    SimulationConfig,
+    TrafficConfig,
+    fast_path_supported,
+    simulate,
+    simulate_batch,
+)
+from repro.elbtunnel.batch import BatchSimulationResult, replicate_counters
+from repro.errors import SimulationError
+from repro.sim.batch import replication_seeds
+
+DAY = 60.0 * 24
+
+#: Correct-only OHV traffic in the heavy-HV environment of Fig. 6.
+CORRIDOR = TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
+                         hv_odfinal_rate=0.13)
+#: Dense mixed traffic: wrong-headed OHVs on both error routes.
+MIXED = TrafficConfig(ohv_rate=1 / 30.0, p_correct=0.5,
+                      p_wrong_early=0.4, hv_odfinal_rate=0.1)
+
+
+def config(variant=DesignVariant.WITHOUT_LB4, days=10.0,
+           traffic=CORRIDOR, timer2=15.6, **kwargs):
+    return SimulationConfig(duration=DAY * days, timer1=30.0,
+                            timer2=timer2, variant=variant,
+                            traffic=traffic, **kwargs)
+
+
+def scalar_rows(cfg, seeds):
+    return [simulate(replace(cfg, seed=seed)).counters()
+            for seed in seeds]
+
+
+class TestBitIdentity:
+    """Batch rows == scalar counters, integer-exact."""
+
+    @pytest.mark.parametrize("variant", list(DesignVariant),
+                             ids=lambda v: v.value)
+    def test_corridor_traffic(self, variant):
+        cfg = config(variant)
+        batch = simulate_batch(cfg, 4)
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+
+    @pytest.mark.parametrize("variant", list(DesignVariant),
+                             ids=lambda v: v.value)
+    def test_mixed_traffic_with_od_misses(self, variant):
+        cfg = config(variant, traffic=MIXED, od_miss_probability=0.3,
+                     timer2=12.0)
+        batch = simulate_batch(cfg, 4)
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+
+    def test_blind_detectors(self):
+        cfg = config(traffic=MIXED, od_miss_probability=1.0)
+        batch = simulate_batch(cfg, 3)
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+        assert batch.counters.column("collisions").sum() > 0
+
+    def test_single_ohv_assumption_flaw(self):
+        traffic = TrafficConfig(ohv_rate=0.05, p_correct=0.1,
+                                p_wrong_early=1.0, hv_odfinal_rate=0.0)
+        cfg = config(traffic=traffic, timer2=10.0,
+                     single_ohv_assumption=True)
+        batch = simulate_batch(cfg, 3)
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+
+    def test_custom_lb_passage_time(self):
+        cfg = config(DesignVariant.LB_AT_ODFINAL, traffic=MIXED,
+                     od_miss_probability=0.05, lb_passage_time=0.7)
+        batch = simulate_batch(cfg, 3)
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+
+    def test_no_crossing_traffic(self):
+        traffic = TrafficConfig(ohv_rate=1 / 60.0, p_correct=0.5,
+                                hv_odfinal_rate=0.0)
+        cfg = config(traffic=traffic)
+        batch = simulate_batch(cfg, 3)
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+
+    def test_fd_chain_configs_fall_back_to_the_scalar_kernel(self):
+        """Spurious-detection chains draw lazily; still batchable."""
+        traffic = TrafficConfig(ohv_rate=1e-9, p_correct=1.0,
+                                hv_odfinal_rate=0.2)
+        cfg = config(traffic=traffic, days=30.0,
+                     fd_lbpre_rate=0.005, fd_lbpost_rate=0.005)
+        assert not fast_path_supported(cfg)
+        batch = simulate_batch(cfg, 3)
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+
+    def test_explicit_base_seed_overrides_config(self):
+        cfg = config()
+        batch = simulate_batch(cfg, 2, seed=99)
+        assert batch.seeds == tuple(replication_seeds(99, 2))
+        assert list(batch.counters.rows()) == \
+            scalar_rows(cfg, batch.seeds)
+
+
+class TestFastPathSupported:
+    def test_default_config_is_fast(self):
+        assert fast_path_supported(config())
+
+    @pytest.mark.parametrize("field", ["fd_lbpre_rate", "fd_lbpost_rate",
+                                       "fd_odfinal_rate"])
+    def test_fd_rates_disable_the_fast_path(self, field):
+        assert not fast_path_supported(config(**{field: 0.01}))
+
+
+class TestReplicateCounters:
+    def test_rows_are_pure_functions_of_seed(self):
+        """Any partition of the seed list reassembles the same batch."""
+        cfg = config(days=5.0)
+        seeds = replication_seeds(0, 6)
+        whole = replicate_counters(cfg, seeds)
+        split = replicate_counters(cfg, seeds[:2]) + \
+            replicate_counters(cfg, seeds[2:5]) + \
+            replicate_counters(cfg, seeds[5:])
+        assert whole == split
+
+
+class TestBatchSimulationResult:
+    def test_results_match_scalar_shapes(self):
+        cfg = config(days=5.0)
+        batch = simulate_batch(cfg, 3)
+        for index, result in enumerate(batch.results):
+            assert result.duration == cfg.duration
+            assert result.counters() == batch.counters.row(index)
+            assert result.ohvs_total == \
+                result.ohvs_correct + result.ohvs_incorrect
+
+    def test_pooled_equals_pool_results_over_rows(self):
+        cfg = config(days=5.0)
+        batch = simulate_batch(cfg, 4)
+        pooled = batch.pooled()
+        assert pooled.replications == 4
+        totals = batch.counters.totals()
+        for name in COUNTER_FIELDS:
+            assert getattr(pooled.result, name) == totals[name]
+
+    def test_alarm_fractions_and_cis(self):
+        batch = simulate_batch(config(days=5.0), 3)
+        fractions = batch.alarm_fractions()
+        assert len(fractions) == 3
+        for replication, (low, high) in enumerate(batch.alarm_cis()):
+            assert low <= fractions[replication] <= high
+        assert batch.between_variance() >= 0.0
+
+    def test_between_variance_excludes_zero_data_replications(self):
+        """Same contract as pool_results: a replication without correct
+        OHVs contributes no placeholder 0.0 observation."""
+        width = len(COUNTER_FIELDS)
+        correct_at = COUNTER_FIELDS.index("ohvs_correct")
+        alarmed_at = COUNTER_FIELDS.index("correct_ohvs_alarmed")
+
+        def row(correct, alarmed):
+            values = [0] * width
+            values[correct_at] = correct
+            values[alarmed_at] = alarmed
+            return tuple(values)
+
+        batch = BatchSimulationResult.from_rows(
+            10.0, [0, 1, 2],
+            [row(10, 5), row(0, 0), row(10, 5)])
+        assert batch.between_variance() == 0.0
+        assert batch.between_variance() == \
+            batch.pooled().between_variance
+
+    def test_encode_decode_round_trip(self):
+        batch = simulate_batch(config(days=5.0), 3)
+        decoded = BatchSimulationResult.decode(batch.encode())
+        assert decoded.seeds == batch.seeds
+        assert decoded.duration == batch.duration
+        assert list(decoded.counters.rows()) == \
+            list(batch.counters.rows())
+
+    def test_from_rows_rejects_row_seed_mismatch(self):
+        with pytest.raises(SimulationError):
+            BatchSimulationResult.from_rows(
+                10.0, [1, 2], [tuple(range(len(COUNTER_FIELDS)))])
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(SimulationError):
+            simulate_batch(config(days=5.0), 0)

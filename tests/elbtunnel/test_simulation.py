@@ -3,13 +3,16 @@
 import pytest
 
 from repro.elbtunnel import (
+    COUNTER_FIELDS,
     DesignVariant,
     SimulationConfig,
     TrafficConfig,
     correct_ohv_alarm_probability,
+    pool_results,
     simulate,
 )
 from repro.errors import SimulationError
+from repro.stats.estimation import pooled_wilson_ci, wilson_ci
 
 #: Correct-only OHV traffic in the heavy-HV environment of Fig. 6.
 FIG6_TRAFFIC = TrafficConfig(ohv_rate=1 / 120.0, p_correct=1.0,
@@ -151,6 +154,95 @@ class TestSpuriousDetections:
                      fd_lbpre_rate=0.005, fd_lbpost_rate=0.005)
         assert result.false_alarms > 0
         assert result.ohvs_total == 0
+
+
+class TestCounterRows:
+    def test_counters_round_trip(self):
+        from repro.elbtunnel import SimulationResult
+        result = run(DesignVariant.WITHOUT_LB4, duration=60.0 * 24 * 5)
+        row = result.counters()
+        assert len(row) == len(COUNTER_FIELDS)
+        rebuilt = SimulationResult.from_counters(result.duration, row)
+        assert rebuilt == result
+
+    def test_from_counters_rejects_wrong_width(self):
+        from repro.elbtunnel import SimulationResult
+        with pytest.raises(SimulationError):
+            SimulationResult.from_counters(10.0, (1, 2, 3))
+
+
+class TestPoolResults:
+    def run_three(self):
+        return [run(DesignVariant.WITHOUT_LB4, duration=60.0 * 24 * 10,
+                    seed=seed) for seed in range(3)]
+
+    def test_counters_are_summed(self):
+        results = self.run_three()
+        pooled = pool_results(results)
+        assert pooled.replications == 3
+        for name in COUNTER_FIELDS:
+            assert getattr(pooled.result, name) == \
+                sum(getattr(r, name) for r in results)
+        assert pooled.result.duration == \
+            sum(r.duration for r in results)
+
+    def test_ci_matches_manual_pooling(self):
+        """The pooled interval is pooled_wilson_ci over the raw counts —
+        equivalently, one Wilson interval of the summed counts."""
+        results = self.run_three()
+        pooled = pool_results(results, confidence=0.9)
+        counts = [(r.correct_ohvs_alarmed, r.ohvs_correct)
+                  for r in results]
+        assert pooled.alarm_ci == pooled_wilson_ci(counts, 0.9)[2]
+        assert pooled.alarm_ci == wilson_ci(
+            sum(c for c, _n in counts), sum(n for _c, n in counts), 0.9)
+
+    def test_pooled_fraction_is_count_weighted(self):
+        results = self.run_three()
+        pooled = pool_results(results)
+        expected = sum(r.correct_ohvs_alarmed for r in results) / \
+            sum(r.ohvs_correct for r in results)
+        assert pooled.correct_ohv_alarm_fraction == \
+            pytest.approx(expected)
+
+    def test_between_variance_matches_manual_formula(self):
+        results = self.run_three()
+        fractions = [r.correct_ohv_alarm_fraction for r in results]
+        mean = sum(fractions) / 3
+        expected = sum((f - mean) ** 2 for f in fractions) / 2
+        assert pool_results(results).between_variance == \
+            pytest.approx(expected)
+
+    def test_single_result_pools_to_itself(self):
+        result = run(DesignVariant.WITHOUT_LB4,
+                     duration=60.0 * 24 * 10)
+        pooled = pool_results([result])
+        assert pooled.result == result
+        assert pooled.between_variance == 0.0
+        assert pooled.alarm_ci == result.correct_ohv_alarm_ci()
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(SimulationError):
+            pool_results([])
+
+    def test_zero_data_replications_do_not_distort_statistics(self):
+        """A replication without correct OHVs contributes its counters
+        but neither a fake 0.0 fraction nor interval weight."""
+        from repro.elbtunnel import SimulationResult
+        informative = self.run_three()
+        empty = SimulationResult(duration=10.0)
+        with_empty = pool_results(informative + [empty])
+        without = pool_results(informative)
+        assert with_empty.alarm_ci == without.alarm_ci
+        assert with_empty.between_variance == without.between_variance
+        assert with_empty.replications == 4
+        assert with_empty.result.duration == \
+            without.result.duration + 10.0
+
+    def test_rejects_batches_without_correct_ohvs(self):
+        from repro.elbtunnel import SimulationResult
+        with pytest.raises(SimulationError):
+            pool_results([SimulationResult(duration=10.0)])
 
 
 class TestSingleOhvAssumptionFlaw:

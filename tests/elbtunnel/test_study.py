@@ -27,6 +27,29 @@ class TestFig5Surface:
                               ((5.0, 2.0), (3.0, 4.0)))
         assert surface.minimum() == (1.0, 4.0, 2.0)
 
+    def test_minimum_breaks_ties_on_first_occurrence(self):
+        """Regression: equal minima must resolve to the row-major first
+        occurrence (smallest t1 index, then smallest t2 index)."""
+        surface = Fig5Surface((1.0, 2.0, 3.0), (10.0, 20.0),
+                              ((5.0, 2.0),
+                               (2.0, 9.0),
+                               (7.0, 2.0)))
+        assert surface.minimum() == (1.0, 20.0, 2.0)
+
+    def test_minimum_tie_within_one_row(self):
+        surface = Fig5Surface((1.0,), (10.0, 20.0, 30.0),
+                              ((4.0, 4.0, 4.0),))
+        assert surface.minimum() == (1.0, 10.0, 4.0)
+
+    def test_minimum_matches_exhaustive_scan_on_real_surface(self):
+        surface = fig5_surface(points=7)
+        best = min(
+            ((t1, t2, surface.cost[i][j])
+             for i, t1 in enumerate(surface.t1_values)
+             for j, t2 in enumerate(surface.t2_values)),
+            key=lambda item: item[2])
+        assert surface.minimum() == best
+
     def test_custom_window(self):
         surface = fig5_surface(t1_range=(10.0, 12.0),
                                t2_range=(10.0, 12.0), points=3)
@@ -55,6 +78,34 @@ class TestFig6Study:
         base = fig6_study(optimal_t2=20.0)
         assert study.checkpoints.without_lb4_at_opt < \
             base.checkpoints.without_lb4_at_opt
+
+    def test_simulation_check_is_opt_in(self):
+        assert fig6_study().simulation is None
+
+
+class TestFig6SimulationCheck:
+    def test_batched_check_agrees_with_analytic(self):
+        from repro.elbtunnel import DesignVariant
+        study = fig6_study(simulation_replications=2,
+                           simulation_days=20.0)
+        check = study.simulation
+        assert check is not None
+        assert check.replications == 2
+        assert set(check.measured) == {v.value for v in DesignVariant}
+        for variant, (fraction, low, high, analytic) in \
+                check.measured.items():
+            assert 0.0 <= low <= fraction <= high <= 1.0
+            # Sampling tolerance: the DES must track the analytic model
+            # (pinned tightly in tests/elbtunnel/test_simulation.py).
+            assert fraction == pytest.approx(analytic, abs=0.08), variant
+
+    def test_summary_reports_every_variant(self):
+        from repro.elbtunnel import DesignVariant, fig6_simulation_check
+        check = fig6_simulation_check(replications=2, days=10.0)
+        text = check.summary()
+        for variant in DesignVariant:
+            assert variant.value in text
+        assert "analytic" in text and "measured" in text
 
 
 class TestFullStudyObject:

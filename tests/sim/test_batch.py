@@ -1,0 +1,119 @@
+"""Replication-batch substrate: seeds, counter matrix, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.batch import (
+    CounterMatrix,
+    between_replication_variance,
+    per_replication_wilson,
+    replication_seeds,
+)
+from repro.stats.estimation import wilson_ci
+
+
+class TestReplicationSeeds:
+    def test_first_replication_is_the_base_seed(self):
+        assert replication_seeds(42, 3)[0] == 42
+
+    def test_deterministic(self):
+        assert replication_seeds(7, 16) == replication_seeds(7, 16)
+
+    def test_count_independent_prefix(self):
+        """Growing a study keeps the already-run replications."""
+        assert replication_seeds(7, 64)[:8] == replication_seeds(7, 8)
+
+    def test_seeds_are_distinct(self):
+        seeds = replication_seeds(0, 256)
+        assert len(set(seeds)) == 256
+
+    def test_neighbouring_base_seeds_do_not_collide(self):
+        """seed+index schemes alias run (0, r+1) with run (1, r)."""
+        a = set(replication_seeds(0, 64))
+        b = set(replication_seeds(1, 64))
+        assert len(a & b) == 0
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(SimulationError):
+            replication_seeds(0, 0)
+
+
+class TestCounterMatrix:
+    def test_row_round_trip(self):
+        matrix = CounterMatrix(("a", "b"), 3)
+        matrix.set_row(1, (4, 5))
+        assert matrix.row(1) == (4, 5)
+        assert matrix.row(0) == (0, 0)
+        assert all(isinstance(v, int) for v in matrix.row(1))
+
+    def test_rows_in_replication_order(self):
+        matrix = CounterMatrix(("a",), 3)
+        for replication in range(3):
+            matrix.set_row(replication, (replication * 10,))
+        assert list(matrix.rows()) == [(0,), (10,), (20,)]
+
+    def test_columns_are_int64_arrays(self):
+        matrix = CounterMatrix(("a", "b"), 4)
+        column = matrix.column("a")
+        assert isinstance(column, np.ndarray)
+        assert column.dtype == np.int64
+        assert len(column) == 4
+
+    def test_totals_pool_over_replications(self):
+        matrix = CounterMatrix(("hits", "runs"), 3)
+        matrix.set_row(0, (1, 10))
+        matrix.set_row(1, (2, 20))
+        matrix.set_row(2, (3, 30))
+        assert matrix.totals() == {"hits": 6, "runs": 60}
+
+    def test_len_is_replication_count(self):
+        assert len(CounterMatrix(("a",), 5)) == 5
+
+    def test_rejects_unknown_column(self):
+        with pytest.raises(SimulationError):
+            CounterMatrix(("a",), 2).column("b")
+
+    def test_rejects_wrong_row_width(self):
+        with pytest.raises(SimulationError):
+            CounterMatrix(("a", "b"), 2).set_row(0, (1,))
+
+    def test_rejects_duplicate_fields(self):
+        with pytest.raises(SimulationError):
+            CounterMatrix(("a", "a"), 2)
+
+    def test_rejects_empty_fields_and_batches(self):
+        with pytest.raises(SimulationError):
+            CounterMatrix((), 2)
+        with pytest.raises(SimulationError):
+            CounterMatrix(("a",), 0)
+
+
+class TestBetweenReplicationVariance:
+    def test_matches_unbiased_formula(self):
+        values = [0.1, 0.4, 0.3, 0.2]
+        mean = sum(values) / 4
+        expected = sum((v - mean) ** 2 for v in values) / 3
+        assert between_replication_variance(values) == \
+            pytest.approx(expected)
+
+    def test_single_replication_has_no_spread(self):
+        assert between_replication_variance([0.5]) == 0.0
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(SimulationError):
+            between_replication_variance([[0.1, 0.2], [0.3, 0.4]])
+
+
+class TestPerReplicationWilson:
+    def test_matches_scalar_wilson(self):
+        intervals = per_replication_wilson([3, 7], [10, 20])
+        assert intervals[0] == wilson_ci(3, 10)
+        assert intervals[1] == wilson_ci(7, 20)
+
+    def test_zero_trials_gives_vacuous_interval(self):
+        assert per_replication_wilson([0], [0]) == [(0.0, 1.0)]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            per_replication_wilson([1], [10, 20])

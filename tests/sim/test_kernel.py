@@ -191,3 +191,100 @@ class TestProcesses:
         sim.run()
         assert log == [("fast", 1.0), ("slow", 1.5), ("fast", 2.0),
                        ("slow", 3.0)]
+
+    def test_cancel_after_completion_is_a_noop(self):
+        """cancel() on a finished process must not touch the generator."""
+        sim = Simulator()
+
+        def worker():
+            yield 1.0
+
+        proc = sim.process(worker())
+        sim.run()
+        assert not proc.alive
+        proc.cancel()                  # second call: still harmless
+        proc.cancel()
+        assert not proc.alive
+
+    def test_cancel_after_final_yield_before_resume(self):
+        """Cancelling between the final yield and its resumption: the
+        pending resumption becomes a no-op and nothing else runs."""
+        sim = Simulator()
+        log = []
+
+        def worker():
+            log.append(("yielding", sim.now))
+            yield 2.0
+            log.append(("resumed", sim.now))   # must never happen
+
+        proc = sim.process(worker())
+        sim.schedule(1.0, proc.cancel)
+        sim.run()
+        assert log == [("yielding", 0.0)]
+        assert not proc.alive
+        assert sim.pending == 0
+
+
+class TestZeroDelayOrdering:
+    def test_zero_delay_fifo_under_interleaved_scheduling(self):
+        """Events at the same instant run in scheduling order, even when
+        a handler schedules zero-delay work between existing ties."""
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            # Scheduled *after* "second" was, so it must run after it
+            # despite sharing the time stamp.
+            sim.schedule(0.0, lambda: log.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second", "nested"]
+
+    def test_zero_delay_chain_preserves_fifo(self):
+        sim = Simulator()
+        log = []
+
+        def chain(label, depth):
+            log.append(label)
+            if depth:
+                sim.schedule(0.0, lambda: chain(label + "'", depth - 1))
+
+        sim.schedule(0.0, lambda: chain("a", 2))
+        sim.schedule(0.0, lambda: chain("b", 1))
+        sim.run()
+        assert log == ["a", "b", "a'", "b'", "a''"]
+
+    def test_clock_does_not_advance_on_zero_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: sim.schedule(
+            0.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+
+class TestInvalidDelays:
+    def test_none_delay_raises_and_kills_the_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield None
+
+        proc = sim.process(worker())
+        with pytest.raises(SimulationError, match="invalid delay"):
+            sim.run()
+        assert not proc.alive
+
+    def test_negative_delay_names_the_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield -0.5
+
+        proc = sim.process(worker(), name="rogue")
+        with pytest.raises(SimulationError, match="rogue"):
+            sim.run()
+        assert not proc.alive

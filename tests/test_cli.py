@@ -67,6 +67,35 @@ class TestCommands:
         assert "P(alarm|OHV)" in out
         assert "collisions" in out
 
+    def test_simulate_batched_replications(self, capsys):
+        assert main(["simulate", "--days", "5", "--replications", "3",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "5 days x 3 replications" in out
+        assert "between-run var" in out
+        assert "rep 2" in out
+
+    def test_simulate_json_payload(self, capsys):
+        assert main(["simulate", "--days", "5", "--replications", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replications"] == 2
+        assert len(payload["counters"]) == 2
+        assert len(payload["seeds"]) == 2
+        pooled = payload["pooled"]
+        assert pooled["counters"]["ohvs_total"] == \
+            sum(row["ohvs_total"] for row in payload["counters"])
+        low, high = pooled["ci"]
+        assert 0.0 <= low <= pooled["correct_ohv_alarm_fraction"] \
+            <= high <= 1.0
+
+    def test_fig6_simulation_check(self, capsys):
+        assert main(["fig6", "--points", "5", "--simulate",
+                     "--replications", "2", "--days", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6 simulation check" in out
+        assert "measured" in out
+
 
 class TestUncertainty:
     @pytest.mark.parametrize("tree", ["collision", "false-alarm",
