@@ -13,6 +13,9 @@ without writing Python:
 * ``simulate``  — run the traffic simulation for a design variant
 * ``batch``     — run a JSON list of evaluation jobs through the
   :mod:`repro.engine` (parallel workers, content-addressed cache)
+* ``serve``     — the same jobs as a long-running HTTP service with a
+  shared engine, request coalescing and streamed results
+  (:mod:`repro.serve`)
 * ``uq``        — epistemic uncertainty and Sobol sensitivity of a
   tree's top-event probability (:mod:`repro.uq`)
 """
@@ -131,6 +134,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "either way)")
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON instead of text")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve engine jobs over HTTP (streamed NDJSON results)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port, 0 for an ephemeral one "
+                            "(default: 8080)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for shardable jobs")
+    serve.add_argument("--cache",
+                       help="JSON result-cache file loaded on start and "
+                            "persisted on shutdown")
+    serve.add_argument("--cache-capacity", type=int, default=4096,
+                       help="LRU capacity of the shared result cache "
+                            "(default: 4096)")
+    serve.add_argument("--max-concurrency", type=int, default=8,
+                       help="engine computations allowed at once "
+                            "(default: 8)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="concurrent requests admitted before "
+                            "answering 429 (default: 32)")
+    serve.add_argument("--timeout", type=float, default=60.0,
+                       help="seconds a queued job may wait before it "
+                            "fails (default: 60)")
 
     uq = sub.add_parser(
         "uq",
@@ -326,110 +355,38 @@ def _cmd_simulate(args) -> None:
                   f"{row.collisions} collisions")
 
 
-def _batch_tree(spec):
-    """Resolve a batch job's ``tree`` spec: builtin name, file, or inline."""
-    from repro.errors import EngineError
-    from repro.fta import tree_from_dict, tree_from_json
-    if isinstance(spec, str):
-        from repro.elbtunnel import (
-            collision_fault_tree,
-            false_alarm_fault_tree,
-            fig2_fault_tree,
-        )
-        builders = {"fig2": fig2_fault_tree,
-                    "collision": collision_fault_tree,
-                    "false-alarm": false_alarm_fault_tree}
-        try:
-            return builders[spec]()
-        except KeyError:
-            raise EngineError(
-                f"unknown built-in tree {spec!r}; "
-                f"expected one of {sorted(builders)}") from None
-    if isinstance(spec, dict) and "file" in spec:
-        with open(spec["file"]) as handle:
-            return tree_from_json(handle.read())
-    if isinstance(spec, dict):
-        return tree_from_dict(spec)
-    raise EngineError(f"cannot interpret tree spec {spec!r}")
-
-
-def _batch_job(spec, compiled=True):
-    """Build one engine job from its JSON description."""
-    from repro.core.parametric import identity
-    from repro.engine import MonteCarloJob, QuantifyJob, SweepJob
-    from repro.errors import EngineError
-    from repro.fta import ConstraintPolicy
-    if not isinstance(spec, dict) or "type" not in spec:
-        raise EngineError(
-            f"each job needs a 'type' field, got {spec!r}")
-    kind = spec["type"]
-    tree = _batch_tree(spec.get("tree", "fig2"))
-    try:
-        policy = ConstraintPolicy(spec.get("policy", "independent"))
-    except ValueError:
-        raise EngineError(
-            f"unknown policy {spec.get('policy')!r}; expected one of "
-            f"{[p.value for p in ConstraintPolicy]}") from None
-    method = spec.get("method", "rare_event")
-
-    def number(field, default, convert):
-        try:
-            return convert(spec.get(field, default))
-        except (TypeError, ValueError):
-            raise EngineError(
-                f"job field {field!r} must be a number, "
-                f"got {spec.get(field)!r}") from None
-    if kind == "quantify":
-        return QuantifyJob(tree, spec.get("probabilities"),
-                           method=method, policy=policy)
-    if kind == "sweep":
-        axes = spec.get("axes")
-        if not axes:
-            raise EngineError("sweep jobs need a non-empty 'axes' mapping")
-        # Each axis sweeps one leaf's probability directly; fixed
-        # 'probabilities' cover the leaves that are not swept.
-        assignments = {leaf: identity(leaf) for leaf in axes}
-        return SweepJob.from_axes(tree, assignments, axes,
-                                  method=method, policy=policy,
-                                  probabilities=spec.get("probabilities"),
-                                  compiled=compiled)
-    if kind == "montecarlo":
-        return MonteCarloJob(tree, spec.get("probabilities"),
-                             samples=number("samples", 100_000, int),
-                             seed=number("seed", 0, int),
-                             confidence=number("confidence", 0.95, float),
-                             shards=number("shards", 1, int))
-    raise EngineError(
-        f"unknown job type {kind!r}; "
-        "expected 'quantify', 'sweep' or 'montecarlo'")
-
-
 def _cmd_batch(args) -> None:
     import json
-    from repro.engine import Engine, MonteCarloJob, QuantifyJob, SweepJob
+    from repro.engine import (
+        Engine,
+        MonteCarloJob,
+        QuantifyJob,
+        SweepJob,
+        jobs_from_payload,
+        result_envelope,
+    )
     from repro.errors import EngineError
     with open(args.file) as handle:
         try:
             spec = json.load(handle)
         except json.JSONDecodeError as exc:
             raise EngineError(f"invalid job file: {exc}") from None
-    job_specs = spec.get("jobs") if isinstance(spec, dict) else spec
-    if not isinstance(job_specs, list) or not job_specs:
-        raise EngineError(
-            "job file must be a non-empty list of jobs (or an object "
-            "with a 'jobs' list)")
+    jobs = jobs_from_payload(spec, compiled=args.compiled)
     engine = Engine(workers=args.workers, cache_path=args.cache)
-    jobs = [engine.submit(_batch_job(job_spec, compiled=args.compiled))
-            for job_spec in job_specs]
-    results = engine.run_all()
+    for job in jobs:
+        engine.submit(job)
+    # The same path the server takes per request: run_shared records
+    # fingerprint/cache/wall-time provenance for the result envelope.
+    outcomes = engine.run_all_shared()
+    results = [outcome.result for outcome in outcomes]
     if args.cache:
         engine.save_cache()
 
     if args.as_json:
-        payload = [{"type": job.kind,
-                    "job": job.describe(),
-                    "result": job.encode_result(result)}
-                   for job, result in zip(jobs, results)]
+        payload = [result_envelope(job, outcome, job_id=f"job-{i}",
+                                   index=i - 1)
+                   for i, (job, outcome)
+                   in enumerate(zip(jobs, outcomes), 1)]
         print(json.dumps({"results": payload,
                           "stats": engine.stats().cache}, indent=2,
                          sort_keys=True))
@@ -452,6 +409,18 @@ def _cmd_batch(args) -> None:
             line = repr(result)
         print(f"[{index}] {job.describe()}: {line}")
     print(f"engine: {engine.stats().summary()}")
+
+
+def _cmd_serve(args) -> None:
+    from repro.serve import ServerConfig, serve
+    config = ServerConfig(host=args.host, port=args.port,
+                          workers=args.workers,
+                          cache_path=args.cache,
+                          cache_capacity=args.cache_capacity,
+                          max_concurrency=args.max_concurrency,
+                          queue_limit=args.queue_limit,
+                          request_timeout=args.timeout)
+    serve(config)
 
 
 def _parse_percentiles(text: str):
@@ -545,6 +514,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "simulate": _cmd_simulate,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "uq": _cmd_uq,
 }
 

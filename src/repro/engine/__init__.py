@@ -13,8 +13,12 @@ engine:
   JSON disk persistence and hit/miss statistics,
 * :mod:`repro.engine.pool`        — a multiprocessing worker pool with a
   serial fallback and deterministic per-shard Monte Carlo seeding,
+* :mod:`repro.engine.specs`       — the JSON wire format shared by
+  ``repro batch`` and the :mod:`repro.serve` HTTP service (spec → job,
+  job + outcome → result envelope),
 * :mod:`repro.engine.engine`      — the :class:`Engine` façade tying
-  jobs → cache → pool.
+  jobs → cache → pool, with thread-safe request coalescing
+  (:meth:`Engine.run_shared`) for multi-tenant use.
 
 Quickstart::
 
@@ -29,7 +33,7 @@ Quickstart::
 """
 
 from repro.engine.cache import CacheStats, ResultCache
-from repro.engine.engine import Engine, EngineStats
+from repro.engine.engine import Engine, EngineStats, RunOutcome
 from repro.engine.fingerprint import (
     canonical_tree,
     grid_fingerprint,
@@ -51,10 +55,18 @@ from repro.engine.jobs import (
     UncertaintyJob,
 )
 from repro.engine.pool import WorkerPool, default_workers, derive_seed
+from repro.engine.specs import (
+    SPEC_TYPES,
+    job_from_spec,
+    jobs_from_payload,
+    result_envelope,
+    tree_from_spec,
+)
 
 __all__ = [
     "Engine",
     "EngineStats",
+    "RunOutcome",
     "Job",
     "QuantifyJob",
     "SweepJob",
@@ -76,4 +88,9 @@ __all__ = [
     "grid_fingerprint",
     "options_fingerprint",
     "job_fingerprint",
+    "SPEC_TYPES",
+    "job_from_spec",
+    "jobs_from_payload",
+    "result_envelope",
+    "tree_from_spec",
 ]

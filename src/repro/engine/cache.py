@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
@@ -64,6 +65,11 @@ class ResultCache:
         current persistable entries back.  Entries stored with
         ``persist=False`` (results that are not JSON-serializable, e.g.
         optimizer runs) live in memory only.
+
+    Every operation that touches the LRU order or the statistics runs
+    under one internal lock, so a cache instance can be shared between
+    the threads of a long-running service (:mod:`repro.serve`) without
+    corrupting the recency list or losing counter updates.
     """
 
     def __init__(self, capacity: int = 1024,
@@ -74,25 +80,30 @@ class ResultCache:
         self.path = path
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Tuple[bool, Any]]" = OrderedDict()
+        # Reentrant: load() calls put() with the lock already held.
+        self._lock = threading.RLock()
         if path is not None and os.path.exists(path):
             self.load(path)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Any:
         """Return the cached value or :data:`MISS`; refreshes recency."""
-        try:
-            entry = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return MISS
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry[1]
+        with self._lock:
+            try:
+                entry = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[1]
 
     def put(self, key: str, value: Any, persist: bool = True) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry if full.
@@ -100,17 +111,28 @@ class ResultCache:
         ``persist=False`` keeps the entry out of :meth:`save` (for results
         that cannot be represented in JSON).
         """
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (persist, value)
-        self.stats.puts += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (persist, value)
+            self.stats.puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (statistics are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> Dict[str, Any]:
+        """One JSON-safe snapshot of configuration, size and counters
+        (the payload behind a service's ``/stats`` endpoint)."""
+        with self._lock:
+            return {"size": len(self._entries),
+                    "capacity": self.capacity,
+                    "path": self.path,
+                    **self.stats.as_dict()}
 
     # ------------------------------------------------------------------
     # Disk persistence
@@ -125,12 +147,16 @@ class ResultCache:
         target = path or self.path
         if target is None:
             raise EngineError("no cache path configured for save()")
-        payload = {
-            "version": _PERSIST_VERSION,
-            "entries": {key: value
-                        for key, (persist, value) in self._entries.items()
-                        if persist},
-        }
+        # Snapshot under the lock, write outside it: concurrent readers
+        # are never blocked on disk I/O.
+        with self._lock:
+            payload = {
+                "version": _PERSIST_VERSION,
+                "entries": {key: value
+                            for key, (persist, value)
+                            in self._entries.items()
+                            if persist},
+            }
         directory = os.path.dirname(os.path.abspath(target))
         os.makedirs(directory, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -160,8 +186,9 @@ class ResultCache:
                 f"unsupported cache file version "
                 f"{payload.get('version')!r} in {source!r}")
         entries = payload.get("entries", {})
-        for key, value in entries.items():
-            self.put(key, value, persist=True)
-        # Loading is bookkeeping, not workload; keep the stats clean.
-        self.stats.puts -= len(entries)
+        with self._lock:
+            for key, value in entries.items():
+                self.put(key, value, persist=True)
+            # Loading is bookkeeping, not workload; keep the stats clean.
+            self.stats.puts -= len(entries)
         return len(entries)

@@ -6,10 +6,19 @@ every result so repeated requests — the same fault tree quantified at
 the same points by an optimizer, a parameter study re-run with one axis
 changed, a Monte Carlo check repeated across sessions via the disk cache
 — cost a dictionary lookup instead of a recomputation.
+
+One engine may be shared by many threads (the :mod:`repro.serve`
+service runs every client request through a single engine): the cache
+is internally locked, the activity counters are guarded, and
+:meth:`Engine.run_shared` adds **request coalescing** — an in-flight
+registry keyed by job fingerprint, so concurrent submissions of the
+same job share one computation instead of racing to repeat it.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -28,6 +37,8 @@ class EngineStats:
     executed: int
     cache_size: int
     cache: Dict[str, float] = field(default_factory=dict)
+    coalesced: int = 0
+    inflight: int = 0
 
     def summary(self) -> str:
         """A compact human-readable stats line."""
@@ -35,7 +46,50 @@ class EngineStats:
                 f"executed={self.executed} cache_size={self.cache_size} "
                 f"hits={self.cache.get('hits', 0):.0f} "
                 f"misses={self.cache.get('misses', 0):.0f} "
-                f"hit_rate={self.cache.get('hit_rate', 0.0):.1%}")
+                f"hit_rate={self.cache.get('hit_rate', 0.0):.1%}"
+                + (f" coalesced={self.coalesced}" if self.coalesced
+                   else ""))
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """How one :meth:`Engine.run_shared` call obtained its result.
+
+    Exactly one of three things happened: the result was served from
+    the cache (``cache_hit``), this call waited on another thread's
+    identical in-flight computation (``coalesced``), or this call ran
+    the job itself (``computed``).
+    """
+
+    result: Any
+    fingerprint: str
+    cache_hit: bool
+    coalesced: bool
+    wall_time: float
+
+    @property
+    def computed(self) -> bool:
+        """True when this call performed the actual computation."""
+        return not (self.cache_hit or self.coalesced)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON-safe provenance fields (without the result)."""
+        return {"fingerprint": self.fingerprint,
+                "cache_hit": self.cache_hit,
+                "coalesced": self.coalesced,
+                "wall_time_s": self.wall_time}
+
+
+class _InFlight:
+    """One in-progress computation other threads may latch onto."""
+
+    __slots__ = ("done", "encoded", "error", "followers")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.encoded: Any = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
 
 
 class Engine:
@@ -72,6 +126,11 @@ class Engine:
         self._pending: List[Job] = []
         self.submitted = 0
         self.executed = 0
+        self.coalesced = 0
+        self._inflight: Dict[str, _InFlight] = {}
+        # One lock for the in-flight registry, the pending queue and the
+        # counters; cache access nests its own (leaf) lock underneath.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Job lifecycle
@@ -81,8 +140,9 @@ class Engine:
         if not isinstance(job, Job):
             raise EngineError(
                 f"expected an engine Job, got {type(job).__name__}")
-        self._pending.append(job)
-        self.submitted += 1
+        with self._lock:
+            self._pending.append(job)
+            self.submitted += 1
         return job
 
     @property
@@ -90,27 +150,124 @@ class Engine:
         """Number of submitted jobs not yet run."""
         return len(self._pending)
 
+    @property
+    def inflight(self) -> int:
+        """Number of computations currently running in some thread."""
+        with self._lock:
+            return len(self._inflight)
+
     def run(self, job: Job) -> Any:
         """Run one job immediately (cache consulted first)."""
+        return self.run_shared(job).result
+
+    def run_shared(self, job: Job, timeout: Optional[float] = None,
+                   slots: Optional[threading.Semaphore] = None
+                   ) -> RunOutcome:
+        """Run one job, sharing any identical in-flight computation.
+
+        The first thread to request a fingerprint becomes its *leader*
+        and computes; every thread that requests the same fingerprint
+        while the leader runs becomes a *follower* and blocks on the
+        leader's completion event instead of recomputing — K concurrent
+        identical submissions cost exactly one engine execution.
+        Followers decode their result from the leader's encoded payload,
+        so every caller receives an equal (for persistable jobs,
+        byte-equal through the JSON envelope) result.
+
+        Parameters
+        ----------
+        timeout:
+            Seconds a follower waits for the leader (and a leader waits
+            for ``slots``) before an :class:`EngineError` is raised;
+            ``None`` waits indefinitely.
+        slots:
+            Optional semaphore bounding concurrent *computations* — the
+            service layer's back-pressure hook.  Cache hits and
+            coalesced waits never consume a slot.
+        """
         if not isinstance(job, Job):
             raise EngineError(
                 f"expected an engine Job, got {type(job).__name__}")
         key = job.fingerprint()
-        cached = self.cache.get(key)
-        if cached is not MISS:
-            return job.decode_result(cached) if job.persistable else cached
-        result = job.run(self.pool)
-        self.executed += 1
-        if job.persistable:
-            self.cache.put(key, job.encode_result(result), persist=True)
-        else:
-            self.cache.put(key, result, persist=False)
-        return result
+        start = time.perf_counter()
+        with self._lock:
+            cached = self.cache.get(key)
+            if cached is not MISS:
+                result = job.decode_result(cached) if job.persistable \
+                    else cached
+                return RunOutcome(result, key, True, False,
+                                  time.perf_counter() - start)
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InFlight()
+                self._inflight[key] = entry
+                leader = True
+            else:
+                entry.followers += 1
+                leader = False
+        if leader:
+            return self._run_leader(job, key, entry, timeout, slots,
+                                    start)
+        return self._wait_follower(job, key, entry, timeout, start)
+
+    def _run_leader(self, job: Job, key: str, entry: _InFlight,
+                    timeout: Optional[float],
+                    slots: Optional[threading.Semaphore],
+                    start: float) -> RunOutcome:
+        try:
+            if slots is not None and not slots.acquire(timeout=timeout):
+                raise EngineError(
+                    f"timed out waiting for a compute slot for "
+                    f"{job.describe()!r}")
+            try:
+                result = job.run(self.pool)
+            finally:
+                if slots is not None:
+                    slots.release()
+            encoded = job.encode_result(result) if job.persistable \
+                else result
+            self.cache.put(key, encoded, persist=job.persistable)
+            entry.encoded = encoded
+            with self._lock:
+                self.executed += 1
+            return RunOutcome(result, key, False, False,
+                              time.perf_counter() - start)
+        except BaseException as exc:
+            entry.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            entry.done.set()
+
+    def _wait_follower(self, job: Job, key: str, entry: _InFlight,
+                       timeout: Optional[float],
+                       start: float) -> RunOutcome:
+        if not entry.done.wait(timeout):
+            raise EngineError(
+                f"timed out after {timeout:g}s waiting for the "
+                f"in-flight computation of {job.describe()!r}")
+        if entry.error is not None:
+            raise EngineError(
+                f"coalesced computation of {job.describe()!r} failed: "
+                f"{entry.error}") from entry.error
+        result = job.decode_result(entry.encoded) if job.persistable \
+            else entry.encoded
+        with self._lock:
+            self.coalesced += 1
+        return RunOutcome(result, key, False, True,
+                          time.perf_counter() - start)
 
     def run_all(self) -> List[Any]:
         """Run every pending job in submission order; returns results."""
-        jobs, self._pending = self._pending, []
-        return [self.run(job) for job in jobs]
+        return [outcome.result for outcome in self.run_all_shared()]
+
+    def run_all_shared(self) -> List[RunOutcome]:
+        """Like :meth:`run_all`, but returns the full
+        :class:`RunOutcome` provenance per job."""
+        with self._lock:
+            jobs, self._pending = self._pending, []
+        return [self.run_shared(job) for job in jobs]
 
     # ------------------------------------------------------------------
     # Introspection & persistence
@@ -118,11 +275,14 @@ class Engine:
     def stats(self) -> EngineStats:
         """Activity counters plus the cache's hit/miss statistics."""
         cache_stats: CacheStats = self.cache.stats
-        return EngineStats(workers=self.pool.workers,
-                           submitted=self.submitted,
-                           executed=self.executed,
-                           cache_size=len(self.cache),
-                           cache=cache_stats.as_dict())
+        with self._lock:
+            return EngineStats(workers=self.pool.workers,
+                               submitted=self.submitted,
+                               executed=self.executed,
+                               cache_size=len(self.cache),
+                               cache=cache_stats.as_dict(),
+                               coalesced=self.coalesced,
+                               inflight=len(self._inflight))
 
     def save_cache(self, path: Optional[str] = None) -> int:
         """Persist cacheable results to JSON; returns the entry count."""

@@ -52,3 +52,15 @@ class EngineError(ReproError):
 
 class UQError(ReproError):
     """An uncertainty-quantification model or analysis is invalid."""
+
+
+class ServeError(ReproError):
+    """A risk-analysis service request failed or was rejected.
+
+    Carries the HTTP ``status`` the server answered with (0 for purely
+    client-side failures such as an unreachable server).
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = int(status)

@@ -1,0 +1,48 @@
+"""Multi-tenant risk-analysis service over the batch engine.
+
+The paper's pitch is *interactive* safety analysis — re-quantifying the
+Elbtunnel risk as parameters change.  This package turns the engine's
+one-shot CLI into a long-running, zero-heavy-dependency HTTP service:
+
+* :mod:`repro.serve.server`   — :class:`RiskServer`, a stdlib
+  ``ThreadingHTTPServer`` that accepts the ``repro batch`` JSON job
+  format over ``POST /jobs`` and streams NDJSON progress/result events
+  back per job, with bounded concurrency (429 + per-job timeouts) and
+  graceful draining shutdown,
+* :mod:`repro.serve.registry` — job ids and status records behind
+  ``GET /jobs`` and ``GET /jobs/<id>``,
+* :mod:`repro.serve.client`   — :class:`ServeClient`, the stdlib
+  ``http.client`` helper used by tests, benchmarks and CI.
+
+All requests run on **one shared engine**: the content-addressed cache
+makes repeated questions free, and request *coalescing*
+(:meth:`repro.engine.Engine.run_shared`) makes concurrent identical
+questions cost a single computation.
+
+Quickstart::
+
+    from repro.serve import RiskServer, ServeClient, ServerConfig
+
+    server = RiskServer(ServerConfig(port=0, workers=2)).start()
+    with ServeClient(server.host, server.port) as client:
+        for event in client.stream([{"type": "quantify",
+                                     "tree": "fig2"}]):
+            print(event)
+    server.shutdown()
+
+Or from the command line: ``repro serve --port 8080`` and
+``curl -N -d @jobs.json http://localhost:8080/jobs``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.registry import JobRecord, JobRegistry
+from repro.serve.server import RiskServer, ServerConfig, serve
+
+__all__ = [
+    "RiskServer",
+    "ServerConfig",
+    "serve",
+    "ServeClient",
+    "JobRegistry",
+    "JobRecord",
+]

@@ -1,0 +1,173 @@
+"""Stdlib HTTP client for the risk-analysis service.
+
+A thin, dependency-free wrapper over :mod:`http.client` used by the
+test suite, the load benchmark and the CI smoke job — and a reference
+for talking to the server from any language: every method maps to one
+endpoint, streaming submissions iterate the NDJSON events as they
+arrive.
+
+Each :class:`ServeClient` owns one keep-alive connection and is *not*
+thread-safe; concurrent load tests create one client per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import ServeError
+
+#: A submission body: one job spec, a list of specs, or {"jobs": [...]}.
+JobPayload = Union[Dict[str, Any], Sequence[Dict[str, Any]]]
+
+
+class ServeClient:
+    """Client for one :class:`~repro.serve.server.RiskServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address (e.g. ``server.host``/``server.port`` of an
+        in-process :class:`~repro.serve.server.RiskServer`).
+    timeout:
+        Socket timeout in seconds for connect and reads.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn: Optional[HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connection(self, fresh: bool = False) -> HTTPConnection:
+        if fresh or self._conn is None:
+            self.close()
+            self._conn = HTTPConnection(self.host, self.port,
+                                        timeout=self.timeout)
+            self._conn.connect()
+            # Request headers and body go out as separate writes; with
+            # Nagle on, the body write waits out the server's delayed
+            # ACK (~40 ms) on every request.
+            self._conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                       socket.TCP_NODELAY, 1)
+        return self._conn
+
+    def close(self) -> None:
+        """Close the kept-alive connection (reopened on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None):
+        """One request/response on the kept-alive connection.
+
+        Retries once on a fresh connection when the server closed the
+        idle keep-alive socket between requests.
+        """
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            try:
+                conn = self._connection(fresh=attempt > 0)
+                conn.request(method, path, body=body, headers=headers)
+                return conn.getresponse()
+            except (ConnectionError, HTTPException, OSError) as exc:
+                self.close()
+                if attempt:
+                    raise ServeError(
+                        f"cannot reach server at "
+                        f"{self.host}:{self.port}: {exc}") from exc
+
+    def _json(self, method: str, path: str,
+              body: Optional[bytes] = None,
+              expect: int = 200) -> Dict[str, Any]:
+        response = self._request(method, path, body)
+        data = response.read()
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"invalid JSON from {method} {path}: {exc}",
+                status=response.status) from None
+        if response.status != expect:
+            raise ServeError(
+                payload.get("error",
+                            f"{method} {path} -> {response.status}"),
+                status=response.status)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /health``."""
+        return self._json("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``."""
+        return self._json("GET", "/stats")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — one job's status record."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /jobs`` — recent job records, newest first."""
+        return self._json("GET", "/jobs")["jobs"]
+
+    def stream(self, jobs: JobPayload) -> Iterator[Dict[str, Any]]:
+        """``POST /jobs`` — yield each NDJSON event as it arrives.
+
+        Raises :class:`ServeError` (with ``status``) on 400/429/...;
+        once the stream starts, per-job failures arrive as ``error``
+        events rather than exceptions.
+        """
+        body = json.dumps(jobs).encode("utf-8")
+        response = self._request("POST", "/jobs", body)
+        if response.status != 200:
+            data = response.read()
+            try:
+                message = json.loads(data.decode("utf-8"))["error"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError):
+                message = f"POST /jobs -> {response.status}"
+            raise ServeError(message, status=response.status)
+        for line in response:
+            line = line.strip()
+            if line:
+                yield json.loads(line.decode("utf-8"))
+
+    def submit(self, jobs: JobPayload) -> List[Dict[str, Any]]:
+        """``POST /jobs`` — collect the whole event stream into a list."""
+        return list(self.stream(jobs))
+
+    def results(self, jobs: JobPayload) -> List[Dict[str, Any]]:
+        """Submit and return only the ``result`` envelopes, in job
+        order; raises :class:`ServeError` on the first failed job."""
+        envelopes: List[Dict[str, Any]] = []
+        for event in self.stream(jobs):
+            if event["event"] == "error":
+                raise ServeError(
+                    f"job {event.get('id')} failed: {event['error']}")
+            if event["event"] == "result":
+                envelopes.append(event)
+        return envelopes
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        """``POST /shutdown`` — ask the server to drain and stop."""
+        payload = self._json("POST", "/shutdown", body=b"", expect=202)
+        self.close()
+        return payload

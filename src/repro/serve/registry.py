@@ -1,0 +1,174 @@
+"""Job registry: ids, status transitions and history for the service.
+
+Every job a server accepts gets a monotonically increasing id
+(``j-000001``, ...) and a :class:`JobRecord` tracking its life cycle
+``queued → running → done | failed``.  The registry is the data behind
+``GET /jobs`` and ``GET /jobs/<id>``: it remembers a bounded window of
+finished jobs (oldest finished records are evicted first) so a
+long-running server's memory stays flat, while jobs still queued or
+running are never evicted.
+
+The registry is bookkeeping only — request *coalescing* lives in
+:meth:`repro.engine.Engine.run_shared`; the registry records its
+outcome (which submission computed, which were coalesced or served
+from cache) per job id.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.engine import RunOutcome
+from repro.engine.jobs import Job
+from repro.errors import ServeError
+
+#: Life-cycle states of one submitted job.
+STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's id, provenance and life cycle."""
+
+    id: str
+    kind: str
+    description: str
+    fingerprint: str
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cache_hit: Optional[bool] = None
+    coalesced: Optional[bool] = None
+    wall_time_s: Optional[float] = None
+    error: Optional[str] = None
+    result: Any = None
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status in ("done", "failed")
+
+    def as_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        """JSON-safe view of the record (the ``GET /jobs/<id>`` body)."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "type": self.kind,
+            "job": self.description,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "wall_time_s": self.wall_time_s,
+            "error": self.error,
+        }
+        if include_result and self.status == "done":
+            payload["result"] = self.result
+        return payload
+
+
+class JobRegistry:
+    """Thread-safe id assignment and status tracking for server jobs.
+
+    Parameters
+    ----------
+    history:
+        Number of *finished* records kept for ``GET /jobs/<id>``
+        lookups; queued/running jobs are always retained on top of
+        this bound.
+    """
+
+    def __init__(self, history: int = 512):
+        if history < 1:
+            raise ServeError(f"history must be >= 1, got {history}")
+        self.history = int(history)
+        self._lock = threading.Lock()
+        self._records: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def create(self, job: Job) -> JobRecord:
+        """Register one accepted job; assigns and returns its record."""
+        with self._lock:
+            self._next += 1
+            record = JobRecord(id=f"j-{self._next:06d}", kind=job.kind,
+                               description=job.describe(),
+                               fingerprint=job.fingerprint())
+            self._records[record.id] = record
+            self._order.append(record.id)
+            self._evict()
+            return record
+
+    def _evict(self) -> None:
+        finished = [job_id for job_id in self._order
+                    if self._records[job_id].finished]
+        excess = len(finished) - self.history
+        for job_id in finished[:max(0, excess)]:
+            del self._records[job_id]
+            self._order.remove(job_id)
+
+    def mark_running(self, job_id: str) -> None:
+        """Transition a queued job to ``running``."""
+        with self._lock:
+            record = self._require(job_id)
+            record.status = "running"
+            record.started_at = time.time()
+
+    def mark_done(self, job_id: str, outcome: RunOutcome,
+                  result: Any) -> None:
+        """Record a successful outcome (``result`` already encoded)."""
+        with self._lock:
+            record = self._require(job_id)
+            record.status = "done"
+            record.finished_at = time.time()
+            record.cache_hit = outcome.cache_hit
+            record.coalesced = outcome.coalesced
+            record.wall_time_s = outcome.wall_time
+            record.result = result
+            self._evict()
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        """Record a failure (timeout, engine error, ...)."""
+        with self._lock:
+            record = self._require(job_id)
+            record.status = "failed"
+            record.finished_at = time.time()
+            record.error = str(error)
+            self._evict()
+
+    def _require(self, job_id: str) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise ServeError(f"unknown job id {job_id!r}",
+                             status=404) from None
+
+    def get(self, job_id: str) -> JobRecord:
+        """The record of one job id; raises :class:`ServeError` (404)."""
+        with self._lock:
+            return self._require(job_id)
+
+    def list(self, limit: int = 50) -> List[JobRecord]:
+        """The most recent records, newest first."""
+        with self._lock:
+            recent = self._order[-max(0, int(limit)):]
+            return [self._records[job_id] for job_id in reversed(recent)]
+
+    def counts(self) -> Dict[str, int]:
+        """Number of known records per status (the ``/stats`` view)."""
+        with self._lock:
+            counts = {status: 0 for status in STATUSES}
+            for record in self._records.values():
+                counts[record.status] += 1
+            counts["total"] = self._next
+            return counts

@@ -197,4 +197,11 @@ class TestCli:
                                                         capsys):
         compiled = self.run_cli(tmp_path, capsys, "--compiled")
         interpreted = self.run_cli(tmp_path, capsys, "--no-compiled")
-        assert compiled["results"] == interpreted["results"]
+
+        def stable(payload):
+            # The result envelope reports measured wall time per job;
+            # everything else must be bit-identical across paths.
+            return [{k: v for k, v in entry.items()
+                     if k != "wall_time_s"}
+                    for entry in payload["results"]]
+        assert stable(compiled) == stable(interpreted)

@@ -1,0 +1,132 @@
+"""JobRegistry: id assignment, life cycle, history bound."""
+
+import pytest
+
+from repro.engine import Engine, QuantifyJob
+from repro.errors import ServeError
+from repro.fta import FaultTree
+from repro.fta.dsl import hazard, primary
+from repro.serve import JobRegistry
+
+
+def make_job(p=0.1):
+    top = hazard("H", OR_gate=[primary("A", p), primary("B", 0.2)])
+    return QuantifyJob(FaultTree(top), method="exact")
+
+
+def finished_outcome(job):
+    return Engine(workers=1).run_shared(job)
+
+
+class TestLifecycle:
+    def test_ids_are_monotonic(self):
+        registry = JobRegistry()
+        records = [registry.create(make_job()) for _ in range(3)]
+        assert [r.id for r in records] == ["j-000001", "j-000002",
+                                          "j-000003"]
+
+    def test_created_record_fields(self):
+        registry = JobRegistry()
+        job = make_job()
+        record = registry.create(job)
+        assert record.status == "queued"
+        assert record.kind == "quantify"
+        assert record.fingerprint == job.fingerprint()
+        assert not record.finished
+        assert record.submitted_at > 0
+
+    def test_full_transition(self):
+        registry = JobRegistry()
+        job = make_job()
+        record = registry.create(job)
+        registry.mark_running(record.id)
+        assert registry.get(record.id).status == "running"
+        outcome = finished_outcome(job)
+        registry.mark_done(record.id, outcome, 0.123)
+        final = registry.get(record.id)
+        assert final.status == "done" and final.finished
+        assert final.cache_hit is False
+        assert final.coalesced is False
+        assert final.wall_time_s == outcome.wall_time
+        assert final.result == 0.123
+        assert final.finished_at >= final.started_at
+
+    def test_failed_transition(self):
+        registry = JobRegistry()
+        record = registry.create(make_job())
+        registry.mark_running(record.id)
+        registry.mark_failed(record.id, "timeout")
+        final = registry.get(record.id)
+        assert final.status == "failed" and final.error == "timeout"
+
+    def test_unknown_id_raises_404(self):
+        registry = JobRegistry()
+        with pytest.raises(ServeError) as excinfo:
+            registry.get("j-999999")
+        assert excinfo.value.status == 404
+
+    def test_as_dict_hides_result_unless_done(self):
+        registry = JobRegistry()
+        job = make_job()
+        record = registry.create(job)
+        assert "result" not in record.as_dict()
+        registry.mark_done(record.id, finished_outcome(job), 1.0)
+        assert registry.get(record.id).as_dict()["result"] == 1.0
+        assert "result" not in registry.get(record.id).as_dict(
+            include_result=False)
+
+
+class TestHistory:
+    def test_finished_records_are_bounded(self):
+        registry = JobRegistry(history=3)
+        job = make_job()
+        outcome = finished_outcome(job)
+        ids = []
+        for _ in range(6):
+            record = registry.create(job)
+            registry.mark_running(record.id)
+            registry.mark_done(record.id, outcome, 0.0)
+            ids.append(record.id)
+        assert len(registry) == 3
+        with pytest.raises(ServeError):
+            registry.get(ids[0])
+        assert registry.get(ids[-1]).status == "done"
+
+    def test_active_records_never_evicted(self):
+        registry = JobRegistry(history=1)
+        job = make_job()
+        active = [registry.create(job) for _ in range(5)]
+        outcome = finished_outcome(job)
+        done = registry.create(job)
+        registry.mark_done(done.id, outcome, 0.0)
+        # All five queued records survive despite history=1.
+        for record in active:
+            assert registry.get(record.id).status == "queued"
+
+    def test_counts(self):
+        registry = JobRegistry()
+        job = make_job()
+        registry.create(job)
+        running = registry.create(job)
+        registry.mark_running(running.id)
+        failed = registry.create(job)
+        registry.mark_running(failed.id)
+        registry.mark_failed(failed.id, "x")
+        counts = registry.counts()
+        assert counts["queued"] == 1
+        assert counts["running"] == 1
+        assert counts["failed"] == 1
+        assert counts["done"] == 0
+        assert counts["total"] == 3
+
+    def test_list_newest_first(self):
+        registry = JobRegistry()
+        first = registry.create(make_job())
+        second = registry.create(make_job())
+        listed = registry.list()
+        assert [r.id for r in listed] == [second.id, first.id]
+        assert [r.id for r in registry.list(limit=1)] == [second.id]
+
+    def test_bad_history(self):
+        with pytest.raises(ServeError):
+            JobRegistry(history=0)

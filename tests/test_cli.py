@@ -186,3 +186,68 @@ class TestErrors:
         path.write_text("{not json")
         assert main(["report", str(path)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestBatchJson:
+    def run_batch(self, tmp_path, capsys, payload):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(payload))
+        assert main(["batch", str(path), "--json"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_envelope_fields(self, tmp_path, capsys):
+        payload = {"jobs": [
+            {"type": "quantify", "tree": "corridor", "method": "exact"},
+            {"type": "montecarlo", "tree": "corridor",
+             "samples": 5_000, "seed": 2}]}
+        output = self.run_batch(tmp_path, capsys, payload)
+        results = output["results"]
+        assert [entry["id"] for entry in results] == ["job-1", "job-2"]
+        assert [entry["index"] for entry in results] == [0, 1]
+        for entry in results:
+            assert set(entry) >= {"id", "index", "type", "job",
+                                  "fingerprint", "cache_hit",
+                                  "coalesced", "wall_time_s", "result"}
+            assert entry["cache_hit"] is False
+            assert entry["coalesced"] is False
+            assert entry["wall_time_s"] >= 0.0
+            assert len(entry["fingerprint"]) == 64
+        assert output["stats"]["misses"] == 2
+
+    def test_cache_hit_reported_on_repeat(self, tmp_path, capsys):
+        payload = {"jobs": [
+            {"type": "quantify", "tree": "corridor", "method": "exact"},
+            {"type": "quantify", "tree": "corridor", "method": "exact"}]}
+        results = self.run_batch(tmp_path, capsys, payload)["results"]
+        assert results[0]["cache_hit"] is False
+        assert results[1]["cache_hit"] is True
+        assert results[0]["fingerprint"] == results[1]["fingerprint"]
+        assert results[0]["result"] == results[1]["result"]
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 1
+        assert args.cache is None
+        assert args.max_concurrency == 8
+        assert args.queue_limit == 32
+        assert args.timeout == 60.0
+
+    def test_parser_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000",
+             "--workers", "2", "--cache", "/tmp/c.json",
+             "--cache-capacity", "128", "--max-concurrency", "4",
+             "--queue-limit", "16", "--timeout", "5"])
+        assert args.host == "0.0.0.0" and args.port == 9000
+        assert args.workers == 2 and args.cache == "/tmp/c.json"
+        assert args.cache_capacity == 128
+        assert args.max_concurrency == 4 and args.queue_limit == 16
+        assert args.timeout == 5.0
+
+    def test_bad_config_is_reported(self, capsys):
+        assert main(["serve", "--max-concurrency", "0"]) == 1
+        assert "error" in capsys.readouterr().err
