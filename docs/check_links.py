@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Validate intra-repo markdown links in README.md and docs/.
+
+Every relative link target (``[text](path)``, ``[text](path#anchor)``)
+must exist on disk, resolved against the file that contains it.
+External schemes (http/https/mailto) are skipped; bare anchors
+(``#section``) are checked against the headings of the containing
+file.  Exit status 1 lists every broken link — the CI docs job runs
+this next to ``generate_api.py --check``.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Inline markdown links, skipping images; code spans are stripped
+#: before matching so `[x](y)` inside backticks is not a link.
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+FENCE = re.compile(r"^(```|~~~)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def heading_anchors(path: pathlib.Path) -> set:
+    """GitHub-style anchors for every markdown heading in *path*."""
+    anchors = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        title = CODE_SPAN.sub(lambda m: m.group(0).strip("`"), title)
+        anchor = re.sub(r"[^\w\s-]", "", title.lower())
+        anchors.add(re.sub(r"[\s]+", "-", anchor).strip("-"))
+    return anchors
+
+
+def check_file(path: pathlib.Path) -> list:
+    """Broken-link messages for one markdown file."""
+    problems = []
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(CODE_SPAN.sub("", line)):
+            if EXTERNAL.match(target):
+                continue
+            location = f"{path.relative_to(ROOT)}:{number}"
+            target, _, anchor = target.partition("#")
+            resolved = (path.parent / target).resolve() if target \
+                else path
+            if not resolved.exists():
+                problems.append(
+                    f"{location}: broken link target {target!r}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in heading_anchors(resolved):
+                    problems.append(
+                        f"{location}: missing anchor "
+                        f"#{anchor} in {target or path.name!r}")
+    return problems
+
+
+def main() -> int:
+    files = [ROOT / "README.md"] + sorted(
+        (ROOT / "docs").glob("*.md"))
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,7 +125,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=1,
                        help="worker processes for shardable jobs")
     batch.add_argument("--cache",
-                       help="JSON result-cache file persisted across runs")
+                       help="result-cache file persisted across runs "
+                            "(JSON or sqlite, see --cache-backend)")
+    batch.add_argument("--cache-backend",
+                       choices=["auto", "json", "sqlite"], default="auto",
+                       help="cache backend; auto picks sqlite for "
+                            ".db/.sqlite/.sqlite3 paths (default: auto)")
+    batch.add_argument("--cache-ttl", type=float,
+                       help="seconds before cached entries expire "
+                            "(sqlite backend only)")
+    batch.add_argument("--cache-max-bytes", type=int,
+                       help="payload byte budget before LRU eviction "
+                            "(sqlite backend only)")
+    batch.add_argument("--warm-manifest",
+                       help="warm the cache from a manifest of hot "
+                            "fingerprints before running")
+    batch.add_argument("--write-manifest",
+                       help="after the run, write the hottest cache "
+                            "fingerprints to this manifest file")
     batch.add_argument("--compiled", action=argparse.BooleanOptionalAction,
                        default=True,
                        help="evaluate sweeps through the repro.compile "
@@ -146,11 +163,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for shardable jobs")
     serve.add_argument("--cache",
-                       help="JSON result-cache file loaded on start and "
-                            "persisted on shutdown")
+                       help="result-cache file loaded on start and "
+                            "persisted on shutdown (JSON or sqlite, "
+                            "see --cache-backend)")
+    serve.add_argument("--cache-backend",
+                       choices=["auto", "json", "sqlite"], default="auto",
+                       help="cache backend; auto picks sqlite for "
+                            ".db/.sqlite/.sqlite3 paths (default: auto)")
     serve.add_argument("--cache-capacity", type=int, default=4096,
-                       help="LRU capacity of the shared result cache "
+                       help="entry capacity of the shared result cache "
                             "(default: 4096)")
+    serve.add_argument("--cache-ttl", type=float,
+                       help="seconds before cached entries expire "
+                            "(sqlite backend only)")
+    serve.add_argument("--cache-max-bytes", type=int,
+                       help="payload byte budget before LRU eviction "
+                            "(sqlite backend only)")
+    serve.add_argument("--warm-manifest",
+                       help="warm the cache from a manifest of hot "
+                            "fingerprints before taking traffic")
     serve.add_argument("--max-concurrency", type=int, default=8,
                        help="engine computations allowed at once "
                             "(default: 8)")
@@ -372,7 +403,11 @@ def _cmd_batch(args) -> None:
         except json.JSONDecodeError as exc:
             raise EngineError(f"invalid job file: {exc}") from None
     jobs = jobs_from_payload(spec, compiled=args.compiled)
-    engine = Engine(workers=args.workers, cache_path=args.cache)
+    engine = Engine(workers=args.workers, cache_path=args.cache,
+                    cache_backend=args.cache_backend,
+                    cache_ttl=args.cache_ttl,
+                    cache_max_bytes=args.cache_max_bytes,
+                    warm_manifest=args.warm_manifest)
     for job in jobs:
         engine.submit(job)
     # The same path the server takes per request: run_shared records
@@ -381,14 +416,19 @@ def _cmd_batch(args) -> None:
     results = [outcome.result for outcome in outcomes]
     if args.cache:
         engine.save_cache()
+    if args.write_manifest:
+        from repro.engine import write_manifest
+        write_manifest(args.write_manifest, engine.cache.hot_keys())
 
     if args.as_json:
         payload = [result_envelope(job, outcome, job_id=f"job-{i}",
                                    index=i - 1)
                    for i, (job, outcome)
                    in enumerate(zip(jobs, outcomes), 1)]
+        stats = engine.stats()
         print(json.dumps({"results": payload,
-                          "stats": engine.stats().cache}, indent=2,
+                          "stats": {"backend": stats.cache_backend,
+                                    **stats.cache}}, indent=2,
                          sort_keys=True))
         return
     print(f"batch: {len(results)} jobs from {args.file}")
@@ -416,7 +456,11 @@ def _cmd_serve(args) -> None:
     config = ServerConfig(host=args.host, port=args.port,
                           workers=args.workers,
                           cache_path=args.cache,
+                          cache_backend=args.cache_backend,
                           cache_capacity=args.cache_capacity,
+                          cache_ttl=args.cache_ttl,
+                          cache_max_bytes=args.cache_max_bytes,
+                          warm_manifest=args.warm_manifest,
                           max_concurrency=args.max_concurrency,
                           queue_limit=args.queue_limit,
                           request_timeout=args.timeout)

@@ -9,8 +9,11 @@ engine:
 * :mod:`repro.engine.jobs`        — job specs with validation,
 * :mod:`repro.engine.fingerprint` — canonical structural hashing so
   semantically identical requests share a cache key,
-* :mod:`repro.engine.cache`       — an LRU result cache with optional
-  JSON disk persistence and hit/miss statistics,
+* :mod:`repro.engine.cache`       — pluggable result-cache backends
+  behind one :class:`CacheBackend` interface: the JSON/LRU fallback and
+  a WAL-mode sqlite store with TTL/size eviction and manifest warming,
+* :mod:`repro.engine.payload`     — the binary (npy-style) payload
+  codec the sqlite backend stores matrix-shaped results with,
 * :mod:`repro.engine.pool`        — a multiprocessing worker pool with a
   serial fallback and deterministic per-shard Monte Carlo seeding,
 * :mod:`repro.engine.specs`       — the JSON wire format shared by
@@ -32,7 +35,17 @@ Quickstart::
     print(engine.stats().summary())
 """
 
-from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.cache import (
+    BACKENDS,
+    CacheBackend,
+    CacheStats,
+    ResultCache,
+    SqliteCache,
+    create_cache,
+    read_manifest,
+    write_manifest,
+)
+from repro.engine.payload import decode_payload, encode_payload
 from repro.engine.engine import Engine, EngineStats, RunOutcome
 from repro.engine.fingerprint import (
     canonical_tree,
@@ -75,8 +88,16 @@ __all__ = [
     "SimulationJob",
     "UncertaintyJob",
     "OptimizeJob",
+    "CacheBackend",
     "ResultCache",
+    "SqliteCache",
+    "create_cache",
+    "BACKENDS",
     "CacheStats",
+    "read_manifest",
+    "write_manifest",
+    "encode_payload",
+    "decode_payload",
     "WorkerPool",
     "default_workers",
     "derive_seed",

@@ -1,33 +1,70 @@
-"""LRU result cache with optional JSON disk persistence.
+"""Pluggable result-cache backends keyed by job fingerprints.
 
 Keys are the content-addressed job fingerprints from
 :mod:`repro.engine.fingerprint`; values are whatever the owning job chose
 to store (the engine stores JSON-safe encoded results for persistable
-jobs, raw objects for memory-only ones).  The cache never interprets the
+jobs, raw objects for memory-only ones).  A cache never interprets the
 values — it only orders, bounds and persists them.
+
+Two backends implement one :class:`CacheBackend` interface:
+
+:class:`ResultCache` (``"json"``)
+    The zero-dependency fallback: an in-memory LRU with optional JSON
+    disk persistence.  Fast single-process warm reads (a dict lookup),
+    but the whole file is parsed on load and rewritten on save.
+
+:class:`SqliteCache` (``"sqlite"``)
+    A WAL-mode sqlite store for the service layer and multi-machine CI:
+    concurrent readers (per-thread connections, reads are write-free),
+    a single serialized writer, binary npy-style payloads for
+    matrix-shaped results (:mod:`repro.engine.payload`), TTL and
+    size-based eviction, and durable persistence — a fresh process pays
+    one ``open()`` instead of re-parsing the full store.
+
+:func:`create_cache` selects a backend by name (``"auto"`` picks sqlite
+for ``.db``/``.sqlite``/``.sqlite3`` paths), and manifests of hot
+fingerprints (:func:`write_manifest` / :func:`read_manifest` /
+:meth:`CacheBackend.warm`) pre-heat either backend before traffic
+arrives.  Both backends store value-equal payloads for the same entries
+— fingerprints and coalescing semantics never depend on the backend
+(the cross-backend conformance suite pins this).
+
+A corrupt store is never fatal: the damaged file is quarantined with a
+``.corrupt`` suffix, a warning is logged, and the cache re-initializes
+empty (every lookup simply misses).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import sqlite3
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.engine.payload import decode_payload, encode_payload
 from repro.errors import EngineError
+
+log = logging.getLogger("repro.engine.cache")
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 MISS = object()
 
 _PERSIST_VERSION = 1
+_MANIFEST_VERSION = 1
+
+#: Path suffixes that make ``backend="auto"`` pick the sqlite store.
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+    """Hit/miss/eviction counters of one cache backend."""
 
     hits: int = 0
     misses: int = 0
@@ -51,7 +88,110 @@ class CacheStats:
                 "hit_rate": self.hit_rate}
 
 
-class ResultCache:
+def quarantine(path: str, reason: Any) -> None:
+    """Move a corrupt store aside (``<path>.corrupt``) and log it."""
+    target = path + ".corrupt"
+    try:
+        os.replace(path, target)
+    except OSError:  # pragma: no cover - racing cleanup
+        target = "<unlinked>"
+    log.warning("quarantined corrupt cache file %r -> %r: %s",
+                path, target, reason)
+
+
+class CacheBackend:
+    """The interface every result-cache backend implements.
+
+    Subclasses provide :meth:`get` / :meth:`put` / :meth:`peek` /
+    :meth:`clear` / :meth:`save` / :meth:`load` / :meth:`hot_keys` /
+    ``__len__`` plus a ``_touch`` hook for warming; the base class
+    supplies shared statistics, manifest warming and the ``info()``
+    skeleton served by a service's ``/stats`` endpoint.
+    """
+
+    #: Backend identifier shown in ``info()`` and ``/stats``.
+    name: str = "backend"
+
+    def __init__(self, capacity: int, path: Optional[str]):
+        if capacity <= 0:
+            raise EngineError(f"cache capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.path = path
+        self.stats = CacheStats()
+
+    # -- required backend operations -----------------------------------
+    def get(self, key: str) -> Any:
+        """Return the cached value or :data:`MISS`; refreshes recency
+        and counts a hit or miss."""
+        raise NotImplementedError
+
+    def put(self, key: str, value: Any, persist: bool = True) -> None:
+        """Store ``value`` under ``key``, evicting entries over budget.
+
+        ``persist=False`` keeps the entry in memory only (for results
+        that cannot be serialized)."""
+        raise NotImplementedError
+
+    def peek(self, key: str) -> Any:
+        """Like :meth:`get` but without touching statistics or recency
+        (the engine's under-lock re-check during coalescing)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are preserved)."""
+        raise NotImplementedError
+
+    def save(self, path: Optional[str] = None) -> int:
+        """Flush persistable entries to disk; returns the entry count."""
+        raise NotImplementedError
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Merge entries from a store file; returns the count read.
+
+        Raises :class:`EngineError` on a corrupt or foreign file — the
+        *constructor* recovers by quarantining instead (an explicit
+        ``load()`` call asked for exactly that file)."""
+        raise NotImplementedError
+
+    def hot_keys(self, limit: int = 64) -> List[str]:
+        """The most recently used keys, hottest first — the input to
+        :func:`write_manifest`."""
+        raise NotImplementedError
+
+    def _touch(self, key: str) -> bool:
+        """Refresh one key's recency without counting a lookup; returns
+        whether the key is present (and not expired)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-memory backends)."""
+
+    # -- shared behaviour ----------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.peek(key) is not MISS
+
+    def warm(self, keys: Iterable[str]) -> int:
+        """Pre-heat the listed fingerprints (mark hottest, pull their
+        pages/payloads in); returns how many were found."""
+        return sum(1 for key in keys if self._touch(key))
+
+    def warm_from_manifest(self, path: str) -> int:
+        """Warm from a manifest file; returns how many keys were found."""
+        return self.warm(read_manifest(path))
+
+    def info(self) -> Dict[str, Any]:
+        """One JSON-safe snapshot of configuration, size and counters
+        (the payload behind a service's ``/stats`` endpoint)."""
+        return {"backend": self.name,
+                "size": len(self),
+                "capacity": self.capacity,
+                "path": self.path,
+                "ttl": getattr(self, "ttl", None),
+                "max_bytes": getattr(self, "max_bytes", None),
+                **self.stats.as_dict()}
+
+
+class ResultCache(CacheBackend):
     """A bounded least-recently-used mapping of fingerprints to results.
 
     Parameters
@@ -61,10 +201,11 @@ class ResultCache:
         entry is evicted on overflow.
     path:
         Optional JSON file for persistence.  When given and the file
-        exists, its entries are loaded eagerly; :meth:`save` writes the
-        current persistable entries back.  Entries stored with
-        ``persist=False`` (results that are not JSON-serializable, e.g.
-        optimizer runs) live in memory only.
+        exists, its entries are loaded eagerly (a corrupt file is
+        quarantined, not fatal); :meth:`save` writes the current
+        persistable entries back.  Entries stored with ``persist=False``
+        (results that are not JSON-serializable, e.g. optimizer runs)
+        live in memory only.
 
     Every operation that touches the LRU order or the statistics runs
     under one internal lock, so a cache instance can be shared between
@@ -72,18 +213,21 @@ class ResultCache:
     corrupting the recency list or losing counter updates.
     """
 
+    name = "json"
+
     def __init__(self, capacity: int = 1024,
                  path: Optional[str] = None):
-        if capacity <= 0:
-            raise EngineError(f"cache capacity must be > 0, got {capacity}")
-        self.capacity = capacity
-        self.path = path
-        self.stats = CacheStats()
+        super().__init__(capacity, path)
         self._entries: "OrderedDict[str, Tuple[bool, Any]]" = OrderedDict()
         # Reentrant: load() calls put() with the lock already held.
         self._lock = threading.RLock()
         if path is not None and os.path.exists(path):
-            self.load(path)
+            try:
+                self.load(path)
+            except EngineError as exc:
+                # A damaged persisted cache must never take the engine
+                # down: quarantine it and start cold (every get misses).
+                quarantine(path, exc)
 
     def __len__(self) -> int:
         with self._lock:
@@ -105,6 +249,12 @@ class ResultCache:
             self.stats.hits += 1
             return entry[1]
 
+    def peek(self, key: str) -> Any:
+        """The cached value or :data:`MISS`; no stats, no recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return MISS if entry is None else entry[1]
+
     def put(self, key: str, value: Any, persist: bool = True) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry if full.
 
@@ -125,14 +275,17 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
-    def info(self) -> Dict[str, Any]:
-        """One JSON-safe snapshot of configuration, size and counters
-        (the payload behind a service's ``/stats`` endpoint)."""
+    def hot_keys(self, limit: int = 64) -> List[str]:
+        """Most recently used keys, hottest first."""
         with self._lock:
-            return {"size": len(self._entries),
-                    "capacity": self.capacity,
-                    "path": self.path,
-                    **self.stats.as_dict()}
+            return list(reversed(self._entries))[:max(0, limit)]
+
+    def _touch(self, key: str) -> bool:
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._entries.move_to_end(key)
+            return True
 
     # ------------------------------------------------------------------
     # Disk persistence
@@ -181,10 +334,12 @@ class ResultCache:
         except (OSError, json.JSONDecodeError) as exc:
             raise EngineError(
                 f"cannot load cache file {source!r}: {exc}") from None
-        if payload.get("version") != _PERSIST_VERSION:
+        if not isinstance(payload, dict) \
+                or payload.get("version") != _PERSIST_VERSION:
             raise EngineError(
                 f"unsupported cache file version "
-                f"{payload.get('version')!r} in {source!r}")
+                f"{payload.get('version') if isinstance(payload, dict) else None!r} "
+                f"in {source!r}")
         entries = payload.get("entries", {})
         with self._lock:
             for key, value in entries.items():
@@ -192,3 +347,490 @@ class ResultCache:
             # Loading is bookkeeping, not workload; keep the stats clean.
             self.stats.puts -= len(entries)
         return len(entries)
+
+
+class SqliteCache(CacheBackend):
+    """A WAL-mode sqlite result store with binary payloads.
+
+    Built for the serve layer and multi-machine CI: many reader threads
+    and processes share one store file, a fresh process opens it in
+    constant time (no full-file parse), and matrix-shaped results are
+    stored as npy-style binary blobs (:mod:`repro.engine.payload`)
+    instead of JSON text.
+
+    Parameters
+    ----------
+    path:
+        The store file (created on first use, ``-wal``/``-shm``
+        companions appear alongside).  A corrupt file is quarantined
+        and re-initialized, never fatal.
+    capacity:
+        Maximum entry count; least-recently-accessed rows are evicted.
+    ttl:
+        Optional seconds before an entry expires; expired rows read as
+        misses and are purged on the next write.
+    max_bytes:
+        Optional payload-size budget; oldest-accessed rows are evicted
+        until under budget (the newest entry always survives).
+    timeout:
+        Seconds a writer waits on a cross-process sqlite lock.
+    recency_resolution:
+        A read refreshes the stored access stamp only when the stamp is
+        older than this many seconds, keeping the contended warm-read
+        path write-free (eviction needs recency at eviction granularity,
+        not per-read precision).
+
+    Concurrency: each thread gets its own read connection (WAL lets
+    readers proceed during a write); writes are serialized through one
+    in-process lock, and across processes by sqlite's own locking.
+    Entries stored with ``persist=False`` live in an in-memory LRU side
+    table, exactly as in the JSON backend.
+    """
+
+    name = "sqlite"
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS cache (
+            key      TEXT PRIMARY KEY,
+            payload  BLOB NOT NULL,
+            nbytes   INTEGER NOT NULL,
+            created  REAL NOT NULL,
+            accessed REAL NOT NULL
+        );
+        CREATE INDEX IF NOT EXISTS cache_accessed ON cache(accessed);
+    """
+
+    def __init__(self, path: str, capacity: int = 65536,
+                 ttl: Optional[float] = None,
+                 max_bytes: Optional[int] = None,
+                 timeout: float = 30.0,
+                 recency_resolution: float = 60.0):
+        if not path:
+            raise EngineError("the sqlite cache backend requires a path")
+        super().__init__(capacity, path)
+        if ttl is not None and ttl <= 0:
+            raise EngineError(f"cache ttl must be > 0, got {ttl}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise EngineError(
+                f"cache max_bytes must be > 0, got {max_bytes}")
+        self.ttl = ttl
+        self.max_bytes = max_bytes
+        self.timeout = timeout
+        self.recency_resolution = recency_resolution
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        # One lock for writes + in-process bookkeeping (stats, memory
+        # side table); reads only take it to bump counters.
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
+        self._generation = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._init_schema()
+
+    # ------------------------------------------------------------------
+    # Connections & recovery
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=self.timeout,
+                               isolation_level=None)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
+        return conn
+
+    def _conn(self) -> sqlite3.Connection:
+        cached = getattr(self._local, "conn", None)
+        if cached is not None \
+                and self._local.generation == self._generation:
+            return cached
+        conn = self._connect()
+        self._local.conn = conn
+        self._local.generation = self._generation
+        with self._lock:
+            self._connections.append(conn)
+        return conn
+
+    def _init_schema(self) -> None:
+        try:
+            self._conn().executescript(self._SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            # Truncated or garbage store: quarantine and start empty
+            # rather than taking the engine down.
+            self._reset_storage(exc)
+
+    def _reset_storage(self, reason: Any) -> None:
+        """Quarantine the store file and re-create an empty schema."""
+        with self._lock:
+            for conn in self._connections:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - best effort
+                    pass
+            self._connections.clear()
+            self._generation += 1
+            if os.path.exists(self.path):
+                quarantine(self.path, reason)
+            for suffix in ("-wal", "-shm"):
+                companion = self.path + suffix
+                if os.path.exists(companion):
+                    os.remove(companion)
+            self._conn().executescript(self._SCHEMA)
+
+    def close(self) -> None:
+        """Close every connection this instance opened."""
+        with self._lock:
+            for conn in self._connections:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - best effort
+                    pass
+            self._connections.clear()
+            self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            memory = len(self._memory)
+        try:
+            row = self._conn().execute(
+                "SELECT COUNT(*) FROM cache").fetchone()
+        except sqlite3.DatabaseError as exc:
+            self._reset_storage(exc)
+            return memory
+        return memory + row[0]
+
+    def _expired(self, created: float, now: float) -> bool:
+        return self.ttl is not None and now - created > self.ttl
+
+    def _fetch(self, key: str) -> Optional[Tuple[bytes, float, float]]:
+        try:
+            return self._conn().execute(
+                "SELECT payload, created, accessed FROM cache "
+                "WHERE key = ?", (key,)).fetchone()
+        except sqlite3.DatabaseError as exc:
+            self._reset_storage(exc)
+            return None
+
+    def _drop(self, key: str, count_eviction: bool) -> None:
+        with self._lock:
+            try:
+                self._conn().execute(
+                    "DELETE FROM cache WHERE key = ?", (key,))
+            except sqlite3.DatabaseError as exc:
+                self._reset_storage(exc)
+                return
+            if count_eviction:
+                self.stats.evictions += 1
+
+    def get(self, key: str) -> Any:
+        """Decode and return the stored payload, or :data:`MISS`.
+
+        The warm path is write-free: recency stamps are refreshed only
+        when older than ``recency_resolution`` seconds, so concurrent
+        readers never serialize on the writer lock.
+        """
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return self._memory[key]
+        row = self._fetch(key)
+        now = time.time()
+        if row is None:
+            with self._lock:
+                self.stats.misses += 1
+            return MISS
+        payload, created, accessed = row
+        if self._expired(created, now):
+            self._drop(key, count_eviction=True)
+            with self._lock:
+                self.stats.misses += 1
+            return MISS
+        try:
+            value = decode_payload(payload)
+        except EngineError as exc:
+            log.warning("dropping undecodable cache entry %r: %s",
+                        key, exc)
+            self._drop(key, count_eviction=False)
+            with self._lock:
+                self.stats.misses += 1
+            return MISS
+        if now - accessed > self.recency_resolution:
+            self._stamp(key, now)
+        with self._lock:
+            self.stats.hits += 1
+        return value
+
+    def peek(self, key: str) -> Any:
+        """The decoded value or :data:`MISS`; no stats, no recency."""
+        with self._lock:
+            if key in self._memory:
+                return self._memory[key]
+        row = self._fetch(key)
+        if row is None or self._expired(row[1], time.time()):
+            return MISS
+        try:
+            return decode_payload(row[0])
+        except EngineError:
+            return MISS
+
+    def _stamp(self, key: str, now: float) -> None:
+        with self._lock:
+            try:
+                self._conn().execute(
+                    "UPDATE cache SET accessed = ? WHERE key = ?",
+                    (now, key))
+            except sqlite3.DatabaseError as exc:
+                self._reset_storage(exc)
+
+    def put(self, key: str, value: Any, persist: bool = True) -> None:
+        """Encode ``value`` to a binary payload and store it durably.
+
+        The insert and the eviction pass run as one immediate
+        transaction under the single-writer lock."""
+        if not persist:
+            with self._lock:
+                if key in self._memory:
+                    self._memory.move_to_end(key)
+                self._memory[key] = value
+                self.stats.puts += 1
+                while len(self._memory) > self.capacity:
+                    self._memory.popitem(last=False)
+                    self.stats.evictions += 1
+            return
+        blob = encode_payload(value)
+        now = time.time()
+        with self._lock:
+            conn = self._conn()
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute(
+                    "INSERT OR REPLACE INTO cache "
+                    "(key, payload, nbytes, created, accessed) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (key, sqlite3.Binary(blob), len(blob), now, now))
+                evicted = self._evict(conn, key, now)
+                conn.execute("COMMIT")
+            except sqlite3.DatabaseError as exc:
+                try:
+                    conn.execute("ROLLBACK")
+                except sqlite3.Error:  # pragma: no cover - best effort
+                    pass
+                self._reset_storage(exc)
+                return
+            self.stats.puts += 1
+            self.stats.evictions += evicted
+
+    def _evict(self, conn: sqlite3.Connection, fresh_key: str,
+               now: float) -> int:
+        """TTL purge + capacity + byte-budget eviction; returns count.
+
+        Victims are least-recently-accessed first; the entry written in
+        this transaction (``fresh_key``) is never chosen, so a single
+        oversized result still lands in the cache.
+        """
+        evicted = 0
+        if self.ttl is not None:
+            cursor = conn.execute(
+                "DELETE FROM cache WHERE created <= ? AND key != ?",
+                (now - self.ttl, fresh_key))
+            evicted += cursor.rowcount
+        count = conn.execute("SELECT COUNT(*) FROM cache").fetchone()[0]
+        if count > self.capacity:
+            cursor = conn.execute(
+                "DELETE FROM cache WHERE key IN ("
+                "  SELECT key FROM cache WHERE key != ?"
+                "  ORDER BY accessed ASC, key ASC LIMIT ?)",
+                (fresh_key, count - self.capacity))
+            evicted += cursor.rowcount
+        if self.max_bytes is not None:
+            total = conn.execute(
+                "SELECT COALESCE(SUM(nbytes), 0) FROM cache"
+            ).fetchone()[0]
+            if total > self.max_bytes:
+                victims = []
+                for key, nbytes in conn.execute(
+                        "SELECT key, nbytes FROM cache WHERE key != ? "
+                        "ORDER BY accessed ASC, key ASC", (fresh_key,)):
+                    victims.append(key)
+                    total -= nbytes
+                    if total <= self.max_bytes:
+                        break
+                if victims:
+                    marks = ",".join("?" * len(victims))
+                    cursor = conn.execute(
+                        f"DELETE FROM cache WHERE key IN ({marks})",
+                        victims)
+                    evicted += cursor.rowcount
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are preserved)."""
+        with self._lock:
+            self._memory.clear()
+            try:
+                self._conn().execute("DELETE FROM cache")
+            except sqlite3.DatabaseError as exc:
+                self._reset_storage(exc)
+
+    def hot_keys(self, limit: int = 64) -> List[str]:
+        """Most recently accessed persistent keys, hottest first."""
+        try:
+            rows = self._conn().execute(
+                "SELECT key FROM cache ORDER BY accessed DESC, key ASC "
+                "LIMIT ?", (max(0, limit),)).fetchall()
+        except sqlite3.DatabaseError as exc:
+            self._reset_storage(exc)
+            return []
+        return [row[0] for row in rows]
+
+    def _touch(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                return True
+        row = self._fetch(key)
+        if row is None or self._expired(row[1], time.time()):
+            return False
+        try:
+            # Decoding pulls the payload through the page cache, so the
+            # first real request after warming skips the cold read.
+            decode_payload(row[0])
+        except EngineError:
+            return False
+        self._stamp(key, time.time())
+        return True
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Optional[str] = None) -> int:
+        """Checkpoint the WAL (or back up to ``path``); returns the
+        persistent entry count.  Unlike the JSON backend, every put is
+        already durable — save only compacts or copies."""
+        target = path or self.path
+        with self._lock:
+            conn = self._conn()
+            try:
+                if os.path.abspath(target) == os.path.abspath(self.path):
+                    conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+                else:
+                    backup = sqlite3.connect(target)
+                    try:
+                        conn.backup(backup)
+                    finally:
+                        backup.close()
+                return conn.execute(
+                    "SELECT COUNT(*) FROM cache").fetchone()[0]
+            except sqlite3.DatabaseError as exc:
+                raise EngineError(
+                    f"cannot save sqlite cache to {target!r}: "
+                    f"{exc}") from None
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Merge entries from another sqlite store file."""
+        source = path or self.path
+        if os.path.abspath(source) == os.path.abspath(self.path):
+            try:
+                return self._conn().execute(
+                    "SELECT COUNT(*) FROM cache").fetchone()[0]
+            except sqlite3.DatabaseError as exc:
+                self._reset_storage(exc)
+                return 0
+        with self._lock:
+            conn = self._conn()
+            try:
+                conn.execute("ATTACH DATABASE ? AS src", (source,))
+                try:
+                    count = conn.execute(
+                        "SELECT COUNT(*) FROM src.cache").fetchone()[0]
+                    conn.execute(
+                        "INSERT OR REPLACE INTO cache "
+                        "SELECT * FROM src.cache")
+                finally:
+                    conn.execute("DETACH DATABASE src")
+            except sqlite3.DatabaseError as exc:
+                raise EngineError(
+                    f"cannot load cache file {source!r}: {exc}") from None
+        return count
+
+
+#: Registered backend names (``"auto"`` resolves by path suffix).
+BACKENDS = ("auto", "json", "sqlite")
+
+
+def create_cache(backend: str = "auto", path: Optional[str] = None,
+                 capacity: int = 1024, ttl: Optional[float] = None,
+                 max_bytes: Optional[int] = None) -> CacheBackend:
+    """Build a cache backend by name.
+
+    ``"auto"`` picks sqlite when the path carries an sqlite suffix
+    (:data:`SQLITE_SUFFIXES`) and the JSON/LRU fallback otherwise
+    (including the no-path, memory-only case).  TTL and byte budgets are
+    sqlite-only features; requesting them on the JSON backend is an
+    error rather than a silent no-op.
+    """
+    if backend not in BACKENDS:
+        raise EngineError(
+            f"unknown cache backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}")
+    if backend == "auto":
+        backend = "sqlite" if path is not None and \
+            path.lower().endswith(SQLITE_SUFFIXES) else "json"
+    if backend == "sqlite":
+        if path is None:
+            raise EngineError(
+                "the sqlite cache backend requires a cache path")
+        return SqliteCache(path, capacity=capacity, ttl=ttl,
+                           max_bytes=max_bytes)
+    if ttl is not None or max_bytes is not None:
+        raise EngineError(
+            "ttl/max_bytes eviction requires the sqlite cache backend")
+    return ResultCache(capacity=capacity, path=path)
+
+
+# ----------------------------------------------------------------------
+# Warming manifests
+# ----------------------------------------------------------------------
+def write_manifest(path: str, keys: Sequence[str]) -> int:
+    """Write a manifest of hot fingerprints; returns the key count.
+
+    Typically fed from :meth:`CacheBackend.hot_keys` at the end of a
+    run, and consumed by :meth:`CacheBackend.warm_from_manifest` (or the
+    ``--warm-manifest`` CLI flags) before the next deployment takes
+    traffic.
+    """
+    payload = {"version": _MANIFEST_VERSION,
+               "keys": [str(key) for key in keys]}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.remove(temp_path)
+        raise
+    return len(payload["keys"])
+
+
+def read_manifest(path: str) -> List[str]:
+    """Read a warming manifest; raises :class:`EngineError` when the
+    file is missing or malformed."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise EngineError(
+            f"cannot read warming manifest {path!r}: {exc}") from None
+    if not isinstance(payload, dict) \
+            or payload.get("version") != _MANIFEST_VERSION \
+            or not isinstance(payload.get("keys"), list):
+        raise EngineError(
+            f"not a warming manifest: {path!r}")
+    return [str(key) for key in payload["keys"]]

@@ -17,15 +17,18 @@ same job share one computation instead of racing to repeat it.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.engine.cache import MISS, CacheStats, ResultCache
+from repro.engine.cache import MISS, CacheBackend, CacheStats, create_cache
 from repro.engine.jobs import Job
 from repro.engine.pool import WorkerPool
 from repro.errors import EngineError
+
+log = logging.getLogger("repro.engine")
 
 
 @dataclass
@@ -39,6 +42,7 @@ class EngineStats:
     cache: Dict[str, float] = field(default_factory=dict)
     coalesced: int = 0
     inflight: int = 0
+    cache_backend: str = "json"
 
     def summary(self) -> str:
         """A compact human-readable stats line."""
@@ -101,19 +105,34 @@ class Engine:
         Worker processes for shardable jobs (``None`` = CPU count;
         1 = fully serial, no subprocesses).
     cache:
-        A pre-built :class:`ResultCache` to share between engines;
-        mutually exclusive with ``cache_capacity``/``cache_path``.
+        A pre-built :class:`~repro.engine.cache.CacheBackend` to share
+        between engines; mutually exclusive with the other ``cache_*``
+        parameters.
     cache_capacity:
-        LRU capacity of the engine-owned cache.
+        Entry capacity of the engine-owned cache.
     cache_path:
-        Optional JSON file backing the cache across sessions; loaded on
-        construction when present, written by :meth:`save_cache`.
+        Optional store file backing the cache across sessions (JSON for
+        the ``json`` backend, an sqlite database for ``sqlite``).
+    cache_backend:
+        ``"json"``, ``"sqlite"``, or ``"auto"`` (sqlite for
+        ``.db``/``.sqlite``/``.sqlite3`` paths, JSON otherwise); see
+        :func:`~repro.engine.cache.create_cache`.
+    cache_ttl / cache_max_bytes:
+        Expiry and byte-budget eviction (sqlite backend only).
+    warm_manifest:
+        Optional manifest of hot fingerprints
+        (:func:`~repro.engine.cache.write_manifest`) pre-warmed into
+        the cache before the first job runs.
     """
 
     def __init__(self, workers: Optional[int] = 1,
-                 cache: Optional[ResultCache] = None,
+                 cache: Optional[CacheBackend] = None,
                  cache_capacity: int = 1024,
-                 cache_path: Optional[str] = None):
+                 cache_path: Optional[str] = None,
+                 cache_backend: str = "auto",
+                 cache_ttl: Optional[float] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 warm_manifest: Optional[str] = None):
         self.pool = WorkerPool(workers)
         if cache is not None:
             if cache_path is not None:
@@ -121,8 +140,15 @@ class Engine:
                     "pass either a cache object or a cache_path, not both")
             self.cache = cache
         else:
-            self.cache = ResultCache(capacity=cache_capacity,
-                                     path=cache_path)
+            self.cache = create_cache(backend=cache_backend,
+                                      path=cache_path,
+                                      capacity=cache_capacity,
+                                      ttl=cache_ttl,
+                                      max_bytes=cache_max_bytes)
+        if warm_manifest is not None:
+            warmed = self.cache.warm_from_manifest(warm_manifest)
+            log.info("warmed %d cache entries from manifest %r",
+                     warmed, warm_manifest)
         self._pending: List[Job] = []
         self.submitted = 0
         self.executed = 0
@@ -190,15 +216,28 @@ class Engine:
                 f"expected an engine Job, got {type(job).__name__}")
         key = job.fingerprint()
         start = time.perf_counter()
+        # The warm-path lookup runs *outside* the engine lock so that a
+        # backend with genuinely concurrent readers (sqlite WAL) serves
+        # parallel cache hits in parallel; only the miss path takes the
+        # lock to join or found an in-flight computation.
+        cached = self.cache.get(key)
+        if cached is not MISS:
+            result = job.decode_result(cached) if job.persistable \
+                else cached
+            return RunOutcome(result, key, True, False,
+                              time.perf_counter() - start)
         with self._lock:
-            cached = self.cache.get(key)
-            if cached is not MISS:
-                result = job.decode_result(cached) if job.persistable \
-                    else cached
-                return RunOutcome(result, key, True, False,
-                                  time.perf_counter() - start)
             entry = self._inflight.get(key)
             if entry is None:
+                # Re-check under the lock (stats-free peek): a leader
+                # may have finished between the lookup above and here,
+                # and becoming leader again would recompute it.
+                cached = self.cache.peek(key)
+                if cached is not MISS:
+                    result = job.decode_result(cached) \
+                        if job.persistable else cached
+                    return RunOutcome(result, key, True, False,
+                                      time.perf_counter() - start)
                 entry = _InFlight()
                 self._inflight[key] = entry
                 leader = True
@@ -282,8 +321,15 @@ class Engine:
                                cache_size=len(self.cache),
                                cache=cache_stats.as_dict(),
                                coalesced=self.coalesced,
-                               inflight=len(self._inflight))
+                               inflight=len(self._inflight),
+                               cache_backend=self.cache.name)
 
     def save_cache(self, path: Optional[str] = None) -> int:
-        """Persist cacheable results to JSON; returns the entry count."""
+        """Persist cacheable results to the backend's store file;
+        returns the entry count."""
         return self.cache.save(path)
+
+    def warm_cache(self, manifest: str) -> int:
+        """Warm the cache from a manifest of hot fingerprints; returns
+        how many were found in the backing store."""
+        return self.cache.warm_from_manifest(manifest)

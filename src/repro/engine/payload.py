@@ -1,0 +1,179 @@
+"""Binary cache-payload codec: JSON-safe values ⇄ compact byte blobs.
+
+The engine's persistable jobs encode their results as JSON-safe values
+(:meth:`~repro.engine.jobs.Job.encode_result`).  Matrix-shaped results —
+sweep surfaces, Monte Carlo counter rows, uncertainty sample vectors —
+are dominated by long homogeneous lists of floats, and serializing those
+through JSON text costs one ``repr``/parse round trip per number on
+every store *and* every read.
+
+This codec keeps the JSON-safe value model but stores the numeric bulk
+as raw little-endian arrays (npy-style: dtype + length + buffer), with a
+small JSON *skeleton* describing the surrounding structure:
+
+``encode_payload(value)``
+    → ``MAGIC | version | skeleton length | skeleton JSON | arrays``
+
+``decode_payload(blob)``
+    → a value that compares equal to the original (floats bit-exact —
+    binary float64 is lossless, unlike decimal text).
+
+Only *homogeneous* runs are packed: a list of ≥ :data:`MIN_PACK`
+elements that are all ``float`` or all 64-bit ``int`` (``bool`` is
+never packed — it is a distinct JSON type).  Everything else stays in
+the skeleton verbatim, so arbitrary JSON-safe values round-trip.
+
+The codec is what lets :class:`~repro.engine.cache.SqliteCache` store
+results as single BLOB columns while keeping payloads value-equal with
+the JSON backend (the cross-backend conformance suite asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from typing import Any, List, Tuple
+
+from repro.errors import EngineError
+
+#: File magic of one encoded payload ("Repro Binary Payload").
+MAGIC = b"RBP1"
+
+#: Codec version written into every blob.
+VERSION = 1
+
+#: Minimum list length worth hoisting into the binary section; shorter
+#: lists stay as JSON in the skeleton (the framing would cost more than
+#: it saves).
+MIN_PACK = 8
+
+#: Skeleton marker for a packed array: ``{_BLOB: array_index}``.
+_BLOB = "__repro_blob__"
+#: Skeleton marker escaping a user dict that contains a marker key.
+_ESC = "__repro_esc__"
+
+_HEADER = struct.Struct("<4sBI")
+_ARRAY_HEADER = struct.Struct("<BQ")
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+
+def _pack_dtype(values: list) -> str:
+    """The array typecode for a packable list, or ``""`` when mixed.
+
+    Exact ``type`` checks on purpose: ``bool`` is a subclass of ``int``
+    but a distinct JSON type, and mixed int/float lists must round-trip
+    their element types, so both fall through to the JSON skeleton.
+    """
+    if len(values) < MIN_PACK:
+        return ""
+    first = type(values[0])
+    if first is float:
+        return "d" if all(type(v) is float for v in values) else ""
+    if first is int:
+        if all(type(v) is int and _INT64_MIN <= v <= _INT64_MAX
+               for v in values):
+            return "q"
+    return ""
+
+
+def _strip(value: Any, arrays: List[Tuple[str, list]]) -> Any:
+    """Replace packable lists with markers, collecting the arrays."""
+    if isinstance(value, list):
+        dtype = _pack_dtype(value)
+        if dtype:
+            arrays.append((dtype, value))
+            return {_BLOB: len(arrays) - 1, "d": dtype}
+        return [_strip(item, arrays) for item in value]
+    if isinstance(value, dict):
+        stripped = {key: _strip(item, arrays)
+                    for key, item in value.items()}
+        if _BLOB in value or _ESC in value:
+            return {_ESC: stripped}
+        return stripped
+    return value
+
+
+def _rebuild(value: Any, arrays: List[list]) -> Any:
+    """Inverse of :func:`_strip`: resolve markers back into lists."""
+    if isinstance(value, list):
+        return [_rebuild(item, arrays) for item in value]
+    if isinstance(value, dict):
+        if _ESC in value:
+            # An escaped user dict: rebuild its values, but never
+            # interpret the dict itself as a marker again.
+            return {key: _rebuild(item, arrays)
+                    for key, item in value[_ESC].items()}
+        if _BLOB in value:
+            return arrays[value[_BLOB]]
+        return {key: _rebuild(item, arrays)
+                for key, item in value.items()}
+    return value
+
+
+def encode_payload(value: Any) -> bytes:
+    """Serialize one JSON-safe value to a self-describing binary blob."""
+    arrays: List[Tuple[str, list]] = []
+    skeleton = _strip(value, arrays)
+    try:
+        header = json.dumps(skeleton, sort_keys=True,
+                            separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise EngineError(
+            f"cache payload is not JSON-safe: {exc}") from None
+    parts = [_HEADER.pack(MAGIC, VERSION, len(header)), header]
+    for dtype, values in arrays:
+        buffer = array(dtype, values)
+        if sys.byteorder == "big":  # pragma: no cover - LE hardware
+            buffer.byteswap()
+        parts.append(_ARRAY_HEADER.pack(ord(dtype), len(values)))
+        parts.append(buffer.tobytes())
+    return b"".join(parts)
+
+
+def decode_payload(blob: bytes) -> Any:
+    """Inverse of :func:`encode_payload`; raises ``EngineError`` on a
+    truncated or foreign blob (cache corruption surfaces here)."""
+    if len(blob) < _HEADER.size:
+        raise EngineError("cache payload is truncated")
+    magic, version, header_len = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise EngineError(
+            f"not a cache payload (bad magic {magic!r})")
+    if version != VERSION:
+        raise EngineError(
+            f"unsupported cache payload version {version}")
+    offset = _HEADER.size
+    header = blob[offset:offset + header_len]
+    if len(header) != header_len:
+        raise EngineError("cache payload is truncated")
+    offset += header_len
+    try:
+        skeleton = json.loads(header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise EngineError(
+            f"corrupt cache payload skeleton: {exc}") from None
+    arrays: List[list] = []
+    while offset < len(blob):
+        if len(blob) - offset < _ARRAY_HEADER.size:
+            raise EngineError("cache payload is truncated")
+        code, count = _ARRAY_HEADER.unpack_from(blob, offset)
+        offset += _ARRAY_HEADER.size
+        dtype = chr(code)
+        if dtype not in ("d", "q"):
+            raise EngineError(
+                f"corrupt cache payload: unknown dtype {dtype!r}")
+        buffer = array(dtype)
+        nbytes = count * buffer.itemsize
+        chunk = blob[offset:offset + nbytes]
+        if len(chunk) != nbytes:
+            raise EngineError("cache payload is truncated")
+        buffer.frombytes(chunk)
+        if sys.byteorder == "big":  # pragma: no cover - LE hardware
+            buffer.byteswap()
+        offset += nbytes
+        arrays.append(buffer.tolist())
+    return _rebuild(skeleton, arrays)

@@ -53,7 +53,11 @@ class ServerConfig:
     port: int = 8080
     workers: int = 1
     cache_path: Optional[str] = None
+    cache_backend: str = "auto"
     cache_capacity: int = 4096
+    cache_ttl: Optional[float] = None
+    cache_max_bytes: Optional[int] = None
+    warm_manifest: Optional[str] = None
     max_concurrency: int = 8
     queue_limit: int = 32
     request_timeout: float = 60.0
@@ -91,7 +95,11 @@ class RiskServer:
         self.engine = engine if engine is not None else Engine(
             workers=self.config.workers,
             cache_path=self.config.cache_path,
-            cache_capacity=self.config.cache_capacity)
+            cache_backend=self.config.cache_backend,
+            cache_capacity=self.config.cache_capacity,
+            cache_ttl=self.config.cache_ttl,
+            cache_max_bytes=self.config.cache_max_bytes,
+            warm_manifest=self.config.warm_manifest)
         self.registry = JobRegistry(history=self.config.history)
         self.started_at = time.time()
         self.accepted = 0

@@ -86,17 +86,36 @@ class TestPersistence:
         with pytest.raises(EngineError):
             ResultCache(capacity=2).save()
 
-    def test_load_rejects_corrupt_file(self, tmp_path):
+    def test_explicit_load_rejects_corrupt_file(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text("{not json")
         with pytest.raises(EngineError):
-            ResultCache(capacity=2, path=str(path))
+            ResultCache(capacity=2).load(str(path))
 
-    def test_load_rejects_unknown_version(self, tmp_path):
+    def test_constructor_quarantines_corrupt_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = ResultCache(capacity=2, path=str(path))
+        assert len(cache) == 0
+        assert cache.get("anything") is MISS
+        assert (tmp_path / "cache.json.corrupt").exists()
+        # The store is usable again: a save-and-reload round trips.
+        cache.put("k", 1.0)
+        cache.save()
+        assert ResultCache(capacity=2, path=str(path)).get("k") == 1.0
+
+    def test_explicit_load_rejects_unknown_version(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text(json.dumps({"version": 99, "entries": {}}))
         with pytest.raises(EngineError):
-            ResultCache(capacity=2, path=str(path))
+            ResultCache(capacity=2).load(str(path))
+
+    def test_constructor_quarantines_unknown_version(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        cache = ResultCache(capacity=2, path=str(path))
+        assert len(cache) == 0
+        assert (tmp_path / "cache.json.corrupt").exists()
 
     def test_save_is_atomic(self, tmp_path):
         path = str(tmp_path / "cache.json")

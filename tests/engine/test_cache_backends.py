@@ -1,0 +1,442 @@
+"""Cross-backend cache conformance: every backend behaves identically.
+
+One suite runs against both the JSON/LRU fallback and the sqlite store:
+round trips (payloads value-equal across backends), LRU eviction,
+statistics, warming manifests, persistence across instances, and
+corruption recovery.  Backend-specific behaviour (TTL, byte budgets,
+WAL concurrency) gets its own classes below.
+"""
+
+import json
+import multiprocessing
+import os
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    Engine,
+    QuantifyJob,
+    ResultCache,
+    SqliteCache,
+    create_cache,
+    read_manifest,
+    write_manifest,
+)
+from repro.engine.cache import MISS
+from repro.errors import EngineError
+from repro.fta import FaultTree
+from repro.fta.dsl import AND, hazard, primary
+
+
+def small_tree() -> FaultTree:
+    """A two-leaf tree with default probabilities (cacheable as-is)."""
+    return FaultTree(hazard("H", gate=AND(
+        "g", primary("a", 0.01), primary("b", 0.02)).gate))
+
+#: Representative persistable payloads: scalars, matrix-shaped sweep
+#: results, Monte Carlo envelopes, nested metadata.
+PAYLOADS = {
+    "scalar": 0.0003196,
+    "none": None,
+    "sweep": {"points": [{"T1": float(i), "T2": float(j)}
+                         for i in range(8) for j in range(8)],
+              "values": [0.001 * i for i in range(64)]},
+    "mc": {"probability": 2.5e-4, "ci_low": 1e-4, "ci_high": 4e-4,
+           "samples": 100000, "confidence": 0.95},
+    "meta": {"flags": [True, False], "name": "tree-ü",
+             "counts": list(range(40)), "empty": [], "sub": {"x": [0, 1.5]}},
+}
+
+
+@pytest.fixture(params=["json", "sqlite"])
+def make_cache(request, tmp_path):
+    """Factory building a persistent cache of the parametrized backend.
+
+    Repeated calls reuse the same store path, so a second instance sees
+    the first one's persisted entries.  The sqlite backend is built with
+    ``recency_resolution=0`` so recency-sensitive LRU assertions hold
+    exactly (the production default coalesces recency writes).
+    """
+    suffix = {"json": "store.json", "sqlite": "store.db"}[request.param]
+    path = str(tmp_path / suffix)
+
+    def _make(capacity=64, **kwargs):
+        if request.param == "sqlite":
+            return SqliteCache(path, capacity=capacity,
+                               recency_resolution=0.0, **kwargs)
+        return ResultCache(capacity=capacity, path=path)
+
+    _make.backend = request.param
+    _make.path = path
+    return _make
+
+
+class TestConformance:
+    def test_round_trip_values(self, make_cache):
+        cache = make_cache()
+        for key, value in PAYLOADS.items():
+            cache.put(key, value)
+        for key, value in PAYLOADS.items():
+            assert cache.get(key) == value
+        assert cache.get("absent") is MISS
+
+    def test_round_trip_across_instances(self, make_cache):
+        cache = make_cache()
+        for key, value in PAYLOADS.items():
+            cache.put(key, value)
+        cache.save()
+        cache.close()
+        reloaded = make_cache()
+        for key, value in PAYLOADS.items():
+            assert reloaded.get(key) == value
+
+    def test_stats_counters(self, make_cache):
+        cache = make_cache()
+        assert cache.get("k") is MISS
+        cache.put("k", 1.5)
+        assert cache.get("k") == 1.5
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_peek_skips_stats_and_recency(self, make_cache):
+        cache = make_cache(capacity=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.peek("a") == 1.0
+        assert cache.peek("absent") is MISS
+        assert cache.stats.lookups == 0
+        # peek did not refresh "a": it is still the LRU victim.
+        cache.put("c", 3.0)
+        assert cache.peek("a") is MISS
+        assert cache.peek("b") == 2.0
+
+    def test_lru_eviction_order(self, make_cache):
+        cache = make_cache(capacity=2)
+        cache.put("a", 1.0)
+        time.sleep(0.002)
+        cache.put("b", 2.0)
+        time.sleep(0.002)
+        cache.get("a")                # refresh a; b is now LRU
+        time.sleep(0.002)
+        cache.put("c", 3.0)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1.0
+        assert cache.get("c") == 3.0
+        assert cache.stats.evictions == 1
+
+    def test_contains_and_len(self, make_cache):
+        cache = make_cache()
+        cache.put("a", 1.0)
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_clear_keeps_stats(self, make_cache):
+        cache = make_cache()
+        cache.put("a", 1.0)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is MISS
+        assert cache.stats.hits == 1
+
+    def test_memory_only_entries_do_not_persist(self, make_cache):
+        cache = make_cache()
+        marker = object()
+        cache.put("mem", marker, persist=False)
+        cache.put("disk", 1.0)
+        assert cache.get("mem") is marker
+        cache.save()
+        cache.close()
+        reloaded = make_cache()
+        assert reloaded.get("mem") is MISS
+        assert reloaded.get("disk") == 1.0
+
+    def test_hot_keys_order(self, make_cache):
+        cache = make_cache()
+        for i in range(4):
+            cache.put(f"k{i}", float(i))
+            time.sleep(0.002)
+        cache.get("k0")               # k0 becomes hottest
+        time.sleep(0.002)
+        hot = cache.hot_keys(limit=2)
+        assert hot[0] == "k0"
+        assert len(hot) == 2
+
+    def test_warming_from_manifest(self, make_cache, tmp_path):
+        cache = make_cache()
+        for key, value in PAYLOADS.items():
+            cache.put(key, value)
+        manifest = str(tmp_path / "hot.json")
+        assert write_manifest(
+            manifest, list(PAYLOADS) + ["gone"]) == len(PAYLOADS) + 1
+        assert read_manifest(manifest) == list(PAYLOADS) + ["gone"]
+        cache.save()
+        cache.close()
+        fresh = make_cache()
+        warmed = fresh.warm_from_manifest(manifest)
+        assert warmed == len(PAYLOADS)       # "gone" was never stored
+        assert fresh.stats.lookups == 0      # warming is not workload
+        for key, value in PAYLOADS.items():
+            assert fresh.get(key) == value
+
+    def test_warming_marks_entries_hot(self, make_cache):
+        cache = make_cache(capacity=2)
+        cache.put("cold", 1.0)
+        time.sleep(0.002)
+        cache.put("other", 2.0)
+        time.sleep(0.002)
+        assert cache.warm(["cold"]) == 1
+        time.sleep(0.002)
+        cache.put("new", 3.0)        # evicts "other", not warmed "cold"
+        assert cache.peek("cold") == 1.0
+        assert cache.peek("other") is MISS
+
+    def test_corrupt_store_recovers_empty(self, make_cache):
+        with open(make_cache.path, "wb") as handle:
+            handle.write(b"\x13garbage that is neither json nor sqlite")
+        cache = make_cache()
+        assert len(cache) == 0
+        assert cache.get("anything") is MISS
+        assert os.path.exists(make_cache.path + ".corrupt")
+        # And the store works again afterwards.
+        cache.put("k", 1.0)
+        cache.save()
+        cache.close()
+        assert make_cache().get("k") == 1.0
+
+    def test_info_payload(self, make_cache):
+        cache = make_cache(capacity=8)
+        cache.put("a", 1.0)
+        cache.get("a")
+        cache.get("b")
+        info = cache.info()
+        assert info["backend"] == make_cache.backend
+        assert info["size"] == 1
+        assert info["capacity"] == 8
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert "evictions" in info
+        assert json.dumps(info)      # JSON-safe for /stats
+
+    def test_engine_round_trip_through_backend(self, make_cache):
+        engine = Engine(workers=1, cache=make_cache())
+        first = engine.run_shared(QuantifyJob(small_tree()))
+        second = engine.run_shared(QuantifyJob(small_tree()))
+        assert not first.cache_hit and second.cache_hit
+        assert second.result == first.result
+        assert engine.executed == 1
+        assert engine.stats().cache_backend == make_cache.backend
+
+
+class TestCrossBackend:
+    def test_payloads_value_equal_across_backends(self, tmp_path):
+        json_cache = ResultCache(capacity=64,
+                                 path=str(tmp_path / "a.json"))
+        sqlite_cache = SqliteCache(str(tmp_path / "a.db"), capacity=64)
+        for key, value in PAYLOADS.items():
+            json_cache.put(key, value)
+            sqlite_cache.put(key, value)
+        for key in PAYLOADS:
+            assert json_cache.get(key) == sqlite_cache.get(key)
+
+    def test_engine_results_identical_across_backends(self, tmp_path):
+        tree = small_tree()
+        results = {}
+        for backend, name in (("json", "c.json"), ("sqlite", "c.db")):
+            engine = Engine(workers=1, cache_path=str(tmp_path / name),
+                            cache_backend=backend)
+            cold = engine.run_shared(QuantifyJob(tree))
+            warm = engine.run_shared(QuantifyJob(tree))
+            assert warm.cache_hit
+            assert warm.result == cold.result
+            results[backend] = warm.result
+        assert results["json"] == results["sqlite"]
+
+
+class TestCreateCache:
+    def test_auto_picks_backend_by_suffix(self, tmp_path):
+        for suffix in (".db", ".sqlite", ".sqlite3"):
+            cache = create_cache(path=str(tmp_path / f"s{suffix}"))
+            assert cache.name == "sqlite"
+        assert create_cache(path=str(tmp_path / "s.json")).name == "json"
+        assert create_cache().name == "json"
+
+    def test_explicit_backends(self, tmp_path):
+        assert create_cache(backend="json").name == "json"
+        cache = create_cache(backend="sqlite",
+                             path=str(tmp_path / "x.db"),
+                             ttl=60.0, max_bytes=1 << 20)
+        assert cache.name == "sqlite"
+        assert cache.ttl == 60.0
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(EngineError):
+            create_cache(backend="redis")
+
+    def test_sqlite_requires_path(self):
+        with pytest.raises(EngineError):
+            create_cache(backend="sqlite")
+
+    def test_json_rejects_ttl_and_budget(self, tmp_path):
+        with pytest.raises(EngineError):
+            create_cache(backend="json", ttl=10.0)
+        with pytest.raises(EngineError):
+            create_cache(backend="json", max_bytes=100)
+
+    def test_engine_wires_backend_selection(self, tmp_path):
+        engine = Engine(workers=1,
+                        cache_path=str(tmp_path / "engine.db"))
+        assert engine.cache.name == "sqlite"
+        engine = Engine(workers=1,
+                        cache_path=str(tmp_path / "engine.json"))
+        assert engine.cache.name == "json"
+
+
+class TestSqliteSpecific:
+    def test_ttl_expiry_reads_as_miss(self, tmp_path):
+        cache = SqliteCache(str(tmp_path / "t.db"), ttl=0.05)
+        cache.put("k", 1.0)
+        assert cache.get("k") == 1.0
+        time.sleep(0.1)
+        assert cache.get("k") is MISS
+        assert cache.stats.evictions == 1
+        assert "k" not in cache
+
+    def test_ttl_purge_on_put(self, tmp_path):
+        cache = SqliteCache(str(tmp_path / "t.db"), ttl=0.05)
+        cache.put("old", 1.0)
+        time.sleep(0.1)
+        cache.put("new", 2.0)
+        assert cache.stats.evictions == 1
+        assert len(cache) == 1
+
+    def test_max_bytes_evicts_oldest(self, tmp_path):
+        cache = SqliteCache(str(tmp_path / "b.db"), max_bytes=4096,
+                            recency_resolution=0.0)
+        big = [1.0] * 40               # ~370 bytes encoded
+        for i in range(32):
+            cache.put(f"k{i}", big)
+            time.sleep(0.001)
+        assert cache.stats.evictions > 0
+        total = sum(row[0] for row in sqlite3.connect(
+            str(tmp_path / "b.db")).execute(
+            "SELECT nbytes FROM cache"))
+        assert total <= 4096
+        assert cache.peek("k31") == big       # newest survives
+        assert cache.peek("k0") is MISS       # oldest evicted
+
+    def test_oversized_entry_still_lands(self, tmp_path):
+        cache = SqliteCache(str(tmp_path / "b.db"), max_bytes=64)
+        cache.put("huge", [1.0] * 1000)
+        assert cache.get("huge") == [1.0] * 1000
+
+    def test_ttl_validation(self, tmp_path):
+        with pytest.raises(EngineError):
+            SqliteCache(str(tmp_path / "x.db"), ttl=0)
+        with pytest.raises(EngineError):
+            SqliteCache(str(tmp_path / "x.db"), max_bytes=-1)
+
+    def test_wal_mode_is_active(self, tmp_path):
+        cache = SqliteCache(str(tmp_path / "w.db"))
+        cache.put("k", 1.0)
+        mode = cache._conn().execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_save_to_other_path_backs_up(self, tmp_path):
+        cache = SqliteCache(str(tmp_path / "a.db"))
+        cache.put("k", [1.0] * 100)
+        assert cache.save(str(tmp_path / "copy.db")) == 1
+        copy = SqliteCache(str(tmp_path / "copy.db"))
+        assert copy.get("k") == [1.0] * 100
+
+    def test_load_merges_other_store(self, tmp_path):
+        donor = SqliteCache(str(tmp_path / "donor.db"))
+        donor.put("x", 1.0)
+        donor.close()
+        cache = SqliteCache(str(tmp_path / "main.db"))
+        cache.put("y", 2.0)
+        assert cache.load(str(tmp_path / "donor.db")) == 1
+        assert cache.peek("x") == 1.0 and cache.peek("y") == 2.0
+
+    def test_load_rejects_garbage_file(self, tmp_path):
+        garbage = tmp_path / "garbage.db"
+        garbage.write_bytes(b"not a database at all")
+        cache = SqliteCache(str(tmp_path / "main.db"))
+        with pytest.raises(EngineError):
+            cache.load(str(garbage))
+
+    def test_truncated_database_recovers(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        cache = SqliteCache(path)
+        cache.put("k", [1.0] * 500)
+        cache.save()
+        cache.close()
+        with open(path, "r+b") as handle:   # truncate mid-page
+            handle.truncate(100)
+        recovered = SqliteCache(path)
+        assert recovered.get("k") is MISS
+        recovered.put("k2", 2.0)
+        assert recovered.get("k2") == 2.0
+
+    def test_concurrent_threads_read_and_write(self, tmp_path):
+        cache = SqliteCache(str(tmp_path / "c.db"), capacity=512)
+        for i in range(16):
+            cache.put(f"seed-{i}", [float(i)] * 32)
+        errors = []
+
+        def hammer(index):
+            try:
+                for i in range(40):
+                    key = f"seed-{(index + i) % 16}"
+                    assert cache.get(key) == [float((index + i) % 16)] * 32
+                    cache.put(f"w{index}-{i}", {"v": i})
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.stats.hits == 8 * 40
+        assert cache.stats.puts == 16 + 8 * 40
+
+
+def _read_worker(path, keys, out):
+    cache = SqliteCache(path)
+    try:
+        out.put([cache.get(key) is not MISS for key in keys])
+    finally:
+        cache.close()
+
+
+class TestMultiProcess:
+    def test_processes_share_one_store(self, tmp_path):
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            pytest.skip("fork start method unavailable")
+        path = str(tmp_path / "shared.db")
+        cache = SqliteCache(path)
+        keys = [f"k{i}" for i in range(8)]
+        for key in keys:
+            cache.put(key, PAYLOADS["sweep"])
+        cache.save()
+        out = context.Queue()
+        procs = [context.Process(target=_read_worker,
+                                 args=(path, keys, out))
+                 for _ in range(3)]
+        for proc in procs:
+            proc.start()
+        results = [out.get(timeout=30) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=30)
+        assert all(all(found) for found in results)

@@ -1,0 +1,154 @@
+"""Binary payload codec: exact round trips for JSON-safe values."""
+
+import json
+import random
+
+import pytest
+
+from repro.engine.payload import (
+    MAGIC,
+    MIN_PACK,
+    decode_payload,
+    encode_payload,
+)
+from repro.errors import EngineError
+
+
+def roundtrip(value):
+    blob = encode_payload(value)
+    assert isinstance(blob, bytes)
+    decoded = decode_payload(blob)
+    assert decoded == value
+    return blob, decoded
+
+
+class TestRoundTrip:
+    def test_scalars(self):
+        for value in (None, True, False, 0, -7, 3.5, "text", "",
+                      1.5e-300, 2 ** 80):
+            roundtrip(value)
+
+    def test_plain_containers(self):
+        roundtrip({"a": [1, 2.5, "x"], "b": {"nested": [None, True]}})
+        roundtrip([])
+        roundtrip({})
+
+    def test_long_float_list_is_packed(self):
+        values = [i * 0.1 for i in range(1000)]
+        blob, decoded = roundtrip(values)
+        # Binary floats: ~8 bytes each, far below JSON text.
+        assert len(blob) < len(json.dumps(values).encode())
+        assert all(type(v) is float for v in decoded)
+
+    def test_long_int_list_is_packed(self):
+        blob, decoded = roundtrip(list(range(500)))
+        assert all(type(v) is int for v in decoded)
+
+    def test_short_lists_stay_json(self):
+        values = [0.25] * (MIN_PACK - 1)
+        blob, _decoded = roundtrip(values)
+        # No array section: the blob is header + skeleton only.
+        assert blob.count(b"__repro_blob__") == 0
+
+    def test_mixed_lists_preserve_element_types(self):
+        values = [0, 1.5] * 32          # mixed int/float: not packable
+        _blob, decoded = roundtrip(values)
+        assert [type(v) for v in decoded] == [type(v) for v in values]
+
+    def test_bool_lists_are_never_packed(self):
+        _blob, decoded = roundtrip([True, False] * 32)
+        assert all(type(v) is bool for v in decoded)
+
+    def test_huge_ints_fall_back_to_json(self):
+        values = [2 ** 70] * 32
+        _blob, decoded = roundtrip(values)
+        assert decoded == values
+
+    def test_floats_are_bit_exact(self):
+        values = [random.Random(0).random() for _ in range(256)]
+        _blob, decoded = roundtrip(values)
+        assert all(a.hex() == b.hex() for a, b in zip(values, decoded))
+
+    def test_nested_matrices(self):
+        matrix = [[float(r * c) for c in range(64)] for r in range(32)]
+        roundtrip({"rows": matrix, "meta": {"n": 32}})
+
+    def test_marker_collision_is_escaped(self):
+        tricky = {"__repro_blob__": 0, "payload": [1.0] * 64}
+        roundtrip(tricky)
+        roundtrip({"__repro_esc__": {"__repro_blob__": "x"}})
+        roundtrip([{"__repro_esc__": 1}, {"__repro_blob__": [2.0] * 64}])
+
+    def test_sweep_shaped_payload(self):
+        # The exact shape SweepJob.encode_result persists.
+        payload = {
+            "points": [{"T1": float(i), "T2": float(j)}
+                       for i in range(9) for j in range(9)],
+            "values": [0.001 * i for i in range(81)],
+        }
+        roundtrip(payload)
+
+    def test_random_json_values_roundtrip(self):
+        rng = random.Random(42)
+
+        def value(depth=0):
+            kinds = ["int", "float", "str", "bool", "none"]
+            if depth < 3:
+                kinds += ["list", "dict", "floats", "ints"] * 2
+            kind = rng.choice(kinds)
+            if kind == "int":
+                return rng.randint(-10 ** 12, 10 ** 12)
+            if kind == "float":
+                return rng.uniform(-1e6, 1e6)
+            if kind == "str":
+                return "".join(rng.choice("abc__repro_blob_ü")
+                               for _ in range(rng.randint(0, 8)))
+            if kind == "bool":
+                return rng.random() < 0.5
+            if kind == "none":
+                return None
+            if kind == "floats":
+                return [rng.random() for _ in range(rng.randint(0, 40))]
+            if kind == "ints":
+                return [rng.randint(-5, 5)
+                        for _ in range(rng.randint(0, 40))]
+            if kind == "list":
+                return [value(depth + 1)
+                        for _ in range(rng.randint(0, 5))]
+            return {f"k{i}": value(depth + 1)
+                    for i in range(rng.randint(0, 5))}
+
+        for _ in range(200):
+            roundtrip(value())
+
+    def test_equal_values_encode_identically(self):
+        a = {"x": [1.0] * 32, "y": {"k": 1}}
+        b = {"y": {"k": 1}, "x": [1.0] * 32}
+        assert encode_payload(a) == encode_payload(b)
+
+
+class TestErrors:
+    def test_rejects_non_json_values(self):
+        with pytest.raises(EngineError):
+            encode_payload({"x": object()})
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(EngineError):
+            decode_payload(b"NOPE" + b"\0" * 16)
+
+    def test_rejects_truncation(self):
+        blob = encode_payload({"values": [1.0] * 100})
+        for cut in (0, 3, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(EngineError):
+                decode_payload(blob[:cut])
+
+    def test_rejects_future_version(self):
+        blob = bytearray(encode_payload([1.0]))
+        assert blob[:4] == MAGIC
+        blob[4] = 99
+        with pytest.raises(EngineError):
+            decode_payload(bytes(blob))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(EngineError):
+            decode_payload(b"\x00" * 64)

@@ -284,6 +284,32 @@ class TestShutdown:
         finally:
             second.shutdown(drain=True, timeout=10.0)
 
+    def test_sqlite_cache_backend_in_stats(self, tmp_path):
+        config = ServerConfig(port=0,
+                              cache_path=str(tmp_path / "serve.db"))
+        instance = RiskServer(config).start()
+        try:
+            with ServeClient(instance.host, instance.port,
+                             timeout=10.0) as c:
+                cold = c.results([QUANTIFY])[0]
+                assert cold["cache_hit"] is False
+                cache = c.stats()["cache"]
+                assert cache["backend"] == "sqlite"
+                assert cache["misses"] >= 1
+                assert cache["evictions"] == 0
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+        # The sqlite store survives the server lifetime: a fresh
+        # server answers the same job from disk.
+        second = RiskServer(config).start()
+        try:
+            with ServeClient(second.host, second.port,
+                             timeout=10.0) as c:
+                assert c.results([QUANTIFY])[0]["cache_hit"] is True
+        finally:
+            second.shutdown(drain=True, timeout=10.0)
+
     def test_start_twice_is_an_error(self, server):
         with pytest.raises(ServeError, match="already started"):
             server.start()

@@ -225,6 +225,59 @@ class TestBatchJson:
         assert results[0]["result"] == results[1]["result"]
 
 
+class TestBatchCacheBackends:
+    PAYLOAD = {"jobs": [
+        {"type": "quantify", "tree": "corridor", "method": "exact"}]}
+
+    def run_batch(self, tmp_path, capsys, *extra):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert main(["batch", str(path), "--json", *extra]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_sqlite_cache_warms_across_runs(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.db")
+        cold = self.run_batch(tmp_path, capsys, "--cache", cache)
+        assert cold["stats"]["backend"] == "sqlite"
+        assert cold["results"][0]["cache_hit"] is False
+        # A second CLI invocation is a fresh process in deployment:
+        # the hit must come from the persisted sqlite store.
+        warm = self.run_batch(tmp_path, capsys, "--cache", cache)
+        assert warm["results"][0]["cache_hit"] is True
+        assert warm["results"][0]["result"] == \
+            cold["results"][0]["result"]
+
+    def test_json_backend_picked_for_json_path(self, tmp_path, capsys):
+        output = self.run_batch(tmp_path, capsys,
+                                "--cache", str(tmp_path / "cache.json"))
+        assert output["stats"]["backend"] == "json"
+
+    def test_explicit_backend_overrides_suffix(self, tmp_path, capsys):
+        output = self.run_batch(tmp_path, capsys,
+                                "--cache", str(tmp_path / "cache.store"),
+                                "--cache-backend", "sqlite")
+        assert output["stats"]["backend"] == "sqlite"
+
+    def test_write_then_warm_manifest(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.db")
+        manifest = tmp_path / "hot.json"
+        cold = self.run_batch(tmp_path, capsys, "--cache", cache,
+                              "--write-manifest", str(manifest))
+        keys = json.loads(manifest.read_text())["keys"]
+        assert cold["results"][0]["fingerprint"] in keys
+        warm = self.run_batch(tmp_path, capsys, "--cache", cache,
+                              "--warm-manifest", str(manifest))
+        assert warm["results"][0]["cache_hit"] is True
+
+    def test_ttl_flag_rejected_for_json_backend(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert main(["batch", str(path), "--json",
+                     "--cache", str(tmp_path / "cache.json"),
+                     "--cache-ttl", "60"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestServeCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["serve"])
@@ -232,6 +285,10 @@ class TestServeCommand:
         assert args.port == 8080
         assert args.workers == 1
         assert args.cache is None
+        assert args.cache_backend == "auto"
+        assert args.cache_ttl is None
+        assert args.cache_max_bytes is None
+        assert args.warm_manifest is None
         assert args.max_concurrency == 8
         assert args.queue_limit == 32
         assert args.timeout == 60.0
@@ -239,12 +296,19 @@ class TestServeCommand:
     def test_parser_overrides(self):
         args = build_parser().parse_args(
             ["serve", "--host", "0.0.0.0", "--port", "9000",
-             "--workers", "2", "--cache", "/tmp/c.json",
-             "--cache-capacity", "128", "--max-concurrency", "4",
+             "--workers", "2", "--cache", "/tmp/c.db",
+             "--cache-backend", "sqlite", "--cache-capacity", "128",
+             "--cache-ttl", "3600", "--cache-max-bytes", "1000000",
+             "--warm-manifest", "/tmp/hot.json",
+             "--max-concurrency", "4",
              "--queue-limit", "16", "--timeout", "5"])
         assert args.host == "0.0.0.0" and args.port == 9000
-        assert args.workers == 2 and args.cache == "/tmp/c.json"
+        assert args.workers == 2 and args.cache == "/tmp/c.db"
+        assert args.cache_backend == "sqlite"
         assert args.cache_capacity == 128
+        assert args.cache_ttl == 3600.0
+        assert args.cache_max_bytes == 1_000_000
+        assert args.warm_manifest == "/tmp/hot.json"
         assert args.max_concurrency == 4 and args.queue_limit == 16
         assert args.timeout == 5.0
 
