@@ -24,12 +24,16 @@ The implementation is an index-based *arena* kernel:
   whole ``(batch, n_vars)`` probability matrix,
 * :func:`~repro.bdd.mcs.minimal_cut_sets` extracts prime implicants of the
   monotone function via Rauzy's minimal-solutions construction on integer
-  bitmasks with popcount-grouped absorption.
+  bitmasks with popcount-grouped absorption,
+* :func:`~repro.bdd.sift.sift` dynamically reorders variables (Rudell
+  sifting over an adjacent-level-swap primitive) for diagrams that blow
+  up under the static orders.
 """
 
 from repro.bdd.manager import FALSE, TRUE, BDDManager, Node
 from repro.bdd.mcs import minimal_cut_sets
 from repro.bdd.prob import probability, probability_batch
+from repro.bdd.sift import SiftResult, sift
 
 __all__ = [
     "BDDManager",
@@ -39,4 +43,6 @@ __all__ = [
     "probability",
     "probability_batch",
     "minimal_cut_sets",
+    "SiftResult",
+    "sift",
 ]

@@ -538,6 +538,18 @@ class BDDManager:
         """Number of decision nodes reachable from ``node``."""
         return len(self.topological_indices(node))
 
+    def sift(self, node: Node, max_growth: float = 1.2, rounds: int = 1):
+        """Dynamically reorder variables to shrink the diagram at ``node``.
+
+        Runs Rudell sifting on a detached levelized copy (this arena is
+        append-only and cannot swap levels in place) and returns a
+        :class:`repro.bdd.sift.SiftResult` whose ``manager``/``root``
+        hold the same function under the improved order.  This arena and
+        every diagram in it stay valid and unchanged.
+        """
+        from repro.bdd.sift import sift as _sift
+        return _sift(self, node, max_growth=max_growth, rounds=rounds)
+
     def evaluate(self, node: Node, assignment: Dict[str, bool]) -> bool:
         """Evaluate the function for a full variable assignment."""
         vars_, lows, highs = self._vars, self._lows, self._highs

@@ -1,0 +1,297 @@
+"""Dynamic variable reordering (Rudell sifting) for the arena kernel.
+
+The static orders of :mod:`repro.fta.quantify` are heuristics; adversarial
+trees exist where every static order produces an exponentially large BDD
+while some interleaving stays linear.  This module adds the classic
+remedy: *sifting* (Rudell 1993).  Each variable is moved through every
+order position via adjacent-level swaps — a purely local operation that
+only rewrites nodes on the two swapped levels — and left at the position
+minimizing the diagram size.
+
+The arena :class:`~repro.bdd.manager.BDDManager` is append-only and relies
+on ascending arena index being a topological order, so levels cannot be
+swapped in place there.  Sifting therefore runs on a detached *levelized*
+copy (:class:`_Levelized`): dict-based node tables with reference counts
+and a live unique table, supporting in-place adjacent swaps, then rebuilt
+bottom-up into a fresh manager whose variable registration order is the
+final level order.
+
+Entry points: :func:`sift` / :meth:`BDDManager.sift`, returning a
+:class:`SiftResult` with the new manager, root, order, and size counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from repro.errors import BDDError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.bdd.manager import BDDManager, Node
+
+
+@dataclass(frozen=True)
+class SiftResult:
+    """Outcome of one sifting run.
+
+    ``manager``/``root`` are a fresh arena holding the same function under
+    the sifted order; ``order`` is the final variable order (top level
+    first); ``size_before``/``size_after`` count decision nodes; ``swaps``
+    counts adjacent-level exchanges performed while searching.
+    """
+
+    manager: "BDDManager"
+    root: "Node"
+    order: Tuple[str, ...]
+    size_before: int
+    size_after: int
+    swaps: int
+
+    @property
+    def shrank(self) -> bool:
+        return self.size_after < self.size_before
+
+
+class _Levelized:
+    """A mutable, levelized, reference-counted copy of one diagram.
+
+    Nodes are integer ids; 0/1 are the terminals.  ``_var`` maps a node to
+    its *variable id* (stable across reordering), while ``_level_of`` /
+    ``_var_at`` translate between variable ids and order positions.  The
+    unique table spans all levels, keyed ``(var, low, high)``.  Reference
+    counts (the root holds one) keep the tables garbage-free: dead nodes
+    are removed eagerly, so ``len(self._var)`` *is* the diagram size.
+    """
+
+    def __init__(self, manager: "BDDManager", root: "Node"):
+        vars_, lows, highs = manager.arena
+        self._var: Dict[int, int] = {}
+        self._low: Dict[int, int] = {}
+        self._high: Dict[int, int] = {}
+        self._ref: Dict[int, int] = {}
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self.root = root.index
+        for index in manager.topological_indices(root):
+            var, low, high = vars_[index], lows[index], highs[index]
+            self._var[index] = var
+            self._low[index] = low
+            self._high[index] = high
+            self._unique[(var, low, high)] = index
+            for child in (low, high):
+                if child > 1:
+                    self._ref[child] = self._ref.get(child, 0) + 1
+        if self.root > 1:
+            self._ref[self.root] = self._ref.get(self.root, 0) + 1
+        self._next_id = len(vars_)
+        count = manager.var_count
+        self._level_of: List[int] = list(range(count))
+        self._var_at: List[int] = list(range(count))
+        self.swaps = 0
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Live decision-node count (tables hold no garbage)."""
+        return len(self._var)
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create without touching reference counts of the result."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = self._next_id
+            self._next_id += 1
+            self._var[node] = var
+            self._low[node] = low
+            self._high[node] = high
+            self._ref[node] = 0
+            self._unique[key] = node
+            for child in (low, high):
+                if child > 1:
+                    self._ref[child] += 1
+        return node
+
+    def _incref(self, node: int) -> None:
+        if node > 1:
+            self._ref[node] += 1
+
+    def _decref(self, node: int) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current < 2:
+                continue
+            self._ref[current] -= 1
+            if self._ref[current] == 0:
+                low, high = self._low[current], self._high[current]
+                stack.append(low)
+                stack.append(high)
+                del self._unique[(self._var[current], low, high)]
+                del self._var[current]
+                del self._low[current]
+                del self._high[current]
+                del self._ref[current]
+
+    # ------------------------------------------------------------------
+    # The adjacent-swap primitive
+    # ------------------------------------------------------------------
+    def swap(self, level: int) -> None:
+        """Exchange ``level`` and ``level + 1`` without changing the function.
+
+        Nodes of the upper variable ``u`` with no cofactor labelled by the
+        lower variable ``v`` simply sink one level (same triple, nothing
+        to do).  The others are rewritten *in place* — keeping their id,
+        so parents above need no updates — to
+
+            (u, f0, f1)  ->  (v, mk(u, f00, f10), mk(u, f01, f11))
+
+        where ``fij`` are the cofactors at ``u = i``, ``v = j``.  A node
+        pre-swap at the ``v`` level never references a ``u`` node (levels
+        are ordered), so the rewrites cannot collide with each other or
+        with the sinking nodes in the unique table.
+        """
+        u = self._var_at[level]
+        v = self._var_at[level + 1]
+        var_, low_, high_ = self._var, self._low, self._high
+        plans = []
+        for node, var in var_.items():
+            if var != u:
+                continue
+            f0, f1 = low_[node], high_[node]
+            low_is_v = f0 > 1 and var_[f0] == v
+            high_is_v = f1 > 1 and var_[f1] == v
+            if not (low_is_v or high_is_v):
+                continue
+            f00, f01 = (low_[f0], high_[f0]) if low_is_v else (f0, f0)
+            f10, f11 = (low_[f1], high_[f1]) if high_is_v else (f1, f1)
+            plans.append((node, f0, f1, f00, f01, f10, f11))
+        for node, f0, f1, _, _, _, _ in plans:
+            del self._unique[(u, f0, f1)]
+        for node, f0, f1, f00, f01, f10, f11 in plans:
+            # New cofactors first (keeps shared subgraphs alive), then
+            # release the old ones.
+            new_low = self._mk(u, f00, f10)
+            new_high = self._mk(u, f01, f11)
+            self._incref(new_low)
+            self._incref(new_high)
+            var_[node] = v
+            low_[node] = new_low
+            high_[node] = new_high
+            self._unique[(v, new_low, new_high)] = node
+            self._decref(f0)
+            self._decref(f1)
+        self._var_at[level] = v
+        self._var_at[level + 1] = u
+        self._level_of[u] = level + 1
+        self._level_of[v] = level
+        self.swaps += 1
+
+    # ------------------------------------------------------------------
+    # Sifting search
+    # ------------------------------------------------------------------
+    def sift_once(self, max_growth: float) -> None:
+        """One full pass: sift each variable to its locally best level.
+
+        Variables are processed by descending level population (the
+        classic heuristic: big levels first).  Each is bubbled to the
+        bottom, then to the top, tracking the best size seen; the search
+        in a direction is abandoned early once the size exceeds
+        ``max_growth`` times the best, and the variable is finally moved
+        back to its best level.
+        """
+        levels = len(self._var_at)
+        population: Dict[int, int] = {}
+        for var in self._var.values():
+            population[var] = population.get(var, 0) + 1
+        by_weight = sorted(population, key=lambda var: (-population[var],
+                                                        self._level_of[var]))
+        for var in by_weight:
+            best_size = self.size
+            best_level = self._level_of[var]
+            level = best_level
+            while level < levels - 1:
+                self.swap(level)
+                level += 1
+                if self.size < best_size:
+                    best_size, best_level = self.size, level
+                elif self.size > max_growth * best_size:
+                    break
+            while level > 0:
+                self.swap(level - 1)
+                level -= 1
+                if self.size < best_size:
+                    best_size, best_level = self.size, level
+                elif self.size > max_growth * best_size:
+                    break
+            while level < best_level:
+                self.swap(level)
+                level += 1
+            while level > best_level:
+                self.swap(level - 1)
+                level -= 1
+
+    # ------------------------------------------------------------------
+    # Rebuild into a fresh arena
+    # ------------------------------------------------------------------
+    def rebuild(self, names: List[str]) -> Tuple["BDDManager", "Node"]:
+        """Reconstruct the diagram in a new manager under the final order.
+
+        Variables register top level first, so the new variable index of
+        a node equals its level — preserving the arena invariant that
+        children (deeper levels) are created before their parents.
+        """
+        from repro.bdd.manager import BDDManager
+
+        manager = BDDManager()
+        for var in self._var_at:
+            manager.add_var(names[var])
+        level_of = self._level_of
+        mapping = {0: 0, 1: 1}
+        by_depth = sorted(self._var,
+                          key=lambda node: -level_of[self._var[node]])
+        for node in by_depth:
+            mapping[node] = manager._mk(level_of[self._var[node]],
+                                        mapping[self._low[node]],
+                                        mapping[self._high[node]])
+        return manager, manager._node(mapping[self.root])
+
+
+def sift(manager: "BDDManager", root: "Node", max_growth: float = 1.2,
+         rounds: int = 1) -> SiftResult:
+    """Reorder variables to shrink the diagram rooted at ``root``.
+
+    Returns a :class:`SiftResult` holding a *new* manager/root pair; the
+    input arena is left untouched (other diagrams in it stay valid).
+    ``max_growth`` bounds how far a variable's search may inflate the
+    diagram past the best size seen before the direction is abandoned;
+    ``rounds`` repeats the full pass (later rounds usually converge fast).
+
+    Terminal roots and diagrams over fewer than three variables have no
+    reordering freedom worth exploring and are returned as-is (copied).
+    """
+    detached_terminal = root.manager is None and root.index < 2
+    if root.manager is not manager and not detached_terminal:
+        raise BDDError("node does not belong to this manager")
+    if max_growth < 1.0:
+        raise BDDError(f"max_growth must be >= 1.0, got {max_growth!r}")
+    if rounds < 1:
+        raise BDDError(f"rounds must be >= 1, got {rounds!r}")
+    names = list(manager.var_names)
+    levelized = _Levelized(manager, root)
+    size_before = levelized.size
+    if root.index > 1 and manager.var_count >= 3:
+        for _ in range(rounds):
+            before = levelized.size
+            levelized.sift_once(max_growth)
+            if levelized.size >= before:
+                break
+    new_manager, new_root = levelized.rebuild(names)
+    order = tuple(names[var] for var in levelized._var_at)
+    return SiftResult(manager=new_manager, root=new_root, order=order,
+                      size_before=size_before, size_after=levelized.size,
+                      swaps=levelized.swaps)

@@ -152,6 +152,43 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON instead of text")
 
+    whatif = sub.add_parser(
+        "whatif",
+        help="incremental what-if: apply JSON edits to a fault tree "
+             "and stream re-quantified results")
+    whatif.add_argument("edits",
+                        help="JSON file with a list of edit operations "
+                             "('-' reads stdin); each edit is e.g. "
+                             '{"op": "set_rate", "event": ..., '
+                             '"probability": ...}')
+    whatif.add_argument("--tree",
+                        choices=["fig2", "collision", "false-alarm",
+                                 "corridor"],
+                        default="corridor",
+                        help="built-in fault tree (default: corridor)")
+    whatif.add_argument("--file",
+                        help="load the fault tree from a JSON file "
+                             "instead of a built-in")
+    whatif.add_argument("--sift-threshold", type=int,
+                        help="dynamically reorder (sift) any module BDD "
+                             "larger than this many nodes")
+    whatif.add_argument("--cache",
+                        help="persist per-module tapes/values to this "
+                             "cache file across runs")
+    whatif.add_argument("--cache-backend",
+                        choices=["auto", "json", "sqlite"], default="auto",
+                        help="cache backend; auto picks sqlite for "
+                             ".db/.sqlite/.sqlite3 paths (default: auto)")
+    whatif.add_argument("--cache-ttl", type=float,
+                        help="seconds before cached entries expire "
+                             "(sqlite backend only)")
+    whatif.add_argument("--cache-max-bytes", type=int,
+                        help="payload byte budget before LRU eviction "
+                             "(sqlite backend only)")
+    whatif.add_argument("--json", action="store_true", dest="as_json",
+                        help="stream machine-readable NDJSON instead "
+                             "of text")
+
     serve = sub.add_parser(
         "serve",
         help="serve engine jobs over HTTP (streamed NDJSON results)")
@@ -451,6 +488,99 @@ def _cmd_batch(args) -> None:
     print(f"engine: {engine.stats().summary()}")
 
 
+def _describe_edit(edit) -> str:
+    op = edit.get("op") if isinstance(edit, dict) else None
+    if op == "set_rate":
+        return f"set_rate {edit.get('event')}={edit.get('probability'):g}"
+    if op == "set_house":
+        return f"set_house {edit.get('event')}={edit.get('state')}"
+    if op == "set_gate":
+        suffix = f", k={edit['k']}" if "k" in edit else ""
+        return (f"set_gate {edit.get('event')}"
+                f"->{edit.get('type')}{suffix}")
+    return repr(edit)
+
+
+def _cmd_whatif(args) -> None:
+    import json
+    from repro.engine.cache import create_cache
+    from repro.errors import IncrementalError
+    from repro.incremental import IncrementalSession
+
+    if args.edits == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(args.edits) as handle:
+            raw = handle.read()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise IncrementalError(f"invalid edits file: {exc}") from None
+    if isinstance(payload, dict):
+        edits = payload.get("edits")
+        probabilities = payload.get("probabilities")
+    else:
+        edits, probabilities = payload, None
+    if not isinstance(edits, list):
+        raise IncrementalError(
+            "the edits file must hold a JSON list of edits "
+            "(or an object with an 'edits' list)")
+
+    if getattr(args, "file", None):
+        from repro.fta import tree_from_json
+        with open(args.file) as handle:
+            tree = tree_from_json(handle.read())
+    else:
+        from repro.elbtunnel import (
+            collision_fault_tree,
+            corridor_fault_tree,
+            false_alarm_fault_tree,
+            fig2_fault_tree,
+        )
+        builders = {"fig2": fig2_fault_tree,
+                    "collision": collision_fault_tree,
+                    "false-alarm": false_alarm_fault_tree,
+                    "corridor": corridor_fault_tree}
+        tree = builders[args.tree]()
+
+    cache = None
+    if args.cache:
+        cache = create_cache(backend=args.cache_backend, path=args.cache,
+                             ttl=args.cache_ttl,
+                             max_bytes=args.cache_max_bytes)
+    session = IncrementalSession(tree, probabilities, cache=cache,
+                                 sift_threshold=args.sift_threshold)
+    baseline = session.quantify()
+    # Stream one line per step so an interactive caller (or a pipe) sees
+    # each re-quantification as it lands, not after the whole script.
+    if args.as_json:
+        print(json.dumps({"event": "baseline", "tree": tree.name,
+                          "modules": session.modules,
+                          "value": baseline}), flush=True)
+        for index, edit in enumerate(edits, 1):
+            report = session.apply([edit])
+            print(json.dumps({"event": "edit", "index": index,
+                              **report.as_dict()}), flush=True)
+        print(json.dumps({"event": "done",
+                          "stats": session.stats.as_dict()}), flush=True)
+    else:
+        print(f"whatif {tree.name!r}: baseline P = {baseline:.6g} "
+              f"({len(session.modules)} modules)", flush=True)
+        for index, edit in enumerate(edits, 1):
+            report = session.apply([edit])
+            dirty = ", ".join(report.dirty)
+            print(f"[{index}] {_describe_edit(edit)}: "
+                  f"P = {report.value:.6g} (dirty: {dirty}; "
+                  f"{report.wall_time_s * 1000.0:.2f} ms)", flush=True)
+        stats = session.stats.as_dict()
+        print(f"stats: {stats['module_compiles']} compiles, "
+              f"{stats['tape_hits']} tape hits, "
+              f"{stats['value_hits']} value hits, "
+              f"{stats['value_misses']} evaluations")
+    if cache is not None:
+        cache.save()
+
+
 def _cmd_serve(args) -> None:
     from repro.serve import ServerConfig, serve
     config = ServerConfig(host=args.host, port=args.port,
@@ -558,6 +688,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "simulate": _cmd_simulate,
     "batch": _cmd_batch,
+    "whatif": _cmd_whatif,
     "serve": _cmd_serve,
     "uq": _cmd_uq,
 }

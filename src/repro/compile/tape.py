@@ -51,7 +51,25 @@ class CompiledTape:
     def __init__(self, tree: FaultTree):
         manager = BDDManager()
         root = to_bdd(tree, manager)
-        self.tree_name = tree.name
+        self._lower(manager, root.index, tree.name)
+
+    @classmethod
+    def from_bdd(cls, manager: BDDManager, root,
+                 tree_name: str = "bdd") -> "CompiledTape":
+        """Lower an already-built diagram (e.g. after sifting).
+
+        ``root`` is a :class:`repro.bdd.manager.Node` in ``manager``.
+        The tape's column order is the manager's variable order, whatever
+        it is — callers who reordered (sifted) get a tape matching the
+        new order.
+        """
+        tape = cls.__new__(cls)
+        tape._lower(manager, root.index, tree_name)
+        return tape
+
+    def _lower(self, manager: BDDManager, root_index: int,
+               tree_name: str) -> None:
+        self.tree_name = tree_name
         self.leaf_names: List[str] = [manager.var_name(i)
                                       for i in range(manager.var_count)]
         self._column: Dict[str, int] = {name: j for j, name
@@ -62,15 +80,46 @@ class CompiledTape:
         vars_, lows, highs = manager.arena
         slot_of: Dict[int, int] = {0: _FALSE_SLOT, 1: _TRUE_SLOT}
         steps: List[tuple] = []
-        for index in manager.topological_indices(root):
+        for index in manager.topological_indices(root_index):
             slot_of[index] = 2 + len(steps)
             steps.append((vars_[index], slot_of[lows[index]],
                           slot_of[highs[index]]))
         # One step per node: (leaf column, low slot, high slot).
         self._steps = steps
-        self._root_slot = slot_of[root.index]
+        self._root_slot = slot_of[root_index]
         self._support = frozenset(self.leaf_names[var]
                                   for var, _lo, _hi in self._steps)
+
+    def encode(self) -> Dict[str, object]:
+        """JSON-safe form for cache persistence (see :meth:`decode`).
+
+        The encoding captures everything evaluation touches — leaf/column
+        order, steps, root slot — so a decoded tape performs bit-identical
+        arithmetic to the compiled original.
+        """
+        return {"tree": self.tree_name,
+                "leaves": list(self.leaf_names),
+                "steps": [list(step) for step in self._steps],
+                "root": self._root_slot}
+
+    @classmethod
+    def decode(cls, encoded: Dict[str, object]) -> "CompiledTape":
+        """Rebuild a tape from :meth:`encode` output."""
+        try:
+            tape = cls.__new__(cls)
+            tape.tree_name = str(encoded["tree"])
+            tape.leaf_names = [str(name) for name in encoded["leaves"]]
+            tape._steps = [(int(var), int(low), int(high))
+                           for var, low, high in encoded["steps"]]
+            tape._root_slot = int(encoded["root"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QuantificationError(
+                f"invalid encoded tape: {exc}") from exc
+        tape._column = {name: j for j, name
+                        in enumerate(tape.leaf_names)}
+        tape._support = frozenset(tape.leaf_names[var]
+                                  for var, _lo, _hi in tape._steps)
+        return tape
 
     @property
     def size(self) -> int:

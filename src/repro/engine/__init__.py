@@ -58,6 +58,7 @@ from repro.engine.fingerprint import (
     values_fingerprint,
 )
 from repro.engine.jobs import (
+    IncrementalJob,
     Job,
     MonteCarloJob,
     OptimizeJob,
@@ -81,6 +82,7 @@ __all__ = [
     "EngineStats",
     "RunOutcome",
     "Job",
+    "IncrementalJob",
     "QuantifyJob",
     "SweepJob",
     "SweepResult",

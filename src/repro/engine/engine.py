@@ -43,6 +43,9 @@ class EngineStats:
     coalesced: int = 0
     inflight: int = 0
     cache_backend: str = "json"
+    #: Module-cache and sifting counters from incremental sessions run
+    #: through this engine (see ``repro.incremental.IncrementalStats``).
+    incremental: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         """A compact human-readable stats line."""
@@ -149,6 +152,11 @@ class Engine:
             warmed = self.cache.warm_from_manifest(warm_manifest)
             log.info("warmed %d cache entries from manifest %r",
                      warmed, warm_manifest)
+        # Shared module-cache/sifting counters for incremental sessions
+        # (import at construction time: repro.incremental builds on this
+        # package, so a module-level import would be circular).
+        from repro.incremental.session import IncrementalStats
+        self.incremental = IncrementalStats()
         self._pending: List[Job] = []
         self.submitted = 0
         self.executed = 0
@@ -259,6 +267,12 @@ class Engine:
                     f"timed out waiting for a compute slot for "
                     f"{job.describe()!r}")
             try:
+                # Jobs that manage per-artifact caching themselves (the
+                # incremental session) adopt this engine's cache backend
+                # and shared counters before running.
+                bind = getattr(job, "bind_engine", None)
+                if bind is not None:
+                    bind(self)
                 result = job.run(self.pool)
             finally:
                 if slots is not None:
@@ -322,7 +336,8 @@ class Engine:
                                cache=cache_stats.as_dict(),
                                coalesced=self.coalesced,
                                inflight=len(self._inflight),
-                               cache_backend=self.cache.name)
+                               cache_backend=self.cache.name,
+                               incremental=self.incremental.as_dict())
 
     def save_cache(self, path: Optional[str] = None) -> int:
         """Persist cacheable results to the backend's store file;

@@ -28,7 +28,6 @@ from typing import Any, Dict, Mapping, Optional, Sequence
 from repro.errors import EngineError
 from repro.fta.events import (
     Condition,
-    Event,
     HouseEvent,
     IntermediateEvent,
     PrimaryFailure,
@@ -49,39 +48,88 @@ def _number(value: Optional[float]) -> str:
     return "none" if value is None else repr(float(value))
 
 
-def canonical_tree(tree: FaultTree) -> str:
-    """The order-independent canonical text form of a fault tree."""
-    memo: Dict[int, str] = {}
+def _canonical(tree: FaultTree, include_values: bool) -> str:
+    """Shared canonicalizer behind :func:`canonical_tree` (leaf
+    probabilities included) and :func:`canonical_shape` (structure only).
 
-    def canon(event: Event) -> str:
+    Iterative post-order so deep gate chains never hit the recursion
+    limit; commutative gate inputs are sorted, making the form
+    order-independent.
+    """
+    memo: Dict[int, str] = {}
+    stack = [(tree.top, False)]
+    while stack:
+        event, ready = stack.pop()
         key = id(event)
         if key in memo:
-            return memo[key]
+            continue
         if isinstance(event, IntermediateEvent):
             gate = event.gate
-            inputs = [canon(child) for child in gate.inputs]
-            if gate.gate_type in _COMMUTATIVE:
-                inputs.sort()
-            parts = [gate.gate_type.value]
-            if gate.k is not None:
-                parts.append(f"k={gate.k}")
-            if gate.condition is not None:
-                parts.append("cond=" + canon(gate.condition))
-            form = (f"gate({event.name};{';'.join(parts)};"
-                    f"[{','.join(inputs)}])")
+            if ready:
+                inputs = [memo[id(child)] for child in gate.inputs]
+                if gate.gate_type in _COMMUTATIVE:
+                    inputs.sort()
+                parts = [gate.gate_type.value]
+                if gate.k is not None:
+                    parts.append(f"k={gate.k}")
+                if gate.condition is not None:
+                    parts.append("cond=" + memo[id(gate.condition)])
+                memo[key] = (f"gate({event.name};{';'.join(parts)};"
+                             f"[{','.join(inputs)}])")
+            else:
+                stack.append((event, True))
+                children = list(gate.inputs)
+                if gate.condition is not None:
+                    children.append(gate.condition)
+                for child in reversed(children):
+                    if id(child) not in memo:
+                        stack.append((child, False))
         elif isinstance(event, PrimaryFailure):
-            form = f"pf({event.name};{_number(event.probability)})"
+            memo[key] = (f"pf({event.name};{_number(event.probability)})"
+                         if include_values else f"pf({event.name})")
         elif isinstance(event, Condition):
-            form = f"cond({event.name};{_number(event.probability)})"
+            memo[key] = (f"cond({event.name};{_number(event.probability)})"
+                         if include_values else f"cond({event.name})")
         elif isinstance(event, HouseEvent):
-            form = f"house({event.name};{event.state})"
+            memo[key] = f"house({event.name};{event.state})"
         else:  # pragma: no cover - event taxonomy is closed
             raise EngineError(
                 f"cannot canonicalize event type {type(event).__name__}")
-        memo[key] = form
-        return form
+    return memo[id(tree.top)]
 
-    return canon(tree.top)
+
+def canonical_tree(tree: FaultTree) -> str:
+    """The order-independent canonical text form of a fault tree."""
+    return _canonical(tree, include_values=True)
+
+
+def canonical_shape(tree: FaultTree) -> str:
+    """Canonical form of the tree *structure*, ignoring leaf probabilities.
+
+    House-event states stay in (they change the Boolean function); what
+    drops out is exactly the data a compiled tape does not depend on.
+    Two trees with equal shape share gates, leaves, and conditions — but
+    not necessarily the BDD variable order, which is why
+    :func:`shape_fingerprint` additionally pins the declaration order.
+    """
+    return _canonical(tree, include_values=False)
+
+
+def shape_fingerprint(tree: FaultTree) -> str:
+    """Content hash keying compiled artifacts (tapes) for a tree.
+
+    Combines :func:`canonical_shape` with the leaf order
+    :func:`repro.fta.quantify.declared_leaf_order` produces — the order
+    ``to_bdd`` registers variables in — so a cache hit guarantees the
+    stored tape performs *bit-identical* arithmetic to a fresh compile:
+    same structure, same variable order, same step semantics.
+    """
+    from repro.fta.quantify import declared_leaf_order
+    if not isinstance(tree, FaultTree):
+        raise EngineError(
+            f"expected a FaultTree, got {type(tree).__name__}")
+    order = ",".join(declared_leaf_order(tree))
+    return digest("shape:" + canonical_shape(tree) + "|order:" + order)
 
 
 def tree_fingerprint(tree: FaultTree) -> str:

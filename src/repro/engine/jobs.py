@@ -180,6 +180,72 @@ class QuantifyJob(Job):
                 f"({self.method}, {self.policy.value})")
 
 
+class IncrementalJob(Job):
+    """A what-if script: quantify a tree, then re-quantify per edit.
+
+    Wraps an :class:`repro.incremental.IncrementalSession` as an engine
+    job: the baseline is quantified, each edit in ``edits`` is applied
+    (in order) with an :class:`~repro.incremental.session.EditReport`
+    per step, and the per-module tapes/values persist through the
+    engine's cache backend.  When run through an
+    :class:`~repro.engine.engine.Engine`, :meth:`bind_engine` hands the
+    session the engine's shared cache and
+    :class:`~repro.incremental.session.IncrementalStats` (surfaced in
+    ``/stats``); standalone ``run_serial`` works too, just uncached.
+    """
+
+    kind = "incremental"
+
+    def __init__(self, tree: FaultTree,
+                 probabilities: Optional[Mapping[str, float]] = None,
+                 edits: Optional[Sequence[Mapping[str, Any]]] = None,
+                 sift_threshold: Optional[int] = None):
+        from repro.incremental import validate_edits
+        self.tree = _check_tree(tree)
+        self.probabilities = _check_probabilities(probabilities)
+        self.edits = tuple(validate_edits(list(edits or [])))
+        if sift_threshold is not None:
+            if not isinstance(sift_threshold, int) \
+                    or isinstance(sift_threshold, bool) \
+                    or sift_threshold < 1:
+                raise EngineError(
+                    f"sift_threshold must be a positive int, "
+                    f"got {sift_threshold!r}")
+        self.sift_threshold = sift_threshold
+        self._cache = None
+        self._stats = None
+
+    def bind_engine(self, engine: Any) -> None:
+        """Adopt the engine's cache backend and incremental counters."""
+        self._cache = engine.cache
+        self._stats = engine.incremental
+
+    def _fingerprint_parts(self) -> Tuple[str, ...]:
+        # sift_threshold is *not* an execution detail: when it triggers,
+        # the tape arithmetic (hence the exact float result) changes.
+        return (tree_fingerprint(self.tree),
+                values_fingerprint(self.probabilities),
+                options_fingerprint(edits=list(self.edits),
+                                    sift_threshold=self.sift_threshold))
+
+    def run_serial(self) -> Dict[str, Any]:
+        from repro.incremental import IncrementalSession
+        session = IncrementalSession(
+            self.tree, self.probabilities, cache=self._cache,
+            sift_threshold=self.sift_threshold, stats=self._stats)
+        baseline = session.quantify()
+        steps = [session.apply([edit]).as_dict() for edit in self.edits]
+        return {"tree": self.tree.name,
+                "modules": session.modules,
+                "baseline": baseline,
+                "steps": steps,
+                "final": steps[-1]["value"] if steps else baseline}
+
+    def describe(self) -> str:
+        return (f"incremental {self.tree.name!r} "
+                f"({len(self.edits)} edits)")
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """A quantified parameter grid: one value per grid point, in order."""

@@ -26,11 +26,17 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.engine.engine import RunOutcome
-from repro.engine.jobs import Job, MonteCarloJob, QuantifyJob, SweepJob
+from repro.engine.jobs import (
+    IncrementalJob,
+    Job,
+    MonteCarloJob,
+    QuantifyJob,
+    SweepJob,
+)
 from repro.errors import EngineError
 
 #: Job types expressible as JSON specs (the batch/serve wire format).
-SPEC_TYPES = ("quantify", "sweep", "montecarlo")
+SPEC_TYPES = ("quantify", "sweep", "montecarlo", "incremental")
 
 
 def tree_from_spec(spec: Any, allow_files: bool = True):
@@ -78,7 +84,7 @@ def job_from_spec(spec: Any, compiled: bool = True,
     if kind not in SPEC_TYPES:
         raise EngineError(
             f"unknown job type {kind!r}; "
-            "expected 'quantify', 'sweep' or 'montecarlo'")
+            f"expected one of {', '.join(repr(t) for t in SPEC_TYPES)}")
     tree = tree_from_spec(spec.get("tree", "fig2"),
                           allow_files=allow_files)
     try:
@@ -99,6 +105,13 @@ def job_from_spec(spec: Any, compiled: bool = True,
     if kind == "quantify":
         return QuantifyJob(tree, spec.get("probabilities"),
                            method=method, policy=policy)
+    if kind == "incremental":
+        sift = spec.get("sift_threshold")
+        if sift is not None:
+            sift = number("sift_threshold", None, int)
+        return IncrementalJob(tree, spec.get("probabilities"),
+                              edits=spec.get("edits"),
+                              sift_threshold=sift)
     if kind == "sweep":
         axes = spec.get("axes")
         if not axes:

@@ -50,6 +50,10 @@ class EngineError(ReproError):
     """A batch-evaluation engine job is invalid or could not be run."""
 
 
+class IncrementalError(ReproError):
+    """An incremental what-if session or edit operation is invalid."""
+
+
 class UQError(ReproError):
     """An uncertainty-quantification model or analysis is invalid."""
 

@@ -54,7 +54,13 @@ from repro.fta.quantify import (
     probability_map,
     to_bdd,
 )
-from repro.fta.modules import Module, find_modules, modular_probability
+from repro.fta.modules import (
+    Module,
+    find_modules,
+    fold_modules,
+    modular_probability,
+    select_modules,
+)
 from repro.fta.phases import (
     MissionPhase,
     MissionResult,
@@ -124,7 +130,9 @@ __all__ = [
     "RankedCutSet",
     "Module",
     "find_modules",
+    "fold_modules",
     "modular_probability",
+    "select_modules",
     "MissionPhase",
     "MissionResult",
     "PhaseResult",

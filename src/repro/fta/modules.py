@@ -9,11 +9,16 @@ subsystems are genuinely independent — shared sensors (like the
 Elbtunnel light barriers feeding several detection chains) show up
 precisely as *non*-modular boundaries.
 
-Detection here uses exact path counting on the (possibly DAG-shaped)
-tree: an intermediate event ``M`` with ``p(M)`` root-paths is a module
-iff for every leaf ``l`` below it, the total number of root-paths to
-``l`` equals ``p(M)`` times the number of paths from ``M`` to ``l`` —
-i.e. every occurrence of ``l`` funnels through ``M``.
+Detection uses the Dutuit–Rauzy visit-date algorithm, extended to the
+(possibly DAG-shaped) trees this codebase allows: one depth-first walk
+stamps every event with first/last visit dates (re-encounters of a
+shared event bump its last date without re-expanding it), then a single
+bottom-up pass aggregates the date range covered by each event's
+descendants.  ``M`` is a module iff every descendant visit falls
+strictly inside ``M``'s own expansion window — i.e. nothing below ``M``
+is reachable except through ``M``.  The whole check is linear in the
+number of edges, where the naive path-counting formulation is quadratic
+on deep chains.
 """
 
 from __future__ import annotations
@@ -48,47 +53,76 @@ def _children(event: IntermediateEvent) -> List[Event]:
     return children
 
 
-def _path_counts(root: Event) -> Dict[int, int]:
-    """Number of distinct root-to-node paths, keyed by node id."""
-    counts: Dict[int, int] = {id(root): 1}
-    order: List[Event] = []
-    seen: Set[int] = set()
+def _module_roots(root: Event) -> Set[int]:
+    """Ids of events whose descendants are reachable only through them.
 
-    def topo(event: Event) -> None:
-        if id(event) in seen:
-            return
-        seen.add(id(event))
-        if isinstance(event, IntermediateEvent):
-            for child in _children(event):
-                topo(child)
-        order.append(event)
-
-    topo(root)
-    for event in reversed(order):           # root first
-        if not isinstance(event, IntermediateEvent):
+    Dutuit–Rauzy visit dates, DAG-safe: the DFS expands each event once;
+    later encounters merely bump its last-visit date.  An event is a
+    module root iff the earliest first-visit among its descendants lands
+    after its own first visit and the latest last-visit lands before its
+    expansion completed — any path slipping into the subtree from
+    outside stamps a date beyond that window.
+    """
+    clock = 0
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    completed: Dict[int, int] = {}
+    order: List[Event] = []             # children complete before parents
+    stack: List[tuple] = [(root, False)]
+    while stack:
+        event, leaving = stack.pop()
+        key = id(event)
+        clock += 1
+        if leaving:
+            completed[key] = clock
+            last[key] = clock
+            order.append(event)
             continue
-        base = counts.get(id(event), 0)
-        for child in _children(event):
-            counts[id(child)] = counts.get(id(child), 0) + base
-    return counts
+        if key in first:
+            last[key] = clock
+            continue
+        first[key] = last[key] = clock
+        if isinstance(event, IntermediateEvent):
+            stack.append((event, True))
+            for child in reversed(_children(event)):
+                stack.append((child, False))
+        else:
+            completed[key] = clock
+            order.append(event)
+    # Aggregate each event's descendant date range bottom-up.  The walk
+    # above appended events children-first, so one linear pass suffices.
+    min_first: Dict[int, int] = {}
+    max_last: Dict[int, int] = {}
+    roots: Set[int] = set()
+    for event in order:
+        key = id(event)
+        if not isinstance(event, IntermediateEvent):
+            min_first[key] = first[key]
+            max_last[key] = last[key]
+            continue
+        below_first = min(min_first[id(c)] for c in _children(event))
+        below_last = max(max_last[id(c)] for c in _children(event))
+        if below_first > first[key] and below_last < completed[key]:
+            roots.add(key)
+        min_first[key] = min(first[key], below_first)
+        max_last[key] = max(last[key], below_last)
+    return roots
 
 
 def _leaves_below(event: Event) -> Dict[int, Event]:
     """All leaf objects reachable from ``event``, keyed by id."""
     leaves: Dict[int, Event] = {}
     seen: Set[int] = set()
-
-    def walk(node: Event) -> None:
+    stack: List[Event] = [event]
+    while stack:
+        node = stack.pop()
         if id(node) in seen:
-            return
+            continue
         seen.add(id(node))
         if isinstance(node, IntermediateEvent):
-            for child in _children(node):
-                walk(child)
+            stack.extend(_children(node))
         else:
             leaves[id(node)] = node
-
-    walk(event)
     return leaves
 
 
@@ -99,26 +133,88 @@ def find_modules(tree: FaultTree) -> List[Module]:
     intermediate event is reported when every root-path to each of its
     leaves passes through it.
     """
-    global_paths = _path_counts(tree.top)
+    roots = _module_roots(tree.top)
     modules: List[Module] = []
     for event in tree.iter_events():
         if not isinstance(event, IntermediateEvent) or event is tree.top:
             continue
-        local_paths = _path_counts(event)
-        p_event = global_paths.get(id(event), 0)
-        is_module = True
-        for leaf_id in _leaves_below(event):
-            total = global_paths.get(leaf_id, 0)
-            within = local_paths.get(leaf_id, 0)
-            if total != p_event * within:
-                is_module = False
-                break
-        if is_module:
+        if id(event) in roots:
             names = frozenset(l.name
                               for l in _leaves_below(event).values())
             modules.append(Module(root=event.name, leaves=names))
     modules.sort(key=lambda m: (-m.size, m.root))
     return modules
+
+
+def select_modules(tree: FaultTree) -> List[Module]:
+    """Greedily pick non-overlapping modules worth folding.
+
+    :func:`find_modules` reports *every* module, including nested ones;
+    this keeps the classic quantification selection: largest first, skip
+    any module sharing leaves with an already-chosen one, and skip
+    single-leaf modules (folding them buys nothing).  Shared by
+    :func:`modular_probability` and :mod:`repro.incremental`, which must
+    agree on the decomposition to produce bit-identical results.
+    """
+    chosen: List[Module] = []
+    used: Set[str] = set()
+    for module in find_modules(tree):
+        if module.leaves & used:
+            continue
+        if module.size < 2:
+            continue   # folding single leaves buys nothing
+        chosen.append(module)
+        used |= module.leaves
+    return chosen
+
+
+def fold_modules(tree: FaultTree, replacements: Dict[str, float],
+                 name: Optional[str] = None) -> FaultTree:
+    """Clone ``tree`` with each named subtree folded into a single leaf.
+
+    Every intermediate event whose name appears in ``replacements``
+    becomes a :class:`PrimaryFailure` of the same name carrying the given
+    probability; everything else is rebuilt structurally (leaves are
+    shared, gates are re-created).  The clone walks an explicit stack —
+    5,000-gate chains don't hit the recursion limit — and routes INHIBIT
+    conditions through the memo like any other child, so a condition
+    below a folded region can never leak a stale object into the clone.
+    """
+    if tree.top.name in replacements:
+        raise ValueError(
+            f"cannot fold the top event {tree.top.name!r} into a leaf")
+    rebuilt: Dict[int, Event] = {}
+    stack: List[tuple] = [(tree.top, False)]
+    while stack:
+        event, ready = stack.pop()
+        key = id(event)
+        if key in rebuilt:
+            continue
+        if not isinstance(event, IntermediateEvent):
+            rebuilt[key] = event
+            continue
+        if event.name in replacements:
+            rebuilt[key] = PrimaryFailure(
+                event.name, probability=replacements[event.name],
+                description=f"module {event.name} folded")
+            continue
+        gate = event.gate
+        if ready:
+            condition = (rebuilt[id(gate.condition)]
+                         if gate.gate_type is GateType.INHIBIT else None)
+            new_gate = Gate(gate.gate_type,
+                            [rebuilt[id(child)] for child in gate.inputs],
+                            k=gate.k, condition=condition)
+            rebuilt[key] = IntermediateEvent(event.name, new_gate,
+                                             event.description)
+        else:
+            stack.append((event, True))
+            for child in reversed(_children(event)):
+                if id(child) not in rebuilt:
+                    stack.append((child, False))
+    top = rebuilt[id(tree.top)]
+    assert isinstance(top, IntermediateEvent)
+    return FaultTree(top, name=tree.name if name is None else name)
 
 
 def modular_probability(tree: FaultTree,
@@ -137,19 +233,8 @@ def modular_probability(tree: FaultTree,
     same approximation the paper's Eq. 1 makes.
     """
     probs = probability_map(tree, probabilities)
-    modules = find_modules(tree)
-    chosen: List[Module] = []
-    used: Set[str] = set()
-    for module in modules:
-        if module.leaves & used:
-            continue
-        if module.size < 2:
-            continue   # folding single leaves buys nothing
-        chosen.append(module)
-        used |= module.leaves
-
     replacements: Dict[str, float] = {}
-    for module in chosen:
+    for module in select_modules(tree):
         root_event = tree.event(module.root)
         assert isinstance(root_event, IntermediateEvent)
         sub = FaultTree(root_event, name=module.root)
@@ -159,32 +244,7 @@ def modular_probability(tree: FaultTree,
     if not replacements:
         return hazard_probability(tree, probs, method=method)
 
-    rebuilt: Dict[int, Event] = {}
-
-    def clone(event: Event) -> Event:
-        key = id(event)
-        if key in rebuilt:
-            return rebuilt[key]
-        if isinstance(event, IntermediateEvent) and \
-                event.name in replacements:
-            result: Event = PrimaryFailure(
-                event.name, probability=replacements[event.name],
-                description=f"module {event.name} folded")
-        elif isinstance(event, IntermediateEvent):
-            gate = event.gate
-            new_gate = Gate(gate.gate_type,
-                            [clone(c) for c in gate.inputs],
-                            k=gate.k, condition=gate.condition)
-            result = IntermediateEvent(event.name, new_gate,
-                                       event.description)
-        else:
-            result = event
-        rebuilt[key] = result
-        return result
-
-    top = clone(tree.top)
-    assert isinstance(top, IntermediateEvent)
-    reduced = FaultTree(top, name=tree.name)
+    reduced = fold_modules(tree, replacements)
     remaining = dict(probs)
     remaining.update(replacements)
     return hazard_probability(reduced, remaining, method=method)

@@ -249,6 +249,53 @@ _ORDER_HEURISTICS = {
 VARIABLE_ORDERS = tuple(_ORDER_HEURISTICS)
 
 
+def declared_leaf_order(tree: FaultTree) -> List[str]:
+    """Leaf names in the exact order :func:`to_bdd` registers variables.
+
+    Mirrors the default (``"declaration"``) build: leaves register at
+    their first depth-first visit over ``gate.inputs``, while an INHIBIT
+    condition registers when its gate *completes* — not at pre-order
+    visit, which is why :meth:`FaultTree.iter_events` cannot be used
+    here.  :mod:`repro.incremental` keys compiled-tape artifacts on this
+    order, since two structurally equal trees only share a tape when
+    their BDD variable orders agree.
+    """
+    order: List[str] = []
+    seen: set = set()
+
+    def register(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+
+    done: set = set()
+    stack = [(tree.top, False)]
+    while stack:
+        event, ready = stack.pop()
+        key = id(event)
+        if key in done:
+            continue
+        if isinstance(event, (PrimaryFailure, Condition)):
+            register(event.name)
+            done.add(key)
+        elif isinstance(event, HouseEvent):
+            done.add(key)
+        elif isinstance(event, IntermediateEvent):
+            if ready:
+                if event.gate.gate_type is GateType.INHIBIT:
+                    register(event.gate.condition.name)
+                done.add(key)
+            else:
+                stack.append((event, True))
+                for child in reversed(event.gate.inputs):
+                    if id(child) not in done:
+                        stack.append((child, False))
+        else:
+            raise QuantificationError(
+                f"cannot translate event of type {type(event).__name__}")
+    return order
+
+
 def to_bdd(tree: FaultTree, manager: BDDManager,
            order: str = "declaration") -> Node:
     """Translate a fault tree into a BDD over its leaf events.

@@ -1,0 +1,58 @@
+"""Incremental re-quantification: edit a tree, recompute only what moved.
+
+The paper's analysis is inherently interactive — Fig. 5/6 exist to answer
+"what if this timer or rate changes?" — yet cold quantification rebuilds
+the whole BDD per question.  This package makes the edit loop cheap:
+
+* :class:`IncrementalSession` decomposes a tree into independent modules
+  (:func:`repro.fta.modules.select_modules`), compiles each once into a
+  :class:`~repro.compile.tape.CompiledTape` keyed by structural shape
+  fingerprints, persists the artifacts through any
+  :class:`~repro.engine.cache.CacheBackend`, and on edit recomputes only
+  the dirty modules — near-constant-time re-quantification after a
+  single-rate edit,
+* :mod:`repro.incremental.edits` defines the JSON edit operations
+  (``set_rate`` / ``set_house`` / ``set_gate``) shared by the session,
+  the :class:`~repro.engine.jobs.IncrementalJob` spec, and the
+  ``repro whatif`` CLI,
+* results are bit-identical to
+  :func:`repro.fta.modules.modular_probability` with the exact method
+  (same decomposition, same arithmetic) — and to plain monolithic exact
+  quantification when the tree has no modules.
+
+Quickstart::
+
+    from repro.incremental import IncrementalSession
+
+    session = IncrementalSession(tree, cache=engine_cache)
+    baseline = session.quantify()
+    report = session.apply([{"op": "set_rate", "event": "OT1",
+                             "probability": 2e-4}])
+    print(report.value, report.dirty)     # only the touched module
+"""
+
+from repro.incremental.edits import (
+    EDIT_OPS,
+    STRUCTURAL_OPS,
+    apply_edits,
+    is_structural,
+    validate_edit,
+    validate_edits,
+)
+from repro.incremental.session import (
+    EditReport,
+    IncrementalSession,
+    IncrementalStats,
+)
+
+__all__ = [
+    "IncrementalSession",
+    "IncrementalStats",
+    "EditReport",
+    "EDIT_OPS",
+    "STRUCTURAL_OPS",
+    "apply_edits",
+    "is_structural",
+    "validate_edit",
+    "validate_edits",
+]

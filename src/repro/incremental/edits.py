@@ -1,0 +1,174 @@
+"""Edit operations for what-if sessions.
+
+An edit is a plain JSON-safe dict — the wire format shared by
+:class:`repro.incremental.IncrementalSession`, the
+:class:`repro.engine.jobs.IncrementalJob` spec, and ``repro whatif``:
+
+``{"op": "set_rate",  "event": name, "probability": p}``
+    Change a primary failure's / condition's probability.  Non-structural:
+    no tree rebuild, no recompile — the dominant interactive pattern.
+
+``{"op": "set_house", "event": name, "state": bool}``
+    Flip a house event.  Structural (the Boolean function changes).
+
+``{"op": "set_gate",  "event": name, "type": gate_type[, "k": int]}``
+    Change an intermediate event's gate type (e.g. ``"or"`` → ``"and"``,
+    or ``"kofn"`` with ``k``).  Structural.
+
+Structural edits are applied by patching the
+:func:`repro.fta.serialize.tree_to_dict` form and rebuilding, so every
+invariant the serializer enforces (gate arities, INHIBIT conditions,
+name uniqueness) holds for the edited tree too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import IncrementalError
+from repro.fta.events import Condition, PrimaryFailure
+from repro.fta.gates import GateType
+from repro.fta.serialize import tree_from_dict, tree_to_dict
+from repro.fta.tree import FaultTree
+
+#: Recognized edit operations.
+EDIT_OPS = ("set_rate", "set_house", "set_gate")
+
+#: Operations that change the tree structure (and hence module shapes).
+STRUCTURAL_OPS = ("set_house", "set_gate")
+
+_GATE_TYPES = tuple(gt.value for gt in GateType)
+
+
+def _require(edit: Dict[str, Any], field: str) -> Any:
+    try:
+        return edit[field]
+    except KeyError:
+        raise IncrementalError(
+            f"edit {edit!r} is missing the {field!r} field") from None
+
+
+def validate_edit(edit: Any) -> Dict[str, Any]:
+    """Check one edit dict and return its normalized form."""
+    if not isinstance(edit, dict):
+        raise IncrementalError(
+            f"an edit must be a dict, got {type(edit).__name__}")
+    op = _require(edit, "op")
+    if op not in EDIT_OPS:
+        raise IncrementalError(
+            f"unknown edit op {op!r}; expected one of {EDIT_OPS}")
+    event = _require(edit, "event")
+    if not isinstance(event, str) or not event:
+        raise IncrementalError(
+            f"edit field 'event' must be a non-empty string, got {event!r}")
+    normalized: Dict[str, Any] = {"op": op, "event": event}
+    if op == "set_rate":
+        probability = _require(edit, "probability")
+        try:
+            probability = float(probability)
+        except (TypeError, ValueError):
+            raise IncrementalError(
+                f"edit probability must be a number, "
+                f"got {probability!r}") from None
+        if not 0.0 <= probability <= 1.0:
+            raise IncrementalError(
+                f"edit probability must be in [0, 1], got {probability}")
+        normalized["probability"] = probability
+    elif op == "set_house":
+        state = _require(edit, "state")
+        if not isinstance(state, bool):
+            raise IncrementalError(
+                f"edit field 'state' must be a bool, got {state!r}")
+        normalized["state"] = state
+    else:  # set_gate
+        gate_type = _require(edit, "type")
+        if gate_type not in _GATE_TYPES:
+            raise IncrementalError(
+                f"unknown gate type {gate_type!r}; expected one of "
+                f"{_GATE_TYPES}")
+        normalized["type"] = gate_type
+        k = edit.get("k")
+        if k is not None:
+            if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+                raise IncrementalError(
+                    f"edit field 'k' must be a positive int, got {k!r}")
+            normalized["k"] = k
+    return normalized
+
+
+def validate_edits(edits: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Validate a batch of edits (see :func:`validate_edit`)."""
+    if isinstance(edits, dict):
+        raise IncrementalError("edits must be a list of edit dicts")
+    return [validate_edit(edit) for edit in edits]
+
+
+def is_structural(edit: Dict[str, Any]) -> bool:
+    """True when the edit changes the tree structure (not just a rate)."""
+    return edit["op"] in STRUCTURAL_OPS
+
+
+def apply_edits(tree: FaultTree, overrides: Dict[str, float],
+                edits: Iterable[Any],
+                ) -> Tuple[FaultTree, Dict[str, float], bool]:
+    """Apply validated edits, returning ``(tree, overrides, structural)``.
+
+    Rate edits only touch the override map.  Structural edits patch the
+    serialized tree dict (one serialization however many edits) and
+    rebuild through :func:`tree_from_dict`, so the result is a fully
+    validated tree.  The inputs are never mutated.
+    """
+    overrides = dict(overrides)
+    data: Optional[Dict[str, Any]] = None
+    structural = False
+    for edit in validate_edits(edits):
+        name = edit["event"]
+        if edit["op"] == "set_rate":
+            try:
+                target = tree.event(name)
+            except Exception as exc:
+                raise IncrementalError(
+                    f"cannot set rate of unknown event {name!r}") from exc
+            if not isinstance(target, (PrimaryFailure, Condition)):
+                raise IncrementalError(
+                    f"set_rate targets a primary failure or condition; "
+                    f"{name!r} is a {type(target).__name__}")
+            overrides[name] = edit["probability"]
+            continue
+        structural = True
+        if data is None:
+            data = tree_to_dict(tree)
+        entry = data["events"].get(name)
+        if entry is None:
+            raise IncrementalError(
+                f"cannot edit unknown event {name!r}")
+        if edit["op"] == "set_house":
+            if entry.get("kind") != "house":
+                raise IncrementalError(
+                    f"set_house targets a house event; {name!r} is "
+                    f"{entry.get('kind', 'unknown')!r}")
+            entry["state"] = edit["state"]
+        else:  # set_gate
+            gate = entry.get("gate")
+            if gate is None:
+                raise IncrementalError(
+                    f"set_gate targets an intermediate event; {name!r} "
+                    f"has no gate")
+            gate["type"] = edit["type"]
+            if edit["type"] == GateType.KOFN.value:
+                if "k" not in edit:
+                    raise IncrementalError(
+                        f"set_gate to 'kofn' on {name!r} requires 'k'")
+                gate["k"] = edit["k"]
+            else:
+                gate.pop("k", None)
+            if edit["type"] == GateType.INHIBIT.value:
+                if "condition" not in gate:
+                    raise IncrementalError(
+                        f"set_gate to 'inhibit' on {name!r} requires the "
+                        f"gate to already carry a condition")
+            else:
+                gate.pop("condition", None)
+    if data is not None:
+        tree = tree_from_dict(data)
+    return tree, overrides, structural

@@ -1,0 +1,371 @@
+"""The incremental quantification session.
+
+One :class:`IncrementalSession` holds a fault tree decomposed into
+independent modules (:func:`repro.fta.modules.select_modules`) plus the
+reduced *spine* — the tree with every chosen module folded into a single
+leaf.  Each unit (module or spine) compiles once into a
+:class:`~repro.compile.tape.CompiledTape` keyed by its
+:func:`~repro.engine.fingerprint.shape_fingerprint`; scalar results are
+additionally memoized under a value key combining the shape with the
+unit's effective leaf probabilities.  Tapes and values persist through
+any :class:`~repro.engine.cache.CacheBackend`, so sessions (and server
+processes) share compiled artifacts.
+
+Re-quantification after an edit (:meth:`IncrementalSession.apply`) then
+reduces to diffing value keys: a unit whose key is unchanged returns its
+memoized value without touching a tape — after a single-rate edit only
+the owning module and the spine recompute, which is what makes the warm
+path near-constant-time on wide trees.
+
+Composition is exactly :func:`repro.fta.modules.modular_probability`
+(same selection, same folding, and the tape arithmetic is bit-identical
+to the interpreted exact method), so session results are bit-identical
+to ``modular_probability(tree, probs, method="exact")`` — and to plain
+monolithic exact quantification whenever the tree has no modules, as in
+the shared-leaf corridor model.
+
+When a unit's BDD blows up under the static declaration order, an
+optional ``sift_threshold`` triggers dynamic reordering
+(:func:`repro.bdd.sift.sift`) before lowering; sifted tapes live under
+distinct cache keys since their arithmetic differs bitwise.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.bdd.manager import BDDManager
+from repro.compile.tape import CompiledTape
+from repro.engine.cache import MISS, CacheBackend
+from repro.engine.fingerprint import digest, shape_fingerprint
+from repro.errors import IncrementalError, QuantificationError
+from repro.fta.events import Condition, IntermediateEvent, PrimaryFailure
+from repro.fta.modules import fold_modules, select_modules
+from repro.fta.quantify import declared_leaf_order, to_bdd
+from repro.fta.tree import FaultTree
+from repro.incremental.edits import apply_edits, validate_edits
+
+#: Counter names tracked by :class:`IncrementalStats`.
+_COUNTERS = ("sessions", "requantifications", "module_compiles",
+             "tape_hits", "value_hits", "value_misses", "sift_passes",
+             "sift_nodes_before", "sift_nodes_after")
+
+
+class IncrementalStats:
+    """Thread-safe module-cache and sifting counters.
+
+    One instance lives on each :class:`~repro.engine.engine.Engine`
+    (surfaced through ``EngineStats.incremental`` and the ``/stats``
+    endpoint of :mod:`repro.serve`); standalone sessions create their
+    own.  ``value_hits``/``tape_hits`` count artifacts served from the
+    cache backend, ``value_misses``/``module_compiles`` count actual
+    tape evaluations and BDD compilations.
+    """
+
+    __slots__ = ("_lock",) + _COUNTERS
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in _COUNTERS}
+
+
+@dataclass(frozen=True)
+class EditReport:
+    """What one :meth:`IncrementalSession.apply` call did.
+
+    ``dirty`` names the units (module roots, plus the tree's top for the
+    spine) that had to be re-resolved; ``clean`` the ones served from the
+    session memo untouched.  ``value`` is the re-quantified top-event
+    probability after the edits.
+    """
+
+    edits: Tuple[Dict[str, Any], ...]
+    structural: bool
+    value: float
+    dirty: Tuple[str, ...]
+    clean: Tuple[str, ...]
+    wall_time_s: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the ``repro whatif`` stream format)."""
+        return {"edits": [dict(edit) for edit in self.edits],
+                "structural": self.structural,
+                "value": self.value,
+                "dirty": list(self.dirty),
+                "clean": list(self.clean),
+                "wall_time_s": self.wall_time_s}
+
+
+class _Unit:
+    """One independently compiled piece: a module subtree or the spine."""
+
+    __slots__ = ("name", "tree", "leaf_order", "shape_key", "tape",
+                 "last_local", "last_value")
+
+    def __init__(self, name: str, tree: FaultTree, sift_tag: str) -> None:
+        self.name = name
+        self.tree = tree
+        self.leaf_order = declared_leaf_order(tree)
+        # The sift setting is part of the key: sifted and unsifted tapes
+        # compute the same probability via different arithmetic, and
+        # cache hits must be bit-identical to a fresh compile.
+        self.shape_key = shape_fingerprint(tree) + sift_tag
+        self.tape: Optional[CompiledTape] = None
+        self.last_local: Optional[Dict[str, float]] = None
+        self.last_value = 0.0
+
+
+class IncrementalSession:
+    """Interactive what-if quantification over one evolving fault tree.
+
+    Parameters
+    ----------
+    tree:
+        The initial fault tree.
+    probabilities:
+        Optional leaf-probability overrides (as for
+        :func:`repro.fta.quantify.hazard_probability`).
+    cache:
+        Optional :class:`~repro.engine.cache.CacheBackend` holding
+        per-module tapes and values across sessions/processes.
+    sift_threshold:
+        When set, modules whose BDD exceeds this many nodes are sifted
+        before lowering (see :mod:`repro.bdd.sift`).
+    stats:
+        Optional shared :class:`IncrementalStats`; the engine passes its
+        own so ``/stats`` aggregates over every session.
+    """
+
+    def __init__(self, tree: FaultTree,
+                 probabilities: Optional[Dict[str, float]] = None,
+                 cache: Optional[CacheBackend] = None,
+                 sift_threshold: Optional[int] = None,
+                 stats: Optional[IncrementalStats] = None):
+        if not isinstance(tree, FaultTree):
+            raise IncrementalError(
+                f"expected a FaultTree, got {type(tree).__name__}")
+        if sift_threshold is not None and sift_threshold < 1:
+            raise IncrementalError(
+                f"sift_threshold must be a positive int, "
+                f"got {sift_threshold!r}")
+        self._tree = tree
+        self._overrides = dict(probabilities or {})
+        self._cache = cache
+        self._sift_threshold = sift_threshold
+        self._stats = stats if stats is not None else IncrementalStats()
+        self._stats.bump(sessions=1)
+        self._decompose()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> FaultTree:
+        """The current (possibly edited) fault tree."""
+        return self._tree
+
+    @property
+    def overrides(self) -> Dict[str, float]:
+        """The current leaf-probability overrides (a copy)."""
+        return dict(self._overrides)
+
+    @property
+    def modules(self) -> List[str]:
+        """Names of the folded module roots (may be empty)."""
+        return [unit.name for unit in self._module_units]
+
+    @property
+    def stats(self) -> IncrementalStats:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Decomposition
+    # ------------------------------------------------------------------
+    def _decompose(self) -> None:
+        sift_tag = (f"|sift={self._sift_threshold}"
+                    if self._sift_threshold is not None else "")
+        chosen = select_modules(self._tree)
+        self._module_units = []
+        for module in chosen:
+            root_event = self._tree.event(module.root)
+            assert isinstance(root_event, IntermediateEvent)
+            sub = FaultTree(root_event, name=module.root)
+            self._module_units.append(_Unit(module.root, sub, sift_tag))
+        if chosen:
+            # Folded values are placeholders: the spine's *structure* is
+            # all that is compiled; actual module values flow in as leaf
+            # probabilities at evaluation time.
+            spine_tree = fold_modules(
+                self._tree, {module.root: 0.0 for module in chosen})
+        else:
+            spine_tree = self._tree
+        self._spine = _Unit(self._tree.top.name, spine_tree, sift_tag)
+        # The leaf-defaults scan is cached per decomposition so the warm
+        # edit path only overlays overrides instead of re-walking the
+        # tree on every re-quantification.
+        defaults: Dict[str, float] = {}
+        missing: List[str] = []
+        for event in self._tree.iter_events():
+            if isinstance(event, (PrimaryFailure, Condition)):
+                if event.probability is not None:
+                    defaults[event.name] = event.probability
+                else:
+                    missing.append(event.name)
+        self._leaf_defaults = defaults
+        self._leaf_missing = tuple(missing)
+
+    def _leaf_values(self) -> Dict[str, float]:
+        """Defaults overlaid with overrides; mirrors ``probability_map``."""
+        for name in self._leaf_missing:
+            if name not in self._overrides:
+                raise QuantificationError(
+                    f"no probability available for {name!r}; provide "
+                    "a default on the event or an override")
+        values = dict(self._leaf_defaults)
+        values.update(self._overrides)
+        return values
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+    def quantify(self) -> float:
+        """(Re-)quantify the current tree exactly."""
+        return self._quantify()[0]
+
+    def _quantify(self) -> Tuple[float, List[str], List[str]]:
+        values = self._leaf_values()
+        dirty: List[str] = []
+        clean: List[str] = []
+        for unit in self._module_units:
+            value, memoized = self._unit_value(unit, values)
+            values[unit.name] = value
+            (clean if memoized else dirty).append(unit.name)
+        top_value, memoized = self._unit_value(self._spine, values)
+        (clean if memoized else dirty).append(self._spine.name)
+        self._stats.bump(requantifications=1)
+        return top_value, dirty, clean
+
+    def _unit_value(self, unit: _Unit,
+                    values: Dict[str, float]) -> Tuple[float, bool]:
+        try:
+            local = {name: values[name] for name in unit.leaf_order}
+        except KeyError as exc:  # pragma: no cover - probability_map
+            raise IncrementalError(          # guards this upstream
+                f"no probability for leaf {exc} of unit "
+                f"{unit.name!r}") from None
+        # Session memo: the warm-edit hot path compares the valuation
+        # directly, so clean units cost one dict equality — no hashing.
+        if unit.last_local is not None and unit.last_local == local:
+            return unit.last_value, True
+        value: Optional[float] = None
+        if self._cache is not None:
+            # The leaf order is pinned by shape_key, so hashing the
+            # values positionally is canonical — and much cheaper than
+            # a sorted name->value fingerprint.
+            value_key = "incr-val|" + digest(
+                unit.shape_key + "|"
+                + ",".join(repr(float(v)) for v in local.values()))
+            hit = self._cache.get(value_key)
+            if hit is not MISS:
+                try:
+                    value = float(hit)
+                except (TypeError, ValueError):
+                    value = None
+                else:
+                    self._stats.bump(value_hits=1)
+        if value is None:
+            value = self._unit_tape(unit).scalar(local)
+            self._stats.bump(value_misses=1)
+            if self._cache is not None:
+                self._cache.put(value_key, value)
+        unit.last_local = local
+        unit.last_value = value
+        return value, False
+
+    def _unit_tape(self, unit: _Unit) -> CompiledTape:
+        if unit.tape is not None:
+            return unit.tape
+        tape_key = "incr-tape|" + unit.shape_key
+        if self._cache is not None:
+            hit = self._cache.get(tape_key)
+            if hit is not MISS:
+                try:
+                    unit.tape = CompiledTape.decode(hit)
+                except Exception:
+                    unit.tape = None    # corrupt payload: recompile
+                else:
+                    self._stats.bump(tape_hits=1)
+                    return unit.tape
+        unit.tape = self._compile(unit)
+        if self._cache is not None:
+            self._cache.put(tape_key, unit.tape.encode())
+        return unit.tape
+
+    def _compile(self, unit: _Unit) -> CompiledTape:
+        manager = BDDManager()
+        root = to_bdd(unit.tree, manager)
+        self._stats.bump(module_compiles=1)
+        threshold = self._sift_threshold
+        if threshold is not None and root.index > 1 \
+                and manager.size(root) > threshold:
+            result = manager.sift(root)
+            self._stats.bump(sift_passes=1,
+                             sift_nodes_before=result.size_before,
+                             sift_nodes_after=result.size_after)
+            manager, root = result.manager, result.root
+        return CompiledTape.from_bdd(manager, root, unit.tree.name)
+
+    # ------------------------------------------------------------------
+    # Edits
+    # ------------------------------------------------------------------
+    def apply(self, edits: Iterable[Any]) -> EditReport:
+        """Apply edits and re-quantify, recomputing only dirty units.
+
+        Rate edits leave the decomposition and every compiled tape in
+        place.  Structural edits re-decompose, but units whose shape key
+        survives the edit carry their tape and memo over — an OR→AND flip
+        inside one module leaves every other module clean.
+        """
+        start = perf_counter()
+        edits = validate_edits(edits)
+        new_tree, new_overrides, structural = apply_edits(
+            self._tree, self._overrides, edits)
+        self._tree = new_tree
+        self._overrides = new_overrides
+        if structural:
+            previous = {unit.shape_key: unit
+                        for unit in self._module_units + [self._spine]}
+            self._decompose()
+            for unit in self._module_units + [self._spine]:
+                kept = previous.get(unit.shape_key)
+                if kept is not None:
+                    unit.tape = kept.tape
+                    unit.last_local = kept.last_local
+                    unit.last_value = kept.last_value
+        value, dirty, clean = self._quantify()
+        normalized = tuple(dict(edit) for edit in edits)
+        return EditReport(edits=normalized, structural=structural,
+                          value=value, dirty=tuple(dirty),
+                          clean=tuple(clean),
+                          wall_time_s=perf_counter() - start)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe session summary (tree, modules, sizes)."""
+        return {"tree": self._tree.name,
+                "modules": self.modules,
+                "units": len(self._module_units) + 1,
+                "sift_threshold": self._sift_threshold,
+                "cached": self._cache is not None}

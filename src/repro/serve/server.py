@@ -282,6 +282,9 @@ class RiskServer:
                 "coalesce_rate": (stats.coalesced / shared
                                   if shared else 0.0)},
             "cache": self.engine.cache.info(),
+            # Module-cache and sifting counters from incremental
+            # (what-if) jobs served by this engine.
+            "incremental": stats.incremental,
         }
 
 

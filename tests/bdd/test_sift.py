@@ -1,0 +1,192 @@
+"""Dynamic variable reordering: swap soundness, shrinkage, edge cases."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDDManager, FALSE, TRUE, sift
+from repro.bdd.sift import _Levelized
+from repro.errors import BDDError
+from repro.fta.dsl import AND, hazard, primary
+from repro.fta.quantify import hazard_probability, to_bdd
+from repro.fta.tree import FaultTree
+
+
+def random_diagram(rng, variables):
+    """A random BDD over ``variables`` built from random connectives."""
+    manager = BDDManager()
+    nodes = [manager.var(f"v{i}") for i in range(variables)]
+    result = nodes[0]
+    for _ in range(rng.randint(2, 12)):
+        operand = nodes[rng.randrange(variables)]
+        op = rng.choice(["and", "or", "xor", "not"])
+        if op == "and":
+            result = manager.apply_and(result, operand)
+        elif op == "or":
+            result = manager.apply_or(result, operand)
+        elif op == "xor":
+            result = manager.apply_xor(result, operand)
+        else:
+            result = manager.negate(result)
+    return manager, result
+
+
+def assert_same_function(m1, root1, m2, root2, variables):
+    names = [f"v{i}" for i in range(variables)]
+    for bits in itertools.product([False, True], repeat=variables):
+        assignment = dict(zip(names, bits))
+        assert m1.evaluate(root1, assignment) == \
+            m2.evaluate(root2, assignment), assignment
+
+
+def adversarial_tree(n):
+    """f = (x1 & ... & xn) | OR_i (xi & yi).
+
+    Declaration order registers every ``x`` before any ``y`` (the probe
+    AND comes first) — the textbook order under which the pair-matching
+    part needs exponentially many nodes; interleaved ``xi, yi`` is
+    linear.
+    """
+    xs = [primary(f"x{i}", 0.01) for i in range(n)]
+    ys = [primary(f"y{i}", 0.02) for i in range(n)]
+    probe = AND("probe", *xs)
+    pairs = [AND(f"pair{i}", xs[i], ys[i]) for i in range(n)]
+    return FaultTree(hazard("H", OR_gate=[probe] + pairs))
+
+
+class TestSwapPrimitive:
+    def test_single_swap_preserves_function(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            variables = rng.randint(3, 6)
+            manager, root = random_diagram(rng, variables)
+            if root.index < 2:
+                continue
+            levelized = _Levelized(manager, root)
+            level = rng.randrange(variables - 1)
+            levelized.swap(level)
+            rebuilt_manager, rebuilt_root = levelized.rebuild(
+                list(manager.var_names))
+            assert_same_function(manager, root, rebuilt_manager,
+                                 rebuilt_root, variables)
+
+    def test_double_swap_restores_size(self):
+        manager, root = random_diagram(random.Random(3), 5)
+        levelized = _Levelized(manager, root)
+        before = levelized.size
+        levelized.swap(1)
+        levelized.swap(1)
+        assert levelized.size == before
+        assert levelized._var_at == list(range(5))
+
+    def test_refcounts_stay_garbage_free(self):
+        rng = random.Random(11)
+        manager, root = random_diagram(rng, 6)
+        levelized = _Levelized(manager, root)
+        for _ in range(40):
+            levelized.swap(rng.randrange(5))
+        # Every table entry must be reachable from the root.
+        reachable = set()
+        stack = [levelized.root]
+        while stack:
+            node = stack.pop()
+            if node < 2 or node in reachable:
+                continue
+            reachable.add(node)
+            stack.append(levelized._low[node])
+            stack.append(levelized._high[node])
+        assert set(levelized._var) == reachable
+        assert set(levelized._unique.values()) == reachable
+
+
+class TestSift:
+    def test_preserves_function_exhaustively(self):
+        rng = random.Random(0)
+        for _ in range(40):
+            variables = rng.randint(3, 7)
+            manager, root = random_diagram(rng, variables)
+            result = manager.sift(root, rounds=2)
+            assert_same_function(manager, root, result.manager,
+                                 result.root, variables)
+            assert result.size_after <= result.size_before
+            assert sorted(result.order) == sorted(manager.var_names)
+
+    def test_shrinks_adversarial_declaration_order(self):
+        tree = adversarial_tree(8)
+        manager = BDDManager()
+        root = to_bdd(tree, manager)
+        result = manager.sift(root)
+        assert result.size_before == manager.size(root)
+        # The static order is exponential (~2^n); sifting finds the
+        # interleaved order, which is linear in n.
+        assert result.size_after < result.size_before // 4
+        assert result.shrank
+
+    def test_sift_preserves_probability(self):
+        tree = adversarial_tree(6)
+        manager = BDDManager()
+        root = to_bdd(tree, manager)
+        result = manager.sift(root)
+        from repro.bdd import probability
+        probs = {f"x{i}": 0.01 for i in range(6)}
+        probs.update({f"y{i}": 0.02 for i in range(6)})
+        exact = hazard_probability(tree, method="exact")
+        assert probability(result.manager, result.root, probs) == \
+            pytest.approx(exact, rel=1e-12)
+
+    def test_terminal_root_is_trivial(self):
+        manager = BDDManager()
+        manager.add_var("a")
+        result = sift(manager, TRUE)
+        assert result.root.index == 1
+        assert result.size_before == result.size_after == 0
+        assert sift(manager, FALSE).root.index == 0
+
+    def test_small_diagrams_pass_through(self):
+        manager = BDDManager()
+        node = manager.apply_and(manager.var("a"), manager.var("b"))
+        result = manager.sift(node)
+        assert result.size_after == result.size_before == 2
+        for a in (False, True):
+            for b in (False, True):
+                assignment = {"a": a, "b": b}
+                assert result.manager.evaluate(result.root, assignment) \
+                    == manager.evaluate(node, assignment)
+        assert result.manager.sat_count(result.root) == \
+            manager.sat_count(node)
+
+    def test_rejects_foreign_node_and_bad_params(self):
+        manager = BDDManager()
+        other = BDDManager()
+        node = other.var("a")
+        with pytest.raises(BDDError):
+            sift(manager, node)
+        with pytest.raises(BDDError):
+            sift(other, node, max_growth=0.5)
+        with pytest.raises(BDDError):
+            sift(other, node, rounds=0)
+
+    def test_input_arena_left_valid(self):
+        manager, root = random_diagram(random.Random(5), 5)
+        count = manager.node_count
+        sat = manager.sat_count(root)
+        manager.sift(root, rounds=2)
+        assert manager.node_count == count
+        assert manager.sat_count(root) == sat
+
+
+class TestSiftedTape:
+    def test_sifted_tape_matches_exact_probability(self):
+        from repro.compile import CompiledTape
+        tree = adversarial_tree(7)
+        manager = BDDManager()
+        root = to_bdd(tree, manager)
+        result = manager.sift(root)
+        tape = CompiledTape.from_bdd(result.manager, result.root,
+                                     tree.name)
+        assert tape.size == result.size_after
+        probs = {f"x{i}": 0.01 for i in range(7)}
+        probs.update({f"y{i}": 0.02 for i in range(7)})
+        assert tape.scalar(probs) == pytest.approx(
+            hazard_probability(tree, method="exact"), rel=1e-12)

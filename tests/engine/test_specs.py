@@ -102,7 +102,8 @@ class TestJobFromSpec:
                            "samples": "many"})
 
     def test_spec_types_constant(self):
-        assert SPEC_TYPES == ("quantify", "sweep", "montecarlo")
+        assert SPEC_TYPES == ("quantify", "sweep", "montecarlo",
+                              "incremental")
 
 
 class TestJobsFromPayload:

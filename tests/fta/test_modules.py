@@ -116,10 +116,141 @@ class TestModularProbability:
             rel=1e-12)
 
     def test_deep_random_trees_match(self):
-        import random
         from tests.fta.test_cutsets import random_coherent_tree
         for seed in range(20):
             tree = random_coherent_tree(seed)
             assert modular_probability(tree, method="exact") == \
                 pytest.approx(
                     hazard_probability(tree, method="exact"), rel=1e-9)
+
+
+class TestFoldModules:
+    def test_replacements_become_leaves(self, modular_tree):
+        from repro.fta import fold_modules, select_modules
+        selected = select_modules(modular_tree)
+        folded = fold_modules(modular_tree,
+                              {m.root: 0.5 for m in selected})
+        assert sorted(p.name for p in folded.primary_failures) == \
+            ["pumps", "valves"]
+        assert hazard_probability(folded, method="exact") == 0.75
+
+    def test_top_event_cannot_be_folded(self, modular_tree):
+        from repro.fta import fold_modules
+        with pytest.raises(ValueError):
+            fold_modules(modular_tree, {"H": 0.5})
+
+    def test_inhibit_condition_below_fold_is_rebuilt(self):
+        """Regression: INHIBIT conditions must flow through the fold.
+
+        The old recursive clone skipped ``gate.condition``, so a fold
+        that rebuilt an INHIBIT gate could drop its condition and the
+        folded tree then disagreed with the direct quantification.
+        Leaves are shared by design, so the rebuilt gate must carry the
+        *same* condition object — never ``None``.
+        """
+        from repro.fta import fold_modules
+        cause = AND("cause", primary("a", 0.2), primary("b", 0.3))
+        guarded = INHIBIT("guarded", cause, condition("env", 0.4))
+        tree = FaultTree(hazard("H", OR_gate=[guarded,
+                                              primary("c", 0.1)]))
+        folded = fold_modules(tree, {"cause": 0.06})
+        guarded_event = folded.event("guarded")
+        assert guarded_event is not tree.event("guarded")
+        assert guarded_event.gate.condition is \
+            tree.event("guarded").gate.condition
+        direct = hazard_probability(tree, method="exact")
+        assert hazard_probability(folded, method="exact") == \
+            pytest.approx(direct, rel=1e-12)
+
+    def test_modular_probability_with_inhibit_module(self):
+        """Regression companion: the full modular path over INHIBIT."""
+        cause = AND("cause", primary("a", 0.2), primary("b", 0.3))
+        guarded = INHIBIT("guarded", cause, condition("env", 0.4))
+        tree = FaultTree(hazard("H", OR_gate=[guarded,
+                                              primary("c", 0.1)]))
+        assert modular_probability(tree, method="exact") == \
+            pytest.approx(hazard_probability(tree, method="exact"),
+                          rel=1e-12)
+
+
+class TestDeepChains:
+    def chain_tree(self, depth):
+        """A ``depth``-gate linear chain plus one genuine module.
+
+        The chain shares a single leaf everywhere, so no chain gate is
+        a module; the side module forces the fold path to run.
+        """
+        shared = primary("shared", 0.01)
+        node = OR("g0", shared, primary("base", 0.02))
+        for i in range(1, depth):
+            node = OR(f"g{i}", shared, node)
+        module = AND("side", primary("s1", 0.1), primary("s2", 0.2))
+        # ``shared`` sits under the top as well, so no chain gate is
+        # independent and the whole chain survives into the fold.
+        return FaultTree(hazard("H", OR_gate=[node, module, shared]))
+
+    def test_5000_gate_chain_quantifies_without_recursion(self):
+        import sys
+        tree = self.chain_tree(5000)
+        assert sys.getrecursionlimit() < 5000  # recursion would die
+        value = modular_probability(tree, method="exact")
+        direct = hazard_probability(tree, method="exact")
+        assert value == pytest.approx(direct, rel=1e-12)
+
+    def test_5000_gate_chain_module_detection(self):
+        from repro.fta import select_modules
+        tree = self.chain_tree(5000)
+        assert [m.root for m in select_modules(tree)] == ["side"]
+
+
+class TestDetectionOracle:
+    """The visit-date detector must match the path-counting definition."""
+
+    @staticmethod
+    def _path_counts(root):
+        from repro.fta.events import IntermediateEvent
+        from repro.fta.modules import _children
+        counts = {id(root): 1}
+        order, seen, stack = [], set(), [(root, False)]
+        while stack:
+            event, leaving = stack.pop()
+            if leaving:
+                order.append(event)
+                continue
+            if id(event) in seen:
+                continue
+            seen.add(id(event))
+            stack.append((event, True))
+            if isinstance(event, IntermediateEvent):
+                stack.extend((c, False) for c in _children(event))
+        for event in reversed(order):
+            if not isinstance(event, IntermediateEvent):
+                continue
+            base = counts.get(id(event), 0)
+            for child in _children(event):
+                counts[id(child)] = counts.get(id(child), 0) + base
+        return counts
+
+    def _oracle(self, tree):
+        from repro.fta.events import IntermediateEvent
+        from repro.fta.modules import _leaves_below
+        global_paths = self._path_counts(tree.top)
+        names = []
+        for event in tree.iter_events():
+            if not isinstance(event, IntermediateEvent) \
+                    or event is tree.top:
+                continue
+            local = self._path_counts(event)
+            p_event = global_paths.get(id(event), 0)
+            if all(global_paths.get(leaf, 0) ==
+                   p_event * local.get(leaf, 0)
+                   for leaf in _leaves_below(event)):
+                names.append(event.name)
+        return sorted(names)
+
+    def test_matches_path_count_oracle_on_random_trees(self):
+        from tests.fta.test_cutsets import random_coherent_tree
+        for seed in range(25):
+            tree = random_coherent_tree(seed)
+            assert sorted(m.root for m in find_modules(tree)) == \
+                self._oracle(tree), seed

@@ -1,0 +1,144 @@
+"""Edit-operation validation and application."""
+
+import pytest
+
+from repro.errors import IncrementalError
+from repro.fta.dsl import AND, INHIBIT, condition, hazard, house, primary
+from repro.fta.quantify import hazard_probability
+from repro.fta.tree import FaultTree
+from repro.incremental import (
+    EDIT_OPS,
+    apply_edits,
+    is_structural,
+    validate_edit,
+    validate_edits,
+)
+
+
+@pytest.fixture
+def tree():
+    motor = AND("motor", primary("m1", 0.1), primary("m2", 0.2))
+    guarded = INHIBIT("guarded", primary("cause", 0.3),
+                      condition("armed", 0.5))
+    return FaultTree(hazard("H", OR_gate=[motor, guarded,
+                                          house("maint", False)]))
+
+
+class TestValidation:
+    def test_ops_are_closed(self):
+        assert set(EDIT_OPS) == {"set_rate", "set_house", "set_gate"}
+
+    def test_set_rate_normalizes(self):
+        edit = validate_edit({"op": "set_rate", "event": "m1",
+                              "probability": "0.25"})
+        assert edit == {"op": "set_rate", "event": "m1",
+                        "probability": 0.25}
+
+    @pytest.mark.parametrize("bad", [
+        "not-a-dict",
+        {"op": "frobnicate", "event": "m1"},
+        {"op": "set_rate", "event": "m1"},
+        {"op": "set_rate", "event": "", "probability": 0.1},
+        {"op": "set_rate", "event": "m1", "probability": 1.5},
+        {"op": "set_rate", "event": "m1", "probability": "nope"},
+        {"op": "set_house", "event": "maint", "state": "yes"},
+        {"op": "set_gate", "event": "motor", "type": "nand"},
+        {"op": "set_gate", "event": "motor", "type": "kofn", "k": 0},
+        {"op": "set_gate", "event": "motor", "type": "kofn", "k": True},
+    ])
+    def test_invalid_edits_rejected(self, bad):
+        with pytest.raises(IncrementalError):
+            validate_edit(bad)
+
+    def test_edits_must_be_a_list(self):
+        with pytest.raises(IncrementalError):
+            validate_edits({"op": "set_rate"})
+
+    def test_structural_classification(self):
+        assert not is_structural({"op": "set_rate"})
+        assert is_structural({"op": "set_house"})
+        assert is_structural({"op": "set_gate"})
+
+
+class TestApplyEdits:
+    def test_rate_edit_only_touches_overrides(self, tree):
+        new_tree, overrides, structural = apply_edits(
+            tree, {}, [{"op": "set_rate", "event": "m1",
+                        "probability": 0.4}])
+        assert new_tree is tree
+        assert overrides == {"m1": 0.4}
+        assert not structural
+
+    def test_rate_edit_rejects_unknown_and_non_leaf(self, tree):
+        with pytest.raises(IncrementalError):
+            apply_edits(tree, {}, [{"op": "set_rate", "event": "ghost",
+                                    "probability": 0.1}])
+        with pytest.raises(IncrementalError):
+            apply_edits(tree, {}, [{"op": "set_rate", "event": "motor",
+                                    "probability": 0.1}])
+
+    def test_house_edit_rebuilds(self, tree):
+        new_tree, _, structural = apply_edits(
+            tree, {}, [{"op": "set_house", "event": "maint",
+                        "state": True}])
+        assert structural
+        assert new_tree is not tree
+        assert hazard_probability(new_tree, method="exact") == 1.0
+
+    def test_house_edit_requires_house_event(self, tree):
+        with pytest.raises(IncrementalError):
+            apply_edits(tree, {}, [{"op": "set_house", "event": "m1",
+                                    "state": True}])
+
+    def test_gate_edit_changes_probability(self, tree):
+        new_tree, _, structural = apply_edits(
+            tree, {}, [{"op": "set_gate", "event": "motor",
+                        "type": "or"}])
+        assert structural
+        # motor: AND(0.1, 0.2)=0.02 becomes OR = 0.28.
+        before = hazard_probability(tree, method="exact")
+        after = hazard_probability(new_tree, method="exact")
+        assert after > before
+
+    def test_gate_edit_to_kofn_requires_k(self, tree):
+        with pytest.raises(IncrementalError):
+            apply_edits(tree, {}, [{"op": "set_gate", "event": "motor",
+                                    "type": "kofn"}])
+        new_tree, _, _ = apply_edits(
+            tree, {}, [{"op": "set_gate", "event": "motor",
+                        "type": "kofn", "k": 2}])
+        assert hazard_probability(new_tree, method="exact") == \
+            hazard_probability(tree, method="exact")
+
+    def test_gate_edit_away_from_inhibit_drops_condition(self, tree):
+        new_tree, _, _ = apply_edits(
+            tree, {}, [{"op": "set_gate", "event": "guarded",
+                        "type": "or"}])
+        guarded = new_tree.event("guarded")
+        assert guarded.gate.condition is None
+
+    def test_gate_edit_on_leaf_rejected(self, tree):
+        with pytest.raises(IncrementalError):
+            apply_edits(tree, {}, [{"op": "set_gate", "event": "m1",
+                                    "type": "or"}])
+
+    def test_multiple_edits_one_rebuild(self, tree):
+        new_tree, overrides, structural = apply_edits(
+            tree, {"m2": 0.25},
+            [{"op": "set_gate", "event": "motor", "type": "or"},
+             {"op": "set_house", "event": "maint", "state": True},
+             {"op": "set_rate", "event": "m1", "probability": 0.5}])
+        assert structural
+        assert overrides == {"m1": 0.5, "m2": 0.25}
+        assert new_tree.event("maint").state is True
+        assert new_tree.event("motor").gate.gate_type.value == "or"
+
+    def test_inputs_not_mutated(self, tree):
+        overrides = {"m1": 0.11}
+        apply_edits(tree, overrides,
+                    [{"op": "set_rate", "event": "m1",
+                      "probability": 0.9},
+                     {"op": "set_house", "event": "maint",
+                      "state": True}])
+        assert overrides == {"m1": 0.11}
+        assert tree.event("maint").state is False

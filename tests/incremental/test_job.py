@@ -1,0 +1,109 @@
+"""IncrementalJob through the engine and the spec layer."""
+
+import pytest
+
+from repro.engine import Engine, IncrementalJob, job_from_spec
+from repro.errors import EngineError, IncrementalError
+from repro.fta import FaultTree, modular_probability
+from repro.fta.dsl import AND, hazard, primary
+from repro.incremental import IncrementalSession
+
+
+def wide_tree(blocks=4):
+    parts = [AND(f"block{i}",
+                 primary(f"a{i}", 0.01), primary(f"b{i}", 0.02))
+             for i in range(blocks)]
+    return FaultTree(hazard("H", OR_gate=parts))
+
+
+EDIT = {"op": "set_rate", "event": "a1", "probability": 0.2}
+
+
+class TestIncrementalJob:
+    def test_baseline_matches_session(self):
+        tree = wide_tree()
+        result = IncrementalJob(tree).run_serial()
+        assert result["baseline"] == IncrementalSession(tree).quantify()
+        assert result["final"] == result["baseline"]
+        assert result["steps"] == []
+        assert result["modules"] == [f"block{i}" for i in range(4)]
+        assert result["tree"] == "H"
+
+    def test_edits_replay_in_order(self):
+        tree = wide_tree()
+        second = {"op": "set_rate", "event": "a2", "probability": 0.3}
+        result = IncrementalJob(tree, edits=[EDIT, second]).run_serial()
+        assert len(result["steps"]) == 2
+        assert result["steps"][0]["dirty"] == ["block1", "H"]
+        assert result["steps"][1]["dirty"] == ["block2", "H"]
+        assert result["final"] == modular_probability(
+            tree, {"a1": 0.2, "a2": 0.3}, method="exact")
+        assert result["final"] == result["steps"][-1]["value"]
+
+    def test_fingerprint_covers_edits_and_sifting(self):
+        tree = wide_tree()
+        base = IncrementalJob(tree).fingerprint()
+        assert IncrementalJob(tree, edits=[EDIT]).fingerprint() != base
+        assert IncrementalJob(tree,
+                              sift_threshold=64).fingerprint() != base
+        assert IncrementalJob(tree).fingerprint() == base
+
+    def test_rejects_bad_inputs(self):
+        tree = wide_tree()
+        with pytest.raises(EngineError):
+            IncrementalJob("nope")
+        with pytest.raises(IncrementalError):
+            IncrementalJob(tree, edits=[{"op": "frobnicate"}])
+        with pytest.raises(EngineError):
+            IncrementalJob(tree, sift_threshold=0)
+        with pytest.raises(EngineError):
+            IncrementalJob(tree, sift_threshold="big")
+
+    def test_describe(self):
+        text = IncrementalJob(wide_tree(), edits=[EDIT]).describe()
+        assert text == "incremental 'H' (1 edits)"
+
+
+class TestEngineIntegration:
+    def test_engine_caches_and_counts(self):
+        engine = Engine()
+        tree = wide_tree()
+        job = IncrementalJob(tree, edits=[EDIT])
+        first = engine.run(job)
+        assert engine.run(IncrementalJob(tree, edits=[EDIT])) == first
+        stats = engine.stats()
+        assert stats.cache["hits"] == 1
+        assert stats.incremental["sessions"] == 1
+        assert stats.incremental["module_compiles"] > 0
+
+    def test_module_artifacts_shared_across_jobs(self):
+        engine = Engine()
+        tree = wide_tree()
+        engine.run(IncrementalJob(tree))
+        # A different edit list misses the result cache but reuses
+        # every per-module tape through the same backend.
+        engine.run(IncrementalJob(tree, edits=[EDIT]))
+        stats = engine.stats().incremental
+        assert stats["sessions"] == 2
+        assert stats["value_hits"] > 0
+
+
+class TestSpec:
+    def test_spec_round_trip(self):
+        spec = {"type": "incremental", "tree": "corridor",
+                "edits": [{"op": "set_rate",
+                           "event": "Signal not shown",
+                           "probability": 2e-4}],
+                "sift_threshold": 4096}
+        job = job_from_spec(spec)
+        assert isinstance(job, IncrementalJob)
+        result = job.run_serial()
+        assert result["steps"][0]["value"] != result["baseline"]
+
+    def test_spec_rejects_bad_fields(self):
+        with pytest.raises(EngineError):
+            job_from_spec({"type": "incremental", "tree": "corridor",
+                           "sift_threshold": "soon"})
+        with pytest.raises(IncrementalError):
+            job_from_spec({"type": "incremental", "tree": "corridor",
+                           "edits": [{"op": "explode"}]})

@@ -91,6 +91,18 @@ class TestEndpoints:
         assert stats["cache"]["size"] >= 1
         assert stats["server"]["accepted"] == 2
         assert 0.0 <= stats["coalescing"]["coalesce_rate"] <= 1.0
+        assert stats["incremental"]["sessions"] == 0
+
+    def test_incremental_spec_updates_stats(self, client):
+        spec = {"type": "incremental", "tree": "corridor",
+                "edits": [{"op": "set_rate",
+                           "event": "Signal not shown",
+                           "probability": 2e-4}]}
+        result = client.results([spec])[0]["result"]
+        assert result["steps"][0]["value"] != result["baseline"]
+        stats = client.stats()
+        assert stats["incremental"]["sessions"] == 1
+        assert stats["incremental"]["module_compiles"] >= 1
 
     def test_per_job_failure_keeps_stream_alive(self, client):
         # fig2 has no leaf defaults: quantifying it without

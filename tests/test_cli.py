@@ -278,6 +278,90 @@ class TestBatchCacheBackends:
         assert "error" in capsys.readouterr().err
 
 
+class TestWhatif:
+    EDITS = [{"op": "set_rate", "event": "Signal not shown",
+              "probability": 2e-4},
+             {"op": "set_rate", "event": "Signal not shown",
+              "probability": 1e-4}]
+
+    def write_edits(self, tmp_path, payload=None):
+        path = tmp_path / "edits.json"
+        path.write_text(json.dumps(self.EDITS if payload is None
+                                   else payload))
+        return str(path)
+
+    def test_text_output(self, tmp_path, capsys):
+        assert main(["whatif", self.write_edits(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline P =" in out
+        assert "[1] set_rate Signal not shown=0.0002" in out
+        assert "dirty:" in out and "stats:" in out
+
+    def test_json_stream(self, tmp_path, capsys):
+        assert main(["whatif", self.write_edits(tmp_path),
+                     "--json"]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines()]
+        assert [e["event"] for e in events] == \
+            ["baseline", "edit", "edit", "done"]
+        assert events[0]["tree"] == "Corridor collision"
+        # The second edit restores the default rate bit-exactly.
+        assert events[2]["value"] == events[0]["value"]
+        assert events[-1]["stats"]["requantifications"] == 3
+
+    def test_edits_from_stdin(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            json.dumps({"edits": self.EDITS[:1]})))
+        assert main(["whatif", "-", "--json"]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines()]
+        assert [e["event"] for e in events] == \
+            ["baseline", "edit", "done"]
+
+    def test_tree_from_file(self, tmp_path, capsys, simple_or_tree):
+        tree_path = tmp_path / "tree.json"
+        tree_path.write_text(tree_to_json(simple_or_tree))
+        edits = self.write_edits(tmp_path, [
+            {"op": "set_rate", "event": "A", "probability": 0.5}])
+        assert main(["whatif", edits, "--file", str(tree_path),
+                     "--json"]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines()]
+        assert events[1]["value"] != events[0]["value"]
+
+    def test_cache_warms_across_runs(self, tmp_path, capsys):
+        edits = self.write_edits(tmp_path)
+        cache = str(tmp_path / "whatif.db")
+        assert main(["whatif", edits, "--cache", cache,
+                     "--cache-backend", "sqlite", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["whatif", edits, "--cache", cache,
+                     "--cache-backend", "sqlite", "--json"]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines()]
+        assert events[-1]["stats"]["module_compiles"] == 0
+
+    def test_sift_threshold_flag(self, tmp_path, capsys):
+        edits = self.write_edits(tmp_path, [])
+        assert main(["whatif", edits, "--sift-threshold", "8",
+                     "--json"]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines()]
+        assert events[-1]["stats"]["sift_passes"] >= 1
+
+    def test_bad_edits_file_reported(self, tmp_path, capsys):
+        path = tmp_path / "edits.json"
+        path.write_text("{not json")
+        assert main(["whatif", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_non_list_edits_reported(self, tmp_path, capsys):
+        assert main(["whatif",
+                     self.write_edits(tmp_path, {"edits": 42})]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestServeCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["serve"])
