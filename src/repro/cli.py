@@ -149,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "vectorized batch evaluator (default: "
                             "--compiled; results are bit-identical "
                             "either way)")
+    batch.add_argument("--fault-plan",
+                       help="JSON fault-injection plan (see "
+                            "docs/resilience.md) applied to the pool "
+                            "and cache for chaos testing")
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON instead of text")
 
@@ -228,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=60.0,
                        help="seconds a queued job may wait before it "
                             "fails (default: 60)")
+    serve.add_argument("--fault-plan",
+                       help="JSON fault-injection plan (see "
+                            "docs/resilience.md) applied to the pool, "
+                            "cache and event streams for chaos testing")
 
     uq = sub.add_parser(
         "uq",
@@ -440,11 +448,16 @@ def _cmd_batch(args) -> None:
         except json.JSONDecodeError as exc:
             raise EngineError(f"invalid job file: {exc}") from None
     jobs = jobs_from_payload(spec, compiled=args.compiled)
+    fault_plan = None
+    if args.fault_plan:
+        from repro.resilience import load_fault_plan
+        fault_plan = load_fault_plan(args.fault_plan)
     engine = Engine(workers=args.workers, cache_path=args.cache,
                     cache_backend=args.cache_backend,
                     cache_ttl=args.cache_ttl,
                     cache_max_bytes=args.cache_max_bytes,
-                    warm_manifest=args.warm_manifest)
+                    warm_manifest=args.warm_manifest,
+                    fault_plan=fault_plan)
     for job in jobs:
         engine.submit(job)
     # The same path the server takes per request: run_shared records
@@ -583,6 +596,10 @@ def _cmd_whatif(args) -> None:
 
 def _cmd_serve(args) -> None:
     from repro.serve import ServerConfig, serve
+    fault_plan = None
+    if args.fault_plan:
+        from repro.resilience import load_fault_plan
+        fault_plan = load_fault_plan(args.fault_plan)
     config = ServerConfig(host=args.host, port=args.port,
                           workers=args.workers,
                           cache_path=args.cache,
@@ -593,7 +610,8 @@ def _cmd_serve(args) -> None:
                           warm_manifest=args.warm_manifest,
                           max_concurrency=args.max_concurrency,
                           queue_limit=args.queue_limit,
-                          request_timeout=args.timeout)
+                          request_timeout=args.timeout,
+                          fault_plan=fault_plan)
     serve(config)
 
 

@@ -29,9 +29,20 @@ arrives.  Both backends store value-equal payloads for the same entries
 — fingerprints and coalescing semantics never depend on the backend
 (the cross-backend conformance suite pins this).
 
-A corrupt store is never fatal: the damaged file is quarantined with a
-``.corrupt`` suffix, a warning is logged, and the cache re-initializes
-empty (every lookup simply misses).
+A corrupt store is never fatal — at construction *or* mid-operation.
+The **degradation chain** runs: damaged store file → quarantine
+(``.corrupt`` suffix) and re-initialize empty → if the store keeps
+failing (or cannot even be re-created), fall through permanently to the
+in-memory side table.  Every step logs, increments the
+``degraded``/``retries`` counters in :class:`CacheStats` (surfaced in
+``EngineStats`` and a service's ``/stats``), and keeps serving: a cache
+failure degrades performance, never correctness and never the job.
+
+For chaos testing, every backend exposes the ``cache.get`` /
+``cache.put`` / ``payload.decode`` injection sites of a
+:class:`~repro.resilience.FaultPlan` (:meth:`CacheBackend.set_fault_plan`);
+an attached plan's injected I/O errors take exactly the degradation
+path real failures take.
 """
 
 from __future__ import annotations
@@ -49,8 +60,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.payload import decode_payload, encode_payload
 from repro.errors import EngineError
+from repro.resilience import FaultPlan, InjectedFault
 
 log = logging.getLogger("repro.engine.cache")
+
+#: Store failures absorbed by the degradation chain (mid-operation
+#: sqlite corruption, disk errors, injected faults — all of OSError,
+#: which :class:`~repro.resilience.InjectedFault` subclasses).
+_STORE_ERRORS = (sqlite3.Error, OSError)
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 MISS = object()
@@ -64,12 +81,20 @@ SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one cache backend."""
+    """Hit/miss/eviction counters of one cache backend.
+
+    ``degraded`` counts operations absorbed by the degradation chain
+    (a store failure turned into a miss or a memory-only write);
+    ``retries`` counts store operations re-attempted after a reset.
+    Both stay 0 on every healthy run.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    degraded: int = 0
+    retries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -85,6 +110,7 @@ class CacheStats:
         """Counters plus the derived hit rate, for reports."""
         return {"hits": self.hits, "misses": self.misses,
                 "puts": self.puts, "evictions": self.evictions,
+                "degraded": self.degraded, "retries": self.retries,
                 "hit_rate": self.hit_rate}
 
 
@@ -112,12 +138,35 @@ class CacheBackend:
     #: Backend identifier shown in ``info()`` and ``/stats``.
     name: str = "backend"
 
+    #: Optional fault-injection plan (:mod:`repro.resilience`); when
+    #: absent the injection hooks cost one attribute check.
+    _plan: Optional[FaultPlan] = None
+
     def __init__(self, capacity: int, path: Optional[str]):
         if capacity <= 0:
             raise EngineError(f"cache capacity must be > 0, got {capacity}")
         self.capacity = capacity
         self.path = path
         self.stats = CacheStats()
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Attach (or detach, with ``None``) a fault-injection plan.
+
+        The ``cache.get`` / ``cache.put`` / ``payload.decode`` sites
+        fire only while a plan is attached; injected failures are
+        absorbed by the same degradation chain real failures take."""
+        self._plan = plan
+
+    def _inject(self, site: str) -> None:
+        """Fire an attached plan's injection site (no-op without one)."""
+        if self._plan is not None:
+            self._plan.fire(site)
+
+    @property
+    def degraded_mode(self) -> bool:
+        """Whether the backend has permanently fallen back to its
+        in-memory store (sqlite only; always ``False`` elsewhere)."""
+        return False
 
     # -- required backend operations -----------------------------------
     def get(self, key: str) -> Any:
@@ -188,6 +237,7 @@ class CacheBackend:
                 "path": self.path,
                 "ttl": getattr(self, "ttl", None),
                 "max_bytes": getattr(self, "max_bytes", None),
+                "degraded_mode": self.degraded_mode,
                 **self.stats.as_dict()}
 
 
@@ -239,6 +289,15 @@ class ResultCache(CacheBackend):
 
     def get(self, key: str) -> Any:
         """Return the cached value or :data:`MISS`; refreshes recency."""
+        if self._plan is not None:
+            try:
+                self._plan.fire("cache.get")
+            except InjectedFault:
+                # An unavailable cache is a miss, never an error.
+                with self._lock:
+                    self.stats.degraded += 1
+                    self.stats.misses += 1
+                return MISS
         with self._lock:
             try:
                 entry = self._entries[key]
@@ -261,6 +320,14 @@ class ResultCache(CacheBackend):
         ``persist=False`` keeps the entry out of :meth:`save` (for results
         that cannot be represented in JSON).
         """
+        if self._plan is not None:
+            try:
+                self._plan.fire("cache.put")
+            except InjectedFault:
+                # A failed cache write drops the entry, never the job.
+                with self._lock:
+                    self.stats.degraded += 1
+                return
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -389,6 +456,10 @@ class SqliteCache(CacheBackend):
 
     name = "sqlite"
 
+    #: Consecutive store failures before the backend gives up on disk
+    #: and degrades permanently to its in-memory side table.
+    _MAX_STORE_FAILURES = 3
+
     _SCHEMA = """
         CREATE TABLE IF NOT EXISTS cache (
             key      TEXT PRIMARY KEY,
@@ -424,6 +495,10 @@ class SqliteCache(CacheBackend):
         self._local = threading.local()
         self._connections: List[sqlite3.Connection] = []
         self._generation = 0
+        #: Permanently memory-only after repeated store failures.
+        self._degraded = False
+        #: Consecutive store failures (reset by any successful store op).
+        self._store_failures = 0
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._init_schema()
@@ -460,7 +535,11 @@ class SqliteCache(CacheBackend):
             self._reset_storage(exc)
 
     def _reset_storage(self, reason: Any) -> None:
-        """Quarantine the store file and re-create an empty schema."""
+        """Quarantine the store file and re-create an empty schema.
+
+        Never raises: when even re-creation fails (disk gone,
+        directory unwritable) the backend degrades to memory-only
+        instead of propagating the failure into a job."""
         with self._lock:
             for conn in self._connections:
                 try:
@@ -469,13 +548,49 @@ class SqliteCache(CacheBackend):
                     pass
             self._connections.clear()
             self._generation += 1
-            if os.path.exists(self.path):
-                quarantine(self.path, reason)
-            for suffix in ("-wal", "-shm"):
-                companion = self.path + suffix
-                if os.path.exists(companion):
-                    os.remove(companion)
-            self._conn().executescript(self._SCHEMA)
+            try:
+                if os.path.exists(self.path):
+                    quarantine(self.path, reason)
+                for suffix in ("-wal", "-shm"):
+                    companion = self.path + suffix
+                    if os.path.exists(companion):
+                        os.remove(companion)
+                self._conn().executescript(self._SCHEMA)
+            except _STORE_ERRORS as exc:
+                self._enter_degraded("reset", exc)
+
+    def _enter_degraded(self, op: str, reason: Any) -> None:
+        """Fall back permanently to the in-memory side table."""
+        with self._lock:
+            if self._degraded:
+                return
+            self._degraded = True
+        log.error("sqlite cache store %r disabled after failure during "
+                  "%s (%s); serving from memory only", self.path, op,
+                  reason)
+
+    def _absorb_failure(self, op: str, exc: BaseException) -> None:
+        """Run the degradation chain for a mid-operation store failure.
+
+        First failures quarantine + re-initialize the store file;
+        :data:`_MAX_STORE_FAILURES` consecutive failures degrade the
+        backend to memory-only.  Never raises — a cache failure costs
+        performance, not the job."""
+        with self._lock:
+            self.stats.degraded += 1
+            self._store_failures += 1
+            give_up = self._store_failures >= self._MAX_STORE_FAILURES
+        if give_up:
+            self._enter_degraded(op, exc)
+            return
+        log.warning("sqlite cache %s failed (%s); resetting store %r",
+                    op, exc, self.path)
+        self._reset_storage(exc)
+
+    @property
+    def degraded_mode(self) -> bool:
+        """Whether the store is disabled and only memory is serving."""
+        return self._degraded
 
     def close(self) -> None:
         """Close every connection this instance opened."""
@@ -494,11 +609,13 @@ class SqliteCache(CacheBackend):
     def __len__(self) -> int:
         with self._lock:
             memory = len(self._memory)
+            if self._degraded:
+                return memory
         try:
             row = self._conn().execute(
                 "SELECT COUNT(*) FROM cache").fetchone()
-        except sqlite3.DatabaseError as exc:
-            self._reset_storage(exc)
+        except _STORE_ERRORS as exc:
+            self._absorb_failure("len", exc)
             return memory
         return memory + row[0]
 
@@ -506,22 +623,14 @@ class SqliteCache(CacheBackend):
         return self.ttl is not None and now - created > self.ttl
 
     def _fetch(self, key: str) -> Optional[Tuple[bytes, float, float]]:
-        try:
-            return self._conn().execute(
-                "SELECT payload, created, accessed FROM cache "
-                "WHERE key = ?", (key,)).fetchone()
-        except sqlite3.DatabaseError as exc:
-            self._reset_storage(exc)
-            return None
+        return self._conn().execute(
+            "SELECT payload, created, accessed FROM cache "
+            "WHERE key = ?", (key,)).fetchone()
 
     def _drop(self, key: str, count_eviction: bool) -> None:
         with self._lock:
-            try:
-                self._conn().execute(
-                    "DELETE FROM cache WHERE key = ?", (key,))
-            except sqlite3.DatabaseError as exc:
-                self._reset_storage(exc)
-                return
+            self._conn().execute(
+                "DELETE FROM cache WHERE key = ?", (key,))
             if count_eviction:
                 self.stats.evictions += 1
 
@@ -530,78 +639,132 @@ class SqliteCache(CacheBackend):
 
         The warm path is write-free: recency stamps are refreshed only
         when older than ``recency_resolution`` seconds, so concurrent
-        readers never serialize on the writer lock.
+        readers never serialize on the writer lock.  Any store failure
+        mid-lookup (corruption, I/O error, injected fault) runs the
+        degradation chain and reads as a miss.
         """
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
                 return self._memory[key]
+            if self._degraded:
+                self.stats.misses += 1
+                return MISS
+        try:
+            return self._get_store(key)
+        except _STORE_ERRORS as exc:
+            self._absorb_failure("get", exc)
+            with self._lock:
+                self.stats.misses += 1
+            return MISS
+
+    def _get_store(self, key: str) -> Any:
+        """The healthy-path lookup; raises on any store failure."""
+        self._inject("cache.get")
         row = self._fetch(key)
         now = time.time()
         if row is None:
             with self._lock:
                 self.stats.misses += 1
+                self._store_failures = 0
             return MISS
         payload, created, accessed = row
         if self._expired(created, now):
             self._drop(key, count_eviction=True)
             with self._lock:
                 self.stats.misses += 1
+                self._store_failures = 0
             return MISS
+        if self._plan is not None:
+            payload = self._plan.pulse("payload.decode", payload)
         try:
             value = decode_payload(payload)
         except EngineError as exc:
+            # A mangled payload is a corrupt *entry*, not a corrupt
+            # store: drop the row and miss, no quarantine.
             log.warning("dropping undecodable cache entry %r: %s",
                         key, exc)
             self._drop(key, count_eviction=False)
             with self._lock:
+                self.stats.degraded += 1
                 self.stats.misses += 1
             return MISS
         if now - accessed > self.recency_resolution:
             self._stamp(key, now)
         with self._lock:
             self.stats.hits += 1
+            self._store_failures = 0
         return value
 
     def peek(self, key: str) -> Any:
-        """The decoded value or :data:`MISS`; no stats, no recency."""
+        """The decoded value or :data:`MISS`; no stats, no recency.
+
+        Peek is the engine's under-lock coalescing re-check: a failing
+        store reads as a miss here and lets :meth:`get` run the
+        degradation chain on the next full lookup."""
         with self._lock:
             if key in self._memory:
                 return self._memory[key]
-        row = self._fetch(key)
-        if row is None or self._expired(row[1], time.time()):
-            return MISS
+            if self._degraded:
+                return MISS
         try:
+            row = self._fetch(key)
+            if row is None or self._expired(row[1], time.time()):
+                return MISS
             return decode_payload(row[0])
-        except EngineError:
+        except (EngineError,) + _STORE_ERRORS:
             return MISS
 
     def _stamp(self, key: str, now: float) -> None:
         with self._lock:
-            try:
-                self._conn().execute(
-                    "UPDATE cache SET accessed = ? WHERE key = ?",
-                    (now, key))
-            except sqlite3.DatabaseError as exc:
-                self._reset_storage(exc)
+            self._conn().execute(
+                "UPDATE cache SET accessed = ? WHERE key = ?",
+                (now, key))
+
+    def _memory_put(self, key: str, value: Any) -> None:
+        """Store in the in-memory LRU side table only."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+            self._memory[key] = value
+            self.stats.puts += 1
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
 
     def put(self, key: str, value: Any, persist: bool = True) -> None:
         """Encode ``value`` to a binary payload and store it durably.
 
         The insert and the eviction pass run as one immediate
-        transaction under the single-writer lock."""
-        if not persist:
-            with self._lock:
-                if key in self._memory:
-                    self._memory.move_to_end(key)
-                self._memory[key] = value
-                self.stats.puts += 1
-                while len(self._memory) > self.capacity:
-                    self._memory.popitem(last=False)
-                    self.stats.evictions += 1
+        transaction under the single-writer lock.  When the store
+        fails mid-write the degradation chain runs — reset + one
+        retry, then the in-memory side table — so the result is
+        always cached *somewhere* and the job always completes."""
+        if not persist or self._degraded:
+            self._memory_put(key, value)
             return
         blob = encode_payload(value)
+        try:
+            self._inject("cache.put")
+            self._put_store(key, blob)
+            return
+        except _STORE_ERRORS as exc:
+            self._absorb_failure("put", exc)
+        if not self._degraded:
+            # One retry against the freshly reset store.
+            with self._lock:
+                self.stats.retries += 1
+            try:
+                self._put_store(key, blob)
+                return
+            except _STORE_ERRORS as exc:
+                self._absorb_failure("put-retry", exc)
+        # The write must not be lost with the store: keep it in memory.
+        self._memory_put(key, value)
+
+    def _put_store(self, key: str, blob: bytes) -> None:
+        """The healthy-path insert; raises on any store failure."""
         now = time.time()
         with self._lock:
             conn = self._conn()
@@ -614,15 +777,15 @@ class SqliteCache(CacheBackend):
                     (key, sqlite3.Binary(blob), len(blob), now, now))
                 evicted = self._evict(conn, key, now)
                 conn.execute("COMMIT")
-            except sqlite3.DatabaseError as exc:
+            except BaseException:
                 try:
                     conn.execute("ROLLBACK")
                 except sqlite3.Error:  # pragma: no cover - best effort
                     pass
-                self._reset_storage(exc)
-                return
+                raise
             self.stats.puts += 1
             self.stats.evictions += evicted
+            self._store_failures = 0
 
     def _evict(self, conn: sqlite3.Connection, fresh_key: str,
                now: float) -> int:
@@ -671,19 +834,24 @@ class SqliteCache(CacheBackend):
         """Drop every entry (statistics are preserved)."""
         with self._lock:
             self._memory.clear()
-            try:
-                self._conn().execute("DELETE FROM cache")
-            except sqlite3.DatabaseError as exc:
-                self._reset_storage(exc)
+            if self._degraded:
+                return
+        try:
+            self._conn().execute("DELETE FROM cache")
+        except _STORE_ERRORS as exc:
+            self._absorb_failure("clear", exc)
 
     def hot_keys(self, limit: int = 64) -> List[str]:
         """Most recently accessed persistent keys, hottest first."""
+        with self._lock:
+            if self._degraded:
+                return list(reversed(self._memory))[:max(0, limit)]
         try:
             rows = self._conn().execute(
                 "SELECT key FROM cache ORDER BY accessed DESC, key ASC "
                 "LIMIT ?", (max(0, limit),)).fetchall()
-        except sqlite3.DatabaseError as exc:
-            self._reset_storage(exc)
+        except _STORE_ERRORS as exc:
+            self._absorb_failure("hot_keys", exc)
             return []
         return [row[0] for row in rows]
 
@@ -692,17 +860,22 @@ class SqliteCache(CacheBackend):
             if key in self._memory:
                 self._memory.move_to_end(key)
                 return True
-        row = self._fetch(key)
-        if row is None or self._expired(row[1], time.time()):
-            return False
+            if self._degraded:
+                return False
         try:
+            row = self._fetch(key)
+            if row is None or self._expired(row[1], time.time()):
+                return False
             # Decoding pulls the payload through the page cache, so the
             # first real request after warming skips the cold read.
             decode_payload(row[0])
+            self._stamp(key, time.time())
+            return True
         except EngineError:
             return False
-        self._stamp(key, time.time())
-        return True
+        except _STORE_ERRORS as exc:
+            self._absorb_failure("touch", exc)
+            return False
 
     # ------------------------------------------------------------------
     # Persistence
@@ -710,9 +883,15 @@ class SqliteCache(CacheBackend):
     def save(self, path: Optional[str] = None) -> int:
         """Checkpoint the WAL (or back up to ``path``); returns the
         persistent entry count.  Unlike the JSON backend, every put is
-        already durable — save only compacts or copies."""
+        already durable — save only compacts or copies.  In degraded
+        mode save is a no-op returning 0 (shutdown must never fail on
+        a cache that already failed)."""
         target = path or self.path
         with self._lock:
+            if self._degraded:
+                log.warning("sqlite cache degraded; save(%r) skipped",
+                            target)
+                return 0
             conn = self._conn()
             try:
                 if os.path.abspath(target) == os.path.abspath(self.path):
@@ -731,8 +910,16 @@ class SqliteCache(CacheBackend):
                     f"{exc}") from None
 
     def load(self, path: Optional[str] = None) -> int:
-        """Merge entries from another sqlite store file."""
+        """Merge entries from another sqlite store file.
+
+        An explicit load of a store the backend can no longer reach is
+        an error (the caller asked for exactly that data); implicit
+        resilience applies only to the hot get/put path."""
         source = path or self.path
+        if self._degraded:
+            raise EngineError(
+                f"sqlite cache store {self.path!r} is degraded "
+                f"(memory-only); cannot load {source!r}")
         if os.path.abspath(source) == os.path.abspath(self.path):
             try:
                 return self._conn().execute(

@@ -27,6 +27,7 @@ from repro.engine.cache import MISS, CacheBackend, CacheStats, create_cache
 from repro.engine.jobs import Job
 from repro.engine.pool import WorkerPool
 from repro.errors import EngineError
+from repro.resilience import FaultPlan, RetryPolicy
 
 log = logging.getLogger("repro.engine")
 
@@ -46,16 +47,32 @@ class EngineStats:
     #: Module-cache and sifting counters from incremental sessions run
     #: through this engine (see ``repro.incremental.IncrementalStats``).
     incremental: Dict[str, int] = field(default_factory=dict)
+    #: Operations absorbed by a degradation path (cache store failures
+    #: turned into misses / memory-only writes).  0 on healthy runs.
+    degraded: int = 0
+    #: Transient-failure re-executions (pool shards + cache store ops).
+    retries: int = 0
+    #: Shards recovered serially after a worker death.
+    recovered: int = 0
+    #: Faults fired by an attached :class:`~repro.resilience.FaultPlan`
+    #: in this process (worker-side fires surface as ``recovered``).
+    faults_injected: int = 0
 
     def summary(self) -> str:
         """A compact human-readable stats line."""
-        return (f"workers={self.workers} submitted={self.submitted} "
+        line = (f"workers={self.workers} submitted={self.submitted} "
                 f"executed={self.executed} cache_size={self.cache_size} "
                 f"hits={self.cache.get('hits', 0):.0f} "
                 f"misses={self.cache.get('misses', 0):.0f} "
                 f"hit_rate={self.cache.get('hit_rate', 0.0):.1%}"
                 + (f" coalesced={self.coalesced}" if self.coalesced
                    else ""))
+        if self.degraded or self.retries or self.recovered \
+                or self.faults_injected:
+            line += (f" degraded={self.degraded} retries={self.retries} "
+                     f"recovered={self.recovered} "
+                     f"faults_injected={self.faults_injected}")
+        return line
 
 
 @dataclass(frozen=True)
@@ -126,6 +143,13 @@ class Engine:
         Optional manifest of hot fingerprints
         (:func:`~repro.engine.cache.write_manifest`) pre-warmed into
         the cache before the first job runs.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` threaded into the
+        worker pool and the cache backend — the chaos-testing hook.
+        ``None`` (the default) costs one attribute check per site.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` for transient shard
+        failures in the worker pool (default: 3 attempts).
     """
 
     def __init__(self, workers: Optional[int] = 1,
@@ -135,8 +159,12 @@ class Engine:
                  cache_backend: str = "auto",
                  cache_ttl: Optional[float] = None,
                  cache_max_bytes: Optional[int] = None,
-                 warm_manifest: Optional[str] = None):
-        self.pool = WorkerPool(workers)
+                 warm_manifest: Optional[str] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None):
+        self.fault_plan = fault_plan
+        self.pool = WorkerPool(workers, retry=retry,
+                               fault_plan=fault_plan)
         if cache is not None:
             if cache_path is not None:
                 raise EngineError(
@@ -148,6 +176,8 @@ class Engine:
                                       capacity=cache_capacity,
                                       ttl=cache_ttl,
                                       max_bytes=cache_max_bytes)
+        if fault_plan is not None:
+            self.cache.set_fault_plan(fault_plan)
         if warm_manifest is not None:
             warmed = self.cache.warm_from_manifest(warm_manifest)
             log.info("warmed %d cache entries from manifest %r",
@@ -326,8 +356,11 @@ class Engine:
     # Introspection & persistence
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """Activity counters plus the cache's hit/miss statistics."""
+        """Activity counters plus the cache's hit/miss statistics and
+        the resilience counters (degradations, retries, recoveries)."""
         cache_stats: CacheStats = self.cache.stats
+        fired = self.fault_plan.total_fired \
+            if self.fault_plan is not None else 0
         with self._lock:
             return EngineStats(workers=self.pool.workers,
                                submitted=self.submitted,
@@ -337,7 +370,12 @@ class Engine:
                                coalesced=self.coalesced,
                                inflight=len(self._inflight),
                                cache_backend=self.cache.name,
-                               incremental=self.incremental.as_dict())
+                               incremental=self.incremental.as_dict(),
+                               degraded=cache_stats.degraded,
+                               retries=cache_stats.retries
+                               + self.pool.retries,
+                               recovered=self.pool.recovered,
+                               faults_injected=fired)
 
     def save_cache(self, path: Optional[str] = None) -> int:
         """Persist cacheable results to the backend's store file;

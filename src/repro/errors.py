@@ -68,3 +68,17 @@ class ServeError(ReproError):
     def __init__(self, message: str, status: int = 0):
         super().__init__(message)
         self.status = int(status)
+
+
+class ServeUnavailableError(ServeError):
+    """The service could not be reached within the client's retry budget.
+
+    Raised by :class:`~repro.serve.client.ServeClient` after its bounded
+    reconnect attempts (or its circuit breaker) gave up — a *typed*
+    signal that the server is down or unreachable, as opposed to a
+    request the server answered with an error status.
+    """
+
+
+class ResilienceError(ReproError):
+    """A fault-injection plan or resilience policy is invalid."""

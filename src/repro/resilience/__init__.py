@@ -1,0 +1,62 @@
+"""Deterministic fault injection and resilience policies.
+
+The paper argues that safety-critical systems must be analyzed under
+component failure; this package applies that discipline to the
+reproduction's own execution layers.  It has two halves:
+
+* **Injection** — :class:`FaultPlan` registers seeded, deterministic
+  faults (crashes, I/O errors, latency, truncated payloads) at named
+  sites threaded through :class:`~repro.engine.engine.Engine`,
+  :class:`~repro.engine.pool.WorkerPool`, the cache backends and
+  :class:`~repro.serve.server.RiskServer`.  A plan is free when absent
+  and exactly reproducible when present.
+* **Hardening policies** — :class:`RetryPolicy` (capped,
+  deterministically jittered exponential backoff) and
+  :class:`CircuitBreaker` (closed/open/half-open) shared by the pool,
+  the cache degradation chain and the HTTP client.
+
+The chaos suite (``tests/resilience``) drives every site × fault-kind
+combination through real jobs and asserts the contract: recover with
+results **bit-identical** to the fault-free run, or degrade into a
+documented mode with correct results and honest
+``degraded``/``retries`` counters — never a silent wrong answer, never
+a hang.  See ``docs/resilience.md``.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.plan import (
+    KINDS,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    load_fault_plan,
+)
+from repro.resilience.retry import (
+    NO_RETRY,
+    RetryPolicy,
+    call_with_retry,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "KINDS",
+    "NO_RETRY",
+    "OPEN",
+    "SITES",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "RetryPolicy",
+    "call_with_retry",
+    "load_fault_plan",
+]

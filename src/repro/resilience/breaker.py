@@ -1,0 +1,114 @@
+"""A small circuit breaker for repeatedly failing dependencies.
+
+The classic three states, tracked per protected dependency:
+
+``closed``
+    Normal operation; consecutive failures are counted.
+``open``
+    After ``failure_threshold`` consecutive failures every call is
+    refused *without touching the dependency* until ``reset_timeout``
+    seconds pass — a client hammering a dead server only slows itself
+    (and the server's recovery) down.
+``half_open``
+    One probe call is allowed through; success closes the breaker,
+    failure re-opens it for another timeout window.
+
+Thread-safe; the clock is injectable so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import ResilienceError
+
+#: Breaker states (exposed for assertions and ``/stats``-style info).
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a probing half-open state.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout:
+        Seconds the breaker stays open before allowing one probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout: float = 1.0,
+                 clock: Optional[Callable[[], float]] = None):
+        if failure_threshold < 1:
+            raise ResilienceError(
+                f"failure_threshold must be >= 1, "
+                f"got {failure_threshold}")
+        if reset_timeout <= 0:
+            raise ResilienceError(
+                f"reset_timeout must be > 0, got {reset_timeout}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        #: Total calls refused while open (observability).
+        self.refused = 0
+        #: Total times the breaker tripped open.
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` → ``half_open`` on timeout."""
+        with self._lock:
+            return self._advance()
+
+    def _advance(self) -> str:
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.reset_timeout:
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts refusals)."""
+        with self._lock:
+            state = self._advance()
+            if state == OPEN:
+                self.refused += 1
+                return False
+            return True
+
+    def record_success(self) -> None:
+        """Note a successful call: closes the breaker, zeroes failures."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """Note a failed call; may trip the breaker open."""
+        with self._lock:
+            self._failures += 1
+            half_open_probe_failed = self._state == HALF_OPEN
+            if half_open_probe_failed \
+                    or self._failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self.trips += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        """Force the breaker closed (counters preserved)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self._failures}/{self.failure_threshold}, "
+                f"trips={self.trips})")

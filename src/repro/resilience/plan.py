@@ -1,0 +1,383 @@
+"""Deterministic fault injection: seeded plans over named sites.
+
+The paper's discipline for the Elbtunnel case study is *inject the
+fault, prove the outcome*: a safety argument is only as good as the
+failure scenarios it was checked against.  This module applies the same
+discipline to the reproduction's own infrastructure.  A
+:class:`FaultPlan` registers faults at named **injection sites** —
+choke points the execution layers call into — and triggers them
+*deterministically*: whether call ``n`` at a site fires is a pure
+function of ``(seed, site, call index, spec)``, so every chaos test is
+exactly reproducible and every recovery can be pinned bit-identical to
+the fault-free run.
+
+Sites (see :data:`SITES`):
+
+``pool.shard``
+    Around one shard's execution in :meth:`repro.engine.pool.WorkerPool.map`
+    (``crash`` here kills the worker *process* — the real failure mode).
+``cache.get`` / ``cache.put``
+    Inside a cache backend's primary-store operations, underneath the
+    degradation chain.
+``payload.decode``
+    On the payload bytes read back from the sqlite store, before
+    decoding (``truncate`` models a torn page / short read).
+``serve.stream``
+    Around each NDJSON event the HTTP service writes (``io_error`` /
+    ``crash`` model a stalled or reset connection, ``truncate`` a
+    half-written chunk).
+
+Fault kinds (see :data:`KINDS`):
+
+``crash``
+    Process death at ``pool.shard`` when running inside a real worker
+    process; everywhere else an :class:`InjectedFault` (the in-process
+    stand-in for an abrupt failure).
+``io_error``
+    An :class:`InjectedFault`, which subclasses :class:`OSError` on
+    purpose: every handler that copes with real I/O failures copes with
+    injected ones by construction — injection never needs special
+    cases in production code.
+``latency``
+    A plain ``time.sleep`` — the fault that exercises deadlines.
+``truncate``
+    Byte payloads cut short (only sites that move bytes honour it;
+    :meth:`FaultPlan.fire` ignores truncate specs).
+
+A plan with no specs — or no plan at all — costs one ``is None`` check
+per site; the benchmark suite pins the fault-free overhead of the
+threaded hooks below 5% on the warm Fig. 5 sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ResilienceError
+
+#: Injection sites the execution layers expose, in call-path order.
+SITES = ("pool.shard", "cache.get", "cache.put", "payload.decode",
+         "serve.stream")
+
+#: Fault kinds a spec may trigger.
+KINDS = ("crash", "io_error", "latency", "truncate")
+
+_PLAN_VERSION = 1
+
+
+class InjectedFault(OSError):
+    """A fault raised by a :class:`FaultPlan` (an ``OSError`` subclass,
+    so ordinary I/O-failure handling absorbs it with no special case)."""
+
+
+class InjectedCrash(InjectedFault):
+    """The in-process stand-in for a ``crash`` fault outside a real
+    worker process (raising it beats killing the test runner)."""
+
+
+def _hash_fraction(seed: int, site: str, kind: str, index: int) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` for rate-based specs.
+
+    Hash-derived like :func:`repro.engine.pool.derive_seed`: independent
+    of ``PYTHONHASHSEED``, stable across processes and platforms.
+    """
+    raw = hashlib.sha256(
+        f"fault:{seed}:{site}:{kind}:{index}".encode()).digest()
+    return int.from_bytes(raw[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One registered fault: where, what, and when it fires.
+
+    Exactly one trigger rule applies, checked in this order:
+
+    ``indices``
+        Fire when the call's context index (the shard index at
+        ``pool.shard``, the per-site call counter elsewhere) is listed.
+        This is the only rule that is deterministic *across processes*
+        — worker-side sites must use it, because per-process call
+        counters restart in every child.
+    ``rate``
+        Fire on a seeded Bernoulli draw per call
+        (:func:`_hash_fraction`), reproducible for a given plan seed.
+    ``after`` / ``times`` (default)
+        Skip the first ``after`` calls, then fire ``times`` times
+        (``None`` = keep firing forever).
+    """
+
+    site: str
+    kind: str
+    times: Optional[int] = 1
+    after: int = 0
+    indices: Optional[Tuple[int, ...]] = None
+    rate: Optional[float] = None
+    #: Sleep duration of a ``latency`` fault.
+    latency_s: float = 0.05
+    #: Bytes kept by a ``truncate`` fault (from the front).
+    keep_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ResilienceError(
+                f"unknown injection site {self.site!r}; "
+                f"expected one of {SITES}")
+        if self.kind not in KINDS:
+            raise ResilienceError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {KINDS}")
+        if self.times is not None and self.times < 1:
+            raise ResilienceError(
+                f"times must be >= 1 or None, got {self.times}")
+        if self.after < 0:
+            raise ResilienceError(
+                f"after must be >= 0, got {self.after}")
+        if self.rate is not None and not 0.0 < self.rate <= 1.0:
+            raise ResilienceError(
+                f"rate must be in (0, 1], got {self.rate}")
+        if self.indices is not None:
+            object.__setattr__(
+                self, "indices",
+                tuple(int(i) for i in self.indices))
+        if self.latency_s < 0:
+            raise ResilienceError(
+                f"latency_s must be >= 0, got {self.latency_s}")
+        if self.keep_bytes < 0:
+            raise ResilienceError(
+                f"keep_bytes must be >= 0, got {self.keep_bytes}")
+
+    def triggers(self, seed: int, index: int) -> bool:
+        """Whether this spec fires for context ``index`` at its site."""
+        if self.indices is not None:
+            return index in self.indices
+        if self.rate is not None:
+            return _hash_fraction(seed, self.site, self.kind,
+                                  index) < self.rate
+        if index < self.after:
+            return False
+        return self.times is None or index < self.after + self.times
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the ``--fault-plan`` file format)."""
+        spec: Dict[str, Any] = {"site": self.site, "kind": self.kind}
+        if self.times != 1:
+            spec["times"] = self.times
+        if self.after:
+            spec["after"] = self.after
+        if self.indices is not None:
+            spec["indices"] = list(self.indices)
+        if self.rate is not None:
+            spec["rate"] = self.rate
+        if self.kind == "latency":
+            spec["latency_s"] = self.latency_s
+        if self.kind == "truncate":
+            spec["keep_bytes"] = self.keep_bytes
+        return spec
+
+
+@dataclass
+class _SiteState:
+    """Per-site mutable counters (kept out of the frozen specs)."""
+
+    calls: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """A seeded registry of deterministic faults over named sites.
+
+    Thread-safe (one lock guards the per-site counters) and picklable —
+    plans ride into worker processes inside pool payloads.  Counters are
+    per-process: a fault fired inside a worker shows up in the *parent's*
+    recovery counters (``WorkerPool.recovered``), not in the parent
+    plan's ``fired`` tally.
+
+    Examples
+    --------
+    >>> plan = FaultPlan(seed=7)
+    >>> _ = plan.inject("cache.get", "io_error")          # first get fails
+    >>> _ = plan.inject("pool.shard", "crash", indices=(0,))
+    """
+
+    def __init__(self, seed: int = 0,
+                 specs: Iterable[FaultSpec] = ()):
+        self.seed = int(seed)
+        self.specs: List[FaultSpec] = list(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ResilienceError(
+                    f"specs must be FaultSpec objects, got {spec!r}")
+        self._sites: Dict[str, _SiteState] = {}
+        self._lock = threading.Lock()
+
+    # -- pickling (locks don't cross process boundaries) ---------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------
+    def inject(self, site: str, kind: str, **options: Any) -> "FaultPlan":
+        """Register one fault spec; returns the plan (for chaining)."""
+        self.specs.append(FaultSpec(site=site, kind=kind, **options))
+        return self
+
+    # -- observability -------------------------------------------------
+    def fired(self, site: Optional[str] = None) -> int:
+        """Faults fired in this process, total or for one site."""
+        with self._lock:
+            if site is not None:
+                state = self._sites.get(site)
+                return state.fired if state else 0
+            return sum(state.fired for state in self._sites.values())
+
+    @property
+    def total_fired(self) -> int:
+        """Total faults fired in this process."""
+        return self.fired()
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` has been exercised in this process."""
+        with self._lock:
+            state = self._sites.get(site)
+            return state.calls if state else 0
+
+    def reset_counters(self) -> None:
+        """Zero every per-site counter (specs stay registered)."""
+        with self._lock:
+            self._sites.clear()
+
+    # -- firing --------------------------------------------------------
+    def _advance(self, site: str, index: Optional[int],
+                 kinds: Tuple[str, ...]) -> List[FaultSpec]:
+        """Count one call at ``site`` and collect the specs that fire."""
+        with self._lock:
+            state = self._sites.setdefault(site, _SiteState())
+            n = state.calls
+            state.calls += 1
+            context = n if index is None else index
+            hits = [spec for spec in self.specs
+                    if spec.site == site and spec.kind in kinds
+                    and spec.triggers(self.seed, context)]
+            state.fired += len(hits)
+            return hits
+
+    def fire(self, site: str, index: Optional[int] = None,
+             worker: bool = False) -> None:
+        """Trigger any due ``crash``/``io_error``/``latency`` fault.
+
+        ``index`` overrides the per-site call counter as the trigger
+        context (shard indices at ``pool.shard``).  ``worker=True``
+        marks execution inside a real worker process, where ``crash``
+        kills the process outright (``os._exit``) — the failure mode
+        recovery must survive; elsewhere ``crash`` raises
+        :class:`InjectedCrash`.
+        """
+        hits = self._advance(site, index,
+                             ("crash", "io_error", "latency"))
+        for spec in hits:
+            if spec.kind == "latency":
+                time.sleep(spec.latency_s)
+        for spec in hits:
+            if spec.kind == "crash":
+                if worker:
+                    import os
+                    os._exit(70)
+                raise InjectedCrash(
+                    f"injected crash at {site} "
+                    f"(index {index if index is not None else 'n/a'})")
+            if spec.kind == "io_error":
+                raise InjectedFault(
+                    f"injected io_error at {site} "
+                    f"(call {self.calls(site) - 1})")
+
+    def mangle(self, site: str, data: bytes,
+               index: Optional[int] = None) -> bytes:
+        """Apply any due ``truncate`` fault to a byte payload."""
+        hits = self._advance(site, index, ("truncate",))
+        for spec in hits:
+            data = data[:spec.keep_bytes]
+        return data
+
+    def pulse(self, site: str, data: bytes,
+              index: Optional[int] = None) -> bytes:
+        """One combined injection point for byte-moving sites.
+
+        Counts a *single* call (separate :meth:`mangle` + :meth:`fire`
+        calls would double-advance the site counter, putting
+        ``indices``-based specs permanently between the two), applies
+        any due ``truncate`` fault to ``data``, sleeps any ``latency``
+        fault, and raises any ``crash``/``io_error`` fault.
+        """
+        hits = self._advance(site, index, KINDS)
+        for spec in hits:
+            if spec.kind == "latency":
+                time.sleep(spec.latency_s)
+        for spec in hits:
+            if spec.kind == "truncate":
+                data = data[:spec.keep_bytes]
+        for spec in hits:
+            if spec.kind == "crash":
+                raise InjectedCrash(
+                    f"injected crash at {site} "
+                    f"(call {self.calls(site) - 1})")
+            if spec.kind == "io_error":
+                raise InjectedFault(
+                    f"injected io_error at {site} "
+                    f"(call {self.calls(site) - 1})")
+        return data
+
+    # -- JSON round trip (the --fault-plan file format) ----------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe description of the plan (seed + specs)."""
+        return {"version": _PLAN_VERSION, "seed": self.seed,
+                "faults": [spec.as_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "FaultPlan":
+        """Inverse of :meth:`as_dict`; raises
+        :class:`~repro.errors.ResilienceError` on a malformed plan."""
+        if not isinstance(payload, dict) \
+                or payload.get("version") != _PLAN_VERSION \
+                or not isinstance(payload.get("faults"), list):
+            raise ResilienceError(
+                f"not a fault plan: {payload!r}")
+        plan = cls(seed=int(payload.get("seed", 0)))
+        for raw in payload["faults"]:
+            if not isinstance(raw, dict):
+                raise ResilienceError(
+                    f"fault spec must be an object, got {raw!r}")
+            spec = dict(raw)
+            indices = spec.pop("indices", None)
+            if indices is not None:
+                spec["indices"] = tuple(indices)
+            try:
+                plan.inject(spec.pop("site"), spec.pop("kind"), **spec)
+            except (KeyError, TypeError) as exc:
+                raise ResilienceError(
+                    f"malformed fault spec {raw!r}: {exc}") from None
+        return plan
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, "
+                f"specs={len(self.specs)}, fired={self.total_fired})")
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Read a ``--fault-plan`` JSON file into a :class:`FaultPlan`."""
+    import json
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ResilienceError(
+            f"cannot read fault plan {path!r}: {exc}") from None
+    return FaultPlan.from_dict(payload)

@@ -1,0 +1,105 @@
+"""Deterministic retry policies: capped exponential backoff + jitter.
+
+Every retry loop in the hardened layers (pool shards, cache store
+operations, HTTP client reconnects) shares this one policy object, so
+retry behaviour is configured — and tested — in one place.  Delays are
+*deterministically* jittered: the jitter for attempt ``k`` of key ``K``
+is a pure hash of ``(seed, K, k)``, so chaos tests reproduce exact
+sleep sequences while concurrent clients still spread their retries
+(different keys → different jitter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.errors import ResilienceError
+
+
+def _jitter_fraction(seed: int, key: str, attempt: int) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` per (key, attempt)."""
+    raw = hashlib.sha256(
+        f"retry:{seed}:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(raw[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped, deterministically jittered backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (1 = no retries).
+    base_delay:
+        Backoff before the first retry; doubles per further attempt.
+    max_delay:
+        Cap on any single backoff sleep.
+    jitter:
+        Fraction of the delay randomized (0.25 → delay × [0.75, 1.25)),
+        deterministic per ``(seed, key, attempt)``.
+    seed:
+        Jitter seed (chaos tests pin it; services leave the default).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """The backoff before retry ``attempt`` (0-based), jittered."""
+        raw = min(self.base_delay * (2.0 ** attempt), self.max_delay)
+        if not self.jitter:
+            return raw
+        spread = _jitter_fraction(self.seed, key, attempt)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * spread)
+
+    @property
+    def retries(self) -> int:
+        """Retries after the first attempt."""
+        return self.max_attempts - 1
+
+
+#: The no-op policy: one attempt, no sleeping.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+
+def call_with_retry(fn: Callable[[], Any], policy: RetryPolicy,
+                    transient: Tuple[Type[BaseException], ...],
+                    key: str = "",
+                    on_retry: Optional[Callable[[int, BaseException],
+                                                None]] = None) -> Any:
+    """Run ``fn`` with bounded retries on ``transient`` exceptions.
+
+    Non-transient exceptions propagate immediately; the last transient
+    failure propagates once the budget is exhausted.  ``on_retry`` is
+    called with ``(attempt, exception)`` before each backoff sleep —
+    the hook the callers use to bump their ``retries`` counters.
+    """
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except transient as exc:
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            pause = policy.delay(attempt, key)
+            if pause > 0:
+                time.sleep(pause)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -6,6 +6,29 @@ for talking to the server from any language: every method maps to one
 endpoint, streaming submissions iterate the NDJSON events as they
 arrive.
 
+The client is hardened against an unreliable server the same way the
+server is hardened against unreliable infrastructure
+(``docs/resilience.md``):
+
+* Connection failures are retried within a bounded
+  :class:`~repro.resilience.RetryPolicy` budget (capped, jittered
+  backoff) and surface as a typed
+  :class:`~repro.errors.ServeUnavailableError` — never a raw
+  ``OSError`` — once the budget is spent.
+* A saturated server's ``429`` is retried up to ``busy_retries``
+  times, honoring its ``Retry-After`` hint (capped by
+  ``max_busy_wait``).
+* A small :class:`~repro.resilience.CircuitBreaker` stops a client in
+  a tight loop from hammering a dead server.
+* :meth:`ServeClient.results` verifies the stream it collected (a
+  ``done`` summary, zero failures, every result present) and replays
+  the submission once when the stream was cut or corrupted mid-flight
+  — safe because jobs are content-addressed, so completed work replays
+  as cache hits.
+* Every request carries the client's timeout as ``X-Repro-Timeout``,
+  which the server propagates into its queue and compute waits — work
+  is never held alive for a client that stopped waiting.
+
 Each :class:`ServeClient` owns one keep-alive connection and is *not*
 thread-safe; concurrent load tests create one client per thread.
 """
@@ -14,13 +37,32 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from http.client import HTTPConnection, HTTPException
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (Any, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
-from repro.errors import ServeError
+from repro.errors import ServeError, ServeUnavailableError
+from repro.resilience import CircuitBreaker, RetryPolicy
 
 #: A submission body: one job spec, a list of specs, or {"jobs": [...]}.
 JobPayload = Union[Dict[str, Any], Sequence[Dict[str, Any]]]
+
+#: Connection-level failures worth retrying on a fresh socket.
+_CONNECT_FAILURES = (ConnectionError, HTTPException, OSError)
+
+
+def _count_jobs(payload: JobPayload) -> int:
+    """How many job specs a submission body carries (for stream
+    verification); 0 when the shape is not recognized."""
+    if isinstance(payload, dict):
+        jobs = payload.get("jobs")
+        if isinstance(jobs, (list, tuple)):
+            return len(jobs)
+        return 1
+    if isinstance(payload, (list, tuple)):
+        return len(payload)
+    return 0
 
 
 class ServeClient:
@@ -32,14 +74,42 @@ class ServeClient:
         Server address (e.g. ``server.host``/``server.port`` of an
         in-process :class:`~repro.serve.server.RiskServer`).
     timeout:
-        Socket timeout in seconds for connect and reads.
+        Socket timeout in seconds for connect and reads; also sent to
+        the server as the request's ``X-Repro-Timeout`` deadline.
+    retry:
+        Backoff policy for connection failures (default: 3 attempts,
+        capped jittered exponential backoff).
+    busy_retries:
+        How many times a ``429`` (saturated or draining server) is
+        retried after honoring its ``Retry-After`` hint.  0 disables
+        busy retries (the 429 surfaces immediately).
+    max_busy_wait:
+        Cap in seconds on any single ``Retry-After`` sleep.
+    breaker:
+        Circuit breaker guarding connection attempts; pass a shared
+        instance to coordinate several clients, or ``None`` for a
+        per-client default.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0,
+                 retry: Optional[RetryPolicy] = None,
+                 busy_retries: int = 1,
+                 max_busy_wait: float = 5.0,
+                 breaker: Optional[CircuitBreaker] = None):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retry = retry if retry is not None \
+            else RetryPolicy(max_attempts=3, base_delay=0.1)
+        self.busy_retries = int(busy_retries)
+        self.max_busy_wait = float(max_busy_wait)
+        self.breaker = breaker if breaker is not None \
+            else CircuitBreaker(failure_threshold=5, reset_timeout=1.0)
+        #: Connection retries performed (observability for tests).
+        self.retries = 0
+        #: Whole-stream replays performed by :meth:`results`.
+        self.replays = 0
         self._conn: Optional[HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -72,31 +142,66 @@ class ServeClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[bytes] = None):
-        """One request/response on the kept-alive connection.
+        """One request/response within the connection-retry budget.
 
-        Retries once on a fresh connection when the server closed the
-        idle keep-alive socket between requests.
+        The first attempt reuses the kept-alive socket; every retry
+        opens a fresh connection (the common failure is the server
+        having closed an idle keep-alive socket).  Failures beyond the
+        budget — or a tripped circuit breaker — raise
+        :class:`ServeUnavailableError`.
         """
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json",
+                   "X-Repro-Timeout": f"{self.timeout:g}"}
         if body is not None:
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retry.max_attempts):
+            if not self.breaker.allow():
+                raise ServeUnavailableError(
+                    f"circuit breaker open for "
+                    f"{self.host}:{self.port} (server kept failing; "
+                    f"retry after {self.breaker.reset_timeout:g}s)")
             try:
                 conn = self._connection(fresh=attempt > 0)
                 conn.request(method, path, body=body, headers=headers)
-                return conn.getresponse()
-            except (ConnectionError, HTTPException, OSError) as exc:
+                response = conn.getresponse()
+                self.breaker.record_success()
+                return response
+            except _CONNECT_FAILURES as exc:
                 self.close()
-                if attempt:
-                    raise ServeError(
-                        f"cannot reach server at "
-                        f"{self.host}:{self.port}: {exc}") from exc
+                self.breaker.record_failure()
+                last_exc = exc
+                if attempt + 1 < self.retry.max_attempts:
+                    self.retries += 1
+                    pause = self.retry.delay(
+                        attempt, key=f"{method} {path}")
+                    if pause > 0:
+                        time.sleep(pause)
+        raise ServeUnavailableError(
+            f"cannot reach server at {self.host}:{self.port} after "
+            f"{self.retry.max_attempts} attempt(s): {last_exc}"
+        ) from last_exc
+
+    def _busy_pause(self, response: Any, busy_attempt: int) -> float:
+        """The sleep before retrying a 429, honoring ``Retry-After``."""
+        hint = response.headers.get("Retry-After")
+        try:
+            pause = float(hint)
+        except (TypeError, ValueError):
+            pause = self.retry.delay(busy_attempt, key="busy")
+        return max(0.0, min(pause, self.max_busy_wait))
 
     def _json(self, method: str, path: str,
               body: Optional[bytes] = None,
               expect: int = 200) -> Dict[str, Any]:
-        response = self._request(method, path, body)
-        data = response.read()
+        for busy_attempt in range(self.busy_retries + 1):
+            response = self._request(method, path, body)
+            data = response.read()
+            if response.status == 429 \
+                    and busy_attempt < self.busy_retries:
+                time.sleep(self._busy_pause(response, busy_attempt))
+                continue
+            break
         try:
             payload = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -132,14 +237,23 @@ class ServeClient:
     def stream(self, jobs: JobPayload) -> Iterator[Dict[str, Any]]:
         """``POST /jobs`` — yield each NDJSON event as it arrives.
 
-        Raises :class:`ServeError` (with ``status``) on 400/429/...;
-        once the stream starts, per-job failures arrive as ``error``
-        events rather than exceptions.
+        Raises :class:`ServeError` (with ``status``) on 400 and on a
+        429 that survives the busy-retry budget; once the stream
+        starts, per-job failures arrive as ``error`` events rather
+        than exceptions.  A line the server corrupted mid-transmission
+        raises ``json.JSONDecodeError`` from the iterator —
+        :meth:`results` turns that into a verified replay.
         """
         body = json.dumps(jobs).encode("utf-8")
-        response = self._request("POST", "/jobs", body)
-        if response.status != 200:
+        for busy_attempt in range(self.busy_retries + 1):
+            response = self._request("POST", "/jobs", body)
+            if response.status == 200:
+                break
             data = response.read()
+            if response.status == 429 \
+                    and busy_attempt < self.busy_retries:
+                time.sleep(self._busy_pause(response, busy_attempt))
+                continue
             try:
                 message = json.loads(data.decode("utf-8"))["error"]
             except (UnicodeDecodeError, json.JSONDecodeError, KeyError):
@@ -154,17 +268,52 @@ class ServeClient:
         """``POST /jobs`` — collect the whole event stream into a list."""
         return list(self.stream(jobs))
 
-    def results(self, jobs: JobPayload) -> List[Dict[str, Any]]:
+    def results(self, jobs: JobPayload,
+                replays: int = 1) -> List[Dict[str, Any]]:
         """Submit and return only the ``result`` envelopes, in job
-        order; raises :class:`ServeError` on the first failed job."""
-        envelopes: List[Dict[str, Any]] = []
-        for event in self.stream(jobs):
-            if event["event"] == "error":
-                raise ServeError(
-                    f"job {event.get('id')} failed: {event['error']}")
-            if event["event"] == "result":
-                envelopes.append(event)
-        return envelopes
+        order; raises :class:`ServeError` on the first failed job.
+
+        The collected stream is *verified* — a ``done`` summary
+        arrived, it reports zero failures, and every expected result
+        envelope is present.  When the stream was cut or corrupted
+        instead (server crash mid-response, injected stream fault),
+        the whole submission is replayed up to ``replays`` times:
+        content-addressed caching makes the replay idempotent, so
+        already-computed jobs return as cache hits and the final
+        result list is identical to an undisturbed run.
+        """
+        expected = _count_jobs(jobs)
+        failure: Optional[str] = None
+        for attempt in range(max(0, replays) + 1):
+            if attempt:
+                self.replays += 1
+                self.close()
+            envelopes: List[Dict[str, Any]] = []
+            done: Optional[Dict[str, Any]] = None
+            try:
+                for event in self.stream(jobs):
+                    if event["event"] == "error":
+                        raise ServeError(
+                            f"job {event.get('id')} failed: "
+                            f"{event['error']}")
+                    if event["event"] == "result":
+                        envelopes.append(event)
+                    if event["event"] == "done":
+                        done = event
+            except ((json.JSONDecodeError, UnicodeDecodeError)
+                    + _CONNECT_FAILURES) as exc:
+                if isinstance(exc, ServeUnavailableError):
+                    raise
+                failure = f"stream failed mid-response: {exc}"
+                continue
+            if done is not None and not done.get("failed") \
+                    and (not expected or len(envelopes) == expected):
+                return envelopes
+            failure = (f"incomplete stream: done="
+                       f"{done is not None} results={len(envelopes)}"
+                       f"/{expected or '?'}")
+        raise ServeError(
+            f"{failure} (after {max(0, replays)} replay(s))")
 
     def shutdown_server(self) -> Dict[str, Any]:
         """``POST /shutdown`` — ask the server to drain and stop."""

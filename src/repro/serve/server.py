@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import logging
+import signal
 import sys
 import threading
 import time
@@ -36,6 +37,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.engine import Engine, jobs_from_payload, result_envelope
 from repro.errors import EngineError, ReproError, ServeError
+from repro.resilience import FaultPlan
 from repro.serve.registry import JobRegistry
 
 log = logging.getLogger("repro.serve")
@@ -62,6 +64,10 @@ class ServerConfig:
     queue_limit: int = 32
     request_timeout: float = 60.0
     history: int = 512
+    #: Optional fault-injection plan threaded into the engine (and so
+    #: the pool + cache) plus the ``serve.stream`` site — chaos tests
+    #: and ``repro serve --fault-plan`` only; ``None`` in production.
+    fault_plan: Optional[FaultPlan] = None
 
     def validate(self) -> "ServerConfig":
         if self.max_concurrency < 1:
@@ -99,13 +105,20 @@ class RiskServer:
             cache_capacity=self.config.cache_capacity,
             cache_ttl=self.config.cache_ttl,
             cache_max_bytes=self.config.cache_max_bytes,
-            warm_manifest=self.config.warm_manifest)
+            warm_manifest=self.config.warm_manifest,
+            fault_plan=self.config.fault_plan)
+        #: The plan driving the ``serve.stream`` site (a pre-built
+        #: engine contributes its own plan when the config has none).
+        self.fault_plan = self.config.fault_plan \
+            if self.config.fault_plan is not None \
+            else getattr(self.engine, "fault_plan", None)
         self.registry = JobRegistry(history=self.config.history)
         self.started_at = time.time()
         self.accepted = 0
         self.rejected = 0
         self._active = 0
         self._draining = False
+        self._shut_down = False
         self._state = threading.Condition()
         self._slots = threading.Semaphore(self.config.max_concurrency)
         self._thread: Optional[threading.Thread] = None
@@ -157,6 +170,8 @@ class RiskServer:
         result cache is persisted when a path is configured.
         """
         with self._state:
+            if self._shut_down:
+                return
             self._draining = True
         if drain:
             deadline = None if timeout is None \
@@ -171,6 +186,12 @@ class RiskServer:
                             "request(s)", self._active)
                         break
                     self._state.wait(remaining)
+        with self._state:
+            if self._shut_down:
+                # A concurrent shutdown (SIGTERM racing POST /shutdown)
+                # finished the teardown while this call drained.
+                return
+            self._shut_down = True
         # Persist before releasing serve_forever: when shutdown runs on
         # a daemon thread (POST /shutdown), the process may exit the
         # moment serve_forever returns.
@@ -181,6 +202,32 @@ class RiskServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into the draining :meth:`shutdown`.
+
+        Without this a ``repro serve`` process dies mid-request on
+        SIGTERM (orchestrators send exactly that), losing in-flight
+        responses and the cache save.  The handler returns immediately
+        — draining runs on a helper thread, because a signal handler
+        that blocks can deadlock the very requests it is waiting on.
+        Only the main thread may install handlers; calls from other
+        threads (e.g. embedded test servers) are a logged no-op.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            log.debug("not on the main thread; signal handlers "
+                      "not installed")
+            return
+
+        def _on_signal(signum: int, frame: Any) -> None:
+            log.info("received %s: draining and shutting down",
+                     signal.Signals(signum).name)
+            threading.Thread(target=self.shutdown,
+                             name="repro-serve-signal-shutdown",
+                             daemon=True).start()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, _on_signal)
 
     # ------------------------------------------------------------------
     # Admission control
@@ -204,13 +251,18 @@ class RiskServer:
     # ------------------------------------------------------------------
     # Request handling (called from handler threads)
     # ------------------------------------------------------------------
-    def process_jobs(self, jobs, emit) -> None:
+    def process_jobs(self, jobs, emit,
+                     deadline: Optional[float] = None) -> None:
         """Run one admitted submission, emitting NDJSON event dicts.
 
         ``jobs`` is the validated job list
         (:func:`~repro.engine.specs.jobs_from_payload`); ``emit`` is
         called with one JSON-safe dict per event, and exceptions it
-        raises (client disconnects) abort the remaining jobs.
+        raises (client disconnects, injected stream faults) abort the
+        remaining jobs.  ``deadline`` is an optional monotonic instant
+        (the client's ``X-Repro-Timeout`` budget) propagated into every
+        compute-slot and coalescing wait — a request never holds
+        resources past the point its client stopped caring.
         """
         records = [self.registry.create(job) for job in jobs]
         failed = 0
@@ -221,11 +273,25 @@ class RiskServer:
             queued = time.perf_counter()
             self.registry.mark_running(record.id)
             emit({"event": "started", "id": record.id})
+            timeout = self.config.request_timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                timeout = min(timeout, remaining)
+            if timeout <= 0:
+                failed += 1
+                message = "request deadline exceeded before start"
+                self.registry.mark_failed(record.id, message)
+                emit({"event": "error", "id": record.id,
+                      "error": message, "queued_s": 0.0})
+                continue
             try:
                 outcome = self.engine.run_shared(
-                    job, timeout=self.config.request_timeout,
-                    slots=self._slots)
+                    job, timeout=timeout, slots=self._slots)
             except ReproError as exc:
+                # Job-level failures (validation, timeouts) fail one
+                # job and the stream continues.  Infrastructure faults
+                # (InjectedFault is an OSError, not a ReproError)
+                # deliberately fall through to the transport layer.
                 failed += 1
                 self.registry.mark_failed(record.id, str(exc))
                 emit({"event": "error", "id": record.id,
@@ -241,6 +307,9 @@ class RiskServer:
         emit({"event": "done", "jobs": len(jobs), "failed": failed,
               "engine": {"executed": stats.executed,
                          "coalesced": stats.coalesced,
+                         "degraded": stats.degraded,
+                         "retries": stats.retries,
+                         "recovered": stats.recovered,
                          "cache": stats.cache}})
 
     # ------------------------------------------------------------------
@@ -285,6 +354,15 @@ class RiskServer:
             # Module-cache and sifting counters from incremental
             # (what-if) jobs served by this engine.
             "incremental": stats.incremental,
+            # Degradations, retries and recoveries — all 0 on a
+            # healthy run (see docs/resilience.md).
+            "resilience": {
+                "degraded": stats.degraded,
+                "retries": stats.retries,
+                "recovered": stats.recovered,
+                "faults_injected": stats.faults_injected,
+                "cache_degraded_mode": self.engine.cache.degraded_mode,
+            },
         }
 
 
@@ -403,10 +481,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, f"invalid JSON body: {exc}")
             return
         # Validate before admission: malformed requests must not
-        # consume queue slots (and must 400, not stream).
+        # consume queue slots (and must 400, not stream).  Any
+        # domain-level rejection counts — a bad tree spec raises
+        # SerializationError, not EngineError, and either is the
+        # client's fault, never a connection-killing 500.
         try:
             jobs = jobs_from_payload(payload, allow_files=False)
-        except EngineError as exc:
+        except ReproError as exc:
             self._send_error_json(400, str(exc))
             return
         if not self.risk.try_admit():
@@ -414,16 +495,32 @@ class _Handler(BaseHTTPRequestHandler):
                 429, "server saturated: request queue is full",
                 queue_limit=self.risk.config.queue_limit)
             return
+        # Deadline propagation: a client that bounded its own wait
+        # (ServeClient sends its timeout) bounds the server-side queue
+        # and compute waits too.
+        deadline: Optional[float] = None
+        budget = self.headers.get("X-Repro-Timeout")
+        if budget is not None:
+            try:
+                deadline = time.monotonic() + float(budget)
+            except ValueError:
+                log.debug("ignoring malformed X-Repro-Timeout %r",
+                          budget)
         try:
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
             self.send_header("Transfer-Encoding", "chunked")
             self.end_headers()
             try:
-                self.risk.process_jobs(jobs, self._emit_event)
+                self.risk.process_jobs(jobs, self._emit_event,
+                                       deadline=deadline)
                 self.wfile.write(b"0\r\n\r\n")
-            except (BrokenPipeError, ConnectionResetError):
-                log.info("client disconnected mid-stream")
+            except OSError as exc:
+                # Client hang-ups and injected stream faults: the
+                # remaining jobs are abandoned (their registry records
+                # stay in their last state), the connection dies, the
+                # server keeps serving everyone else.
+                log.info("stream aborted mid-response: %s", exc)
                 self.close_connection = True
         finally:
             self.risk.release()
@@ -431,14 +528,26 @@ class _Handler(BaseHTTPRequestHandler):
     def _emit_event(self, event: Dict[str, Any]) -> None:
         """Write one NDJSON event as an HTTP/1.1 chunk."""
         data = json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
+        plan = self.risk.fault_plan
+        if plan is not None:
+            # Truncation mangles the NDJSON line (the chunk frame stays
+            # valid); io_error/crash raise InjectedFault, which the
+            # stream handler above treats exactly like a hang-up.
+            data = plan.pulse("serve.stream", data)
         self.wfile.write(f"{len(data):X}\r\n".encode("ascii")
                          + data + b"\r\n")
 
 
 def serve(config: Optional[ServerConfig] = None,
           engine: Optional[Engine] = None) -> None:
-    """Build a :class:`RiskServer` and serve until interrupted."""
+    """Build a :class:`RiskServer` and serve until interrupted.
+
+    SIGTERM and SIGINT trigger the same draining shutdown the
+    ``POST /shutdown`` endpoint runs: reject new work, finish
+    in-flight requests, persist the cache, close the socket.
+    """
     server = RiskServer(config, engine=engine)
+    server.install_signal_handlers()
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -1,0 +1,163 @@
+"""FaultPlan semantics: determinism, trigger rules, serialization."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import (
+    KINDS,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    load_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(site="nope", kind="io_error")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(site="cache.get", kind="explode")
+
+    def test_rejects_bad_times_after_rate(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(site="cache.get", kind="io_error", times=0)
+        with pytest.raises(ResilienceError):
+            FaultSpec(site="cache.get", kind="io_error", after=-1)
+        with pytest.raises(ResilienceError):
+            FaultSpec(site="cache.get", kind="io_error", rate=1.5)
+
+    def test_window_rule(self):
+        spec = FaultSpec(site="cache.get", kind="io_error",
+                         after=2, times=2)
+        fires = [spec.triggers(0, i) for i in range(6)]
+        assert fires == [False, False, True, True, False, False]
+
+    def test_indices_rule_overrides_window(self):
+        spec = FaultSpec(site="pool.shard", kind="crash",
+                         indices=(1, 3))
+        assert [spec.triggers(0, i) for i in range(5)] == \
+            [False, True, False, True, False]
+
+    def test_rate_rule_is_seed_deterministic(self):
+        spec = FaultSpec(site="cache.get", kind="io_error", rate=0.5)
+        draws_a = [spec.triggers(7, i) for i in range(64)]
+        draws_b = [spec.triggers(7, i) for i in range(64)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+        # A different seed gives a different (but still fixed) pattern.
+        assert draws_a != [spec.triggers(8, i) for i in range(64)]
+
+
+class TestFaultPlan:
+    def test_no_specs_fire_nothing(self):
+        plan = FaultPlan(seed=1)
+        for site in SITES:
+            plan.fire(site)
+        assert plan.total_fired == 0
+        assert plan.calls("cache.get") == 1
+
+    def test_io_error_fires_and_counts(self):
+        plan = FaultPlan().inject("cache.get", "io_error", times=1)
+        with pytest.raises(InjectedFault):
+            plan.fire("cache.get")
+        plan.fire("cache.get")  # window exhausted
+        assert plan.fired("cache.get") == 1
+        assert plan.calls("cache.get") == 2
+
+    def test_crash_raises_injected_crash_in_process(self):
+        plan = FaultPlan().inject("pool.shard", "crash", indices=(0,))
+        with pytest.raises(InjectedCrash):
+            plan.fire("pool.shard", index=0)
+        plan.fire("pool.shard", index=1)
+
+    def test_injected_fault_is_an_oserror(self):
+        # The whole design leans on this: real I/O handlers absorb
+        # injected faults with no special-casing.
+        assert issubclass(InjectedFault, OSError)
+        assert issubclass(InjectedCrash, InjectedFault)
+
+    def test_latency_sleeps_without_raising(self):
+        plan = FaultPlan().inject("serve.stream", "latency",
+                                  latency_s=0.0)
+        plan.fire("serve.stream")
+        assert plan.total_fired == 1
+
+    def test_mangle_truncates(self):
+        plan = FaultPlan().inject("payload.decode", "truncate",
+                                  times=1, keep_bytes=3)
+        assert plan.mangle("payload.decode", b"0123456789") == b"012"
+        assert plan.mangle("payload.decode", b"0123456789") == \
+            b"0123456789"
+
+    def test_pulse_advances_once_per_call(self):
+        # mangle+fire as separate calls would double-advance the site
+        # counter; pulse is the combined injection point byte-moving
+        # sites use.
+        plan = FaultPlan() \
+            .inject("serve.stream", "truncate", indices=(1,),
+                    keep_bytes=2) \
+            .inject("serve.stream", "io_error", indices=(2,))
+        assert plan.pulse("serve.stream", b"abcdef") == b"abcdef"
+        assert plan.pulse("serve.stream", b"abcdef") == b"ab"
+        with pytest.raises(InjectedFault):
+            plan.pulse("serve.stream", b"abcdef")
+        assert plan.calls("serve.stream") == 3
+        assert plan.fired("serve.stream") == 2
+
+    def test_reset_counters_keeps_specs(self):
+        plan = FaultPlan().inject("cache.put", "io_error", times=1)
+        with pytest.raises(InjectedFault):
+            plan.fire("cache.put")
+        plan.reset_counters()
+        with pytest.raises(InjectedFault):
+            plan.fire("cache.put")
+
+    def test_pickle_round_trip(self):
+        plan = FaultPlan(seed=9).inject("pool.shard", "crash",
+                                        indices=(2,))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == 9
+        assert [s.as_dict() for s in clone.specs] == \
+            [s.as_dict() for s in plan.specs]
+        # The clone's counters are its own (per-process semantics).
+        with pytest.raises(InjectedCrash):
+            clone.fire("pool.shard", index=2)
+        assert plan.total_fired == 0
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(seed=5) \
+            .inject("cache.get", "io_error", times=2, after=1) \
+            .inject("serve.stream", "truncate", keep_bytes=4) \
+            .inject("pool.shard", "crash", indices=(0, 2)) \
+            .inject("pool.shard", "latency", latency_s=0.5, rate=0.1)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.as_dict()))
+        loaded = load_fault_plan(str(path))
+        assert loaded.as_dict() == plan.as_dict()
+
+    def test_load_rejects_malformed_plans(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"version\": 99}")
+        with pytest.raises(ResilienceError):
+            load_fault_plan(str(path))
+        path.write_text("not json")
+        with pytest.raises(ResilienceError):
+            load_fault_plan(str(path))
+        with pytest.raises(ResilienceError):
+            FaultPlan.from_dict({"version": 1,
+                                 "faults": [{"kind": "io_error"}]})
+
+    def test_every_site_and_kind_is_registrable(self):
+        plan = FaultPlan()
+        for site in SITES:
+            for kind in KINDS:
+                plan.inject(site, kind)
+        assert len(plan.specs) == len(SITES) * len(KINDS)

@@ -1,0 +1,149 @@
+"""RetryPolicy backoff math and CircuitBreaker state machine."""
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    NO_RETRY,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    call_with_retry,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=2.0)
+
+    def test_exponential_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.25)
+        delays = [policy.delay(0, key=f"k{i}") for i in range(32)]
+        assert delays == [policy.delay(0, key=f"k{i}")
+                          for i in range(32)]
+        assert all(0.75 <= d < 1.25 for d in delays)
+        assert len(set(delays)) > 1  # different keys spread out
+
+    def test_no_retry_constant(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.retries == 0
+
+    def test_call_with_retry_recovers(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        seen = []
+        result = call_with_retry(
+            flaky, policy, (OSError,),
+            on_retry=lambda attempt, exc: seen.append(attempt))
+        assert result == "ok"
+        assert len(calls) == 3
+        assert seen == [0, 1]
+
+    def test_call_with_retry_budget_exhausted(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(OSError):
+            call_with_retry(lambda: (_ for _ in ()).throw(OSError("x")),
+                            policy, (OSError,))
+
+    def test_non_transient_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("deterministic")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        with pytest.raises(ValueError):
+            call_with_retry(broken, policy, (OSError,))
+        assert len(calls) == 1
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(reset_timeout=0)
+
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=_Clock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.refused == 1
+
+    def test_half_open_probe_success_closes(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 reset_timeout=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(failure_threshold=5,
+                                 reset_timeout=1.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # failed probe re-opens immediately
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.now = 1.5
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=_Clock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_reset_forces_closed(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()

@@ -1,0 +1,252 @@
+"""Serve chaos: cut streams, unavailable servers, back-pressure,
+deadline propagation, and signal-driven shutdown.
+
+Contract: the client either returns results identical to an
+undisturbed run (replay over the content-addressed cache) or raises a
+typed error in bounded time.  No hangs, no silent wrong answers.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.engine import job_from_spec
+from repro.errors import ServeError, ServeUnavailableError
+from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy
+from repro.serve import RiskServer, ServeClient, ServerConfig
+
+QUANTIFY = {"type": "quantify", "tree": "corridor", "method": "exact"}
+MONTECARLO = {"type": "montecarlo", "tree": "corridor",
+              "samples": 50_000, "seed": 7}
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def start_server(fault_plan=None, **overrides):
+    config = dict(port=0, workers=1, max_concurrency=2, queue_limit=4,
+                  request_timeout=30.0, fault_plan=fault_plan)
+    config.update(overrides)
+    return RiskServer(ServerConfig(**config)).start()
+
+
+@pytest.fixture
+def baseline_results():
+    instance = start_server()
+    try:
+        with ServeClient(instance.host, instance.port,
+                         timeout=30.0) as client:
+            results = client.results([QUANTIFY, MONTECARLO])
+        return [(r["index"], r["result"]) for r in results]
+    finally:
+        instance.shutdown(drain=True, timeout=10.0)
+
+
+class TestStreamFaults:
+    @pytest.mark.parametrize("kind,options", [
+        ("truncate", {"keep_bytes": 10}),
+        ("io_error", {}),
+        ("crash", {}),
+    ])
+    def test_cut_stream_replays_bit_identical(self, kind, options,
+                                              baseline_results):
+        # Fire on the second event of the first stream: the client
+        # sees a torn response and replays; the replay is served from
+        # the content-addressed cache and matches the clean run.
+        plan = FaultPlan(seed=5).inject("serve.stream", kind,
+                                        indices=(1,), **options)
+        instance = start_server(fault_plan=plan)
+        try:
+            with ServeClient(instance.host, instance.port,
+                             timeout=30.0, retry=FAST_RETRY) as client:
+                results = client.results([QUANTIFY, MONTECARLO],
+                                         replays=2)
+                assert [(r["index"], r["result"]) for r in results] \
+                    == baseline_results
+                assert client.replays >= 1
+            assert plan.fired("serve.stream") >= 1
+            payload = instance.stats_payload()
+            assert payload["resilience"]["faults_injected"] >= 1
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+    def test_latency_fault_only_slows_the_stream(self, baseline_results):
+        plan = FaultPlan().inject("serve.stream", "latency",
+                                  latency_s=0.01, times=2)
+        instance = start_server(fault_plan=plan)
+        try:
+            with ServeClient(instance.host, instance.port,
+                             timeout=30.0) as client:
+                results = client.results([QUANTIFY, MONTECARLO])
+                assert [(r["index"], r["result"]) for r in results] \
+                    == baseline_results
+                assert client.replays == 0
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+    def test_replay_budget_exhaustion_is_a_typed_error(self):
+        # Every stream is cut: after the replay budget the client
+        # reports the failure instead of hanging or fabricating data.
+        plan = FaultPlan().inject("serve.stream", "io_error",
+                                  times=None)
+        instance = start_server(fault_plan=plan)
+        try:
+            with ServeClient(instance.host, instance.port,
+                             timeout=10.0, retry=FAST_RETRY) as client:
+                with pytest.raises(ServeError):
+                    client.results([QUANTIFY], replays=1)
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+
+class TestUnavailableServer:
+    def test_connection_refused_is_typed_and_bounded(self):
+        with ServeClient("127.0.0.1", 1, timeout=1.0,
+                         retry=FAST_RETRY) as client:
+            start = time.monotonic()
+            with pytest.raises(ServeUnavailableError):
+                client.health()
+            assert time.monotonic() - start < 5.0
+            assert client.retries >= 1
+
+    def test_open_breaker_fails_fast_without_connecting(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+        with ServeClient("127.0.0.1", 1, timeout=1.0,
+                         retry=FAST_RETRY, breaker=breaker) as client:
+            with pytest.raises(ServeUnavailableError):
+                client.health()
+            assert breaker.state == "open"
+            start = time.monotonic()
+            with pytest.raises(ServeUnavailableError):
+                client.health()
+            # No socket work at all: the breaker refused instantly.
+            assert time.monotonic() - start < 0.5
+            assert breaker.refused >= 1
+
+
+class TestBackPressureRetry:
+    def test_retry_after_back_pressure_clears(self):
+        instance = start_server()
+        try:
+            for _ in range(instance.config.queue_limit):
+                assert instance.try_admit()
+            releaser = threading.Timer(0.5, lambda: [
+                instance.release()
+                for _ in range(instance.config.queue_limit)])
+            releaser.start()
+            try:
+                with ServeClient(instance.host, instance.port,
+                                 timeout=10.0, busy_retries=3,
+                                 max_busy_wait=2.0) as client:
+                    # The 429 carries Retry-After; the client waits it
+                    # out and the retried submission succeeds.
+                    results = client.results([QUANTIFY])
+                    assert results[0]["result"] > 0.0
+            finally:
+                releaser.join()
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+    def test_busy_budget_exhausted_raises_429(self):
+        instance = start_server()
+        try:
+            for _ in range(instance.config.queue_limit):
+                assert instance.try_admit()
+            try:
+                with ServeClient(instance.host, instance.port,
+                                 timeout=5.0, busy_retries=1,
+                                 max_busy_wait=0.2) as client:
+                    start = time.monotonic()
+                    with pytest.raises(ServeError) as excinfo:
+                        client.submit([QUANTIFY])
+                    assert excinfo.value.status == 429
+                    assert time.monotonic() - start < 5.0
+            finally:
+                for _ in range(instance.config.queue_limit):
+                    instance.release()
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+
+class TestDeadlinePropagation:
+    def test_expired_deadline_is_an_error_event_not_a_hang(self):
+        instance = start_server()
+        try:
+            events = []
+            instance.process_jobs([job_from_spec(QUANTIFY)],
+                                  events.append,
+                                  deadline=time.monotonic() - 1.0)
+            errors = [e for e in events if e["event"] == "error"]
+            assert len(errors) == 1
+            assert "deadline exceeded" in errors[0]["error"]
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+    def test_header_bounds_the_slot_wait(self):
+        # request_timeout is 30 s; the client budget of 1 s must win.
+        instance = start_server(max_concurrency=1)
+        try:
+            assert instance._slots.acquire(timeout=1.0)
+            conn = HTTPConnection(instance.host, instance.port,
+                                  timeout=10.0)
+            try:
+                start = time.monotonic()
+                conn.request("POST", "/jobs",
+                             body=json.dumps({"jobs": [QUANTIFY]}),
+                             headers={"Content-Type": "application/json",
+                                      "X-Repro-Timeout": "1.0"})
+                body = conn.getresponse().read().decode()
+                elapsed = time.monotonic() - start
+            finally:
+                conn.close()
+                instance._slots.release()
+            assert elapsed < 8.0
+            assert "error" in body and "compute slot" in body
+        finally:
+            instance.shutdown(drain=True, timeout=10.0)
+
+
+_SIGNAL_SCRIPT = """
+import sys, time
+from repro.serve import RiskServer, ServerConfig
+
+server = RiskServer(ServerConfig(port=0, workers=1)).start()
+server.install_signal_handlers()
+print(server.port, flush=True)
+while not server._shut_down:
+    time.sleep(0.05)
+print("CLEAN", flush=True)
+"""
+
+
+class TestSignalShutdown:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_triggers_draining_shutdown(self, signum):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in (env.get("PYTHONPATH"), "src") if p])
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _SIGNAL_SCRIPT],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, cwd=os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))),
+            text=True)
+        try:
+            port = int(proc.stdout.readline())
+            # The server is live before the signal...
+            with ServeClient("127.0.0.1", port, timeout=10.0) as client:
+                assert client.health()["status"] == "ok"
+            proc.send_signal(signum)
+            out, err = proc.communicate(timeout=15.0)
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        assert proc.returncode == 0, err
+        assert "CLEAN" in out

@@ -269,6 +269,31 @@ class TestBatchCacheBackends:
                               "--warm-manifest", str(manifest))
         assert warm["results"][0]["cache_hit"] is True
 
+    def test_fault_plan_degrades_honestly(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "version": 1, "seed": 3,
+            "faults": [{"site": "cache.put", "kind": "io_error",
+                        "times": 1}]}))
+        cache = str(tmp_path / "cache.db")
+        faulted = self.run_batch(tmp_path, capsys, "--cache", cache,
+                                 "--fault-plan", str(plan))
+        clean = self.run_batch(tmp_path, capsys, "--cache", cache)
+        # The injected write failure changed nothing but the stats:
+        # the put retried and the next run still hits the cache.
+        assert clean["results"][0]["cache_hit"] is True
+        assert clean["results"][0]["result"] == \
+            faulted["results"][0]["result"]
+
+    def test_malformed_fault_plan_is_reported(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{\"version\": 99}")
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert main(["batch", str(path), "--json",
+                     "--fault-plan", str(plan)]) == 1
+        assert "error" in capsys.readouterr().err
+
     def test_ttl_flag_rejected_for_json_backend(self, tmp_path, capsys):
         path = tmp_path / "jobs.json"
         path.write_text(json.dumps(self.PAYLOAD))
